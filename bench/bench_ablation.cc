@@ -1,0 +1,159 @@
+// Ablation studies for the design choices DESIGN.md calls out — not a
+// paper figure, but evidence for the physical optimizations §VI-C argues
+// for and for the framework-internal choices this repo makes:
+//
+//  (1) hash bucket join vs forced theta bucket join for a default-match
+//      FUDJ (the optimizer's Hash Join selection, §VI-C),
+//  (2) the self-join summarize-once optimization (§VI-C),
+//  (3) carried assignment lists vs per-pair re-`assign` in the default
+//      duplicate avoidance (the internal-actor optimization of §VI-B),
+//  (4) automatic grid sizing from SUMMARIZE statistics (future work,
+//      §VIII) vs fixed grids.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "joins/spatial_auto_fudj.h"
+
+namespace {
+
+using namespace fudj;
+using namespace fudj::bench;
+
+RunResult RunSpatial(Cluster* cluster, const FlexibleJoin& join,
+                     const PartitionedRelation& parks,
+                     const PartitionedRelation& fires,
+                     bool force_theta = false) {
+  // Best-of-3 to suppress cold-start noise: these workloads are small
+  // enough that the first execution pays page-cache and allocator
+  // warm-up.
+  RunResult best;
+  for (int rep = 0; rep < 3; ++rep) {
+    FudjRuntime runtime(cluster, &join);
+    ExecStats stats;
+    FudjExecOptions options;
+    options.force_theta_bucket_join = force_theta;
+    Stopwatch sw;
+    auto out = runtime.Execute(parks, 1, fires, 1, options, &stats);
+    const RunResult r = FromStats(out, stats, sw.ElapsedMillis());
+    if (rep == 0 || (r.ok && r.simulated_ms < best.simulated_ms)) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kWorkers = 12;
+  Cluster cluster(kWorkers);
+  const int64_t n_parks = Scaled(2000);
+  const int64_t n_fires = Scaled(8000);
+  auto parks = PartitionedRelation::FromTuples(
+      ParksSchema(), GenerateParks(n_parks, 501), kWorkers);
+  auto fires = PartitionedRelation::FromTuples(
+      WildfiresSchema(), GenerateWildfires(n_fires, 502), kWorkers);
+
+  // (1) hash vs theta bucket matching for a single-join FUDJ.
+  std::printf("Ablation 1: bucket matching strategy (spatial, default "
+              "match)\n");
+  SpatialFudj sj(JoinParameters({Value::Int64(48), Value::Int64(1)}));
+  const RunResult hash = RunSpatial(&cluster, sj, parks, fires, false);
+  const RunResult theta = RunSpatial(&cluster, sj, parks, fires, true);
+  std::printf("  hash bucket join : %10s ms, %8.1f KB shuffled\n",
+              FormatMs(hash).c_str(), hash.bytes_shuffled / 1024.0);
+  std::printf("  theta (forced)   : %10s ms, %8.1f KB shuffled\n",
+              FormatMs(theta).c_str(), theta.bytes_shuffled / 1024.0);
+  std::printf("  -> hash join selection is worth %.1fx (and %.1fx less "
+              "traffic)\n\n",
+              theta.simulated_ms / hash.simulated_ms,
+              static_cast<double>(theta.bytes_shuffled) /
+                  hash.bytes_shuffled);
+
+  // (2) self-join summarize-once.
+  std::printf("Ablation 2: self-join summarize-once (%lld parks "
+              "self-join)\n",
+              static_cast<long long>(n_parks));
+  {
+    SpatialFudj join(JoinParameters({Value::Int64(48), Value::Int64(0)}));
+    FudjRuntime runtime(&cluster, &join);
+    FudjExecOptions options;
+    ExecStats self_stats;
+    auto self_out = runtime.Execute(parks, 1, parks, 1, options,
+                                    &self_stats);
+    PartitionedRelation parks_copy = parks;  // distinct object: no opt
+    ExecStats two_stats;
+    auto two_out = runtime.Execute(parks, 1, parks_copy, 1, options,
+                                   &two_stats);
+    double self_summarize = 0;
+    double two_summarize = 0;
+    for (const auto& s : self_stats.stages()) {
+      if (s.name.rfind("summarize-", 0) == 0) {
+        self_summarize += s.max_partition_ms;
+      }
+    }
+    for (const auto& s : two_stats.stages()) {
+      if (s.name.rfind("summarize-", 0) == 0) {
+        two_summarize += s.max_partition_ms;
+      }
+    }
+    std::printf("  summarize makespan: once=%.2f ms, twice=%.2f ms "
+                "(rows agree: %s)\n\n",
+                self_summarize, two_summarize,
+                self_out.ok() && two_out.ok() &&
+                        self_out->NumRows() == two_out->NumRows()
+                    ? "yes"
+                    : "NO");
+  }
+
+  // (3) carried assignment lists vs per-pair re-assign in dedup.
+  std::printf("Ablation 3: default duplicate avoidance implementation "
+              "(text, t=0.9)\n");
+  {
+    auto reviews = PartitionedRelation::FromTuples(
+        ReviewsSchema(), GenerateReviews(Scaled(4000), 503), kWorkers);
+    // Carried lists (framework default).
+    const RunResult carried = RunTextFudj(&cluster, reviews, reviews, 0.9);
+    // Per-pair re-assign: emulate by a join whose UsesDefaultDedup lies,
+    // forcing the virtual Dedup (which re-runs Assign per pair).
+    class SlowDedupTextJoin : public TextSimFudj {
+     public:
+      using TextSimFudj::TextSimFudj;
+      bool UsesDefaultDedup() const override { return false; }
+    };
+    SlowDedupTextJoin slow(JoinParameters({Value::Double(0.9)}));
+    FudjRuntime runtime(&cluster, &slow);
+    ExecStats stats;
+    FudjExecOptions options;
+    Stopwatch sw;
+    auto out = runtime.Execute(reviews, 2, reviews, 2, options, &stats);
+    const RunResult per_pair = FromStats(out, stats, sw.ElapsedMillis());
+    std::printf("  carried lists   : %10s ms\n", FormatMs(carried).c_str());
+    std::printf("  per-pair assign : %10s ms (rows agree: %s)\n",
+                FormatMs(per_pair).c_str(),
+                carried.output_rows == per_pair.output_rows ? "yes" : "NO");
+    std::printf("  -> the internal-actor optimization is worth %.1fx\n\n",
+                per_pair.simulated_ms / carried.simulated_ms);
+  }
+
+  // (4) automatic grid sizing vs fixed grids.
+  std::printf("Ablation 4: SUMMARIZE-driven automatic grid sizing "
+              "(future work, §VIII)\n");
+  {
+    SpatialFudjAuto auto_join(
+        JoinParameters({Value::Int64(1)}));  // contains
+    const RunResult auto_run =
+        RunSpatial(&cluster, auto_join, parks, fires);
+    std::printf("  auto grid       : %10s ms\n",
+                FormatMs(auto_run).c_str());
+    for (const int n : {4, 16, 48, 256, 1024}) {
+      SpatialFudj fixed(JoinParameters({Value::Int64(n), Value::Int64(1)}));
+      const RunResult r = RunSpatial(&cluster, fixed, parks, fires);
+      std::printf("  fixed n=%-6d  : %10s ms%s\n", n, FormatMs(r).c_str(),
+                  r.output_rows != auto_run.output_rows ? "  [MISMATCH]"
+                                                        : "");
+    }
+    std::printf("  -> auto sizing lands near the hand-tuned optimum "
+                "without a DBA-chosen n\n");
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig. 10 reproduction: FUDJ vs. built-in query execution time as the
+// number of cores grows (paper: 48 / 96 / 144 cores over 12 nodes; we
+// simulate worker counts 12 / 24 / 48 / 96 / 144 on fixed-size data).
+//
+// Expected shapes: spatial and text-similarity execution time drops with
+// cores and FUDJ stays close to built-in; the interval join scales
+// poorly because its custom `match` forces theta bucket matching with a
+// broadcast side (§VII-C).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace fudj;
+  using namespace fudj::bench;
+  const int kCores[] = {12, 24, 48, 96, 144};
+  constexpr int kGrid = 64;
+  constexpr int kIntervalBuckets = 1000;
+  constexpr double kThreshold = 0.9;
+  const int64_t n_parks = Scaled(8000);
+  const int64_t n_fires = Scaled(32000);
+  const int64_t n_rides = Scaled(8000);
+  const int64_t n_reviews = Scaled(12000);
+
+  const auto parks_rows = GenerateParks(n_parks, 201);
+  const auto fires_rows = GenerateWildfires(n_fires, 202);
+  const auto rides_rows = GenerateTaxiRides(n_rides, 203);
+  const auto review_rows = GenerateReviews(n_reviews, 204);
+  std::vector<Tuple> v1;
+  std::vector<Tuple> v2;
+  for (const Tuple& t : rides_rows) (t[1].i64() == 1 ? v1 : v2).push_back(t);
+
+  std::printf("Fig. 10: execution time (simulated ms) vs number of "
+              "cores\n");
+  std::printf("workload: %lld parks x %lld fires | %lld rides | %lld "
+              "reviews (t=%.1f)\n\n",
+              static_cast<long long>(n_parks),
+              static_cast<long long>(n_fires),
+              static_cast<long long>(n_rides),
+              static_cast<long long>(n_reviews), kThreshold);
+  std::printf("%7s | %9s %9s | %9s %9s | %9s %9s\n", "cores", "sp-FUDJ",
+              "sp-Bltin", "iv-FUDJ", "iv-Bltin", "tx-FUDJ", "tx-Bltin");
+  for (const int cores : kCores) {
+    Cluster cluster(cores);
+    auto parks = PartitionedRelation::FromTuples(ParksSchema(),
+                                                 parks_rows, cores);
+    auto fires = PartitionedRelation::FromTuples(WildfiresSchema(),
+                                                 fires_rows, cores);
+    auto left = PartitionedRelation::FromTuples(TaxiSchema(), v1, cores);
+    auto right = PartitionedRelation::FromTuples(TaxiSchema(), v2, cores);
+    auto reviews = PartitionedRelation::FromTuples(ReviewsSchema(),
+                                                   review_rows, cores);
+    const RunResult sp_f = RunSpatialFudj(&cluster, parks, fires, kGrid);
+    const RunResult sp_b =
+        RunSpatialBuiltin(&cluster, parks, fires, kGrid);
+    const RunResult iv_f =
+        RunIntervalFudj(&cluster, left, right, kIntervalBuckets);
+    const RunResult iv_b =
+        RunIntervalBuiltin(&cluster, left, right, kIntervalBuckets);
+    const RunResult tx_f =
+        RunTextFudj(&cluster, reviews, reviews, kThreshold);
+    const RunResult tx_b =
+        RunTextBuiltin(&cluster, reviews, reviews, kThreshold);
+    std::printf("%7d | %9s %9s | %9s %9s | %9s %9s\n", cores,
+                FormatMs(sp_f).c_str(), FormatMs(sp_b).c_str(),
+                FormatMs(iv_f).c_str(), FormatMs(iv_b).c_str(),
+                FormatMs(tx_f).c_str(), FormatMs(tx_b).c_str());
+  }
+  std::printf("\nExpected shapes (paper Fig. 10): spatial and "
+              "text-similarity times fall as cores\ngrow with FUDJ "
+              "close to built-in; interval stays flat (broadcast theta "
+              "join\ndominates), matching §VII-C's observation.\n");
+  return 0;
+}

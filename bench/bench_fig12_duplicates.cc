@@ -1,0 +1,106 @@
+// Fig. 12 reproduction: duplicate handling strategies and the effect of
+// local join optimizations.
+//
+// (a) Text-similarity: the framework's default Duplicate Avoidance vs.
+//     Duplicate Elimination (the original study's method) across record
+//     counts — the paper reports Avoidance ~1.15x faster on average.
+// (b) Spatial: the user-overridable Reference-Point dedup vs. the
+//     framework's default avoidance across grid sizes — the paper finds
+//     no notable difference.
+// (c) Spatial FUDJ vs. the advanced built-in spatial join with a
+//     plane-sweep local join (§VII-F) — the paper reports 1.38x average
+//     speedup from the local optimization.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace fudj;
+  using namespace fudj::bench;
+  constexpr int kWorkers = 12;
+  Cluster cluster(kWorkers);
+
+  // ---- (a) Avoidance vs Elimination (text-similarity, t=0.9) ----
+  std::printf("Fig. 12(a) Set-similarity duplicate handling, t=0.9\n");
+  std::printf("%10s | %13s %15s %8s\n", "reviews", "Avoidance(ms)",
+              "Elimination(ms)", "speedup");
+  double speedup_sum = 0;
+  int speedup_n = 0;
+  for (const int64_t base : {1000, 2000, 4000, 8000}) {
+    const int64_t n = Scaled(base);
+    auto reviews = PartitionedRelation::FromTuples(
+        ReviewsSchema(), GenerateReviews(n, 401), kWorkers);
+    const RunResult avoid = BestOf(3, [&] {
+      return RunTextFudj(&cluster, reviews, reviews, 0.9,
+                         DuplicateHandling::kAvoidance);
+    });
+    const RunResult elim = BestOf(3, [&] {
+      return RunTextFudj(&cluster, reviews, reviews, 0.9,
+                         DuplicateHandling::kElimination);
+    });
+    const double speedup = elim.simulated_ms / avoid.simulated_ms;
+    speedup_sum += speedup;
+    ++speedup_n;
+    std::printf("%10lld | %13s %15s %7.2fx\n", static_cast<long long>(n),
+                FormatMs(avoid).c_str(), FormatMs(elim).c_str(), speedup);
+  }
+  std::printf("average Avoidance speedup: %.2fx (paper: ~1.15x)\n",
+              speedup_sum / speedup_n);
+
+  // ---- (b) Reference Point vs default avoidance (spatial) ----
+  const int64_t n_parks = Scaled(3000);
+  const int64_t n_fires = Scaled(9000);
+  auto parks = PartitionedRelation::FromTuples(
+      ParksSchema(), GenerateParks(n_parks, 402), kWorkers);
+  auto fires = PartitionedRelation::FromTuples(
+      WildfiresSchema(), GenerateWildfires(n_fires, 403), kWorkers);
+  std::printf("\nFig. 12(b) Spatial duplicate avoidance: FUDJ default "
+              "vs Reference-Point (%lld x %lld)\n",
+              static_cast<long long>(n_parks),
+              static_cast<long long>(n_fires));
+  std::printf("%10s | %13s %15s\n", "grid n", "default(ms)",
+              "ref-point(ms)");
+  for (const int grid : {16, 32, 64, 128, 256}) {
+    const RunResult def = BestOf(3, [&] {
+      return RunSpatialFudj(&cluster, parks, fires, grid,
+                            DuplicateHandling::kAvoidance,
+                            /*ref_point=*/false);
+    });
+    const RunResult ref = BestOf(3, [&] {
+      return RunSpatialFudj(&cluster, parks, fires, grid,
+                            DuplicateHandling::kAvoidance,
+                            /*ref_point=*/true);
+    });
+    std::printf("%10d | %13s %15s\n", grid, FormatMs(def).c_str(),
+                FormatMs(ref).c_str());
+  }
+  std::printf("(paper: no notable difference — the framework default "
+              "competes without tuning)\n");
+
+  // ---- (c) FUDJ spatial vs advanced spatial join (plane sweep) ----
+  std::printf("\nFig. 12(c) Spatial FUDJ vs advanced built-in operator "
+              "with plane-sweep local join\n");
+  std::printf("%10s | %13s %15s %8s\n", "grid n", "FUDJ(ms)",
+              "advanced(ms)", "speedup");
+  double adv_sum = 0;
+  int adv_n = 0;
+  for (const int grid : {16, 32, 64, 128}) {
+    const RunResult fudj = BestOf(3, [&] {
+      return RunSpatialFudj(&cluster, parks, fires, grid);
+    });
+    const RunResult adv = BestOf(3, [&] {
+      return RunSpatialBuiltin(&cluster, parks, fires, grid,
+                               SpatialLocalJoin::kPlaneSweep);
+    });
+    const double speedup = fudj.simulated_ms / adv.simulated_ms;
+    adv_sum += speedup;
+    ++adv_n;
+    std::printf("%10d | %13s %15s %7.2fx\n", grid, FormatMs(fudj).c_str(),
+                FormatMs(adv).c_str(), speedup);
+  }
+  std::printf("average advanced-operator speedup: %.2fx (paper: ~1.38x "
+              "— motivates the future local-join extension point)\n",
+              adv_sum / adv_n);
+  return 0;
+}

@@ -1,0 +1,203 @@
+// Micro-benchmarks (google-benchmark) for the §VII-B framework-overhead
+// claims and the substrate hot paths:
+//   * the serde boundary of Fig. 7 (tuple serialize/deserialize),
+//   * proxy-function overhead: FUDJ verify via virtual dispatch + Value
+//     unwrapping vs. calling the raw predicate (paper: ~0 per record for
+//     spatial/interval, 0.061 ms/record for text),
+//   * tokenizer / Jaccard / grid assignment kernels.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/datagen.h"
+#include "geometry/grid.h"
+#include "joins/interval_fudj.h"
+#include "joins/spatial_fudj.h"
+#include "joins/textsim_fudj.h"
+#include "serde/serde.h"
+#include "text/jaccard.h"
+#include "text/tokenizer.h"
+
+namespace fudj {
+namespace {
+
+void BM_SerializeTuple(benchmark::State& state) {
+  const auto rows = GenerateReviews(1, 1);
+  ByteWriter w;
+  for (auto _ : state) {
+    w.Clear();
+    SerializeTuple(rows[0], &w);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_SerializeTuple);
+
+void BM_DeserializeTuple(benchmark::State& state) {
+  const auto rows = GenerateReviews(1, 1);
+  ByteWriter w;
+  SerializeTuple(rows[0], &w);
+  for (auto _ : state) {
+    ByteReader r(w.bytes());
+    auto t = DeserializeTuple(&r);
+    benchmark::DoNotOptimize(t.ok());
+  }
+}
+BENCHMARK(BM_DeserializeTuple);
+
+void BM_SerializePolygonTuple(benchmark::State& state) {
+  const auto rows = GenerateParks(1, 1);
+  ByteWriter w;
+  for (auto _ : state) {
+    w.Clear();
+    SerializeTuple(rows[0], &w);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_SerializePolygonTuple);
+
+void BM_Tokenize(benchmark::State& state) {
+  const auto rows = GenerateReviews(1, 2);
+  const std::string& text = rows[0][2].str();
+  for (auto _ : state) {
+    auto tokens = Tokenize(text);
+    benchmark::DoNotOptimize(tokens.size());
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_Jaccard(benchmark::State& state) {
+  const auto rows = GenerateReviews(2, 3);
+  const auto a = TokenSet(rows[0][2].str());
+  const auto b = TokenSet(rows[1][2].str());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaccardSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_Jaccard);
+
+void BM_GridAssign(benchmark::State& state) {
+  const UniformGrid grid(Rect(0, 0, 100, 100),
+                         static_cast<int>(state.range(0)));
+  const auto parks = GenerateParks(64, 4);
+  std::vector<int32_t> tiles;
+  size_t i = 0;
+  for (auto _ : state) {
+    tiles.clear();
+    grid.OverlappingTiles(parks[i % parks.size()][1].geometry().Mbr(),
+                          &tiles);
+    benchmark::DoNotOptimize(tiles.size());
+    ++i;
+  }
+}
+BENCHMARK(BM_GridAssign)->Arg(64)->Arg(256)->Arg(1200);
+
+// ---- framework verify overhead: FUDJ proxy vs raw predicate ----
+
+void BM_SpatialVerifyRaw(benchmark::State& state) {
+  const auto parks = GenerateParks(16, 5);
+  const auto fires = GenerateWildfires(16, 6);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Geometry& p = parks[i % 16][1].geometry();
+    const Geometry& f = fires[(i / 16) % 16][1].geometry();
+    benchmark::DoNotOptimize(p.Contains(f));
+    ++i;
+  }
+}
+BENCHMARK(BM_SpatialVerifyRaw);
+
+void BM_SpatialVerifyFudj(benchmark::State& state) {
+  const auto parks = GenerateParks(16, 5);
+  const auto fires = GenerateWildfires(16, 6);
+  SpatialFudj join(JoinParameters({Value::Int64(64), Value::Int64(1)}));
+  SpatialPPlan plan(Rect(0, 0, 100, 100), 64);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(join.Verify(parks[i % 16][1],
+                                         fires[(i / 16) % 16][1], plan));
+    ++i;
+  }
+}
+BENCHMARK(BM_SpatialVerifyFudj);
+
+void BM_IntervalVerifyRaw(benchmark::State& state) {
+  const auto rides = GenerateTaxiRides(32, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rides[i % 32][2].interval().Overlaps(
+        rides[(i / 32) % 32][2].interval()));
+    ++i;
+  }
+}
+BENCHMARK(BM_IntervalVerifyRaw);
+
+void BM_IntervalVerifyFudj(benchmark::State& state) {
+  const auto rides = GenerateTaxiRides(32, 7);
+  IntervalFudj join(JoinParameters({Value::Int64(1000)}));
+  IntervalPPlan plan(0, 1000000, 1000);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        join.Verify(rides[i % 32][2], rides[(i / 32) % 32][2], plan));
+    ++i;
+  }
+}
+BENCHMARK(BM_IntervalVerifyFudj);
+
+// The text verify re-tokenizes inside the FUDJ library while the
+// built-in operator reuses precomputed token sets — the 0.061 ms/record
+// gap of §VII-B comes from exactly this difference.
+void BM_TextVerifyPrecomputed(benchmark::State& state) {
+  const auto reviews = GenerateReviews(16, 8);
+  std::vector<std::vector<std::string>> sets;
+  for (const auto& r : reviews) sets.push_back(TokenSet(r[2].str()));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        JaccardSimilarity(sets[i % 16], sets[(i / 16) % 16]));
+    ++i;
+  }
+}
+BENCHMARK(BM_TextVerifyPrecomputed);
+
+void BM_TextVerifyFudj(benchmark::State& state) {
+  const auto reviews = GenerateReviews(16, 8);
+  TextSimFudj join(JoinParameters({Value::Double(0.9)}));
+  WordCountSummary s;
+  for (const auto& r : reviews) s.Add(r[2]);
+  auto plan = join.Divide(s, s);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(join.Verify(reviews[i % 16][2],
+                                         reviews[(i / 16) % 16][2],
+                                         **plan));
+    ++i;
+  }
+}
+BENCHMARK(BM_TextVerifyFudj);
+
+void BM_SummarySerializeMbr(benchmark::State& state) {
+  MbrSummary s;
+  s.Add(Value::Geom(Geometry(Rect(0, 0, 50, 50))));
+  for (auto _ : state) {
+    ByteWriter w;
+    s.Serialize(&w);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_SummarySerializeMbr);
+
+void BM_SummarySerializeWordCounts(benchmark::State& state) {
+  WordCountSummary s;
+  for (const auto& r : GenerateReviews(state.range(0), 9)) s.Add(r[2]);
+  for (auto _ : state) {
+    ByteWriter w;
+    s.Serialize(&w);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_SummarySerializeWordCounts)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace fudj
+
+BENCHMARK_MAIN();

@@ -1,0 +1,243 @@
+#ifndef FUDJ_BENCH_BENCH_UTIL_H_
+#define FUDJ_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure/table reproduction harnesses. Each bench
+// binary regenerates one table or figure of the paper (see DESIGN.md's
+// experiment index); these helpers build workloads and run the three
+// competitor implementations (FUDJ / built-in / on-top) with consistent
+// accounting.
+//
+// Scale: all record counts are multiplied by the env var
+// FUDJ_BENCH_SCALE (default 1.0); the paper's absolute sizes (10M-170M
+// records on a 12-node cluster) are scaled to CI-box sizes that preserve
+// the relative shapes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "builtin/builtin_interval.h"
+#include "builtin/builtin_spatial.h"
+#include "builtin/builtin_textsim.h"
+#include "builtin/ontop_nlj.h"
+#include "catalog/catalog.h"
+#include "common/stopwatch.h"
+#include "datagen/datagen.h"
+#include "fudj/runtime.h"
+#include "joins/interval_fudj.h"
+#include "joins/spatial_fudj.h"
+#include "joins/textsim_fudj.h"
+#include "text/jaccard.h"
+#include "text/tokenizer.h"
+
+namespace fudj {
+namespace bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("FUDJ_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::strtod(env, nullptr);
+  return v > 0 ? v : 1.0;
+}
+
+inline int64_t Scaled(int64_t n) {
+  const auto v = static_cast<int64_t>(n * BenchScale());
+  return v < 1 ? 1 : v;
+}
+
+/// One measured run.
+struct RunResult {
+  bool ok = false;
+  bool timed_out = false;
+  int64_t output_rows = 0;
+  double simulated_ms = 0.0;
+  double wall_ms = 0.0;
+  int64_t bytes_shuffled = 0;
+};
+
+inline std::string FormatMs(const RunResult& r) {
+  if (r.timed_out) return "DNF";
+  if (!r.ok) return "ERR";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", r.simulated_ms);
+  return buf;
+}
+
+/// Runs `fn` `reps` times and keeps the fastest successful run —
+/// suppresses cold-start and scheduling noise for the small bench
+/// workloads on a shared CI box.
+template <typename Fn>
+RunResult BestOf(int reps, Fn&& fn) {
+  RunResult best;
+  for (int i = 0; i < reps; ++i) {
+    const RunResult r = fn();
+    if (i == 0 || (r.ok && r.simulated_ms < best.simulated_ms)) best = r;
+  }
+  return best;
+}
+
+inline RunResult FromStats(const Result<PartitionedRelation>& rel,
+                           const ExecStats& stats, double wall_ms) {
+  RunResult r;
+  r.ok = rel.ok();
+  if (rel.ok()) {
+    r.output_rows = rel->NumRows();
+    r.simulated_ms = stats.simulated_ms();
+    r.bytes_shuffled = stats.bytes_shuffled();
+  }
+  r.wall_ms = wall_ms;
+  return r;
+}
+
+// ----------------------------------------------------------- Spatial runs
+
+inline RunResult RunSpatialFudj(Cluster* cluster,
+                                const PartitionedRelation& parks,
+                                const PartitionedRelation& fires,
+                                int grid_n,
+                                DuplicateHandling dups =
+                                    DuplicateHandling::kAvoidance,
+                                bool ref_point = false) {
+  JoinParameters params({Value::Int64(grid_n), Value::Int64(1)});
+  SpatialFudj plain(params);
+  SpatialFudjRefPoint refp(params);
+  const FlexibleJoin* join = ref_point
+                                 ? static_cast<const FlexibleJoin*>(&refp)
+                                 : &plain;
+  FudjRuntime runtime(cluster, join);
+  ExecStats stats;
+  FudjExecOptions options;
+  options.duplicates = dups;
+  Stopwatch sw;
+  auto out = runtime.Execute(parks, 1, fires, 1, options, &stats);
+  return FromStats(out, stats, sw.ElapsedMillis());
+}
+
+inline RunResult RunSpatialBuiltin(Cluster* cluster,
+                                   const PartitionedRelation& parks,
+                                   const PartitionedRelation& fires,
+                                   int grid_n,
+                                   SpatialLocalJoin local =
+                                       SpatialLocalJoin::kNestedLoop) {
+  BuiltinSpatialOptions options;
+  options.grid_n = grid_n;
+  options.predicate = SpatialPredicate::kContains;
+  options.local_join = local;
+  ExecStats stats;
+  Stopwatch sw;
+  auto out =
+      BuiltinSpatialJoin(cluster, parks, 1, fires, 1, options, &stats);
+  return FromStats(out, stats, sw.ElapsedMillis());
+}
+
+inline RunResult RunSpatialOnTop(Cluster* cluster,
+                                 const PartitionedRelation& parks,
+                                 const PartitionedRelation& fires) {
+  ExecStats stats;
+  Stopwatch sw;
+  auto out = OnTopNestedLoopJoin(
+      cluster, parks, fires,
+      [](const Tuple& p, const Tuple& f) {
+        return p[1].geometry().Contains(f[1].geometry());
+      },
+      &stats);
+  return FromStats(out, stats, sw.ElapsedMillis());
+}
+
+// ---------------------------------------------------------- Interval runs
+
+inline RunResult RunIntervalFudj(Cluster* cluster,
+                                 const PartitionedRelation& left,
+                                 const PartitionedRelation& right,
+                                 int buckets) {
+  IntervalFudj join(JoinParameters({Value::Int64(buckets)}));
+  FudjRuntime runtime(cluster, &join);
+  ExecStats stats;
+  FudjExecOptions options;
+  options.duplicates = DuplicateHandling::kNone;
+  Stopwatch sw;
+  auto out = runtime.Execute(left, 2, right, 2, options, &stats);
+  return FromStats(out, stats, sw.ElapsedMillis());
+}
+
+inline RunResult RunIntervalBuiltin(Cluster* cluster,
+                                    const PartitionedRelation& left,
+                                    const PartitionedRelation& right,
+                                    int buckets) {
+  BuiltinIntervalOptions options;
+  options.num_buckets = buckets;
+  ExecStats stats;
+  Stopwatch sw;
+  auto out =
+      BuiltinIntervalJoin(cluster, left, 2, right, 2, options, &stats);
+  return FromStats(out, stats, sw.ElapsedMillis());
+}
+
+inline RunResult RunIntervalOnTop(Cluster* cluster,
+                                  const PartitionedRelation& left,
+                                  const PartitionedRelation& right) {
+  ExecStats stats;
+  Stopwatch sw;
+  auto out = OnTopNestedLoopJoin(
+      cluster, left, right,
+      [](const Tuple& a, const Tuple& b) {
+        return a[2].interval().Overlaps(b[2].interval());
+      },
+      &stats);
+  return FromStats(out, stats, sw.ElapsedMillis());
+}
+
+// ----------------------------------------------------------- Text runs
+
+inline RunResult RunTextFudj(Cluster* cluster,
+                             const PartitionedRelation& left,
+                             const PartitionedRelation& right,
+                             double threshold,
+                             DuplicateHandling dups =
+                                 DuplicateHandling::kAvoidance) {
+  TextSimFudj join(JoinParameters({Value::Double(threshold)}));
+  FudjRuntime runtime(cluster, &join);
+  ExecStats stats;
+  FudjExecOptions options;
+  options.duplicates = dups;
+  Stopwatch sw;
+  auto out = runtime.Execute(left, 2, right, 2, options, &stats);
+  return FromStats(out, stats, sw.ElapsedMillis());
+}
+
+inline RunResult RunTextBuiltin(Cluster* cluster,
+                                const PartitionedRelation& left,
+                                const PartitionedRelation& right,
+                                double threshold,
+                                DuplicateHandling dups =
+                                    DuplicateHandling::kAvoidance) {
+  BuiltinTextSimOptions options;
+  options.threshold = threshold;
+  options.duplicates = dups;
+  ExecStats stats;
+  Stopwatch sw;
+  auto out =
+      BuiltinTextSimJoin(cluster, left, 2, right, 2, options, &stats);
+  return FromStats(out, stats, sw.ElapsedMillis());
+}
+
+inline RunResult RunTextOnTop(Cluster* cluster,
+                              const PartitionedRelation& left,
+                              const PartitionedRelation& right,
+                              double threshold) {
+  ExecStats stats;
+  Stopwatch sw;
+  auto out = OnTopNestedLoopJoin(
+      cluster, left, right,
+      [threshold](const Tuple& a, const Tuple& b) {
+        return JaccardSimilarity(TokenSet(a[2].str()),
+                                 TokenSet(b[2].str())) >= threshold;
+      },
+      &stats);
+  return FromStats(out, stats, sw.ElapsedMillis());
+}
+
+}  // namespace bench
+}  // namespace fudj
+
+#endif  // FUDJ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,135 @@
+// Extensibility demo: implement a BRAND NEW distributed join against the
+// public FUDJ API only — no engine or optimizer changes — register it,
+// install it with CREATE JOIN, and run queries through the full stack.
+//
+// The join: "prefix-equality join" — two strings match when their first
+// `k` characters are equal (think: grouping product codes or call signs
+// by series). The whole distributed implementation is the ~60 lines
+// below; the framework supplies summarization plumbing, the partitioning
+// plan broadcast, exchanges, bucket hash joins, and duplicate handling.
+
+#include <cstdio>
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "common/hash.h"
+#include "datagen/datagen.h"
+#include "optimizer/optimizer.h"
+
+namespace {
+
+using namespace fudj;
+
+/// No data statistics are needed: the summary is empty.
+class EmptySummary : public Summary {
+ public:
+  void Add(const Value&) override {}
+  void Merge(const Summary&) override {}
+  void Serialize(ByteWriter*) const override {}
+  Status Deserialize(ByteReader*) override { return Status::OK(); }
+};
+
+/// The plan carries only the prefix length.
+class PrefixPPlan : public PPlan {
+ public:
+  explicit PrefixPPlan(int64_t k = 1) : k_(k) {}
+  int64_t k() const { return k_; }
+  void Serialize(ByteWriter* out) const override { out->PutI64(k_); }
+  Status Deserialize(ByteReader* in) override {
+    FUDJ_ASSIGN_OR_RETURN(k_, in->GetI64());
+    return Status::OK();
+  }
+
+ private:
+  int64_t k_;
+};
+
+/// Parameters: [0] prefix length k (default 2).
+class PrefixEqualityJoin : public FlexibleJoin {
+ public:
+  explicit PrefixEqualityJoin(const JoinParameters& params)
+      : k_(params.GetInt(0, 2)) {}
+
+  std::unique_ptr<Summary> CreateSummary(JoinSide) const override {
+    return std::make_unique<EmptySummary>();
+  }
+  Result<std::unique_ptr<PPlan>> Divide(const Summary&,
+                                        const Summary&) const override {
+    return std::unique_ptr<PPlan>(std::make_unique<PrefixPPlan>(k_));
+  }
+  Result<std::unique_ptr<PPlan>> DeserializePPlan(
+      ByteReader* in) const override {
+    auto p = std::make_unique<PrefixPPlan>();
+    FUDJ_RETURN_NOT_OK(p->Deserialize(in));
+    return std::unique_ptr<PPlan>(std::move(p));
+  }
+  void Assign(const Value& key, const PPlan& plan, JoinSide,
+              std::vector<int32_t>* buckets) const override {
+    const auto& pplan = static_cast<const PrefixPPlan&>(plan);
+    const std::string& s = key.str();
+    const size_t k = std::min<size_t>(s.size(), pplan.k());
+    buckets->push_back(
+        static_cast<int32_t>(HashBytes(s.data(), k) & 0x7FFFFFFF));
+  }
+  bool Verify(const Value& k1, const Value& k2,
+              const PPlan& plan) const override {
+    const auto& pplan = static_cast<const PrefixPPlan&>(plan);
+    const std::string& a = k1.str();
+    const std::string& b = k2.str();
+    const size_t k = static_cast<size_t>(pplan.k());
+    if (a.size() < k || b.size() < k) return a == b;
+    return a.compare(0, k, b, 0, k) == 0;
+  }
+  bool MultiAssign() const override { return false; }  // single-assign
+
+ private:
+  int64_t k_;
+};
+
+}  // namespace
+
+int main() {
+  RegisterBundledJoinLibraries();
+  // "Upload" the user's library.
+  (void)JoinLibraryRegistry::Global().RegisterClass(
+      "userlib", "prefix.PrefixEqualityJoin",
+      [](const JoinParameters& p) -> std::unique_ptr<FlexibleJoin> {
+        return std::make_unique<PrefixEqualityJoin>(p);
+      });
+
+  Cluster cluster(6);
+  Catalog catalog;
+  (void)catalog.RegisterDataset(
+      "parks", PartitionedRelation::FromTuples(ParksSchema(),
+                                               GenerateParks(2000, 3), 6));
+  auto created = ExecuteSql(
+      &cluster, &catalog,
+      "CREATE JOIN prefix_join(a: string, b: string, k: int) RETURNS "
+      "boolean AS \"prefix.PrefixEqualityJoin\" AT userlib");
+  if (!created.ok()) {
+    std::fprintf(stderr, "CREATE JOIN failed: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+
+  // Self-join: parks whose tag strings start with the same 8 characters
+  // (a crude "same primary tag" matcher), excluding self-pairs.
+  auto out = ExecuteSql(
+      &cluster, &catalog,
+      "SELECT count(*) FROM parks a, parks b WHERE "
+      "prefix_join(a.tags, b.tags, 8) AND a.id <> b.id");
+  if (!out.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 out.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("park pairs sharing an 8-char tag prefix: %lld\n",
+              static_cast<long long>(out->rows[0][0].i64()));
+  std::printf("\nThe entire distributed join implementation above is "
+              "~60 lines of user code;\nthe framework provided "
+              "summarize/divide plumbing, exchanges, the bucket hash\n"
+              "join, and plan integration — the productivity story of "
+              "the paper's Table II.\n");
+  std::printf("\nstats:\n%s", out->stats.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Overlapping-interval join scenario (the paper's interval query in
+// Query 5): find taxi rides from vendor 1 that overlap in time with
+// rides from vendor 2. The Interval FUDJ overrides `match`, so the
+// optimizer must fall back to theta bucket matching — this example
+// prints the plan choice and the stage breakdown that explains the
+// paper's Fig. 10b scalability observation.
+
+#include <cstdio>
+
+#include "catalog/catalog.h"
+#include "datagen/datagen.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+
+int main() {
+  using namespace fudj;
+  RegisterBundledJoinLibraries();
+  constexpr int kWorkers = 8;
+  Cluster cluster(kWorkers);
+  Catalog catalog;
+  (void)catalog.RegisterDataset(
+      "nyctaxi", PartitionedRelation::FromTuples(
+                     TaxiSchema(), GenerateTaxiRides(3000, 9), kWorkers));
+  if (!ExecuteSql(&cluster, &catalog,
+                  "CREATE JOIN overlapping_interval(a: interval, "
+                  "b: interval) RETURNS boolean AS "
+                  "\"interval.IntervalJoin\" AT flexiblejoins "
+                  "PARAMS (1000)")
+           .ok()) {
+    return 1;
+  }
+
+  const char* kSql =
+      "SELECT count(*) FROM nyctaxi n1, nyctaxi n2 WHERE "
+      "n1.vendor = 1 AND n2.vendor = 2 AND "
+      "overlapping_interval(n1.ride_interval, n2.ride_interval)";
+
+  // Show what the optimizer decided.
+  auto query = ParseSelect(kSql);
+  if (!query.ok()) return 1;
+  auto plan = PlanQuery(*query, catalog);
+  if (!plan.ok()) return 1;
+  std::printf("optimizer decision: %s\n\n", plan->explain.c_str());
+
+  auto out = ExecuteSql(&cluster, &catalog, kSql);
+  if (!out.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 out.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("overlapping vendor-1/vendor-2 ride pairs: %lld\n\n",
+              static_cast<long long>(out->rows[0][0].i64()));
+  std::printf("stage breakdown (note the broadcast exchange forced by "
+              "the custom match):\n%s",
+              out->stats.ToString().c_str());
+  return 0;
+}

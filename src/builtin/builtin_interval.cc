@@ -1,0 +1,205 @@
+#include "builtin/builtin_interval.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "engine/exchange.h"
+#include "engine/operators.h"
+#include "geometry/plane_sweep.h"
+#include "interval/interval.h"
+
+namespace fudj {
+
+namespace {
+
+struct MinMax {
+  int64_t min_start = INT64_MAX;
+  int64_t max_end = INT64_MIN;
+};
+
+MinMax ComputeMinMax(Cluster* cluster, const PartitionedRelation& rel,
+                     int key_col, ExecStats* stats, const char* label) {
+  std::vector<MinMax> partials(rel.num_partitions());
+  cluster->RunStage(
+      label,
+      [&](int p) {
+        if (p >= rel.num_partitions()) return;
+        auto rows = rel.Materialize(p);
+        if (!rows.ok()) return;
+        for (const Tuple& t : *rows) {
+          const Interval& iv = t[key_col].interval();
+          partials[p].min_start = std::min(partials[p].min_start, iv.start);
+          partials[p].max_end = std::max(partials[p].max_end, iv.end);
+        }
+      },
+      stats);
+  MinMax global;
+  for (const MinMax& m : partials) {
+    global.min_start = std::min(global.min_start, m.min_start);
+    global.max_end = std::max(global.max_end, m.max_end);
+  }
+  cluster->ChargeNetwork(label, 16 * (rel.num_partitions() - 1),
+                         rel.num_partitions() - 1, stats);
+  return global;
+}
+
+/// Granule math shared with the FUDJ version's PPlan.
+struct Granules {
+  int64_t min_start = 0;
+  double len = 1.0;
+  int32_t n = 1;
+
+  int32_t Of(int64_t t) const {
+    auto g = static_cast<int32_t>(static_cast<double>(t - min_start) / len);
+    return std::clamp(g, 0, n - 1);
+  }
+};
+
+Result<PartitionedRelation> TagBuckets(Cluster* cluster,
+                                       const PartitionedRelation& rel,
+                                       int key_col, const Granules& granules,
+                                       ExecStats* stats, const char* label) {
+  Schema out_schema;
+  out_schema.AddField("bucket_id", ValueType::kInt64);
+  for (const Field& f : rel.schema().fields()) {
+    out_schema.AddField(f.name, f.type);
+  }
+  return TransformPartitions(
+      cluster, rel, std::move(out_schema), label,
+      [key_col, &granules](int, const std::vector<Tuple>& rows,
+                           std::vector<Tuple>* out) {
+        out->reserve(rows.size());
+        for (const Tuple& t : rows) {
+          const Interval& iv = t[key_col].interval();
+          const int32_t s = granules.Of(iv.start);
+          const int32_t e = std::max(s, granules.Of(iv.end));
+          Tuple row;
+          row.reserve(t.size() + 1);
+          row.push_back(Value::Int64(EncodeGranuleBucket(s, e)));
+          row.insert(row.end(), t.begin(), t.end());
+          out->push_back(std::move(row));
+        }
+        return Status::OK();
+      },
+      stats);
+}
+
+}  // namespace
+
+Result<PartitionedRelation> BuiltinIntervalJoin(
+    Cluster* cluster, const PartitionedRelation& left, int left_key,
+    const PartitionedRelation& right, int right_key,
+    const BuiltinIntervalOptions& options, ExecStats* stats) {
+  const MinMax l = ComputeMinMax(cluster, left, left_key, stats,
+                                 "builtin-minmax-L");
+  const MinMax r = ComputeMinMax(cluster, right, right_key, stats,
+                                 "builtin-minmax-R");
+  Granules granules;
+  granules.min_start = std::min(l.min_start, r.min_start);
+  const int64_t max_end = std::max(l.max_end, r.max_end);
+  granules.n = std::clamp(options.num_buckets, 1, 65535);
+  const double span =
+      static_cast<double>(max_end - granules.min_start) + 1.0;
+  granules.len = span > 0 ? span / granules.n : 1.0;
+
+  FUDJ_ASSIGN_OR_RETURN(PartitionedRelation l_tagged,
+                        TagBuckets(cluster, left, left_key, granules, stats,
+                                   "builtin-assign-L"));
+  FUDJ_ASSIGN_OR_RETURN(PartitionedRelation r_tagged,
+                        TagBuckets(cluster, right, right_key, granules,
+                                   stats, "builtin-assign-R"));
+
+  // Theta bucket matching: random-partition the left, broadcast the right
+  // (no theta partitioning operator exists, §VII-C).
+  FUDJ_ASSIGN_OR_RETURN(
+      PartitionedRelation l_ex,
+      RandomExchange(cluster, l_tagged, stats, "builtin-random-L"));
+  FUDJ_ASSIGN_OR_RETURN(
+      PartitionedRelation r_ex,
+      BroadcastExchange(cluster, r_tagged, stats, "builtin-broadcast-R"));
+
+  Schema out_schema;
+  {
+    Schema ls;
+    Schema rs;
+    for (int i = 1; i < l_ex.schema().num_fields(); ++i) {
+      ls.AddField(l_ex.schema().field(i).name, l_ex.schema().field(i).type);
+    }
+    for (int i = 1; i < r_ex.schema().num_fields(); ++i) {
+      rs.AddField(r_ex.schema().field(i).name, r_ex.schema().field(i).type);
+    }
+    out_schema = Schema::Concat(ls, rs);
+  }
+  const int lk = left_key + 1;
+  const int rk = right_key + 1;
+  const IntervalLocalJoin local = options.local_join;
+  return TransformPartitions(
+      cluster, l_ex, std::move(out_schema), "builtin-bucket-join",
+      [&r_ex, lk, rk, local](int p, const std::vector<Tuple>& l_rows,
+                             std::vector<Tuple>* out) -> Status {
+        FUDJ_ASSIGN_OR_RETURN(std::vector<Tuple> r_rows, r_ex.Materialize(p));
+        if (local == IntervalLocalJoin::kSortMergeSweep) {
+          // Sort-merge sweep (§VIII future work): map each interval to a
+          // degenerate 1-D rectangle and reuse the forward-scan plane
+          // sweep; bucket grouping is unnecessary within a worker.
+          std::vector<SweepEntry> l_entries;
+          std::vector<SweepEntry> r_entries;
+          l_entries.reserve(l_rows.size());
+          r_entries.reserve(r_rows.size());
+          for (size_t i = 0; i < l_rows.size(); ++i) {
+            const Interval& iv = l_rows[i][lk].interval();
+            l_entries.push_back({Rect(static_cast<double>(iv.start), 0.0,
+                                      static_cast<double>(iv.end), 0.0),
+                                 static_cast<int64_t>(i)});
+          }
+          for (size_t j = 0; j < r_rows.size(); ++j) {
+            const Interval& iv = r_rows[j][rk].interval();
+            r_entries.push_back({Rect(static_cast<double>(iv.start), 0.0,
+                                      static_cast<double>(iv.end), 0.0),
+                                 static_cast<int64_t>(j)});
+          }
+          PlaneSweepJoin(
+              std::move(l_entries), std::move(r_entries),
+              [&](int64_t i, int64_t j) {
+                const Tuple& lt = l_rows[i];
+                const Tuple& rt = r_rows[j];
+                // The sweep uses double endpoints; re-check exactly.
+                if (!lt[lk].interval().Overlaps(rt[rk].interval())) return;
+                Tuple row;
+                row.reserve(lt.size() + rt.size() - 2);
+                row.insert(row.end(), lt.begin() + 1, lt.end());
+                row.insert(row.end(), rt.begin() + 1, rt.end());
+                out->push_back(std::move(row));
+              });
+          return Status::OK();
+        }
+        std::unordered_map<int64_t, std::vector<const Tuple*>> lb;
+        std::unordered_map<int64_t, std::vector<const Tuple*>> rb;
+        for (const Tuple& t : l_rows) lb[t[0].i64()].push_back(&t);
+        for (const Tuple& t : r_rows) rb[t[0].i64()].push_back(&t);
+        for (const auto& [b1, ls] : lb) {
+          const int32_t s1 = DecodeGranuleStart(static_cast<int32_t>(b1));
+          const int32_t e1 = DecodeGranuleEnd(static_cast<int32_t>(b1));
+          for (const auto& [b2, rs] : rb) {
+            const int32_t s2 = DecodeGranuleStart(static_cast<int32_t>(b2));
+            const int32_t e2 = DecodeGranuleEnd(static_cast<int32_t>(b2));
+            if (!(s1 <= e2 && e1 >= s2)) continue;
+            for (const Tuple* lt : ls) {
+              const Interval& li = (*lt)[lk].interval();
+              for (const Tuple* rt : rs) {
+                if (!li.Overlaps((*rt)[rk].interval())) continue;
+                Tuple row;
+                row.reserve(lt->size() + rt->size() - 2);
+                row.insert(row.end(), lt->begin() + 1, lt->end());
+                row.insert(row.end(), rt->begin() + 1, rt->end());
+                out->push_back(std::move(row));
+              }
+            }
+          }
+        }
+        return Status::OK();
+      },
+      stats);
+}
+
+}  // namespace fudj

@@ -1,0 +1,41 @@
+#ifndef FUDJ_BUILTIN_BUILTIN_INTERVAL_H_
+#define FUDJ_BUILTIN_BUILTIN_INTERVAL_H_
+
+#include "engine/cluster.h"
+#include "engine/relation.h"
+
+namespace fudj {
+
+/// Local per-worker join strategy of the built-in interval operator.
+enum class IntervalLocalJoin {
+  /// Group by granule bucket, match overlapping bucket ranges, then
+  /// all-pairs within matched buckets (the default OIPJoin-style plan).
+  kBucketNestedLoop,
+  /// Sort both sides by start time and forward-scan sweep — the
+  /// sort-merge-based local join of the paper's future work (§VIII),
+  /// bypassing bucket matching entirely within a worker.
+  kSortMergeSweep,
+};
+
+/// Configuration of the built-in overlapping-interval join.
+struct BuiltinIntervalOptions {
+  /// Number of timeline granules (the paper's Fig. 9 uses 1000).
+  int num_buckets = 1000;
+  IntervalLocalJoin local_join = IntervalLocalJoin::kBucketNestedLoop;
+};
+
+/// Built-in (fused) OIPJoin-style overlapping-interval join: dedicated
+/// min/max summarize, granule assignment, and a broadcast theta bucket
+/// join on granule-range overlap — the same physical strategy the
+/// Interval FUDJ is forced into, minus framework indirection.
+///
+/// `left_key` / `right_key` are interval column indexes. Output schema:
+/// left fields ++ right fields.
+Result<PartitionedRelation> BuiltinIntervalJoin(
+    Cluster* cluster, const PartitionedRelation& left, int left_key,
+    const PartitionedRelation& right, int right_key,
+    const BuiltinIntervalOptions& options, ExecStats* stats);
+
+}  // namespace fudj
+
+#endif  // FUDJ_BUILTIN_BUILTIN_INTERVAL_H_

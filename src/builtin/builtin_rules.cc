@@ -1,0 +1,59 @@
+#include "builtin/builtin_rules.h"
+
+namespace fudj {
+
+BuiltinRuleRegistry& BuiltinRuleRegistry::Global() {
+  static auto& registry = *new BuiltinRuleRegistry();
+  return registry;
+}
+
+void BuiltinRuleRegistry::Register(const std::string& class_name,
+                                   BuiltinRuleFn rule) {
+  for (auto& [name, fn] : rules_) {
+    if (name == class_name) {
+      fn = std::move(rule);
+      return;
+    }
+  }
+  rules_.emplace_back(class_name, std::move(rule));
+}
+
+const BuiltinRuleFn* BuiltinRuleRegistry::Find(
+    const std::string& class_name) const {
+  for (const auto& [name, fn] : rules_) {
+    if (name == class_name) return &fn;
+  }
+  return nullptr;
+}
+
+void RegisterBuiltinOperatorRules() {
+  static const bool registered = [] {
+    RegisterBuiltinSpatialRule();
+    RegisterBuiltinIntervalRule();
+    RegisterBuiltinTextSimRule();
+    return true;
+  }();
+  (void)registered;
+}
+
+Result<PartitionedRelation> ExecuteBuiltinJoin(
+    Cluster* cluster, const BuiltinJoinChoice& choice,
+    const PartitionedRelation& left, const PartitionedRelation& right,
+    ExecStats* stats) {
+  switch (choice.kind) {
+    case BuiltinJoinKind::kSpatial:
+      return BuiltinSpatialJoin(cluster, left, choice.left_key_col, right,
+                                choice.right_key_col, choice.spatial,
+                                stats);
+    case BuiltinJoinKind::kInterval:
+      return BuiltinIntervalJoin(cluster, left, choice.left_key_col, right,
+                                 choice.right_key_col, choice.interval,
+                                 stats);
+    case BuiltinJoinKind::kTextSim:
+      return BuiltinTextSimJoin(cluster, left, choice.left_key_col, right,
+                                choice.right_key_col, choice.text, stats);
+  }
+  return Status::Internal("unknown builtin join kind");
+}
+
+}  // namespace fudj

@@ -1,0 +1,201 @@
+#include "builtin/builtin_spatial.h"
+
+#include <atomic>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "engine/exchange.h"
+#include "engine/operators.h"
+#include "geometry/grid.h"
+#include "geometry/plane_sweep.h"
+
+namespace fudj {
+
+namespace {
+
+/// Fused summarize: per-partition MBR union, merged on the coordinator.
+/// Summaries are 4 doubles; the coordinator gather is charged like the
+/// FUDJ path so the comparison isolates framework overhead, not model
+/// differences.
+Rect ComputeMbr(Cluster* cluster, const PartitionedRelation& rel,
+                int key_col, ExecStats* stats, const char* label) {
+  std::vector<Rect> partials(rel.num_partitions());
+  cluster->RunStage(
+      label,
+      [&](int p) {
+        if (p >= rel.num_partitions()) return;
+        auto rows = rel.Materialize(p);
+        if (!rows.ok()) return;
+        Rect mbr;
+        for (const Tuple& t : *rows) mbr.Expand(t[key_col].geometry().Mbr());
+        partials[p] = mbr;
+      },
+      stats);
+  Rect global;
+  for (const Rect& r : partials) global.Expand(r);
+  cluster->ChargeNetwork(label, 33 * (rel.num_partitions() - 1),
+                         rel.num_partitions() - 1, stats);
+  return global;
+}
+
+/// Tags each record with the tiles its MBR overlaps: output rows are
+/// (tile_id:int64, original fields...).
+Result<PartitionedRelation> AssignTiles(Cluster* cluster,
+                                        const PartitionedRelation& rel,
+                                        int key_col, const UniformGrid& grid,
+                                        ExecStats* stats,
+                                        const char* label) {
+  Schema out_schema;
+  out_schema.AddField("tile_id", ValueType::kInt64);
+  for (const Field& f : rel.schema().fields()) {
+    out_schema.AddField(f.name, f.type);
+  }
+  return TransformPartitions(
+      cluster, rel, std::move(out_schema), label,
+      [key_col, &grid](int, const std::vector<Tuple>& rows,
+                       std::vector<Tuple>* out) {
+        std::vector<int32_t> tiles;
+        for (const Tuple& t : rows) {
+          tiles.clear();
+          grid.OverlappingTiles(t[key_col].geometry().Mbr(), &tiles);
+          for (const int32_t tile : tiles) {
+            Tuple row;
+            row.reserve(t.size() + 1);
+            row.push_back(Value::Int64(tile));
+            row.insert(row.end(), t.begin(), t.end());
+            out->push_back(std::move(row));
+          }
+        }
+        return Status::OK();
+      },
+      stats);
+}
+
+bool EvalPredicate(SpatialPredicate pred, const Geometry& a,
+                   const Geometry& b) {
+  switch (pred) {
+    case SpatialPredicate::kIntersects:
+      return a.Intersects(b);
+    case SpatialPredicate::kContains:
+      return a.Contains(b);
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<PartitionedRelation> BuiltinSpatialJoin(
+    Cluster* cluster, const PartitionedRelation& left, int left_key,
+    const PartitionedRelation& right, int right_key,
+    const BuiltinSpatialOptions& options, ExecStats* stats) {
+  // SUMMARIZE + DIVIDE, fused.
+  const Rect l_mbr = ComputeMbr(cluster, left, left_key, stats,
+                                "builtin-mbr-L");
+  const Rect r_mbr = ComputeMbr(cluster, right, right_key, stats,
+                                "builtin-mbr-R");
+  const UniformGrid grid(l_mbr.Intersection(r_mbr),
+                         options.grid_n < 1 ? 1 : options.grid_n);
+
+  // PARTITION: tile tagging + hash shuffle on tile id.
+  FUDJ_ASSIGN_OR_RETURN(PartitionedRelation l_tiles,
+                        AssignTiles(cluster, left, left_key, grid, stats,
+                                    "builtin-assign-L"));
+  FUDJ_ASSIGN_OR_RETURN(PartitionedRelation r_tiles,
+                        AssignTiles(cluster, right, right_key, grid, stats,
+                                    "builtin-assign-R"));
+  auto tile_hash = [](const Tuple& t) {
+    return Mix64(static_cast<uint64_t>(t[0].i64()));
+  };
+  FUDJ_ASSIGN_OR_RETURN(PartitionedRelation l_ex,
+                        HashExchange(cluster, l_tiles, tile_hash, stats,
+                                     "builtin-exchange-L"));
+  FUDJ_ASSIGN_OR_RETURN(PartitionedRelation r_ex,
+                        HashExchange(cluster, r_tiles, tile_hash, stats,
+                                     "builtin-exchange-R"));
+
+  // JOIN: per-worker, group rows by tile, join tile-by-tile with
+  // reference-point duplicate avoidance.
+  Schema out_schema;
+  {
+    Schema l_schema;
+    Schema r_schema;
+    for (int i = 1; i < l_ex.schema().num_fields(); ++i) {
+      l_schema.AddField(l_ex.schema().field(i).name,
+                        l_ex.schema().field(i).type);
+    }
+    for (int i = 1; i < r_ex.schema().num_fields(); ++i) {
+      r_schema.AddField(r_ex.schema().field(i).name,
+                        r_ex.schema().field(i).type);
+    }
+    out_schema = Schema::Concat(l_schema, r_schema);
+  }
+  const int lk = left_key + 1;
+  const int rk = right_key + 1;
+  const SpatialPredicate pred = options.predicate;
+  const SpatialLocalJoin local = options.local_join;
+  return TransformPartitions(
+      cluster, l_ex, std::move(out_schema), "builtin-tile-join",
+      [&r_ex, &grid, lk, rk, pred, local](
+          int p, const std::vector<Tuple>& l_rows,
+          std::vector<Tuple>* out) -> Status {
+        FUDJ_ASSIGN_OR_RETURN(std::vector<Tuple> r_rows, r_ex.Materialize(p));
+        std::unordered_map<int64_t, std::vector<const Tuple*>> l_by_tile;
+        std::unordered_map<int64_t, std::vector<const Tuple*>> r_by_tile;
+        for (const Tuple& t : l_rows) l_by_tile[t[0].i64()].push_back(&t);
+        for (const Tuple& t : r_rows) r_by_tile[t[0].i64()].push_back(&t);
+
+        auto emit_pair = [&](const Tuple& l, const Tuple& r,
+                             int32_t tile) {
+          const Geometry& gl = l[lk].geometry();
+          const Geometry& gr = r[rk].geometry();
+          // Reference-point duplicate avoidance: report only in the tile
+          // holding the bottom-left corner of the MBR overlap.
+          const Rect overlap = gl.Mbr().Intersection(gr.Mbr());
+          if (overlap.empty()) return;
+          if (grid.TileOf({overlap.min_x, overlap.min_y}) != tile) return;
+          if (!EvalPredicate(pred, gl, gr)) return;
+          Tuple row;
+          row.reserve(l.size() + r.size() - 2);
+          row.insert(row.end(), l.begin() + 1, l.end());
+          row.insert(row.end(), r.begin() + 1, r.end());
+          out->push_back(std::move(row));
+        };
+
+        for (const auto& [tile, ls] : l_by_tile) {
+          auto rit = r_by_tile.find(tile);
+          if (rit == r_by_tile.end()) continue;
+          const auto& rs = rit->second;
+          if (local == SpatialLocalJoin::kPlaneSweep) {
+            std::vector<SweepEntry> l_entries;
+            std::vector<SweepEntry> r_entries;
+            l_entries.reserve(ls.size());
+            r_entries.reserve(rs.size());
+            for (size_t i = 0; i < ls.size(); ++i) {
+              l_entries.push_back(
+                  {(*ls[i])[lk].geometry().Mbr(), static_cast<int64_t>(i)});
+            }
+            for (size_t j = 0; j < rs.size(); ++j) {
+              r_entries.push_back(
+                  {(*rs[j])[rk].geometry().Mbr(), static_cast<int64_t>(j)});
+            }
+            PlaneSweepJoin(std::move(l_entries), std::move(r_entries),
+                           [&](int64_t i, int64_t j) {
+                             emit_pair(*ls[i], *rs[j],
+                                       static_cast<int32_t>(tile));
+                           });
+          } else {
+            for (const Tuple* l : ls) {
+              const Rect l_mbr = (*l)[lk].geometry().Mbr();
+              for (const Tuple* r : rs) {
+                if (!l_mbr.Intersects((*r)[rk].geometry().Mbr())) continue;
+                emit_pair(*l, *r, static_cast<int32_t>(tile));
+              }
+            }
+          }
+        }
+        return Status::OK();
+      },
+      stats);
+}
+
+}  // namespace fudj

@@ -1,0 +1,310 @@
+#include "builtin/builtin_textsim.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "engine/exchange.h"
+#include "engine/operators.h"
+#include "text/jaccard.h"
+#include "text/tokenizer.h"
+
+namespace fudj {
+
+namespace {
+
+/// Fused global token ranking: count tokens on every partition of both
+/// inputs, merge on the coordinator, rank ascending by count.
+std::unordered_map<std::string, int32_t> ComputeTokenRanks(
+    Cluster* cluster, const PartitionedRelation& left, int left_key,
+    const PartitionedRelation& right, int right_key, ExecStats* stats) {
+  auto count_side = [&](const PartitionedRelation& rel, int key,
+                        const char* label,
+                        std::unordered_map<std::string, int64_t>* counts) {
+    std::vector<std::unordered_map<std::string, int64_t>> partials(
+        rel.num_partitions());
+    cluster->RunStage(
+        label,
+        [&](int p) {
+          if (p >= rel.num_partitions()) return;
+          auto rows = rel.Materialize(p);
+          if (!rows.ok()) return;
+          for (const Tuple& t : *rows) {
+            for (const std::string& token : Tokenize(t[key].str())) {
+              ++partials[p][token];
+            }
+          }
+        },
+        stats);
+    int64_t bytes = 0;
+    for (int p = 0; p < rel.num_partitions(); ++p) {
+      for (const auto& [token, c] : partials[p]) {
+        (*counts)[token] += c;
+        if (p != 0) bytes += static_cast<int64_t>(token.size()) + 9;
+      }
+    }
+    cluster->ChargeNetwork(label, bytes, rel.num_partitions() - 1, stats);
+  };
+  std::unordered_map<std::string, int64_t> counts;
+  count_side(left, left_key, "builtin-count-L", &counts);
+  if (&left != &right) {
+    count_side(right, right_key, "builtin-count-R", &counts);
+  }
+  std::vector<std::pair<std::string, int64_t>> by_count(counts.begin(),
+                                                        counts.end());
+  std::sort(by_count.begin(), by_count.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  std::unordered_map<std::string, int32_t> ranks;
+  ranks.reserve(by_count.size());
+  for (size_t i = 0; i < by_count.size(); ++i) {
+    ranks[by_count[i].first] = static_cast<int32_t>(i);
+  }
+  return ranks;
+}
+
+std::string EncodeRanks(const std::vector<int32_t>& ranks) {
+  std::string s;
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    if (i > 0) s += ' ';
+    s += std::to_string(ranks[i]);
+  }
+  return s;
+}
+
+std::vector<int32_t> DecodeRanks(const std::string& s) {
+  std::vector<int32_t> out;
+  int32_t cur = 0;
+  bool have = false;
+  for (const char ch : s) {
+    if (ch == ' ') {
+      if (have) out.push_back(cur);
+      cur = 0;
+      have = false;
+    } else {
+      cur = cur * 10 + (ch - '0');
+      have = true;
+    }
+  }
+  if (have) out.push_back(cur);
+  return out;
+}
+
+/// Prefix-tags each record: output rows are
+/// (bucket_id:int64, ranks:string, original fields...). The sorted rank
+/// list is carried through the shuffle so verification never
+/// re-tokenizes.
+Result<PartitionedRelation> PrefixAssign(
+    Cluster* cluster, const PartitionedRelation& rel, int key_col,
+    const std::unordered_map<std::string, int32_t>& ranks, double threshold,
+    ExecStats* stats, const char* label) {
+  Schema out_schema;
+  out_schema.AddField("bucket_id", ValueType::kInt64);
+  out_schema.AddField("ranks", ValueType::kString);
+  for (const Field& f : rel.schema().fields()) {
+    out_schema.AddField(f.name, f.type);
+  }
+  const auto fallback = static_cast<int32_t>(ranks.size());
+  return TransformPartitions(
+      cluster, rel, std::move(out_schema), label,
+      [key_col, &ranks, threshold, fallback](
+          int, const std::vector<Tuple>& rows, std::vector<Tuple>* out) {
+        for (const Tuple& t : rows) {
+          const std::vector<std::string> tokens = TokenSet(t[key_col].str());
+          if (tokens.empty()) continue;
+          std::vector<int32_t> rs;
+          rs.reserve(tokens.size());
+          for (const std::string& token : tokens) {
+            auto it = ranks.find(token);
+            rs.push_back(it == ranks.end() ? fallback : it->second);
+          }
+          std::sort(rs.begin(), rs.end());
+          const std::string encoded = EncodeRanks(rs);
+          const size_t prefix = JaccardPrefixLength(rs.size(), threshold);
+          for (size_t i = 0; i < prefix; ++i) {
+            Tuple row;
+            row.reserve(t.size() + 2);
+            row.push_back(Value::Int64(rs[i]));
+            row.push_back(Value::String(encoded));
+            row.insert(row.end(), t.begin(), t.end());
+            out->push_back(std::move(row));
+          }
+        }
+        return Status::OK();
+      },
+      stats);
+}
+
+/// Jaccard over two sorted unique rank lists.
+double RankJaccard(const std::vector<int32_t>& a,
+                   const std::vector<int32_t>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = a.size() + b.size() - common;
+  return uni == 0 ? 1.0 : static_cast<double>(common) / uni;
+}
+
+/// Smallest rank common to both *prefixes*, or -1.
+int32_t FirstCommonPrefixRank(const std::vector<int32_t>& a, size_t pa,
+                              const std::vector<int32_t>& b, size_t pb) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < pa && j < pb) {
+    if (a[i] == b[j]) return a[i];
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+Result<PartitionedRelation> BuiltinTextSimJoin(
+    Cluster* cluster, const PartitionedRelation& left, int left_key,
+    const PartitionedRelation& right, int right_key,
+    const BuiltinTextSimOptions& options, ExecStats* stats) {
+  const std::unordered_map<std::string, int32_t> ranks =
+      ComputeTokenRanks(cluster, left, left_key, right, right_key, stats);
+
+  FUDJ_ASSIGN_OR_RETURN(
+      PartitionedRelation l_tagged,
+      PrefixAssign(cluster, left, left_key, ranks, options.threshold, stats,
+                   "builtin-prefix-L"));
+  FUDJ_ASSIGN_OR_RETURN(
+      PartitionedRelation r_tagged,
+      PrefixAssign(cluster, right, right_key, ranks, options.threshold,
+                   stats, "builtin-prefix-R"));
+  auto bucket_hash = [](const Tuple& t) {
+    return Mix64(static_cast<uint64_t>(t[0].i64()));
+  };
+  FUDJ_ASSIGN_OR_RETURN(PartitionedRelation l_ex,
+                        HashExchange(cluster, l_tagged, bucket_hash, stats,
+                                     "builtin-exchange-L"));
+  FUDJ_ASSIGN_OR_RETURN(PartitionedRelation r_ex,
+                        HashExchange(cluster, r_tagged, bucket_hash, stats,
+                                     "builtin-exchange-R"));
+
+  Schema out_schema;
+  {
+    Schema ls;
+    Schema rs;
+    for (int i = 2; i < l_ex.schema().num_fields(); ++i) {
+      ls.AddField(l_ex.schema().field(i).name, l_ex.schema().field(i).type);
+    }
+    for (int i = 2; i < r_ex.schema().num_fields(); ++i) {
+      rs.AddField(r_ex.schema().field(i).name, r_ex.schema().field(i).type);
+    }
+    out_schema = Schema::Concat(ls, rs);
+  }
+  const double threshold = options.threshold;
+  const bool avoidance =
+      options.duplicates == DuplicateHandling::kAvoidance;
+  FUDJ_ASSIGN_OR_RETURN(
+      PartitionedRelation joined,
+      TransformPartitions(
+          cluster, l_ex, out_schema, "builtin-bucket-join",
+          [&r_ex, threshold, avoidance](int p,
+                                        const std::vector<Tuple>& l_rows,
+                                        std::vector<Tuple>* out) -> Status {
+            FUDJ_ASSIGN_OR_RETURN(std::vector<Tuple> r_rows,
+                                  r_ex.Materialize(p));
+            // Decode each row's rank list once.
+            std::vector<std::vector<int32_t>> l_ranks(l_rows.size());
+            std::vector<std::vector<int32_t>> r_ranks(r_rows.size());
+            for (size_t i = 0; i < l_rows.size(); ++i) {
+              l_ranks[i] = DecodeRanks(l_rows[i][1].str());
+            }
+            for (size_t j = 0; j < r_rows.size(); ++j) {
+              r_ranks[j] = DecodeRanks(r_rows[j][1].str());
+            }
+            std::unordered_map<int64_t, std::vector<size_t>> r_by_bucket;
+            for (size_t j = 0; j < r_rows.size(); ++j) {
+              r_by_bucket[r_rows[j][0].i64()].push_back(j);
+            }
+            for (size_t i = 0; i < l_rows.size(); ++i) {
+              const int64_t bucket = l_rows[i][0].i64();
+              auto it = r_by_bucket.find(bucket);
+              if (it == r_by_bucket.end()) continue;
+              for (const size_t j : it->second) {
+                const auto& a = l_ranks[i];
+                const auto& b = r_ranks[j];
+                if (!JaccardLengthFilter(a.size(), b.size(), threshold)) {
+                  continue;
+                }
+                if (avoidance) {
+                  const size_t pa = JaccardPrefixLength(a.size(), threshold);
+                  const size_t pb = JaccardPrefixLength(b.size(), threshold);
+                  if (FirstCommonPrefixRank(a, pa, b, pb) !=
+                      static_cast<int32_t>(bucket)) {
+                    continue;
+                  }
+                }
+                if (RankJaccard(a, b) < threshold) continue;
+                Tuple row;
+                row.reserve(l_rows[i].size() + r_rows[j].size() - 4);
+                row.insert(row.end(), l_rows[i].begin() + 2,
+                           l_rows[i].end());
+                row.insert(row.end(), r_rows[j].begin() + 2,
+                           r_rows[j].end());
+                out->push_back(std::move(row));
+              }
+            }
+            return Status::OK();
+          },
+          stats));
+
+  if (options.duplicates == DuplicateHandling::kElimination) {
+    FUDJ_ASSIGN_OR_RETURN(
+        PartitionedRelation shuffled,
+        HashExchange(
+            cluster, joined,
+            [](const Tuple& t) {
+              std::vector<int> all(t.size());
+              for (size_t i = 0; i < t.size(); ++i) {
+                all[i] = static_cast<int>(i);
+              }
+              return HashTupleColumns(t, all);
+            },
+            stats, "builtin-dedup-exchange"));
+    FUDJ_ASSIGN_OR_RETURN(
+        joined, TransformPartitions(
+                    cluster, shuffled, out_schema, "builtin-dedup",
+                    [](int, const std::vector<Tuple>& rows,
+                       std::vector<Tuple>* out) {
+                      std::unordered_set<std::string> seen;
+                      for (const Tuple& t : rows) {
+                        ByteWriter w;
+                        SerializeTuple(t, &w);
+                        std::string key(
+                            reinterpret_cast<const char*>(w.data()),
+                            w.size());
+                        if (seen.insert(std::move(key)).second) {
+                          out->push_back(t);
+                        }
+                      }
+                      return Status::OK();
+                    },
+                    stats));
+  }
+  return joined;
+}
+
+}  // namespace fudj

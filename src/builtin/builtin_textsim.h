@@ -1,0 +1,34 @@
+#ifndef FUDJ_BUILTIN_BUILTIN_TEXTSIM_H_
+#define FUDJ_BUILTIN_BUILTIN_TEXTSIM_H_
+
+#include "engine/cluster.h"
+#include "engine/relation.h"
+#include "fudj/flexible_join.h"  // DuplicateHandling
+
+namespace fudj {
+
+/// Configuration of the built-in set-similarity join.
+struct BuiltinTextSimOptions {
+  double threshold = 0.9;
+  /// The original study (Vernica et al.) used Elimination; the paper's
+  /// FUDJ default is Avoidance (§VII-E compares both).
+  DuplicateHandling duplicates = DuplicateHandling::kAvoidance;
+};
+
+/// Built-in (fused) exact set-similarity join with global token ordering
+/// and prefix filtering: dedicated token-count summarize, rank
+/// assignment, hash shuffle on token rank, and per-bucket Jaccard
+/// verification. Token sets are computed once per record and carried
+/// through the shuffle, which is the fused operator's edge over the FUDJ
+/// version (re-tokenization at verify, the 0.061 ms/record of §VII-B).
+///
+/// `left_key` / `right_key` are string column indexes. Output: left ++
+/// right fields.
+Result<PartitionedRelation> BuiltinTextSimJoin(
+    Cluster* cluster, const PartitionedRelation& left, int left_key,
+    const PartitionedRelation& right, int right_key,
+    const BuiltinTextSimOptions& options, ExecStats* stats);
+
+}  // namespace fudj
+
+#endif  // FUDJ_BUILTIN_BUILTIN_TEXTSIM_H_

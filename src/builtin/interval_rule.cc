@@ -1,0 +1,42 @@
+// Planner integration of the built-in (fused) overlapping-interval join:
+// recognizes `CREATE JOIN ... AS "interval.NativeIntervalJoin" AT
+// builtinops` and plans the fused OIPJoin-style operator. The per-join
+// integration cost counted by Table II alongside builtin_interval.cc.
+
+#include "builtin/builtin_rules.h"
+#include "fudj/join_registry.h"
+#include "joins/interval_fudj.h"
+
+namespace fudj {
+
+namespace {
+
+constexpr char kClassName[] = "interval.NativeIntervalJoin";
+
+/// Parameters: [0] number of timeline granules (default 1000).
+bool PlanNativeIntervalJoin(const std::vector<Value>& params,
+                            BuiltinJoinChoice* choice) {
+  choice->kind = BuiltinJoinKind::kInterval;
+  choice->name = kClassName;
+  choice->interval.num_buckets = 1000;
+  if (!params.empty()) {
+    auto n = params[0].AsDouble();
+    if (!n.ok() || *n < 1) return false;
+    choice->interval.num_buckets = static_cast<int>(*n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void RegisterBuiltinIntervalRule() {
+  BuiltinRuleRegistry::Global().Register(kClassName,
+                                         PlanNativeIntervalJoin);
+  (void)JoinLibraryRegistry::Global().RegisterClass(
+      kBuiltinOpsLibrary, kClassName,
+      [](const JoinParameters& p) -> std::unique_ptr<FlexibleJoin> {
+        return std::make_unique<IntervalFudj>(p);
+      });
+}
+
+}  // namespace fudj

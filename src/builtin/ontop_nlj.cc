@@ -1,0 +1,33 @@
+#include "builtin/ontop_nlj.h"
+
+#include "engine/exchange.h"
+#include "engine/operators.h"
+
+namespace fudj {
+
+Result<PartitionedRelation> OnTopNestedLoopJoin(
+    Cluster* cluster, const PartitionedRelation& left,
+    const PartitionedRelation& right,
+    const std::function<bool(const Tuple&, const Tuple&)>& udf,
+    ExecStats* stats) {
+  FUDJ_ASSIGN_OR_RETURN(
+      PartitionedRelation right_bcast,
+      BroadcastExchange(cluster, right, stats, "nlj-broadcast"));
+  Schema out_schema = Schema::Concat(left.schema(), right.schema());
+  return TransformPartitions(
+      cluster, left, std::move(out_schema), "nlj-probe",
+      [&right_bcast, &udf](int p, const std::vector<Tuple>& l_rows,
+                           std::vector<Tuple>* out) -> Status {
+        FUDJ_ASSIGN_OR_RETURN(std::vector<Tuple> r_rows,
+                              right_bcast.Materialize(p));
+        for (const Tuple& l : l_rows) {
+          for (const Tuple& r : r_rows) {
+            if (udf(l, r)) out->push_back(ConcatTuples(l, r));
+          }
+        }
+        return Status::OK();
+      },
+      stats);
+}
+
+}  // namespace fudj

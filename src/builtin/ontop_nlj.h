@@ -1,0 +1,26 @@
+#ifndef FUDJ_BUILTIN_ONTOP_NLJ_H_
+#define FUDJ_BUILTIN_ONTOP_NLJ_H_
+
+#include <functional>
+
+#include "engine/cluster.h"
+#include "engine/relation.h"
+
+namespace fudj {
+
+/// The "on-top" baseline (§I): the join predicate is a scalar UDF and the
+/// engine can only run a distributed nested-loop join — the right side is
+/// broadcast to every worker and each worker loops over its left
+/// partition x the whole right side. This is what AsterixDB does for
+/// Query 5's predicates without FUDJ.
+///
+/// `udf` receives full tuples of both sides. Output: left ++ right.
+Result<PartitionedRelation> OnTopNestedLoopJoin(
+    Cluster* cluster, const PartitionedRelation& left,
+    const PartitionedRelation& right,
+    const std::function<bool(const Tuple&, const Tuple&)>& udf,
+    ExecStats* stats);
+
+}  // namespace fudj
+
+#endif  // FUDJ_BUILTIN_ONTOP_NLJ_H_

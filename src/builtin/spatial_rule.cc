@@ -1,0 +1,66 @@
+// Planner integration of the built-in (fused) spatial join: the rewrite
+// rule that recognizes `CREATE JOIN ... AS "spatial.NativeSpatialJoin"
+// AT builtinops` definitions and plans the fused PBSM operator, plus the
+// library-class registration CREATE JOIN validates against.
+//
+// Everything in this file is what a DBMS developer writes *in addition
+// to* the fused operator (builtin_spatial.cc) to integrate one new
+// built-in join — the integration cost Table II compares against FUDJ.
+
+#include "builtin/builtin_rules.h"
+#include "fudj/join_registry.h"
+#include "joins/spatial_fudj.h"
+
+namespace fudj {
+
+namespace {
+
+constexpr char kClassName[] = "spatial.NativeSpatialJoin";
+
+/// Parameters: [0] grid side n (default 1200), [1] predicate
+/// (0 = intersects, 1 = contains), [2] local join
+/// (0 = per-tile nested loop, 1 = plane sweep).
+bool PlanNativeSpatialJoin(const std::vector<Value>& params,
+                           BuiltinJoinChoice* choice) {
+  choice->kind = BuiltinJoinKind::kSpatial;
+  choice->name = kClassName;
+  BuiltinSpatialOptions& opts = choice->spatial;
+  opts.grid_n = 1200;
+  opts.predicate = SpatialPredicate::kIntersects;
+  opts.local_join = SpatialLocalJoin::kNestedLoop;
+  if (!params.empty()) {
+    auto n = params[0].AsDouble();
+    if (!n.ok() || *n < 1) return false;
+    opts.grid_n = static_cast<int>(*n);
+  }
+  if (params.size() >= 2) {
+    auto mode = params[1].AsDouble();
+    if (!mode.ok()) return false;
+    opts.predicate = *mode == 1 ? SpatialPredicate::kContains
+                                : SpatialPredicate::kIntersects;
+  }
+  if (params.size() >= 3) {
+    auto local = params[2].AsDouble();
+    if (!local.ok()) return false;
+    opts.local_join = *local == 1 ? SpatialLocalJoin::kPlaneSweep
+                                  : SpatialLocalJoin::kNestedLoop;
+  }
+  return true;
+}
+
+}  // namespace
+
+void RegisterBuiltinSpatialRule() {
+  BuiltinRuleRegistry::Global().Register(kClassName, PlanNativeSpatialJoin);
+  // The library class CREATE JOIN validates against. The factory yields
+  // the FUDJ twin so non-planner callers (e.g. Catalog::InstantiateJoin)
+  // still get a working join; the planner rule above intercepts queries
+  // before this fallback is reached.
+  (void)JoinLibraryRegistry::Global().RegisterClass(
+      kBuiltinOpsLibrary, kClassName,
+      [](const JoinParameters& p) -> std::unique_ptr<FlexibleJoin> {
+        return std::make_unique<SpatialFudj>(p);
+      });
+}
+
+}  // namespace fudj

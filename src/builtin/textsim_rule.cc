@@ -1,0 +1,52 @@
+// Planner integration of the built-in (fused) set-similarity join:
+// recognizes `CREATE JOIN ... AS "setsimilarity.NativeSetSimilarityJoin"
+// AT builtinops` and plans the fused prefix-filtering operator. The
+// per-join integration cost counted by Table II alongside
+// builtin_textsim.cc.
+
+#include "builtin/builtin_rules.h"
+#include "fudj/join_registry.h"
+#include "joins/textsim_fudj.h"
+
+namespace fudj {
+
+namespace {
+
+constexpr char kClassName[] = "setsimilarity.NativeSetSimilarityJoin";
+
+/// Parameters: [0] Jaccard threshold (default 0.9); [1] duplicate
+/// handling (0 = avoidance, 1 = elimination, matching the original
+/// study's method).
+bool PlanNativeSetSimilarityJoin(const std::vector<Value>& params,
+                                 BuiltinJoinChoice* choice) {
+  choice->kind = BuiltinJoinKind::kTextSim;
+  choice->name = kClassName;
+  choice->text.threshold = 0.9;
+  choice->text.duplicates = DuplicateHandling::kAvoidance;
+  if (!params.empty()) {
+    auto t = params[0].AsDouble();
+    if (!t.ok() || *t <= 0.0 || *t > 1.0) return false;
+    choice->text.threshold = *t;
+  }
+  if (params.size() >= 2) {
+    auto mode = params[1].AsDouble();
+    if (!mode.ok()) return false;
+    choice->text.duplicates = *mode == 1 ? DuplicateHandling::kElimination
+                                         : DuplicateHandling::kAvoidance;
+  }
+  return true;
+}
+
+}  // namespace
+
+void RegisterBuiltinTextSimRule() {
+  BuiltinRuleRegistry::Global().Register(kClassName,
+                                         PlanNativeSetSimilarityJoin);
+  (void)JoinLibraryRegistry::Global().RegisterClass(
+      kBuiltinOpsLibrary, kClassName,
+      [](const JoinParameters& p) -> std::unique_ptr<FlexibleJoin> {
+        return std::make_unique<TextSimFudj>(p);
+      });
+}
+
+}  // namespace fudj

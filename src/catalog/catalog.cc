@@ -1,0 +1,93 @@
+#include "catalog/catalog.h"
+
+namespace fudj {
+
+Status Catalog::RegisterDataset(const std::string& name,
+                                PartitionedRelation rel) {
+  if (datasets_.count(name) > 0) {
+    return Status::AlreadyExists("dataset '" + name + "' already exists");
+  }
+  datasets_.emplace(name, std::move(rel));
+  return Status::OK();
+}
+
+Status Catalog::DropDataset(const std::string& name) {
+  if (datasets_.erase(name) == 0) {
+    return Status::NotFound("no dataset named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+Result<const PartitionedRelation*> Catalog::GetDataset(
+    const std::string& name) const {
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no dataset named '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::ListDatasets() const {
+  std::vector<std::string> names;
+  for (const auto& [name, rel] : datasets_) names.push_back(name);
+  return names;
+}
+
+Status Catalog::CreateJoin(JoinDefinition def) {
+  if (joins_.count(def.name) > 0) {
+    return Status::AlreadyExists("join '" + def.name + "' already exists");
+  }
+  if (def.param_types.size() < 2) {
+    return Status::InvalidArgument(
+        "a join signature needs at least two key parameters");
+  }
+  // Validate that the library class resolves (the paper registers the
+  // proxy UDF signatures at CREATE JOIN time; a missing class must fail
+  // here, not at query time).
+  FUDJ_ASSIGN_OR_RETURN(FlexibleJoinFactory factory,
+                        JoinLibraryRegistry::Global().Lookup(
+                            def.library, def.class_name));
+  (void)factory;
+  joins_.emplace(def.name, std::move(def));
+  return Status::OK();
+}
+
+Status Catalog::DropJoin(const std::string& name) {
+  if (joins_.erase(name) == 0) {
+    return Status::NotFound("no join named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+bool Catalog::HasJoin(const std::string& name) const {
+  return joins_.count(name) > 0;
+}
+
+Result<const JoinDefinition*> Catalog::GetJoin(
+    const std::string& name) const {
+  auto it = joins_.find(name);
+  if (it == joins_.end()) {
+    return Status::NotFound("no join named '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::ListJoins() const {
+  std::vector<std::string> names;
+  for (const auto& [name, def] : joins_) names.push_back(name);
+  return names;
+}
+
+Result<std::unique_ptr<FlexibleJoin>> Catalog::InstantiateJoin(
+    const std::string& name, const std::vector<Value>& call_params) const {
+  FUDJ_ASSIGN_OR_RETURN(const JoinDefinition* def, GetJoin(name));
+  FUDJ_ASSIGN_OR_RETURN(FlexibleJoinFactory factory,
+                        JoinLibraryRegistry::Global().Lookup(
+                            def->library, def->class_name));
+  std::vector<Value> params = call_params;
+  params.insert(params.end(), def->bound_params.begin(),
+                def->bound_params.end());
+  return factory(JoinParameters(std::move(params)));
+}
+
+}  // namespace fudj

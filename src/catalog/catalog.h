@@ -1,0 +1,62 @@
+#ifndef FUDJ_CATALOG_CATALOG_H_
+#define FUDJ_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/relation.h"
+#include "fudj/join_registry.h"
+
+namespace fudj {
+
+/// Metadata recorded by a CREATE JOIN statement (§VI-A): the join's SQL
+/// name and signature, the external library/class implementing it, and
+/// any creation-time constant parameters (our `PARAMS (...)` extension,
+/// e.g. grid size for a spatial join whose call sites pass only keys).
+struct JoinDefinition {
+  std::string name;
+  std::vector<ValueType> param_types;  // key1, key2, call-site extras...
+  std::string library;
+  std::string class_name;
+  std::vector<Value> bound_params;  // appended after call-site extras
+};
+
+/// System catalog: named datasets plus installed user-defined joins.
+/// The optimizer consults `GetJoin` to detect FUDJ predicates (§VI-C).
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Datasets --------------------------------------------------------------
+  Status RegisterDataset(const std::string& name, PartitionedRelation rel);
+  Status DropDataset(const std::string& name);
+  Result<const PartitionedRelation*> GetDataset(
+      const std::string& name) const;
+  std::vector<std::string> ListDatasets() const;
+
+  // User-defined joins (CREATE JOIN / DROP JOIN) --------------------------
+
+  /// Validates that the library class exists in the JoinLibraryRegistry,
+  /// then records the join. Fails on duplicate names.
+  Status CreateJoin(JoinDefinition def);
+  Status DropJoin(const std::string& name);
+  bool HasJoin(const std::string& name) const;
+  Result<const JoinDefinition*> GetJoin(const std::string& name) const;
+  std::vector<std::string> ListJoins() const;
+
+  /// Instantiates the FlexibleJoin for `name` with `call_params` (the
+  /// call-site extras) followed by the definition's bound params.
+  Result<std::unique_ptr<FlexibleJoin>> InstantiateJoin(
+      const std::string& name, const std::vector<Value>& call_params) const;
+
+ private:
+  std::map<std::string, PartitionedRelation> datasets_;
+  std::map<std::string, JoinDefinition> joins_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_CATALOG_CATALOG_H_

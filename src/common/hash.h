@@ -1,0 +1,43 @@
+#ifndef FUDJ_COMMON_HASH_H_
+#define FUDJ_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace fudj {
+
+/// 64-bit finalizer mix (MurmurHash3 fmix64). Good avalanche for integer
+/// keys used by hash exchanges and bucket-id hash joins.
+inline uint64_t Mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// FNV-1a over raw bytes; used for string keys.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// Combines two hashes (boost::hash_combine-style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace fudj
+
+#endif  // FUDJ_COMMON_HASH_H_

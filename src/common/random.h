@@ -1,0 +1,67 @@
+#ifndef FUDJ_COMMON_RANDOM_H_
+#define FUDJ_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fudj {
+
+/// Deterministic 64-bit PRNG (xoshiro256**). All workload generators in
+/// this repository are seeded so experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+  /// Uniform in [0, bound) for bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+  /// Log-normal with the given parameters of the underlying normal.
+  double NextLogNormal(double mu, double sigma);
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+  /// Bernoulli trial with probability `p`.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// Zipf-distributed integer generator over {0, ..., n-1} with skew `s`.
+///
+/// Uses the classic rejection-inversion method of Hörmann & Derflinger so
+/// that large vocabularies (text-similarity workloads) are cheap to sample.
+class ZipfGenerator {
+ public:
+  /// `n` must be >= 1; `s` is the skew (s=0 degenerates to uniform).
+  ZipfGenerator(int64_t n, double s);
+
+  /// Draws the next rank (0 = most frequent).
+  int64_t Next(Rng* rng);
+
+  int64_t n() const { return n_; }
+  double skew() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  int64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double dd_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_COMMON_RANDOM_H_

@@ -1,0 +1,80 @@
+#ifndef FUDJ_COMMON_RESULT_H_
+#define FUDJ_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace fudj {
+
+/// Holds either a value of type `T` or a non-OK `Status`.
+///
+/// A `Result<T>` constructed from an OK status is a programming error and
+/// is converted to an Internal error. Access to `value()` on an error
+/// result asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(state_).ok()) {
+      state_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(state_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out, or returns `fallback` when in the error state.
+  T ValueOr(T fallback) && {
+    if (ok()) return std::get<T>(std::move(state_));
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating errors; otherwise binds the
+/// value to `lhs`.
+#define FUDJ_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                               \
+  if (!var.ok()) return var.status();              \
+  lhs = std::move(var).value()
+
+#define FUDJ_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define FUDJ_ASSIGN_OR_RETURN_NAME(x, y) FUDJ_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define FUDJ_ASSIGN_OR_RETURN(lhs, expr) \
+  FUDJ_ASSIGN_OR_RETURN_IMPL(            \
+      FUDJ_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+}  // namespace fudj
+
+#endif  // FUDJ_COMMON_RESULT_H_

@@ -1,0 +1,37 @@
+#ifndef FUDJ_COMMON_STOPWATCH_H_
+#define FUDJ_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fudj {
+
+/// Monotonic wall-clock stopwatch used for both simulated per-partition
+/// busy-time accounting and end-to-end query timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time since construction/Restart, in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_COMMON_STOPWATCH_H_

@@ -1,0 +1,51 @@
+#ifndef FUDJ_COMMON_THREAD_POOL_H_
+#define FUDJ_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fudj {
+
+/// Fixed-size worker pool. The engine uses one pool to optionally execute
+/// per-partition operator work concurrently; on a single-core host the
+/// simulated-makespan accounting (see engine/stats.h) still yields
+/// meaningful scalability curves.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_COMMON_THREAD_POOL_H_

@@ -1,0 +1,242 @@
+#include "datagen/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/random.h"
+#include "geometry/geometry.h"
+#include "interval/interval.h"
+
+namespace fudj {
+
+namespace {
+
+constexpr double kWorldMin = 0.0;
+constexpr double kWorldMax = 100.0;
+constexpr int64_t kEpochStart = 1'640'995'200'000;  // 2022-01-01 in ms
+constexpr int64_t kThirtyDaysMs = 30LL * 24 * 3600 * 1000;
+constexpr int kNumClusters = 24;
+
+struct Cluster2D {
+  double cx;
+  double cy;
+  double sigma;
+};
+
+// The spatial hotspots are shared across datasets and seeds: real parks
+// and wildfires share geography, and the spatial-join workload is empty
+// unless both generators sample the same regions.
+std::vector<Cluster2D> MakeClusters() {
+  Rng rng(0xC1057E25);  // fixed layout seed
+  std::vector<Cluster2D> clusters;
+  clusters.reserve(kNumClusters);
+  for (int i = 0; i < kNumClusters; ++i) {
+    clusters.push_back(Cluster2D{rng.NextUniform(kWorldMin + 5, kWorldMax - 5),
+                                 rng.NextUniform(kWorldMin + 5, kWorldMax - 5),
+                                 rng.NextUniform(1.0, 4.0)});
+  }
+  return clusters;
+}
+
+Point ClusteredPoint(const std::vector<Cluster2D>& clusters, Rng* rng) {
+  const auto& c = clusters[rng->NextBounded(clusters.size())];
+  double x = c.cx + c.sigma * rng->NextGaussian();
+  double y = c.cy + c.sigma * rng->NextGaussian();
+  x = std::clamp(x, kWorldMin, kWorldMax);
+  y = std::clamp(y, kWorldMin, kWorldMax);
+  return Point{x, y};
+}
+
+/// Vocabulary word for rank `r` ("w<r>"); rank 0 is the most frequent.
+std::string VocabWord(int64_t r) {
+  std::string s = "w";
+  s += std::to_string(r);
+  return s;
+}
+
+}  // namespace
+
+Schema WildfiresSchema() {
+  Schema s;
+  s.AddField("id", ValueType::kInt64);
+  s.AddField("location", ValueType::kGeometry);
+  s.AddField("fire_interval", ValueType::kInterval);
+  return s;
+}
+
+std::vector<Tuple> GenerateWildfires(int64_t n, uint64_t seed) {
+  Rng rng(seed ^ 0x5717f17e5ULL);
+  const std::vector<Cluster2D> clusters = MakeClusters();
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const Point p = ClusteredPoint(clusters, &rng);
+    const int64_t start =
+        kEpochStart + static_cast<int64_t>(rng.NextDouble() * kThirtyDaysMs);
+    const auto duration = static_cast<int64_t>(
+        rng.NextLogNormal(/*mu=*/15.0, /*sigma=*/0.8));  // ~hours in ms
+    rows.push_back(Tuple{Value::Int64(i), Value::Geom(Geometry(p)),
+                         Value::Intv(Interval(start, start + duration))});
+  }
+  return rows;
+}
+
+Schema ParksSchema() {
+  Schema s;
+  s.AddField("id", ValueType::kInt64);
+  s.AddField("boundary", ValueType::kGeometry);
+  s.AddField("tags", ValueType::kString);
+  return s;
+}
+
+std::vector<Tuple> GenerateParks(int64_t n, uint64_t seed) {
+  Rng rng(seed ^ 0x9a4b5ULL);
+  const std::vector<Cluster2D> clusters = MakeClusters();
+  static const char* kTagWords[] = {
+      "river",   "scenic",  "camping",  "backpacking", "hiking",
+      "lake",    "forest",  "wildlife", "picnic",      "climbing",
+      "beach",   "dunes",   "canyon",   "waterfall",   "meadow",
+      "historic", "caves",  "fishing",  "boating",     "birding"};
+  constexpr int kNumTagWords = 20;
+  ZipfGenerator tag_zipf(kNumTagWords, 0.8);
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    // Star-shaped simple polygon around a clustered center.
+    const Point c = ClusteredPoint(clusters, &rng);
+    const double radius = rng.NextLogNormal(-0.4, 0.6);  // mostly small
+    const int verts = static_cast<int>(rng.NextInt(4, 10));
+    Polygon poly;
+    poly.vertices.reserve(verts);
+    for (int v = 0; v < verts; ++v) {
+      const double angle = 2.0 * M_PI * v / verts;
+      const double r = radius * rng.NextUniform(0.7, 1.3);
+      poly.vertices.push_back(
+          Point{c.x + r * std::cos(angle), c.y + r * std::sin(angle)});
+    }
+    // Tag set of 3..7 distinct Zipf-ranked words.
+    const int num_tags = static_cast<int>(rng.NextInt(3, 7));
+    std::string tags;
+    std::vector<int64_t> chosen;
+    while (static_cast<int>(chosen.size()) < num_tags) {
+      const int64_t t = tag_zipf.Next(&rng);
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (size_t t = 0; t < chosen.size(); ++t) {
+      if (t > 0) tags += " ";
+      tags += kTagWords[chosen[t]];
+    }
+    rows.push_back(Tuple{Value::Int64(i), Value::Geom(Geometry(poly)),
+                         Value::String(std::move(tags))});
+  }
+  return rows;
+}
+
+Schema TaxiSchema() {
+  Schema s;
+  s.AddField("id", ValueType::kInt64);
+  s.AddField("vendor", ValueType::kInt64);
+  s.AddField("ride_interval", ValueType::kInterval);
+  return s;
+}
+
+std::vector<Tuple> GenerateTaxiRides(int64_t n, uint64_t seed) {
+  Rng rng(seed ^ 0x7a81ULL);
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t start =
+        kEpochStart + static_cast<int64_t>(rng.NextDouble() * kThirtyDaysMs);
+    // Ride duration ~ log-normal around 13 minutes.
+    const auto duration =
+        static_cast<int64_t>(rng.NextLogNormal(13.5, 0.7));
+    const int64_t vendor = rng.NextBool(0.5) ? 1 : 2;
+    rows.push_back(Tuple{Value::Int64(i), Value::Int64(vendor),
+                         Value::Intv(Interval(start, start + duration))});
+  }
+  return rows;
+}
+
+Schema ReviewsSchema() {
+  Schema s;
+  s.AddField("id", ValueType::kInt64);
+  s.AddField("overall", ValueType::kInt64);
+  s.AddField("review", ValueType::kString);
+  return s;
+}
+
+std::vector<Tuple> GenerateReviews(int64_t n, uint64_t seed) {
+  Rng rng(seed ^ 0xa3a20ULL);
+  ZipfGenerator vocab(20'000, 1.05);
+  // Reservoir of recent token lists for planting near-duplicates.
+  std::vector<std::vector<std::string>> reservoir;
+  constexpr size_t kReservoirCap = 64;
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<std::string> tokens;
+    if (!reservoir.empty() && rng.NextBool(0.15)) {
+      // Near-duplicate: copy an earlier review, mutate one token.
+      tokens = reservoir[rng.NextBounded(reservoir.size())];
+      if (!tokens.empty()) {
+        tokens[rng.NextBounded(tokens.size())] = VocabWord(vocab.Next(&rng));
+      }
+    } else {
+      const int len = 10 + static_cast<int>(rng.NextInt(0, 40));
+      tokens.reserve(len);
+      for (int t = 0; t < len; ++t) {
+        tokens.push_back(VocabWord(vocab.Next(&rng)));
+      }
+    }
+    if (reservoir.size() < kReservoirCap) {
+      reservoir.push_back(tokens);
+    } else {
+      reservoir[rng.NextBounded(kReservoirCap)] = tokens;
+    }
+    std::string review;
+    for (size_t t = 0; t < tokens.size(); ++t) {
+      if (t > 0) review += " ";
+      review += tokens[t];
+    }
+    // Ratings skew positive like real review corpora.
+    const int64_t stars[] = {5, 4, 5, 3, 5, 4, 2, 5, 1, 4};
+    const int64_t overall = stars[rng.NextBounded(10)];
+    rows.push_back(Tuple{Value::Int64(i), Value::Int64(overall),
+                         Value::String(std::move(review))});
+  }
+  return rows;
+}
+
+Schema WeatherSchema() {
+  Schema s;
+  s.AddField("id", ValueType::kInt64);
+  s.AddField("location", ValueType::kGeometry);
+  s.AddField("reading_interval", ValueType::kInterval);
+  s.AddField("temp", ValueType::kInt64);
+  return s;
+}
+
+std::vector<Tuple> GenerateWeather(int64_t n, uint64_t seed) {
+  Rng rng(seed ^ 0x3ea7e12ULL);
+  const std::vector<Cluster2D> clusters = MakeClusters();
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  // Readings span 1..6 hours each, anywhere in the 30-day window.
+  constexpr int64_t kHourMs = 3'600'000;
+  for (int64_t i = 0; i < n; ++i) {
+    const Point p = ClusteredPoint(clusters, &rng);
+    const int64_t start =
+        kEpochStart + static_cast<int64_t>(rng.NextDouble() * kThirtyDaysMs);
+    const int64_t duration = rng.NextInt(1, 6) * kHourMs;
+    const int64_t temp = rng.NextInt(-10, 45);
+    rows.push_back(Tuple{Value::Int64(i), Value::Geom(Geometry(p)),
+                         Value::Intv(Interval(start, start + duration)),
+                         Value::Int64(temp)});
+  }
+  return rows;
+}
+
+}  // namespace fudj

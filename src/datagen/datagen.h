@@ -1,0 +1,54 @@
+#ifndef FUDJ_DATAGEN_DATAGEN_H_
+#define FUDJ_DATAGEN_DATAGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace fudj {
+
+/// Synthetic workload generators standing in for the paper's Table I
+/// datasets (see DESIGN.md "Substitutions"). All generators are
+/// deterministic in `seed` and match the schema and key type of the
+/// dataset they replace:
+///
+///   Wildfires       -> clustered points + fire interval     (Point keys)
+///   Parks           -> star-shaped polygons + Zipf tag sets (Polygon keys)
+///   NYCTaxi         -> log-normal-duration rides + vendor  (Interval keys)
+///   AmazonReview    -> Zipf-vocabulary documents + rating   (Text keys)
+///
+/// The world space is [0, 100] x [0, 100]; timestamps are milliseconds
+/// over a 30-day window.
+
+/// (id:int64, location:geometry point, fire_interval:interval)
+Schema WildfiresSchema();
+std::vector<Tuple> GenerateWildfires(int64_t n, uint64_t seed);
+
+/// (id:int64, boundary:geometry polygon, tags:string)
+Schema ParksSchema();
+std::vector<Tuple> GenerateParks(int64_t n, uint64_t seed);
+
+/// (id:int64, vendor:int64, ride_interval:interval)
+Schema TaxiSchema();
+std::vector<Tuple> GenerateTaxiRides(int64_t n, uint64_t seed);
+
+/// (id:int64, overall:int64 1..5, review:string)
+///
+/// ~15% of reviews are near-duplicates of an earlier review with one
+/// token changed, so high Jaccard thresholds (the paper's t=0.9 workload)
+/// have non-empty answers.
+Schema ReviewsSchema();
+std::vector<Tuple> GenerateReviews(int64_t n, uint64_t seed);
+
+/// (id:int64, location:geometry point, reading_interval:interval,
+/// temp:int64) — the Weather dataset of the paper's Query 3 (§I-A):
+/// clustered sensors with periodic reading intervals over the same
+/// 30-day window and world space as Wildfires/Parks.
+Schema WeatherSchema();
+std::vector<Tuple> GenerateWeather(int64_t n, uint64_t seed);
+
+}  // namespace fudj
+
+#endif  // FUDJ_DATAGEN_DATAGEN_H_

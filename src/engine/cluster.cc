@@ -1,0 +1,45 @@
+#include "engine/cluster.h"
+
+#include <thread>
+
+#include "common/stopwatch.h"
+
+namespace fudj {
+
+Cluster::Cluster(int num_workers, bool use_threads)
+    : num_workers_(num_workers < 1 ? 1 : num_workers) {
+  if (use_threads) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    pool_ = std::make_unique<ThreadPool>(hw == 0 ? 2 : static_cast<int>(hw));
+  }
+}
+
+void Cluster::RunStage(const std::string& name,
+                       const std::function<void(int)>& fn, ExecStats* stats,
+                       int64_t rows_out) {
+  std::vector<double> partition_ms(num_workers_, 0.0);
+  Stopwatch wall;
+  auto run_one = [&](int p) {
+    Stopwatch sw;
+    fn(p);
+    partition_ms[p] = sw.ElapsedMillis();
+  };
+  if (pool_) {
+    pool_->ParallelFor(num_workers_, run_one);
+  } else {
+    for (int p = 0; p < num_workers_; ++p) run_one(p);
+  }
+  if (stats != nullptr) {
+    stats->AddStage(name, partition_ms, rows_out);
+    stats->add_wall_ms(wall.ElapsedMillis());
+  }
+}
+
+void Cluster::ChargeNetwork(const std::string& name, int64_t bytes,
+                            int64_t messages, ExecStats* stats) {
+  if (stats != nullptr) {
+    stats->AddNetwork(name, bytes, messages, num_workers_, cost_);
+  }
+}
+
+}  // namespace fudj

@@ -1,0 +1,51 @@
+#ifndef FUDJ_ENGINE_CLUSTER_H_
+#define FUDJ_ENGINE_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "engine/stats.h"
+
+namespace fudj {
+
+/// Simulated shared-nothing cluster: `num_workers` workers, each owning
+/// one partition of every relation.
+///
+/// `RunStage` executes a function once per partition, measures each
+/// partition's busy time, and records the stage makespan (max over
+/// partitions) into the query's ExecStats — that is how a single-core host
+/// reproduces the paper's multi-node scalability shapes. Partition work
+/// can optionally execute on a thread pool; timing is taken inside the
+/// task, so concurrency does not distort per-partition busy time.
+class Cluster {
+ public:
+  /// `num_workers` >= 1. `use_threads` enables concurrent partition
+  /// execution via an internal pool of `hardware_concurrency` threads.
+  explicit Cluster(int num_workers, bool use_threads = false);
+
+  int num_workers() const { return num_workers_; }
+  const CostModelConfig& cost_model() const { return cost_; }
+  CostModelConfig* mutable_cost_model() { return &cost_; }
+
+  /// Runs `fn(p)` for each partition p, timing each; appends a stage named
+  /// `name` to `stats` (when non-null) with `rows_out` output rows.
+  void RunStage(const std::string& name,
+                const std::function<void(int)>& fn, ExecStats* stats,
+                int64_t rows_out = 0);
+
+  /// Charges `bytes`/`messages` of shuffle traffic to stage `name`.
+  void ChargeNetwork(const std::string& name, int64_t bytes,
+                     int64_t messages, ExecStats* stats);
+
+ private:
+  int num_workers_;
+  CostModelConfig cost_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_ENGINE_CLUSTER_H_

@@ -1,0 +1,123 @@
+#include "engine/exchange.h"
+
+#include <atomic>
+
+#include "common/status.h"
+
+namespace fudj {
+
+namespace {
+
+/// Shared implementation: `route(tuple, seq)` returns the list of target
+/// partitions for one tuple (`seq` is the tuple's ordinal within its source
+/// partition, used by round-robin).
+Result<PartitionedRelation> Route(
+    Cluster* cluster, const PartitionedRelation& in,
+    const std::function<void(const Tuple&, int64_t, std::vector<int>*)>&
+        route,
+    ExecStats* stats, const std::string& stage_name) {
+  const int p_out = cluster->num_workers();
+  const int p_in = in.num_partitions();
+
+  // Phase 1 (parallel, timed): each source partition serializes its rows
+  // into one outbound buffer per destination.
+  std::vector<std::vector<ByteWriter>> outbound(
+      p_in, std::vector<ByteWriter>(p_out));
+  std::vector<std::vector<int64_t>> outbound_counts(
+      p_in, std::vector<int64_t>(p_out, 0));
+  std::atomic<bool> failed{false};
+  cluster->RunStage(
+      stage_name,
+      [&](int p) {
+        if (p >= p_in) return;
+        auto rows = in.Materialize(p);
+        if (!rows.ok()) {
+          failed.store(true);
+          return;
+        }
+        std::vector<int> targets;
+        int64_t seq = 0;
+        for (const Tuple& t : *rows) {
+          targets.clear();
+          route(t, seq++, &targets);
+          for (int d : targets) {
+            SerializeTuple(t, &outbound[p][d]);
+            ++outbound_counts[p][d];
+          }
+        }
+      },
+      stats);
+  if (failed.load()) return Status::Internal("exchange: bad partition data");
+
+  // Phase 2: merge inbound buffers; count cross-worker traffic.
+  PartitionedRelation out(in.schema(), p_out);
+  int64_t bytes = 0;
+  int64_t messages = 0;
+  for (int s = 0; s < p_in; ++s) {
+    for (int d = 0; d < p_out; ++d) {
+      if (outbound_counts[s][d] == 0) continue;
+      out.AppendRaw(d, outbound[s][d].bytes(), outbound_counts[s][d]);
+      if (s != d) {
+        bytes += static_cast<int64_t>(outbound[s][d].size());
+        ++messages;
+      }
+    }
+  }
+  cluster->ChargeNetwork(stage_name, bytes, messages, stats);
+  return out;
+}
+
+}  // namespace
+
+Result<PartitionedRelation> HashExchange(
+    Cluster* cluster, const PartitionedRelation& in,
+    const std::function<uint64_t(const Tuple&)>& key_hash, ExecStats* stats,
+    const std::string& stage_name) {
+  const int p = cluster->num_workers();
+  return Route(
+      cluster, in,
+      [&key_hash, p](const Tuple& t, int64_t, std::vector<int>* targets) {
+        targets->push_back(static_cast<int>(key_hash(t) % p));
+      },
+      stats, stage_name);
+}
+
+Result<PartitionedRelation> BroadcastExchange(Cluster* cluster,
+                                              const PartitionedRelation& in,
+                                              ExecStats* stats,
+                                              const std::string& stage_name) {
+  const int p = cluster->num_workers();
+  return Route(
+      cluster, in,
+      [p](const Tuple&, int64_t, std::vector<int>* targets) {
+        for (int d = 0; d < p; ++d) targets->push_back(d);
+      },
+      stats, stage_name);
+}
+
+Result<PartitionedRelation> RandomExchange(Cluster* cluster,
+                                           const PartitionedRelation& in,
+                                           ExecStats* stats,
+                                           const std::string& stage_name) {
+  const int p = cluster->num_workers();
+  return Route(
+      cluster, in,
+      [p](const Tuple&, int64_t seq, std::vector<int>* targets) {
+        targets->push_back(static_cast<int>(seq % p));
+      },
+      stats, stage_name);
+}
+
+Result<PartitionedRelation> GatherExchange(Cluster* cluster,
+                                           const PartitionedRelation& in,
+                                           ExecStats* stats,
+                                           const std::string& stage_name) {
+  return Route(
+      cluster, in,
+      [](const Tuple&, int64_t, std::vector<int>* targets) {
+        targets->push_back(0);
+      },
+      stats, stage_name);
+}
+
+}  // namespace fudj

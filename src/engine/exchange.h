@@ -1,0 +1,40 @@
+#ifndef FUDJ_ENGINE_EXCHANGE_H_
+#define FUDJ_ENGINE_EXCHANGE_H_
+
+#include <functional>
+
+#include "engine/cluster.h"
+#include "engine/relation.h"
+
+namespace fudj {
+
+/// Exchange (shuffle) operators. Each produces a new relation with the
+/// cluster's partition count, charges cross-worker bytes and messages to
+/// the network cost model, and times the per-partition split/merge work.
+
+/// Routes each tuple to partition `hash(key(t)) % P`.
+Result<PartitionedRelation> HashExchange(
+    Cluster* cluster, const PartitionedRelation& in,
+    const std::function<uint64_t(const Tuple&)>& key_hash, ExecStats* stats,
+    const std::string& stage_name = "hash-exchange");
+
+/// Replicates every tuple to every partition (theta-join / PPlan
+/// distribution path).
+Result<PartitionedRelation> BroadcastExchange(
+    Cluster* cluster, const PartitionedRelation& in, ExecStats* stats,
+    const std::string& stage_name = "broadcast");
+
+/// Round-robin redistribution (AsterixDB's random partitioning fallback
+/// for theta joins, §VII-C).
+Result<PartitionedRelation> RandomExchange(
+    Cluster* cluster, const PartitionedRelation& in, ExecStats* stats,
+    const std::string& stage_name = "random-exchange");
+
+/// Concentrates all tuples onto partition 0 (global aggregation).
+Result<PartitionedRelation> GatherExchange(
+    Cluster* cluster, const PartitionedRelation& in, ExecStats* stats,
+    const std::string& stage_name = "gather");
+
+}  // namespace fudj
+
+#endif  // FUDJ_ENGINE_EXCHANGE_H_

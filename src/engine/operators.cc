@@ -1,0 +1,250 @@
+#include "engine/operators.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "engine/exchange.h"
+
+namespace fudj {
+
+Result<PartitionedRelation> TransformPartitions(
+    Cluster* cluster, const PartitionedRelation& in, Schema out_schema,
+    const std::string& stage_name,
+    const std::function<Status(int, const std::vector<Tuple>&,
+                               std::vector<Tuple>*)>& fn,
+    ExecStats* stats) {
+  const int p_out = cluster->num_workers();
+  PartitionedRelation out(std::move(out_schema), p_out);
+  std::vector<std::vector<Tuple>> results(p_out);
+  std::atomic<bool> failed{false};
+  int64_t rows_out = 0;
+  cluster->RunStage(
+      stage_name,
+      [&](int p) {
+        if (p >= in.num_partitions()) return;
+        auto rows = in.Materialize(p);
+        if (!rows.ok() || !fn(p, *rows, &results[p]).ok()) {
+          failed.store(true);
+        }
+      },
+      stats);
+  if (failed.load()) {
+    return Status::Internal("operator '" + stage_name + "' failed");
+  }
+  for (int p = 0; p < p_out; ++p) {
+    for (const Tuple& t : results[p]) out.Append(p, t);
+    rows_out += static_cast<int64_t>(results[p].size());
+  }
+  if (stats != nullptr && !stats->stages().empty()) {
+    // rows_out was not known at stage time; patch by re-adding is not
+    // possible, so we record it through set_output_rows for terminal ops.
+    stats->set_output_rows(rows_out);
+  }
+  return out;
+}
+
+Result<PartitionedRelation> FilterRelation(
+    Cluster* cluster, const PartitionedRelation& in,
+    const std::function<bool(const Tuple&)>& pred, ExecStats* stats,
+    const std::string& stage_name) {
+  return TransformPartitions(
+      cluster, in, in.schema(), stage_name,
+      [&pred](int, const std::vector<Tuple>& rows, std::vector<Tuple>* out) {
+        for (const Tuple& t : rows) {
+          if (pred(t)) out->push_back(t);
+        }
+        return Status::OK();
+      },
+      stats);
+}
+
+Result<PartitionedRelation> ProjectRelation(
+    Cluster* cluster, const PartitionedRelation& in, Schema out_schema,
+    const std::function<Tuple(const Tuple&)>& fn, ExecStats* stats,
+    const std::string& stage_name) {
+  return TransformPartitions(
+      cluster, in, std::move(out_schema), stage_name,
+      [&fn](int, const std::vector<Tuple>& rows, std::vector<Tuple>* out) {
+        out->reserve(rows.size());
+        for (const Tuple& t : rows) out->push_back(fn(t));
+        return Status::OK();
+      },
+      stats);
+}
+
+namespace {
+
+/// Internal accumulator per aggregate: (sum-or-min-or-max, count).
+struct AggState {
+  double sum = 0.0;
+  int64_t count = 0;
+  Value min_max;  // for kMin/kMax
+  bool has_value = false;
+};
+
+void Accumulate(const AggSpec& spec, const Tuple& t, AggState* st) {
+  ++st->count;
+  if (spec.column < 0) return;
+  const Value& v = t[spec.column];
+  switch (spec.kind) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg: {
+      auto d = v.AsDouble();
+      if (d.ok()) st->sum += *d;
+      break;
+    }
+    case AggKind::kMin:
+      if (!st->has_value || v.Compare(st->min_max) < 0) st->min_max = v;
+      st->has_value = true;
+      break;
+    case AggKind::kMax:
+      if (!st->has_value || v.Compare(st->min_max) > 0) st->min_max = v;
+      st->has_value = true;
+      break;
+  }
+}
+
+Value Finalize(const AggSpec& spec, const AggState& st) {
+  switch (spec.kind) {
+    case AggKind::kCount:
+      return Value::Int64(st.count);
+    case AggKind::kSum:
+      return Value::Double(st.sum);
+    case AggKind::kAvg:
+      return st.count == 0 ? Value::Null()
+                           : Value::Double(st.sum / st.count);
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return st.has_value ? st.min_max : Value::Null();
+  }
+  return Value::Null();
+}
+
+Schema GroupByOutputSchema(const Schema& in,
+                           const std::vector<int>& group_cols,
+                           const std::vector<AggSpec>& aggs) {
+  Schema out;
+  for (int c : group_cols) {
+    out.AddField(in.field(c).name, in.field(c).type);
+  }
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const char* name = "agg";
+    ValueType type = ValueType::kDouble;
+    switch (aggs[i].kind) {
+      case AggKind::kCount:
+        name = "count";
+        type = ValueType::kInt64;
+        break;
+      case AggKind::kSum:
+        name = "sum";
+        break;
+      case AggKind::kAvg:
+        name = "avg";
+        break;
+      case AggKind::kMin:
+        name = "min";
+        type = aggs[i].column >= 0 ? in.field(aggs[i].column).type
+                                   : ValueType::kDouble;
+        break;
+      case AggKind::kMax:
+        name = "max";
+        type = aggs[i].column >= 0 ? in.field(aggs[i].column).type
+                                   : ValueType::kDouble;
+        break;
+    }
+    out.AddField(std::string(name) + "_" + std::to_string(i), type);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PartitionedRelation> GroupByAggregate(
+    Cluster* cluster, const PartitionedRelation& in,
+    const std::vector<int>& group_cols, const std::vector<AggSpec>& aggs,
+    ExecStats* stats) {
+  // Exchange on the group key so each group lands on one worker. (A
+  // partial pre-aggregation would reduce traffic for COUNT/SUM but not
+  // change results; we shuffle raw rows, matching the logical plan the
+  // optimizer emits.)
+  FUDJ_ASSIGN_OR_RETURN(
+      PartitionedRelation exchanged,
+      HashExchange(
+          cluster, in,
+          [&group_cols](const Tuple& t) {
+            return HashTupleColumns(t, group_cols);
+          },
+          stats, "groupby-exchange"));
+
+  Schema out_schema = GroupByOutputSchema(in.schema(), group_cols, aggs);
+  return TransformPartitions(
+      cluster, exchanged, std::move(out_schema), "groupby-aggregate",
+      [&group_cols, &aggs](int, const std::vector<Tuple>& rows,
+                           std::vector<Tuple>* out) {
+        std::unordered_map<uint64_t, std::vector<size_t>> groups;
+        for (size_t i = 0; i < rows.size(); ++i) {
+          groups[HashTupleColumns(rows[i], group_cols)].push_back(i);
+        }
+        for (auto& [hash, members] : groups) {
+          // Resolve hash collisions by sub-grouping on real equality.
+          std::vector<std::vector<size_t>> exact;
+          for (size_t idx : members) {
+            bool placed = false;
+            for (auto& g : exact) {
+              if (TupleColumnsEqual(rows[g[0]], rows[idx], group_cols)) {
+                g.push_back(idx);
+                placed = true;
+                break;
+              }
+            }
+            if (!placed) exact.push_back({idx});
+          }
+          for (const auto& g : exact) {
+            std::vector<AggState> states(aggs.size());
+            for (size_t idx : g) {
+              for (size_t a = 0; a < aggs.size(); ++a) {
+                Accumulate(aggs[a], rows[idx], &states[a]);
+              }
+            }
+            Tuple out_row;
+            out_row.reserve(group_cols.size() + aggs.size());
+            for (int c : group_cols) out_row.push_back(rows[g[0]][c]);
+            for (size_t a = 0; a < aggs.size(); ++a) {
+              out_row.push_back(Finalize(aggs[a], states[a]));
+            }
+            out->push_back(std::move(out_row));
+          }
+        }
+        return Status::OK();
+      },
+      stats);
+}
+
+Result<PartitionedRelation> SortRelation(Cluster* cluster,
+                                         const PartitionedRelation& in,
+                                         const std::vector<int>& cols,
+                                         const std::vector<bool>& ascending,
+                                         ExecStats* stats) {
+  FUDJ_ASSIGN_OR_RETURN(PartitionedRelation gathered,
+                        GatherExchange(cluster, in, stats, "sort-gather"));
+  return TransformPartitions(
+      cluster, gathered, in.schema(), "sort",
+      [&cols, &ascending](int, const std::vector<Tuple>& rows,
+                          std::vector<Tuple>* out) {
+        *out = rows;
+        std::stable_sort(out->begin(), out->end(),
+                         [&](const Tuple& a, const Tuple& b) {
+                           return CompareTuples(a, b, cols, ascending) < 0;
+                         });
+        return Status::OK();
+      },
+      stats);
+}
+
+int64_t CountRows(const PartitionedRelation& in) { return in.NumRows(); }
+
+}  // namespace fudj

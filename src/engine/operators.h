@@ -1,0 +1,67 @@
+#ifndef FUDJ_ENGINE_OPERATORS_H_
+#define FUDJ_ENGINE_OPERATORS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/cluster.h"
+#include "engine/relation.h"
+
+namespace fudj {
+
+/// Per-partition relational operators. Each runs once per partition under
+/// Cluster::RunStage so busy time and makespan are accounted.
+
+/// Generic partition-wise transformation; `fn` consumes the materialized
+/// rows of one partition and emits output rows.
+Result<PartitionedRelation> TransformPartitions(
+    Cluster* cluster, const PartitionedRelation& in, Schema out_schema,
+    const std::string& stage_name,
+    const std::function<Status(int, const std::vector<Tuple>&,
+                               std::vector<Tuple>*)>& fn,
+    ExecStats* stats);
+
+/// Keeps tuples satisfying `pred`.
+Result<PartitionedRelation> FilterRelation(
+    Cluster* cluster, const PartitionedRelation& in,
+    const std::function<bool(const Tuple&)>& pred, ExecStats* stats,
+    const std::string& stage_name = "filter");
+
+/// Maps each tuple through `fn` (projection / computed columns).
+Result<PartitionedRelation> ProjectRelation(
+    Cluster* cluster, const PartitionedRelation& in, Schema out_schema,
+    const std::function<Tuple(const Tuple&)>& fn, ExecStats* stats,
+    const std::string& stage_name = "project");
+
+/// Aggregate function kinds supported by GROUP BY.
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
+
+/// One aggregate column: kind + input column (-1 for COUNT(*)).
+struct AggSpec {
+  AggKind kind = AggKind::kCount;
+  int column = -1;
+};
+
+/// Hash group-by with local pre-aggregation, a hash exchange on the group
+/// columns, and final aggregation — the classic two-phase plan the paper's
+/// Query 1/5 GROUP BY compiles to. Output schema: group columns followed
+/// by one column per AggSpec.
+Result<PartitionedRelation> GroupByAggregate(
+    Cluster* cluster, const PartitionedRelation& in,
+    const std::vector<int>& group_cols, const std::vector<AggSpec>& aggs,
+    ExecStats* stats);
+
+/// Global sort: gathers to one partition and sorts (used for final ORDER
+/// BY of small result sets).
+Result<PartitionedRelation> SortRelation(
+    Cluster* cluster, const PartitionedRelation& in,
+    const std::vector<int>& cols, const std::vector<bool>& ascending,
+    ExecStats* stats);
+
+/// Counts rows (COUNT(*) without grouping).
+int64_t CountRows(const PartitionedRelation& in);
+
+}  // namespace fudj
+
+#endif  // FUDJ_ENGINE_OPERATORS_H_

@@ -1,0 +1,65 @@
+#include "engine/relation.h"
+
+namespace fudj {
+
+PartitionedRelation PartitionedRelation::FromTuples(
+    Schema schema, const std::vector<Tuple>& rows, int num_partitions) {
+  PartitionedRelation rel(std::move(schema), num_partitions);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rel.Append(static_cast<int>(i % num_partitions), rows[i]);
+  }
+  return rel;
+}
+
+void PartitionedRelation::Append(int p, const Tuple& t) {
+  ByteWriter w;
+  SerializeTuple(t, &w);
+  auto& buf = partitions_[p];
+  buf.insert(buf.end(), w.bytes().begin(), w.bytes().end());
+  ++counts_[p];
+}
+
+void PartitionedRelation::AppendRaw(int p, const std::vector<uint8_t>& bytes,
+                                    int64_t count) {
+  auto& buf = partitions_[p];
+  buf.insert(buf.end(), bytes.begin(), bytes.end());
+  counts_[p] += count;
+}
+
+Result<std::vector<Tuple>> PartitionedRelation::Materialize(int p) const {
+  std::vector<Tuple> rows;
+  rows.reserve(counts_[p]);
+  ByteReader reader(partitions_[p]);
+  for (int64_t i = 0; i < counts_[p]; ++i) {
+    FUDJ_ASSIGN_OR_RETURN(Tuple t, DeserializeTuple(&reader));
+    rows.push_back(std::move(t));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Internal("trailing bytes in partition");
+  }
+  return rows;
+}
+
+Result<std::vector<Tuple>> PartitionedRelation::MaterializeAll() const {
+  std::vector<Tuple> rows;
+  rows.reserve(NumRows());
+  for (int p = 0; p < num_partitions(); ++p) {
+    FUDJ_ASSIGN_OR_RETURN(std::vector<Tuple> part, Materialize(p));
+    for (auto& t : part) rows.push_back(std::move(t));
+  }
+  return rows;
+}
+
+int64_t PartitionedRelation::NumRows() const {
+  int64_t n = 0;
+  for (int64_t c : counts_) n += c;
+  return n;
+}
+
+size_t PartitionedRelation::TotalBytes() const {
+  size_t n = 0;
+  for (const auto& p : partitions_) n += p.size();
+  return n;
+}
+
+}  // namespace fudj

@@ -1,0 +1,79 @@
+#include "engine/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace fudj {
+
+void ExecStats::AddStage(const std::string& name,
+                         const std::vector<double>& partition_ms,
+                         int64_t rows_out) {
+  StageStat s;
+  s.name = name;
+  if (!partition_ms.empty()) {
+    s.max_partition_ms =
+        *std::max_element(partition_ms.begin(), partition_ms.end());
+    s.total_partition_ms =
+        std::accumulate(partition_ms.begin(), partition_ms.end(), 0.0);
+  }
+  s.rows_out = rows_out;
+  simulated_ms_ += s.max_partition_ms;
+  stages_.push_back(std::move(s));
+}
+
+void ExecStats::AddNetwork(const std::string& name, int64_t bytes,
+                           int64_t messages, int num_workers,
+                           const CostModelConfig& cost) {
+  if (num_workers < 1) num_workers = 1;
+  const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  const double xfer_ms =
+      (mb / cost.bandwidth_mb_per_sec) * 1000.0 / num_workers;
+  const double msg_ms = cost.per_message_ms *
+                        (static_cast<double>(messages) / num_workers);
+  const double net_ms = xfer_ms + msg_ms;
+  simulated_ms_ += net_ms;
+  bytes_shuffled_ += bytes;
+  if (!stages_.empty() && stages_.back().name == name) {
+    stages_.back().network_ms += net_ms;
+    stages_.back().bytes_shuffled += bytes;
+    stages_.back().messages += messages;
+  } else {
+    StageStat s;
+    s.name = name;
+    s.network_ms = net_ms;
+    s.bytes_shuffled = bytes;
+    s.messages = messages;
+    stages_.push_back(std::move(s));
+  }
+}
+
+void ExecStats::Merge(const ExecStats& other) {
+  simulated_ms_ += other.simulated_ms_;
+  wall_ms_ += other.wall_ms_;
+  bytes_shuffled_ += other.bytes_shuffled_;
+  stages_.insert(stages_.end(), other.stages_.begin(), other.stages_.end());
+}
+
+std::string ExecStats::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "simulated=%.2f ms  wall=%.2f ms  shuffled=%lld bytes  "
+                "rows=%lld\n",
+                simulated_ms_, wall_ms_,
+                static_cast<long long>(bytes_shuffled_),
+                static_cast<long long>(output_rows_));
+  out += line;
+  for (const StageStat& s : stages_) {
+    std::snprintf(line, sizeof(line),
+                  "  %-28s max=%8.2f ms  total=%9.2f ms  net=%7.2f ms  "
+                  "rows=%lld\n",
+                  s.name.c_str(), s.max_partition_ms, s.total_partition_ms,
+                  s.network_ms, static_cast<long long>(s.rows_out));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace fudj

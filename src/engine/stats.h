@@ -1,0 +1,78 @@
+#ifndef FUDJ_ENGINE_STATS_H_
+#define FUDJ_ENGINE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fudj {
+
+/// Network model of the simulated shared-nothing cluster. Exchange
+/// operators charge shuffled bytes against the per-node bandwidth and a
+/// per-message latency; links between workers are assumed independent
+/// (full bisection), so network time divides by the worker count.
+struct CostModelConfig {
+  /// Effective per-node network bandwidth. The default models the
+  /// paper's cluster (12 nodes on gigabit Ethernet, ~100 MB/s effective
+  /// per node).
+  double bandwidth_mb_per_sec = 100.0;
+  /// Fixed cost per shuffled message (framing, syscalls).
+  double per_message_ms = 0.02;
+};
+
+/// Per-stage execution record.
+struct StageStat {
+  std::string name;
+  /// Makespan contribution: max over partitions of busy time.
+  double max_partition_ms = 0.0;
+  /// Total CPU work across all partitions.
+  double total_partition_ms = 0.0;
+  /// Network time charged to this stage by the cost model.
+  double network_ms = 0.0;
+  int64_t bytes_shuffled = 0;
+  int64_t messages = 0;
+  int64_t rows_out = 0;
+};
+
+/// Accumulated execution statistics of one query.
+///
+/// `simulated_ms` is the reported "query execution time" of the paper's
+/// figures: the makespan of an ideal cluster with `num_workers` parallel
+/// workers — sum over stages of (max partition busy time + network time).
+/// `wall_ms` is the actual single-process wall clock, reported alongside.
+class ExecStats {
+ public:
+  /// Records a computation stage from per-partition busy times.
+  void AddStage(const std::string& name,
+                const std::vector<double>& partition_ms, int64_t rows_out);
+
+  /// Records network traffic for the most recent stage (or a standalone
+  /// network stage when no compute stage matches).
+  void AddNetwork(const std::string& name, int64_t bytes, int64_t messages,
+                  int num_workers, const CostModelConfig& cost);
+
+  /// Merges another query's stats into this one (multi-query plans).
+  void Merge(const ExecStats& other);
+
+  double simulated_ms() const { return simulated_ms_; }
+  double wall_ms() const { return wall_ms_; }
+  void add_wall_ms(double ms) { wall_ms_ += ms; }
+  int64_t bytes_shuffled() const { return bytes_shuffled_; }
+  int64_t output_rows() const { return output_rows_; }
+  void set_output_rows(int64_t n) { output_rows_ = n; }
+  const std::vector<StageStat>& stages() const { return stages_; }
+
+  /// Multi-line human-readable breakdown.
+  std::string ToString() const;
+
+ private:
+  std::vector<StageStat> stages_;
+  double simulated_ms_ = 0.0;
+  double wall_ms_ = 0.0;
+  int64_t bytes_shuffled_ = 0;
+  int64_t output_rows_ = 0;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_ENGINE_STATS_H_

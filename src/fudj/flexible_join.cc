@@ -1,0 +1,53 @@
+#include "fudj/flexible_join.h"
+
+#include <algorithm>
+
+namespace fudj {
+
+double JoinParameters::GetDouble(int i, double fallback) const {
+  if (i < 0 || i >= size()) return fallback;
+  auto d = values_[i].AsDouble();
+  return d.ok() ? *d : fallback;
+}
+
+int64_t JoinParameters::GetInt(int i, int64_t fallback) const {
+  if (i < 0 || i >= size()) return fallback;
+  auto d = values_[i].AsDouble();
+  return d.ok() ? static_cast<int64_t>(*d) : fallback;
+}
+
+bool FlexibleJoin::Dedup(int32_t bucket1, const Value& key1, int32_t bucket2,
+                         const Value& key2, const PPlan& plan) const {
+  // Duplicate avoidance (§IV-C): recompute both assignment lists and keep
+  // the pair only when (bucket1, bucket2) is the lexicographically first
+  // matching pair. Assignment lists are sorted so "first" is well defined
+  // regardless of the order Assign emits ids in.
+  std::vector<int32_t> b1;
+  std::vector<int32_t> b2;
+  Assign(key1, plan, JoinSide::kLeft, &b1);
+  Assign(key2, plan, JoinSide::kRight, &b2);
+  std::sort(b1.begin(), b1.end());
+  std::sort(b2.begin(), b2.end());
+  if (UsesDefaultMatch()) {
+    // Single-join: the first matching pair is the smallest common id.
+    size_t i = 0;
+    size_t j = 0;
+    while (i < b1.size() && j < b2.size()) {
+      if (b1[i] == b2[j]) return bucket1 == b1[i] && bucket2 == b2[j];
+      if (b1[i] < b2[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return false;  // no common bucket: cannot happen for a matched pair
+  }
+  for (const int32_t x : b1) {
+    for (const int32_t y : b2) {
+      if (Match(x, y)) return bucket1 == x && bucket2 == y;
+    }
+  }
+  return false;
+}
+
+}  // namespace fudj

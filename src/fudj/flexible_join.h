@@ -1,0 +1,192 @@
+#ifndef FUDJ_FUDJ_FLEXIBLE_JOIN_H_
+#define FUDJ_FUDJ_FLEXIBLE_JOIN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "fudj/pplan.h"
+#include "fudj/summary.h"
+#include "types/value.h"
+
+namespace fudj {
+
+/// Which side of the join a callback refers to. Key types may differ per
+/// side (e.g. polygons vs points), so `CreateSummary` and `Assign` receive
+/// the side.
+enum class JoinSide { kLeft = 0, kRight = 1 };
+
+/// Scalar arguments of the join call beyond the two keys — e.g. the
+/// similarity threshold of `text_similarity_join(a, b, t)` or the bucket
+/// count of the spatial/interval joins. Bound from the query's literal
+/// arguments at plan time (§VI-A embeds them in the caller signature).
+class JoinParameters {
+ public:
+  JoinParameters() = default;
+  explicit JoinParameters(std::vector<Value> values)
+      : values_(std::move(values)) {}
+
+  int size() const { return static_cast<int>(values_.size()); }
+  const Value& at(int i) const { return values_[i]; }
+
+  /// Numeric accessors with defaults for optional parameters.
+  double GetDouble(int i, double fallback) const;
+  int64_t GetInt(int i, int64_t fallback) const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// How the COMBINE phase handles record pairs that meet in more than one
+/// bucket pair (§III-B, Fig. 5).
+enum class DuplicateHandling {
+  /// Pairs are kept only in their first matching bucket pair (the
+  /// framework default; uses `FlexibleJoin::Dedup`).
+  kAvoidance,
+  /// All pairs are emitted, then a global duplicate-elimination exchange
+  /// removes repeats.
+  kElimination,
+  /// Single-assign joins cannot produce duplicates; skip both.
+  kNone,
+};
+
+/// The FUDJ programming model (§IV): a user-defined distributed join is a
+/// class implementing these callbacks. Everything else — aggregation
+/// plumbing, exchanges, bucket joins, plan generation — is provided by the
+/// framework (src/fudj/runtime.* and src/optimizer).
+///
+/// Implementations see only plain native types (Value wrapping string /
+/// Geometry / Interval / numerics); the serde proxy layer converts engine
+/// records before invoking them (Fig. 7).
+class FlexibleJoin {
+ public:
+  virtual ~FlexibleJoin() = default;
+
+  // --- SUMMARIZE -------------------------------------------------------
+
+  /// Creates an empty summary for one side. Sides with identical
+  /// summarization (see `SymmetricSummary`) may return the same type.
+  virtual std::unique_ptr<Summary> CreateSummary(JoinSide side) const = 0;
+
+  // --- DIVIDE ----------------------------------------------------------
+
+  /// divide(S1, S2): combines the two global summaries (plus query
+  /// parameters) into a partitioning plan.
+  virtual Result<std::unique_ptr<PPlan>> Divide(
+      const Summary& left, const Summary& right) const = 0;
+
+  /// Reconstructs a PPlan of this join's concrete type from its wire
+  /// encoding (used after the coordinator broadcasts the plan).
+  virtual Result<std::unique_ptr<PPlan>> DeserializePPlan(
+      ByteReader* in) const = 0;
+
+  // --- PARTITION -------------------------------------------------------
+
+  /// assign(key, PPlan): appends the bucket ids for `key` to `buckets`.
+  /// Single-assign joins append exactly one id.
+  virtual void Assign(const Value& key, const PPlan& plan, JoinSide side,
+                      std::vector<int32_t>* buckets) const = 0;
+
+  // --- COMBINE ---------------------------------------------------------
+
+  /// match(b1, b2): whether two buckets must be joined. The default is
+  /// equality (single-join); overriding it declares a multi-join and the
+  /// optimizer falls back to theta bucket matching (§VI-C). Overriders
+  /// must also override `UsesDefaultMatch` to return false.
+  virtual bool Match(int32_t bucket1, int32_t bucket2) const {
+    return bucket1 == bucket2;
+  }
+
+  /// verify(key1, key2): the exact join predicate on a candidate pair.
+  virtual bool Verify(const Value& key1, const Value& key2,
+                      const PPlan& plan) const = 0;
+
+  /// dedup(b1, key1, b2, key2, PPlan): true if this bucket pair is the
+  /// pair that should report (key1, key2). The default implements the
+  /// framework's duplicate avoidance: re-run `Assign` on both keys and
+  /// keep the pair only in the lexicographically-first matching bucket
+  /// pair. Joins with cheaper schemes (e.g. PBSM's reference point)
+  /// override it.
+  virtual bool Dedup(int32_t bucket1, const Value& key1, int32_t bucket2,
+                     const Value& key2, const PPlan& plan) const;
+
+  // --- Traits consulted by the optimizer (§VI-C) -----------------------
+
+  /// True when `Match` is the default equality, enabling the hash-join
+  /// bucket matching physical optimization.
+  virtual bool UsesDefaultMatch() const { return true; }
+
+  /// True when the same record can land in multiple buckets
+  /// (multi-assign), requiring duplicate handling.
+  virtual bool MultiAssign() const { return true; }
+
+  /// True when `Dedup` is the framework default. The runtime then runs
+  /// duplicate avoidance with per-record assignment lists computed once
+  /// per partition instead of per pair (same semantics, much cheaper).
+  /// Joins overriding `Dedup` must return false here.
+  virtual bool UsesDefaultDedup() const { return true; }
+
+  /// True when both sides are summarized identically, enabling the
+  /// self-join summarize-once optimization.
+  virtual bool SymmetricSummary() const { return true; }
+};
+
+/// Adapter that runs a join with its logical sides flipped: used by the
+/// optimizer when a query calls `f(b.key, a.key)` but the physical plan
+/// puts `a` on the left. All callbacks delegate with sides/keys/buckets
+/// reversed, so asymmetric predicates (e.g. ST_Contains) keep their
+/// meaning.
+class SwappedFlexibleJoin : public FlexibleJoin {
+ public:
+  explicit SwappedFlexibleJoin(std::shared_ptr<FlexibleJoin> base)
+      : base_(std::move(base)) {}
+
+  std::unique_ptr<Summary> CreateSummary(JoinSide side) const override {
+    return base_->CreateSummary(Flip(side));
+  }
+  Result<std::unique_ptr<PPlan>> Divide(
+      const Summary& left, const Summary& right) const override {
+    return base_->Divide(right, left);
+  }
+  Result<std::unique_ptr<PPlan>> DeserializePPlan(
+      ByteReader* in) const override {
+    return base_->DeserializePPlan(in);
+  }
+  void Assign(const Value& key, const PPlan& plan, JoinSide side,
+              std::vector<int32_t>* buckets) const override {
+    base_->Assign(key, plan, Flip(side), buckets);
+  }
+  bool Match(int32_t bucket1, int32_t bucket2) const override {
+    return base_->Match(bucket2, bucket1);
+  }
+  bool Verify(const Value& key1, const Value& key2,
+              const PPlan& plan) const override {
+    return base_->Verify(key2, key1, plan);
+  }
+  bool Dedup(int32_t bucket1, const Value& key1, int32_t bucket2,
+             const Value& key2, const PPlan& plan) const override {
+    return base_->Dedup(bucket2, key2, bucket1, key1, plan);
+  }
+  bool UsesDefaultMatch() const override {
+    return base_->UsesDefaultMatch();
+  }
+  bool MultiAssign() const override { return base_->MultiAssign(); }
+  bool UsesDefaultDedup() const override {
+    return base_->UsesDefaultDedup();
+  }
+  bool SymmetricSummary() const override {
+    return base_->SymmetricSummary();
+  }
+
+ private:
+  static JoinSide Flip(JoinSide side) {
+    return side == JoinSide::kLeft ? JoinSide::kRight : JoinSide::kLeft;
+  }
+
+  std::shared_ptr<FlexibleJoin> base_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_FUDJ_FLEXIBLE_JOIN_H_

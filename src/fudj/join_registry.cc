@@ -1,0 +1,47 @@
+#include "fudj/join_registry.h"
+
+namespace fudj {
+
+JoinLibraryRegistry& JoinLibraryRegistry::Global() {
+  static auto& registry = *new JoinLibraryRegistry();
+  return registry;
+}
+
+Status JoinLibraryRegistry::RegisterClass(const std::string& library,
+                                          const std::string& class_name,
+                                          FlexibleJoinFactory factory) {
+  auto& lib = libs_[library];
+  if (lib.count(class_name) > 0) {
+    return Status::AlreadyExists("class '" + class_name +
+                                 "' already registered in library '" +
+                                 library + "'");
+  }
+  lib[class_name] = std::move(factory);
+  return Status::OK();
+}
+
+Result<FlexibleJoinFactory> JoinLibraryRegistry::Lookup(
+    const std::string& library, const std::string& class_name) const {
+  auto lib_it = libs_.find(library);
+  if (lib_it == libs_.end()) {
+    return Status::NotFound("no join library named '" + library + "'");
+  }
+  auto cls_it = lib_it->second.find(class_name);
+  if (cls_it == lib_it->second.end()) {
+    return Status::NotFound("no class '" + class_name + "' in library '" +
+                            library + "'");
+  }
+  return cls_it->second;
+}
+
+std::vector<std::string> JoinLibraryRegistry::ListClasses() const {
+  std::vector<std::string> names;
+  for (const auto& [lib, classes] : libs_) {
+    for (const auto& [cls, factory] : classes) {
+      names.push_back(lib + ":" + cls);
+    }
+  }
+  return names;
+}
+
+}  // namespace fudj

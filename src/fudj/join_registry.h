@@ -1,0 +1,54 @@
+#ifndef FUDJ_FUDJ_JOIN_REGISTRY_H_
+#define FUDJ_FUDJ_JOIN_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fudj/flexible_join.h"
+
+namespace fudj {
+
+/// Creates a join instance with the query's scalar parameters bound
+/// (e.g. the similarity threshold). The paper's analog is instantiating
+/// the class named in CREATE JOIN from the uploaded JAR.
+using FlexibleJoinFactory =
+    std::function<std::unique_ptr<FlexibleJoin>(const JoinParameters&)>;
+
+/// Registry of join *libraries*: the in-process stand-in for uploaded
+/// library packages. Each library exposes named classes implementing
+/// FlexibleJoin; `CREATE JOIN ... AS "<class>" AT <library>` resolves
+/// against this registry.
+class JoinLibraryRegistry {
+ public:
+  /// Process-wide registry instance.
+  static JoinLibraryRegistry& Global();
+
+  /// Registers `class_name` in `library`. Re-registering an existing
+  /// class is an error (libraries are immutable once "uploaded").
+  Status RegisterClass(const std::string& library,
+                       const std::string& class_name,
+                       FlexibleJoinFactory factory);
+
+  /// Resolves a factory; NotFound if the library or class is missing.
+  Result<FlexibleJoinFactory> Lookup(const std::string& library,
+                                     const std::string& class_name) const;
+
+  /// All "<library>:<class>" names, for diagnostics.
+  std::vector<std::string> ListClasses() const;
+
+ private:
+  std::map<std::string, std::map<std::string, FlexibleJoinFactory>> libs_;
+};
+
+/// Registers the join libraries that ship with this repository
+/// ("flexiblejoins": spatial, interval, text-similarity, distance) into
+/// the global registry. Idempotent.
+void RegisterBundledJoinLibraries();
+
+}  // namespace fudj
+
+#endif  // FUDJ_FUDJ_JOIN_REGISTRY_H_

@@ -1,0 +1,28 @@
+#ifndef FUDJ_FUDJ_PPLAN_H_
+#define FUDJ_FUDJ_PPLAN_H_
+
+#include <string>
+
+#include "serde/buffer.h"
+
+namespace fudj {
+
+/// Partitioning Plan (Definition 4): the state produced by `divide` and
+/// consumed by `assign`, `verify`, and `dedup`.
+///
+/// From the engine's perspective a PPlan is an opaque single record
+/// (§VI-B); it is serialized once by the coordinator and broadcast to
+/// every worker, which the cost model charges for.
+class PPlan {
+ public:
+  virtual ~PPlan() = default;
+
+  virtual void Serialize(ByteWriter* out) const = 0;
+  virtual Status Deserialize(ByteReader* in) = 0;
+
+  virtual std::string ToString() const { return "PPlan"; }
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_FUDJ_PPLAN_H_

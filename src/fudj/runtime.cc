@@ -1,0 +1,440 @@
+#include "fudj/runtime.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/stopwatch.h"
+#include "engine/exchange.h"
+#include "serde/serde.h"
+
+namespace fudj {
+
+Result<std::unique_ptr<Summary>> FudjRuntime::Summarize(
+    const PartitionedRelation& rel, int key_col, JoinSide side,
+    ExecStats* stats, const std::string& label) const {
+  const int p_in = rel.num_partitions();
+  std::vector<std::unique_ptr<Summary>> partials(p_in);
+  std::atomic<bool> failed{false};
+  cluster_->RunStage(
+      "summarize-" + label,
+      [&](int p) {
+        if (p >= p_in) return;
+        auto rows = rel.Materialize(p);
+        if (!rows.ok()) {
+          failed.store(true);
+          return;
+        }
+        partials[p] = join_->CreateSummary(side);
+        for (const Tuple& t : *rows) partials[p]->Add(t[key_col]);
+      },
+      stats, /*rows_out=*/p_in);
+  if (failed.load()) return Status::Internal("summarize: bad partition");
+
+  // Gather partial summaries to the coordinator over the wire and merge
+  // (global_aggregate). Bytes charged: every non-coordinator partition
+  // ships its serialized summary.
+  std::unique_ptr<Summary> global = join_->CreateSummary(side);
+  int64_t bytes = 0;
+  Stopwatch merge_sw;
+  for (int p = 0; p < p_in; ++p) {
+    if (partials[p] == nullptr) continue;
+    ByteWriter w;
+    partials[p]->Serialize(&w);
+    if (p != 0) bytes += static_cast<int64_t>(w.size());
+    std::unique_ptr<Summary> wire = join_->CreateSummary(side);
+    ByteReader r(w.bytes());
+    FUDJ_RETURN_NOT_OK(wire->Deserialize(&r));
+    global->Merge(*wire);
+  }
+  cluster_->ChargeNetwork("summarize-" + label, bytes,
+                          p_in > 1 ? p_in - 1 : 0, stats);
+  if (stats != nullptr) {
+    stats->AddStage("global-aggregate-" + label, {merge_sw.ElapsedMillis()},
+                    1);
+  }
+  return global;
+}
+
+Result<std::shared_ptr<const PPlan>> FudjRuntime::DivideAndBroadcast(
+    const Summary& left, const Summary& right, ExecStats* stats) const {
+  Stopwatch sw;
+  FUDJ_ASSIGN_OR_RETURN(std::unique_ptr<PPlan> plan,
+                        join_->Divide(left, right));
+  // Broadcast the serialized plan to all workers; return the deserialized
+  // copy so the wire path is exercised end to end.
+  ByteWriter w;
+  plan->Serialize(&w);
+  ByteReader r(w.bytes());
+  FUDJ_ASSIGN_OR_RETURN(std::unique_ptr<PPlan> wire_plan,
+                        join_->DeserializePPlan(&r));
+  if (stats != nullptr) {
+    stats->AddStage("divide", {sw.ElapsedMillis()}, 1);
+  }
+  const int p = cluster_->num_workers();
+  cluster_->ChargeNetwork("divide",
+                          static_cast<int64_t>(w.size()) * (p - 1),
+                          p > 1 ? p - 1 : 0, stats);
+  return std::shared_ptr<const PPlan>(std::move(wire_plan));
+}
+
+namespace {
+
+/// Wire helpers for the carried "__assignments" column (sorted bucket
+/// ids, varint-delta encoded into a string value).
+std::string EncodeAssignments(const std::vector<int32_t>& sorted) {
+  ByteWriter w;
+  w.PutVarint(sorted.size());
+  int64_t prev = 0;
+  for (const int32_t b : sorted) {
+    w.PutVarint(static_cast<uint64_t>(static_cast<int64_t>(b) - prev));
+    prev = b;
+  }
+  return std::string(reinterpret_cast<const char*>(w.data()), w.size());
+}
+
+std::vector<int32_t> DecodeAssignments(const std::string& s) {
+  std::vector<int32_t> out;
+  ByteReader r(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  auto n = r.GetVarint();
+  if (!n.ok()) return out;
+  out.reserve(*n);
+  int64_t prev = 0;
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto d = r.GetVarint();
+    if (!d.ok()) break;
+    prev += static_cast<int64_t>(*d);
+    out.push_back(static_cast<int32_t>(prev));
+  }
+  return out;
+}
+
+constexpr char kAssignmentsColumn[] = "__assignments";
+
+bool HasAssignmentsColumn(const Schema& schema) {
+  return schema.num_fields() > 0 &&
+         schema.field(schema.num_fields() - 1).name == kAssignmentsColumn;
+}
+
+}  // namespace
+
+Result<PartitionedRelation> FudjRuntime::AssignUnnest(
+    const PartitionedRelation& rel, int key_col, const PPlan& plan,
+    JoinSide side, ExecStats* stats, const std::string& label,
+    bool attach_assignments) const {
+  Schema out_schema;
+  out_schema.AddField("bucket_id", ValueType::kInt64);
+  for (const Field& f : rel.schema().fields()) {
+    out_schema.AddField(f.name, f.type);
+  }
+  if (attach_assignments) {
+    out_schema.AddField(kAssignmentsColumn, ValueType::kString);
+  }
+  const FlexibleJoin* join = join_;
+  return TransformPartitions(
+      cluster_, rel, std::move(out_schema), "assign-" + label,
+      [join, key_col, &plan, side, attach_assignments](
+          int, const std::vector<Tuple>& rows, std::vector<Tuple>* out) {
+        std::vector<int32_t> buckets;
+        for (const Tuple& t : rows) {
+          buckets.clear();
+          join->Assign(t[key_col], plan, side, &buckets);
+          std::string encoded;
+          if (attach_assignments) {
+            std::vector<int32_t> sorted = buckets;
+            std::sort(sorted.begin(), sorted.end());
+            encoded = EncodeAssignments(sorted);
+          }
+          for (const int32_t b : buckets) {
+            Tuple row;
+            row.reserve(t.size() + 2);
+            row.push_back(Value::Int64(b));
+            row.insert(row.end(), t.begin(), t.end());
+            if (attach_assignments) {
+              row.push_back(Value::String(encoded));
+            }
+            out->push_back(std::move(row));
+          }
+        }
+        return Status::OK();
+      },
+      stats);
+}
+
+namespace {
+
+Schema JoinOutputSchema(const PartitionedRelation& assigned_left,
+                        const PartitionedRelation& assigned_right) {
+  // Drop the bucket_id column (index 0) and any trailing carried
+  // "__assignments" column from both sides.
+  Schema left;
+  Schema right;
+  const int l_end = assigned_left.schema().num_fields() -
+                    (HasAssignmentsColumn(assigned_left.schema()) ? 1 : 0);
+  const int r_end = assigned_right.schema().num_fields() -
+                    (HasAssignmentsColumn(assigned_right.schema()) ? 1 : 0);
+  for (int i = 1; i < l_end; ++i) {
+    const Field& f = assigned_left.schema().field(i);
+    left.AddField(f.name, f.type);
+  }
+  for (int i = 1; i < r_end; ++i) {
+    const Field& f = assigned_right.schema().field(i);
+    right.AddField(f.name, f.type);
+  }
+  return Schema::Concat(left, right);
+}
+
+Tuple EmitPair(const Tuple& l, const Tuple& r, bool l_carried,
+               bool r_carried) {
+  Tuple out;
+  out.reserve(l.size() + r.size() - 2);
+  out.insert(out.end(), l.begin() + 1, l.end() - (l_carried ? 1 : 0));
+  out.insert(out.end(), r.begin() + 1, r.end() - (r_carried ? 1 : 0));
+  return out;
+}
+
+}  // namespace
+
+Result<PartitionedRelation> FudjRuntime::CombineJoin(
+    const PartitionedRelation& left, int left_key_col,
+    const PartitionedRelation& right, int right_key_col, const PPlan& plan,
+    const FudjExecOptions& options, ExecStats* stats) const {
+  const FlexibleJoin* join = join_;
+  // Key columns in the assigned relations are shifted by the bucket_id.
+  const int lk = left_key_col + 1;
+  const int rk = right_key_col + 1;
+  const bool avoidance =
+      options.duplicates == DuplicateHandling::kAvoidance &&
+      join->MultiAssign();
+  const bool hash_path =
+      join->UsesDefaultMatch() && !options.force_theta_bucket_join;
+
+  Schema out_schema = JoinOutputSchema(left, right);
+
+  PartitionedRelation joined;
+  if (hash_path) {
+    // Single-join: hash-partition both sides on bucket_id, then a local
+    // hash join per worker (§VI-C's Hash Join physical optimization).
+    auto bucket_hash = [](const Tuple& t) {
+      return Mix64(static_cast<uint64_t>(t[0].i64()));
+    };
+    FUDJ_ASSIGN_OR_RETURN(
+        PartitionedRelation l_ex,
+        HashExchange(cluster_, left, bucket_hash, stats, "bucket-exchange-L"));
+    FUDJ_ASSIGN_OR_RETURN(
+        PartitionedRelation r_ex,
+        HashExchange(cluster_, right, bucket_hash, stats,
+                     "bucket-exchange-R"));
+    const bool l_carried = HasAssignmentsColumn(l_ex.schema());
+    const bool r_carried = HasAssignmentsColumn(r_ex.schema());
+    FUDJ_ASSIGN_OR_RETURN(
+        joined,
+        TransformPartitions(
+            cluster_, l_ex, out_schema, "bucket-hashjoin",
+            [&r_ex, join, lk, rk, &plan, avoidance, l_carried, r_carried](
+                int p, const std::vector<Tuple>& l_rows,
+                std::vector<Tuple>* out) -> Status {
+              FUDJ_ASSIGN_OR_RETURN(std::vector<Tuple> r_rows,
+                                    r_ex.Materialize(p));
+              std::unordered_multimap<int64_t, size_t> build;
+              build.reserve(r_rows.size());
+              for (size_t j = 0; j < r_rows.size(); ++j) {
+                build.emplace(r_rows[j][0].i64(), j);
+              }
+              // Default-dedup fast path: use each record's sorted
+              // assignment list (carried from AssignUnnest, or computed
+              // once per record here); a pair is kept only in its
+              // smallest common bucket.
+              const bool fast_dedup = avoidance && join->UsesDefaultDedup();
+              std::vector<std::vector<int32_t>> l_assign;
+              std::vector<std::vector<int32_t>> r_assign;
+              if (fast_dedup) {
+                l_assign.resize(l_rows.size());
+                r_assign.resize(r_rows.size());
+                for (size_t i = 0; i < l_rows.size(); ++i) {
+                  if (l_carried) {
+                    l_assign[i] = DecodeAssignments(l_rows[i].back().str());
+                  } else {
+                    join->Assign(l_rows[i][lk], plan, JoinSide::kLeft,
+                                 &l_assign[i]);
+                    std::sort(l_assign[i].begin(), l_assign[i].end());
+                  }
+                }
+                for (size_t j = 0; j < r_rows.size(); ++j) {
+                  if (r_carried) {
+                    r_assign[j] = DecodeAssignments(r_rows[j].back().str());
+                  } else {
+                    join->Assign(r_rows[j][rk], plan, JoinSide::kRight,
+                                 &r_assign[j]);
+                    std::sort(r_assign[j].begin(), r_assign[j].end());
+                  }
+                }
+              }
+              auto smallest_common = [](const std::vector<int32_t>& a,
+                                        const std::vector<int32_t>& b) {
+                size_t i = 0;
+                size_t j = 0;
+                while (i < a.size() && j < b.size()) {
+                  if (a[i] == b[j]) return a[i];
+                  if (a[i] < b[j]) {
+                    ++i;
+                  } else {
+                    ++j;
+                  }
+                }
+                return INT32_MIN;  // unreachable for matched pairs
+              };
+              for (size_t i = 0; i < l_rows.size(); ++i) {
+                const Tuple& l = l_rows[i];
+                auto [lo, hi] = build.equal_range(l[0].i64());
+                for (auto it = lo; it != hi; ++it) {
+                  const size_t j = it->second;
+                  const Tuple& r = r_rows[j];
+                  if (fast_dedup) {
+                    // Cheap dedup before the (possibly expensive) verify.
+                    if (smallest_common(l_assign[i], r_assign[j]) !=
+                        static_cast<int32_t>(l[0].i64())) {
+                      continue;
+                    }
+                  }
+                  if (!join->Verify(l[lk], r[rk], plan)) continue;
+                  if (avoidance && !fast_dedup &&
+                      !join->Dedup(static_cast<int32_t>(l[0].i64()), l[lk],
+                                   static_cast<int32_t>(r[0].i64()), r[rk],
+                                   plan)) {
+                    continue;
+                  }
+                  out->push_back(EmitPair(l, r, l_carried, r_carried));
+                }
+              }
+              return Status::OK();
+            },
+            stats));
+  } else {
+    // Multi-join (theta bucket matching): AsterixDB has no theta
+    // partitioning, so one side is randomly partitioned and the other
+    // broadcast (§VII-C explains the resulting scalability limit).
+    FUDJ_ASSIGN_OR_RETURN(
+        PartitionedRelation l_ex,
+        RandomExchange(cluster_, left, stats, "bucket-random-L"));
+    FUDJ_ASSIGN_OR_RETURN(
+        PartitionedRelation r_ex,
+        BroadcastExchange(cluster_, right, stats, "bucket-broadcast-R"));
+    FUDJ_ASSIGN_OR_RETURN(
+        joined,
+        TransformPartitions(
+            cluster_, l_ex, out_schema, "bucket-thetajoin",
+            [&r_ex, join, lk, rk, &plan, avoidance](
+                int p, const std::vector<Tuple>& l_rows,
+                std::vector<Tuple>* out) -> Status {
+              FUDJ_ASSIGN_OR_RETURN(std::vector<Tuple> r_rows,
+                                    r_ex.Materialize(p));
+              // Group both sides by bucket so `match` runs once per
+              // bucket pair rather than once per record pair.
+              std::unordered_map<int64_t, std::vector<const Tuple*>> lb;
+              std::unordered_map<int64_t, std::vector<const Tuple*>> rb;
+              for (const Tuple& l : l_rows) lb[l[0].i64()].push_back(&l);
+              for (const Tuple& r : r_rows) rb[r[0].i64()].push_back(&r);
+              for (const auto& [b1, ls] : lb) {
+                for (const auto& [b2, rs] : rb) {
+                  if (!join->Match(static_cast<int32_t>(b1),
+                                   static_cast<int32_t>(b2))) {
+                    continue;
+                  }
+                  for (const Tuple* l : ls) {
+                    for (const Tuple* r : rs) {
+                      if (!join->Verify((*l)[lk], (*r)[rk], plan)) continue;
+                      if (avoidance &&
+                          !join->Dedup(static_cast<int32_t>(b1), (*l)[lk],
+                                       static_cast<int32_t>(b2), (*r)[rk],
+                                       plan)) {
+                        continue;
+                      }
+                      out->push_back(EmitPair(*l, *r, false, false));
+                    }
+                  }
+                }
+              }
+              return Status::OK();
+            },
+            stats));
+  }
+
+  if (options.duplicates == DuplicateHandling::kElimination &&
+      join->MultiAssign()) {
+    // Global duplicate elimination: shuffle on the full output row so
+    // identical pairs co-locate, then drop repeats (Fig. 5a's extra
+    // stage).
+    FUDJ_ASSIGN_OR_RETURN(
+        PartitionedRelation shuffled,
+        HashExchange(
+            cluster_, joined,
+            [](const Tuple& t) {
+              std::vector<int> all(t.size());
+              for (size_t i = 0; i < t.size(); ++i) {
+                all[i] = static_cast<int>(i);
+              }
+              return HashTupleColumns(t, all);
+            },
+            stats, "dedup-exchange"));
+    FUDJ_ASSIGN_OR_RETURN(
+        joined,
+        TransformPartitions(
+            cluster_, shuffled, out_schema, "dedup-eliminate",
+            [](int, const std::vector<Tuple>& rows,
+               std::vector<Tuple>* out) {
+              std::unordered_set<std::string> seen;
+              for (const Tuple& t : rows) {
+                ByteWriter w;
+                SerializeTuple(t, &w);
+                std::string key(reinterpret_cast<const char*>(w.data()),
+                                w.size());
+                if (seen.insert(std::move(key)).second) out->push_back(t);
+              }
+              return Status::OK();
+            },
+            stats));
+  }
+  return joined;
+}
+
+Result<PartitionedRelation> FudjRuntime::Execute(
+    const PartitionedRelation& left, int left_key_col,
+    const PartitionedRelation& right, int right_key_col,
+    const FudjExecOptions& options, ExecStats* stats) const {
+  FUDJ_ASSIGN_OR_RETURN(
+      std::unique_ptr<Summary> s_left,
+      Summarize(left, left_key_col, JoinSide::kLeft, stats, "L"));
+  std::unique_ptr<Summary> s_right;
+  const bool self_join = &left == &right &&
+                         left_key_col == right_key_col &&
+                         join_->SymmetricSummary();
+  if (!self_join) {
+    FUDJ_ASSIGN_OR_RETURN(
+        s_right, Summarize(right, right_key_col, JoinSide::kRight, stats,
+                           "R"));
+  }
+  const Summary& right_summary = self_join ? *s_left : *s_right;
+  FUDJ_ASSIGN_OR_RETURN(std::shared_ptr<const PPlan> plan,
+                        DivideAndBroadcast(*s_left, right_summary, stats));
+  // Carry per-record assignment lists when the hash bucket join will run
+  // the default duplicate avoidance, so dedup never re-runs `assign`.
+  const bool attach = options.duplicates == DuplicateHandling::kAvoidance &&
+                      join_->MultiAssign() && join_->UsesDefaultDedup() &&
+                      join_->UsesDefaultMatch() &&
+                      !options.force_theta_bucket_join;
+  FUDJ_ASSIGN_OR_RETURN(
+      PartitionedRelation a_left,
+      AssignUnnest(left, left_key_col, *plan, JoinSide::kLeft, stats, "L",
+                   attach));
+  FUDJ_ASSIGN_OR_RETURN(
+      PartitionedRelation a_right,
+      AssignUnnest(right, right_key_col, *plan, JoinSide::kRight, stats,
+                   "R", attach));
+  return CombineJoin(a_left, left_key_col, a_right, right_key_col, *plan,
+                     options, stats);
+}
+
+}  // namespace fudj

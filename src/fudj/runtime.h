@@ -1,0 +1,92 @@
+#ifndef FUDJ_FUDJ_RUNTIME_H_
+#define FUDJ_FUDJ_RUNTIME_H_
+
+#include <memory>
+#include <string>
+
+#include "engine/cluster.h"
+#include "engine/operators.h"
+#include "engine/relation.h"
+#include "fudj/flexible_join.h"
+
+namespace fudj {
+
+/// Options controlling the COMBINE phase physical strategy.
+struct FudjExecOptions {
+  /// Duplicate handling; kAvoidance is the framework default (§VII-E).
+  DuplicateHandling duplicates = DuplicateHandling::kAvoidance;
+  /// Force theta (broadcast-NLJ) bucket matching even for default-match
+  /// joins; used by the ablation bench. The optimizer normally selects
+  /// hash bucket matching when `UsesDefaultMatch()` is true.
+  bool force_theta_bucket_join = false;
+};
+
+/// The framework's internal actors (§VI-B): given a user `FlexibleJoin`,
+/// these functions run the SUMMARIZE / PARTITION / COMBINE phases on a
+/// cluster, timing each stage and charging summary/PPlan/record shuffles
+/// to the network model. The optimizer's physical FUDJ operator delegates
+/// here; benches and tests can also drive the runtime directly.
+class FudjRuntime {
+ public:
+  /// `join` must outlive the runtime. `cluster` is not owned.
+  FudjRuntime(Cluster* cluster, const FlexibleJoin* join)
+      : cluster_(cluster), join_(join) {}
+
+  /// SUMMARIZE: per-partition local_aggregate over `rel[key_col]`, then a
+  /// gather + global_aggregate into one global summary. Summary bytes are
+  /// charged as (P-1) coordinator messages.
+  Result<std::unique_ptr<Summary>> Summarize(const PartitionedRelation& rel,
+                                             int key_col, JoinSide side,
+                                             ExecStats* stats,
+                                             const std::string& label) const;
+
+  /// DIVIDE on the coordinator + broadcast of the serialized PPlan to all
+  /// workers (returned deserialized, exercising the wire path).
+  Result<std::shared_ptr<const PPlan>> DivideAndBroadcast(
+      const Summary& left, const Summary& right, ExecStats* stats) const;
+
+  /// PARTITION: unnests each record into (bucket_id, record...) rows via
+  /// `assign`. Output schema: int64 "bucket_id" column prepended. With
+  /// `attach_assignments`, the record's full sorted bucket list is
+  /// carried as a trailing "__assignments" column so the COMBINE phase
+  /// can run the default duplicate avoidance without re-running `assign`
+  /// per pair (§IV-C: "producing the list of bucket_ids for each record
+  /// pair"). The extra bytes travel through the exchanges and are
+  /// charged by the network model.
+  Result<PartitionedRelation> AssignUnnest(
+      const PartitionedRelation& rel, int key_col, const PPlan& plan,
+      JoinSide side, ExecStats* stats, const std::string& label,
+      bool attach_assignments = false) const;
+
+  /// COMBINE: matches buckets (hash join on bucket id for default match,
+  /// broadcast theta join otherwise), verifies pairs, applies duplicate
+  /// handling. Inputs are AssignUnnest outputs; `key_col` indexes are
+  /// relative to the *original* relations (i.e. without the bucket_id
+  /// column). Output: left fields ++ right fields (bucket ids dropped).
+  Result<PartitionedRelation> CombineJoin(const PartitionedRelation& left,
+                                          int left_key_col,
+                                          const PartitionedRelation& right,
+                                          int right_key_col,
+                                          const PPlan& plan,
+                                          const FudjExecOptions& options,
+                                          ExecStats* stats) const;
+
+  /// Convenience: runs all phases end-to-end and returns the joined
+  /// relation. Applies the self-join summarize-once optimization when
+  /// `left` and `right` are the same object and the join declares a
+  /// symmetric summary.
+  Result<PartitionedRelation> Execute(const PartitionedRelation& left,
+                                      int left_key_col,
+                                      const PartitionedRelation& right,
+                                      int right_key_col,
+                                      const FudjExecOptions& options,
+                                      ExecStats* stats) const;
+
+ private:
+  Cluster* cluster_;
+  const FlexibleJoin* join_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_FUDJ_RUNTIME_H_

@@ -1,0 +1,42 @@
+#ifndef FUDJ_FUDJ_SUMMARY_H_
+#define FUDJ_FUDJ_SUMMARY_H_
+
+#include <memory>
+#include <string>
+
+#include "serde/buffer.h"
+#include "types/value.h"
+
+namespace fudj {
+
+/// SUMMARIZE-phase state (Definition 2 of the paper).
+///
+/// A Summary is the aggregate a join library computes over the keys of one
+/// side of the join. The framework drives the two-step aggregation of
+/// §IV-A: `Add` is the paper's `local_aggregate` (per-partition), `Merge`
+/// is `global_aggregate` (combining partition summaries into the global
+/// one). Summaries are serialized to cross node boundaries, so the network
+/// model charges their real size.
+class Summary {
+ public:
+  virtual ~Summary() = default;
+
+  /// local_aggregate(key, S): folds one key into this summary.
+  virtual void Add(const Value& key) = 0;
+
+  /// global_aggregate(S1, S2): merges `other` (same concrete type) into
+  /// this summary.
+  virtual void Merge(const Summary& other) = 0;
+
+  /// Wire encoding, used when partition summaries travel to the
+  /// coordinator.
+  virtual void Serialize(ByteWriter* out) const = 0;
+  virtual Status Deserialize(ByteReader* in) = 0;
+
+  /// Debug rendering.
+  virtual std::string ToString() const { return "Summary"; }
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_FUDJ_SUMMARY_H_

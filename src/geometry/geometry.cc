@@ -1,0 +1,261 @@
+#include "geometry/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace fudj {
+
+Rect Rect::Union(const Rect& o) const {
+  if (empty()) return o;
+  if (o.empty()) return *this;
+  return Rect(std::min(min_x, o.min_x), std::min(min_y, o.min_y),
+              std::max(max_x, o.max_x), std::max(max_y, o.max_y));
+}
+
+Rect Rect::Intersection(const Rect& o) const {
+  if (!Intersects(o)) return Rect();
+  return Rect(std::max(min_x, o.min_x), std::max(min_y, o.min_y),
+              std::min(max_x, o.max_x), std::min(max_y, o.max_y));
+}
+
+void Rect::Expand(const Point& p) {
+  if (empty()) {
+    min_x = max_x = p.x;
+    min_y = max_y = p.y;
+    return;
+  }
+  min_x = std::min(min_x, p.x);
+  min_y = std::min(min_y, p.y);
+  max_x = std::max(max_x, p.x);
+  max_y = std::max(max_y, p.y);
+}
+
+void Rect::Expand(const Rect& o) { *this = Union(o); }
+
+namespace {
+
+// Orientation of the ordered triple (a, b, c): >0 counter-clockwise,
+// <0 clockwise, 0 collinear.
+double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool OnSegment(const Point& a, const Point& b, const Point& p) {
+  return std::min(a.x, b.x) <= p.x && p.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= p.y && p.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+bool SegmentsIntersect(const Point& a, const Point& b, const Point& c,
+                       const Point& d) {
+  const double d1 = Cross(c, d, a);
+  const double d2 = Cross(c, d, b);
+  const double d3 = Cross(a, b, c);
+  const double d4 = Cross(a, b, d);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && OnSegment(c, d, a)) return true;
+  if (d2 == 0 && OnSegment(c, d, b)) return true;
+  if (d3 == 0 && OnSegment(a, b, c)) return true;
+  if (d4 == 0 && OnSegment(a, b, d)) return true;
+  return false;
+}
+
+bool Polygon::Contains(const Point& p) const {
+  const size_t n = vertices.size();
+  if (n < 3) return false;
+  bool inside = false;
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& vi = vertices[i];
+    const Point& vj = vertices[j];
+    // Boundary counts as contained.
+    if (Cross(vj, vi, p) == 0 && OnSegment(vj, vi, p)) return true;
+    if ((vi.y > p.y) != (vj.y > p.y)) {
+      const double x_int = vj.x + (p.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x);
+      if (p.x < x_int) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+Rect Polygon::Mbr() const {
+  Rect r;
+  for (const Point& v : vertices) r.Expand(v);
+  return r;
+}
+
+Geometry::Geometry(Polygon poly)
+    : kind_(Kind::kPolygon), polygon_(std::move(poly)) {
+  rect_ = polygon_.Mbr();  // cache the MBR alongside the ring
+}
+
+Rect Geometry::Mbr() const {
+  switch (kind_) {
+    case Kind::kPoint:
+      return Rect(point_.x, point_.y, point_.x, point_.y);
+    case Kind::kRect:
+    case Kind::kPolygon:
+      return rect_;
+  }
+  return Rect();
+}
+
+namespace {
+
+bool PolygonIntersectsRect(const Polygon& poly, const Rect& r) {
+  // Any vertex inside the rect, any rect corner inside the polygon, or any
+  // edge crossing.
+  for (const Point& v : poly.vertices) {
+    if (r.Contains(v)) return true;
+  }
+  const Point corners[4] = {{r.min_x, r.min_y},
+                            {r.max_x, r.min_y},
+                            {r.max_x, r.max_y},
+                            {r.min_x, r.max_y}};
+  for (const Point& c : corners) {
+    if (poly.Contains(c)) return true;
+  }
+  const size_t n = poly.vertices.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    for (int e = 0; e < 4; ++e) {
+      if (SegmentsIntersect(poly.vertices[j], poly.vertices[i], corners[e],
+                            corners[(e + 1) % 4])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool PolygonsIntersect(const Polygon& a, const Polygon& b) {
+  const size_t na = a.vertices.size();
+  const size_t nb = b.vertices.size();
+  for (size_t i = 0, j = na - 1; i < na; j = i++) {
+    for (size_t k = 0, l = nb - 1; k < nb; l = k++) {
+      if (SegmentsIntersect(a.vertices[j], a.vertices[i], b.vertices[l],
+                            b.vertices[k])) {
+        return true;
+      }
+    }
+  }
+  // One fully inside the other.
+  if (!a.vertices.empty() && b.Contains(a.vertices[0])) return true;
+  if (!b.vertices.empty() && a.Contains(b.vertices[0])) return true;
+  return false;
+}
+
+}  // namespace
+
+bool Geometry::Intersects(const Geometry& other) const {
+  if (!Mbr().Intersects(other.Mbr())) return false;
+  // Order the pair so the lower-kind geometry comes first.
+  const Geometry* a = this;
+  const Geometry* b = &other;
+  if (static_cast<int>(a->kind_) > static_cast<int>(b->kind_)) std::swap(a, b);
+  switch (a->kind_) {
+    case Kind::kPoint:
+      switch (b->kind_) {
+        case Kind::kPoint:
+          return a->point_ == b->point_;
+        case Kind::kRect:
+          return b->rect_.Contains(a->point_);
+        case Kind::kPolygon:
+          return b->polygon_.Contains(a->point_);
+      }
+      return false;
+    case Kind::kRect:
+      switch (b->kind_) {
+        case Kind::kRect:
+          return a->rect_.Intersects(b->rect_);
+        case Kind::kPolygon:
+          return PolygonIntersectsRect(b->polygon_, a->rect_);
+        default:
+          return false;
+      }
+    case Kind::kPolygon:
+      return PolygonsIntersect(a->polygon_, b->polygon_);
+  }
+  return false;
+}
+
+bool Geometry::Contains(const Geometry& other) const {
+  if (!Mbr().Contains(other.Mbr())) {
+    // A polygon can only contain what its MBR contains.
+    if (kind_ != Kind::kPoint && !Mbr().Intersects(other.Mbr())) return false;
+  }
+  switch (kind_) {
+    case Kind::kPoint:
+      return other.kind_ == Kind::kPoint && point_ == other.point_;
+    case Kind::kRect:
+      switch (other.kind_) {
+        case Kind::kPoint:
+          return rect_.Contains(other.point_);
+        case Kind::kRect:
+          return rect_.Contains(other.rect_);
+        case Kind::kPolygon:
+          return rect_.Contains(other.rect_);  // MBR containment
+      }
+      return false;
+    case Kind::kPolygon:
+      if (other.kind_ == Kind::kPoint) return polygon_.Contains(other.point_);
+      if (other.kind_ == Kind::kRect) {
+        const Rect& r = other.rect_;
+        return polygon_.Contains({r.min_x, r.min_y}) &&
+               polygon_.Contains({r.max_x, r.min_y}) &&
+               polygon_.Contains({r.max_x, r.max_y}) &&
+               polygon_.Contains({r.min_x, r.max_y});
+      }
+      // Polygon-in-polygon: all vertices inside and no edge crossings.
+      for (const Point& v : other.polygon_.vertices) {
+        if (!polygon_.Contains(v)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+double Geometry::Distance(const Geometry& other) const {
+  const Point a = kind_ == Kind::kPoint ? point_ : Mbr().center();
+  const Point b = other.kind_ == Kind::kPoint ? other.point_
+                                              : other.Mbr().center();
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::string Geometry::ToString() const {
+  char buf[128];
+  switch (kind_) {
+    case Kind::kPoint:
+      std::snprintf(buf, sizeof(buf), "POINT(%g %g)", point_.x, point_.y);
+      return buf;
+    case Kind::kRect:
+      std::snprintf(buf, sizeof(buf), "RECT(%g %g, %g %g)", rect_.min_x,
+                    rect_.min_y, rect_.max_x, rect_.max_y);
+      return buf;
+    case Kind::kPolygon:
+      std::snprintf(buf, sizeof(buf), "POLYGON(%zu vertices)",
+                    polygon_.vertices.size());
+      return buf;
+  }
+  return "GEOMETRY(?)";
+}
+
+bool Geometry::operator==(const Geometry& o) const {
+  if (kind_ != o.kind_) return false;
+  switch (kind_) {
+    case Kind::kPoint:
+      return point_ == o.point_;
+    case Kind::kRect:
+      return rect_ == o.rect_;
+    case Kind::kPolygon:
+      return polygon_.vertices == o.polygon_.vertices;
+  }
+  return false;
+}
+
+}  // namespace fudj

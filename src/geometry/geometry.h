@@ -1,0 +1,129 @@
+#ifndef FUDJ_GEOMETRY_GEOMETRY_H_
+#define FUDJ_GEOMETRY_GEOMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fudj {
+
+/// 2-D point.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+};
+
+/// Axis-aligned rectangle; doubles as a Minimum Bounding Rectangle (MBR).
+///
+/// An empty (default-constructed) rectangle has min > max and unions as the
+/// identity element, matching the paper's `MBR(g) U S` summarize step.
+struct Rect {
+  double min_x = 1.0;
+  double min_y = 1.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  Rect() = default;
+  Rect(double x0, double y0, double x1, double y1)
+      : min_x(x0), min_y(y0), max_x(x1), max_y(y1) {}
+
+  bool empty() const { return min_x > max_x || min_y > max_y; }
+  double width() const { return empty() ? 0.0 : max_x - min_x; }
+  double height() const { return empty() ? 0.0 : max_y - min_y; }
+  Point center() const {
+    return Point{(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+
+  /// Smallest rectangle covering this and `o` (the paper's U operator).
+  Rect Union(const Rect& o) const;
+  /// Intersection; empty if disjoint.
+  Rect Intersection(const Rect& o) const;
+  /// Grows to include `p`.
+  void Expand(const Point& p);
+  /// Grows to include `o`.
+  void Expand(const Rect& o);
+
+  bool Intersects(const Rect& o) const {
+    if (empty() || o.empty()) return false;
+    return min_x <= o.max_x && max_x >= o.min_x && min_y <= o.max_y &&
+           max_y >= o.min_y;
+  }
+  bool Contains(const Point& p) const {
+    return !empty() && p.x >= min_x && p.x <= max_x && p.y >= min_y &&
+           p.y <= max_y;
+  }
+  bool Contains(const Rect& o) const {
+    return !empty() && !o.empty() && o.min_x >= min_x && o.max_x <= max_x &&
+           o.min_y >= min_y && o.max_y <= max_y;
+  }
+
+  bool operator==(const Rect& o) const {
+    return min_x == o.min_x && min_y == o.min_y && max_x == o.max_x &&
+           max_y == o.max_y;
+  }
+};
+
+/// Simple polygon (ring of vertices, implicitly closed, no holes).
+struct Polygon {
+  std::vector<Point> vertices;
+
+  /// True if `p` is inside or on the boundary (ray casting + edge test).
+  bool Contains(const Point& p) const;
+  /// Minimum bounding rectangle of the ring.
+  Rect Mbr() const;
+};
+
+/// Geometry variant used as a join key type: a point, rectangle, or polygon.
+///
+/// This is the repo's equivalent of AsterixDB's `geometry` type; the serde
+/// layer (src/serde) knows how to move it across the engine/library
+/// boundary.
+class Geometry {
+ public:
+  enum class Kind : uint8_t { kPoint = 0, kRect = 1, kPolygon = 2 };
+
+  Geometry() : kind_(Kind::kPoint) {}
+  explicit Geometry(const Point& p) : kind_(Kind::kPoint), point_(p) {}
+  explicit Geometry(const Rect& r) : kind_(Kind::kRect), rect_(r) {}
+  explicit Geometry(Polygon poly);
+
+  Kind kind() const { return kind_; }
+  const Point& point() const { return point_; }
+  const Rect& rect() const { return rect_; }
+  const Polygon& polygon() const { return polygon_; }
+
+  /// MBR of the geometry (the paper's `MBR()` function).
+  Rect Mbr() const;
+
+  /// Exact geometry-geometry intersection test (MBR prefilter + exact
+  /// kernels per kind pair).
+  bool Intersects(const Geometry& other) const;
+
+  /// ST_Contains: true if this geometry spatially contains `other`.
+  /// Supported for rect/polygon containers over points and rects.
+  bool Contains(const Geometry& other) const;
+
+  /// ST_Distance between geometry centers (Euclidean); exact for points.
+  double Distance(const Geometry& other) const;
+
+  /// Debug string such as "POINT(1 2)".
+  std::string ToString() const;
+
+  bool operator==(const Geometry& o) const;
+
+ private:
+  Kind kind_;
+  Point point_;
+  Rect rect_;
+  Polygon polygon_;
+};
+
+/// Exact segment-segment intersection test (inclusive of endpoints).
+bool SegmentsIntersect(const Point& a, const Point& b, const Point& c,
+                       const Point& d);
+
+}  // namespace fudj
+
+#endif  // FUDJ_GEOMETRY_GEOMETRY_H_

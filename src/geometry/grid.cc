@@ -1,0 +1,53 @@
+#include "geometry/grid.h"
+
+#include <algorithm>
+
+namespace fudj {
+
+UniformGrid::UniformGrid(const Rect& space, int n)
+    : space_(space), n_(n < 1 ? 1 : n) {
+  const double w = space_.width();
+  const double h = space_.height();
+  tile_w_ = w > 0 ? w / n_ : 1.0;
+  tile_h_ = h > 0 ? h / n_ : 1.0;
+}
+
+int UniformGrid::ClampCol(double x) const {
+  int c = static_cast<int>((x - space_.min_x) / tile_w_);
+  return std::clamp(c, 0, n_ - 1);
+}
+
+int UniformGrid::ClampRow(double y) const {
+  int r = static_cast<int>((y - space_.min_y) / tile_h_);
+  return std::clamp(r, 0, n_ - 1);
+}
+
+int32_t UniformGrid::TileOf(const Point& p) const {
+  return static_cast<int32_t>(ClampRow(p.y) * n_ + ClampCol(p.x));
+}
+
+void UniformGrid::OverlappingTiles(const Rect& mbr,
+                                   std::vector<int32_t>* out) const {
+  if (mbr.empty() || !space_.Intersects(mbr)) return;
+  const int c0 = ClampCol(mbr.min_x);
+  const int c1 = ClampCol(mbr.max_x);
+  const int r0 = ClampRow(mbr.min_y);
+  const int r1 = ClampRow(mbr.max_y);
+  out->reserve(out->size() +
+               static_cast<size_t>(c1 - c0 + 1) * (r1 - r0 + 1));
+  for (int r = r0; r <= r1; ++r) {
+    for (int c = c0; c <= c1; ++c) {
+      out->push_back(static_cast<int32_t>(r * n_ + c));
+    }
+  }
+}
+
+Rect UniformGrid::TileRect(int32_t id) const {
+  const int c = TileCol(id);
+  const int r = TileRow(id);
+  return Rect(space_.min_x + c * tile_w_, space_.min_y + r * tile_h_,
+              space_.min_x + (c + 1) * tile_w_,
+              space_.min_y + (r + 1) * tile_h_);
+}
+
+}  // namespace fudj

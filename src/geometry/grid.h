@@ -1,0 +1,51 @@
+#ifndef FUDJ_GEOMETRY_GRID_H_
+#define FUDJ_GEOMETRY_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/geometry.h"
+
+namespace fudj {
+
+/// Uniform n x n grid over a space MBR, as used by PBSM-style spatial
+/// partitioning: tiles are numbered row-major from 0 to n*n - 1.
+///
+/// Shared by the Spatial FUDJ library and the built-in spatial operator so
+/// the two baselines partition identically.
+class UniformGrid {
+ public:
+  UniformGrid() : n_(1) {}
+  /// `space` must be non-empty; `n` >= 1.
+  UniformGrid(const Rect& space, int n);
+
+  int n() const { return n_; }
+  const Rect& space() const { return space_; }
+  int64_t num_tiles() const { return static_cast<int64_t>(n_) * n_; }
+
+  /// Tile id covering point `p` (clamped into the grid).
+  int32_t TileOf(const Point& p) const;
+
+  /// Appends the ids of every tile whose extent overlaps `mbr`.
+  void OverlappingTiles(const Rect& mbr, std::vector<int32_t>* out) const;
+
+  /// Extent of tile `id`.
+  Rect TileRect(int32_t id) const;
+
+  /// Column/row of tile `id`.
+  int32_t TileCol(int32_t id) const { return id % n_; }
+  int32_t TileRow(int32_t id) const { return id / n_; }
+
+ private:
+  int ClampCol(double x) const;
+  int ClampRow(double y) const;
+
+  Rect space_;
+  int n_;
+  double tile_w_ = 1.0;
+  double tile_h_ = 1.0;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_GEOMETRY_GRID_H_

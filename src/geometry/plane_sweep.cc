@@ -1,0 +1,41 @@
+#include "geometry/plane_sweep.h"
+
+#include <algorithm>
+
+namespace fudj {
+
+void PlaneSweepJoin(std::vector<SweepEntry> left,
+                    std::vector<SweepEntry> right,
+                    const std::function<void(int64_t, int64_t)>& emit) {
+  auto by_min_x = [](const SweepEntry& a, const SweepEntry& b) {
+    return a.mbr.min_x < b.mbr.min_x;
+  };
+  std::sort(left.begin(), left.end(), by_min_x);
+  std::sort(right.begin(), right.end(), by_min_x);
+
+  size_t i = 0;
+  size_t j = 0;
+  while (i < left.size() && j < right.size()) {
+    if (left[i].mbr.min_x <= right[j].mbr.min_x) {
+      // left[i] is the next event: scan right entries starting at j while
+      // they can still overlap on x.
+      const Rect& l = left[i].mbr;
+      for (size_t k = j; k < right.size() && right[k].mbr.min_x <= l.max_x;
+           ++k) {
+        if (l.Intersects(right[k].mbr)) emit(left[i].payload,
+                                             right[k].payload);
+      }
+      ++i;
+    } else {
+      const Rect& r = right[j].mbr;
+      for (size_t k = i; k < left.size() && left[k].mbr.min_x <= r.max_x;
+           ++k) {
+        if (r.Intersects(left[k].mbr)) emit(left[k].payload,
+                                            right[j].payload);
+      }
+      ++j;
+    }
+  }
+}
+
+}  // namespace fudj

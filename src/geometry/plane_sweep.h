@@ -1,0 +1,31 @@
+#ifndef FUDJ_GEOMETRY_PLANE_SWEEP_H_
+#define FUDJ_GEOMETRY_PLANE_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geometry/geometry.h"
+
+namespace fudj {
+
+/// (MBR, caller payload) pair fed to the sweep.
+struct SweepEntry {
+  Rect mbr;
+  int64_t payload = 0;
+};
+
+/// Plane-sweep MBR intersection join between two sets of rectangles.
+///
+/// This is the local-join optimization of §VII-F: inside a tile, instead of
+/// an all-pairs nested loop, both sides are sorted by min_x and swept; the
+/// callback receives each pair of payloads whose MBRs intersect. The
+/// callback order is unspecified. Entries are passed by value because the
+/// sweep sorts them in place.
+void PlaneSweepJoin(std::vector<SweepEntry> left,
+                    std::vector<SweepEntry> right,
+                    const std::function<void(int64_t, int64_t)>& emit);
+
+}  // namespace fudj
+
+#endif  // FUDJ_GEOMETRY_PLANE_SWEEP_H_

@@ -1,0 +1,14 @@
+#include "interval/interval.h"
+
+#include <cstdio>
+
+namespace fudj {
+
+std::string Interval::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%lld, %lld]",
+                static_cast<long long>(start), static_cast<long long>(end));
+  return buf;
+}
+
+}  // namespace fudj

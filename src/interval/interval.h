@@ -1,0 +1,62 @@
+#ifndef FUDJ_INTERVAL_INTERVAL_H_
+#define FUDJ_INTERVAL_INTERVAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace fudj {
+
+/// Half-open-agnostic time interval [start, end] with millisecond (or any
+/// integer) resolution. This is the repo's equivalent of AsterixDB's
+/// `interval` type; §VI-B notes intervals cross the FUDJ serde boundary as
+/// two longs.
+struct Interval {
+  int64_t start = 0;
+  int64_t end = 0;
+
+  Interval() = default;
+  Interval(int64_t s, int64_t e) : start(s), end(e) {}
+
+  int64_t length() const { return end - start; }
+
+  /// The paper's `interval_overlapping` predicate:
+  /// (i1.start <= i2.end) and (i1.end >= i2.start).
+  bool Overlaps(const Interval& o) const {
+    return start <= o.end && end >= o.start;
+  }
+
+  bool Contains(int64_t t) const { return t >= start && t <= end; }
+
+  /// Smallest interval covering both.
+  Interval Union(const Interval& o) const {
+    return Interval(std::min(start, o.start), std::max(end, o.end));
+  }
+
+  bool operator==(const Interval& o) const {
+    return start == o.start && end == o.end;
+  }
+
+  std::string ToString() const;
+};
+
+/// Encodes (start granule, end granule) into a single bucket id as the
+/// OIPJoin-style Interval FUDJ does: `(start << 16) | end`. Granule ids
+/// must fit in 16 bits.
+inline int32_t EncodeGranuleBucket(int32_t start_granule,
+                                   int32_t end_granule) {
+  return static_cast<int32_t>(
+      (static_cast<uint32_t>(start_granule) << 16) |
+      (static_cast<uint32_t>(end_granule) & 0xFFFFu));
+}
+
+inline int32_t DecodeGranuleStart(int32_t bucket) {
+  return static_cast<int32_t>(static_cast<uint32_t>(bucket) >> 16);
+}
+inline int32_t DecodeGranuleEnd(int32_t bucket) {
+  return static_cast<int32_t>(static_cast<uint32_t>(bucket) & 0xFFFFu);
+}
+
+}  // namespace fudj
+
+#endif  // FUDJ_INTERVAL_INTERVAL_H_

@@ -1,0 +1,58 @@
+// Registration of the join libraries that ship with this repository.
+// This is the in-process analog of uploading the paper's "flexiblejoins"
+// JAR before running CREATE JOIN statements against it.
+
+#include "fudj/join_registry.h"
+#include "joins/distance_fudj.h"
+#include "joins/interval_fudj.h"
+#include "joins/spatial_auto_fudj.h"
+#include "joins/spatial_distance_fudj.h"
+#include "joins/spatial_fudj.h"
+#include "joins/textsim_fudj.h"
+
+namespace fudj {
+
+void RegisterBundledJoinLibraries() {
+  static const bool registered = [] {
+    auto& reg = JoinLibraryRegistry::Global();
+    (void)reg.RegisterClass(
+        "flexiblejoins", "spatial.SpatialJoin",
+        [](const JoinParameters& p) -> std::unique_ptr<FlexibleJoin> {
+          return std::make_unique<SpatialFudj>(p);
+        });
+    (void)reg.RegisterClass(
+        "flexiblejoins", "spatial.SpatialJoinRefPoint",
+        [](const JoinParameters& p) -> std::unique_ptr<FlexibleJoin> {
+          return std::make_unique<SpatialFudjRefPoint>(p);
+        });
+    (void)reg.RegisterClass(
+        "flexiblejoins", "spatial.SpatialJoinAuto",
+        [](const JoinParameters& p) -> std::unique_ptr<FlexibleJoin> {
+          return std::make_unique<SpatialFudjAuto>(p);
+        });
+    (void)reg.RegisterClass(
+        "flexiblejoins", "spatial.SpatialDistanceJoin",
+        [](const JoinParameters& p) -> std::unique_ptr<FlexibleJoin> {
+          return std::make_unique<SpatialDistanceFudj>(p);
+        });
+    (void)reg.RegisterClass(
+        "flexiblejoins", "setsimilarity.SetSimilarityJoin",
+        [](const JoinParameters& p) -> std::unique_ptr<FlexibleJoin> {
+          return std::make_unique<TextSimFudj>(p);
+        });
+    (void)reg.RegisterClass(
+        "flexiblejoins", "interval.IntervalJoin",
+        [](const JoinParameters& p) -> std::unique_ptr<FlexibleJoin> {
+          return std::make_unique<IntervalFudj>(p);
+        });
+    (void)reg.RegisterClass(
+        "flexiblejoins", "distance.DistanceJoin",
+        [](const JoinParameters& p) -> std::unique_ptr<FlexibleJoin> {
+          return std::make_unique<DistanceFudj>(p);
+        });
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace fudj

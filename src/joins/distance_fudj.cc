@@ -1,0 +1,130 @@
+#include "joins/distance_fudj.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace fudj {
+
+void RangeSummary::Add(const Value& key) {
+  const double v = key.AsDouble().ValueOr(0.0);
+  if (min_ > max_) {
+    min_ = max_ = v;
+    return;
+  }
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void RangeSummary::Merge(const Summary& other) {
+  const auto& o = static_cast<const RangeSummary&>(other);
+  if (o.min_ > o.max_) return;
+  if (min_ > max_) {
+    min_ = o.min_;
+    max_ = o.max_;
+    return;
+  }
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+void RangeSummary::Serialize(ByteWriter* out) const {
+  out->PutDouble(min_);
+  out->PutDouble(max_);
+}
+
+Status RangeSummary::Deserialize(ByteReader* in) {
+  FUDJ_ASSIGN_OR_RETURN(min_, in->GetDouble());
+  FUDJ_ASSIGN_OR_RETURN(max_, in->GetDouble());
+  return Status::OK();
+}
+
+std::string RangeSummary::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "RangeSummary[%g, %g]", min_, max_);
+  return buf;
+}
+
+DistancePPlan::DistancePPlan(double min, double max, double epsilon)
+    : min_(min), epsilon_(epsilon <= 0.0 ? 1.0 : epsilon) {
+  const double span = max - min;
+  num_stripes_ =
+      span <= 0.0 ? 1
+                  : static_cast<int32_t>(std::floor(span / epsilon_)) + 1;
+}
+
+int32_t DistancePPlan::StripeOf(double v) const {
+  auto s = static_cast<int32_t>(std::floor((v - min_) / epsilon_));
+  return std::clamp(s, 0, num_stripes_ - 1);
+}
+
+void DistancePPlan::Serialize(ByteWriter* out) const {
+  out->PutDouble(min_);
+  out->PutDouble(epsilon_);
+  out->PutI32(num_stripes_);
+}
+
+Status DistancePPlan::Deserialize(ByteReader* in) {
+  FUDJ_ASSIGN_OR_RETURN(min_, in->GetDouble());
+  FUDJ_ASSIGN_OR_RETURN(epsilon_, in->GetDouble());
+  FUDJ_ASSIGN_OR_RETURN(num_stripes_, in->GetI32());
+  return Status::OK();
+}
+
+std::string DistancePPlan::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "DistancePPlan(%d stripes, eps=%g)",
+                num_stripes_, epsilon_);
+  return buf;
+}
+
+DistanceFudj::DistanceFudj(const JoinParameters& params)
+    : epsilon_(params.GetDouble(0, 1.0)) {
+  if (epsilon_ <= 0.0) epsilon_ = 1.0;
+}
+
+std::unique_ptr<Summary> DistanceFudj::CreateSummary(JoinSide side) const {
+  return std::make_unique<RangeSummary>();
+}
+
+Result<std::unique_ptr<PPlan>> DistanceFudj::Divide(
+    const Summary& left, const Summary& right) const {
+  const auto& l = static_cast<const RangeSummary&>(left);
+  const auto& r = static_cast<const RangeSummary&>(right);
+  const double min = std::min(l.min(), r.min());
+  const double max = std::max(l.max(), r.max());
+  return std::unique_ptr<PPlan>(
+      std::make_unique<DistancePPlan>(min, max, epsilon_));
+}
+
+Result<std::unique_ptr<PPlan>> DistanceFudj::DeserializePPlan(
+    ByteReader* in) const {
+  auto plan = std::make_unique<DistancePPlan>();
+  FUDJ_RETURN_NOT_OK(plan->Deserialize(in));
+  return std::unique_ptr<PPlan>(std::move(plan));
+}
+
+void DistanceFudj::Assign(const Value& key, const PPlan& plan, JoinSide side,
+                          std::vector<int32_t>* buckets) const {
+  const auto& dplan = static_cast<const DistancePPlan&>(plan);
+  const int32_t s = dplan.StripeOf(key.AsDouble().ValueOr(0.0));
+  if (side == JoinSide::kLeft) {
+    buckets->push_back(s);
+    return;
+  }
+  // Right side replicates into neighbor stripes so every within-epsilon
+  // pair shares the left record's stripe exactly once.
+  for (int32_t d = -1; d <= 1; ++d) {
+    const int32_t n = s + d;
+    if (n >= 0 && n < dplan.num_stripes()) buckets->push_back(n);
+  }
+}
+
+bool DistanceFudj::Verify(const Value& key1, const Value& key2,
+                          const PPlan& plan) const {
+  const auto& dplan = static_cast<const DistancePPlan&>(plan);
+  return std::fabs(key1.AsDouble().ValueOr(0.0) -
+                   key2.AsDouble().ValueOr(0.0)) <= dplan.epsilon();
+}
+
+}  // namespace fudj

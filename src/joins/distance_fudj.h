@@ -1,0 +1,87 @@
+#ifndef FUDJ_JOINS_DISTANCE_FUDJ_H_
+#define FUDJ_JOINS_DISTANCE_FUDJ_H_
+
+#include <memory>
+#include <vector>
+
+#include "fudj/flexible_join.h"
+
+namespace fudj {
+
+/// Summary of a numeric input: its value range.
+class RangeSummary : public Summary {
+ public:
+  void Add(const Value& key) override;
+  void Merge(const Summary& other) override;
+  void Serialize(ByteWriter* out) const override;
+  Status Deserialize(ByteReader* in) override;
+  std::string ToString() const override;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  double min_ = 1.0;
+  double max_ = 0.0;  // min > max means empty
+};
+
+/// Partitioning plan of the 1-D distance join: the domain cut into
+/// epsilon-width stripes.
+class DistancePPlan : public PPlan {
+ public:
+  DistancePPlan() = default;
+  DistancePPlan(double min, double max, double epsilon);
+
+  double epsilon() const { return epsilon_; }
+  int32_t num_stripes() const { return num_stripes_; }
+  /// Stripe index of `v`, clamped into [0, num_stripes).
+  int32_t StripeOf(double v) const;
+
+  void Serialize(ByteWriter* out) const override;
+  Status Deserialize(ByteReader* in) override;
+  std::string ToString() const override;
+
+ private:
+  double min_ = 0.0;
+  double epsilon_ = 1.0;
+  int32_t num_stripes_ = 1;
+};
+
+/// 1-D numeric distance join: |a - b| <= epsilon.
+///
+/// This join is **not** described in the paper — it is implemented purely
+/// against the public FUDJ API (see examples/custom_join.cc) to
+/// demonstrate the extensibility claim: a new distributed join in well
+/// under a hundred lines, with no engine changes.
+///
+/// Strategy: stripe the joint domain into epsilon-wide buckets; the left
+/// side single-assigns to its stripe, the right side multi-assigns to its
+/// stripe and both neighbors; match stays default equality so the hash
+/// bucket join applies; verify checks the exact distance. Asymmetric
+/// assignment avoids duplicates *by construction* for pairs in different
+/// stripes, and the framework's default avoidance handles the rest.
+///
+/// Parameters: [0] epsilon (default 1.0).
+class DistanceFudj : public FlexibleJoin {
+ public:
+  explicit DistanceFudj(const JoinParameters& params);
+
+  std::unique_ptr<Summary> CreateSummary(JoinSide side) const override;
+  Result<std::unique_ptr<PPlan>> Divide(const Summary& left,
+                                        const Summary& right) const override;
+  Result<std::unique_ptr<PPlan>> DeserializePPlan(
+      ByteReader* in) const override;
+  void Assign(const Value& key, const PPlan& plan, JoinSide side,
+              std::vector<int32_t>* buckets) const override;
+  bool Verify(const Value& key1, const Value& key2,
+              const PPlan& plan) const override;
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_JOINS_DISTANCE_FUDJ_H_

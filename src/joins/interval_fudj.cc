@@ -1,0 +1,129 @@
+#include "joins/interval_fudj.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fudj {
+
+void IntervalSummary::Add(const Value& key) {
+  const Interval& iv = key.interval();
+  min_start_ = std::min(min_start_, iv.start);
+  max_end_ = std::max(max_end_, iv.end);
+}
+
+void IntervalSummary::Merge(const Summary& other) {
+  const auto& o = static_cast<const IntervalSummary&>(other);
+  min_start_ = std::min(min_start_, o.min_start_);
+  max_end_ = std::max(max_end_, o.max_end_);
+}
+
+void IntervalSummary::Serialize(ByteWriter* out) const {
+  out->PutI64(min_start_);
+  out->PutI64(max_end_);
+}
+
+Status IntervalSummary::Deserialize(ByteReader* in) {
+  FUDJ_ASSIGN_OR_RETURN(min_start_, in->GetI64());
+  FUDJ_ASSIGN_OR_RETURN(max_end_, in->GetI64());
+  return Status::OK();
+}
+
+std::string IntervalSummary::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "IntervalSummary[%lld, %lld]",
+                static_cast<long long>(min_start_),
+                static_cast<long long>(max_end_));
+  return buf;
+}
+
+IntervalPPlan::IntervalPPlan(int64_t min_start, int64_t max_end,
+                             int32_t num_buckets)
+    : min_start_(min_start),
+      max_end_(max_end),
+      num_buckets_(num_buckets < 1 ? 1 : num_buckets) {
+  const double span = static_cast<double>(max_end_ - min_start_) + 1.0;
+  granule_len_ = span / num_buckets_;
+  if (granule_len_ <= 0.0) granule_len_ = 1.0;
+}
+
+int32_t IntervalPPlan::GranuleOf(int64_t t) const {
+  const double offset = static_cast<double>(t - min_start_);
+  auto g = static_cast<int32_t>(offset / granule_len_);
+  return std::clamp(g, 0, num_buckets_ - 1);
+}
+
+void IntervalPPlan::Serialize(ByteWriter* out) const {
+  out->PutI64(min_start_);
+  out->PutI64(max_end_);
+  out->PutI32(num_buckets_);
+}
+
+Status IntervalPPlan::Deserialize(ByteReader* in) {
+  FUDJ_ASSIGN_OR_RETURN(const int64_t s, in->GetI64());
+  FUDJ_ASSIGN_OR_RETURN(const int64_t e, in->GetI64());
+  FUDJ_ASSIGN_OR_RETURN(const int32_t n, in->GetI32());
+  *this = IntervalPPlan(s, e, n);
+  return Status::OK();
+}
+
+std::string IntervalPPlan::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "IntervalPPlan(%d granules over [%lld, %lld])",
+                num_buckets_, static_cast<long long>(min_start_),
+                static_cast<long long>(max_end_));
+  return buf;
+}
+
+IntervalFudj::IntervalFudj(const JoinParameters& params)
+    : num_buckets_(static_cast<int32_t>(params.GetInt(0, 1000))) {
+  num_buckets_ = std::clamp(num_buckets_, 1, 65535);
+}
+
+std::unique_ptr<Summary> IntervalFudj::CreateSummary(JoinSide side) const {
+  return std::make_unique<IntervalSummary>();
+}
+
+Result<std::unique_ptr<PPlan>> IntervalFudj::Divide(
+    const Summary& left, const Summary& right) const {
+  const auto& l = static_cast<const IntervalSummary&>(left);
+  const auto& r = static_cast<const IntervalSummary&>(right);
+  if (l.empty() && r.empty()) {
+    return std::unique_ptr<PPlan>(
+        std::make_unique<IntervalPPlan>(0, 0, num_buckets_));
+  }
+  const int64_t min_start = std::min(l.min_start(), r.min_start());
+  const int64_t max_end = std::max(l.max_end(), r.max_end());
+  return std::unique_ptr<PPlan>(
+      std::make_unique<IntervalPPlan>(min_start, max_end, num_buckets_));
+}
+
+Result<std::unique_ptr<PPlan>> IntervalFudj::DeserializePPlan(
+    ByteReader* in) const {
+  auto plan = std::make_unique<IntervalPPlan>();
+  FUDJ_RETURN_NOT_OK(plan->Deserialize(in));
+  return std::unique_ptr<PPlan>(std::move(plan));
+}
+
+void IntervalFudj::Assign(const Value& key, const PPlan& plan, JoinSide side,
+                          std::vector<int32_t>* buckets) const {
+  const auto& iplan = static_cast<const IntervalPPlan&>(plan);
+  const Interval& iv = key.interval();
+  const int32_t start = iplan.GranuleOf(iv.start);
+  const int32_t end = std::max(start, iplan.GranuleOf(iv.end));
+  buckets->push_back(EncodeGranuleBucket(start, end));
+}
+
+bool IntervalFudj::Match(int32_t bucket1, int32_t bucket2) const {
+  const int32_t s1 = DecodeGranuleStart(bucket1);
+  const int32_t e1 = DecodeGranuleEnd(bucket1);
+  const int32_t s2 = DecodeGranuleStart(bucket2);
+  const int32_t e2 = DecodeGranuleEnd(bucket2);
+  return s1 <= e2 && e1 >= s2;
+}
+
+bool IntervalFudj::Verify(const Value& key1, const Value& key2,
+                          const PPlan& plan) const {
+  return key1.interval().Overlaps(key2.interval());
+}
+
+}  // namespace fudj

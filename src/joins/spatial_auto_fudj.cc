@@ -1,0 +1,64 @@
+#include "joins/spatial_auto_fudj.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace fudj {
+
+void MbrCountSummary::Add(const Value& key) {
+  MbrSummary::Add(key);
+  ++count_;
+}
+
+void MbrCountSummary::Merge(const Summary& other) {
+  MbrSummary::Merge(other);
+  count_ += static_cast<const MbrCountSummary&>(other).count_;
+}
+
+void MbrCountSummary::Serialize(ByteWriter* out) const {
+  MbrSummary::Serialize(out);
+  out->PutI64(count_);
+}
+
+Status MbrCountSummary::Deserialize(ByteReader* in) {
+  FUDJ_RETURN_NOT_OK(MbrSummary::Deserialize(in));
+  FUDJ_ASSIGN_OR_RETURN(count_, in->GetI64());
+  return Status::OK();
+}
+
+std::string MbrCountSummary::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s + count=%lld",
+                MbrSummary::ToString().c_str(),
+                static_cast<long long>(count_));
+  return buf;
+}
+
+SpatialFudjAuto::SpatialFudjAuto(const JoinParameters& params)
+    // Map the auto join's parameter layout onto the base class: slot 0 is
+    // the predicate here (the grid size is chosen automatically).
+    : SpatialFudj(JoinParameters(
+          {Value::Int64(1), Value::Int64(params.GetInt(0, 0))})),
+      target_per_tile_(params.GetDouble(1, 2.0)) {
+  if (target_per_tile_ <= 0) target_per_tile_ = 2.0;
+}
+
+std::unique_ptr<Summary> SpatialFudjAuto::CreateSummary(
+    JoinSide side) const {
+  return std::make_unique<MbrCountSummary>();
+}
+
+Result<std::unique_ptr<PPlan>> SpatialFudjAuto::Divide(
+    const Summary& left, const Summary& right) const {
+  const auto& l = static_cast<const MbrCountSummary&>(left);
+  const auto& r = static_cast<const MbrCountSummary&>(right);
+  const Rect joint = l.mbr().Intersection(r.mbr());
+  const double total = static_cast<double>(l.count() + r.count());
+  const int n = std::clamp(
+      static_cast<int>(std::ceil(std::sqrt(total / target_per_tile_))), 1,
+      4096);
+  return std::unique_ptr<PPlan>(std::make_unique<SpatialPPlan>(joint, n));
+}
+
+}  // namespace fudj

@@ -1,0 +1,53 @@
+#ifndef FUDJ_JOINS_SPATIAL_AUTO_FUDJ_H_
+#define FUDJ_JOINS_SPATIAL_AUTO_FUDJ_H_
+
+#include <memory>
+
+#include "joins/spatial_fudj.h"
+
+namespace fudj {
+
+/// Spatial summary that gathers record counts alongside the MBR —
+/// the "more dataset statistics during the SUMMARIZE phase" of the
+/// paper's future-work section (§VIII).
+class MbrCountSummary : public MbrSummary {
+ public:
+  void Add(const Value& key) override;
+  void Merge(const Summary& other) override;
+  void Serialize(ByteWriter* out) const override;
+  Status Deserialize(ByteReader* in) override;
+  std::string ToString() const override;
+
+  int64_t count() const { return count_; }
+
+ private:
+  int64_t count_ = 0;
+};
+
+/// Spatial FUDJ with automatic grid sizing (paper future work §VIII:
+/// "automate the process of finding the optimum number of buckets by
+/// gathering more dataset statistics during the SUMMARIZE phase").
+///
+/// The summary additionally counts records; `divide` then sizes the grid
+/// so the expected records per tile is a small constant:
+///     n = clamp(ceil(sqrt((|R| + |S|) / target_per_tile)), 1, 4096)
+///
+/// Parameters: [0] predicate (0 = intersects, 1 = contains);
+/// [1] target records per tile (default 2.0).
+class SpatialFudjAuto : public SpatialFudj {
+ public:
+  explicit SpatialFudjAuto(const JoinParameters& params);
+
+  std::unique_ptr<Summary> CreateSummary(JoinSide side) const override;
+  Result<std::unique_ptr<PPlan>> Divide(const Summary& left,
+                                        const Summary& right) const override;
+
+  double target_per_tile() const { return target_per_tile_; }
+
+ private:
+  double target_per_tile_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_JOINS_SPATIAL_AUTO_FUDJ_H_

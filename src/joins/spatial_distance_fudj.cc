@@ -1,0 +1,75 @@
+#include "joins/spatial_distance_fudj.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fudj {
+
+SpatialDistanceFudj::SpatialDistanceFudj(const JoinParameters& params)
+    : radius_(params.GetDouble(0, 1.0)) {
+  if (radius_ <= 0.0) radius_ = 1.0;
+}
+
+std::unique_ptr<Summary> SpatialDistanceFudj::CreateSummary(
+    JoinSide side) const {
+  return std::make_unique<MbrSummary>();
+}
+
+Result<std::unique_ptr<PPlan>> SpatialDistanceFudj::Divide(
+    const Summary& left, const Summary& right) const {
+  // Unlike the intersection-based PBSM join, distance pairs can straddle
+  // the boundary between the two inputs' MBRs, so the grid covers their
+  // union. Cell side must be >= r so neighbors-of-one-cell cover every
+  // within-distance pair.
+  const Rect joint = static_cast<const MbrSummary&>(left).mbr().Union(
+      static_cast<const MbrSummary&>(right).mbr());
+  int n = 1;
+  if (!joint.empty()) {
+    const double min_side = std::min(
+        joint.width() > 0 ? joint.width() : radius_,
+        joint.height() > 0 ? joint.height() : radius_);
+    n = std::clamp(static_cast<int>(std::floor(min_side / radius_)), 1,
+                   2048);
+  }
+  return std::unique_ptr<PPlan>(std::make_unique<SpatialPPlan>(joint, n));
+}
+
+Result<std::unique_ptr<PPlan>> SpatialDistanceFudj::DeserializePPlan(
+    ByteReader* in) const {
+  auto plan = std::make_unique<SpatialPPlan>();
+  FUDJ_RETURN_NOT_OK(plan->Deserialize(in));
+  return std::unique_ptr<PPlan>(std::move(plan));
+}
+
+void SpatialDistanceFudj::Assign(const Value& key, const PPlan& plan,
+                                 JoinSide side,
+                                 std::vector<int32_t>* buckets) const {
+  const UniformGrid& grid =
+      static_cast<const SpatialPPlan&>(plan).grid();
+  const Point center = key.geometry().Mbr().center();
+  const int32_t cell = grid.TileOf(center);
+  if (side == JoinSide::kLeft) {
+    buckets->push_back(cell);
+    return;
+  }
+  // Right side replicates into the 3x3 neighborhood so each
+  // within-distance pair shares the left record's cell exactly once.
+  const int32_t col = grid.TileCol(cell);
+  const int32_t row = grid.TileRow(cell);
+  for (int32_t dr = -1; dr <= 1; ++dr) {
+    for (int32_t dc = -1; dc <= 1; ++dc) {
+      const int32_t c = col + dc;
+      const int32_t r = row + dr;
+      if (c < 0 || c >= grid.n() || r < 0 || r >= grid.n()) continue;
+      buckets->push_back(r * grid.n() + c);
+    }
+  }
+}
+
+bool SpatialDistanceFudj::Verify(const Value& key1, const Value& key2,
+                                 const PPlan& plan) const {
+  // Matches the paper's `ST_Distance(a, b) < r` predicate (strict).
+  return key1.geometry().Distance(key2.geometry()) < radius_;
+}
+
+}  // namespace fudj

@@ -1,0 +1,48 @@
+#ifndef FUDJ_JOINS_SPATIAL_DISTANCE_FUDJ_H_
+#define FUDJ_JOINS_SPATIAL_DISTANCE_FUDJ_H_
+
+#include <memory>
+#include <vector>
+
+#include "fudj/flexible_join.h"
+#include "geometry/grid.h"
+#include "joins/spatial_fudj.h"  // MbrSummary, SpatialPPlan
+
+namespace fudj {
+
+/// 2-D spatial distance join: pairs whose geometries lie within `r` of
+/// each other (the `ST_Distance(f.location, w.location) < 1` predicate
+/// of the paper's motivating Query 3).
+///
+/// Strategy: grid the joint space with cells of side >= r. The left side
+/// single-assigns to its center cell; the right side multi-assigns to
+/// its cell and all 8 neighbors, so every within-distance pair shares
+/// the left record's cell exactly once (duplicates avoided *by
+/// construction* for cross-cell pairs; the framework default handles
+/// the rest). Match stays default equality, so the optimizer selects
+/// the hash bucket join.
+///
+/// Parameters: [0] distance threshold r (default 1.0).
+class SpatialDistanceFudj : public FlexibleJoin {
+ public:
+  explicit SpatialDistanceFudj(const JoinParameters& params);
+
+  std::unique_ptr<Summary> CreateSummary(JoinSide side) const override;
+  Result<std::unique_ptr<PPlan>> Divide(const Summary& left,
+                                        const Summary& right) const override;
+  Result<std::unique_ptr<PPlan>> DeserializePPlan(
+      ByteReader* in) const override;
+  void Assign(const Value& key, const PPlan& plan, JoinSide side,
+              std::vector<int32_t>* buckets) const override;
+  bool Verify(const Value& key1, const Value& key2,
+              const PPlan& plan) const override;
+
+  double radius() const { return radius_; }
+
+ private:
+  double radius_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_JOINS_SPATIAL_DISTANCE_FUDJ_H_

@@ -1,0 +1,124 @@
+#include "joins/spatial_fudj.h"
+
+#include <cstdio>
+
+namespace fudj {
+
+void MbrSummary::Add(const Value& key) {
+  mbr_.Expand(key.geometry().Mbr());
+}
+
+void MbrSummary::Merge(const Summary& other) {
+  mbr_.Expand(static_cast<const MbrSummary&>(other).mbr_);
+}
+
+void MbrSummary::Serialize(ByteWriter* out) const {
+  out->PutU8(mbr_.empty() ? 0 : 1);
+  out->PutDouble(mbr_.min_x);
+  out->PutDouble(mbr_.min_y);
+  out->PutDouble(mbr_.max_x);
+  out->PutDouble(mbr_.max_y);
+}
+
+Status MbrSummary::Deserialize(ByteReader* in) {
+  FUDJ_ASSIGN_OR_RETURN(const uint8_t nonempty, in->GetU8());
+  FUDJ_ASSIGN_OR_RETURN(const double x0, in->GetDouble());
+  FUDJ_ASSIGN_OR_RETURN(const double y0, in->GetDouble());
+  FUDJ_ASSIGN_OR_RETURN(const double x1, in->GetDouble());
+  FUDJ_ASSIGN_OR_RETURN(const double y1, in->GetDouble());
+  mbr_ = nonempty != 0 ? Rect(x0, y0, x1, y1) : Rect();
+  return Status::OK();
+}
+
+std::string MbrSummary::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "MbrSummary(%g %g, %g %g)", mbr_.min_x,
+                mbr_.min_y, mbr_.max_x, mbr_.max_y);
+  return buf;
+}
+
+void SpatialPPlan::Serialize(ByteWriter* out) const {
+  out->PutI32(grid_.n());
+  const Rect& r = grid_.space();
+  out->PutDouble(r.min_x);
+  out->PutDouble(r.min_y);
+  out->PutDouble(r.max_x);
+  out->PutDouble(r.max_y);
+}
+
+Status SpatialPPlan::Deserialize(ByteReader* in) {
+  FUDJ_ASSIGN_OR_RETURN(const int32_t n, in->GetI32());
+  FUDJ_ASSIGN_OR_RETURN(const double x0, in->GetDouble());
+  FUDJ_ASSIGN_OR_RETURN(const double y0, in->GetDouble());
+  FUDJ_ASSIGN_OR_RETURN(const double x1, in->GetDouble());
+  FUDJ_ASSIGN_OR_RETURN(const double y1, in->GetDouble());
+  grid_ = UniformGrid(Rect(x0, y0, x1, y1), n);
+  return Status::OK();
+}
+
+std::string SpatialPPlan::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "SpatialPPlan(grid %dx%d)", grid_.n(),
+                grid_.n());
+  return buf;
+}
+
+SpatialFudj::SpatialFudj(const JoinParameters& params)
+    : n_(static_cast<int>(params.GetInt(0, 1200))),
+      predicate_(static_cast<SpatialPredicate>(
+          static_cast<int>(params.GetInt(1, 0)))) {
+  if (n_ < 1) n_ = 1;
+}
+
+std::unique_ptr<Summary> SpatialFudj::CreateSummary(JoinSide side) const {
+  return std::make_unique<MbrSummary>();
+}
+
+Result<std::unique_ptr<PPlan>> SpatialFudj::Divide(
+    const Summary& left, const Summary& right) const {
+  const Rect& l = static_cast<const MbrSummary&>(left).mbr();
+  const Rect& r = static_cast<const MbrSummary&>(right).mbr();
+  // Only the overlap of the two inputs' MBRs can contain join results
+  // (the paper's `MBR <- S1 n S2`).
+  const Rect joint = l.Intersection(r);
+  return std::unique_ptr<PPlan>(std::make_unique<SpatialPPlan>(joint, n_));
+}
+
+Result<std::unique_ptr<PPlan>> SpatialFudj::DeserializePPlan(
+    ByteReader* in) const {
+  auto plan = std::make_unique<SpatialPPlan>();
+  FUDJ_RETURN_NOT_OK(plan->Deserialize(in));
+  return std::unique_ptr<PPlan>(std::move(plan));
+}
+
+void SpatialFudj::Assign(const Value& key, const PPlan& plan, JoinSide side,
+                         std::vector<int32_t>* buckets) const {
+  const auto& splan = static_cast<const SpatialPPlan&>(plan);
+  splan.grid().OverlappingTiles(key.geometry().Mbr(), buckets);
+}
+
+bool SpatialFudj::Verify(const Value& key1, const Value& key2,
+                         const PPlan& plan) const {
+  switch (predicate_) {
+    case SpatialPredicate::kIntersects:
+      return key1.geometry().Intersects(key2.geometry());
+    case SpatialPredicate::kContains:
+      return key1.geometry().Contains(key2.geometry());
+  }
+  return false;
+}
+
+bool SpatialFudjRefPoint::Dedup(int32_t bucket1, const Value& key1,
+                                int32_t bucket2, const Value& key2,
+                                const PPlan& plan) const {
+  if (bucket1 != bucket2) return false;
+  const auto& splan = static_cast<const SpatialPPlan&>(plan);
+  const Rect overlap =
+      key1.geometry().Mbr().Intersection(key2.geometry().Mbr());
+  if (overlap.empty()) return false;
+  // Report the pair only in the tile holding the reference point (the
+  // bottom-left corner of the MBR overlap).
+  return splan.grid().TileOf({overlap.min_x, overlap.min_y}) == bucket1;
+}
+
+}  // namespace fudj

@@ -1,0 +1,156 @@
+#include "joins/textsim_fudj.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "text/jaccard.h"
+#include "text/tokenizer.h"
+
+namespace fudj {
+
+void WordCountSummary::Add(const Value& key) {
+  for (const std::string& token : Tokenize(key.str())) {
+    ++counts_[token];
+  }
+}
+
+void WordCountSummary::Merge(const Summary& other) {
+  for (const auto& [token, count] :
+       static_cast<const WordCountSummary&>(other).counts_) {
+    counts_[token] += count;
+  }
+}
+
+void WordCountSummary::Serialize(ByteWriter* out) const {
+  out->PutVarint(counts_.size());
+  for (const auto& [token, count] : counts_) {
+    out->PutString(token);
+    out->PutVarint(static_cast<uint64_t>(count));
+  }
+}
+
+Status WordCountSummary::Deserialize(ByteReader* in) {
+  counts_.clear();
+  FUDJ_ASSIGN_OR_RETURN(const uint64_t n, in->GetVarint());
+  counts_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    FUDJ_ASSIGN_OR_RETURN(std::string token, in->GetString());
+    FUDJ_ASSIGN_OR_RETURN(const uint64_t count, in->GetVarint());
+    counts_[std::move(token)] = static_cast<int64_t>(count);
+  }
+  return Status::OK();
+}
+
+std::string WordCountSummary::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "WordCountSummary(%zu tokens)",
+                counts_.size());
+  return buf;
+}
+
+int32_t TextSimPPlan::RankOf(const std::string& token) const {
+  auto it = ranks_.find(token);
+  if (it != ranks_.end()) return it->second;
+  return static_cast<int32_t>(ranks_.size());
+}
+
+void TextSimPPlan::Serialize(ByteWriter* out) const {
+  out->PutDouble(threshold_);
+  out->PutVarint(ranks_.size());
+  for (const auto& [token, rank] : ranks_) {
+    out->PutString(token);
+    out->PutI32(rank);
+  }
+}
+
+Status TextSimPPlan::Deserialize(ByteReader* in) {
+  ranks_.clear();
+  FUDJ_ASSIGN_OR_RETURN(threshold_, in->GetDouble());
+  FUDJ_ASSIGN_OR_RETURN(const uint64_t n, in->GetVarint());
+  ranks_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    FUDJ_ASSIGN_OR_RETURN(std::string token, in->GetString());
+    FUDJ_ASSIGN_OR_RETURN(const int32_t rank, in->GetI32());
+    ranks_[std::move(token)] = rank;
+  }
+  return Status::OK();
+}
+
+std::string TextSimPPlan::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "TextSimPPlan(%zu tokens, t=%.2f)",
+                ranks_.size(), threshold_);
+  return buf;
+}
+
+TextSimFudj::TextSimFudj(const JoinParameters& params)
+    : threshold_(params.GetDouble(0, 0.9)) {
+  if (threshold_ <= 0.0 || threshold_ > 1.0) threshold_ = 0.9;
+}
+
+std::unique_ptr<Summary> TextSimFudj::CreateSummary(JoinSide side) const {
+  return std::make_unique<WordCountSummary>();
+}
+
+Result<std::unique_ptr<PPlan>> TextSimFudj::Divide(
+    const Summary& left, const Summary& right) const {
+  // Merge both sides' counts, then rank ascending by count so that rank 0
+  // is the globally rarest token (the paper's sortByCount).
+  std::unordered_map<std::string, int64_t> merged =
+      static_cast<const WordCountSummary&>(left).counts();
+  for (const auto& [token, count] :
+       static_cast<const WordCountSummary&>(right).counts()) {
+    merged[token] += count;
+  }
+  std::vector<std::pair<std::string, int64_t>> by_count(merged.begin(),
+                                                        merged.end());
+  std::sort(by_count.begin(), by_count.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;  // deterministic tie-break
+            });
+  std::unordered_map<std::string, int32_t> ranks;
+  ranks.reserve(by_count.size());
+  for (size_t i = 0; i < by_count.size(); ++i) {
+    ranks[by_count[i].first] = static_cast<int32_t>(i);
+  }
+  return std::unique_ptr<PPlan>(
+      std::make_unique<TextSimPPlan>(std::move(ranks), threshold_));
+}
+
+Result<std::unique_ptr<PPlan>> TextSimFudj::DeserializePPlan(
+    ByteReader* in) const {
+  auto plan = std::make_unique<TextSimPPlan>();
+  FUDJ_RETURN_NOT_OK(plan->Deserialize(in));
+  return std::unique_ptr<PPlan>(std::move(plan));
+}
+
+void TextSimFudj::Assign(const Value& key, const PPlan& plan, JoinSide side,
+                         std::vector<int32_t>* buckets) const {
+  const auto& tplan = static_cast<const TextSimPPlan&>(plan);
+  const std::vector<std::string> tokens = TokenSet(key.str());
+  if (tokens.empty()) return;
+  std::vector<int32_t> ranks;
+  ranks.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    ranks.push_back(tplan.RankOf(token));
+  }
+  std::sort(ranks.begin(), ranks.end());
+  const size_t prefix =
+      JaccardPrefixLength(tokens.size(), tplan.threshold());
+  buckets->insert(buckets->end(), ranks.begin(),
+                  ranks.begin() + static_cast<long>(prefix));
+}
+
+bool TextSimFudj::Verify(const Value& key1, const Value& key2,
+                         const PPlan& plan) const {
+  const auto& tplan = static_cast<const TextSimPPlan&>(plan);
+  const std::vector<std::string> a = TokenSet(key1.str());
+  const std::vector<std::string> b = TokenSet(key2.str());
+  if (!JaccardLengthFilter(a.size(), b.size(), tplan.threshold())) {
+    return false;
+  }
+  return JaccardSimilarity(a, b) >= tplan.threshold();
+}
+
+}  // namespace fudj

@@ -1,0 +1,228 @@
+#include "optimizer/expr.h"
+
+#include <algorithm>
+
+#include "optimizer/functions.h"
+
+namespace fudj {
+
+Expr::Ptr Expr::Column(std::string name) {
+  auto e = Ptr(new Expr(ExprKind::kColumn));
+  e->name_ = std::move(name);
+  return e;
+}
+
+Expr::Ptr Expr::Literal(Value v) {
+  auto e = Ptr(new Expr(ExprKind::kLiteral));
+  e->literal_ = std::move(v);
+  return e;
+}
+
+Expr::Ptr Expr::Call(std::string fn, std::vector<Ptr> args) {
+  auto e = Ptr(new Expr(ExprKind::kCall));
+  e->name_ = std::move(fn);
+  std::transform(e->name_.begin(), e->name_.end(), e->name_.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  e->children_ = std::move(args);
+  return e;
+}
+
+Expr::Ptr Expr::Compare(CompareOp op, Ptr lhs, Ptr rhs) {
+  auto e = Ptr(new Expr(ExprKind::kCompare));
+  e->compare_op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+Expr::Ptr Expr::And(Ptr lhs, Ptr rhs) {
+  auto e = Ptr(new Expr(ExprKind::kAnd));
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+Expr::Ptr Expr::Or(Ptr lhs, Ptr rhs) {
+  auto e = Ptr(new Expr(ExprKind::kOr));
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+Expr::Ptr Expr::Not(Ptr inner) {
+  auto e = Ptr(new Expr(ExprKind::kNot));
+  e->children_ = {std::move(inner)};
+  return e;
+}
+
+Expr::Ptr Expr::Star() { return Ptr(new Expr(ExprKind::kStar)); }
+
+Status Expr::Bind(const Schema& schema) {
+  switch (kind_) {
+    case ExprKind::kColumn: {
+      FUDJ_ASSIGN_OR_RETURN(column_index_, schema.Resolve(name_));
+      return Status::OK();
+    }
+    case ExprKind::kLiteral:
+    case ExprKind::kStar:
+      return Status::OK();
+    case ExprKind::kCall:
+      if (!IsAggregateCall() &&
+          !ScalarFunctionRegistry::Global().Has(name_)) {
+        return Status::NotFound("no scalar function named '" + name_ + "'");
+      }
+      [[fallthrough]];
+    case ExprKind::kCompare:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kNot:
+      for (const Ptr& c : children_) {
+        FUDJ_RETURN_NOT_OK(c->Bind(schema));
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown expr kind");
+}
+
+Result<Value> Expr::Eval(const Tuple& t) const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      if (column_index_ < 0 ||
+          column_index_ >= static_cast<int>(t.size())) {
+        return Status::Internal("unbound column '" + name_ + "'");
+      }
+      return t[column_index_];
+    case ExprKind::kLiteral:
+      return literal_;
+    case ExprKind::kStar:
+      return Status::Internal("'*' outside COUNT(*)");
+    case ExprKind::kCall: {
+      FUDJ_ASSIGN_OR_RETURN(ScalarFunction fn,
+                            ScalarFunctionRegistry::Global().Lookup(name_));
+      std::vector<Value> args;
+      args.reserve(children_.size());
+      for (const Ptr& c : children_) {
+        FUDJ_ASSIGN_OR_RETURN(Value v, c->Eval(t));
+        args.push_back(std::move(v));
+      }
+      return fn(args);
+    }
+    case ExprKind::kCompare: {
+      FUDJ_ASSIGN_OR_RETURN(const Value lhs, children_[0]->Eval(t));
+      FUDJ_ASSIGN_OR_RETURN(const Value rhs, children_[1]->Eval(t));
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      const int c = lhs.Compare(rhs);
+      switch (compare_op_) {
+        case CompareOp::kEq:
+          return Value::Bool(lhs.Equals(rhs));
+        case CompareOp::kNe:
+          return Value::Bool(!lhs.Equals(rhs));
+        case CompareOp::kLt:
+          return Value::Bool(c < 0);
+        case CompareOp::kLe:
+          return Value::Bool(c <= 0);
+        case CompareOp::kGt:
+          return Value::Bool(c > 0);
+        case CompareOp::kGe:
+          return Value::Bool(c >= 0);
+      }
+      return Status::Internal("bad compare op");
+    }
+    case ExprKind::kAnd: {
+      FUDJ_ASSIGN_OR_RETURN(const Value lhs, children_[0]->Eval(t));
+      if (lhs.type() == ValueType::kBool && !lhs.bool_val()) {
+        return Value::Bool(false);
+      }
+      FUDJ_ASSIGN_OR_RETURN(const Value rhs, children_[1]->Eval(t));
+      return Value::Bool(lhs.type() == ValueType::kBool && lhs.bool_val() &&
+                         rhs.type() == ValueType::kBool && rhs.bool_val());
+    }
+    case ExprKind::kOr: {
+      FUDJ_ASSIGN_OR_RETURN(const Value lhs, children_[0]->Eval(t));
+      if (lhs.type() == ValueType::kBool && lhs.bool_val()) {
+        return Value::Bool(true);
+      }
+      FUDJ_ASSIGN_OR_RETURN(const Value rhs, children_[1]->Eval(t));
+      return Value::Bool(rhs.type() == ValueType::kBool && rhs.bool_val());
+    }
+    case ExprKind::kNot: {
+      FUDJ_ASSIGN_OR_RETURN(const Value v, children_[0]->Eval(t));
+      if (v.is_null()) return Value::Null();
+      return Value::Bool(v.type() == ValueType::kBool && !v.bool_val());
+    }
+  }
+  return Status::Internal("unknown expr kind");
+}
+
+bool Expr::EvalBool(const Tuple& t) const {
+  auto v = Eval(t);
+  return v.ok() && v->type() == ValueType::kBool && v->bool_val();
+}
+
+void Expr::CollectConjuncts(const Ptr& e, std::vector<Ptr>* out) {
+  if (e == nullptr) return;
+  if (e->kind_ == ExprKind::kAnd) {
+    CollectConjuncts(e->children_[0], out);
+    CollectConjuncts(e->children_[1], out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+void Expr::CollectColumns(std::vector<std::string>* out) const {
+  if (kind_ == ExprKind::kColumn) {
+    out->push_back(name_);
+    return;
+  }
+  for (const Ptr& c : children_) c->CollectColumns(out);
+}
+
+bool Expr::AllColumnsIn(const Schema& schema) const {
+  std::vector<std::string> cols;
+  CollectColumns(&cols);
+  for (const std::string& c : cols) {
+    if (schema.IndexOf(c) < 0) return false;
+  }
+  return true;
+}
+
+bool Expr::IsAggregateCall() const {
+  if (kind_ != ExprKind::kCall) return false;
+  return name_ == "count" || name_ == "sum" || name_ == "avg" ||
+         name_ == "min" || name_ == "max";
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return name_;
+    case ExprKind::kLiteral:
+      return literal_.type() == ValueType::kString
+                 ? "'" + literal_.ToString() + "'"
+                 : literal_.ToString();
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kCall: {
+      std::string s = name_ + "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += children_[i]->ToString();
+      }
+      return s + ")";
+    }
+    case ExprKind::kCompare: {
+      static const char* kOps[] = {"=", "<>", "<", "<=", ">", ">="};
+      return children_[0]->ToString() + " " +
+             kOps[static_cast<int>(compare_op_)] + " " +
+             children_[1]->ToString();
+    }
+    case ExprKind::kAnd:
+      return "(" + children_[0]->ToString() + " AND " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kOr:
+      return "(" + children_[0]->ToString() + " OR " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kNot:
+      return "NOT (" + children_[0]->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace fudj

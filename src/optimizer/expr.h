@@ -1,0 +1,103 @@
+#ifndef FUDJ_OPTIMIZER_EXPR_H_
+#define FUDJ_OPTIMIZER_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace fudj {
+
+/// Expression node kinds.
+enum class ExprKind {
+  kColumn,   // possibly-qualified column reference
+  kLiteral,  // constant Value
+  kCall,     // scalar or aggregate function call
+  kCompare,  // binary comparison
+  kAnd,
+  kOr,
+  kNot,
+  kStar,  // the '*' inside COUNT(*)
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Immutable expression tree node. Built by the SQL parser or by query
+/// builders in benches/examples; `Bind` resolves column references
+/// against a schema, after which `Eval` computes the value for a tuple.
+class Expr {
+ public:
+  using Ptr = std::shared_ptr<Expr>;
+
+  static Ptr Column(std::string name);
+  static Ptr Literal(Value v);
+  static Ptr Call(std::string fn, std::vector<Ptr> args);
+  static Ptr Compare(CompareOp op, Ptr lhs, Ptr rhs);
+  static Ptr And(Ptr lhs, Ptr rhs);
+  static Ptr Or(Ptr lhs, Ptr rhs);
+  static Ptr Not(Ptr inner);
+  static Ptr Star();
+
+  ExprKind kind() const { return kind_; }
+
+  // kColumn
+  const std::string& column_name() const { return name_; }
+  /// Resolved column index; valid after Bind.
+  int column_index() const { return column_index_; }
+
+  // kLiteral
+  const Value& literal() const { return literal_; }
+
+  // kCall
+  const std::string& function_name() const { return name_; }
+  const std::vector<Ptr>& args() const { return children_; }
+
+  // kCompare
+  CompareOp compare_op() const { return compare_op_; }
+
+  // kAnd/kOr/kNot/kCompare children
+  const std::vector<Ptr>& children() const { return children_; }
+
+  /// Resolves column references against `schema` and looks up scalar
+  /// functions. Binding is idempotent and may be re-done against a
+  /// different schema (the planner binds pushed-down conjuncts against
+  /// table schemas and residuals against the join schema).
+  Status Bind(const Schema& schema);
+
+  /// Evaluates the bound expression over `t`.
+  Result<Value> Eval(const Tuple& t) const;
+
+  /// Convenience: Eval + truthiness (NULL and non-bool are false).
+  bool EvalBool(const Tuple& t) const;
+
+  /// Splits a conjunction tree into its AND-ed conjuncts.
+  static void CollectConjuncts(const Ptr& e, std::vector<Ptr>* out);
+
+  /// Collects the names of all referenced columns.
+  void CollectColumns(std::vector<std::string>* out) const;
+
+  /// True if every referenced column resolves in `schema`.
+  bool AllColumnsIn(const Schema& schema) const;
+
+  /// True for calls to COUNT/SUM/AVG/MIN/MAX.
+  bool IsAggregateCall() const;
+
+  std::string ToString() const;
+
+ private:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+  ExprKind kind_;
+  std::string name_;
+  Value literal_;
+  CompareOp compare_op_ = CompareOp::kEq;
+  std::vector<Ptr> children_;
+  int column_index_ = -1;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_OPTIMIZER_EXPR_H_

@@ -1,0 +1,127 @@
+#include "optimizer/functions.h"
+
+#include <cmath>
+
+#include "text/jaccard.h"
+#include "text/tokenizer.h"
+
+namespace fudj {
+
+namespace {
+
+Status ExpectArity(const std::vector<Value>& args, size_t n,
+                   const char* fn) {
+  if (args.size() != n) {
+    return Status::InvalidArgument(std::string(fn) + " expects " +
+                                   std::to_string(n) + " arguments");
+  }
+  return Status::OK();
+}
+
+Status ExpectType(const Value& v, ValueType t, const char* fn) {
+  if (v.type() != t) {
+    return Status::TypeError(std::string(fn) + ": expected " +
+                             ValueTypeToString(t) + ", got " +
+                             ValueTypeToString(v.type()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ScalarFunctionRegistry::ScalarFunctionRegistry() {
+  fns_.emplace_back(
+      "st_contains",
+      [](const std::vector<Value>& args) -> Result<Value> {
+        FUDJ_RETURN_NOT_OK(ExpectArity(args, 2, "st_contains"));
+        FUDJ_RETURN_NOT_OK(
+            ExpectType(args[0], ValueType::kGeometry, "st_contains"));
+        FUDJ_RETURN_NOT_OK(
+            ExpectType(args[1], ValueType::kGeometry, "st_contains"));
+        return Value::Bool(args[0].geometry().Contains(args[1].geometry()));
+      });
+  fns_.emplace_back(
+      "st_intersects",
+      [](const std::vector<Value>& args) -> Result<Value> {
+        FUDJ_RETURN_NOT_OK(ExpectArity(args, 2, "st_intersects"));
+        FUDJ_RETURN_NOT_OK(
+            ExpectType(args[0], ValueType::kGeometry, "st_intersects"));
+        FUDJ_RETURN_NOT_OK(
+            ExpectType(args[1], ValueType::kGeometry, "st_intersects"));
+        return Value::Bool(
+            args[0].geometry().Intersects(args[1].geometry()));
+      });
+  fns_.emplace_back(
+      "st_distance",
+      [](const std::vector<Value>& args) -> Result<Value> {
+        FUDJ_RETURN_NOT_OK(ExpectArity(args, 2, "st_distance"));
+        FUDJ_RETURN_NOT_OK(
+            ExpectType(args[0], ValueType::kGeometry, "st_distance"));
+        FUDJ_RETURN_NOT_OK(
+            ExpectType(args[1], ValueType::kGeometry, "st_distance"));
+        return Value::Double(args[0].geometry().Distance(args[1].geometry()));
+      });
+  fns_.emplace_back(
+      "interval_overlapping",
+      [](const std::vector<Value>& args) -> Result<Value> {
+        FUDJ_RETURN_NOT_OK(ExpectArity(args, 2, "interval_overlapping"));
+        FUDJ_RETURN_NOT_OK(ExpectType(args[0], ValueType::kInterval,
+                                      "interval_overlapping"));
+        FUDJ_RETURN_NOT_OK(ExpectType(args[1], ValueType::kInterval,
+                                      "interval_overlapping"));
+        return Value::Bool(args[0].interval().Overlaps(args[1].interval()));
+      });
+  fns_.emplace_back(
+      "similarity_jaccard",
+      [](const std::vector<Value>& args) -> Result<Value> {
+        FUDJ_RETURN_NOT_OK(ExpectArity(args, 2, "similarity_jaccard"));
+        FUDJ_RETURN_NOT_OK(
+            ExpectType(args[0], ValueType::kString, "similarity_jaccard"));
+        FUDJ_RETURN_NOT_OK(
+            ExpectType(args[1], ValueType::kString, "similarity_jaccard"));
+        return Value::Double(JaccardSimilarity(TokenSet(args[0].str()),
+                                               TokenSet(args[1].str())));
+      });
+  // Alias kept distinct from any CREATE JOIN name so benchmarks and tests
+  // can force the on-top NLJ path even after a `similarity_jaccard` join
+  // has been installed.
+  fns_.emplace_back("similarity_jaccard_scalar", fns_.back().second);
+  fns_.emplace_back(
+      "abs", [](const std::vector<Value>& args) -> Result<Value> {
+        FUDJ_RETURN_NOT_OK(ExpectArity(args, 1, "abs"));
+        FUDJ_ASSIGN_OR_RETURN(const double v, args[0].AsDouble());
+        return Value::Double(std::fabs(v));
+      });
+}
+
+ScalarFunctionRegistry& ScalarFunctionRegistry::Global() {
+  static auto& registry = *new ScalarFunctionRegistry();
+  return registry;
+}
+
+Status ScalarFunctionRegistry::Register(const std::string& name,
+                                        ScalarFunction fn) {
+  if (Has(name)) {
+    return Status::AlreadyExists("scalar function '" + name +
+                                 "' already registered");
+  }
+  fns_.emplace_back(name, std::move(fn));
+  return Status::OK();
+}
+
+Result<ScalarFunction> ScalarFunctionRegistry::Lookup(
+    const std::string& name) const {
+  for (const auto& [n, fn] : fns_) {
+    if (n == name) return fn;
+  }
+  return Status::NotFound("no scalar function named '" + name + "'");
+}
+
+bool ScalarFunctionRegistry::Has(const std::string& name) const {
+  for (const auto& [n, fn] : fns_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+}  // namespace fudj

@@ -1,0 +1,42 @@
+#ifndef FUDJ_OPTIMIZER_FUNCTIONS_H_
+#define FUDJ_OPTIMIZER_FUNCTIONS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace fudj {
+
+/// A scalar built-in/UDF callable from expressions. These are the
+/// functions the *on-top* approach is limited to: the engine evaluates
+/// them inside an NLJ when no FUDJ is available for the predicate.
+using ScalarFunction =
+    std::function<Result<Value>(const std::vector<Value>&)>;
+
+/// Process-wide scalar function registry, preloaded with the paper's
+/// predicates:
+///   st_contains(g1, g2)           -> bool
+///   st_intersects(g1, g2)         -> bool
+///   st_distance(g1, g2)           -> double
+///   interval_overlapping(i1, i2)  -> bool
+///   similarity_jaccard(s1, s2)    -> double
+/// plus abs(x).
+class ScalarFunctionRegistry {
+ public:
+  static ScalarFunctionRegistry& Global();
+
+  Status Register(const std::string& name, ScalarFunction fn);
+  Result<ScalarFunction> Lookup(const std::string& name) const;
+  bool Has(const std::string& name) const;
+
+ private:
+  ScalarFunctionRegistry();
+  std::vector<std::pair<std::string, ScalarFunction>> fns_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_OPTIMIZER_FUNCTIONS_H_

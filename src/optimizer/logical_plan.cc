@@ -1,0 +1,38 @@
+#include "optimizer/logical_plan.h"
+
+namespace fudj {
+
+std::string QuerySpec::ToString() const {
+  std::string s = "SELECT ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += select[i].expr->ToString();
+    if (!select[i].alias.empty()) s += " AS " + select[i].alias;
+  }
+  s += " FROM ";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += tables[i].dataset;
+    if (!tables[i].alias.empty()) s += " " + tables[i].alias;
+  }
+  if (where != nullptr) s += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    s += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += group_by[i]->ToString();
+    }
+  }
+  if (!order_by.empty()) {
+    s += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += order_by[i].column;
+      if (!order_by[i].ascending) s += " DESC";
+    }
+  }
+  if (limit >= 0) s += " LIMIT " + std::to_string(limit);
+  return s;
+}
+
+}  // namespace fudj

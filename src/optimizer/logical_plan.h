@@ -1,0 +1,81 @@
+#ifndef FUDJ_OPTIMIZER_LOGICAL_PLAN_H_
+#define FUDJ_OPTIMIZER_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "optimizer/expr.h"
+#include "types/value.h"
+
+namespace fudj {
+
+/// One SELECT-list item.
+struct SelectItem {
+  Expr::Ptr expr;
+  std::string alias;  // empty: derive from expr
+
+  /// Output column name.
+  std::string OutputName() const {
+    return alias.empty() ? expr->ToString() : alias;
+  }
+};
+
+/// FROM-clause entry: dataset name plus optional alias.
+struct TableRef {
+  std::string dataset;
+  std::string alias;  // empty: use dataset name
+
+  const std::string& EffectiveAlias() const {
+    return alias.empty() ? dataset : alias;
+  }
+};
+
+/// ORDER BY entry; `column` names an output column of the SELECT list.
+struct OrderItem {
+  std::string column;
+  bool ascending = true;
+};
+
+/// Parsed (unoptimized) representation of a SELECT query — the logical
+/// plan input to the optimizer. Supports the shapes of the paper's
+/// Queries 1/2/5: one or two tables, conjunctive WHERE, GROUP BY over
+/// columns, ORDER BY over output columns, LIMIT.
+struct QuerySpec {
+  std::vector<SelectItem> select;
+  std::vector<TableRef> tables;
+  Expr::Ptr where;  // nullable
+  std::vector<Expr::Ptr> group_by;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1: no limit
+
+  std::string ToString() const;
+};
+
+/// Parsed CREATE JOIN statement (§VI-A).
+struct CreateJoinStmt {
+  std::string name;
+  std::vector<std::string> param_names;
+  std::vector<ValueType> param_types;
+  std::string class_name;
+  std::string library;
+  std::vector<Value> bound_params;  // PARAMS (...) extension
+};
+
+/// Parsed DROP JOIN statement.
+struct DropJoinStmt {
+  std::string name;
+};
+
+/// A parsed SQL statement (exactly one member set).
+struct Statement {
+  enum class Kind { kSelect, kCreateJoin, kDropJoin };
+  Kind kind = Kind::kSelect;
+  QuerySpec select;
+  CreateJoinStmt create_join;
+  DropJoinStmt drop_join;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_OPTIMIZER_LOGICAL_PLAN_H_

@@ -1,0 +1,615 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+
+#include "optimizer/functions.h"
+#include "sql/parser.h"
+
+namespace fudj {
+
+namespace {
+
+/// Best-effort output type of a bound expression.
+ValueType InferType(const Expr::Ptr& e, const Schema& schema) {
+  switch (e->kind()) {
+    case ExprKind::kColumn: {
+      const int idx = schema.IndexOf(e->column_name());
+      return idx >= 0 ? schema.field(idx).type : ValueType::kNull;
+    }
+    case ExprKind::kLiteral:
+      return e->literal().type();
+    case ExprKind::kCall: {
+      const std::string& fn = e->function_name();
+      if (fn == "count") return ValueType::kInt64;
+      if (fn == "st_contains" || fn == "st_intersects" ||
+          fn == "interval_overlapping") {
+        return ValueType::kBool;
+      }
+      if (fn == "min" || fn == "max") {
+        return e->args().empty() ? ValueType::kDouble
+                                 : InferType(e->args()[0], schema);
+      }
+      return ValueType::kDouble;
+    }
+    case ExprKind::kCompare:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kNot:
+      return ValueType::kBool;
+    case ExprKind::kStar:
+      return ValueType::kNull;
+  }
+  return ValueType::kNull;
+}
+
+bool ContainsAggregate(const Expr::Ptr& e) {
+  if (e->IsAggregateCall()) return true;
+  for (const Expr::Ptr& c : e->children()) {
+    if (ContainsAggregate(c)) return true;
+  }
+  return false;
+}
+
+/// Extracts (key column on `left`, key column on `right`, literal extras)
+/// from the argument list of a FUDJ call; returns false when the call's
+/// shape does not fit (keys not one per side, or non-literal extras).
+bool BindFudjArguments(const std::vector<Expr::Ptr>& args,
+                       const Schema& left, const Schema& right,
+                       int* left_key, int* right_key,
+                       std::vector<Value>* extras, bool* swapped) {
+  if (args.size() < 2) return false;
+  const Expr::Ptr& a0 = args[0];
+  const Expr::Ptr& a1 = args[1];
+  if (a0->kind() != ExprKind::kColumn || a1->kind() != ExprKind::kColumn) {
+    return false;
+  }
+  *swapped = false;
+  int l = left.IndexOf(a0->column_name());
+  int r = right.IndexOf(a1->column_name());
+  if (l < 0 || r < 0) {
+    // Try the swapped orientation: f(r.key, l.key). The caller must run
+    // the join through SwappedFlexibleJoin so asymmetric predicates
+    // (ST_Contains) keep their meaning.
+    l = left.IndexOf(a1->column_name());
+    r = right.IndexOf(a0->column_name());
+    if (l < 0 || r < 0) return false;
+    *swapped = true;
+  }
+  extras->clear();
+  for (size_t i = 2; i < args.size(); ++i) {
+    if (args[i]->kind() != ExprKind::kLiteral) return false;
+    extras->push_back(args[i]->literal());
+  }
+  *left_key = l;
+  *right_key = r;
+  return true;
+}
+
+struct FudjDetection {
+  std::string join_name;
+  int left_key = -1;
+  int right_key = -1;
+  std::vector<Value> extras;
+  bool keep_conjunct_as_residual = false;
+  bool swapped = false;
+};
+
+/// FUDJ predicate detection (§VI-C): a conjunct is a FUDJ predicate when
+/// it is a boolean call of a CREATE JOIN name, or a `call >= literal` /
+/// `literal <= call` threshold comparison of one (the threshold becomes
+/// the first call-site extra).
+bool DetectFudjConjunct(const Expr::Ptr& conjunct, const Catalog& catalog,
+                        const Schema& left, const Schema& right,
+                        FudjDetection* out) {
+  if (conjunct->kind() == ExprKind::kCall &&
+      catalog.HasJoin(conjunct->function_name())) {
+    if (!BindFudjArguments(conjunct->args(), left, right, &out->left_key,
+                          &out->right_key, &out->extras, &out->swapped)) {
+      return false;
+    }
+    out->join_name = conjunct->function_name();
+    return true;
+  }
+  if (conjunct->kind() == ExprKind::kCompare) {
+    const CompareOp op = conjunct->compare_op();
+    Expr::Ptr call;
+    Expr::Ptr lit;
+    if ((op == CompareOp::kGe || op == CompareOp::kGt) &&
+        conjunct->children()[0]->kind() == ExprKind::kCall &&
+        conjunct->children()[1]->kind() == ExprKind::kLiteral) {
+      call = conjunct->children()[0];
+      lit = conjunct->children()[1];
+    } else if ((op == CompareOp::kLe || op == CompareOp::kLt) &&
+               conjunct->children()[1]->kind() == ExprKind::kCall &&
+               conjunct->children()[0]->kind() == ExprKind::kLiteral) {
+      call = conjunct->children()[1];
+      lit = conjunct->children()[0];
+    } else {
+      return false;
+    }
+    if (!catalog.HasJoin(call->function_name())) return false;
+    if (!BindFudjArguments(call->args(), left, right, &out->left_key,
+                          &out->right_key, &out->extras, &out->swapped)) {
+      return false;
+    }
+    out->join_name = call->function_name();
+    // Threshold becomes the first extra parameter.
+    out->extras.insert(out->extras.begin(), lit->literal());
+    // A strict comparison is slightly tighter than the join's verify
+    // (>=); keep the original conjunct as a residual filter for it.
+    out->keep_conjunct_as_residual =
+        op == CompareOp::kGt || op == CompareOp::kLt;
+    return true;
+  }
+  return false;
+}
+
+Expr::Ptr AndAll(const std::vector<Expr::Ptr>& conjuncts) {
+  Expr::Ptr acc;
+  for (const Expr::Ptr& c : conjuncts) {
+    acc = acc == nullptr ? c : Expr::And(acc, c);
+  }
+  return acc;
+}
+
+/// True when `e` references at least one column of `table`.
+bool ReferencesTable(const Expr::Ptr& e, const Schema& table) {
+  std::vector<std::string> cols;
+  e->CollectColumns(&cols);
+  for (const std::string& c : cols) {
+    if (table.IndexOf(c) >= 0) return true;
+  }
+  return false;
+}
+
+/// Builds a FudjFilter for a FUDJ-call conjunct whose tables are already
+/// joined (so it runs as a verify-filter, not a join operator). Returns
+/// NotFound when the conjunct does not have that shape.
+Result<FudjFilter> BuildFudjFilter(const Expr::Ptr& conjunct,
+                                   const Catalog& catalog,
+                                   const Schema& schema) {
+  if (conjunct->kind() != ExprKind::kCall ||
+      !catalog.HasJoin(conjunct->function_name())) {
+    return Status::NotFound("not a direct FUDJ call");
+  }
+  const auto& args = conjunct->args();
+  if (args.size() < 2 || args[0]->kind() != ExprKind::kColumn ||
+      args[1]->kind() != ExprKind::kColumn) {
+    return Status::NotFound("FUDJ filter needs two column keys");
+  }
+  FudjFilter filter;
+  FUDJ_ASSIGN_OR_RETURN(filter.col1,
+                        schema.Resolve(args[0]->column_name()));
+  FUDJ_ASSIGN_OR_RETURN(filter.col2,
+                        schema.Resolve(args[1]->column_name()));
+  std::vector<Value> extras;
+  for (size_t i = 2; i < args.size(); ++i) {
+    if (args[i]->kind() != ExprKind::kLiteral) {
+      return Status::NotFound("FUDJ filter extras must be literals");
+    }
+    extras.push_back(args[i]->literal());
+  }
+  filter.name = conjunct->function_name();
+  FUDJ_ASSIGN_OR_RETURN(
+      std::unique_ptr<FlexibleJoin> join,
+      catalog.InstantiateJoin(conjunct->function_name(), extras));
+  filter.join = std::shared_ptr<FlexibleJoin>(std::move(join));
+  // verify() may consult the PPlan (e.g. a similarity threshold); build
+  // one from empty summaries — the statistics it lacks only affect
+  // partitioning, which a filter does not do.
+  const std::unique_ptr<Summary> s1 =
+      filter.join->CreateSummary(JoinSide::kLeft);
+  const std::unique_ptr<Summary> s2 =
+      filter.join->CreateSummary(JoinSide::kRight);
+  FUDJ_ASSIGN_OR_RETURN(std::unique_ptr<PPlan> plan,
+                        filter.join->Divide(*s1, *s2));
+  filter.plan = std::shared_ptr<const PPlan>(std::move(plan));
+  return filter;
+}
+
+}  // namespace
+
+const char* JoinStrategyToString(JoinStrategy s) {
+  switch (s) {
+    case JoinStrategy::kNone:
+      return "single-table";
+    case JoinStrategy::kFudjHash:
+      return "hash-bucket-join";
+    case JoinStrategy::kFudjTheta:
+      return "theta-bucket-join";
+    case JoinStrategy::kBuiltin:
+      return "builtin-operator";
+    case JoinStrategy::kOnTopNlj:
+      return "on-top-nlj";
+  }
+  return "?";
+}
+
+Result<PhysicalQueryPlan> PlanQuery(const QuerySpec& query,
+                                    const Catalog& catalog) {
+  if (query.tables.empty() || query.tables.size() > 4) {
+    return Status::InvalidArgument("queries support one to four tables");
+  }
+  if (query.select.empty()) {
+    return Status::InvalidArgument("empty select list");
+  }
+  PhysicalQueryPlan plan;
+
+  // 1. Bind tables.
+  for (const TableRef& ref : query.tables) {
+    BoundTable bt;
+    FUDJ_ASSIGN_OR_RETURN(bt.relation, catalog.GetDataset(ref.dataset));
+    bt.schema = bt.relation->schema().WithAlias(ref.EffectiveAlias());
+    bt.alias = ref.EffectiveAlias();
+    bt.dataset = ref.dataset;
+    plan.tables.push_back(std::move(bt));
+  }
+
+  // 2. Split conjuncts; push single-table predicates down.
+  std::vector<Expr::Ptr> conjuncts;
+  Expr::CollectConjuncts(query.where, &conjuncts);
+  std::vector<Expr::Ptr> join_conjuncts;
+  std::vector<std::vector<Expr::Ptr>> table_filters(plan.tables.size());
+  for (const Expr::Ptr& c : conjuncts) {
+    bool pushed = false;
+    for (size_t t = 0; t < plan.tables.size(); ++t) {
+      if (c->AllColumnsIn(plan.tables[t].schema)) {
+        table_filters[t].push_back(c);
+        pushed = true;
+        break;
+      }
+    }
+    if (!pushed) join_conjuncts.push_back(c);
+  }
+  for (size_t t = 0; t < plan.tables.size(); ++t) {
+    plan.tables[t].filter = AndAll(table_filters[t]);
+    if (plan.tables[t].filter != nullptr) {
+      FUDJ_RETURN_NOT_OK(plan.tables[t].filter->Bind(plan.tables[t].schema));
+    }
+  }
+
+  // 3. Join strategy.
+  if (plan.tables.size() == 1) {
+    plan.strategy = JoinStrategy::kNone;
+    plan.join_schema = plan.tables[0].schema;
+    if (!join_conjuncts.empty()) {
+      return Status::InvalidArgument(
+          "WHERE references columns outside the single table");
+    }
+    plan.explain = "single-table scan";
+  } else {
+    // Greedy left-deep ordering: repeatedly join in an unjoined table
+    // reachable through a join conjunct, preferring FUDJ-detectable
+    // conjuncts (so Query-3-style multi-predicate queries get one FUDJ
+    // operator per step). Falls back to a cartesian NLJ when no
+    // conjunct connects the remaining tables.
+    const size_t n_tables = plan.tables.size();
+    std::vector<bool> joined(n_tables, false);
+    joined[0] = true;
+    Schema current = plan.tables[0].schema;
+    std::vector<Expr::Ptr> pool = join_conjuncts;
+    int steps = 0;
+    for (size_t done = 1; done < n_tables; ++done, ++steps) {
+      int pick = -1;
+      int fudj_conjunct = -1;
+      FudjDetection detection;
+      // Pass 1: a table joined through a FUDJ-detectable conjunct.
+      for (size_t t = 1; t < n_tables && pick < 0; ++t) {
+        if (joined[t]) continue;
+        const Schema combined =
+            Schema::Concat(current, plan.tables[t].schema);
+        for (size_t i = 0; i < pool.size(); ++i) {
+          if (!pool[i]->AllColumnsIn(combined) ||
+              !ReferencesTable(pool[i], plan.tables[t].schema)) {
+            continue;
+          }
+          if (DetectFudjConjunct(pool[i], catalog, current,
+                                 plan.tables[t].schema, &detection)) {
+            pick = static_cast<int>(t);
+            fudj_conjunct = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+      // Pass 2: any table connected by an evaluable conjunct.
+      for (size_t t = 1; t < n_tables && pick < 0; ++t) {
+        if (joined[t]) continue;
+        const Schema combined =
+            Schema::Concat(current, plan.tables[t].schema);
+        for (const Expr::Ptr& c : pool) {
+          if (c->AllColumnsIn(combined) &&
+              ReferencesTable(c, plan.tables[t].schema)) {
+            pick = static_cast<int>(t);
+            break;
+          }
+        }
+      }
+      // Pass 3: cartesian fallback.
+      for (size_t t = 1; t < n_tables && pick < 0; ++t) {
+        if (!joined[t]) pick = static_cast<int>(t);
+      }
+      joined[pick] = true;
+      const Schema combined =
+          Schema::Concat(current, plan.tables[pick].schema);
+
+      // Partition this step's conjuncts: the FUDJ conjunct is consumed
+      // by the operator, additional FUDJ calls over already-joined
+      // tables become verify-filters, other applicable conjuncts run as
+      // an expression filter right after the step, and the rest wait
+      // for later steps.
+      std::vector<Expr::Ptr> applicable;
+      std::vector<Expr::Ptr> remaining;
+      std::vector<FudjFilter> step_fudj_filters;
+      for (size_t i = 0; i < pool.size(); ++i) {
+        const bool is_fudj =
+            fudj_conjunct >= 0 && static_cast<int>(i) == fudj_conjunct;
+        if (is_fudj && !detection.keep_conjunct_as_residual) continue;
+        if (!pool[i]->AllColumnsIn(combined)) {
+          remaining.push_back(pool[i]);
+          continue;
+        }
+        auto filter = BuildFudjFilter(pool[i], catalog, combined);
+        if (filter.ok()) {
+          step_fudj_filters.push_back(std::move(filter).value());
+        } else {
+          applicable.push_back(pool[i]);
+        }
+      }
+      pool = std::move(remaining);
+
+      // Resolve the step's operator.
+      JoinStrategy strategy = JoinStrategy::kOnTopNlj;
+      std::optional<FudjJoinChoice> fudj_choice;
+      std::optional<BuiltinJoinChoice> builtin_choice;
+      Expr::Ptr nlj_predicate;
+      std::string explain_step;
+      if (fudj_conjunct >= 0) {
+        FUDJ_ASSIGN_OR_RETURN(const JoinDefinition* def,
+                              catalog.GetJoin(detection.join_name));
+        const BuiltinRuleFn* builtin_rule =
+            def->library == kBuiltinOpsLibrary
+                ? BuiltinRuleRegistry::Global().Find(def->class_name)
+                : nullptr;
+        // Built-in operators are planned only un-swapped and on the
+        // first step; otherwise use the FUDJ runtime (whose sides the
+        // SwappedFlexibleJoin adapter can flip).
+        if (builtin_rule != nullptr && !detection.swapped && steps == 0) {
+          BuiltinJoinChoice choice;
+          std::vector<Value> params = detection.extras;
+          params.insert(params.end(), def->bound_params.begin(),
+                        def->bound_params.end());
+          if (!(*builtin_rule)(params, &choice)) {
+            return Status::InvalidArgument(
+                "built-in rule rejected the parameters of '" +
+                detection.join_name + "'");
+          }
+          choice.left_key_col = detection.left_key;
+          choice.right_key_col = detection.right_key;
+          strategy = JoinStrategy::kBuiltin;
+          explain_step = "built-in[" + detection.join_name + "] " +
+                         def->class_name;
+          builtin_choice = std::move(choice);
+        } else {
+          FudjJoinChoice choice;
+          FUDJ_ASSIGN_OR_RETURN(std::unique_ptr<FlexibleJoin> join,
+                                catalog.InstantiateJoin(detection.join_name,
+                                                        detection.extras));
+          choice.join = std::shared_ptr<FlexibleJoin>(std::move(join));
+          if (detection.swapped) {
+            choice.join =
+                std::make_shared<SwappedFlexibleJoin>(choice.join);
+          }
+          choice.join_name = detection.join_name;
+          choice.left_key_col = detection.left_key;
+          choice.right_key_col = detection.right_key;
+          choice.options.duplicates = choice.join->MultiAssign()
+                                          ? DuplicateHandling::kAvoidance
+                                          : DuplicateHandling::kNone;
+          strategy = choice.join->UsesDefaultMatch()
+                         ? JoinStrategy::kFudjHash
+                         : JoinStrategy::kFudjTheta;
+          explain_step = "FUDJ[" + detection.join_name + "] " +
+                         JoinStrategyToString(strategy);
+          fudj_choice = std::move(choice);
+        }
+      } else {
+        nlj_predicate = AndAll(applicable);
+        if (nlj_predicate == nullptr) {
+          nlj_predicate = Expr::Literal(Value::Bool(true));
+        }
+        applicable.clear();  // consumed by the NLJ predicate
+        FUDJ_RETURN_NOT_OK(nlj_predicate->Bind(combined));
+        explain_step =
+            "on-top NLJ (" + nlj_predicate->ToString() + ")";
+      }
+      Expr::Ptr residual = AndAll(applicable);
+      if (residual != nullptr) {
+        FUDJ_RETURN_NOT_OK(residual->Bind(combined));
+      }
+
+      for (const FudjFilter& f : step_fudj_filters) {
+        explain_step += " + verify-filter[" + f.name + "]";
+      }
+      if (steps == 0) {
+        plan.first_right_table = pick;
+        plan.strategy = strategy;
+        plan.fudj = std::move(fudj_choice);
+        plan.builtin = std::move(builtin_choice);
+        plan.nlj_predicate = std::move(nlj_predicate);
+        plan.residual_filter = std::move(residual);
+        plan.fudj_filters = std::move(step_fudj_filters);
+        plan.explain = explain_step;
+      } else {
+        ExtraJoinStep step;
+        step.table_index = pick;
+        step.strategy = strategy;
+        step.fudj = std::move(fudj_choice);
+        if (builtin_choice.has_value()) {
+          return Status::Internal("builtin step beyond the first");
+        }
+        step.nlj_predicate = std::move(nlj_predicate);
+        step.residual = std::move(residual);
+        step.fudj_filters = std::move(step_fudj_filters);
+        step.schema_after = combined;
+        plan.extra_steps.push_back(std::move(step));
+        plan.explain += " ; " + explain_step;
+      }
+      current = combined;
+    }
+    plan.join_schema = current;
+  }
+
+  // 4. Aggregation.
+  bool any_agg = !query.group_by.empty();
+  for (const SelectItem& item : query.select) {
+    if (ContainsAggregate(item.expr)) any_agg = true;
+  }
+  plan.has_aggregation = any_agg;
+  if (any_agg) {
+    for (const Expr::Ptr& g : query.group_by) {
+      FUDJ_ASSIGN_OR_RETURN(const int idx,
+                            plan.join_schema.Resolve(g->column_name()));
+      plan.group_cols.push_back(idx);
+    }
+    // Classify select items: group column refs or single aggregate calls.
+    struct Slot {
+      bool is_group = false;
+      int index = -1;  // group slot or agg slot
+    };
+    std::vector<Slot> slots;
+    for (const SelectItem& item : query.select) {
+      Slot slot;
+      if (item.expr->kind() == ExprKind::kColumn) {
+        FUDJ_ASSIGN_OR_RETURN(
+            const int idx, plan.join_schema.Resolve(item.expr->column_name()));
+        auto it = std::find(plan.group_cols.begin(), plan.group_cols.end(),
+                            idx);
+        if (it == plan.group_cols.end()) {
+          return Status::InvalidArgument(
+              "selected column '" + item.expr->column_name() +
+              "' is not in GROUP BY");
+        }
+        slot.is_group = true;
+        slot.index = static_cast<int>(it - plan.group_cols.begin());
+      } else if (item.expr->IsAggregateCall()) {
+        AggSpec spec;
+        const std::string& fn = item.expr->function_name();
+        if (fn == "count") {
+          spec.kind = AggKind::kCount;
+        } else if (fn == "sum") {
+          spec.kind = AggKind::kSum;
+        } else if (fn == "avg") {
+          spec.kind = AggKind::kAvg;
+        } else if (fn == "min") {
+          spec.kind = AggKind::kMin;
+        } else {
+          spec.kind = AggKind::kMax;
+        }
+        if (!item.expr->args().empty() &&
+            item.expr->args()[0]->kind() == ExprKind::kColumn) {
+          FUDJ_ASSIGN_OR_RETURN(
+              spec.column,
+              plan.join_schema.Resolve(item.expr->args()[0]->column_name()));
+        } else if (spec.kind != AggKind::kCount) {
+          return Status::Unimplemented(
+              "aggregates over expressions are not supported");
+        }
+        slot.index = static_cast<int>(plan.aggs.size());
+        plan.aggs.push_back(spec);
+      } else {
+        return Status::Unimplemented(
+            "select items under GROUP BY must be group columns or "
+            "aggregates");
+      }
+      slots.push_back(slot);
+    }
+    // Aggregation output schema (mirrors GroupByAggregate).
+    for (int c : plan.group_cols) {
+      plan.agg_schema.AddField(plan.join_schema.field(c).name,
+                               plan.join_schema.field(c).type);
+    }
+    for (size_t a = 0; a < plan.aggs.size(); ++a) {
+      const char* names[] = {"count", "sum", "avg", "min", "max"};
+      ValueType t = ValueType::kDouble;
+      if (plan.aggs[a].kind == AggKind::kCount) t = ValueType::kInt64;
+      if ((plan.aggs[a].kind == AggKind::kMin ||
+           plan.aggs[a].kind == AggKind::kMax) &&
+          plan.aggs[a].column >= 0) {
+        t = plan.join_schema.field(plan.aggs[a].column).type;
+      }
+      plan.agg_schema.AddField(
+          std::string(names[static_cast<int>(plan.aggs[a].kind)]) + "_" +
+              std::to_string(a),
+          t);
+    }
+    // Projection over the aggregate output.
+    for (size_t i = 0; i < query.select.size(); ++i) {
+      const Slot& slot = slots[i];
+      const int agg_col = slot.is_group
+                              ? slot.index
+                              : static_cast<int>(plan.group_cols.size()) +
+                                    slot.index;
+      Expr::Ptr ref = Expr::Column(plan.agg_schema.field(agg_col).name);
+      FUDJ_RETURN_NOT_OK(ref->Bind(plan.agg_schema));
+      plan.projections.push_back(std::move(ref));
+      plan.output_schema.AddField(query.select[i].OutputName(),
+                                  plan.agg_schema.field(agg_col).type);
+    }
+  } else {
+    for (const SelectItem& item : query.select) {
+      Expr::Ptr e = item.expr;
+      if (e->kind() == ExprKind::kStar) {
+        return Status::Unimplemented("SELECT * is not supported; name "
+                                     "columns explicitly");
+      }
+      FUDJ_RETURN_NOT_OK(e->Bind(plan.join_schema));
+      plan.projections.push_back(e);
+      plan.output_schema.AddField(item.OutputName(),
+                                  InferType(e, plan.join_schema));
+    }
+  }
+
+  // 5. ORDER BY / LIMIT over the output schema.
+  for (const OrderItem& item : query.order_by) {
+    int idx = plan.output_schema.IndexOf(item.column);
+    if (idx < 0) {
+      return Status::NotFound("ORDER BY column '" + item.column +
+                              "' is not in the select list");
+    }
+    plan.order_cols.push_back(idx);
+    plan.order_asc.push_back(item.ascending);
+  }
+  plan.limit = query.limit;
+  return plan;
+}
+
+Result<QueryOutput> ExecuteQuery(Cluster* cluster, const Catalog& catalog,
+                                 const QuerySpec& query) {
+  FUDJ_ASSIGN_OR_RETURN(PhysicalQueryPlan plan, PlanQuery(query, catalog));
+  return ExecutePlan(cluster, plan);
+}
+
+Result<QueryOutput> ExecuteSql(Cluster* cluster, Catalog* catalog,
+                               std::string_view sql) {
+  FUDJ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  switch (stmt.kind) {
+    case Statement::Kind::kCreateJoin: {
+      JoinDefinition def;
+      def.name = stmt.create_join.name;
+      def.param_types = stmt.create_join.param_types;
+      def.library = stmt.create_join.library;
+      def.class_name = stmt.create_join.class_name;
+      def.bound_params = stmt.create_join.bound_params;
+      FUDJ_RETURN_NOT_OK(catalog->CreateJoin(std::move(def)));
+      return QueryOutput{};
+    }
+    case Statement::Kind::kDropJoin:
+      FUDJ_RETURN_NOT_OK(catalog->DropJoin(stmt.drop_join.name));
+      return QueryOutput{};
+    case Statement::Kind::kSelect:
+      return ExecuteQuery(cluster, *catalog, stmt.select);
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+}  // namespace fudj

@@ -1,0 +1,39 @@
+#ifndef FUDJ_OPTIMIZER_OPTIMIZER_H_
+#define FUDJ_OPTIMIZER_OPTIMIZER_H_
+
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "optimizer/logical_plan.h"
+#include "optimizer/physical_plan.h"
+
+namespace fudj {
+
+/// The query optimizer (§VI-C). Given a parsed QuerySpec it:
+///
+///  1. binds FROM tables against the catalog (aliased schemas);
+///  2. pushes single-table conjuncts below the join (predicate pushdown);
+///  3. detects FUDJ predicates among the join conjuncts — either a direct
+///     call of a CREATE JOIN name `f(l.key, r.key, extras...)`, or the
+///     threshold rewrite `f(l.key, r.key) >= literal` — and, when found,
+///     generates the Fig. 8 FUDJ plan with the physical bucket-matching
+///     choice driven by the join's `UsesDefaultMatch` trait;
+///  4. falls back to the on-top NLJ plan otherwise;
+///  5. plans GROUP BY / aggregation, projection, ORDER BY and LIMIT on
+///     top of the join output.
+Result<PhysicalQueryPlan> PlanQuery(const QuerySpec& query,
+                                    const Catalog& catalog);
+
+/// Plans and executes a SELECT query.
+Result<QueryOutput> ExecuteQuery(Cluster* cluster, const Catalog& catalog,
+                                 const QuerySpec& query);
+
+/// Parses and executes any supported statement. CREATE JOIN / DROP JOIN
+/// mutate the catalog and return an empty QueryOutput; SELECT returns
+/// rows.
+Result<QueryOutput> ExecuteSql(Cluster* cluster, Catalog* catalog,
+                               std::string_view sql);
+
+}  // namespace fudj
+
+#endif  // FUDJ_OPTIMIZER_OPTIMIZER_H_

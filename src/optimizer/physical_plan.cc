@@ -1,0 +1,223 @@
+#include "optimizer/physical_plan.h"
+
+#include <algorithm>
+
+#include "builtin/ontop_nlj.h"
+
+namespace fudj {
+
+namespace {
+
+/// Applies a bound filter expression to a relation (no-op for null).
+Result<PartitionedRelation> MaybeFilter(Cluster* cluster,
+                                        const PartitionedRelation& rel,
+                                        const Expr::Ptr& filter,
+                                        ExecStats* stats,
+                                        const std::string& name) {
+  if (filter == nullptr) return rel;
+  return FilterRelation(
+      cluster, rel, [&filter](const Tuple& t) { return filter->EvalBool(t); },
+      stats, name);
+}
+
+/// Applies the step's FUDJ verify-filters (FUDJ predicates between
+/// already-joined tables).
+Result<PartitionedRelation> ApplyFudjFilters(
+    Cluster* cluster, PartitionedRelation rel,
+    const std::vector<FudjFilter>& filters, ExecStats* stats) {
+  for (const FudjFilter& f : filters) {
+    FUDJ_ASSIGN_OR_RETURN(
+        rel, FilterRelation(
+                 cluster, rel,
+                 [&f](const Tuple& t) {
+                   return f.join->Verify(t[f.col1], t[f.col2], *f.plan);
+                 },
+                 stats, "verify-filter-" + f.name));
+  }
+  return rel;
+}
+
+}  // namespace
+
+std::string QueryOutput::ToTable(size_t max_rows) const {
+  std::string out;
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    if (i > 0) out += " | ";
+    out += schema.field(i).name;
+  }
+  out += "\n";
+  const size_t n = std::min(rows.size(), max_rows);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) out += " | ";
+      out += rows[r][c].ToString();
+    }
+    out += "\n";
+  }
+  if (rows.size() > n) {
+    out += "... (" + std::to_string(rows.size() - n) + " more rows)\n";
+  }
+  return out;
+}
+
+Result<QueryOutput> ExecutePlan(Cluster* cluster,
+                                const PhysicalQueryPlan& plan) {
+  QueryOutput output;
+  ExecStats* stats = &output.stats;
+
+  // Scan + pushed-down filters.
+  std::vector<PartitionedRelation> inputs;
+  for (size_t t = 0; t < plan.tables.size(); ++t) {
+    PartitionedRelation rel = *plan.tables[t].relation;  // copy of frames
+    *rel.mutable_schema() = plan.tables[t].schema;
+    FUDJ_ASSIGN_OR_RETURN(
+        rel, MaybeFilter(cluster, rel, plan.tables[t].filter, stats,
+                         "pushdown-filter-" + plan.tables[t].alias));
+    inputs.push_back(std::move(rel));
+  }
+
+  // First join.
+  PartitionedRelation joined;
+  switch (plan.strategy) {
+    case JoinStrategy::kNone:
+      joined = std::move(inputs[0]);
+      break;
+    case JoinStrategy::kFudjHash:
+    case JoinStrategy::kFudjTheta: {
+      const FudjJoinChoice& choice = *plan.fudj;
+      FudjRuntime runtime(cluster, choice.join.get());
+      FUDJ_ASSIGN_OR_RETURN(
+          joined, runtime.Execute(inputs[0], choice.left_key_col,
+                                  inputs[plan.first_right_table],
+                                  choice.right_key_col, choice.options,
+                                  stats));
+      break;
+    }
+    case JoinStrategy::kBuiltin: {
+      FUDJ_ASSIGN_OR_RETURN(
+          joined,
+          ExecuteBuiltinJoin(cluster, *plan.builtin, inputs[0],
+                             inputs[plan.first_right_table], stats));
+      break;
+    }
+    case JoinStrategy::kOnTopNlj: {
+      const Expr::Ptr& pred = plan.nlj_predicate;
+      FUDJ_ASSIGN_OR_RETURN(
+          joined, OnTopNestedLoopJoin(
+                      cluster, inputs[0], inputs[plan.first_right_table],
+                      [&pred](const Tuple& l, const Tuple& r) {
+                        return pred->EvalBool(ConcatTuples(l, r));
+                      },
+                      stats));
+      break;
+    }
+  }
+  if (plan.strategy != JoinStrategy::kNone) {
+    *joined.mutable_schema() = Schema::Concat(
+        plan.tables[0].schema, plan.tables[plan.first_right_table].schema);
+  }
+
+  // Residual filters of the first join.
+  FUDJ_ASSIGN_OR_RETURN(joined, MaybeFilter(cluster, joined,
+                                            plan.residual_filter, stats,
+                                            "residual-filter"));
+  FUDJ_ASSIGN_OR_RETURN(joined,
+                        ApplyFudjFilters(cluster, std::move(joined),
+                                         plan.fudj_filters, stats));
+
+  // Remaining left-deep join steps (3+ tables).
+  for (size_t s = 0; s < plan.extra_steps.size(); ++s) {
+    const ExtraJoinStep& step = plan.extra_steps[s];
+    const PartitionedRelation& right = inputs[step.table_index];
+    PartitionedRelation next;
+    switch (step.strategy) {
+      case JoinStrategy::kFudjHash:
+      case JoinStrategy::kFudjTheta: {
+        const FudjJoinChoice& choice = *step.fudj;
+        FudjRuntime runtime(cluster, choice.join.get());
+        FUDJ_ASSIGN_OR_RETURN(
+            next, runtime.Execute(joined, choice.left_key_col, right,
+                                  choice.right_key_col, choice.options,
+                                  stats));
+        break;
+      }
+      case JoinStrategy::kOnTopNlj: {
+        const Expr::Ptr& pred = step.nlj_predicate;
+        FUDJ_ASSIGN_OR_RETURN(
+            next, OnTopNestedLoopJoin(
+                      cluster, joined, right,
+                      [&pred](const Tuple& l, const Tuple& r) {
+                        return pred->EvalBool(ConcatTuples(l, r));
+                      },
+                      stats));
+        break;
+      }
+      default:
+        return Status::Internal("unsupported strategy in extra join step");
+    }
+    joined = std::move(next);
+    *joined.mutable_schema() = step.schema_after;
+    FUDJ_ASSIGN_OR_RETURN(
+        joined, MaybeFilter(cluster, joined, step.residual, stats,
+                            "residual-filter-step" + std::to_string(s + 2)));
+    FUDJ_ASSIGN_OR_RETURN(joined,
+                          ApplyFudjFilters(cluster, std::move(joined),
+                                           step.fudj_filters, stats));
+  }
+  *joined.mutable_schema() = plan.join_schema;
+
+  // Aggregation.
+  PartitionedRelation pre_projection;
+  if (plan.has_aggregation) {
+    FUDJ_ASSIGN_OR_RETURN(pre_projection,
+                          GroupByAggregate(cluster, joined, plan.group_cols,
+                                           plan.aggs, stats));
+    *pre_projection.mutable_schema() = plan.agg_schema;
+    // SQL semantics: a global aggregate over zero rows still returns one
+    // row (COUNT(*) = 0).
+    if (plan.group_cols.empty() && pre_projection.NumRows() == 0) {
+      Tuple zero;
+      for (const AggSpec& a : plan.aggs) {
+        zero.push_back(a.kind == AggKind::kCount ? Value::Int64(0)
+                                                 : Value::Null());
+      }
+      pre_projection.Append(0, zero);
+    }
+  } else {
+    pre_projection = std::move(joined);
+  }
+
+  // Projection.
+  FUDJ_ASSIGN_OR_RETURN(
+      PartitionedRelation projected,
+      ProjectRelation(cluster, pre_projection, plan.output_schema,
+                      [&plan](const Tuple& t) {
+                        Tuple out;
+                        out.reserve(plan.projections.size());
+                        for (const Expr::Ptr& e : plan.projections) {
+                          auto v = e->Eval(t);
+                          out.push_back(v.ok() ? std::move(v).value()
+                                               : Value::Null());
+                        }
+                        return out;
+                      },
+                      stats));
+
+  // ORDER BY.
+  if (!plan.order_cols.empty()) {
+    FUDJ_ASSIGN_OR_RETURN(projected,
+                          SortRelation(cluster, projected, plan.order_cols,
+                                       plan.order_asc, stats));
+  }
+
+  FUDJ_ASSIGN_OR_RETURN(output.rows, projected.MaterializeAll());
+  if (plan.limit >= 0 &&
+      output.rows.size() > static_cast<size_t>(plan.limit)) {
+    output.rows.resize(plan.limit);
+  }
+  output.schema = plan.output_schema;
+  output.stats.set_output_rows(static_cast<int64_t>(output.rows.size()));
+  return output;
+}
+
+}  // namespace fudj

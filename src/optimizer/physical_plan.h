@@ -1,0 +1,127 @@
+#ifndef FUDJ_OPTIMIZER_PHYSICAL_PLAN_H_
+#define FUDJ_OPTIMIZER_PHYSICAL_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "builtin/builtin_rules.h"
+#include "engine/cluster.h"
+#include "engine/operators.h"
+#include "engine/relation.h"
+#include "fudj/runtime.h"
+#include "optimizer/expr.h"
+
+namespace fudj {
+
+/// A FROM-clause table after binding: the catalog relation, its aliased
+/// schema, and any pushed-down filter (bound against that schema).
+struct BoundTable {
+  const PartitionedRelation* relation = nullptr;
+  Schema schema;
+  Expr::Ptr filter;  // nullable
+  std::string alias;
+  std::string dataset;
+};
+
+/// Join strategy chosen by the optimizer.
+enum class JoinStrategy {
+  kNone,      // single-table query
+  kFudjHash,  // FUDJ with default match -> hash bucket join
+  kFudjTheta, // FUDJ with custom match  -> broadcast theta bucket join
+  kBuiltin,   // a built-in operator rule fired (library `builtinops`)
+  kOnTopNlj,  // no FUDJ detected -> UDF nested-loop join
+};
+
+const char* JoinStrategyToString(JoinStrategy s);
+
+/// FUDJ operator choice: the instantiated user join plus key columns
+/// (indexes into the left/right bound schemas).
+struct FudjJoinChoice {
+  std::shared_ptr<FlexibleJoin> join;
+  std::string join_name;
+  int left_key_col = -1;
+  int right_key_col = -1;
+  FudjExecOptions options;
+};
+
+/// A FUDJ predicate applied as a *filter* rather than a join operator:
+/// used when a query has more FUDJ conjuncts between the same tables
+/// than join steps (e.g. Query 3's `st_distance_join(f, w, r)` after
+/// f and w are already joined through the interval FUDJ). The predicate
+/// is evaluated through the join's `verify` with a statistics-free PPlan
+/// (`divide` over empty summaries).
+struct FudjFilter {
+  std::shared_ptr<FlexibleJoin> join;
+  std::shared_ptr<const PPlan> plan;
+  int col1 = -1;  // first/second call argument, resolved in the step's
+  int col2 = -1;  // combined schema
+  std::string name;
+};
+
+/// One additional left-deep join step for queries over more than two
+/// tables (e.g. the paper's Query 3): joins the accumulated intermediate
+/// result with `tables[table_index]`.
+struct ExtraJoinStep {
+  int table_index = -1;
+  JoinStrategy strategy = JoinStrategy::kOnTopNlj;
+  std::optional<FudjJoinChoice> fudj;  // left key indexes the current
+                                       // intermediate schema
+  Expr::Ptr nlj_predicate;  // bound to concat(current, table)
+  Expr::Ptr residual;       // bound to concat(current, table); nullable
+  std::vector<FudjFilter> fudj_filters;
+  Schema schema_after;
+};
+
+/// Fully bound physical plan of a SELECT query, produced by PlanQuery
+/// (optimizer.h) and executed by ExecutePlan.
+struct PhysicalQueryPlan {
+  std::vector<BoundTable> tables;  // 1..4 (left-deep join order chosen
+                                   // greedily by predicate connectivity)
+  JoinStrategy strategy = JoinStrategy::kNone;
+  std::optional<FudjJoinChoice> fudj;
+  std::optional<BuiltinJoinChoice> builtin;  // kBuiltin
+  Expr::Ptr nlj_predicate;    // kOnTopNlj: bound to the concat schema
+  Expr::Ptr residual_filter;  // bound to the first join's output schema
+  std::vector<FudjFilter> fudj_filters;  // of the first join step
+  /// Index of the right-side table of the first join (2+ tables).
+  int first_right_table = 1;
+  /// Joins beyond the first, applied left-deep in order.
+  std::vector<ExtraJoinStep> extra_steps;
+  Schema join_schema;         // schema after all joins (or single table)
+
+  bool has_aggregation = false;
+  std::vector<int> group_cols;  // into join_schema
+  std::vector<AggSpec> aggs;
+  Schema agg_schema;  // GroupByAggregate output
+
+  std::vector<Expr::Ptr> projections;  // bound to pre-projection schema
+  Schema output_schema;
+
+  std::vector<int> order_cols;  // into output_schema
+  std::vector<bool> order_asc;
+  int64_t limit = -1;
+
+  /// One-line description of the chosen strategy, e.g.
+  /// "FUDJ[text_similarity_join] hash-bucket-join". Tests assert on it.
+  std::string explain;
+};
+
+/// Result of executing a query: output rows plus execution statistics.
+struct QueryOutput {
+  Schema schema;
+  std::vector<Tuple> rows;
+  ExecStats stats;
+
+  /// Renders rows as an aligned table (examples/demos).
+  std::string ToTable(size_t max_rows = 20) const;
+};
+
+/// Executes a bound physical plan on the cluster.
+Result<QueryOutput> ExecutePlan(Cluster* cluster,
+                                const PhysicalQueryPlan& plan);
+
+}  // namespace fudj
+
+#endif  // FUDJ_OPTIMIZER_PHYSICAL_PLAN_H_

@@ -1,0 +1,87 @@
+#ifndef FUDJ_SERDE_BUFFER_H_
+#define FUDJ_SERDE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fudj {
+
+/// Append-only binary writer (little-endian, varint-compressed lengths).
+/// The engine stores partition contents as one ByteWriter arena per
+/// partition; exchanges ship these bytes, which is what the network cost
+/// model charges for.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI32(int32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+
+  /// LEB128 unsigned varint.
+  void PutVarint(uint64_t v);
+
+  /// Varint length followed by raw bytes.
+  void PutString(std::string_view s);
+
+  void PutRaw(const void* data, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  size_t size() const { return buf_.size(); }
+  const uint8_t* data() const { return buf_.data(); }
+  std::vector<uint8_t>& bytes() { return buf_; }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  void Clear() { buf_.clear(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Sequential binary reader over a byte span. Out-of-bounds reads return
+/// error Status rather than crashing, so corrupted buffers surface as
+/// Internal errors.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit ByteReader(const std::vector<uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  bool AtEnd() const { return pos_ >= len_; }
+  size_t position() const { return pos_; }
+  size_t remaining() const { return len_ - pos_; }
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int32_t> GetI32();
+  Result<int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<uint64_t> GetVarint();
+  Result<std::string> GetString();
+
+ private:
+  Status CheckAvail(size_t n) const {
+    if (pos_ + n > len_) {
+      return Status::Internal("buffer underrun in ByteReader");
+    }
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_SERDE_BUFFER_H_

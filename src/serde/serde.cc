@@ -1,0 +1,147 @@
+#include "serde/serde.h"
+
+namespace fudj {
+
+namespace {
+
+void SerializeGeometry(const Geometry& g, ByteWriter* out) {
+  out->PutU8(static_cast<uint8_t>(g.kind()));
+  switch (g.kind()) {
+    case Geometry::Kind::kPoint:
+      out->PutDouble(g.point().x);
+      out->PutDouble(g.point().y);
+      break;
+    case Geometry::Kind::kRect:
+      out->PutDouble(g.rect().min_x);
+      out->PutDouble(g.rect().min_y);
+      out->PutDouble(g.rect().max_x);
+      out->PutDouble(g.rect().max_y);
+      break;
+    case Geometry::Kind::kPolygon: {
+      const auto& verts = g.polygon().vertices;
+      out->PutVarint(verts.size());
+      for (const Point& p : verts) {
+        out->PutDouble(p.x);
+        out->PutDouble(p.y);
+      }
+      break;
+    }
+  }
+}
+
+Result<Geometry> DeserializeGeometry(ByteReader* in) {
+  FUDJ_ASSIGN_OR_RETURN(const uint8_t kind, in->GetU8());
+  switch (static_cast<Geometry::Kind>(kind)) {
+    case Geometry::Kind::kPoint: {
+      FUDJ_ASSIGN_OR_RETURN(const double x, in->GetDouble());
+      FUDJ_ASSIGN_OR_RETURN(const double y, in->GetDouble());
+      return Geometry(Point{x, y});
+    }
+    case Geometry::Kind::kRect: {
+      FUDJ_ASSIGN_OR_RETURN(const double x0, in->GetDouble());
+      FUDJ_ASSIGN_OR_RETURN(const double y0, in->GetDouble());
+      FUDJ_ASSIGN_OR_RETURN(const double x1, in->GetDouble());
+      FUDJ_ASSIGN_OR_RETURN(const double y1, in->GetDouble());
+      return Geometry(Rect(x0, y0, x1, y1));
+    }
+    case Geometry::Kind::kPolygon: {
+      FUDJ_ASSIGN_OR_RETURN(const uint64_t n, in->GetVarint());
+      Polygon poly;
+      poly.vertices.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        FUDJ_ASSIGN_OR_RETURN(const double x, in->GetDouble());
+        FUDJ_ASSIGN_OR_RETURN(const double y, in->GetDouble());
+        poly.vertices.push_back(Point{x, y});
+      }
+      return Geometry(std::move(poly));
+    }
+  }
+  return Status::Internal("bad geometry kind tag");
+}
+
+}  // namespace
+
+void SerializeValue(const Value& v, ByteWriter* out) {
+  out->PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      out->PutU8(v.bool_val() ? 1 : 0);
+      break;
+    case ValueType::kInt64:
+      out->PutI64(v.i64());
+      break;
+    case ValueType::kDouble:
+      out->PutDouble(v.f64());
+      break;
+    case ValueType::kString:
+      out->PutString(v.str());
+      break;
+    case ValueType::kGeometry:
+      SerializeGeometry(v.geometry(), out);
+      break;
+    case ValueType::kInterval:
+      out->PutI64(v.interval().start);
+      out->PutI64(v.interval().end);
+      break;
+  }
+}
+
+Result<Value> DeserializeValue(ByteReader* in) {
+  FUDJ_ASSIGN_OR_RETURN(const uint8_t tag, in->GetU8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      FUDJ_ASSIGN_OR_RETURN(const uint8_t b, in->GetU8());
+      return Value::Bool(b != 0);
+    }
+    case ValueType::kInt64: {
+      FUDJ_ASSIGN_OR_RETURN(const int64_t v, in->GetI64());
+      return Value::Int64(v);
+    }
+    case ValueType::kDouble: {
+      FUDJ_ASSIGN_OR_RETURN(const double v, in->GetDouble());
+      return Value::Double(v);
+    }
+    case ValueType::kString: {
+      FUDJ_ASSIGN_OR_RETURN(std::string s, in->GetString());
+      return Value::String(std::move(s));
+    }
+    case ValueType::kGeometry: {
+      FUDJ_ASSIGN_OR_RETURN(Geometry g, DeserializeGeometry(in));
+      return Value::Geom(std::move(g));
+    }
+    case ValueType::kInterval: {
+      FUDJ_ASSIGN_OR_RETURN(const int64_t s, in->GetI64());
+      FUDJ_ASSIGN_OR_RETURN(const int64_t e, in->GetI64());
+      return Value::Intv(Interval(s, e));
+    }
+  }
+  return Status::Internal("bad value type tag");
+}
+
+void SerializeTuple(const Tuple& t, ByteWriter* out) {
+  out->PutVarint(t.size());
+  for (const Value& v : t) SerializeValue(v, out);
+}
+
+Result<Tuple> DeserializeTuple(ByteReader* in) {
+  FUDJ_ASSIGN_OR_RETURN(const uint64_t arity, in->GetVarint());
+  Tuple t;
+  t.reserve(arity);
+  for (uint64_t i = 0; i < arity; ++i) {
+    FUDJ_ASSIGN_OR_RETURN(Value v, DeserializeValue(in));
+    t.push_back(std::move(v));
+  }
+  return t;
+}
+
+size_t SerializedSize(const Tuple& t) {
+  ByteWriter w;
+  SerializeTuple(t, &w);
+  return w.size();
+}
+
+}  // namespace fudj

@@ -1,0 +1,36 @@
+#ifndef FUDJ_SERDE_SERDE_H_
+#define FUDJ_SERDE_SERDE_H_
+
+#include <vector>
+
+#include "serde/buffer.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace fudj {
+
+/// Serialization protocol between the engine and FUDJ libraries (Fig. 7).
+///
+/// The engine keeps partition contents serialized; proxy built-in functions
+/// deserialize records into the plain native types (string, Interval,
+/// Geometry, ...) that user join libraries consume. The same codec is used
+/// by exchanges, so shuffled bytes are measured faithfully.
+///
+/// Wire format per value: 1 type-tag byte + type-specific payload.
+/// Geometry: kind byte + coordinates (point: 2 doubles; rect: 4 doubles;
+/// polygon: varint count + 2 doubles per vertex). Strings are varint
+/// length-prefixed.
+void SerializeValue(const Value& v, ByteWriter* out);
+Result<Value> DeserializeValue(ByteReader* in);
+
+/// Tuple: varint arity + values.
+void SerializeTuple(const Tuple& t, ByteWriter* out);
+Result<Tuple> DeserializeTuple(ByteReader* in);
+
+/// Serialized size of a tuple in bytes (by encoding into a scratch
+/// buffer); used by the network cost model and tests.
+size_t SerializedSize(const Tuple& t);
+
+}  // namespace fudj
+
+#endif  // FUDJ_SERDE_SERDE_H_

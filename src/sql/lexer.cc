@@ -1,0 +1,132 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace fudj {
+
+Result<std::vector<Token>> LexSql(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto peek = [&](size_t k) -> char {
+    return i + k < n ? sql[i + k] : '\0';
+  };
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && peek(1) == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i + 1 < n && !(sql[i] == '*' && sql[i + 1] == '/')) ++i;
+      if (i + 1 >= n) return Status::ParseError("unterminated comment");
+      i += 2;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      tok.kind = TokenKind::kIdent;
+      tok.raw = std::string(sql.substr(start, i - start));
+      tok.text = tok.raw;
+      for (char& ch : tok.text) {
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          ++i;
+        }
+      }
+      tok.kind = is_float ? TokenKind::kFloat : TokenKind::kInt;
+      tok.text = std::string(sql.substr(start, i - start));
+      tok.raw = tok.text;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // String literals.
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      ++i;
+      std::string contents;
+      while (i < n && sql[i] != quote) {
+        if (sql[i] == '\\' && i + 1 < n) ++i;  // simple escape
+        contents.push_back(sql[i]);
+        ++i;
+      }
+      if (i >= n) return Status::ParseError("unterminated string literal");
+      ++i;  // closing quote
+      tok.kind = TokenKind::kString;
+      tok.text = contents;
+      tok.raw = contents;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char symbols.
+    auto push_symbol = [&](std::string s) {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = std::move(s);
+      tok.raw = tok.text;
+      tokens.push_back(std::move(tok));
+    };
+    if ((c == '<' && peek(1) == '>') || (c == '!' && peek(1) == '=')) {
+      push_symbol("<>");
+      i += 2;
+      continue;
+    }
+    if (c == '<' && peek(1) == '=') {
+      push_symbol("<=");
+      i += 2;
+      continue;
+    }
+    if (c == '>' && peek(1) == '=') {
+      push_symbol(">=");
+      i += 2;
+      continue;
+    }
+    if (std::string_view("(),.;*=<>:").find(c) != std::string_view::npos) {
+      push_symbol(std::string(1, c));
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at position " + std::to_string(i));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace fudj

@@ -1,0 +1,42 @@
+#ifndef FUDJ_SQL_LEXER_H_
+#define FUDJ_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fudj {
+
+enum class TokenKind {
+  kIdent,    // identifiers and keywords (case-insensitive)
+  kInt,      // integer literal
+  kFloat,    // floating literal
+  kString,   // 'quoted' or "quoted" string literal
+  kSymbol,   // punctuation: ( ) , . ; * = <> != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier lowered; literal text; symbol spelling
+  std::string raw;    // original spelling (for string literals: contents)
+  size_t position = 0;
+
+  bool IsKeyword(std::string_view kw) const {
+    return kind == TokenKind::kIdent && text == kw;
+  }
+  bool IsSymbol(std::string_view s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+};
+
+/// Tokenizes a SQL statement string. Keywords are not reserved; the
+/// parser decides by context. Comments (`-- ...` and `/* ... */`) are
+/// skipped.
+Result<std::vector<Token>> LexSql(std::string_view sql);
+
+}  // namespace fudj
+
+#endif  // FUDJ_SQL_LEXER_H_

@@ -1,0 +1,396 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/lexer.h"
+
+namespace fudj {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    if (Peek().IsKeyword("create")) {
+      Advance();
+      FUDJ_RETURN_NOT_OK(Expect("join"));
+      stmt.kind = Statement::Kind::kCreateJoin;
+      FUDJ_ASSIGN_OR_RETURN(stmt.create_join, ParseCreateJoin());
+    } else if (Peek().IsKeyword("drop")) {
+      Advance();
+      FUDJ_RETURN_NOT_OK(Expect("join"));
+      stmt.kind = Statement::Kind::kDropJoin;
+      FUDJ_ASSIGN_OR_RETURN(stmt.drop_join, ParseDropJoin());
+    } else if (Peek().IsKeyword("select")) {
+      stmt.kind = Statement::Kind::kSelect;
+      FUDJ_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+    } else {
+      return Status::ParseError("expected SELECT, CREATE JOIN or DROP JOIN");
+    }
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::ParseError("trailing tokens after statement: '" +
+                                Peek().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(int k = 0) const {
+    const size_t idx = pos_ + k;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Expect(std::string_view kw) {
+    if (!Peek().IsKeyword(kw)) {
+      return Status::ParseError("expected '" + std::string(kw) + "', got '" +
+                                Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectSymbol(std::string_view s) {
+    if (!Peek().IsSymbol(s)) {
+      return Status::ParseError("expected '" + std::string(s) + "', got '" +
+                                Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::ParseError("expected identifier, got '" + Peek().text +
+                                "'");
+    }
+    return Advance().text;
+  }
+
+  Result<Value> ParseLiteralValue() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kInt) {
+      Advance();
+      return Value::Int64(std::strtoll(t.text.c_str(), nullptr, 10));
+    }
+    if (t.kind == TokenKind::kFloat) {
+      Advance();
+      return Value::Double(std::strtod(t.text.c_str(), nullptr));
+    }
+    if (t.kind == TokenKind::kString) {
+      Advance();
+      return Value::String(t.raw);
+    }
+    if (t.IsKeyword("true")) {
+      Advance();
+      return Value::Bool(true);
+    }
+    if (t.IsKeyword("false")) {
+      Advance();
+      return Value::Bool(false);
+    }
+    if (t.IsKeyword("null")) {
+      Advance();
+      return Value::Null();
+    }
+    return Status::ParseError("expected literal, got '" + t.text + "'");
+  }
+
+  // (p1: type, p2: type, ...) — returns names/types.
+  Status ParseSignature(std::vector<std::string>* names,
+                        std::vector<ValueType>* types) {
+    FUDJ_RETURN_NOT_OK(ExpectSymbol("("));
+    while (true) {
+      FUDJ_ASSIGN_OR_RETURN(std::string pname, ExpectIdent());
+      FUDJ_RETURN_NOT_OK(ExpectSymbol(":"));
+      FUDJ_ASSIGN_OR_RETURN(std::string tname, ExpectIdent());
+      FUDJ_ASSIGN_OR_RETURN(const ValueType vt, ValueTypeFromString(tname));
+      names->push_back(std::move(pname));
+      types->push_back(vt);
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return ExpectSymbol(")");
+  }
+
+  Result<CreateJoinStmt> ParseCreateJoin() {
+    CreateJoinStmt stmt;
+    FUDJ_ASSIGN_OR_RETURN(stmt.name, ExpectIdent());
+    FUDJ_RETURN_NOT_OK(
+        ParseSignature(&stmt.param_names, &stmt.param_types));
+    FUDJ_RETURN_NOT_OK(Expect("returns"));
+    FUDJ_ASSIGN_OR_RETURN(std::string ret, ExpectIdent());
+    if (ret != "boolean" && ret != "bool") {
+      return Status::ParseError("joins must RETURN boolean");
+    }
+    FUDJ_RETURN_NOT_OK(Expect("as"));
+    if (Peek().kind != TokenKind::kString) {
+      return Status::ParseError("expected quoted class name after AS");
+    }
+    stmt.class_name = Advance().raw;
+    FUDJ_RETURN_NOT_OK(Expect("at"));
+    FUDJ_ASSIGN_OR_RETURN(stmt.library, ExpectIdent());
+    if (Peek().IsKeyword("params")) {
+      Advance();
+      FUDJ_RETURN_NOT_OK(ExpectSymbol("("));
+      while (true) {
+        FUDJ_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+        stmt.bound_params.push_back(std::move(v));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      FUDJ_RETURN_NOT_OK(ExpectSymbol(")"));
+    }
+    return stmt;
+  }
+
+  Result<DropJoinStmt> ParseDropJoin() {
+    DropJoinStmt stmt;
+    FUDJ_ASSIGN_OR_RETURN(stmt.name, ExpectIdent());
+    if (Peek().IsSymbol("(")) {
+      std::vector<std::string> names;
+      std::vector<ValueType> types;
+      FUDJ_RETURN_NOT_OK(ParseSignature(&names, &types));
+    }
+    return stmt;
+  }
+
+  Result<QuerySpec> ParseSelect() {
+    FUDJ_RETURN_NOT_OK(Expect("select"));
+    QuerySpec q;
+    // Select list.
+    while (true) {
+      SelectItem item;
+      FUDJ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (Peek().IsKeyword("as")) {
+        Advance();
+        FUDJ_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+      }
+      q.select.push_back(std::move(item));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    // FROM.
+    FUDJ_RETURN_NOT_OK(Expect("from"));
+    while (true) {
+      TableRef ref;
+      FUDJ_ASSIGN_OR_RETURN(ref.dataset, ExpectIdent());
+      if (Peek().kind == TokenKind::kIdent && !IsClauseKeyword(Peek())) {
+        ref.alias = Advance().text;
+      }
+      q.tables.push_back(std::move(ref));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (q.tables.size() > 4) {
+      return Status::Unimplemented(
+          "queries over more than four datasets are not supported");
+    }
+    // WHERE.
+    if (Peek().IsKeyword("where")) {
+      Advance();
+      FUDJ_ASSIGN_OR_RETURN(q.where, ParseExpr());
+    }
+    // GROUP BY.
+    if (Peek().IsKeyword("group")) {
+      Advance();
+      FUDJ_RETURN_NOT_OK(Expect("by"));
+      while (true) {
+        FUDJ_ASSIGN_OR_RETURN(Expr::Ptr col, ParsePrimary());
+        if (col->kind() != ExprKind::kColumn) {
+          return Status::Unimplemented("GROUP BY supports columns only");
+        }
+        q.group_by.push_back(std::move(col));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    // ORDER BY (over output column names).
+    if (Peek().IsKeyword("order")) {
+      Advance();
+      FUDJ_RETURN_NOT_OK(Expect("by"));
+      while (true) {
+        OrderItem item;
+        FUDJ_ASSIGN_OR_RETURN(item.column, ParseQualifiedName());
+        if (Peek().IsKeyword("asc")) {
+          Advance();
+        } else if (Peek().IsKeyword("desc")) {
+          Advance();
+          item.ascending = false;
+        }
+        q.order_by.push_back(std::move(item));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    // LIMIT.
+    if (Peek().IsKeyword("limit")) {
+      Advance();
+      if (Peek().kind != TokenKind::kInt) {
+        return Status::ParseError("expected integer after LIMIT");
+      }
+      q.limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    }
+    return q;
+  }
+
+  static bool IsClauseKeyword(const Token& t) {
+    return t.IsKeyword("where") || t.IsKeyword("group") ||
+           t.IsKeyword("order") || t.IsKeyword("limit") ||
+           t.IsKeyword("as") || t.IsKeyword("on");
+  }
+
+  Result<std::string> ParseQualifiedName() {
+    FUDJ_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    while (Peek().IsSymbol(".")) {
+      Advance();
+      FUDJ_ASSIGN_OR_RETURN(std::string part, ExpectIdent());
+      name += "." + part;
+    }
+    return name;
+  }
+
+  // expr := or_expr
+  Result<Expr::Ptr> ParseExpr() { return ParseOr(); }
+
+  Result<Expr::Ptr> ParseOr() {
+    FUDJ_ASSIGN_OR_RETURN(Expr::Ptr lhs, ParseAnd());
+    while (Peek().IsKeyword("or")) {
+      Advance();
+      FUDJ_ASSIGN_OR_RETURN(Expr::Ptr rhs, ParseAnd());
+      lhs = Expr::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Expr::Ptr> ParseAnd() {
+    FUDJ_ASSIGN_OR_RETURN(Expr::Ptr lhs, ParseNot());
+    while (Peek().IsKeyword("and")) {
+      Advance();
+      FUDJ_ASSIGN_OR_RETURN(Expr::Ptr rhs, ParseNot());
+      lhs = Expr::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Expr::Ptr> ParseNot() {
+    if (Peek().IsKeyword("not")) {
+      Advance();
+      FUDJ_ASSIGN_OR_RETURN(Expr::Ptr inner, ParseNot());
+      return Expr::Not(std::move(inner));
+    }
+    return ParseComparison();
+  }
+
+  Result<Expr::Ptr> ParseComparison() {
+    FUDJ_ASSIGN_OR_RETURN(Expr::Ptr lhs, ParsePrimary());
+    const Token& t = Peek();
+    CompareOp op;
+    if (t.IsSymbol("=")) {
+      op = CompareOp::kEq;
+    } else if (t.IsSymbol("<>")) {
+      op = CompareOp::kNe;
+    } else if (t.IsSymbol("<=")) {
+      op = CompareOp::kLe;
+    } else if (t.IsSymbol(">=")) {
+      op = CompareOp::kGe;
+    } else if (t.IsSymbol("<")) {
+      op = CompareOp::kLt;
+    } else if (t.IsSymbol(">")) {
+      op = CompareOp::kGt;
+    } else {
+      return lhs;
+    }
+    Advance();
+    FUDJ_ASSIGN_OR_RETURN(Expr::Ptr rhs, ParsePrimary());
+    return Expr::Compare(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<Expr::Ptr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.IsSymbol("(")) {
+      Advance();
+      FUDJ_ASSIGN_OR_RETURN(Expr::Ptr inner, ParseExpr());
+      FUDJ_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    if (t.IsSymbol("*")) {
+      Advance();
+      return Expr::Star();
+    }
+    if (t.kind == TokenKind::kInt || t.kind == TokenKind::kFloat ||
+        t.kind == TokenKind::kString || t.IsKeyword("true") ||
+        t.IsKeyword("false") || t.IsKeyword("null")) {
+      FUDJ_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      return Expr::Literal(std::move(v));
+    }
+    if (t.kind == TokenKind::kIdent) {
+      // Function call or (qualified) column.
+      if (Peek(1).IsSymbol("(")) {
+        const std::string fn = Advance().text;
+        Advance();  // '('
+        std::vector<Expr::Ptr> args;
+        if (!Peek().IsSymbol(")")) {
+          while (true) {
+            FUDJ_ASSIGN_OR_RETURN(Expr::Ptr arg, ParseExpr());
+            args.push_back(std::move(arg));
+            if (Peek().IsSymbol(",")) {
+              Advance();
+              continue;
+            }
+            break;
+          }
+        }
+        FUDJ_RETURN_NOT_OK(ExpectSymbol(")"));
+        return Expr::Call(fn, std::move(args));
+      }
+      FUDJ_ASSIGN_OR_RETURN(std::string name, ParseQualifiedName());
+      return Expr::Column(std::move(name));
+    }
+    return Status::ParseError("unexpected token '" + t.text +
+                              "' in expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view sql) {
+  FUDJ_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexSql(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<QuerySpec> ParseSelect(std::string_view sql) {
+  FUDJ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument("statement is not a SELECT");
+  }
+  return stmt.select;
+}
+
+}  // namespace fudj

@@ -1,0 +1,31 @@
+#ifndef FUDJ_SQL_PARSER_H_
+#define FUDJ_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "optimizer/logical_plan.h"
+
+namespace fudj {
+
+/// Parses one SQL statement. Supported grammar (a SQL++ subset shaped by
+/// the paper's queries):
+///
+///   CREATE JOIN name(p1: type, p2: type[, ...]) RETURNS boolean
+///     AS "class.Name" AT library [PARAMS (literal, ...)] [;]
+///   DROP JOIN name[(p1: type, ...)] [;]
+///   SELECT item [AS alias], ... FROM ds [alias] [, ds [alias]]
+///     [WHERE expr] [GROUP BY col, ...]
+///     [ORDER BY out_col [ASC|DESC], ...] [LIMIT n] [;]
+///
+/// Expressions: AND/OR/NOT, comparisons (= <> < <= > >=), function calls,
+/// qualified columns (alias.field), numeric/string/boolean literals, and
+/// COUNT(*) / COUNT/SUM/AVG/MIN/MAX(col) aggregates in the SELECT list.
+Result<Statement> ParseStatement(std::string_view sql);
+
+/// Convenience wrapper asserting the statement is a SELECT.
+Result<QuerySpec> ParseSelect(std::string_view sql);
+
+}  // namespace fudj
+
+#endif  // FUDJ_SQL_PARSER_H_

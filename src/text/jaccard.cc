@@ -1,0 +1,43 @@
+#include "text/jaccard.h"
+
+#include <cmath>
+
+namespace fudj {
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t i = 0;
+  size_t j = 0;
+  size_t common = 0;
+  while (i < a.size() && j < b.size()) {
+    const int cmp = a[i].compare(b[j]);
+    if (cmp == 0) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = a.size() + b.size() - common;
+  return uni == 0 ? 1.0 : static_cast<double>(common) / uni;
+}
+
+size_t JaccardPrefixLength(size_t set_size, double threshold) {
+  if (set_size == 0) return 0;
+  const double l = static_cast<double>(set_size);
+  const auto keep = static_cast<size_t>(std::ceil(threshold * l));
+  const size_t prefix = set_size - keep + 1;
+  return prefix > set_size ? set_size : prefix;
+}
+
+bool JaccardLengthFilter(size_t size_a, size_t size_b, double threshold) {
+  const double a = static_cast<double>(size_a);
+  const double b = static_cast<double>(size_b);
+  return a >= threshold * b && b >= threshold * a;
+}
+
+}  // namespace fudj

@@ -1,0 +1,28 @@
+#ifndef FUDJ_TEXT_JACCARD_H_
+#define FUDJ_TEXT_JACCARD_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fudj {
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| of two *sorted, deduplicated*
+/// token vectors. Returns 1.0 when both are empty.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// Prefix length for prefix filtering at Jaccard threshold `t` over a
+/// record with `set_size` distinct tokens:
+/// `p = (l - ceil(t * l)) + 1` (Section V-B of the paper). Records whose
+/// first `p` rarest tokens share no bucket cannot reach similarity `t`.
+size_t JaccardPrefixLength(size_t set_size, double threshold);
+
+/// Size lower bound for a candidate pair at threshold `t`: sets whose
+/// sizes differ by more than a factor `t` can be pruned
+/// (|A| >= t * |B| and |B| >= t * |A| is necessary for J >= t).
+bool JaccardLengthFilter(size_t size_a, size_t size_b, double threshold);
+
+}  // namespace fudj
+
+#endif  // FUDJ_TEXT_JACCARD_H_

@@ -1,0 +1,21 @@
+#ifndef FUDJ_TEXT_TOKENIZER_H_
+#define FUDJ_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fudj {
+
+/// Splits `text` into lowercase word tokens on non-alphanumeric boundaries
+/// (the paper's `word_tokens` / `tokenize` function). Duplicates are kept;
+/// callers that need set semantics deduplicate afterwards.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Tokenize + sort + dedup: the token *set* of a document, as used by
+/// Jaccard similarity and prefix filtering.
+std::vector<std::string> TokenSet(std::string_view text);
+
+}  // namespace fudj
+
+#endif  // FUDJ_TEXT_TOKENIZER_H_

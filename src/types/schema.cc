@@ -1,0 +1,64 @@
+#include "types/schema.h"
+
+namespace fudj {
+
+int Schema::IndexOf(std::string_view name) const {
+  for (int i = 0; i < num_fields(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  // Allow unqualified lookup of qualified fields: "id" matches "p.id" when
+  // unambiguous.
+  int found = -1;
+  for (int i = 0; i < num_fields(); ++i) {
+    const std::string& f = fields_[i].name;
+    const size_t dot = f.find('.');
+    if (dot != std::string::npos &&
+        std::string_view(f).substr(dot + 1) == name) {
+      if (found != -1) return -1;  // ambiguous
+      found = i;
+    }
+  }
+  return found;
+}
+
+Result<int> Schema::Resolve(std::string_view name) const {
+  const int idx = IndexOf(name);
+  if (idx < 0) {
+    return Status::NotFound("no field named '" + std::string(name) +
+                            "' in schema " + ToString());
+  }
+  return idx;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Field> fields = left.fields_;
+  fields.insert(fields.end(), right.fields_.begin(), right.fields_.end());
+  return Schema(std::move(fields));
+}
+
+Schema Schema::WithAlias(std::string_view alias) const {
+  std::vector<Field> fields;
+  fields.reserve(fields_.size());
+  for (const Field& f : fields_) {
+    // Strip any existing qualifier before re-qualifying.
+    const size_t dot = f.name.find('.');
+    const std::string base =
+        dot == std::string::npos ? f.name : f.name.substr(dot + 1);
+    fields.push_back(Field{std::string(alias) + "." + base, f.type});
+  }
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (int i = 0; i < num_fields(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += ValueTypeToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace fudj

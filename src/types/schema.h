@@ -1,0 +1,61 @@
+#ifndef FUDJ_TYPES_SCHEMA_H_
+#define FUDJ_TYPES_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace fudj {
+
+/// A named, typed column.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Field& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// Ordered collection of fields describing the tuples of a relation.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or -1.
+  int IndexOf(std::string_view name) const;
+
+  /// Index of `name`, as a Result with a helpful error.
+  Result<int> Resolve(std::string_view name) const;
+
+  /// Appends a field.
+  void AddField(std::string name, ValueType type) {
+    fields_.push_back(Field{std::move(name), type});
+  }
+
+  /// Schema of the concatenation of two tuples, with field names prefixed
+  /// by relation aliases when non-empty ("p.id").
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// Returns a copy with every field renamed to `alias + "." + name`.
+  Schema WithAlias(std::string_view alias) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Schema& o) const { return fields_ == o.fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_TYPES_SCHEMA_H_

@@ -1,0 +1,49 @@
+#include "types/tuple.h"
+
+#include "common/hash.h"
+
+namespace fudj {
+
+Tuple ConcatTuples(const Tuple& left, const Tuple& right) {
+  Tuple out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+uint64_t HashTupleColumns(const Tuple& t, const std::vector<int>& cols) {
+  uint64_t h = 0x12345678abcdefULL;
+  for (int c : cols) h = HashCombine(h, t[c].Hash());
+  return h;
+}
+
+bool TupleColumnsEqual(const Tuple& a, const Tuple& b,
+                       const std::vector<int>& cols) {
+  for (int c : cols) {
+    if (!a[c].Equals(b[c])) return false;
+  }
+  return true;
+}
+
+int CompareTuples(const Tuple& a, const Tuple& b, const std::vector<int>& cols,
+                  const std::vector<bool>& ascending) {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    int c = a[cols[i]].Compare(b[cols[i]]);
+    if (!ascending.empty() && !ascending[i]) c = -c;
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+}  // namespace fudj

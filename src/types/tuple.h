@@ -1,0 +1,36 @@
+#ifndef FUDJ_TYPES_TUPLE_H_
+#define FUDJ_TYPES_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace fudj {
+
+/// A row: a vector of Values positionally matching a Schema.
+using Tuple = std::vector<Value>;
+
+/// Concatenates two tuples (join output row).
+Tuple ConcatTuples(const Tuple& left, const Tuple& right);
+
+/// Renders "(v1, v2, ...)" for debugging and example output.
+std::string TupleToString(const Tuple& t);
+
+/// Combined hash of selected columns; used by hash exchange and group-by.
+uint64_t HashTupleColumns(const Tuple& t, const std::vector<int>& cols);
+
+/// Columnwise equality on selected columns.
+bool TupleColumnsEqual(const Tuple& a, const Tuple& b,
+                       const std::vector<int>& cols);
+
+/// Lexicographic comparison on selected columns with per-column direction
+/// (true = ascending). Returns <0, 0, >0.
+int CompareTuples(const Tuple& a, const Tuple& b,
+                  const std::vector<int>& cols,
+                  const std::vector<bool>& ascending);
+
+}  // namespace fudj
+
+#endif  // FUDJ_TYPES_TUPLE_H_

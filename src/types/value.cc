@@ -1,0 +1,200 @@
+#include "types/value.h"
+
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace fudj {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kGeometry:
+      return "geometry";
+    case ValueType::kInterval:
+      return "interval";
+  }
+  return "unknown";
+}
+
+Result<ValueType> ValueTypeFromString(std::string_view name) {
+  if (name == "null") return ValueType::kNull;
+  if (name == "bool" || name == "boolean") return ValueType::kBool;
+  if (name == "int64" || name == "int" || name == "bigint") {
+    return ValueType::kInt64;
+  }
+  if (name == "double" || name == "float") return ValueType::kDouble;
+  if (name == "string" || name == "text") return ValueType::kString;
+  if (name == "geometry") return ValueType::kGeometry;
+  if (name == "interval") return ValueType::kInterval;
+  return Status::InvalidArgument("unknown type name: " + std::string(name));
+}
+
+Result<double> Value::AsDouble() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return bool_val() ? 1.0 : 0.0;
+    case ValueType::kInt64:
+      return static_cast<double>(i64());
+    case ValueType::kDouble:
+      return f64();
+    default:
+      return Status::TypeError(std::string("cannot coerce ") +
+                               ValueTypeToString(type()) + " to double");
+  }
+}
+
+bool Value::Equals(const Value& other) const {
+  if (type() != other.type()) {
+    // Numeric cross-type equality (int64 vs double).
+    if ((type() == ValueType::kInt64 && other.type() == ValueType::kDouble) ||
+        (type() == ValueType::kDouble && other.type() == ValueType::kInt64)) {
+      return AsDouble().value() == other.AsDouble().value();
+    }
+    return false;
+  }
+  switch (type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kBool:
+      return bool_val() == other.bool_val();
+    case ValueType::kInt64:
+      return i64() == other.i64();
+    case ValueType::kDouble:
+      return f64() == other.f64();
+    case ValueType::kString:
+      return str() == other.str();
+    case ValueType::kGeometry:
+      return geometry() == other.geometry();
+    case ValueType::kInterval:
+      return interval() == other.interval();
+  }
+  return false;
+}
+
+namespace {
+
+template <typename T>
+int Cmp(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+int CompareRects(const Rect& a, const Rect& b) {
+  if (int c = Cmp(a.min_x, b.min_x)) return c;
+  if (int c = Cmp(a.min_y, b.min_y)) return c;
+  if (int c = Cmp(a.max_x, b.max_x)) return c;
+  return Cmp(a.max_y, b.max_y);
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  // Numeric cross-type comparison first.
+  const bool self_num =
+      type() == ValueType::kInt64 || type() == ValueType::kDouble;
+  const bool other_num =
+      other.type() == ValueType::kInt64 || other.type() == ValueType::kDouble;
+  if (self_num && other_num && type() != other.type()) {
+    return Cmp(AsDouble().value(), other.AsDouble().value());
+  }
+  if (type() != other.type()) {
+    return Cmp(static_cast<int>(type()), static_cast<int>(other.type()));
+  }
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return Cmp(bool_val(), other.bool_val());
+    case ValueType::kInt64:
+      return Cmp(i64(), other.i64());
+    case ValueType::kDouble:
+      return Cmp(f64(), other.f64());
+    case ValueType::kString:
+      return str().compare(other.str()) < 0
+                 ? -1
+                 : (str() == other.str() ? 0 : 1);
+    case ValueType::kGeometry:
+      return CompareRects(geometry().Mbr(), other.geometry().Mbr());
+    case ValueType::kInterval: {
+      if (int c = Cmp(interval().start, other.interval().start)) return c;
+      return Cmp(interval().end, other.interval().end);
+    }
+  }
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9ae16a3b2f90404fULL;
+    case ValueType::kBool:
+      return Mix64(bool_val() ? 1 : 2);
+    case ValueType::kInt64:
+      return Mix64(static_cast<uint64_t>(i64()));
+    case ValueType::kDouble: {
+      const double d = f64();
+      // Hash int-valued doubles the same as the equal int64.
+      const auto as_int = static_cast<int64_t>(d);
+      if (static_cast<double>(as_int) == d) {
+        return Mix64(static_cast<uint64_t>(as_int));
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits);
+    }
+    case ValueType::kString:
+      return HashString(str());
+    case ValueType::kGeometry: {
+      const Rect r = geometry().Mbr();
+      uint64_t h = 0;
+      for (double d : {r.min_x, r.min_y, r.max_x, r.max_y}) {
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        h = HashCombine(h, Mix64(bits));
+      }
+      return h;
+    }
+    case ValueType::kInterval:
+      return HashCombine(Mix64(static_cast<uint64_t>(interval().start)),
+                         Mix64(static_cast<uint64_t>(interval().end)));
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  char buf[64];
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return bool_val() ? "true" : "false";
+    case ValueType::kInt64:
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(i64()));
+      return buf;
+    case ValueType::kDouble:
+      std::snprintf(buf, sizeof(buf), "%g", f64());
+      return buf;
+    case ValueType::kString:
+      return str();
+    case ValueType::kGeometry:
+      return geometry().ToString();
+    case ValueType::kInterval:
+      return interval().ToString();
+  }
+  return "?";
+}
+
+}  // namespace fudj

@@ -1,0 +1,105 @@
+#ifndef FUDJ_TYPES_VALUE_H_
+#define FUDJ_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/result.h"
+#include "geometry/geometry.h"
+#include "interval/interval.h"
+
+namespace fudj {
+
+/// Runtime type tag of a Value. The set mirrors the data model the paper's
+/// queries need: scalars plus the two domain key types (geometry,
+/// interval).
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+  kGeometry = 5,
+  kInterval = 6,
+};
+
+/// Name of a type tag ("int64", "geometry", ...).
+const char* ValueTypeToString(ValueType type);
+
+/// Parses a type name as used by CREATE JOIN signatures ("string",
+/// "double", "geometry", "interval", "int64"/"int", "bool").
+Result<ValueType> ValueTypeFromString(std::string_view name);
+
+/// Dynamically-typed cell of a tuple.
+///
+/// Values are cheap to copy: strings are held inline, geometries are held
+/// by shared pointer (polygons can be large and are immutable once built).
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Storage(v)); }
+  static Value Int64(int64_t v) { return Value(Storage(v)); }
+  static Value Double(double v) { return Value(Storage(v)); }
+  static Value String(std::string v) { return Value(Storage(std::move(v))); }
+  static Value Geom(Geometry g) {
+    return Value(Storage(std::make_shared<const Geometry>(std::move(g))));
+  }
+  static Value Geom(std::shared_ptr<const Geometry> g) {
+    return Value(Storage(std::move(g)));
+  }
+  static Value Intv(Interval v) { return Value(Storage(v)); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  bool bool_val() const { return std::get<bool>(data_); }
+  int64_t i64() const { return std::get<int64_t>(data_); }
+  double f64() const { return std::get<double>(data_); }
+  const std::string& str() const { return std::get<std::string>(data_); }
+  const Geometry& geometry() const {
+    return *std::get<std::shared_ptr<const Geometry>>(data_);
+  }
+  const std::shared_ptr<const Geometry>& geometry_ptr() const {
+    return std::get<std::shared_ptr<const Geometry>>(data_);
+  }
+  const Interval& interval() const { return std::get<Interval>(data_); }
+
+  /// Numeric coercion: int64/double/bool as double; fails on other types.
+  Result<double> AsDouble() const;
+
+  /// Deep equality (NULL equals NULL here; SQL three-valued logic is
+  /// handled by the expression evaluator, not by Value).
+  bool Equals(const Value& other) const;
+
+  /// Total order for sorting/grouping: by type tag first, then by value.
+  /// Geometries order by MBR lexicographically, intervals by (start, end).
+  int Compare(const Value& other) const;
+
+  /// Stable 64-bit hash consistent with Equals.
+  uint64_t Hash() const;
+
+  /// Human-readable rendering used by examples and benches.
+  std::string ToString() const;
+
+ private:
+  using Storage = std::variant<std::monostate, bool, int64_t, double,
+                               std::string,
+                               std::shared_ptr<const Geometry>, Interval>;
+  explicit Value(Storage s) : data_(std::move(s)) {}
+
+  Storage data_;
+};
+
+inline bool operator==(const Value& a, const Value& b) { return a.Equals(b); }
+
+}  // namespace fudj
+
+#endif  // FUDJ_TYPES_VALUE_H_

@@ -1,0 +1,260 @@
+#include "builtin/builtin_interval.h"
+#include "builtin/builtin_spatial.h"
+#include "builtin/builtin_textsim.h"
+#include "builtin/ontop_nlj.h"
+#include "datagen/datagen.h"
+#include "fudj/runtime.h"
+#include "gtest/gtest.h"
+#include "joins/interval_fudj.h"
+#include "joins/spatial_fudj.h"
+#include "joins/textsim_fudj.h"
+#include "test_util.h"
+#include "text/jaccard.h"
+#include "text/tokenizer.h"
+
+namespace fudj {
+namespace {
+
+// ------------------------------------------------------------- OnTop NLJ
+
+TEST(OnTopNljTest, MatchesGroundTruth) {
+  Cluster cluster(3);
+  Schema schema;
+  schema.AddField("id", ValueType::kInt64);
+  std::vector<Tuple> l_rows;
+  std::vector<Tuple> r_rows;
+  for (int i = 0; i < 30; ++i) l_rows.push_back({Value::Int64(i)});
+  for (int i = 0; i < 40; ++i) r_rows.push_back({Value::Int64(i * 2)});
+  auto left = PartitionedRelation::FromTuples(schema, l_rows, 3);
+  auto right = PartitionedRelation::FromTuples(schema, r_rows, 3);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto out, OnTopNestedLoopJoin(
+                    &cluster, left, right,
+                    [](const Tuple& l, const Tuple& r) {
+                      return l[0].i64() == r[0].i64();
+                    },
+                    &stats));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows, out.MaterializeAll());
+  EXPECT_EQ(rows.size(), 15u);  // even ids 0..28
+  EXPECT_GT(stats.bytes_shuffled(), 0) << "right side is broadcast";
+}
+
+TEST(OnTopNljTest, EmptySideYieldsEmptyResult) {
+  Cluster cluster(2);
+  Schema schema;
+  schema.AddField("id", ValueType::kInt64);
+  auto left = PartitionedRelation::FromTuples(schema, {}, 2);
+  auto right = PartitionedRelation::FromTuples(
+      schema, {{Value::Int64(1)}}, 2);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto out,
+      OnTopNestedLoopJoin(
+          &cluster, left, right,
+          [](const Tuple&, const Tuple&) { return true; }, &stats));
+  EXPECT_EQ(out.NumRows(), 0);
+}
+
+// -------------------------------------------------------- BuiltinSpatial
+
+class BuiltinSpatialProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BuiltinSpatialProperty, MatchesGroundTruth) {
+  const int grid_n = GetParam();
+  Cluster cluster(4);
+  auto parks = PartitionedRelation::FromTuples(ParksSchema(),
+                                               GenerateParks(80, 3), 4);
+  auto fires = PartitionedRelation::FromTuples(
+      WildfiresSchema(), GenerateWildfires(250, 4), 4);
+  BuiltinSpatialOptions options;
+  options.grid_n = grid_n;
+  options.predicate = SpatialPredicate::kContains;
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto out,
+      BuiltinSpatialJoin(&cluster, parks, 1, fires, 1, options, &stats));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows, out.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> p_rows,
+                       parks.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> f_rows,
+                       fires.MaterializeAll());
+  const auto expected = NljGroundTruth(
+      p_rows, 0, f_rows, 0, [](const Tuple& p, const Tuple& f) {
+        return p[1].geometry().Contains(f[1].geometry());
+      });
+  EXPECT_EQ(IdPairs(rows, 0, 3), expected);
+  EXPECT_FALSE(HasDuplicatePairs(rows, 0, 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSizes, BuiltinSpatialProperty,
+                         ::testing::Values(1, 8, 32, 100));
+
+TEST(BuiltinSpatialTest, PlaneSweepMatchesNestedLoop) {
+  Cluster cluster(4);
+  auto parks = PartitionedRelation::FromTuples(ParksSchema(),
+                                               GenerateParks(120, 7), 4);
+  auto fires = PartitionedRelation::FromTuples(
+      WildfiresSchema(), GenerateWildfires(300, 8), 4);
+  BuiltinSpatialOptions nl;
+  nl.grid_n = 16;
+  nl.predicate = SpatialPredicate::kIntersects;
+  BuiltinSpatialOptions ps = nl;
+  ps.local_join = SpatialLocalJoin::kPlaneSweep;
+  ExecStats s1;
+  ExecStats s2;
+  ASSERT_OK_AND_ASSIGN(auto o1, BuiltinSpatialJoin(&cluster, parks, 1,
+                                                   fires, 1, nl, &s1));
+  ASSERT_OK_AND_ASSIGN(auto o2, BuiltinSpatialJoin(&cluster, parks, 1,
+                                                   fires, 1, ps, &s2));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r1, o1.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r2, o2.MaterializeAll());
+  EXPECT_EQ(IdPairs(r1, 0, 3), IdPairs(r2, 0, 3));
+}
+
+TEST(BuiltinSpatialTest, AgreesWithFudjVersion) {
+  Cluster cluster(4);
+  auto parks = PartitionedRelation::FromTuples(ParksSchema(),
+                                               GenerateParks(60, 9), 4);
+  auto fires = PartitionedRelation::FromTuples(
+      WildfiresSchema(), GenerateWildfires(200, 10), 4);
+  BuiltinSpatialOptions opts;
+  opts.grid_n = 20;
+  opts.predicate = SpatialPredicate::kContains;
+  ExecStats s1;
+  ASSERT_OK_AND_ASSIGN(auto builtin_out,
+                       BuiltinSpatialJoin(&cluster, parks, 1, fires, 1,
+                                          opts, &s1));
+  SpatialFudj join(JoinParameters({Value::Int64(20), Value::Int64(1)}));
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats s2;
+  FudjExecOptions fopts;
+  ASSERT_OK_AND_ASSIGN(auto fudj_out,
+                       runtime.Execute(parks, 1, fires, 1, fopts, &s2));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r1,
+                       builtin_out.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r2,
+                       fudj_out.MaterializeAll());
+  EXPECT_EQ(IdPairs(r1, 0, 3), IdPairs(r2, 0, 3));
+}
+
+// ------------------------------------------------------- BuiltinInterval
+
+TEST(BuiltinIntervalTest, MatchesGroundTruth) {
+  Cluster cluster(4);
+  auto rides = PartitionedRelation::FromTuples(
+      TaxiSchema(), GenerateTaxiRides(180, 13), 4);
+  BuiltinIntervalOptions options;
+  options.num_buckets = 200;
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto out,
+      BuiltinIntervalJoin(&cluster, rides, 2, rides, 2, options, &stats));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows, out.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r_rows,
+                       rides.MaterializeAll());
+  const auto expected = NljGroundTruth(
+      r_rows, 0, r_rows, 0, [](const Tuple& a, const Tuple& b) {
+        return a[2].interval().Overlaps(b[2].interval());
+      });
+  EXPECT_EQ(IdPairs(rows, 0, 3), expected);
+}
+
+TEST(BuiltinIntervalTest, AgreesWithFudjVersion) {
+  Cluster cluster(3);
+  auto rides = PartitionedRelation::FromTuples(
+      TaxiSchema(), GenerateTaxiRides(120, 17), 3);
+  BuiltinIntervalOptions opts;
+  opts.num_buckets = 64;
+  ExecStats s1;
+  ASSERT_OK_AND_ASSIGN(
+      auto b_out,
+      BuiltinIntervalJoin(&cluster, rides, 2, rides, 2, opts, &s1));
+  IntervalFudj join(JoinParameters({Value::Int64(64)}));
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats s2;
+  FudjExecOptions fopts;
+  fopts.duplicates = DuplicateHandling::kNone;
+  ASSERT_OK_AND_ASSIGN(auto f_out,
+                       runtime.Execute(rides, 2, rides, 2, fopts, &s2));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r1, b_out.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r2, f_out.MaterializeAll());
+  EXPECT_EQ(IdPairs(r1, 0, 3), IdPairs(r2, 0, 3));
+}
+
+// -------------------------------------------------------- BuiltinTextSim
+
+class BuiltinTextSimProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(BuiltinTextSimProperty, MatchesGroundTruth) {
+  const double t = GetParam();
+  Cluster cluster(4);
+  auto reviews = PartitionedRelation::FromTuples(
+      ReviewsSchema(), GenerateReviews(80, 21), 4);
+  BuiltinTextSimOptions options;
+  options.threshold = t;
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto out,
+      BuiltinTextSimJoin(&cluster, reviews, 2, reviews, 2, options, &stats));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows, out.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r_rows,
+                       reviews.MaterializeAll());
+  const auto expected = NljGroundTruth(
+      r_rows, 0, r_rows, 0, [t](const Tuple& a, const Tuple& b) {
+        return JaccardSimilarity(TokenSet(a[2].str()),
+                                 TokenSet(b[2].str())) >= t;
+      });
+  EXPECT_EQ(IdPairs(rows, 0, 3), expected);
+  EXPECT_FALSE(HasDuplicatePairs(rows, 0, 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, BuiltinTextSimProperty,
+                         ::testing::Values(0.9, 0.7, 0.5));
+
+TEST(BuiltinTextSimTest, EliminationEqualsAvoidance) {
+  Cluster cluster(3);
+  auto reviews = PartitionedRelation::FromTuples(
+      ReviewsSchema(), GenerateReviews(70, 23), 3);
+  BuiltinTextSimOptions avoid;
+  avoid.threshold = 0.8;
+  avoid.duplicates = DuplicateHandling::kAvoidance;
+  BuiltinTextSimOptions elim = avoid;
+  elim.duplicates = DuplicateHandling::kElimination;
+  ExecStats s1;
+  ExecStats s2;
+  ASSERT_OK_AND_ASSIGN(auto o1, BuiltinTextSimJoin(&cluster, reviews, 2,
+                                                   reviews, 2, avoid, &s1));
+  ASSERT_OK_AND_ASSIGN(auto o2, BuiltinTextSimJoin(&cluster, reviews, 2,
+                                                   reviews, 2, elim, &s2));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r1, o1.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r2, o2.MaterializeAll());
+  EXPECT_EQ(IdPairs(r1, 0, 3), IdPairs(r2, 0, 3));
+  EXPECT_FALSE(HasDuplicatePairs(r2, 0, 3));
+  // Elimination ships duplicate pairs through an extra exchange.
+  EXPECT_GT(s2.bytes_shuffled(), s1.bytes_shuffled());
+}
+
+TEST(BuiltinTextSimTest, AgreesWithFudjVersion) {
+  Cluster cluster(3);
+  auto reviews = PartitionedRelation::FromTuples(
+      ReviewsSchema(), GenerateReviews(60, 25), 3);
+  BuiltinTextSimOptions opts;
+  opts.threshold = 0.9;
+  ExecStats s1;
+  ASSERT_OK_AND_ASSIGN(auto b_out, BuiltinTextSimJoin(&cluster, reviews, 2,
+                                                      reviews, 2, opts,
+                                                      &s1));
+  TextSimFudj join(JoinParameters({Value::Double(0.9)}));
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats s2;
+  FudjExecOptions fopts;
+  ASSERT_OK_AND_ASSIGN(auto f_out,
+                       runtime.Execute(reviews, 2, reviews, 2, fopts, &s2));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r1, b_out.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r2, f_out.MaterializeAll());
+  EXPECT_EQ(IdPairs(r1, 0, 3), IdPairs(r2, 0, 3));
+}
+
+}  // namespace
+}  // namespace fudj

@@ -1,0 +1,132 @@
+#include <set>
+
+#include "datagen/datagen.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "text/tokenizer.h"
+
+namespace fudj {
+namespace {
+
+TEST(DatagenTest, WildfiresSchemaAndShape) {
+  const Schema s = WildfiresSchema();
+  EXPECT_EQ(s.num_fields(), 3);
+  const auto rows = GenerateWildfires(100, 1);
+  ASSERT_EQ(rows.size(), 100u);
+  for (const Tuple& t : rows) {
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[1].type(), ValueType::kGeometry);
+    EXPECT_EQ(t[1].geometry().kind(), Geometry::Kind::kPoint);
+    EXPECT_EQ(t[2].type(), ValueType::kInterval);
+    EXPECT_LE(t[2].interval().start, t[2].interval().end);
+  }
+}
+
+TEST(DatagenTest, WildfiresPointsInWorld) {
+  for (const Tuple& t : GenerateWildfires(500, 2)) {
+    const Point p = t[1].geometry().point();
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 100.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 100.0);
+  }
+}
+
+TEST(DatagenTest, ParksArePolygonsWithTags) {
+  const auto rows = GenerateParks(100, 3);
+  for (const Tuple& t : rows) {
+    EXPECT_EQ(t[1].geometry().kind(), Geometry::Kind::kPolygon);
+    EXPECT_GE(t[1].geometry().polygon().vertices.size(), 4u);
+    const auto tags = TokenSet(t[2].str());
+    EXPECT_GE(tags.size(), 3u);
+    EXPECT_LE(tags.size(), 7u);
+  }
+}
+
+TEST(DatagenTest, TaxiVendorsAreOneOrTwo) {
+  std::set<int64_t> vendors;
+  for (const Tuple& t : GenerateTaxiRides(200, 4)) {
+    vendors.insert(t[1].i64());
+    EXPECT_GT(t[2].interval().length(), 0);
+  }
+  EXPECT_EQ(vendors, (std::set<int64_t>{1, 2}));
+}
+
+TEST(DatagenTest, ReviewsHaveValidRatings) {
+  for (const Tuple& t : GenerateReviews(200, 5)) {
+    EXPECT_GE(t[1].i64(), 1);
+    EXPECT_LE(t[1].i64(), 5);
+    EXPECT_FALSE(t[2].str().empty());
+  }
+}
+
+TEST(DatagenTest, ReviewsContainNearDuplicates) {
+  // The planted near-duplicate mechanism must give the t=0.9 workload a
+  // non-empty answer (excluding trivial self-pairs).
+  const auto rows = GenerateReviews(300, 6);
+  int high_sim_pairs = 0;
+  for (size_t i = 0; i < rows.size() && high_sim_pairs == 0; ++i) {
+    const auto a = TokenSet(rows[i][2].str());
+    for (size_t j = i + 1; j < rows.size(); ++j) {
+      const auto b = TokenSet(rows[j][2].str());
+      size_t common = 0;
+      size_t x = 0;
+      size_t y = 0;
+      while (x < a.size() && y < b.size()) {
+        const int c = a[x].compare(b[y]);
+        if (c == 0) {
+          ++common;
+          ++x;
+          ++y;
+        } else if (c < 0) {
+          ++x;
+        } else {
+          ++y;
+        }
+      }
+      const double sim =
+          static_cast<double>(common) / (a.size() + b.size() - common);
+      if (sim >= 0.9) {
+        ++high_sim_pairs;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(high_sim_pairs, 0);
+}
+
+TEST(DatagenTest, DeterministicInSeed) {
+  const auto a = GenerateReviews(50, 42);
+  const auto b = GenerateReviews(50, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i][2].str(), b[i][2].str());
+  }
+  const auto c = GenerateReviews(50, 43);
+  int same = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i][2].str() == c[i][2].str()) ++same;
+  }
+  EXPECT_LT(same, 5) << "different seeds must differ";
+}
+
+TEST(DatagenTest, IdsAreSequential) {
+  const auto rows = GenerateTaxiRides(30, 7);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i][0].i64(), static_cast<int64_t>(i));
+  }
+}
+
+TEST(DatagenTest, PrefixPropertyLargerNIsSuperset) {
+  // Generators draw records sequentially, so the first k records of a
+  // larger generation equal a smaller generation (workload scaling in
+  // Fig. 9 depends on this).
+  const auto small = GenerateWildfires(20, 9);
+  const auto large = GenerateWildfires(40, 9);
+  for (size_t i = 0; i < small.size(); ++i) {
+    EXPECT_TRUE(small[i][1].Equals(large[i][1]));
+  }
+}
+
+}  // namespace
+}  // namespace fudj

@@ -1,0 +1,342 @@
+#include <atomic>
+#include <map>
+#include <numeric>
+
+#include "common/hash.h"
+#include "engine/cluster.h"
+#include "engine/exchange.h"
+#include "engine/operators.h"
+#include "engine/relation.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace fudj {
+namespace {
+
+Schema KvSchema() {
+  Schema s;
+  s.AddField("k", ValueType::kInt64);
+  s.AddField("v", ValueType::kString);
+  return s;
+}
+
+std::vector<Tuple> KvRows(int n) {
+  std::vector<Tuple> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({Value::Int64(i), Value::String("v" + std::to_string(i))});
+  }
+  return rows;
+}
+
+// -------------------------------------------------------------- Relation
+
+TEST(RelationTest, FromTuplesRoundRobins) {
+  auto rel = PartitionedRelation::FromTuples(KvSchema(), KvRows(10), 4);
+  EXPECT_EQ(rel.num_partitions(), 4);
+  EXPECT_EQ(rel.NumRows(), 10);
+  EXPECT_EQ(rel.RowsInPartition(0), 3);
+  EXPECT_EQ(rel.RowsInPartition(1), 3);
+  EXPECT_EQ(rel.RowsInPartition(2), 2);
+  EXPECT_EQ(rel.RowsInPartition(3), 2);
+}
+
+TEST(RelationTest, MaterializeRoundTrips) {
+  auto rel = PartitionedRelation::FromTuples(KvSchema(), KvRows(7), 3);
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> all, rel.MaterializeAll());
+  ASSERT_EQ(all.size(), 7u);
+  std::set<int64_t> keys;
+  for (const Tuple& t : all) keys.insert(t[0].i64());
+  EXPECT_EQ(keys.size(), 7u);
+}
+
+TEST(RelationTest, AppendSerializesIntoPartition) {
+  PartitionedRelation rel(KvSchema(), 2);
+  rel.Append(1, {Value::Int64(5), Value::String("x")});
+  EXPECT_EQ(rel.RowsInPartition(0), 0);
+  EXPECT_EQ(rel.RowsInPartition(1), 1);
+  EXPECT_GT(rel.BytesInPartition(1), 0u);
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows, rel.Materialize(1));
+  EXPECT_EQ(rows[0][0].i64(), 5);
+}
+
+TEST(RelationTest, EmptyPartitionMaterializesEmpty) {
+  PartitionedRelation rel(KvSchema(), 2);
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows, rel.Materialize(0));
+  EXPECT_TRUE(rows.empty());
+}
+
+// --------------------------------------------------------------- Cluster
+
+TEST(ClusterTest, RunStageVisitsEveryPartition) {
+  Cluster cluster(6);
+  std::vector<int> visits(6, 0);
+  ExecStats stats;
+  cluster.RunStage("touch", [&](int p) { visits[p]++; }, &stats);
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 6);
+  ASSERT_EQ(stats.stages().size(), 1u);
+  EXPECT_EQ(stats.stages()[0].name, "touch");
+}
+
+TEST(ClusterTest, SimulatedTimeIsMakespanNotSum) {
+  Cluster cluster(4);
+  ExecStats stats;
+  cluster.RunStage(
+      "work",
+      [&](int p) {
+        // Partition 0 does ~4x the work of the others.
+        volatile double x = 0;
+        const int iters = p == 0 ? 400000 : 100000;
+        for (int i = 0; i < iters; ++i) x = x + i * 0.5;
+      },
+      &stats);
+  const StageStat& s = stats.stages()[0];
+  EXPECT_LT(s.max_partition_ms, s.total_partition_ms);
+  EXPECT_DOUBLE_EQ(stats.simulated_ms(), s.max_partition_ms);
+}
+
+TEST(ClusterTest, ThreadedExecutionMatchesSerial) {
+  Cluster serial(8, /*use_threads=*/false);
+  Cluster threaded(8, /*use_threads=*/true);
+  std::vector<std::atomic<int>> counts(8);
+  threaded.RunStage("touch", [&](int p) { counts[p].fetch_add(1); },
+                    nullptr);
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+// ------------------------------------------------------------- ExecStats
+
+TEST(ExecStatsTest, NetworkChargesBandwidthAndLatency) {
+  ExecStats stats;
+  CostModelConfig cost;
+  cost.bandwidth_mb_per_sec = 1.0;  // 1 MB/s -> 1 MiB = ~1000 ms
+  cost.per_message_ms = 10.0;
+  stats.AddNetwork("x", 1024 * 1024, 4, /*num_workers=*/4, cost);
+  // 1 MiB over 4 parallel links at 1 MB/s = 250 ms + 4 msgs/4 * 10 ms.
+  EXPECT_NEAR(stats.simulated_ms(), 250.0 + 10.0, 1.0);
+  EXPECT_EQ(stats.bytes_shuffled(), 1024 * 1024);
+}
+
+TEST(ExecStatsTest, NetworkAttachesToMatchingStage) {
+  ExecStats stats;
+  CostModelConfig cost;
+  stats.AddStage("exchange", {1.0, 2.0}, 10);
+  stats.AddNetwork("exchange", 1000, 1, 2, cost);
+  ASSERT_EQ(stats.stages().size(), 1u);
+  EXPECT_GT(stats.stages()[0].network_ms, 0.0);
+}
+
+TEST(ExecStatsTest, MergeAccumulates) {
+  ExecStats a;
+  a.AddStage("s1", {5.0}, 1);
+  ExecStats b;
+  b.AddStage("s2", {7.0}, 1);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.simulated_ms(), 12.0);
+  EXPECT_EQ(a.stages().size(), 2u);
+}
+
+TEST(ExecStatsTest, ToStringContainsStages) {
+  ExecStats stats;
+  stats.AddStage("my-stage", {1.0}, 5);
+  EXPECT_NE(stats.ToString().find("my-stage"), std::string::npos);
+}
+
+// -------------------------------------------------------------- Exchange
+
+TEST(ExchangeTest, HashExchangeGroupsKeys) {
+  Cluster cluster(4);
+  auto rel = PartitionedRelation::FromTuples(KvSchema(), KvRows(100), 4);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto out, HashExchange(
+                    &cluster, rel,
+                    [](const Tuple& t) { return Mix64(t[0].i64() % 10); },
+                    &stats));
+  EXPECT_EQ(out.NumRows(), 100);
+  // Tuples with equal key-group must share a partition.
+  std::map<int64_t, int> partition_of;
+  for (int p = 0; p < out.num_partitions(); ++p) {
+    ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows, out.Materialize(p));
+    for (const Tuple& t : rows) {
+      const int64_t group = t[0].i64() % 10;
+      auto [it, inserted] = partition_of.emplace(group, p);
+      EXPECT_EQ(it->second, p) << "group " << group << " split";
+    }
+  }
+  EXPECT_GT(stats.bytes_shuffled(), 0);
+}
+
+TEST(ExchangeTest, BroadcastReplicatesEverywhere) {
+  Cluster cluster(3);
+  auto rel = PartitionedRelation::FromTuples(KvSchema(), KvRows(10), 3);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(auto out,
+                       BroadcastExchange(&cluster, rel, &stats));
+  EXPECT_EQ(out.NumRows(), 30);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(out.RowsInPartition(p), 10);
+  }
+}
+
+TEST(ExchangeTest, RandomExchangeBalances) {
+  Cluster cluster(5);
+  auto rel = PartitionedRelation::FromTuples(KvSchema(), KvRows(100), 5);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(auto out, RandomExchange(&cluster, rel, &stats));
+  EXPECT_EQ(out.NumRows(), 100);
+  for (int p = 0; p < 5; ++p) {
+    EXPECT_EQ(out.RowsInPartition(p), 20);
+  }
+}
+
+TEST(ExchangeTest, GatherConcentratesOnZero) {
+  Cluster cluster(4);
+  auto rel = PartitionedRelation::FromTuples(KvSchema(), KvRows(12), 4);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(auto out, GatherExchange(&cluster, rel, &stats));
+  EXPECT_EQ(out.RowsInPartition(0), 12);
+  for (int p = 1; p < 4; ++p) EXPECT_EQ(out.RowsInPartition(p), 0);
+}
+
+TEST(ExchangeTest, RepartitionsToClusterWidth) {
+  Cluster cluster(8);
+  auto rel = PartitionedRelation::FromTuples(KvSchema(), KvRows(16), 2);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(auto out, RandomExchange(&cluster, rel, &stats));
+  EXPECT_EQ(out.num_partitions(), 8);
+  EXPECT_EQ(out.NumRows(), 16);
+}
+
+TEST(ExchangeTest, LocalDeliveryIsFree) {
+  Cluster cluster(1);
+  auto rel = PartitionedRelation::FromTuples(KvSchema(), KvRows(10), 1);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(auto out, BroadcastExchange(&cluster, rel, &stats));
+  EXPECT_EQ(out.NumRows(), 10);
+  EXPECT_EQ(stats.bytes_shuffled(), 0) << "single worker shuffles nothing";
+}
+
+// ------------------------------------------------------------- Operators
+
+TEST(OperatorsTest, FilterKeepsMatching) {
+  Cluster cluster(3);
+  auto rel = PartitionedRelation::FromTuples(KvSchema(), KvRows(30), 3);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto out,
+      FilterRelation(
+          &cluster, rel,
+          [](const Tuple& t) { return t[0].i64() % 2 == 0; }, &stats));
+  EXPECT_EQ(out.NumRows(), 15);
+}
+
+TEST(OperatorsTest, ProjectReshapesTuples) {
+  Cluster cluster(2);
+  auto rel = PartitionedRelation::FromTuples(KvSchema(), KvRows(10), 2);
+  Schema out_schema;
+  out_schema.AddField("doubled", ValueType::kInt64);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto out, ProjectRelation(
+                    &cluster, rel, out_schema,
+                    [](const Tuple& t) {
+                      return Tuple{Value::Int64(t[0].i64() * 2)};
+                    },
+                    &stats));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows, out.MaterializeAll());
+  for (const Tuple& t : rows) EXPECT_EQ(t[0].i64() % 2, 0);
+  EXPECT_EQ(out.schema().field(0).name, "doubled");
+}
+
+TEST(OperatorsTest, GroupByCount) {
+  Cluster cluster(4);
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 40; ++i) {
+    rows.push_back({Value::Int64(i % 4), Value::String("x")});
+  }
+  auto rel = PartitionedRelation::FromTuples(KvSchema(), rows, 4);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto out, GroupByAggregate(&cluster, rel, {0},
+                                 {AggSpec{AggKind::kCount, -1}}, &stats));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> groups,
+                       out.MaterializeAll());
+  ASSERT_EQ(groups.size(), 4u);
+  for (const Tuple& g : groups) EXPECT_EQ(g[1].i64(), 10);
+}
+
+TEST(OperatorsTest, GroupBySumAvgMinMax) {
+  Cluster cluster(2);
+  Schema schema;
+  schema.AddField("g", ValueType::kInt64);
+  schema.AddField("x", ValueType::kInt64);
+  std::vector<Tuple> rows;
+  for (int i = 1; i <= 6; ++i) {
+    rows.push_back({Value::Int64(i % 2), Value::Int64(i)});
+  }
+  auto rel = PartitionedRelation::FromTuples(schema, rows, 2);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto out,
+      GroupByAggregate(&cluster, rel, {0},
+                       {AggSpec{AggKind::kSum, 1}, AggSpec{AggKind::kAvg, 1},
+                        AggSpec{AggKind::kMin, 1},
+                        AggSpec{AggKind::kMax, 1}},
+                       &stats));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> groups, out.MaterializeAll());
+  ASSERT_EQ(groups.size(), 2u);
+  std::sort(groups.begin(), groups.end(), [](const Tuple& a, const Tuple& b) {
+    return a[0].i64() < b[0].i64();
+  });
+  // Group 0: {2, 4, 6}; group 1: {1, 3, 5}.
+  EXPECT_DOUBLE_EQ(groups[0][1].f64(), 12.0);
+  EXPECT_DOUBLE_EQ(groups[0][2].f64(), 4.0);
+  EXPECT_EQ(groups[0][3].i64(), 2);
+  EXPECT_EQ(groups[0][4].i64(), 6);
+  EXPECT_DOUBLE_EQ(groups[1][1].f64(), 9.0);
+}
+
+TEST(OperatorsTest, GlobalAggregateWithEmptyGroupCols) {
+  Cluster cluster(3);
+  auto rel = PartitionedRelation::FromTuples(KvSchema(), KvRows(25), 3);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto out, GroupByAggregate(&cluster, rel, {},
+                                 {AggSpec{AggKind::kCount, -1}}, &stats));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows, out.MaterializeAll());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].i64(), 25);
+}
+
+TEST(OperatorsTest, SortOrdersGlobally) {
+  Cluster cluster(4);
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 20; ++i) {
+    rows.push_back({Value::Int64((i * 7) % 20), Value::String("x")});
+  }
+  auto rel = PartitionedRelation::FromTuples(KvSchema(), rows, 4);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(auto out,
+                       SortRelation(&cluster, rel, {0}, {true}, &stats));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> sorted,
+                       out.MaterializeAll());
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LE(sorted[i - 1][0].i64(), sorted[i][0].i64());
+  }
+}
+
+TEST(OperatorsTest, SortDescending) {
+  Cluster cluster(2);
+  auto rel = PartitionedRelation::FromTuples(KvSchema(), KvRows(10), 2);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(auto out,
+                       SortRelation(&cluster, rel, {0}, {false}, &stats));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> sorted,
+                       out.MaterializeAll());
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_GE(sorted[i - 1][0].i64(), sorted[i][0].i64());
+  }
+}
+
+}  // namespace
+}  // namespace fudj

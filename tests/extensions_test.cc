@@ -1,0 +1,329 @@
+// Tests for features beyond the paper's core: automatic grid sizing
+// (future work §VIII), the carried-assignment-list dedup optimization,
+// FUDJ-level duplicate elimination, and failure-injection robustness.
+
+#include "builtin/builtin_rules.h"
+#include "datagen/datagen.h"
+#include "engine/exchange.h"
+#include "fudj/runtime.h"
+#include "gtest/gtest.h"
+#include "builtin/builtin_interval.h"
+#include "joins/spatial_auto_fudj.h"
+#include "joins/spatial_distance_fudj.h"
+#include "joins/textsim_fudj.h"
+#include "test_util.h"
+
+namespace fudj {
+namespace {
+
+// ------------------------------------------------------ SpatialFudjAuto
+
+TEST(SpatialAutoTest, SummaryCountsRecords) {
+  MbrCountSummary s;
+  s.Add(Value::Geom(Geometry(Point{1, 1})));
+  s.Add(Value::Geom(Geometry(Point{2, 2})));
+  EXPECT_EQ(s.count(), 2);
+  EXPECT_EQ(s.mbr(), Rect(1, 1, 2, 2));
+  MbrCountSummary other;
+  other.Add(Value::Geom(Geometry(Point{5, 5})));
+  s.Merge(other);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_EQ(s.mbr(), Rect(1, 1, 5, 5));
+}
+
+TEST(SpatialAutoTest, SummarySerializationRoundTrip) {
+  MbrCountSummary s;
+  s.Add(Value::Geom(Geometry(Point{3, 4})));
+  s.Add(Value::Geom(Geometry(Point{7, 1})));
+  ByteWriter w;
+  s.Serialize(&w);
+  MbrCountSummary back;
+  ByteReader r(w.bytes());
+  ASSERT_OK(back.Deserialize(&r));
+  EXPECT_EQ(back.count(), 2);
+  EXPECT_EQ(back.mbr(), s.mbr());
+}
+
+TEST(SpatialAutoTest, GridSizeScalesWithSqrtOfInput) {
+  SpatialFudjAuto join(
+      JoinParameters({Value::Int64(0), Value::Double(1.0)}));
+  MbrCountSummary small;
+  MbrCountSummary big;
+  for (int i = 0; i < 100; ++i) {
+    small.Add(Value::Geom(Geometry(Point{i * 0.1, i * 0.1})));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    big.Add(Value::Geom(Geometry(Point{i * 0.001, i * 0.001})));
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<PPlan> p_small,
+                       join.Divide(small, small));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<PPlan> p_big, join.Divide(big, big));
+  const int n_small = static_cast<SpatialPPlan&>(*p_small).grid().n();
+  const int n_big = static_cast<SpatialPPlan&>(*p_big).grid().n();
+  // sqrt(200/1) ~ 15, sqrt(20000/1) ~ 142.
+  EXPECT_NEAR(n_small, 15, 2);
+  EXPECT_NEAR(n_big, 142, 5);
+}
+
+TEST(SpatialAutoTest, MatchesFixedGridGroundTruth) {
+  Cluster cluster(4);
+  auto parks = PartitionedRelation::FromTuples(ParksSchema(),
+                                               GenerateParks(80, 61), 4);
+  auto fires = PartitionedRelation::FromTuples(
+      WildfiresSchema(), GenerateWildfires(240, 62), 4);
+  SpatialFudjAuto auto_join(JoinParameters({Value::Int64(1)}));  // contains
+  SpatialFudj fixed(JoinParameters({Value::Int64(20), Value::Int64(1)}));
+  FudjRuntime auto_rt(&cluster, &auto_join);
+  FudjRuntime fixed_rt(&cluster, &fixed);
+  ExecStats s1;
+  ExecStats s2;
+  FudjExecOptions options;
+  ASSERT_OK_AND_ASSIGN(auto o1,
+                       auto_rt.Execute(parks, 1, fires, 1, options, &s1));
+  ASSERT_OK_AND_ASSIGN(auto o2,
+                       fixed_rt.Execute(parks, 1, fires, 1, options, &s2));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r1, o1.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r2, o2.MaterializeAll());
+  EXPECT_EQ(IdPairs(r1, 0, 3), IdPairs(r2, 0, 3));
+  EXPECT_FALSE(HasDuplicatePairs(r1, 0, 3));
+}
+
+// -------------------------------------------- Carried assignment lists
+
+TEST(CarriedAssignmentsTest, AssignUnnestAttachesTrailingColumn) {
+  Cluster cluster(2);
+  TextSimFudj join(JoinParameters({Value::Double(0.8)}));
+  FudjRuntime runtime(&cluster, &join);
+  auto reviews = PartitionedRelation::FromTuples(
+      ReviewsSchema(), GenerateReviews(20, 63), 2);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Summary> s,
+      runtime.Summarize(reviews, 2, JoinSide::kLeft, &stats, "L"));
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const PPlan> plan,
+                       runtime.DivideAndBroadcast(*s, *s, &stats));
+  ASSERT_OK_AND_ASSIGN(
+      PartitionedRelation with,
+      runtime.AssignUnnest(reviews, 2, *plan, JoinSide::kLeft, &stats, "L",
+                           /*attach_assignments=*/true));
+  ASSERT_OK_AND_ASSIGN(
+      PartitionedRelation without,
+      runtime.AssignUnnest(reviews, 2, *plan, JoinSide::kLeft, &stats, "L",
+                           /*attach_assignments=*/false));
+  EXPECT_EQ(with.schema().num_fields(), without.schema().num_fields() + 1);
+  EXPECT_EQ(with.schema().field(with.schema().num_fields() - 1).name,
+            "__assignments");
+  EXPECT_EQ(with.NumRows(), without.NumRows());
+}
+
+TEST(CarriedAssignmentsTest, CombineJoinAgreesWithPerPairDedup) {
+  // A text join whose UsesDefaultDedup is disabled falls back to per-pair
+  // virtual Dedup; results must be identical to the carried fast path.
+  class SlowDedup : public TextSimFudj {
+   public:
+    using TextSimFudj::TextSimFudj;
+    bool UsesDefaultDedup() const override { return false; }
+  };
+  Cluster cluster(3);
+  auto reviews = PartitionedRelation::FromTuples(
+      ReviewsSchema(), GenerateReviews(60, 64), 3);
+  TextSimFudj fast(JoinParameters({Value::Double(0.8)}));
+  SlowDedup slow(JoinParameters({Value::Double(0.8)}));
+  FudjRuntime fast_rt(&cluster, &fast);
+  FudjRuntime slow_rt(&cluster, &slow);
+  ExecStats s1;
+  ExecStats s2;
+  FudjExecOptions options;
+  ASSERT_OK_AND_ASSIGN(auto o1,
+                       fast_rt.Execute(reviews, 2, reviews, 2, options,
+                                       &s1));
+  ASSERT_OK_AND_ASSIGN(auto o2,
+                       slow_rt.Execute(reviews, 2, reviews, 2, options,
+                                       &s2));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r1, o1.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r2, o2.MaterializeAll());
+  EXPECT_EQ(IdPairs(r1, 0, 3), IdPairs(r2, 0, 3));
+  EXPECT_EQ(o1.schema().num_fields(), o2.schema().num_fields())
+      << "carried column must not leak into the join output";
+}
+
+TEST(CarriedAssignmentsTest, FudjEliminationEqualsAvoidance) {
+  Cluster cluster(3);
+  auto reviews = PartitionedRelation::FromTuples(
+      ReviewsSchema(), GenerateReviews(70, 65), 3);
+  TextSimFudj join(JoinParameters({Value::Double(0.85)}));
+  FudjRuntime runtime(&cluster, &join);
+  FudjExecOptions avoid;
+  avoid.duplicates = DuplicateHandling::kAvoidance;
+  FudjExecOptions elim;
+  elim.duplicates = DuplicateHandling::kElimination;
+  ExecStats s1;
+  ExecStats s2;
+  ASSERT_OK_AND_ASSIGN(auto o1,
+                       runtime.Execute(reviews, 2, reviews, 2, avoid, &s1));
+  ASSERT_OK_AND_ASSIGN(auto o2,
+                       runtime.Execute(reviews, 2, reviews, 2, elim, &s2));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r1, o1.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r2, o2.MaterializeAll());
+  EXPECT_EQ(IdPairs(r1, 0, 3), IdPairs(r2, 0, 3));
+  EXPECT_FALSE(HasDuplicatePairs(r2, 0, 3));
+}
+
+// ------------------------------------------------- SpatialDistanceFudj
+
+TEST(SpatialDistanceTest, GridCellsAtLeastRadiusWide) {
+  SpatialDistanceFudj join(JoinParameters({Value::Double(5.0)}));
+  MbrSummary l;
+  l.set_mbr(Rect(0, 0, 100, 100));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<PPlan> plan, join.Divide(l, l));
+  const auto& grid = static_cast<SpatialPPlan&>(*plan).grid();
+  EXPECT_EQ(grid.n(), 20);  // 100 / 5
+  EXPECT_GE(grid.TileRect(0).width(), 5.0);
+}
+
+TEST(SpatialDistanceTest, RightSideCoversNeighborhood) {
+  SpatialDistanceFudj join(JoinParameters({Value::Double(10.0)}));
+  SpatialPPlan plan(Rect(0, 0, 100, 100), 10);
+  std::vector<int32_t> left;
+  join.Assign(Value::Geom(Geometry(Point{55, 55})), plan, JoinSide::kLeft,
+              &left);
+  EXPECT_EQ(left.size(), 1u);
+  std::vector<int32_t> right;
+  join.Assign(Value::Geom(Geometry(Point{55, 55})), plan, JoinSide::kRight,
+              &right);
+  EXPECT_EQ(right.size(), 9u);  // interior cell: full 3x3
+  std::vector<int32_t> corner;
+  join.Assign(Value::Geom(Geometry(Point{0, 0})), plan, JoinSide::kRight,
+              &corner);
+  EXPECT_EQ(corner.size(), 4u);  // corner cell: clipped 2x2
+}
+
+TEST(SpatialDistanceTest, MatchesGroundTruth) {
+  Cluster cluster(4);
+  auto fires = PartitionedRelation::FromTuples(
+      WildfiresSchema(), GenerateWildfires(300, 91), 4);
+  const double r = 1.5;
+  SpatialDistanceFudj join(JoinParameters({Value::Double(r)}));
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats stats;
+  FudjExecOptions options;
+  ASSERT_OK_AND_ASSIGN(auto out,
+                       runtime.Execute(fires, 1, fires, 1, options,
+                                       &stats));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows, out.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> f_rows,
+                       fires.MaterializeAll());
+  const auto expected = NljGroundTruth(
+      f_rows, 0, f_rows, 0, [r](const Tuple& a, const Tuple& b) {
+        return a[1].geometry().Distance(b[1].geometry()) < r;
+      });
+  EXPECT_EQ(IdPairs(rows, 0, 3), expected);
+  EXPECT_FALSE(HasDuplicatePairs(rows, 0, 3));
+}
+
+// ----------------------------------------- Interval sort-merge sweep
+
+TEST(IntervalSortMergeTest, SweepEqualsBucketNestedLoop) {
+  Cluster cluster(3);
+  auto rides = PartitionedRelation::FromTuples(
+      TaxiSchema(), GenerateTaxiRides(150, 92), 3);
+  BuiltinIntervalOptions nl;
+  nl.num_buckets = 100;
+  BuiltinIntervalOptions sweep = nl;
+  sweep.local_join = IntervalLocalJoin::kSortMergeSweep;
+  ExecStats s1;
+  ExecStats s2;
+  ASSERT_OK_AND_ASSIGN(
+      auto o1, BuiltinIntervalJoin(&cluster, rides, 2, rides, 2, nl, &s1));
+  ASSERT_OK_AND_ASSIGN(auto o2, BuiltinIntervalJoin(&cluster, rides, 2,
+                                                    rides, 2, sweep, &s2));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r1, o1.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r2, o2.MaterializeAll());
+  EXPECT_EQ(IdPairs(r1, 0, 3), IdPairs(r2, 0, 3));
+}
+
+// ------------------------------------------------------- Failure paths
+
+TEST(RobustnessTest, CorruptPartitionSurfacesInternalError) {
+  Schema schema;
+  schema.AddField("x", ValueType::kInt64);
+  PartitionedRelation rel(schema, 2);
+  rel.AppendRaw(0, {0xFF, 0xEE, 0xDD}, 1);  // garbage bytes, 1 claimed row
+  EXPECT_FALSE(rel.Materialize(0).ok());
+  Cluster cluster(2);
+  ExecStats stats;
+  auto out = FilterRelation(
+      &cluster, rel, [](const Tuple&) { return true; }, &stats);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInternal);
+}
+
+TEST(RobustnessTest, ExchangeOnCorruptPartitionFails) {
+  Schema schema;
+  schema.AddField("x", ValueType::kInt64);
+  PartitionedRelation rel(schema, 2);
+  rel.Append(0, {Value::Int64(1)});
+  rel.AppendRaw(1, {0x99}, 1);
+  Cluster cluster(2);
+  ExecStats stats;
+  auto out = BroadcastExchange(&cluster, rel, &stats);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(RobustnessTest, EmptyRelationsJoinToEmpty) {
+  Cluster cluster(3);
+  auto empty = PartitionedRelation::FromTuples(ReviewsSchema(), {}, 3);
+  TextSimFudj join(JoinParameters({Value::Double(0.9)}));
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats stats;
+  FudjExecOptions options;
+  ASSERT_OK_AND_ASSIGN(auto out,
+                       runtime.Execute(empty, 2, empty, 2, options,
+                                       &stats));
+  EXPECT_EQ(out.NumRows(), 0);
+}
+
+TEST(RobustnessTest, OneSidedEmptyJoin) {
+  Cluster cluster(3);
+  auto reviews = PartitionedRelation::FromTuples(
+      ReviewsSchema(), GenerateReviews(30, 66), 3);
+  auto empty = PartitionedRelation::FromTuples(ReviewsSchema(), {}, 3);
+  TextSimFudj join(JoinParameters({Value::Double(0.9)}));
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats stats;
+  FudjExecOptions options;
+  ASSERT_OK_AND_ASSIGN(auto out,
+                       runtime.Execute(reviews, 2, empty, 2, options,
+                                       &stats));
+  EXPECT_EQ(out.NumRows(), 0);
+}
+
+TEST(RobustnessTest, DecodedAssignmentsSurviveNegativeBucketIds) {
+  // Interval-style packed ids can be negative as int32; the carried
+  // assignment codec must round-trip them (delta varints are unsigned).
+  class NegBucketJoin : public TextSimFudj {
+   public:
+    using TextSimFudj::TextSimFudj;
+    void Assign(const Value& key, const PPlan& plan, JoinSide side,
+                std::vector<int32_t>* buckets) const override {
+      buckets->push_back(-5);
+      buckets->push_back(7);
+    }
+  };
+  Cluster cluster(2);
+  auto reviews = PartitionedRelation::FromTuples(
+      ReviewsSchema(), GenerateReviews(10, 67), 2);
+  NegBucketJoin join(JoinParameters({Value::Double(0.9)}));
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats stats;
+  FudjExecOptions options;
+  // All records share buckets {-5, 7}; dedup keeps the pair only in -5.
+  ASSERT_OK_AND_ASSIGN(auto out,
+                       runtime.Execute(reviews, 2, reviews, 2, options,
+                                       &stats));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows, out.MaterializeAll());
+  EXPECT_FALSE(HasDuplicatePairs(rows, 0, 3));
+}
+
+}  // namespace
+}  // namespace fudj

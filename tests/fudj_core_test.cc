@@ -1,0 +1,342 @@
+#include <memory>
+
+#include "engine/cluster.h"
+#include "fudj/flexible_join.h"
+#include "fudj/join_registry.h"
+#include "fudj/runtime.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace fudj {
+namespace {
+
+// A minimal toy join used to exercise the framework plumbing in
+// isolation: keys are int64, bucket = key % kBuckets, verify = equal
+// parity. Single-assign, default match.
+constexpr int kToyBuckets = 8;
+
+class ToySummary : public Summary {
+ public:
+  void Add(const Value& key) override { count_ += 1; }
+  void Merge(const Summary& other) override {
+    count_ += static_cast<const ToySummary&>(other).count_;
+  }
+  void Serialize(ByteWriter* out) const override { out->PutI64(count_); }
+  Status Deserialize(ByteReader* in) override {
+    FUDJ_ASSIGN_OR_RETURN(count_, in->GetI64());
+    return Status::OK();
+  }
+  int64_t count() const { return count_; }
+
+ private:
+  int64_t count_ = 0;
+};
+
+class ToyPPlan : public PPlan {
+ public:
+  explicit ToyPPlan(int64_t total = 0) : total_(total) {}
+  void Serialize(ByteWriter* out) const override { out->PutI64(total_); }
+  Status Deserialize(ByteReader* in) override {
+    FUDJ_ASSIGN_OR_RETURN(total_, in->GetI64());
+    return Status::OK();
+  }
+  int64_t total() const { return total_; }
+
+ private:
+  int64_t total_ = 0;
+};
+
+class ToyJoin : public FlexibleJoin {
+ public:
+  std::unique_ptr<Summary> CreateSummary(JoinSide) const override {
+    return std::make_unique<ToySummary>();
+  }
+  Result<std::unique_ptr<PPlan>> Divide(
+      const Summary& l, const Summary& r) const override {
+    return std::unique_ptr<PPlan>(std::make_unique<ToyPPlan>(
+        static_cast<const ToySummary&>(l).count() +
+        static_cast<const ToySummary&>(r).count()));
+  }
+  Result<std::unique_ptr<PPlan>> DeserializePPlan(
+      ByteReader* in) const override {
+    auto p = std::make_unique<ToyPPlan>();
+    FUDJ_RETURN_NOT_OK(p->Deserialize(in));
+    return std::unique_ptr<PPlan>(std::move(p));
+  }
+  void Assign(const Value& key, const PPlan&, JoinSide,
+              std::vector<int32_t>* buckets) const override {
+    buckets->push_back(static_cast<int32_t>(key.i64() % kToyBuckets));
+  }
+  bool Verify(const Value& k1, const Value& k2,
+              const PPlan&) const override {
+    return k1.i64() % 2 == k2.i64() % 2;
+  }
+  bool MultiAssign() const override { return false; }
+};
+
+Schema IdSchema() {
+  Schema s;
+  s.AddField("id", ValueType::kInt64);
+  return s;
+}
+
+PartitionedRelation IdRelation(int n, int parts, int offset = 0) {
+  std::vector<Tuple> rows;
+  for (int i = 0; i < n; ++i) rows.push_back({Value::Int64(i + offset)});
+  return PartitionedRelation::FromTuples(IdSchema(), rows, parts);
+}
+
+// --------------------------------------------------------- JoinParameters
+
+TEST(JoinParametersTest, AccessorsAndFallbacks) {
+  JoinParameters p({Value::Double(0.9), Value::Int64(42)});
+  EXPECT_EQ(p.size(), 2);
+  EXPECT_DOUBLE_EQ(p.GetDouble(0, 0.0), 0.9);
+  EXPECT_EQ(p.GetInt(1, 0), 42);
+  EXPECT_DOUBLE_EQ(p.GetDouble(5, 7.5), 7.5);
+  EXPECT_EQ(p.GetInt(-1, 3), 3);
+}
+
+TEST(JoinParametersTest, NonNumericFallsBack) {
+  JoinParameters p({Value::String("x")});
+  EXPECT_EQ(p.GetInt(0, 11), 11);
+}
+
+// --------------------------------------------------------------- Registry
+
+TEST(JoinRegistryTest, RegisterAndLookup) {
+  JoinLibraryRegistry reg;
+  ASSERT_OK(reg.RegisterClass("lib", "cls", [](const JoinParameters&) {
+    return std::unique_ptr<FlexibleJoin>(new ToyJoin());
+  }));
+  ASSERT_TRUE(reg.Lookup("lib", "cls").ok());
+  EXPECT_FALSE(reg.Lookup("lib", "other").ok());
+  EXPECT_FALSE(reg.Lookup("nolib", "cls").ok());
+}
+
+TEST(JoinRegistryTest, DuplicateRegistrationFails) {
+  JoinLibraryRegistry reg;
+  auto factory = [](const JoinParameters&) {
+    return std::unique_ptr<FlexibleJoin>(new ToyJoin());
+  };
+  ASSERT_OK(reg.RegisterClass("lib", "cls", factory));
+  EXPECT_EQ(reg.RegisterClass("lib", "cls", factory).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(JoinRegistryTest, ListClasses) {
+  JoinLibraryRegistry reg;
+  auto factory = [](const JoinParameters&) {
+    return std::unique_ptr<FlexibleJoin>(new ToyJoin());
+  };
+  ASSERT_OK(reg.RegisterClass("libb", "x", factory));
+  ASSERT_OK(reg.RegisterClass("liba", "y", factory));
+  EXPECT_EQ(reg.ListClasses(),
+            (std::vector<std::string>{"liba:y", "libb:x"}));
+}
+
+TEST(JoinRegistryTest, BundledLibrariesRegister) {
+  RegisterBundledJoinLibraries();
+  RegisterBundledJoinLibraries();  // idempotent
+  auto& reg = JoinLibraryRegistry::Global();
+  EXPECT_TRUE(reg.Lookup("flexiblejoins", "spatial.SpatialJoin").ok());
+  EXPECT_TRUE(
+      reg.Lookup("flexiblejoins", "setsimilarity.SetSimilarityJoin").ok());
+  EXPECT_TRUE(reg.Lookup("flexiblejoins", "interval.IntervalJoin").ok());
+  EXPECT_TRUE(reg.Lookup("flexiblejoins", "distance.DistanceJoin").ok());
+}
+
+// ---------------------------------------------------------- Default dedup
+
+// A multi-assign join for dedup testing: assigns key to buckets
+// {k % 4, (k+1) % 4}.
+class MultiToyJoin : public ToyJoin {
+ public:
+  void Assign(const Value& key, const PPlan&, JoinSide,
+              std::vector<int32_t>* buckets) const override {
+    buckets->push_back(static_cast<int32_t>(key.i64() % 4));
+    buckets->push_back(static_cast<int32_t>((key.i64() + 1) % 4));
+  }
+  bool MultiAssign() const override { return true; }
+};
+
+TEST(DefaultDedupTest, ExactlyOneBucketPairSurvives) {
+  MultiToyJoin join;
+  ToyPPlan plan;
+  const Value k1 = Value::Int64(1);  // buckets {1, 2}
+  const Value k2 = Value::Int64(5);  // buckets {1, 2}
+  int survivors = 0;
+  for (int32_t b : {1, 2}) {
+    if (join.Dedup(b, k1, b, k2, plan)) ++survivors;
+  }
+  EXPECT_EQ(survivors, 1);
+  // And the survivor is the smallest common bucket.
+  EXPECT_TRUE(join.Dedup(1, k1, 1, k2, plan));
+  EXPECT_FALSE(join.Dedup(2, k1, 2, k2, plan));
+}
+
+TEST(DefaultDedupTest, CustomMatchFirstPairSurvives) {
+  // Override match to a range predicate and verify dedup still picks
+  // exactly one matching pair.
+  class ThetaToy : public MultiToyJoin {
+   public:
+    bool Match(int32_t a, int32_t b) const override {
+      return std::abs(a - b) <= 1;
+    }
+    bool UsesDefaultMatch() const override { return false; }
+  };
+  ThetaToy join;
+  ToyPPlan plan;
+  const Value k1 = Value::Int64(1);  // buckets {1, 2}
+  const Value k2 = Value::Int64(2);  // buckets {2, 3}
+  int survivors = 0;
+  for (int32_t b1 : {1, 2}) {
+    for (int32_t b2 : {2, 3}) {
+      if (!join.Match(b1, b2)) continue;
+      if (join.Dedup(b1, k1, b2, k2, plan)) ++survivors;
+    }
+  }
+  EXPECT_EQ(survivors, 1);
+}
+
+// ----------------------------------------------------------- Runtime
+
+TEST(RuntimeTest, SummarizeCountsAllRows) {
+  Cluster cluster(4);
+  ToyJoin join;
+  FudjRuntime runtime(&cluster, &join);
+  auto rel = IdRelation(100, 4);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Summary> s,
+      runtime.Summarize(rel, 0, JoinSide::kLeft, &stats, "L"));
+  EXPECT_EQ(static_cast<ToySummary*>(s.get())->count(), 100);
+  EXPECT_GT(stats.simulated_ms(), 0.0);
+}
+
+TEST(RuntimeTest, DivideBroadcastsSerializedPlan) {
+  Cluster cluster(4);
+  ToyJoin join;
+  FudjRuntime runtime(&cluster, &join);
+  ToySummary l;
+  l.Add(Value::Int64(0));
+  ToySummary r;
+  r.Add(Value::Int64(0));
+  r.Add(Value::Int64(1));
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const PPlan> plan,
+                       runtime.DivideAndBroadcast(l, r, &stats));
+  EXPECT_EQ(static_cast<const ToyPPlan*>(plan.get())->total(), 3);
+  EXPECT_GT(stats.bytes_shuffled(), 0) << "plan broadcast must be charged";
+}
+
+TEST(RuntimeTest, AssignUnnestPrependsBucketColumn) {
+  Cluster cluster(2);
+  ToyJoin join;
+  FudjRuntime runtime(&cluster, &join);
+  auto rel = IdRelation(10, 2);
+  ToyPPlan plan;
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      PartitionedRelation assigned,
+      runtime.AssignUnnest(rel, 0, plan, JoinSide::kLeft, &stats, "L"));
+  EXPECT_EQ(assigned.schema().field(0).name, "bucket_id");
+  EXPECT_EQ(assigned.NumRows(), 10);
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows,
+                       assigned.MaterializeAll());
+  for (const Tuple& t : rows) {
+    EXPECT_EQ(t[0].i64(), t[1].i64() % kToyBuckets);
+  }
+}
+
+TEST(RuntimeTest, EndToEndMatchesGroundTruth) {
+  Cluster cluster(4);
+  ToyJoin join;
+  FudjRuntime runtime(&cluster, &join);
+  auto left = IdRelation(40, 4);
+  auto right = IdRelation(40, 4, /*offset=*/8);
+  ExecStats stats;
+  FudjExecOptions options;
+  options.duplicates = DuplicateHandling::kNone;
+  ASSERT_OK_AND_ASSIGN(
+      PartitionedRelation out,
+      runtime.Execute(left, 0, right, 0, options, &stats));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows, out.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> l_rows,
+                       left.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r_rows,
+                       right.MaterializeAll());
+  // Ground truth: same bucket (k%8) AND same parity.
+  const auto expected = NljGroundTruth(
+      l_rows, 0, r_rows, 0, [](const Tuple& l, const Tuple& r) {
+        return l[0].i64() % kToyBuckets == r[0].i64() % kToyBuckets &&
+               l[0].i64() % 2 == r[0].i64() % 2;
+      });
+  EXPECT_EQ(IdPairs(rows, 0, 1), expected);
+}
+
+TEST(RuntimeTest, ForcedThetaMatchesHashPath) {
+  Cluster cluster(3);
+  ToyJoin join;
+  FudjRuntime runtime(&cluster, &join);
+  auto left = IdRelation(30, 3);
+  auto right = IdRelation(30, 3, 5);
+  ExecStats stats1;
+  ExecStats stats2;
+  FudjExecOptions hash_opts;
+  hash_opts.duplicates = DuplicateHandling::kNone;
+  FudjExecOptions theta_opts = hash_opts;
+  theta_opts.force_theta_bucket_join = true;
+  ASSERT_OK_AND_ASSIGN(
+      PartitionedRelation hash_out,
+      runtime.Execute(left, 0, right, 0, hash_opts, &stats1));
+  ASSERT_OK_AND_ASSIGN(
+      PartitionedRelation theta_out,
+      runtime.Execute(left, 0, right, 0, theta_opts, &stats2));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> h, hash_out.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> t,
+                       theta_out.MaterializeAll());
+  EXPECT_EQ(IdPairs(h, 0, 1), IdPairs(t, 0, 1));
+  // Theta path broadcasts the right side: strictly more traffic.
+  EXPECT_GT(stats2.bytes_shuffled(), stats1.bytes_shuffled());
+}
+
+TEST(RuntimeTest, SelfJoinSummarizesOnce) {
+  Cluster cluster(2);
+  ToyJoin join;
+  FudjRuntime runtime(&cluster, &join);
+  auto rel = IdRelation(20, 2);
+  ExecStats stats;
+  FudjExecOptions options;
+  options.duplicates = DuplicateHandling::kNone;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation out,
+                       runtime.Execute(rel, 0, rel, 0, options, &stats));
+  int summarize_stages = 0;
+  for (const StageStat& s : stats.stages()) {
+    if (s.name.rfind("summarize-", 0) == 0) ++summarize_stages;
+  }
+  EXPECT_EQ(summarize_stages, 1) << "self-join must summarize once";
+  EXPECT_GT(out.NumRows(), 0);
+}
+
+TEST(RuntimeTest, MoreWorkersShuffleMoreButComputeLess) {
+  ToyJoin join;
+  auto run = [&join](int workers) {
+    Cluster cluster(workers);
+    FudjRuntime runtime(&cluster, &join);
+    auto left = IdRelation(200, workers);
+    auto right = IdRelation(200, workers, 3);
+    ExecStats stats;
+    FudjExecOptions options;
+    options.duplicates = DuplicateHandling::kNone;
+    auto out = runtime.Execute(left, 0, right, 0, options, &stats);
+    EXPECT_TRUE(out.ok());
+    return stats;
+  };
+  const ExecStats s2 = run(2);
+  const ExecStats s8 = run(8);
+  EXPECT_GT(s8.bytes_shuffled(), s2.bytes_shuffled());
+}
+
+}  // namespace
+}  // namespace fudj

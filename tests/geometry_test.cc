@@ -1,0 +1,333 @@
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/random.h"
+#include "geometry/geometry.h"
+#include "geometry/grid.h"
+#include "geometry/plane_sweep.h"
+#include "gtest/gtest.h"
+
+namespace fudj {
+namespace {
+
+// ------------------------------------------------------------------ Rect
+
+TEST(RectTest, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.width(), 0.0);
+  EXPECT_EQ(r.height(), 0.0);
+}
+
+TEST(RectTest, UnionWithEmptyIsIdentity) {
+  const Rect r(0, 0, 2, 3);
+  EXPECT_EQ(r.Union(Rect()), r);
+  EXPECT_EQ(Rect().Union(r), r);
+}
+
+TEST(RectTest, UnionCoversBoth) {
+  const Rect a(0, 0, 1, 1);
+  const Rect b(2, 2, 3, 3);
+  const Rect u = a.Union(b);
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(b));
+  EXPECT_EQ(u, Rect(0, 0, 3, 3));
+}
+
+TEST(RectTest, IntersectionOfOverlapping) {
+  const Rect a(0, 0, 2, 2);
+  const Rect b(1, 1, 3, 3);
+  EXPECT_EQ(a.Intersection(b), Rect(1, 1, 2, 2));
+}
+
+TEST(RectTest, IntersectionOfDisjointIsEmpty) {
+  EXPECT_TRUE(Rect(0, 0, 1, 1).Intersection(Rect(5, 5, 6, 6)).empty());
+}
+
+TEST(RectTest, IntersectsIsSymmetricAndEdgeInclusive) {
+  const Rect a(0, 0, 1, 1);
+  const Rect b(1, 1, 2, 2);  // touching corner
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(Rect(1.01, 1.01, 2, 2)));
+}
+
+TEST(RectTest, EmptyNeverIntersects) {
+  EXPECT_FALSE(Rect().Intersects(Rect(0, 0, 10, 10)));
+  EXPECT_FALSE(Rect(0, 0, 10, 10).Intersects(Rect()));
+}
+
+TEST(RectTest, ContainsPointBoundaryInclusive) {
+  const Rect r(0, 0, 1, 1);
+  EXPECT_TRUE(r.Contains(Point{0, 0}));
+  EXPECT_TRUE(r.Contains(Point{1, 1}));
+  EXPECT_TRUE(r.Contains(Point{0.5, 0.5}));
+  EXPECT_FALSE(r.Contains(Point{1.1, 0.5}));
+}
+
+TEST(RectTest, ExpandByPointsBuildsMbr) {
+  Rect r;
+  r.Expand(Point{3, 4});
+  EXPECT_EQ(r, Rect(3, 4, 3, 4));
+  r.Expand(Point{-1, 10});
+  EXPECT_EQ(r, Rect(-1, 4, 3, 10));
+}
+
+// -------------------------------------------------------------- Segments
+
+TEST(SegmentsTest, CrossingSegmentsIntersect) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+}
+
+TEST(SegmentsTest, ParallelSegmentsDoNotIntersect) {
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+}
+
+TEST(SegmentsTest, TouchingEndpointsIntersect) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(SegmentsTest, CollinearOverlapIntersects) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+// --------------------------------------------------------------- Polygon
+
+Polygon UnitSquare() {
+  return Polygon{{{0, 0}, {1, 0}, {1, 1}, {0, 1}}};
+}
+
+TEST(PolygonTest, ContainsInteriorPoint) {
+  EXPECT_TRUE(UnitSquare().Contains(Point{0.5, 0.5}));
+}
+
+TEST(PolygonTest, ExcludesExteriorPoint) {
+  EXPECT_FALSE(UnitSquare().Contains(Point{1.5, 0.5}));
+  EXPECT_FALSE(UnitSquare().Contains(Point{0.5, -0.5}));
+}
+
+TEST(PolygonTest, BoundaryCountsAsContained) {
+  EXPECT_TRUE(UnitSquare().Contains(Point{0, 0.5}));
+  EXPECT_TRUE(UnitSquare().Contains(Point{0.5, 1.0}));
+  EXPECT_TRUE(UnitSquare().Contains(Point{1, 1}));
+}
+
+TEST(PolygonTest, ConcavePolygon) {
+  // A "U" shape: the notch between the arms is outside.
+  Polygon u{{{0, 0}, {3, 0}, {3, 3}, {2, 3}, {2, 1}, {1, 1}, {1, 3}, {0, 3}}};
+  EXPECT_TRUE(u.Contains(Point{0.5, 2.0}));   // left arm
+  EXPECT_TRUE(u.Contains(Point{2.5, 2.0}));   // right arm
+  EXPECT_FALSE(u.Contains(Point{1.5, 2.0}));  // notch
+  EXPECT_TRUE(u.Contains(Point{1.5, 0.5}));   // base
+}
+
+TEST(PolygonTest, MbrCoversAllVertices) {
+  Polygon p{{{1, 2}, {5, -1}, {3, 4}}};
+  EXPECT_EQ(p.Mbr(), Rect(1, -1, 5, 4));
+}
+
+TEST(PolygonTest, DegeneratePolygonContainsNothing) {
+  Polygon line{{{0, 0}, {1, 1}}};
+  EXPECT_FALSE(line.Contains(Point{0.5, 0.5}));
+}
+
+// -------------------------------------------------------------- Geometry
+
+TEST(GeometryTest, PointMbrIsDegenerate) {
+  const Geometry g(Point{2, 3});
+  EXPECT_EQ(g.Mbr(), Rect(2, 3, 2, 3));
+}
+
+TEST(GeometryTest, PolygonCachesMbr) {
+  const Geometry g(UnitSquare());
+  EXPECT_EQ(g.Mbr(), Rect(0, 0, 1, 1));
+}
+
+TEST(GeometryTest, PointInPolygonIntersects) {
+  const Geometry poly(UnitSquare());
+  EXPECT_TRUE(poly.Intersects(Geometry(Point{0.5, 0.5})));
+  EXPECT_TRUE(Geometry(Point{0.5, 0.5}).Intersects(poly));
+  EXPECT_FALSE(poly.Intersects(Geometry(Point{2, 2})));
+}
+
+TEST(GeometryTest, PointPointIntersectsOnlyWhenEqual) {
+  EXPECT_TRUE(Geometry(Point{1, 1}).Intersects(Geometry(Point{1, 1})));
+  EXPECT_FALSE(Geometry(Point{1, 1}).Intersects(Geometry(Point{1, 2})));
+}
+
+TEST(GeometryTest, RectRectIntersects) {
+  EXPECT_TRUE(Geometry(Rect(0, 0, 2, 2))
+                  .Intersects(Geometry(Rect(1, 1, 3, 3))));
+  EXPECT_FALSE(Geometry(Rect(0, 0, 1, 1))
+                   .Intersects(Geometry(Rect(2, 2, 3, 3))));
+}
+
+TEST(GeometryTest, PolygonPolygonEdgeCross) {
+  Polygon a{{{0, 0}, {2, 0}, {2, 2}, {0, 2}}};
+  Polygon b{{{1, 1}, {3, 1}, {3, 3}, {1, 3}}};
+  EXPECT_TRUE(Geometry(a).Intersects(Geometry(b)));
+}
+
+TEST(GeometryTest, PolygonFullyInsidePolygonIntersects) {
+  Polygon outer{{{0, 0}, {10, 0}, {10, 10}, {0, 10}}};
+  Polygon inner{{{4, 4}, {6, 4}, {6, 6}, {4, 6}}};
+  EXPECT_TRUE(Geometry(outer).Intersects(Geometry(inner)));
+  EXPECT_TRUE(Geometry(inner).Intersects(Geometry(outer)));
+}
+
+TEST(GeometryTest, PolygonContainsPointMatchesStContains) {
+  const Geometry poly(UnitSquare());
+  EXPECT_TRUE(poly.Contains(Geometry(Point{0.5, 0.5})));
+  EXPECT_FALSE(poly.Contains(Geometry(Point{5, 5})));
+}
+
+TEST(GeometryTest, PolygonContainsRect) {
+  Polygon big{{{0, 0}, {10, 0}, {10, 10}, {0, 10}}};
+  EXPECT_TRUE(Geometry(big).Contains(Geometry(Rect(1, 1, 2, 2))));
+  EXPECT_FALSE(Geometry(big).Contains(Geometry(Rect(8, 8, 12, 12))));
+}
+
+TEST(GeometryTest, DistanceBetweenPoints) {
+  EXPECT_DOUBLE_EQ(Geometry(Point{0, 0}).Distance(Geometry(Point{3, 4})),
+                   5.0);
+}
+
+TEST(GeometryTest, ToStringFormats) {
+  EXPECT_EQ(Geometry(Point{1, 2}).ToString(), "POINT(1 2)");
+  EXPECT_EQ(Geometry(Rect(0, 0, 1, 1)).ToString(), "RECT(0 0, 1 1)");
+}
+
+TEST(GeometryTest, EqualityByKindAndShape) {
+  EXPECT_EQ(Geometry(Point{1, 2}), Geometry(Point{1, 2}));
+  EXPECT_FALSE(Geometry(Point{1, 2}) == Geometry(Rect(1, 2, 1, 2)));
+}
+
+// ------------------------------------------------------------------ Grid
+
+TEST(GridTest, TileOfCorners) {
+  const UniformGrid grid(Rect(0, 0, 10, 10), 10);
+  EXPECT_EQ(grid.TileOf({0.5, 0.5}), 0);
+  EXPECT_EQ(grid.TileOf({9.5, 0.5}), 9);
+  EXPECT_EQ(grid.TileOf({0.5, 9.5}), 90);
+  EXPECT_EQ(grid.TileOf({9.5, 9.5}), 99);
+}
+
+TEST(GridTest, PointsOutsideClampIntoGrid) {
+  const UniformGrid grid(Rect(0, 0, 10, 10), 10);
+  EXPECT_EQ(grid.TileOf({-5, -5}), 0);
+  EXPECT_EQ(grid.TileOf({100, 100}), 99);
+}
+
+TEST(GridTest, OverlappingTilesOfSmallRect) {
+  const UniformGrid grid(Rect(0, 0, 10, 10), 10);
+  std::vector<int32_t> tiles;
+  grid.OverlappingTiles(Rect(0.1, 0.1, 0.9, 0.9), &tiles);
+  EXPECT_EQ(tiles, std::vector<int32_t>{0});
+}
+
+TEST(GridTest, OverlappingTilesSpanningFourTiles) {
+  const UniformGrid grid(Rect(0, 0, 10, 10), 10);
+  std::vector<int32_t> tiles;
+  grid.OverlappingTiles(Rect(0.5, 0.5, 1.5, 1.5), &tiles);
+  EXPECT_EQ(tiles, (std::vector<int32_t>{0, 1, 10, 11}));
+}
+
+TEST(GridTest, RectOutsideSpaceGetsNoTiles) {
+  const UniformGrid grid(Rect(0, 0, 10, 10), 10);
+  std::vector<int32_t> tiles;
+  grid.OverlappingTiles(Rect(20, 20, 21, 21), &tiles);
+  EXPECT_TRUE(tiles.empty());
+}
+
+TEST(GridTest, EmptySpaceGridAssignsNothing) {
+  const UniformGrid grid(Rect(), 10);
+  std::vector<int32_t> tiles;
+  grid.OverlappingTiles(Rect(0, 0, 1, 1), &tiles);
+  EXPECT_TRUE(tiles.empty());
+}
+
+TEST(GridTest, TileRectRoundTrips) {
+  const UniformGrid grid(Rect(0, 0, 10, 10), 5);
+  for (int32_t id = 0; id < grid.num_tiles(); ++id) {
+    const Rect r = grid.TileRect(id);
+    EXPECT_EQ(grid.TileOf(r.center()), id);
+  }
+}
+
+TEST(GridTest, TileOfMatchesOverlapForPoints) {
+  const UniformGrid grid(Rect(0, 0, 100, 100), 17);
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    const Point p{rng.NextUniform(0, 100), rng.NextUniform(0, 100)};
+    std::vector<int32_t> tiles;
+    grid.OverlappingTiles(Rect(p.x, p.y, p.x, p.y), &tiles);
+    ASSERT_EQ(tiles.size(), 1u);
+    EXPECT_EQ(tiles[0], grid.TileOf(p));
+  }
+}
+
+// ----------------------------------------------------------- PlaneSweep
+
+using PairSet = std::set<std::pair<int64_t, int64_t>>;
+
+PairSet BruteForcePairs(const std::vector<SweepEntry>& l,
+                        const std::vector<SweepEntry>& r) {
+  PairSet pairs;
+  for (const auto& a : l) {
+    for (const auto& b : r) {
+      if (a.mbr.Intersects(b.mbr)) pairs.emplace(a.payload, b.payload);
+    }
+  }
+  return pairs;
+}
+
+TEST(PlaneSweepTest, EmptyInputs) {
+  PairSet pairs;
+  PlaneSweepJoin({}, {}, [&](int64_t a, int64_t b) { pairs.emplace(a, b); });
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(PlaneSweepTest, SimpleOverlap) {
+  std::vector<SweepEntry> l = {{Rect(0, 0, 2, 2), 1}};
+  std::vector<SweepEntry> r = {{Rect(1, 1, 3, 3), 2},
+                               {Rect(5, 5, 6, 6), 3}};
+  PairSet pairs;
+  PlaneSweepJoin(l, r, [&](int64_t a, int64_t b) { pairs.emplace(a, b); });
+  EXPECT_EQ(pairs, PairSet({{1, 2}}));
+}
+
+TEST(PlaneSweepTest, MatchesBruteForceOnRandomRects) {
+  Rng rng(37);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<SweepEntry> l;
+    std::vector<SweepEntry> r;
+    for (int i = 0; i < 60; ++i) {
+      const double x = rng.NextUniform(0, 50);
+      const double y = rng.NextUniform(0, 50);
+      l.push_back({Rect(x, y, x + rng.NextUniform(0, 5),
+                        y + rng.NextUniform(0, 5)),
+                   i});
+    }
+    for (int j = 0; j < 60; ++j) {
+      const double x = rng.NextUniform(0, 50);
+      const double y = rng.NextUniform(0, 50);
+      r.push_back({Rect(x, y, x + rng.NextUniform(0, 5),
+                        y + rng.NextUniform(0, 5)),
+                   j});
+    }
+    PairSet sweep;
+    int emitted = 0;
+    PlaneSweepJoin(l, r, [&](int64_t a, int64_t b) {
+      sweep.emplace(a, b);
+      ++emitted;
+    });
+    EXPECT_EQ(sweep, BruteForcePairs(l, r));
+    // No duplicate emissions either.
+    EXPECT_EQ(static_cast<size_t>(emitted), sweep.size());
+  }
+}
+
+}  // namespace
+}  // namespace fudj

@@ -1,0 +1,224 @@
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "interval/interval.h"
+#include "text/jaccard.h"
+#include "text/tokenizer.h"
+
+namespace fudj {
+namespace {
+
+// -------------------------------------------------------------- Interval
+
+TEST(IntervalTest, OverlapsIsInclusive) {
+  EXPECT_TRUE(Interval(0, 10).Overlaps(Interval(10, 20)));
+  EXPECT_TRUE(Interval(10, 20).Overlaps(Interval(0, 10)));
+  EXPECT_FALSE(Interval(0, 9).Overlaps(Interval(10, 20)));
+}
+
+TEST(IntervalTest, ContainedIntervalOverlaps) {
+  EXPECT_TRUE(Interval(0, 100).Overlaps(Interval(40, 60)));
+  EXPECT_TRUE(Interval(40, 60).Overlaps(Interval(0, 100)));
+}
+
+TEST(IntervalTest, OverlapsIsSymmetric) {
+  Rng rng(41);
+  for (int i = 0; i < 500; ++i) {
+    const Interval a(rng.NextInt(0, 100), rng.NextInt(0, 100) + 100);
+    const Interval b(rng.NextInt(0, 100), rng.NextInt(0, 100) + 100);
+    EXPECT_EQ(a.Overlaps(b), b.Overlaps(a));
+  }
+}
+
+TEST(IntervalTest, ContainsPointInclusive) {
+  const Interval iv(5, 10);
+  EXPECT_TRUE(iv.Contains(5));
+  EXPECT_TRUE(iv.Contains(10));
+  EXPECT_FALSE(iv.Contains(4));
+  EXPECT_FALSE(iv.Contains(11));
+}
+
+TEST(IntervalTest, UnionCoversBoth) {
+  EXPECT_EQ(Interval(0, 5).Union(Interval(3, 9)), Interval(0, 9));
+  EXPECT_EQ(Interval(10, 20).Union(Interval(0, 5)), Interval(0, 20));
+}
+
+TEST(IntervalTest, LengthAndToString) {
+  EXPECT_EQ(Interval(2, 7).length(), 5);
+  EXPECT_EQ(Interval(2, 7).ToString(), "[2, 7]");
+}
+
+TEST(GranuleBucketTest, EncodeDecodeRoundTrip) {
+  for (int32_t s : {0, 1, 17, 999, 65535}) {
+    for (int32_t e : {0, 5, 4321, 65535}) {
+      const int32_t b = EncodeGranuleBucket(s, e);
+      EXPECT_EQ(DecodeGranuleStart(b), s);
+      EXPECT_EQ(DecodeGranuleEnd(b), e);
+    }
+  }
+}
+
+// ------------------------------------------------------------- Tokenizer
+
+TEST(TokenizerTest, SplitsOnNonAlnum) {
+  EXPECT_EQ(Tokenize("Hello, world!"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizerTest, Lowercases) {
+  EXPECT_EQ(Tokenize("RiVeR Scenic"),
+            (std::vector<std::string>{"river", "scenic"}));
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  EXPECT_EQ(Tokenize("route 66"),
+            (std::vector<std::string>{"route", "66"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... !!! ---").empty());
+}
+
+TEST(TokenizerTest, KeepsDuplicates) {
+  EXPECT_EQ(Tokenize("a b a"), (std::vector<std::string>{"a", "b", "a"}));
+}
+
+TEST(TokenSetTest, SortedAndDeduplicated) {
+  EXPECT_EQ(TokenSet("b a b c a"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+// --------------------------------------------------------------- Jaccard
+
+TEST(JaccardTest, IdenticalSetsAreOne) {
+  const auto a = TokenSet("x y z");
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, a), 1.0);
+}
+
+TEST(JaccardTest, DisjointSetsAreZero) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(TokenSet("a b"), TokenSet("c d")),
+                   0.0);
+}
+
+TEST(JaccardTest, PartialOverlap) {
+  // {a,b,c} vs {b,c,d}: 2 common, 4 union.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(TokenSet("a b c"), TokenSet("b c d")),
+                   0.5);
+}
+
+TEST(JaccardTest, BothEmptyIsOne) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+}
+
+TEST(JaccardTest, OneEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(TokenSet("a"), {}), 0.0);
+}
+
+TEST(JaccardTest, SymmetricOnRandomSets) {
+  Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string sa;
+    std::string sb;
+    for (int i = 0; i < 12; ++i) {
+      sa += " w" + std::to_string(rng.NextBounded(20));
+      sb += " w" + std::to_string(rng.NextBounded(20));
+    }
+    const auto a = TokenSet(sa);
+    const auto b = TokenSet(sb);
+    EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), JaccardSimilarity(b, a));
+  }
+}
+
+// --------------------------------------------------------- PrefixLength
+
+TEST(PrefixLengthTest, FormulaMatchesPaper) {
+  // p = (l - ceil(t*l)) + 1
+  EXPECT_EQ(JaccardPrefixLength(10, 0.9), 2u);   // 10 - 9 + 1
+  EXPECT_EQ(JaccardPrefixLength(10, 0.5), 6u);   // 10 - 5 + 1
+  EXPECT_EQ(JaccardPrefixLength(3, 0.9), 1u);    // 3 - 3 + 1
+  EXPECT_EQ(JaccardPrefixLength(0, 0.9), 0u);
+}
+
+TEST(PrefixLengthTest, NeverExceedsSetSize) {
+  for (size_t l = 1; l <= 30; ++l) {
+    for (double t : {0.1, 0.5, 0.8, 0.95}) {
+      EXPECT_LE(JaccardPrefixLength(l, t), l);
+      EXPECT_GE(JaccardPrefixLength(l, t), 1u);
+    }
+  }
+}
+
+// The completeness property prefix filtering relies on: if J(A,B) >= t,
+// the first p_A elements of A and first p_B of B (in any shared total
+// order) must intersect. Verified empirically on random sets.
+TEST(PrefixLengthTest, PrefixFilterCompleteness) {
+  Rng rng(47);
+  const double t = 0.8;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<int> a;
+    std::vector<int> b;
+    for (int i = 0; i < 40; ++i) {
+      if (rng.NextBool(0.4)) a.push_back(i);
+      if (rng.NextBool(0.4)) b.push_back(i);
+    }
+    if (a.empty() || b.empty()) continue;
+    size_t common = 0;
+    size_t ia = 0;
+    size_t ib = 0;
+    while (ia < a.size() && ib < b.size()) {
+      if (a[ia] == b[ib]) {
+        ++common;
+        ++ia;
+        ++ib;
+      } else if (a[ia] < b[ib]) {
+        ++ia;
+      } else {
+        ++ib;
+      }
+    }
+    const double sim =
+        static_cast<double>(common) / (a.size() + b.size() - common);
+    if (sim < t) continue;
+    const size_t pa = JaccardPrefixLength(a.size(), t);
+    const size_t pb = JaccardPrefixLength(b.size(), t);
+    bool prefix_hit = false;
+    for (size_t i = 0; i < pa && !prefix_hit; ++i) {
+      for (size_t j = 0; j < pb; ++j) {
+        if (a[i] == b[j]) {
+          prefix_hit = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(prefix_hit) << "similar pair missed by prefix filter";
+  }
+}
+
+// ----------------------------------------------------------- LengthFilter
+
+TEST(LengthFilterTest, EqualSizesPass) {
+  EXPECT_TRUE(JaccardLengthFilter(10, 10, 0.9));
+}
+
+TEST(LengthFilterTest, VeryDifferentSizesFail) {
+  EXPECT_FALSE(JaccardLengthFilter(10, 100, 0.9));
+  EXPECT_FALSE(JaccardLengthFilter(100, 10, 0.9));
+}
+
+TEST(LengthFilterTest, NeverPrunesTruePositives) {
+  // |A∩B| <= min(|A|,|B|) and J >= t implies t <= min/max.
+  Rng rng(53);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t na = 1 + rng.NextBounded(30);
+    const size_t nb = 1 + rng.NextBounded(30);
+    const size_t common = rng.NextBounded(std::min(na, nb) + 1);
+    const double sim =
+        static_cast<double>(common) / (na + nb - common);
+    if (sim >= 0.7) {
+      EXPECT_TRUE(JaccardLengthFilter(na, nb, 0.7));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fudj

@@ -1,0 +1,440 @@
+#include <cmath>
+#include <memory>
+
+#include "common/random.h"
+
+#include "datagen/datagen.h"
+#include "engine/cluster.h"
+#include "fudj/runtime.h"
+#include "gtest/gtest.h"
+#include "joins/distance_fudj.h"
+#include "joins/interval_fudj.h"
+#include "joins/spatial_fudj.h"
+#include "joins/textsim_fudj.h"
+#include "test_util.h"
+#include "text/jaccard.h"
+#include "text/tokenizer.h"
+
+namespace fudj {
+namespace {
+
+// ------------------------------------------------------------ MbrSummary
+
+TEST(MbrSummaryTest, AddExpandsAndMergeUnions) {
+  MbrSummary s;
+  s.Add(Value::Geom(Geometry(Point{1, 1})));
+  s.Add(Value::Geom(Geometry(Point{5, 3})));
+  EXPECT_EQ(s.mbr(), Rect(1, 1, 5, 3));
+  MbrSummary other;
+  other.Add(Value::Geom(Geometry(Point{-2, 7})));
+  s.Merge(other);
+  EXPECT_EQ(s.mbr(), Rect(-2, 1, 5, 7));
+}
+
+TEST(MbrSummaryTest, SerializationRoundTrip) {
+  MbrSummary s;
+  s.Add(Value::Geom(Geometry(Rect(1, 2, 3, 4))));
+  ByteWriter w;
+  s.Serialize(&w);
+  MbrSummary back;
+  ByteReader r(w.bytes());
+  ASSERT_OK(back.Deserialize(&r));
+  EXPECT_EQ(back.mbr(), s.mbr());
+}
+
+TEST(MbrSummaryTest, EmptySummarySerializes) {
+  MbrSummary s;
+  ByteWriter w;
+  s.Serialize(&w);
+  MbrSummary back;
+  ByteReader r(w.bytes());
+  ASSERT_OK(back.Deserialize(&r));
+  EXPECT_TRUE(back.mbr().empty());
+}
+
+// ----------------------------------------------------------- SpatialFudj
+
+TEST(SpatialFudjTest, DivideIntersectsMbrs) {
+  SpatialFudj join(JoinParameters({Value::Int64(10)}));
+  MbrSummary l;
+  l.set_mbr(Rect(0, 0, 10, 10));
+  MbrSummary r;
+  r.set_mbr(Rect(5, 5, 20, 20));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<PPlan> plan, join.Divide(l, r));
+  const auto& splan = static_cast<const SpatialPPlan&>(*plan);
+  EXPECT_EQ(splan.grid().space(), Rect(5, 5, 10, 10));
+  EXPECT_EQ(splan.grid().n(), 10);
+}
+
+TEST(SpatialFudjTest, PPlanWireRoundTrip) {
+  SpatialFudj join(JoinParameters({Value::Int64(7)}));
+  SpatialPPlan plan(Rect(0, 0, 4, 4), 7);
+  ByteWriter w;
+  plan.Serialize(&w);
+  ByteReader r(w.bytes());
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<PPlan> back,
+                       join.DeserializePPlan(&r));
+  EXPECT_EQ(static_cast<SpatialPPlan&>(*back).grid().n(), 7);
+}
+
+TEST(SpatialFudjTest, AssignReturnsOverlappingTiles) {
+  SpatialFudj join(JoinParameters({Value::Int64(4)}));
+  SpatialPPlan plan(Rect(0, 0, 4, 4), 4);
+  std::vector<int32_t> buckets;
+  join.Assign(Value::Geom(Geometry(Rect(0.5, 0.5, 1.5, 1.5))), plan,
+              JoinSide::kLeft, &buckets);
+  EXPECT_EQ(buckets, (std::vector<int32_t>{0, 1, 4, 5}));
+}
+
+TEST(SpatialFudjTest, VerifyIntersectsVsContains) {
+  SpatialFudj intersect_join(JoinParameters({Value::Int64(4)}));
+  SpatialFudj contains_join(
+      JoinParameters({Value::Int64(4), Value::Int64(1)}));
+  SpatialPPlan plan(Rect(0, 0, 4, 4), 4);
+  const Value poly =
+      Value::Geom(Geometry(Polygon{{{0, 0}, {2, 0}, {2, 2}, {0, 2}}}));
+  const Value inside = Value::Geom(Geometry(Point{1, 1}));
+  const Value crossing = Value::Geom(Geometry(Rect(1, 1, 3, 3)));
+  EXPECT_TRUE(intersect_join.Verify(poly, crossing, plan));
+  EXPECT_FALSE(contains_join.Verify(poly, crossing, plan));
+  EXPECT_TRUE(contains_join.Verify(poly, inside, plan));
+}
+
+TEST(SpatialFudjTest, TraitsDeclareSingleJoinMultiAssign) {
+  SpatialFudj join{JoinParameters()};
+  EXPECT_TRUE(join.UsesDefaultMatch());
+  EXPECT_TRUE(join.MultiAssign());
+  EXPECT_TRUE(join.SymmetricSummary());
+  EXPECT_EQ(join.n(), 1200) << "paper default grid";
+}
+
+// Property: FUDJ spatial join result == NLJ ground truth (st_contains of
+// parks over wildfire points), with no duplicate pairs.
+class SpatialJoinProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SpatialJoinProperty, MatchesGroundTruthNoDuplicates) {
+  const auto [n_parks, n_fires, grid_n] = GetParam();
+  Cluster cluster(4);
+  auto parks = PartitionedRelation::FromTuples(
+      ParksSchema(), GenerateParks(n_parks, 11), 4);
+  auto fires = PartitionedRelation::FromTuples(
+      WildfiresSchema(), GenerateWildfires(n_fires, 22), 4);
+  SpatialFudj join(
+      JoinParameters({Value::Int64(grid_n), Value::Int64(1)}));  // contains
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats stats;
+  FudjExecOptions options;  // default avoidance
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation out,
+                       runtime.Execute(parks, 1, fires, 1, options, &stats));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows, out.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> p_rows,
+                       parks.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> f_rows,
+                       fires.MaterializeAll());
+  const auto expected = NljGroundTruth(
+      p_rows, 0, f_rows, 0, [](const Tuple& p, const Tuple& f) {
+        return p[1].geometry().Contains(f[1].geometry());
+      });
+  // Join output: park fields (0..2) ++ fire fields (3..5).
+  EXPECT_EQ(IdPairs(rows, 0, 3), expected);
+  EXPECT_FALSE(HasDuplicatePairs(rows, 0, 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SpatialJoinProperty,
+    ::testing::Values(std::make_tuple(50, 200, 8),
+                      std::make_tuple(120, 400, 16),
+                      std::make_tuple(80, 300, 1),    // single tile
+                      std::make_tuple(200, 100, 64)));  // fine grid
+
+TEST(SpatialFudjRefPointTest, SameResultAsDefaultAvoidance) {
+  Cluster cluster(3);
+  auto parks = PartitionedRelation::FromTuples(ParksSchema(),
+                                               GenerateParks(80, 5), 3);
+  auto fires = PartitionedRelation::FromTuples(
+      WildfiresSchema(), GenerateWildfires(200, 6), 3);
+  ExecStats s1;
+  ExecStats s2;
+  FudjExecOptions options;
+  SpatialFudj def(JoinParameters({Value::Int64(12), Value::Int64(1)}));
+  SpatialFudjRefPoint ref(
+      JoinParameters({Value::Int64(12), Value::Int64(1)}));
+  FudjRuntime rt1(&cluster, &def);
+  FudjRuntime rt2(&cluster, &ref);
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation o1,
+                       rt1.Execute(parks, 1, fires, 1, options, &s1));
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation o2,
+                       rt2.Execute(parks, 1, fires, 1, options, &s2));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r1, o1.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r2, o2.MaterializeAll());
+  EXPECT_EQ(IdPairs(r1, 0, 3), IdPairs(r2, 0, 3));
+  EXPECT_FALSE(HasDuplicatePairs(r2, 0, 3));
+}
+
+// ----------------------------------------------------------- TextSimFudj
+
+TEST(WordCountSummaryTest, CountsTokenOccurrences) {
+  WordCountSummary s;
+  s.Add(Value::String("a b a"));
+  s.Add(Value::String("b c"));
+  EXPECT_EQ(s.counts().at("a"), 2);
+  EXPECT_EQ(s.counts().at("b"), 2);
+  EXPECT_EQ(s.counts().at("c"), 1);
+}
+
+TEST(WordCountSummaryTest, MergeAddsCounts) {
+  WordCountSummary a;
+  a.Add(Value::String("x y"));
+  WordCountSummary b;
+  b.Add(Value::String("y z"));
+  a.Merge(b);
+  EXPECT_EQ(a.counts().at("y"), 2);
+  EXPECT_EQ(a.counts().at("z"), 1);
+}
+
+TEST(WordCountSummaryTest, SerializationRoundTrip) {
+  WordCountSummary s;
+  s.Add(Value::String("alpha beta beta"));
+  ByteWriter w;
+  s.Serialize(&w);
+  WordCountSummary back;
+  ByteReader r(w.bytes());
+  ASSERT_OK(back.Deserialize(&r));
+  EXPECT_EQ(back.counts().at("beta"), 2);
+}
+
+TEST(TextSimFudjTest, DivideRanksRarestFirst) {
+  TextSimFudj join(JoinParameters({Value::Double(0.8)}));
+  WordCountSummary l;
+  l.Add(Value::String("common common common rare"));
+  WordCountSummary r;
+  r.Add(Value::String("common medium medium"));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<PPlan> plan, join.Divide(l, r));
+  const auto& tplan = static_cast<const TextSimPPlan&>(*plan);
+  EXPECT_EQ(tplan.RankOf("rare"), 0);
+  EXPECT_EQ(tplan.RankOf("medium"), 1);
+  EXPECT_EQ(tplan.RankOf("common"), 2);
+  EXPECT_EQ(tplan.RankOf("unseen"), 3);  // falls after the vocabulary
+  EXPECT_DOUBLE_EQ(tplan.threshold(), 0.8);
+}
+
+TEST(TextSimFudjTest, AssignUsesPrefixOfRarestTokens) {
+  TextSimFudj join(JoinParameters({Value::Double(0.5)}));
+  WordCountSummary l;
+  l.Add(Value::String("a a a a b b c"));
+  WordCountSummary empty;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<PPlan> plan, join.Divide(l, empty));
+  // Ranks: c=0, b=1, a=2. Set {a,b,c}: l=3, prefix = 3 - ceil(1.5) + 1 = 2.
+  std::vector<int32_t> buckets;
+  join.Assign(Value::String("a b c"), *plan, JoinSide::kLeft, &buckets);
+  EXPECT_EQ(buckets, (std::vector<int32_t>{0, 1}));
+}
+
+TEST(TextSimFudjTest, VerifyIsExactJaccard) {
+  TextSimFudj join(JoinParameters({Value::Double(0.5)}));
+  WordCountSummary s;
+  s.Add(Value::String("a b c d"));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<PPlan> plan, join.Divide(s, s));
+  EXPECT_TRUE(join.Verify(Value::String("a b c"), Value::String("a b c d"),
+                          *plan));
+  EXPECT_FALSE(
+      join.Verify(Value::String("a"), Value::String("b c d"), *plan));
+}
+
+TEST(TextSimFudjTest, BadThresholdFallsBackToDefault) {
+  TextSimFudj join(JoinParameters({Value::Double(-3.0)}));
+  EXPECT_DOUBLE_EQ(join.threshold(), 0.9);
+}
+
+class TextSimJoinProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(TextSimJoinProperty, MatchesGroundTruthNoDuplicates) {
+  const auto [n_reviews, threshold] = GetParam();
+  Cluster cluster(4);
+  auto reviews = PartitionedRelation::FromTuples(
+      ReviewsSchema(), GenerateReviews(n_reviews, 77), 4);
+  TextSimFudj join(JoinParameters({Value::Double(threshold)}));
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats stats;
+  FudjExecOptions options;
+  ASSERT_OK_AND_ASSIGN(
+      PartitionedRelation out,
+      runtime.Execute(reviews, 2, reviews, 2, options, &stats));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows, out.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r_rows,
+                       reviews.MaterializeAll());
+  const double t = threshold;
+  const auto expected = NljGroundTruth(
+      r_rows, 0, r_rows, 0, [t](const Tuple& a, const Tuple& b) {
+        return JaccardSimilarity(TokenSet(a[2].str()),
+                                 TokenSet(b[2].str())) >= t;
+      });
+  EXPECT_EQ(IdPairs(rows, 0, 3), expected);
+  EXPECT_FALSE(HasDuplicatePairs(rows, 0, 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, TextSimJoinProperty,
+                         ::testing::Values(std::make_tuple(60, 0.9),
+                                           std::make_tuple(60, 0.7),
+                                           std::make_tuple(100, 0.5),
+                                           std::make_tuple(120, 0.95)));
+
+// ---------------------------------------------------------- IntervalFudj
+
+TEST(IntervalSummaryTest, TracksMinStartMaxEnd) {
+  IntervalSummary s;
+  s.Add(Value::Intv({10, 20}));
+  s.Add(Value::Intv({5, 12}));
+  s.Add(Value::Intv({15, 40}));
+  EXPECT_EQ(s.min_start(), 5);
+  EXPECT_EQ(s.max_end(), 40);
+}
+
+TEST(IntervalSummaryTest, MergeAndSerialize) {
+  IntervalSummary a;
+  a.Add(Value::Intv({0, 10}));
+  IntervalSummary b;
+  b.Add(Value::Intv({-5, 3}));
+  a.Merge(b);
+  EXPECT_EQ(a.min_start(), -5);
+  ByteWriter w;
+  a.Serialize(&w);
+  IntervalSummary back;
+  ByteReader r(w.bytes());
+  ASSERT_OK(back.Deserialize(&r));
+  EXPECT_EQ(back.min_start(), -5);
+  EXPECT_EQ(back.max_end(), 10);
+}
+
+TEST(IntervalPPlanTest, GranuleOfClampsAndDivides) {
+  IntervalPPlan plan(0, 99, 10);  // granules of 10
+  EXPECT_EQ(plan.GranuleOf(0), 0);
+  EXPECT_EQ(plan.GranuleOf(5), 0);
+  EXPECT_EQ(plan.GranuleOf(10), 1);
+  EXPECT_EQ(plan.GranuleOf(99), 9);
+  EXPECT_EQ(plan.GranuleOf(-100), 0);
+  EXPECT_EQ(plan.GranuleOf(1000), 9);
+}
+
+TEST(IntervalFudjTest, AssignPacksStartEndGranules) {
+  IntervalFudj join(JoinParameters({Value::Int64(10)}));
+  IntervalPPlan plan(0, 99, 10);
+  std::vector<int32_t> buckets;
+  join.Assign(Value::Intv({15, 37}), plan, JoinSide::kLeft, &buckets);
+  ASSERT_EQ(buckets.size(), 1u) << "interval join is single-assign";
+  EXPECT_EQ(DecodeGranuleStart(buckets[0]), 1);
+  EXPECT_EQ(DecodeGranuleEnd(buckets[0]), 3);
+}
+
+TEST(IntervalFudjTest, MatchIsGranuleRangeOverlap) {
+  IntervalFudj join(JoinParameters({Value::Int64(100)}));
+  const int32_t b1 = EncodeGranuleBucket(2, 5);
+  const int32_t b2 = EncodeGranuleBucket(5, 9);
+  const int32_t b3 = EncodeGranuleBucket(6, 9);
+  EXPECT_TRUE(join.Match(b1, b2));
+  EXPECT_TRUE(join.Match(b2, b1));
+  EXPECT_FALSE(join.Match(b1, b3));
+}
+
+TEST(IntervalFudjTest, TraitsDeclareMultiJoinSingleAssign) {
+  IntervalFudj join{JoinParameters()};
+  EXPECT_FALSE(join.UsesDefaultMatch());
+  EXPECT_FALSE(join.MultiAssign());
+  EXPECT_EQ(join.num_buckets(), 1000) << "paper default";
+}
+
+TEST(IntervalFudjTest, BucketCountClampedTo16Bits) {
+  IntervalFudj join(JoinParameters({Value::Int64(1 << 20)}));
+  EXPECT_EQ(join.num_buckets(), 65535);
+}
+
+class IntervalJoinProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IntervalJoinProperty, MatchesGroundTruth) {
+  const auto [n_rides, buckets] = GetParam();
+  Cluster cluster(4);
+  auto rides = PartitionedRelation::FromTuples(
+      TaxiSchema(), GenerateTaxiRides(n_rides, 33), 4);
+  IntervalFudj join(JoinParameters({Value::Int64(buckets)}));
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats stats;
+  FudjExecOptions options;
+  options.duplicates = DuplicateHandling::kNone;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation out,
+                       runtime.Execute(rides, 2, rides, 2, options, &stats));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows, out.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> r_rows,
+                       rides.MaterializeAll());
+  const auto expected = NljGroundTruth(
+      r_rows, 0, r_rows, 0, [](const Tuple& a, const Tuple& b) {
+        return a[2].interval().Overlaps(b[2].interval());
+      });
+  EXPECT_EQ(IdPairs(rows, 0, 3), expected);
+  EXPECT_FALSE(HasDuplicatePairs(rows, 0, 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, IntervalJoinProperty,
+                         ::testing::Values(std::make_tuple(150, 50),
+                                           std::make_tuple(150, 1000),
+                                           std::make_tuple(200, 1),
+                                           std::make_tuple(100, 65535)));
+
+// ---------------------------------------------------------- DistanceFudj
+
+TEST(DistanceFudjTest, StripesAndNeighbors) {
+  DistanceFudj join(JoinParameters({Value::Double(10.0)}));
+  RangeSummary l;
+  l.Add(Value::Double(0.0));
+  l.Add(Value::Double(100.0));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<PPlan> plan, join.Divide(l, l));
+  std::vector<int32_t> left;
+  join.Assign(Value::Double(25.0), *plan, JoinSide::kLeft, &left);
+  EXPECT_EQ(left, std::vector<int32_t>{2});
+  std::vector<int32_t> right;
+  join.Assign(Value::Double(25.0), *plan, JoinSide::kRight, &right);
+  EXPECT_EQ(right, (std::vector<int32_t>{1, 2, 3}));
+}
+
+TEST(DistanceFudjTest, EdgeStripesClampNeighbors) {
+  DistanceFudj join(JoinParameters({Value::Double(10.0)}));
+  RangeSummary l;
+  l.Add(Value::Double(0.0));
+  l.Add(Value::Double(100.0));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<PPlan> plan, join.Divide(l, l));
+  std::vector<int32_t> right;
+  join.Assign(Value::Double(0.0), *plan, JoinSide::kRight, &right);
+  EXPECT_EQ(right, (std::vector<int32_t>{0, 1}));
+}
+
+TEST(DistanceFudjTest, MatchesGroundTruth) {
+  Cluster cluster(3);
+  Schema schema;
+  schema.AddField("id", ValueType::kInt64);
+  schema.AddField("x", ValueType::kDouble);
+  Rng rng(59);
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 150; ++i) {
+    rows.push_back({Value::Int64(i), Value::Double(rng.NextUniform(0, 500))});
+  }
+  auto rel = PartitionedRelation::FromTuples(schema, rows, 3);
+  DistanceFudj join(JoinParameters({Value::Double(7.5)}));
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats stats;
+  FudjExecOptions options;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation out,
+                       runtime.Execute(rel, 1, rel, 1, options, &stats));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> joined,
+                       out.MaterializeAll());
+  const auto expected =
+      NljGroundTruth(rows, 0, rows, 0, [](const Tuple& a, const Tuple& b) {
+        return std::fabs(a[1].f64() - b[1].f64()) <= 7.5;
+      });
+  EXPECT_EQ(IdPairs(joined, 0, 2), expected);
+  EXPECT_FALSE(HasDuplicatePairs(joined, 0, 2));
+}
+
+}  // namespace
+}  // namespace fudj

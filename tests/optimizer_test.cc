@@ -1,0 +1,454 @@
+#include "catalog/catalog.h"
+#include "datagen/datagen.h"
+#include "gtest/gtest.h"
+#include "optimizer/expr.h"
+#include "optimizer/functions.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace fudj {
+namespace {
+
+// ------------------------------------------------------------------ Expr
+
+Schema AbSchema() {
+  Schema s;
+  s.AddField("a.x", ValueType::kInt64);
+  s.AddField("a.s", ValueType::kString);
+  s.AddField("b.y", ValueType::kInt64);
+  return s;
+}
+
+TEST(ExprTest, BindResolvesColumns) {
+  auto e = Expr::Column("a.x");
+  ASSERT_OK(e->Bind(AbSchema()));
+  EXPECT_EQ(e->column_index(), 0);
+  EXPECT_FALSE(Expr::Column("missing")->Bind(AbSchema()).ok());
+}
+
+TEST(ExprTest, EvalComparisonsAndLogic) {
+  const Tuple t{Value::Int64(5), Value::String("hi"), Value::Int64(9)};
+  auto ge = Expr::Compare(CompareOp::kGe, Expr::Column("a.x"),
+                          Expr::Literal(Value::Int64(5)));
+  ASSERT_OK(ge->Bind(AbSchema()));
+  EXPECT_TRUE(ge->EvalBool(t));
+  auto lt = Expr::Compare(CompareOp::kLt, Expr::Column("b.y"),
+                          Expr::Literal(Value::Int64(5)));
+  ASSERT_OK(lt->Bind(AbSchema()));
+  EXPECT_FALSE(lt->EvalBool(t));
+  auto both = Expr::And(ge, lt);
+  EXPECT_FALSE(both->EvalBool(t));
+  auto either = Expr::Or(ge, lt);
+  EXPECT_TRUE(either->EvalBool(t));
+  auto negated = Expr::Not(lt);
+  EXPECT_TRUE(negated->EvalBool(t));
+}
+
+TEST(ExprTest, EvalNullComparisonIsNull) {
+  Schema s;
+  s.AddField("x", ValueType::kInt64);
+  auto e = Expr::Compare(CompareOp::kEq, Expr::Column("x"),
+                         Expr::Literal(Value::Int64(1)));
+  ASSERT_OK(e->Bind(s));
+  EXPECT_FALSE(e->EvalBool({Value::Null()}));
+}
+
+TEST(ExprTest, EvalScalarFunction) {
+  Schema s;
+  s.AddField("g1", ValueType::kGeometry);
+  s.AddField("g2", ValueType::kGeometry);
+  auto e = Expr::Call("st_contains", {Expr::Column("g1"),
+                                      Expr::Column("g2")});
+  ASSERT_OK(e->Bind(s));
+  const Tuple t{
+      Value::Geom(Geometry(Polygon{{{0, 0}, {4, 0}, {4, 4}, {0, 4}}})),
+      Value::Geom(Geometry(Point{1, 1}))};
+  EXPECT_TRUE(e->EvalBool(t));
+}
+
+TEST(ExprTest, UnknownFunctionFailsBind) {
+  EXPECT_FALSE(Expr::Call("no_such_fn", {})->Bind(AbSchema()).ok());
+}
+
+TEST(ExprTest, CollectConjunctsFlattensAndTree) {
+  auto c1 = Expr::Compare(CompareOp::kEq, Expr::Column("a.x"),
+                          Expr::Literal(Value::Int64(1)));
+  auto c2 = Expr::Compare(CompareOp::kEq, Expr::Column("b.y"),
+                          Expr::Literal(Value::Int64(2)));
+  auto c3 = Expr::Compare(CompareOp::kEq, Expr::Column("a.s"),
+                          Expr::Literal(Value::String("z")));
+  std::vector<Expr::Ptr> out;
+  Expr::CollectConjuncts(Expr::And(Expr::And(c1, c2), c3), &out);
+  EXPECT_EQ(out.size(), 3u);
+  // OR is not split.
+  out.clear();
+  Expr::CollectConjuncts(Expr::Or(c1, c2), &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(ExprTest, AllColumnsIn) {
+  Schema left;
+  left.AddField("a.x", ValueType::kInt64);
+  auto e = Expr::Compare(CompareOp::kEq, Expr::Column("a.x"),
+                         Expr::Literal(Value::Int64(1)));
+  EXPECT_TRUE(e->AllColumnsIn(left));
+  auto cross = Expr::Compare(CompareOp::kEq, Expr::Column("a.x"),
+                             Expr::Column("b.y"));
+  EXPECT_FALSE(cross->AllColumnsIn(left));
+}
+
+// --------------------------------------------------------------- Catalog
+
+TEST(CatalogTest, DatasetLifecycle) {
+  Catalog catalog;
+  auto rel = PartitionedRelation::FromTuples(ParksSchema(),
+                                             GenerateParks(10, 1), 2);
+  ASSERT_OK(catalog.RegisterDataset("parks", std::move(rel)));
+  EXPECT_TRUE(catalog.GetDataset("parks").ok());
+  EXPECT_FALSE(catalog.GetDataset("nope").ok());
+  EXPECT_EQ(catalog.RegisterDataset("parks", PartitionedRelation()).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_OK(catalog.DropDataset("parks"));
+  EXPECT_FALSE(catalog.GetDataset("parks").ok());
+}
+
+TEST(CatalogTest, CreateJoinValidatesLibrary) {
+  RegisterBundledJoinLibraries();
+  Catalog catalog;
+  JoinDefinition def;
+  def.name = "myjoin";
+  def.param_types = {ValueType::kString, ValueType::kString};
+  def.library = "flexiblejoins";
+  def.class_name = "setsimilarity.SetSimilarityJoin";
+  ASSERT_OK(catalog.CreateJoin(def));
+  EXPECT_TRUE(catalog.HasJoin("myjoin"));
+  JoinDefinition bad = def;
+  bad.name = "other";
+  bad.class_name = "no.SuchClass";
+  EXPECT_EQ(catalog.CreateJoin(bad).code(), StatusCode::kNotFound);
+  ASSERT_OK(catalog.DropJoin("myjoin"));
+  EXPECT_FALSE(catalog.HasJoin("myjoin"));
+}
+
+TEST(CatalogTest, InstantiateAppendsBoundParams) {
+  RegisterBundledJoinLibraries();
+  Catalog catalog;
+  JoinDefinition def;
+  def.name = "st_contains_join";
+  def.param_types = {ValueType::kGeometry, ValueType::kGeometry};
+  def.library = "flexiblejoins";
+  def.class_name = "spatial.SpatialJoin";
+  def.bound_params = {Value::Int64(77), Value::Int64(1)};
+  ASSERT_OK(catalog.CreateJoin(def));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<FlexibleJoin> join,
+                       catalog.InstantiateJoin("st_contains_join", {}));
+  EXPECT_TRUE(join->UsesDefaultMatch());
+}
+
+// -------------------------------------------------------------- Fixture
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterBundledJoinLibraries();
+    RegisterBuiltinOperatorRules();
+    cluster_ = std::make_unique<Cluster>(4);
+    ASSERT_OK(catalog_.RegisterDataset(
+        "parks", PartitionedRelation::FromTuples(ParksSchema(),
+                                                 GenerateParks(60, 1), 4)));
+    ASSERT_OK(catalog_.RegisterDataset(
+        "wildfires",
+        PartitionedRelation::FromTuples(WildfiresSchema(),
+                                        GenerateWildfires(150, 2), 4)));
+    ASSERT_OK(catalog_.RegisterDataset(
+        "amazonreview",
+        PartitionedRelation::FromTuples(ReviewsSchema(),
+                                        GenerateReviews(60, 3), 4)));
+    ASSERT_OK(catalog_.RegisterDataset(
+        "nyctaxi", PartitionedRelation::FromTuples(
+                       TaxiSchema(), GenerateTaxiRides(80, 4), 4)));
+    // Install the paper's joins.
+    ASSERT_OK(ExecStatement(
+        "CREATE JOIN spatial_intersect(a: geometry, b: geometry) RETURNS "
+        "boolean AS \"spatial.SpatialJoin\" AT flexiblejoins "
+        "PARAMS (30, 0)"));
+    ASSERT_OK(ExecStatement(
+        "CREATE JOIN st_contains_join(a: geometry, b: geometry) RETURNS "
+        "boolean AS \"spatial.SpatialJoin\" AT flexiblejoins "
+        "PARAMS (30, 1)"));
+    ASSERT_OK(ExecStatement(
+        "CREATE JOIN similarity_jaccard(a: string, b: string) RETURNS "
+        "boolean AS \"setsimilarity.SetSimilarityJoin\" AT flexiblejoins"));
+    ASSERT_OK(ExecStatement(
+        "CREATE JOIN overlapping_interval(a: interval, b: interval) "
+        "RETURNS boolean AS \"interval.IntervalJoin\" AT flexiblejoins "
+        "PARAMS (200)"));
+  }
+
+  Status ExecStatement(const std::string& sql) {
+    auto out = ExecuteSql(cluster_.get(), &catalog_, sql);
+    return out.ok() ? Status::OK() : out.status();
+  }
+
+  Result<PhysicalQueryPlan> Plan(const std::string& sql) {
+    FUDJ_ASSIGN_OR_RETURN(const QuerySpec q, ParseSelect(sql));
+    return PlanQuery(q, catalog_);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  Catalog catalog_;
+};
+
+// ------------------------------------------------------------- Planning
+
+TEST_F(PlannerTest, DetectsFudjCallPredicate) {
+  ASSERT_OK_AND_ASSIGN(
+      const PhysicalQueryPlan plan,
+      Plan("SELECT p.id, w.id FROM parks p, wildfires w WHERE "
+           "st_contains_join(p.boundary, w.location)"));
+  EXPECT_EQ(plan.strategy, JoinStrategy::kFudjHash);
+  EXPECT_EQ(plan.fudj->join_name, "st_contains_join");
+  EXPECT_EQ(plan.fudj->left_key_col, 1);   // p.boundary
+  EXPECT_EQ(plan.fudj->right_key_col, 1);  // w.location
+  EXPECT_NE(plan.explain.find("FUDJ"), std::string::npos);
+}
+
+TEST_F(PlannerTest, DetectsThresholdRewrite) {
+  ASSERT_OK_AND_ASSIGN(
+      const PhysicalQueryPlan plan,
+      Plan("SELECT r1.id, r2.id FROM amazonreview r1, amazonreview r2 "
+           "WHERE similarity_jaccard(r1.review, r2.review) >= 0.9"));
+  EXPECT_EQ(plan.strategy, JoinStrategy::kFudjHash);
+  EXPECT_EQ(plan.fudj->join_name, "similarity_jaccard");
+}
+
+TEST_F(PlannerTest, IntervalJoinGetsThetaStrategy) {
+  ASSERT_OK_AND_ASSIGN(
+      const PhysicalQueryPlan plan,
+      Plan("SELECT n1.id, n2.id FROM nyctaxi n1, nyctaxi n2 WHERE "
+           "overlapping_interval(n1.ride_interval, n2.ride_interval)"));
+  EXPECT_EQ(plan.strategy, JoinStrategy::kFudjTheta)
+      << "custom match must disable the hash bucket join";
+}
+
+TEST_F(PlannerTest, BuiltinOpsLibraryRoutesToFusedOperator) {
+  ASSERT_OK(ExecStatement(
+      "CREATE JOIN native_spatial(a: geometry, b: geometry) RETURNS "
+      "boolean AS \"spatial.NativeSpatialJoin\" AT builtinops "
+      "PARAMS (30, 1)"));
+  ASSERT_OK_AND_ASSIGN(
+      const PhysicalQueryPlan plan,
+      Plan("SELECT p.id, w.id FROM parks p, wildfires w WHERE "
+           "native_spatial(p.boundary, w.location)"));
+  EXPECT_EQ(plan.strategy, JoinStrategy::kBuiltin);
+  ASSERT_TRUE(plan.builtin.has_value());
+  EXPECT_EQ(plan.builtin->kind, BuiltinJoinKind::kSpatial);
+  EXPECT_EQ(plan.builtin->spatial.grid_n, 30);
+  EXPECT_EQ(plan.builtin->spatial.predicate, SpatialPredicate::kContains);
+  // Built-in and FUDJ executions of the same logical join must agree.
+  ASSERT_OK_AND_ASSIGN(
+      const QueryOutput native_out,
+      ExecuteSql(cluster_.get(), &catalog_,
+                 "SELECT p.id, w.id FROM parks p, wildfires w WHERE "
+                 "native_spatial(p.boundary, w.location)"));
+  ASSERT_OK_AND_ASSIGN(
+      const QueryOutput fudj_out,
+      ExecuteSql(cluster_.get(), &catalog_,
+                 "SELECT p.id, w.id FROM parks p, wildfires w WHERE "
+                 "st_contains_join(p.boundary, w.location)"));
+  EXPECT_EQ(IdPairs(native_out.rows, 0, 1), IdPairs(fudj_out.rows, 0, 1));
+}
+
+TEST_F(PlannerTest, BuiltinTextSimRuleHonorsThresholdExtra) {
+  ASSERT_OK(ExecStatement(
+      "CREATE JOIN native_textsim(a: string, b: string, t: double) "
+      "RETURNS boolean AS \"setsimilarity.NativeSetSimilarityJoin\" "
+      "AT builtinops"));
+  ASSERT_OK_AND_ASSIGN(
+      const PhysicalQueryPlan plan,
+      Plan("SELECT r1.id, r2.id FROM amazonreview r1, amazonreview r2 "
+           "WHERE native_textsim(r1.review, r2.review, 0.75)"));
+  EXPECT_EQ(plan.strategy, JoinStrategy::kBuiltin);
+  EXPECT_DOUBLE_EQ(plan.builtin->text.threshold, 0.75);
+}
+
+TEST_F(PlannerTest, BuiltinRuleRejectsBadParameters) {
+  ASSERT_OK(ExecStatement(
+      "CREATE JOIN native_bad(a: string, b: string, t: double) RETURNS "
+      "boolean AS \"setsimilarity.NativeSetSimilarityJoin\" AT "
+      "builtinops"));
+  EXPECT_FALSE(Plan("SELECT r1.id, r2.id FROM amazonreview r1, "
+                    "amazonreview r2 WHERE "
+                    "native_bad(r1.review, r2.review, 7.0)")
+                   .ok())
+      << "threshold > 1 must be rejected by the rewrite rule";
+}
+
+TEST_F(PlannerTest, FallsBackToNljWithoutFudj) {
+  ASSERT_OK_AND_ASSIGN(
+      const PhysicalQueryPlan plan,
+      Plan("SELECT p.id, w.id FROM parks p, wildfires w WHERE "
+           "st_contains(p.boundary, w.location)"));
+  EXPECT_EQ(plan.strategy, JoinStrategy::kOnTopNlj)
+      << "st_contains is a scalar UDF, not a created join";
+}
+
+TEST_F(PlannerTest, PushesSingleTablePredicatesDown) {
+  ASSERT_OK_AND_ASSIGN(
+      const PhysicalQueryPlan plan,
+      Plan("SELECT r1.id, r2.id FROM amazonreview r1, amazonreview r2 "
+           "WHERE r1.overall = 5 AND r2.overall = 4 AND "
+           "similarity_jaccard(r1.review, r2.review) >= 0.9"));
+  EXPECT_NE(plan.tables[0].filter, nullptr);
+  EXPECT_NE(plan.tables[1].filter, nullptr);
+  EXPECT_EQ(plan.residual_filter, nullptr);
+  EXPECT_EQ(plan.strategy, JoinStrategy::kFudjHash);
+}
+
+TEST_F(PlannerTest, ExtraJoinConjunctBecomesResidual) {
+  ASSERT_OK_AND_ASSIGN(
+      const PhysicalQueryPlan plan,
+      Plan("SELECT r1.id, r2.id FROM amazonreview r1, amazonreview r2 "
+           "WHERE similarity_jaccard(r1.review, r2.review) >= 0.9 AND "
+           "r1.id <> r2.id"));
+  EXPECT_EQ(plan.strategy, JoinStrategy::kFudjHash);
+  ASSERT_NE(plan.residual_filter, nullptr);
+}
+
+TEST_F(PlannerTest, UnknownDatasetFails) {
+  EXPECT_FALSE(Plan("SELECT x.a FROM nonexistent x").ok());
+}
+
+TEST_F(PlannerTest, SelectedColumnMustBeGrouped) {
+  EXPECT_FALSE(
+      Plan("SELECT p.id, p.tags, count(*) FROM parks p GROUP BY p.id")
+          .ok());
+}
+
+TEST_F(PlannerTest, OrderByMustNameOutputColumn) {
+  EXPECT_FALSE(
+      Plan("SELECT p.id FROM parks p ORDER BY p.boundary").ok());
+}
+
+// ------------------------------------------------------------ Execution
+
+TEST_F(PlannerTest, SingleTableFilterQuery) {
+  ASSERT_OK_AND_ASSIGN(
+      const QuerySpec q,
+      ParseSelect("SELECT n.id, n.vendor FROM nyctaxi n WHERE "
+                  "n.vendor = 1 ORDER BY n.id"));
+  ASSERT_OK_AND_ASSIGN(const QueryOutput out,
+                       ExecuteQuery(cluster_.get(), catalog_, q));
+  EXPECT_GT(out.rows.size(), 0u);
+  for (const Tuple& t : out.rows) EXPECT_EQ(t[1].i64(), 1);
+  for (size_t i = 1; i < out.rows.size(); ++i) {
+    EXPECT_LT(out.rows[i - 1][0].i64(), out.rows[i][0].i64());
+  }
+}
+
+TEST_F(PlannerTest, FudjQueryMatchesOnTopQuery) {
+  // The same logical query executed via FUDJ and via the on-top NLJ must
+  // agree — the paper's correctness criterion across Fig. 9.
+  ASSERT_OK_AND_ASSIGN(
+      const QueryOutput fudj_out,
+      ExecuteSql(cluster_.get(), &catalog_,
+                 "SELECT p.id, w.id FROM parks p, wildfires w WHERE "
+                 "st_contains_join(p.boundary, w.location)"));
+  ASSERT_OK_AND_ASSIGN(
+      const QueryOutput nlj_out,
+      ExecuteSql(cluster_.get(), &catalog_,
+                 "SELECT p.id, w.id FROM parks p, wildfires w WHERE "
+                 "st_contains(p.boundary, w.location)"));
+  EXPECT_EQ(IdPairs(fudj_out.rows, 0, 1), IdPairs(nlj_out.rows, 0, 1));
+  EXPECT_GT(nlj_out.rows.size(), 0u) << "workload must be non-trivial";
+}
+
+TEST_F(PlannerTest, GroupByCountOrderBy) {
+  ASSERT_OK_AND_ASSIGN(
+      const QueryOutput out,
+      ExecuteSql(cluster_.get(), &catalog_,
+                 "SELECT p.id, count(w.id) AS num_fires FROM parks p, "
+                 "wildfires w WHERE st_contains_join(p.boundary, "
+                 "w.location) GROUP BY p.id ORDER BY num_fires DESC"));
+  ASSERT_GT(out.rows.size(), 0u);
+  for (size_t i = 1; i < out.rows.size(); ++i) {
+    EXPECT_GE(out.rows[i - 1][1].i64(), out.rows[i][1].i64());
+  }
+  EXPECT_EQ(out.schema.field(1).name, "num_fires");
+}
+
+TEST_F(PlannerTest, GlobalCountOfEmptyResultIsZeroRow) {
+  ASSERT_OK_AND_ASSIGN(
+      const QueryOutput out,
+      ExecuteSql(cluster_.get(), &catalog_,
+                 "SELECT count(*) FROM parks p, wildfires w WHERE "
+                 "st_contains_join(p.boundary, w.location) AND "
+                 "p.id = 1000000"));
+  ASSERT_EQ(out.rows.size(), 1u);
+  EXPECT_EQ(out.rows[0][0].i64(), 0);
+}
+
+TEST_F(PlannerTest, PaperQuery5TextSimilarity) {
+  ASSERT_OK_AND_ASSIGN(
+      const QueryOutput out,
+      ExecuteSql(cluster_.get(), &catalog_,
+                 "SELECT COUNT(*) FROM amazonreview r1, amazonreview r2 "
+                 "WHERE r1.overall = 5 AND r2.overall = 4 AND "
+                 "similarity_jaccard(r1.review, r2.review) >= 0.9"));
+  ASSERT_EQ(out.rows.size(), 1u);
+  // Cross-check against the pure NLJ execution.
+  ASSERT_OK_AND_ASSIGN(
+      const QueryOutput check,
+      ExecuteSql(cluster_.get(), &catalog_,
+                 "SELECT COUNT(*) FROM amazonreview r1, amazonreview r2 "
+                 "WHERE r1.overall = 5 AND r2.overall = 4 AND "
+                 "similarity_jaccard_scalar(r1.review, r2.review) >= 0.9"));
+  EXPECT_EQ(out.rows[0][0].i64(), check.rows[0][0].i64());
+}
+
+TEST_F(PlannerTest, PaperIntervalQuery) {
+  ASSERT_OK_AND_ASSIGN(
+      const QueryOutput fudj_out,
+      ExecuteSql(cluster_.get(), &catalog_,
+                 "SELECT COUNT(*) FROM nyctaxi n1, nyctaxi n2 WHERE "
+                 "n1.vendor = 1 AND n2.vendor = 2 AND "
+                 "overlapping_interval(n1.ride_interval, "
+                 "n2.ride_interval)"));
+  ASSERT_OK_AND_ASSIGN(
+      const QueryOutput nlj_out,
+      ExecuteSql(cluster_.get(), &catalog_,
+                 "SELECT COUNT(*) FROM nyctaxi n1, nyctaxi n2 WHERE "
+                 "n1.vendor = 1 AND n2.vendor = 2 AND "
+                 "interval_overlapping(n1.ride_interval, "
+                 "n2.ride_interval)"));
+  EXPECT_EQ(fudj_out.rows[0][0].i64(), nlj_out.rows[0][0].i64());
+  EXPECT_GT(fudj_out.rows[0][0].i64(), 0);
+}
+
+TEST_F(PlannerTest, CreateAndDropJoinViaSql) {
+  ASSERT_OK(ExecStatement(
+      "CREATE JOIN temp_join(a: string, b: string, t: double) RETURNS "
+      "boolean AS \"setsimilarity.SetSimilarityJoin\" AT flexiblejoins"));
+  EXPECT_TRUE(catalog_.HasJoin("temp_join"));
+  ASSERT_OK(ExecStatement("DROP JOIN temp_join(a: string, b: string, "
+                          "t: double)"));
+  EXPECT_FALSE(catalog_.HasJoin("temp_join"));
+}
+
+TEST_F(PlannerTest, CreateJoinUnknownLibraryFails) {
+  EXPECT_FALSE(ExecStatement("CREATE JOIN bad(a: string, b: string) "
+                             "RETURNS boolean AS \"x.Y\" AT nolib")
+                   .ok());
+}
+
+TEST_F(PlannerTest, LimitTruncatesOutput) {
+  ASSERT_OK_AND_ASSIGN(
+      const QueryOutput out,
+      ExecuteSql(cluster_.get(), &catalog_,
+                 "SELECT p.id FROM parks p ORDER BY p.id LIMIT 7"));
+  EXPECT_EQ(out.rows.size(), 7u);
+}
+
+}  // namespace
+}  // namespace fudj

@@ -1,0 +1,225 @@
+// Cross-cutting property tests and edge cases: exchange invariants over
+// random inputs, degenerate geometry/interval plans, empty-intersection
+// joins, and plan rendering.
+
+#include <map>
+#include <set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "datagen/datagen.h"
+#include "engine/exchange.h"
+#include "fudj/runtime.h"
+#include "gtest/gtest.h"
+#include "joins/interval_fudj.h"
+#include "joins/spatial_fudj.h"
+#include "joins/textsim_fudj.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace fudj {
+namespace {
+
+// --------------------------------------------- Exchange multiset property
+
+Schema KvSchema() {
+  Schema s;
+  s.AddField("k", ValueType::kInt64);
+  s.AddField("payload", ValueType::kString);
+  return s;
+}
+
+std::multiset<std::string> RowMultiset(const PartitionedRelation& rel) {
+  std::multiset<std::string> rows;
+  auto all = rel.MaterializeAll();
+  if (!all.ok()) return rows;
+  for (const Tuple& t : *all) rows.insert(TupleToString(t));
+  return rows;
+}
+
+class ExchangeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ExchangeProperty, HashAndRandomPreserveRows) {
+  const auto [workers, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<Tuple> rows;
+  const int n = 50 + static_cast<int>(rng.NextBounded(150));
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({Value::Int64(rng.NextInt(0, 20)),
+                    Value::String("p" + std::to_string(rng.Next() % 997))});
+  }
+  auto rel = PartitionedRelation::FromTuples(KvSchema(), rows, workers);
+  Cluster cluster(workers);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto hashed,
+      HashExchange(
+          &cluster, rel,
+          [](const Tuple& t) { return Mix64(t[0].i64()); }, &stats));
+  ASSERT_OK_AND_ASSIGN(auto randomized,
+                       RandomExchange(&cluster, rel, &stats));
+  ASSERT_OK_AND_ASSIGN(auto gathered, GatherExchange(&cluster, rel, &stats));
+  const auto expected = RowMultiset(rel);
+  EXPECT_EQ(RowMultiset(hashed), expected);
+  EXPECT_EQ(RowMultiset(randomized), expected);
+  EXPECT_EQ(RowMultiset(gathered), expected);
+}
+
+TEST_P(ExchangeProperty, BroadcastReplicatesExactly) {
+  const auto [workers, seed] = GetParam();
+  auto rel = PartitionedRelation::FromTuples(
+      KvSchema(), {{Value::Int64(1), Value::String("a")},
+                   {Value::Int64(2), Value::String("b")}},
+      workers);
+  Cluster cluster(workers);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(auto bcast, BroadcastExchange(&cluster, rel, &stats));
+  EXPECT_EQ(bcast.NumRows(), 2 * workers);
+  for (int p = 0; p < workers; ++p) {
+    EXPECT_EQ(bcast.RowsInPartition(p), 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkersAndSeeds, ExchangeProperty,
+    ::testing::Values(std::make_tuple(1, 7), std::make_tuple(2, 11),
+                      std::make_tuple(5, 13), std::make_tuple(12, 17),
+                      std::make_tuple(32, 19)));
+
+// ------------------------------------------------------ Degenerate plans
+
+TEST(DegenerateJoinTest, DisjointMbrsYieldEmptySpatialJoin) {
+  Cluster cluster(2);
+  Schema schema;
+  schema.AddField("id", ValueType::kInt64);
+  schema.AddField("g", ValueType::kGeometry);
+  std::vector<Tuple> left_rows;
+  std::vector<Tuple> right_rows;
+  for (int i = 0; i < 20; ++i) {
+    left_rows.push_back(
+        {Value::Int64(i), Value::Geom(Geometry(Point{i * 0.1, i * 0.1}))});
+    right_rows.push_back(
+        {Value::Int64(i),
+         Value::Geom(Geometry(Point{100 + i * 0.1, 100 + i * 0.1}))});
+  }
+  auto left = PartitionedRelation::FromTuples(schema, left_rows, 2);
+  auto right = PartitionedRelation::FromTuples(schema, right_rows, 2);
+  SpatialFudj join(JoinParameters({Value::Int64(8)}));
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats stats;
+  FudjExecOptions options;
+  ASSERT_OK_AND_ASSIGN(auto out,
+                       runtime.Execute(left, 1, right, 1, options, &stats));
+  EXPECT_EQ(out.NumRows(), 0)
+      << "disjoint input MBRs must produce an empty grid and no pairs";
+}
+
+TEST(DegenerateJoinTest, IdenticalTimestampsInterval) {
+  // Every interval is the same instant: one granule, all pairs match.
+  Cluster cluster(2);
+  Schema schema;
+  schema.AddField("id", ValueType::kInt64);
+  schema.AddField("unused", ValueType::kInt64);
+  schema.AddField("iv", ValueType::kInterval);
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 10; ++i) {
+    rows.push_back({Value::Int64(i), Value::Int64(0),
+                    Value::Intv(Interval(42, 42))});
+  }
+  auto rel = PartitionedRelation::FromTuples(schema, rows, 2);
+  IntervalFudj join(JoinParameters({Value::Int64(100)}));
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats stats;
+  FudjExecOptions options;
+  options.duplicates = DuplicateHandling::kNone;
+  ASSERT_OK_AND_ASSIGN(auto out,
+                       runtime.Execute(rel, 2, rel, 2, options, &stats));
+  EXPECT_EQ(out.NumRows(), 100);
+}
+
+TEST(DegenerateJoinTest, SingleRecordTextSelfJoin) {
+  Cluster cluster(4);
+  auto rel = PartitionedRelation::FromTuples(
+      ReviewsSchema(),
+      {{Value::Int64(0), Value::Int64(5), Value::String("only one here")}},
+      4);
+  TextSimFudj join(JoinParameters({Value::Double(0.9)}));
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats stats;
+  FudjExecOptions options;
+  ASSERT_OK_AND_ASSIGN(auto out,
+                       runtime.Execute(rel, 2, rel, 2, options, &stats));
+  EXPECT_EQ(out.NumRows(), 1) << "the record matches itself exactly once";
+}
+
+// ----------------------------------------------------------- Zipf shape
+
+TEST(ZipfShapeTest, FrequenciesAreMonotoneInRank) {
+  Rng rng(71);
+  ZipfGenerator zipf(50, 1.0);
+  std::map<int64_t, int> freq;
+  for (int i = 0; i < 50000; ++i) ++freq[zipf.Next(&rng)];
+  // Bucketed monotonicity: first decile much more frequent than last.
+  int head = 0;
+  int tail = 0;
+  for (const auto& [rank, count] : freq) {
+    if (rank < 5) head += count;
+    if (rank >= 45) tail += count;
+  }
+  EXPECT_GT(head, tail * 4);
+}
+
+// --------------------------------------------------------- Plan strings
+
+TEST(ExplainTest, StrategiesRenderDistinctly) {
+  RegisterBundledJoinLibraries();
+  Cluster cluster(2);
+  Catalog catalog;
+  ASSERT_OK(catalog.RegisterDataset(
+      "nyctaxi", PartitionedRelation::FromTuples(
+                     TaxiSchema(), GenerateTaxiRides(20, 81), 2)));
+  ASSERT_TRUE(ExecuteSql(&cluster, &catalog,
+                         "CREATE JOIN ov(a: interval, b: interval) RETURNS "
+                         "boolean AS \"interval.IntervalJoin\" AT "
+                         "flexiblejoins")
+                  .ok());
+  ASSERT_OK_AND_ASSIGN(
+      const QuerySpec fudj_q,
+      ParseSelect("SELECT n1.id, n2.id FROM nyctaxi n1, nyctaxi n2 WHERE "
+                  "ov(n1.ride_interval, n2.ride_interval)"));
+  ASSERT_OK_AND_ASSIGN(const PhysicalQueryPlan fudj_plan,
+                       PlanQuery(fudj_q, catalog));
+  EXPECT_NE(fudj_plan.explain.find("theta"), std::string::npos);
+  ASSERT_OK_AND_ASSIGN(
+      const QuerySpec nlj_q,
+      ParseSelect("SELECT n1.id, n2.id FROM nyctaxi n1, nyctaxi n2 WHERE "
+                  "interval_overlapping(n1.ride_interval, "
+                  "n2.ride_interval)"));
+  ASSERT_OK_AND_ASSIGN(const PhysicalQueryPlan nlj_plan,
+                       PlanQuery(nlj_q, catalog));
+  EXPECT_NE(nlj_plan.explain.find("NLJ"), std::string::npos);
+}
+
+TEST(ExplainTest, TableRenderingTruncates) {
+  QueryOutput out;
+  out.schema.AddField("x", ValueType::kInt64);
+  for (int i = 0; i < 30; ++i) out.rows.push_back({Value::Int64(i)});
+  const std::string table = out.ToTable(/*max_rows=*/5);
+  EXPECT_NE(table.find("25 more rows"), std::string::npos);
+}
+
+// --------------------------------------------- PPlan ToString coverage
+
+TEST(PPlanStringsTest, AllPlansRender) {
+  SpatialPPlan sp(Rect(0, 0, 1, 1), 7);
+  EXPECT_NE(sp.ToString().find("7x7"), std::string::npos);
+  IntervalPPlan ip(0, 99, 10);
+  EXPECT_NE(ip.ToString().find("10 granules"), std::string::npos);
+  TextSimPPlan tp({{"a", 0}}, 0.8);
+  EXPECT_NE(tp.ToString().find("t=0.80"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fudj

@@ -1,0 +1,231 @@
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "serde/buffer.h"
+#include "serde/serde.h"
+#include "test_util.h"
+
+namespace fudj {
+namespace {
+
+// ---------------------------------------------------------------- Buffer
+
+TEST(BufferTest, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.PutU8(7);
+  w.PutU32(123456);
+  w.PutU64(9876543210ULL);
+  w.PutI32(-42);
+  w.PutI64(-1234567890123LL);
+  w.PutDouble(3.25);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetU8().value(), 7);
+  EXPECT_EQ(r.GetU32().value(), 123456u);
+  EXPECT_EQ(r.GetU64().value(), 9876543210ULL);
+  EXPECT_EQ(r.GetI32().value(), -42);
+  EXPECT_EQ(r.GetI64().value(), -1234567890123LL);
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(), 3.25);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BufferTest, VarintRoundTripBoundaries) {
+  const uint64_t cases[] = {0,     1,     127,       128,
+                            16383, 16384, UINT64_MAX};
+  for (const uint64_t v : cases) {
+    ByteWriter w;
+    w.PutVarint(v);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.GetVarint().value(), v);
+  }
+}
+
+TEST(BufferTest, VarintIsCompactForSmallValues) {
+  ByteWriter w;
+  w.PutVarint(5);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(BufferTest, StringRoundTrip) {
+  ByteWriter w;
+  w.PutString("hello world");
+  w.PutString("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetString().value(), "hello world");
+  EXPECT_EQ(r.GetString().value(), "");
+}
+
+TEST(BufferTest, UnderrunReturnsError) {
+  ByteWriter w;
+  w.PutU8(1);
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.GetU8().ok());
+  EXPECT_FALSE(r.GetU64().ok());
+  EXPECT_EQ(r.GetU64().status().code(), StatusCode::kInternal);
+}
+
+TEST(BufferTest, TruncatedStringReturnsError) {
+  ByteWriter w;
+  w.PutVarint(100);  // claims 100 bytes follow
+  w.PutRaw("abc", 3);
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+// ----------------------------------------------------------- Value serde
+
+void ExpectRoundTrip(const Value& v) {
+  ByteWriter w;
+  SerializeValue(v, &w);
+  ByteReader r(w.bytes());
+  ASSERT_OK_AND_ASSIGN(const Value back, DeserializeValue(&r));
+  EXPECT_TRUE(v.Equals(back)) << v.ToString() << " vs " << back.ToString();
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, NullRoundTrip) { ExpectRoundTrip(Value::Null()); }
+TEST(SerdeTest, BoolRoundTrip) {
+  ExpectRoundTrip(Value::Bool(true));
+  ExpectRoundTrip(Value::Bool(false));
+}
+TEST(SerdeTest, Int64RoundTrip) {
+  ExpectRoundTrip(Value::Int64(0));
+  ExpectRoundTrip(Value::Int64(INT64_MIN));
+  ExpectRoundTrip(Value::Int64(INT64_MAX));
+}
+TEST(SerdeTest, DoubleRoundTrip) {
+  ExpectRoundTrip(Value::Double(0.0));
+  ExpectRoundTrip(Value::Double(-1.5e300));
+}
+TEST(SerdeTest, StringRoundTrip) {
+  ExpectRoundTrip(Value::String(""));
+  ExpectRoundTrip(Value::String("with spaces and \0 byte"));
+  ExpectRoundTrip(Value::String(std::string(10000, 'x')));
+}
+TEST(SerdeTest, IntervalRoundTrip) {
+  ExpectRoundTrip(Value::Intv(Interval(-100, 100)));
+}
+TEST(SerdeTest, PointGeometryRoundTrip) {
+  ExpectRoundTrip(Value::Geom(Geometry(Point{1.5, -2.5})));
+}
+TEST(SerdeTest, RectGeometryRoundTrip) {
+  ExpectRoundTrip(Value::Geom(Geometry(Rect(0, 1, 2, 3))));
+}
+TEST(SerdeTest, PolygonGeometryRoundTrip) {
+  Polygon poly{{{0, 0}, {4, 0}, {4, 4}, {2, 6}, {0, 4}}};
+  ExpectRoundTrip(Value::Geom(Geometry(poly)));
+}
+
+TEST(SerdeTest, PolygonMbrSurvivesRoundTrip) {
+  Polygon poly{{{1, 1}, {5, 2}, {3, 7}}};
+  const Value v = Value::Geom(Geometry(poly));
+  ByteWriter w;
+  SerializeValue(v, &w);
+  ByteReader r(w.bytes());
+  ASSERT_OK_AND_ASSIGN(const Value back, DeserializeValue(&r));
+  EXPECT_EQ(back.geometry().Mbr(), v.geometry().Mbr());
+}
+
+TEST(SerdeTest, GarbageTagFails) {
+  std::vector<uint8_t> garbage = {0xEE, 0x01, 0x02};
+  ByteReader r(garbage.data(), garbage.size());
+  EXPECT_FALSE(DeserializeValue(&r).ok());
+}
+
+// ----------------------------------------------------------- Tuple serde
+
+TEST(SerdeTest, TupleRoundTrip) {
+  const Tuple t{Value::Int64(1), Value::String("abc"),
+                Value::Geom(Geometry(Point{2, 3})),
+                Value::Intv(Interval(5, 9)), Value::Null()};
+  ByteWriter w;
+  SerializeTuple(t, &w);
+  ByteReader r(w.bytes());
+  ASSERT_OK_AND_ASSIGN(const Tuple back, DeserializeTuple(&r));
+  ASSERT_EQ(back.size(), t.size());
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_TRUE(t[i].Equals(back[i])) << "column " << i;
+  }
+}
+
+TEST(SerdeTest, EmptyTupleRoundTrip) {
+  ByteWriter w;
+  SerializeTuple({}, &w);
+  ByteReader r(w.bytes());
+  ASSERT_OK_AND_ASSIGN(const Tuple back, DeserializeTuple(&r));
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(SerdeTest, SerializedSizeMatchesEncoding) {
+  const Tuple t{Value::Int64(1), Value::String("hello")};
+  ByteWriter w;
+  SerializeTuple(t, &w);
+  EXPECT_EQ(SerializedSize(t), w.size());
+}
+
+TEST(SerdeTest, MultipleTuplesStreamSequentially) {
+  ByteWriter w;
+  for (int i = 0; i < 10; ++i) {
+    SerializeTuple({Value::Int64(i), Value::String("r" + std::to_string(i))},
+                   &w);
+  }
+  ByteReader r(w.bytes());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK_AND_ASSIGN(const Tuple t, DeserializeTuple(&r));
+    EXPECT_EQ(t[0].i64(), i);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+// Property test: random tuples survive the round trip bit-exactly.
+class SerdePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerdePropertyTest, RandomTupleRoundTrip) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    Tuple t;
+    const int arity = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int c = 0; c < arity; ++c) {
+      switch (rng.NextBounded(6)) {
+        case 0:
+          t.push_back(Value::Null());
+          break;
+        case 1:
+          t.push_back(Value::Bool(rng.NextBool(0.5)));
+          break;
+        case 2:
+          t.push_back(Value::Int64(static_cast<int64_t>(rng.Next())));
+          break;
+        case 3:
+          t.push_back(Value::Double(rng.NextGaussian() * 1e6));
+          break;
+        case 4: {
+          std::string s;
+          const int len = static_cast<int>(rng.NextBounded(40));
+          for (int i = 0; i < len; ++i) {
+            s.push_back(static_cast<char>('a' + rng.NextBounded(26)));
+          }
+          t.push_back(Value::String(std::move(s)));
+          break;
+        }
+        default:
+          t.push_back(Value::Intv(Interval(rng.NextInt(-1000, 1000),
+                                           rng.NextInt(1000, 5000))));
+      }
+    }
+    ByteWriter w;
+    SerializeTuple(t, &w);
+    ByteReader r(w.bytes());
+    ASSERT_OK_AND_ASSIGN(const Tuple back, DeserializeTuple(&r));
+    ASSERT_EQ(back.size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+      EXPECT_TRUE(t[i].Equals(back[i]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerdePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 1234));
+
+}  // namespace
+}  // namespace fudj

@@ -1,0 +1,226 @@
+#include "gtest/gtest.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace fudj {
+namespace {
+
+// ----------------------------------------------------------------- Lexer
+
+TEST(LexerTest, IdentifiersAreLowercased) {
+  ASSERT_OK_AND_ASSIGN(const std::vector<Token> tokens,
+                       LexSql("SELECT Foo"));
+  ASSERT_EQ(tokens.size(), 3u);  // select, foo, end
+  EXPECT_EQ(tokens[0].text, "select");
+  EXPECT_EQ(tokens[1].text, "foo");
+  EXPECT_EQ(tokens[1].raw, "Foo");
+}
+
+TEST(LexerTest, NumbersIntAndFloat) {
+  ASSERT_OK_AND_ASSIGN(const std::vector<Token> tokens,
+                       LexSql("42 3.14 1e5 2.5e-3"));
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloat);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kFloat);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kFloat);
+}
+
+TEST(LexerTest, StringsBothQuoteStyles) {
+  ASSERT_OK_AND_ASSIGN(const std::vector<Token> tokens,
+                       LexSql("'abc' \"d e f\""));
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "abc");
+  EXPECT_EQ(tokens[1].text, "d e f");
+}
+
+TEST(LexerTest, MultiCharComparisons) {
+  ASSERT_OK_AND_ASSIGN(const std::vector<Token> tokens,
+                       LexSql("a >= b <= c <> d != e"));
+  EXPECT_TRUE(tokens[1].IsSymbol(">="));
+  EXPECT_TRUE(tokens[3].IsSymbol("<="));
+  EXPECT_TRUE(tokens[5].IsSymbol("<>"));
+  EXPECT_TRUE(tokens[7].IsSymbol("<>")) << "!= normalizes to <>";
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  ASSERT_OK_AND_ASSIGN(
+      const std::vector<Token> tokens,
+      LexSql("SELECT -- line comment\n /* block */ x"));
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "x");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(LexSql("'oops").ok());
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_FALSE(LexSql("a @ b").ok());
+}
+
+// ---------------------------------------------------------------- Parser
+
+TEST(ParserTest, SimpleSelect) {
+  ASSERT_OK_AND_ASSIGN(const QuerySpec q,
+                       ParseSelect("SELECT p.id FROM Parks p"));
+  ASSERT_EQ(q.select.size(), 1u);
+  EXPECT_EQ(q.select[0].expr->column_name(), "p.id");
+  ASSERT_EQ(q.tables.size(), 1u);
+  EXPECT_EQ(q.tables[0].dataset, "parks");
+  EXPECT_EQ(q.tables[0].alias, "p");
+}
+
+TEST(ParserTest, TwoTableJoinQueryWithWhere) {
+  ASSERT_OK_AND_ASSIGN(
+      const QuerySpec q,
+      ParseSelect("SELECT p.id, count(w.id) AS c FROM Parks p, Wildfires w "
+                  "WHERE st_contains(p.boundary, w.location) "
+                  "GROUP BY p.id ORDER BY c DESC LIMIT 10"));
+  EXPECT_EQ(q.tables.size(), 2u);
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->kind(), ExprKind::kCall);
+  EXPECT_EQ(q.where->function_name(), "st_contains");
+  ASSERT_EQ(q.group_by.size(), 1u);
+  ASSERT_EQ(q.order_by.size(), 1u);
+  EXPECT_EQ(q.order_by[0].column, "c");
+  EXPECT_FALSE(q.order_by[0].ascending);
+  EXPECT_EQ(q.limit, 10);
+}
+
+TEST(ParserTest, PaperTextSimilarityQuery) {
+  // The Text-similarity join query of the paper's Query 5.
+  ASSERT_OK_AND_ASSIGN(
+      const QuerySpec q,
+      ParseSelect(
+          "SELECT COUNT(*) FROM AmazonReview r1, AmazonReview r2 "
+          "WHERE r1.overall = 5 AND r2.overall = 4 AND "
+          "similarity_jaccard(r1.review, r2.review) >= 0.9;"));
+  ASSERT_NE(q.where, nullptr);
+  std::vector<Expr::Ptr> conjuncts;
+  Expr::CollectConjuncts(q.where, &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(conjuncts[2]->kind(), ExprKind::kCompare);
+  EXPECT_EQ(conjuncts[2]->compare_op(), CompareOp::kGe);
+}
+
+TEST(ParserTest, CountStarParses) {
+  ASSERT_OK_AND_ASSIGN(const QuerySpec q,
+                       ParseSelect("SELECT COUNT(*) FROM T"));
+  EXPECT_TRUE(q.select[0].expr->IsAggregateCall());
+  ASSERT_EQ(q.select[0].expr->args().size(), 1u);
+  EXPECT_EQ(q.select[0].expr->args()[0]->kind(), ExprKind::kStar);
+}
+
+TEST(ParserTest, BooleanOperatorsAndPrecedence) {
+  ASSERT_OK_AND_ASSIGN(
+      const QuerySpec q,
+      ParseSelect("SELECT a.x FROM T a WHERE a.x = 1 OR a.x = 2 AND "
+                  "a.y = 3"));
+  // AND binds tighter than OR.
+  EXPECT_EQ(q.where->kind(), ExprKind::kOr);
+  EXPECT_EQ(q.where->children()[1]->kind(), ExprKind::kAnd);
+}
+
+TEST(ParserTest, NotAndParens) {
+  ASSERT_OK_AND_ASSIGN(
+      const QuerySpec q,
+      ParseSelect("SELECT a.x FROM T a WHERE NOT (a.x = 1 OR a.y = 2)"));
+  EXPECT_EQ(q.where->kind(), ExprKind::kNot);
+  EXPECT_EQ(q.where->children()[0]->kind(), ExprKind::kOr);
+}
+
+TEST(ParserTest, ThreeTablesParse) {
+  ASSERT_OK_AND_ASSIGN(
+      const QuerySpec q,
+      ParseSelect("SELECT a.x FROM A a, B b, C c WHERE a.x = b.y"));
+  EXPECT_EQ(q.tables.size(), 3u);
+}
+
+TEST(ParserTest, FiveTablesRejected) {
+  EXPECT_EQ(ParseSelect("SELECT a.x FROM A a, B b, C c, D d, E e")
+                .status()
+                .code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(ParserTest, CreateJoinFullForm) {
+  ASSERT_OK_AND_ASSIGN(
+      const Statement stmt,
+      ParseStatement(
+          "CREATE JOIN text_similarity_join(a: string, b: string, "
+          "t: double) RETURNS boolean "
+          "AS \"setsimilarity.SetSimilarityJoin\" AT flexiblejoins;"));
+  EXPECT_EQ(stmt.kind, Statement::Kind::kCreateJoin);
+  EXPECT_EQ(stmt.create_join.name, "text_similarity_join");
+  EXPECT_EQ(stmt.create_join.param_types,
+            (std::vector<ValueType>{ValueType::kString, ValueType::kString,
+                                    ValueType::kDouble}));
+  EXPECT_EQ(stmt.create_join.class_name,
+            "setsimilarity.SetSimilarityJoin");
+  EXPECT_EQ(stmt.create_join.library, "flexiblejoins");
+  EXPECT_TRUE(stmt.create_join.bound_params.empty());
+}
+
+TEST(ParserTest, CreateJoinWithParams) {
+  ASSERT_OK_AND_ASSIGN(
+      const Statement stmt,
+      ParseStatement("CREATE JOIN st_contains(a: geometry, b: geometry) "
+                     "RETURNS boolean AS \"spatial.SpatialJoin\" "
+                     "AT flexiblejoins PARAMS (1200, 1)"));
+  ASSERT_EQ(stmt.create_join.bound_params.size(), 2u);
+  EXPECT_EQ(stmt.create_join.bound_params[0].i64(), 1200);
+  EXPECT_EQ(stmt.create_join.bound_params[1].i64(), 1);
+}
+
+TEST(ParserTest, CreateJoinRequiresBooleanReturn) {
+  EXPECT_FALSE(ParseStatement("CREATE JOIN j(a: int, b: int) RETURNS int "
+                              "AS \"x.Y\" AT lib")
+                   .ok());
+}
+
+TEST(ParserTest, DropJoinWithAndWithoutSignature) {
+  ASSERT_OK_AND_ASSIGN(const Statement s1,
+                       ParseStatement("DROP JOIN myjoin"));
+  EXPECT_EQ(s1.drop_join.name, "myjoin");
+  ASSERT_OK_AND_ASSIGN(
+      const Statement s2,
+      ParseStatement("DROP JOIN myjoin(a: string, b: string)"));
+  EXPECT_EQ(s2.drop_join.name, "myjoin");
+}
+
+TEST(ParserTest, TrailingGarbageFails) {
+  EXPECT_FALSE(ParseSelect("SELECT a.x FROM T a bogus extra").ok());
+}
+
+TEST(ParserTest, QuerySpecToStringRoundTripsShape) {
+  ASSERT_OK_AND_ASSIGN(
+      const QuerySpec q,
+      ParseSelect("SELECT p.id AS pid FROM Parks p WHERE p.id = 3 "
+                  "ORDER BY pid LIMIT 5"));
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("SELECT"), std::string::npos);
+  EXPECT_NE(s.find("LIMIT 5"), std::string::npos);
+  // Round-trip: the rendered query must parse again.
+  EXPECT_TRUE(ParseSelect(s).ok());
+}
+
+TEST(ParserTest, QualifiedNamesInOrderBy) {
+  ASSERT_OK_AND_ASSIGN(
+      const QuerySpec q,
+      ParseSelect("SELECT p.id FROM Parks p ORDER BY p.id"));
+  EXPECT_EQ(q.order_by[0].column, "p.id");
+}
+
+TEST(ParserTest, FunctionCallArgumentsParse) {
+  ASSERT_OK_AND_ASSIGN(
+      const QuerySpec q,
+      ParseSelect("SELECT a.x FROM T a WHERE "
+                  "myjoin(a.x, a.y, 0.5, 'mode')"));
+  EXPECT_EQ(q.where->args().size(), 4u);
+  EXPECT_EQ(q.where->args()[2]->literal().f64(), 0.5);
+  EXPECT_EQ(q.where->args()[3]->literal().str(), "mode");
+}
+
+}  // namespace
+}  // namespace fudj

@@ -1,0 +1,81 @@
+#ifndef FUDJ_TESTS_TEST_UTIL_H_
+#define FUDJ_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/relation.h"
+#include "gtest/gtest.h"
+#include "types/tuple.h"
+
+namespace fudj {
+
+/// gtest helpers shared across test binaries.
+
+#define ASSERT_OK(expr)                                  \
+  do {                                                   \
+    const ::fudj::Status _st = (expr);                   \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();             \
+  } while (false)
+
+#define EXPECT_OK(expr)                                  \
+  do {                                                   \
+    const ::fudj::Status _st = (expr);                   \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();             \
+  } while (false)
+
+#define FUDJ_TEST_CONCAT_INNER(x, y) x##y
+#define FUDJ_TEST_CONCAT(x, y) FUDJ_TEST_CONCAT_INNER(x, y)
+#define ASSERT_OK_AND_ASSIGN_IMPL(var, lhs, expr)  \
+  auto var = (expr);                               \
+  ASSERT_TRUE(var.ok()) << var.status().ToString(); \
+  lhs = std::move(var).value()
+#define ASSERT_OK_AND_ASSIGN(lhs, expr) \
+  ASSERT_OK_AND_ASSIGN_IMPL(FUDJ_TEST_CONCAT(_res_, __LINE__), lhs, expr)
+
+/// Extracts the set of (left id, right id) pairs from a join output whose
+/// id columns are at `left_id_col` / `right_id_col`. Joins are verified
+/// by pair-set equality against a nested-loop ground truth.
+inline std::set<std::pair<int64_t, int64_t>> IdPairs(
+    const std::vector<Tuple>& rows, int left_id_col, int right_id_col) {
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (const Tuple& t : rows) {
+    pairs.emplace(t[left_id_col].i64(), t[right_id_col].i64());
+  }
+  return pairs;
+}
+
+/// Detects duplicate (left id, right id) pairs in a join output.
+inline bool HasDuplicatePairs(const std::vector<Tuple>& rows,
+                              int left_id_col, int right_id_col) {
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (const Tuple& t : rows) {
+    if (!pairs.emplace(t[left_id_col].i64(), t[right_id_col].i64()).second) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Single-process nested-loop ground truth over materialized rows.
+template <typename Pred>
+std::set<std::pair<int64_t, int64_t>> NljGroundTruth(
+    const std::vector<Tuple>& left, int left_id_col,
+    const std::vector<Tuple>& right, int right_id_col, Pred pred) {
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (const Tuple& l : left) {
+    for (const Tuple& r : right) {
+      if (pred(l, r)) {
+        pairs.emplace(l[left_id_col].i64(), r[right_id_col].i64());
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace fudj
+
+#endif  // FUDJ_TESTS_TEST_UTIL_H_

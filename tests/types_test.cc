@@ -1,0 +1,198 @@
+#include "gtest/gtest.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace fudj {
+namespace {
+
+// ----------------------------------------------------------------- Value
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(ValueTest, ScalarAccessors) {
+  EXPECT_EQ(Value::Bool(true).bool_val(), true);
+  EXPECT_EQ(Value::Int64(-5).i64(), -5);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).f64(), 2.5);
+  EXPECT_EQ(Value::String("hi").str(), "hi");
+}
+
+TEST(ValueTest, DomainTypes) {
+  const Value g = Value::Geom(Geometry(Point{1, 2}));
+  EXPECT_EQ(g.type(), ValueType::kGeometry);
+  EXPECT_EQ(g.geometry().point().x, 1);
+  const Value iv = Value::Intv(Interval(3, 9));
+  EXPECT_EQ(iv.type(), ValueType::kInterval);
+  EXPECT_EQ(iv.interval().end, 9);
+}
+
+TEST(ValueTest, AsDoubleCoercion) {
+  EXPECT_DOUBLE_EQ(Value::Int64(4).AsDouble().value(), 4.0);
+  EXPECT_DOUBLE_EQ(Value::Bool(true).AsDouble().value(), 1.0);
+  EXPECT_FALSE(Value::String("x").AsDouble().ok());
+}
+
+TEST(ValueTest, EqualsSameType) {
+  EXPECT_TRUE(Value::Int64(3).Equals(Value::Int64(3)));
+  EXPECT_FALSE(Value::Int64(3).Equals(Value::Int64(4)));
+  EXPECT_TRUE(Value::String("a").Equals(Value::String("a")));
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+}
+
+TEST(ValueTest, EqualsNumericCrossType) {
+  EXPECT_TRUE(Value::Int64(3).Equals(Value::Double(3.0)));
+  EXPECT_TRUE(Value::Double(3.0).Equals(Value::Int64(3)));
+  EXPECT_FALSE(Value::Int64(3).Equals(Value::Double(3.5)));
+}
+
+TEST(ValueTest, EqualsDifferentTypesIsFalse) {
+  EXPECT_FALSE(Value::Int64(1).Equals(Value::Bool(true)));
+  EXPECT_FALSE(Value::String("1").Equals(Value::Int64(1)));
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  EXPECT_LT(Value::Int64(1).Compare(Value::Int64(2)), 0);
+  EXPECT_GT(Value::Int64(2).Compare(Value::Int64(1)), 0);
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Int64(2)), 0);
+  EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
+}
+
+TEST(ValueTest, CompareNumericCrossType) {
+  EXPECT_LT(Value::Int64(1).Compare(Value::Double(1.5)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int64(2)), 0);
+}
+
+TEST(ValueTest, CompareIntervals) {
+  EXPECT_LT(Value::Intv({1, 5}).Compare(Value::Intv({2, 3})), 0);
+  EXPECT_LT(Value::Intv({1, 3}).Compare(Value::Intv({1, 5})), 0);
+  EXPECT_EQ(Value::Intv({1, 5}).Compare(Value::Intv({1, 5})), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquals) {
+  EXPECT_EQ(Value::Int64(42).Hash(), Value::Int64(42).Hash());
+  EXPECT_EQ(Value::Int64(42).Hash(), Value::Double(42.0).Hash())
+      << "int-valued double must hash like the int for cross-type equality";
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_NE(Value::String("abc").Hash(), Value::String("abd").Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int64(7).ToString(), "7");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+  EXPECT_EQ(Value::Intv({1, 2}).ToString(), "[1, 2]");
+}
+
+TEST(ValueTypeTest, NamesRoundTrip) {
+  for (ValueType t : {ValueType::kBool, ValueType::kInt64,
+                      ValueType::kDouble, ValueType::kString,
+                      ValueType::kGeometry, ValueType::kInterval}) {
+    auto parsed = ValueTypeFromString(ValueTypeToString(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(ValueTypeFromString("frobnicator").ok());
+}
+
+TEST(ValueTypeTest, Aliases) {
+  EXPECT_EQ(*ValueTypeFromString("int"), ValueType::kInt64);
+  EXPECT_EQ(*ValueTypeFromString("float"), ValueType::kDouble);
+  EXPECT_EQ(*ValueTypeFromString("text"), ValueType::kString);
+  EXPECT_EQ(*ValueTypeFromString("boolean"), ValueType::kBool);
+}
+
+// ---------------------------------------------------------------- Schema
+
+Schema MakeSchema() {
+  Schema s;
+  s.AddField("id", ValueType::kInt64);
+  s.AddField("name", ValueType::kString);
+  s.AddField("score", ValueType::kDouble);
+  return s;
+}
+
+TEST(SchemaTest, IndexOfExactName) {
+  const Schema s = MakeSchema();
+  EXPECT_EQ(s.IndexOf("id"), 0);
+  EXPECT_EQ(s.IndexOf("score"), 2);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+}
+
+TEST(SchemaTest, ResolveReportsError) {
+  const Schema s = MakeSchema();
+  EXPECT_TRUE(s.Resolve("name").ok());
+  EXPECT_EQ(s.Resolve("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, WithAliasQualifiesNames) {
+  const Schema s = MakeSchema().WithAlias("t");
+  EXPECT_EQ(s.field(0).name, "t.id");
+  EXPECT_EQ(s.IndexOf("t.name"), 1);
+}
+
+TEST(SchemaTest, UnqualifiedLookupOfQualifiedField) {
+  const Schema s = MakeSchema().WithAlias("t");
+  EXPECT_EQ(s.IndexOf("score"), 2);
+}
+
+TEST(SchemaTest, AmbiguousUnqualifiedLookupFails) {
+  Schema joined = Schema::Concat(MakeSchema().WithAlias("a"),
+                                 MakeSchema().WithAlias("b"));
+  EXPECT_EQ(joined.IndexOf("id"), -1);  // a.id vs b.id is ambiguous
+  EXPECT_EQ(joined.IndexOf("a.id"), 0);
+  EXPECT_EQ(joined.IndexOf("b.id"), 3);
+}
+
+TEST(SchemaTest, ReAliasingReplacesQualifier) {
+  const Schema s = MakeSchema().WithAlias("a").WithAlias("b");
+  EXPECT_EQ(s.field(0).name, "b.id");
+}
+
+TEST(SchemaTest, ConcatPreservesOrder) {
+  const Schema c = Schema::Concat(MakeSchema(), MakeSchema().WithAlias("r"));
+  EXPECT_EQ(c.num_fields(), 6);
+  EXPECT_EQ(c.field(3).name, "r.id");
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  EXPECT_EQ(MakeSchema().ToString(),
+            "(id: int64, name: string, score: double)");
+}
+
+// ----------------------------------------------------------------- Tuple
+
+TEST(TupleTest, ConcatTuples) {
+  const Tuple a{Value::Int64(1), Value::String("x")};
+  const Tuple b{Value::Double(2.0)};
+  const Tuple c = ConcatTuples(a, b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[2].f64(), 2.0);
+}
+
+TEST(TupleTest, ToStringRendering) {
+  EXPECT_EQ(TupleToString({Value::Int64(1), Value::String("a")}), "(1, a)");
+}
+
+TEST(TupleTest, HashAndEqualityOnColumns) {
+  const Tuple a{Value::Int64(1), Value::String("x"), Value::Double(9)};
+  const Tuple b{Value::Int64(1), Value::String("y"), Value::Double(9)};
+  EXPECT_TRUE(TupleColumnsEqual(a, b, {0, 2}));
+  EXPECT_FALSE(TupleColumnsEqual(a, b, {1}));
+  EXPECT_EQ(HashTupleColumns(a, {0, 2}), HashTupleColumns(b, {0, 2}));
+}
+
+TEST(TupleTest, CompareWithDirections) {
+  const Tuple a{Value::Int64(1), Value::Int64(10)};
+  const Tuple b{Value::Int64(1), Value::Int64(20)};
+  EXPECT_LT(CompareTuples(a, b, {0, 1}, {true, true}), 0);
+  EXPECT_GT(CompareTuples(a, b, {0, 1}, {true, false}), 0);
+  EXPECT_EQ(CompareTuples(a, b, {0}, {true}), 0);
+}
+
+}  // namespace
+}  // namespace fudj
