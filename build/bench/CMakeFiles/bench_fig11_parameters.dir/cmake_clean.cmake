@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_parameters.dir/bench_fig11_parameters.cc.o"
+  "CMakeFiles/bench_fig11_parameters.dir/bench_fig11_parameters.cc.o.d"
+  "bench_fig11_parameters"
+  "bench_fig11_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_duplicates.dir/bench_fig12_duplicates.cc.o"
+  "CMakeFiles/bench_fig12_duplicates.dir/bench_fig12_duplicates.cc.o.d"
+  "bench_fig12_duplicates"
+  "bench_fig12_duplicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_duplicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_performance.dir/bench_fig9_performance.cc.o"
+  "CMakeFiles/bench_fig9_performance.dir/bench_fig9_performance.cc.o.d"
+  "bench_fig9_performance"
+  "bench_fig9_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_productivity.dir/bench_table2_productivity.cc.o"
+  "CMakeFiles/bench_table2_productivity.dir/bench_table2_productivity.cc.o.d"
+  "bench_table2_productivity"
+  "bench_table2_productivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_productivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_join.dir/custom_join.cpp.o"
+  "CMakeFiles/custom_join.dir/custom_join.cpp.o.d"
+  "custom_join"
+  "custom_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/review_similarity.dir/review_similarity.cpp.o"
+  "CMakeFiles/review_similarity.dir/review_similarity.cpp.o.d"
+  "review_similarity"
+  "review_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/review_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

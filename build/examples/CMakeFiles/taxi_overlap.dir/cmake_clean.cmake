@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_overlap.dir/taxi_overlap.cpp.o"
+  "CMakeFiles/taxi_overlap.dir/taxi_overlap.cpp.o.d"
+  "taxi_overlap"
+  "taxi_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

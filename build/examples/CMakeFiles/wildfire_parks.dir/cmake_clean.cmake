@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wildfire_parks.dir/wildfire_parks.cpp.o"
+  "CMakeFiles/wildfire_parks.dir/wildfire_parks.cpp.o.d"
+  "wildfire_parks"
+  "wildfire_parks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wildfire_parks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wildfire_parks.
+# This may be replaced when dependencies are built.

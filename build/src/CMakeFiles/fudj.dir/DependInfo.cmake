@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/builtin/builtin_interval.cc" "src/CMakeFiles/fudj.dir/builtin/builtin_interval.cc.o" "gcc" "src/CMakeFiles/fudj.dir/builtin/builtin_interval.cc.o.d"
+  "/root/repo/src/builtin/builtin_rules.cc" "src/CMakeFiles/fudj.dir/builtin/builtin_rules.cc.o" "gcc" "src/CMakeFiles/fudj.dir/builtin/builtin_rules.cc.o.d"
+  "/root/repo/src/builtin/builtin_spatial.cc" "src/CMakeFiles/fudj.dir/builtin/builtin_spatial.cc.o" "gcc" "src/CMakeFiles/fudj.dir/builtin/builtin_spatial.cc.o.d"
+  "/root/repo/src/builtin/builtin_textsim.cc" "src/CMakeFiles/fudj.dir/builtin/builtin_textsim.cc.o" "gcc" "src/CMakeFiles/fudj.dir/builtin/builtin_textsim.cc.o.d"
+  "/root/repo/src/builtin/interval_rule.cc" "src/CMakeFiles/fudj.dir/builtin/interval_rule.cc.o" "gcc" "src/CMakeFiles/fudj.dir/builtin/interval_rule.cc.o.d"
+  "/root/repo/src/builtin/ontop_nlj.cc" "src/CMakeFiles/fudj.dir/builtin/ontop_nlj.cc.o" "gcc" "src/CMakeFiles/fudj.dir/builtin/ontop_nlj.cc.o.d"
+  "/root/repo/src/builtin/spatial_rule.cc" "src/CMakeFiles/fudj.dir/builtin/spatial_rule.cc.o" "gcc" "src/CMakeFiles/fudj.dir/builtin/spatial_rule.cc.o.d"
+  "/root/repo/src/builtin/textsim_rule.cc" "src/CMakeFiles/fudj.dir/builtin/textsim_rule.cc.o" "gcc" "src/CMakeFiles/fudj.dir/builtin/textsim_rule.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/fudj.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/fudj.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/fudj.dir/common/random.cc.o" "gcc" "src/CMakeFiles/fudj.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/fudj.dir/common/status.cc.o" "gcc" "src/CMakeFiles/fudj.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/fudj.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/fudj.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/datagen/datagen.cc" "src/CMakeFiles/fudj.dir/datagen/datagen.cc.o" "gcc" "src/CMakeFiles/fudj.dir/datagen/datagen.cc.o.d"
+  "/root/repo/src/engine/cluster.cc" "src/CMakeFiles/fudj.dir/engine/cluster.cc.o" "gcc" "src/CMakeFiles/fudj.dir/engine/cluster.cc.o.d"
+  "/root/repo/src/engine/exchange.cc" "src/CMakeFiles/fudj.dir/engine/exchange.cc.o" "gcc" "src/CMakeFiles/fudj.dir/engine/exchange.cc.o.d"
+  "/root/repo/src/engine/operators.cc" "src/CMakeFiles/fudj.dir/engine/operators.cc.o" "gcc" "src/CMakeFiles/fudj.dir/engine/operators.cc.o.d"
+  "/root/repo/src/engine/relation.cc" "src/CMakeFiles/fudj.dir/engine/relation.cc.o" "gcc" "src/CMakeFiles/fudj.dir/engine/relation.cc.o.d"
+  "/root/repo/src/engine/stats.cc" "src/CMakeFiles/fudj.dir/engine/stats.cc.o" "gcc" "src/CMakeFiles/fudj.dir/engine/stats.cc.o.d"
+  "/root/repo/src/fudj/flexible_join.cc" "src/CMakeFiles/fudj.dir/fudj/flexible_join.cc.o" "gcc" "src/CMakeFiles/fudj.dir/fudj/flexible_join.cc.o.d"
+  "/root/repo/src/fudj/join_registry.cc" "src/CMakeFiles/fudj.dir/fudj/join_registry.cc.o" "gcc" "src/CMakeFiles/fudj.dir/fudj/join_registry.cc.o.d"
+  "/root/repo/src/fudj/runtime.cc" "src/CMakeFiles/fudj.dir/fudj/runtime.cc.o" "gcc" "src/CMakeFiles/fudj.dir/fudj/runtime.cc.o.d"
+  "/root/repo/src/geometry/geometry.cc" "src/CMakeFiles/fudj.dir/geometry/geometry.cc.o" "gcc" "src/CMakeFiles/fudj.dir/geometry/geometry.cc.o.d"
+  "/root/repo/src/geometry/grid.cc" "src/CMakeFiles/fudj.dir/geometry/grid.cc.o" "gcc" "src/CMakeFiles/fudj.dir/geometry/grid.cc.o.d"
+  "/root/repo/src/geometry/plane_sweep.cc" "src/CMakeFiles/fudj.dir/geometry/plane_sweep.cc.o" "gcc" "src/CMakeFiles/fudj.dir/geometry/plane_sweep.cc.o.d"
+  "/root/repo/src/interval/interval.cc" "src/CMakeFiles/fudj.dir/interval/interval.cc.o" "gcc" "src/CMakeFiles/fudj.dir/interval/interval.cc.o.d"
+  "/root/repo/src/joins/bundled.cc" "src/CMakeFiles/fudj.dir/joins/bundled.cc.o" "gcc" "src/CMakeFiles/fudj.dir/joins/bundled.cc.o.d"
+  "/root/repo/src/joins/distance_fudj.cc" "src/CMakeFiles/fudj.dir/joins/distance_fudj.cc.o" "gcc" "src/CMakeFiles/fudj.dir/joins/distance_fudj.cc.o.d"
+  "/root/repo/src/joins/interval_fudj.cc" "src/CMakeFiles/fudj.dir/joins/interval_fudj.cc.o" "gcc" "src/CMakeFiles/fudj.dir/joins/interval_fudj.cc.o.d"
+  "/root/repo/src/joins/spatial_auto_fudj.cc" "src/CMakeFiles/fudj.dir/joins/spatial_auto_fudj.cc.o" "gcc" "src/CMakeFiles/fudj.dir/joins/spatial_auto_fudj.cc.o.d"
+  "/root/repo/src/joins/spatial_distance_fudj.cc" "src/CMakeFiles/fudj.dir/joins/spatial_distance_fudj.cc.o" "gcc" "src/CMakeFiles/fudj.dir/joins/spatial_distance_fudj.cc.o.d"
+  "/root/repo/src/joins/spatial_fudj.cc" "src/CMakeFiles/fudj.dir/joins/spatial_fudj.cc.o" "gcc" "src/CMakeFiles/fudj.dir/joins/spatial_fudj.cc.o.d"
+  "/root/repo/src/joins/textsim_fudj.cc" "src/CMakeFiles/fudj.dir/joins/textsim_fudj.cc.o" "gcc" "src/CMakeFiles/fudj.dir/joins/textsim_fudj.cc.o.d"
+  "/root/repo/src/optimizer/expr.cc" "src/CMakeFiles/fudj.dir/optimizer/expr.cc.o" "gcc" "src/CMakeFiles/fudj.dir/optimizer/expr.cc.o.d"
+  "/root/repo/src/optimizer/functions.cc" "src/CMakeFiles/fudj.dir/optimizer/functions.cc.o" "gcc" "src/CMakeFiles/fudj.dir/optimizer/functions.cc.o.d"
+  "/root/repo/src/optimizer/logical_plan.cc" "src/CMakeFiles/fudj.dir/optimizer/logical_plan.cc.o" "gcc" "src/CMakeFiles/fudj.dir/optimizer/logical_plan.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/fudj.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/fudj.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/physical_plan.cc" "src/CMakeFiles/fudj.dir/optimizer/physical_plan.cc.o" "gcc" "src/CMakeFiles/fudj.dir/optimizer/physical_plan.cc.o.d"
+  "/root/repo/src/serde/buffer.cc" "src/CMakeFiles/fudj.dir/serde/buffer.cc.o" "gcc" "src/CMakeFiles/fudj.dir/serde/buffer.cc.o.d"
+  "/root/repo/src/serde/serde.cc" "src/CMakeFiles/fudj.dir/serde/serde.cc.o" "gcc" "src/CMakeFiles/fudj.dir/serde/serde.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/fudj.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/fudj.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/fudj.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/fudj.dir/sql/parser.cc.o.d"
+  "/root/repo/src/text/jaccard.cc" "src/CMakeFiles/fudj.dir/text/jaccard.cc.o" "gcc" "src/CMakeFiles/fudj.dir/text/jaccard.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/fudj.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/fudj.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/fudj.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/fudj.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/tuple.cc" "src/CMakeFiles/fudj.dir/types/tuple.cc.o" "gcc" "src/CMakeFiles/fudj.dir/types/tuple.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/fudj.dir/types/value.cc.o" "gcc" "src/CMakeFiles/fudj.dir/types/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builtin_test.dir/builtin_test.cc.o"
+  "CMakeFiles/builtin_test.dir/builtin_test.cc.o.d"
+  "builtin_test"
+  "builtin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builtin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_test.dir/e2e_test.cc.o"
+  "CMakeFiles/e2e_test.dir/e2e_test.cc.o.d"
+  "e2e_test"
+  "e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fudj_core_test.dir/fudj_core_test.cc.o"
+  "CMakeFiles/fudj_core_test.dir/fudj_core_test.cc.o.d"
+  "fudj_core_test"
+  "fudj_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fudj_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

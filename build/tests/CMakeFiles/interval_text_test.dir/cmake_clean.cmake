@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_text_test.dir/interval_text_test.cc.o"
+  "CMakeFiles/interval_text_test.dir/interval_text_test.cc.o.d"
+  "interval_text_test"
+  "interval_text_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

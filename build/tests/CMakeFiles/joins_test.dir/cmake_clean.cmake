@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joins_test.dir/joins_test.cc.o"
+  "CMakeFiles/joins_test.dir/joins_test.cc.o.d"
+  "joins_test"
+  "joins_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/types_test.dir/types_test.cc.o"
+  "CMakeFiles/types_test.dir/types_test.cc.o.d"
+  "types_test"
+  "types_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
