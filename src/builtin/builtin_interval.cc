@@ -17,22 +17,26 @@ struct MinMax {
   int64_t max_end = INT64_MIN;
 };
 
-MinMax ComputeMinMax(Cluster* cluster, const PartitionedRelation& rel,
-                     int key_col, ExecStats* stats, const char* label) {
+Result<MinMax> ComputeMinMax(Cluster* cluster, const PartitionedRelation& rel,
+                             int key_col, ExecStats* stats,
+                             const char* label) {
   std::vector<MinMax> partials(rel.num_partitions());
-  cluster->RunStage(
+  FUDJ_RETURN_NOT_OK(cluster->RunStage(
       label,
-      [&](int p) {
-        if (p >= rel.num_partitions()) return;
-        auto rows = rel.Materialize(p);
-        if (!rows.ok()) return;
-        for (const Tuple& t : *rows) {
+      [&](int p) -> Status {
+        if (p >= rel.num_partitions()) return Status::OK();
+        FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> rows,
+                              rel.Materialize(p));
+        MinMax local;  // accumulate locally, assign once: idempotent retry
+        for (const Tuple& t : rows) {
           const Interval& iv = t[key_col].interval();
-          partials[p].min_start = std::min(partials[p].min_start, iv.start);
-          partials[p].max_end = std::max(partials[p].max_end, iv.end);
+          local.min_start = std::min(local.min_start, iv.start);
+          local.max_end = std::max(local.max_end, iv.end);
         }
+        partials[p] = local;
+        return Status::OK();
       },
-      stats);
+      stats));
   MinMax global;
   for (const MinMax& m : partials) {
     global.min_start = std::min(global.min_start, m.min_start);
@@ -90,10 +94,12 @@ Result<PartitionedRelation> BuiltinIntervalJoin(
     Cluster* cluster, const PartitionedRelation& left, int left_key,
     const PartitionedRelation& right, int right_key,
     const BuiltinIntervalOptions& options, ExecStats* stats) {
-  const MinMax l = ComputeMinMax(cluster, left, left_key, stats,
-                                 "builtin-minmax-L");
-  const MinMax r = ComputeMinMax(cluster, right, right_key, stats,
-                                 "builtin-minmax-R");
+  FUDJ_ASSIGN_OR_RETURN(const MinMax l,
+                        ComputeMinMax(cluster, left, left_key, stats,
+                                      "builtin-minmax-L"));
+  FUDJ_ASSIGN_OR_RETURN(const MinMax r,
+                        ComputeMinMax(cluster, right, right_key, stats,
+                                      "builtin-minmax-R"));
   Granules granules;
   granules.min_start = std::min(l.min_start, r.min_start);
   const int64_t max_end = std::max(l.max_end, r.max_end);

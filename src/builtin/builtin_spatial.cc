@@ -1,6 +1,5 @@
 #include "builtin/builtin_spatial.h"
 
-#include <atomic>
 #include <unordered_map>
 
 #include "common/hash.h"
@@ -17,20 +16,21 @@ namespace {
 /// Summaries are 4 doubles; the coordinator gather is charged like the
 /// FUDJ path so the comparison isolates framework overhead, not model
 /// differences.
-Rect ComputeMbr(Cluster* cluster, const PartitionedRelation& rel,
-                int key_col, ExecStats* stats, const char* label) {
+Result<Rect> ComputeMbr(Cluster* cluster, const PartitionedRelation& rel,
+                        int key_col, ExecStats* stats, const char* label) {
   std::vector<Rect> partials(rel.num_partitions());
-  cluster->RunStage(
+  FUDJ_RETURN_NOT_OK(cluster->RunStage(
       label,
-      [&](int p) {
-        if (p >= rel.num_partitions()) return;
-        auto rows = rel.Materialize(p);
-        if (!rows.ok()) return;
+      [&](int p) -> Status {
+        if (p >= rel.num_partitions()) return Status::OK();
+        FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> rows,
+                              rel.Materialize(p));
         Rect mbr;
-        for (const Tuple& t : *rows) mbr.Expand(t[key_col].geometry().Mbr());
-        partials[p] = mbr;
+        for (const Tuple& t : rows) mbr.Expand(t[key_col].geometry().Mbr());
+        partials[p] = mbr;  // plain assignment: idempotent under retry
+        return Status::OK();
       },
-      stats);
+      stats));
   Rect global;
   for (const Rect& r : partials) global.Expand(r);
   cluster->ChargeNetwork(label, 33 * (rel.num_partitions() - 1),
@@ -89,10 +89,11 @@ Result<PartitionedRelation> BuiltinSpatialJoin(
     const PartitionedRelation& right, int right_key,
     const BuiltinSpatialOptions& options, ExecStats* stats) {
   // SUMMARIZE + DIVIDE, fused.
-  const Rect l_mbr = ComputeMbr(cluster, left, left_key, stats,
-                                "builtin-mbr-L");
-  const Rect r_mbr = ComputeMbr(cluster, right, right_key, stats,
-                                "builtin-mbr-R");
+  FUDJ_ASSIGN_OR_RETURN(const Rect l_mbr, ComputeMbr(cluster, left, left_key,
+                                                     stats, "builtin-mbr-L"));
+  FUDJ_ASSIGN_OR_RETURN(const Rect r_mbr,
+                        ComputeMbr(cluster, right, right_key, stats,
+                                   "builtin-mbr-R"));
   const UniformGrid grid(l_mbr.Intersection(r_mbr),
                          options.grid_n < 1 ? 1 : options.grid_n);
 

@@ -16,27 +16,29 @@ namespace {
 
 /// Fused global token ranking: count tokens on every partition of both
 /// inputs, merge on the coordinator, rank ascending by count.
-std::unordered_map<std::string, int32_t> ComputeTokenRanks(
+Result<std::unordered_map<std::string, int32_t>> ComputeTokenRanks(
     Cluster* cluster, const PartitionedRelation& left, int left_key,
     const PartitionedRelation& right, int right_key, ExecStats* stats) {
-  auto count_side = [&](const PartitionedRelation& rel, int key,
-                        const char* label,
-                        std::unordered_map<std::string, int64_t>* counts) {
+  auto count_side =
+      [&](const PartitionedRelation& rel, int key, const char* label,
+          std::unordered_map<std::string, int64_t>* counts) -> Status {
     std::vector<std::unordered_map<std::string, int64_t>> partials(
         rel.num_partitions());
-    cluster->RunStage(
+    FUDJ_RETURN_NOT_OK(cluster->RunStage(
         label,
-        [&](int p) {
-          if (p >= rel.num_partitions()) return;
-          auto rows = rel.Materialize(p);
-          if (!rows.ok()) return;
-          for (const Tuple& t : *rows) {
+        [&](int p) -> Status {
+          if (p >= rel.num_partitions()) return Status::OK();
+          partials[p].clear();  // a retried partition recounts from scratch
+          FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> rows,
+                                rel.Materialize(p));
+          for (const Tuple& t : rows) {
             for (const std::string& token : Tokenize(t[key].str())) {
               ++partials[p][token];
             }
           }
+          return Status::OK();
         },
-        stats);
+        stats));
     int64_t bytes = 0;
     for (int p = 0; p < rel.num_partitions(); ++p) {
       for (const auto& [token, c] : partials[p]) {
@@ -45,11 +47,13 @@ std::unordered_map<std::string, int32_t> ComputeTokenRanks(
       }
     }
     cluster->ChargeNetwork(label, bytes, rel.num_partitions() - 1, stats);
+    return Status::OK();
   };
   std::unordered_map<std::string, int64_t> counts;
-  count_side(left, left_key, "builtin-count-L", &counts);
+  FUDJ_RETURN_NOT_OK(count_side(left, left_key, "builtin-count-L", &counts));
   if (&left != &right) {
-    count_side(right, right_key, "builtin-count-R", &counts);
+    FUDJ_RETURN_NOT_OK(
+        count_side(right, right_key, "builtin-count-R", &counts));
   }
   std::vector<std::pair<std::string, int64_t>> by_count(counts.begin(),
                                                         counts.end());
@@ -181,8 +185,11 @@ Result<PartitionedRelation> BuiltinTextSimJoin(
     Cluster* cluster, const PartitionedRelation& left, int left_key,
     const PartitionedRelation& right, int right_key,
     const BuiltinTextSimOptions& options, ExecStats* stats) {
-  const std::unordered_map<std::string, int32_t> ranks =
+  auto ranks_or =
       ComputeTokenRanks(cluster, left, left_key, right, right_key, stats);
+  if (!ranks_or.ok()) return ranks_or.status();
+  const std::unordered_map<std::string, int32_t> ranks =
+      std::move(ranks_or).value();
 
   FUDJ_ASSIGN_OR_RETURN(
       PartitionedRelation l_tagged,

@@ -24,6 +24,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "TypeError";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

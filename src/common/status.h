@@ -1,6 +1,7 @@
 #ifndef FUDJ_COMMON_STATUS_H_
 #define FUDJ_COMMON_STATUS_H_
 
+#include <exception>
 #include <string>
 #include <utility>
 
@@ -18,6 +19,12 @@ enum class StatusCode {
   kParseError,
   kTypeError,
   kTimeout,
+  /// A worker (or an injected fault standing in for one) made the
+  /// operation transiently impossible; retrying may succeed.
+  kUnavailable,
+  /// The operation was abandoned before completion (e.g. remaining
+  /// retry attempts after a stage permanently failed).
+  kCancelled,
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -62,6 +69,12 @@ class Status {
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -77,6 +90,25 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+};
+
+/// Exception carrier for a `Status`: used where an error must cross a
+/// callback boundary whose signature cannot return Status (user-defined
+/// join callbacks, stage task functions). `Cluster::RunStage` catches it
+/// at the task boundary and converts it back into the partition's Status,
+/// so a StatusError never escapes the engine.
+class StatusError : public std::exception {
+ public:
+  explicit StatusError(Status status) : status_(std::move(status)) {
+    what_ = status_.ToString();
+  }
+
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  Status status_;
+  std::string what_;
 };
 
 /// Propagates a non-OK `Status` out of the enclosing function.

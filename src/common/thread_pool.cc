@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include <utility>
+
 namespace fudj {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -30,6 +32,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr e = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
@@ -55,7 +62,16 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    // A throwing task must not reach std::terminate: stash the first
+    // exception for WaitIdle to rethrow, keep the worker alive.
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_exception_ == nullptr) {
+        first_exception_ = std::current_exception();
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -23,13 +24,18 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution. A task that throws does
+  /// NOT take the process down: the worker catches the exception and the
+  /// first one is rethrown from the next `WaitIdle`/`ParallelFor`.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. If any task threw
+  /// since the last call, rethrows the first captured exception (the pool
+  /// remains usable afterwards).
   void WaitIdle();
 
-  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for
+  /// completion. Rethrows the first exception thrown by any `fn(i)`.
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
@@ -44,6 +50,7 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   int active_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr first_exception_;
 };
 
 }  // namespace fudj

@@ -1,6 +1,9 @@
 #include "engine/cluster.h"
 
+#include <algorithm>
+#include <numeric>
 #include <thread>
+#include <utility>
 
 #include "common/stopwatch.h"
 
@@ -14,31 +17,110 @@ Cluster::Cluster(int num_workers, bool use_threads)
   }
 }
 
-void Cluster::RunStage(const std::string& name,
-                       const std::function<void(int)>& fn, ExecStats* stats,
-                       int64_t rows_out) {
+Cluster::~Cluster() = default;
+
+void Cluster::EnableFaultInjection(const FaultConfig& config) {
+  injector_ = std::make_unique<FaultInjector>(config);
+}
+
+void Cluster::ClearFaultInjection() { injector_.reset(); }
+
+Status Cluster::RunStage(const std::string& name,
+                         const std::function<Status(int)>& fn,
+                         ExecStats* stats, int64_t rows_out) {
   std::vector<double> partition_ms(num_workers_, 0.0);
   Stopwatch wall;
-  auto run_one = [&](int p) {
-    Stopwatch sw;
-    fn(p);
-    partition_ms[p] = sw.ElapsedMillis();
-  };
-  if (pool_) {
-    pool_->ParallelFor(num_workers_, run_one);
-  } else {
-    for (int p = 0; p < num_workers_; ++p) run_one(p);
+  StageFaultStats faults;
+  Status first_error;
+
+  std::vector<int> pending(num_workers_);
+  std::iota(pending.begin(), pending.end(), 0);
+  const int max_attempts = std::max(1, retry_.max_attempts);
+
+  for (int attempt = 0; attempt < max_attempts && !pending.empty();
+       ++attempt) {
+    faults.attempts = attempt + 1;
+    if (attempt > 0) {
+      // Backoff before a retry round, charged to the simulated clock.
+      faults.recovery_ms += retry_.BackoffMs(attempt - 1);
+      faults.retried_partitions += static_cast<int>(pending.size());
+    }
+    const int n = static_cast<int>(pending.size());
+    std::vector<Status> outcome(n);
+    std::vector<double> busy(n, 0.0);
+    auto run_one = [&](int i) {
+      const int p = pending[i];
+      FaultInjector::TaskScope scope(injector_.get(), name, p, attempt);
+      Stopwatch sw;
+      Status st;
+      try {
+        if (injector_ != nullptr) injector_->MaybeCrashPartition();
+        st = fn(p);
+      } catch (const StatusError& e) {
+        st = e.status();
+      } catch (const std::exception& e) {
+        st = Status::Internal(std::string("stage task threw: ") + e.what());
+      } catch (...) {
+        st = Status::Internal("stage task threw a non-standard exception");
+      }
+      double ms = sw.ElapsedMillis();
+      if (injector_ != nullptr) ms += injector_->InjectedStragglerMs();
+      if (st.ok() && retry_.partition_deadline_ms > 0.0 &&
+          ms > retry_.partition_deadline_ms) {
+        st = Status::Timeout("partition " + std::to_string(p) +
+                             " exceeded the " +
+                             std::to_string(retry_.partition_deadline_ms) +
+                             " ms deadline");
+      }
+      busy[i] = ms;
+      outcome[i] = std::move(st);
+    };
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(n, run_one);
+    } else {
+      for (int i = 0; i < n; ++i) run_one(i);
+    }
+
+    std::vector<int> still_failed;
+    for (int i = 0; i < n; ++i) {
+      if (outcome[i].ok()) {
+        partition_ms[pending[i]] = busy[i];
+      } else {
+        // The failed attempt's busy time is lost work: it delays the
+        // stage but produces nothing.
+        faults.recovery_ms += busy[i];
+        if (first_error.ok()) first_error = outcome[i];
+        still_failed.push_back(pending[i]);
+      }
+    }
+    pending.swap(still_failed);
   }
+
   if (stats != nullptr) {
-    stats->AddStage(name, partition_ms, rows_out);
+    stats->AddStage(name, partition_ms, rows_out, faults);
     stats->add_wall_ms(wall.ElapsedMillis());
   }
+  if (!pending.empty()) {
+    return Status(first_error.code(),
+                  "stage '" + name + "' failed (" +
+                      std::to_string(pending.size()) + " partition(s), " +
+                      std::to_string(faults.attempts) + " attempt(s)): " +
+                      first_error.message());
+  }
+  return Status::OK();
 }
 
 void Cluster::ChargeNetwork(const std::string& name, int64_t bytes,
                             int64_t messages, ExecStats* stats) {
+  int64_t retransmits = 0;
+  if (injector_ != nullptr && messages > 0) {
+    for (int64_t m = 0; m < messages; ++m) {
+      if (injector_->ShouldDropMessage(name, m)) ++retransmits;
+    }
+  }
   if (stats != nullptr) {
-    stats->AddNetwork(name, bytes, messages, num_workers_, cost_);
+    stats->AddNetwork(name, bytes, messages, num_workers_, cost_,
+                      retransmits);
   }
 }
 

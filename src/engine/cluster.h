@@ -6,7 +6,10 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
+#include "engine/fault_injector.h"
+#include "engine/retry_policy.h"
 #include "engine/stats.h"
 
 namespace fudj {
@@ -20,29 +23,58 @@ namespace fudj {
 /// reproduces the paper's multi-node scalability shapes. Partition work
 /// can optionally execute on a thread pool; timing is taken inside the
 /// task, so concurrency does not distort per-partition busy time.
+///
+/// Fault tolerance: a partition task may fail (non-OK Status, thrown
+/// exception, injected crash, or deadline overrun). RunStage collects
+/// per-partition outcomes and re-executes only the failed partitions
+/// according to the cluster's RetryPolicy, charging failed-attempt busy
+/// time and retry backoff to the simulated clock as `recovery_ms`. An
+/// optional seeded FaultInjector makes worker crashes, stragglers,
+/// dropped shuffle messages, and throwing UDJ callbacks reproducible.
 class Cluster {
  public:
   /// `num_workers` >= 1. `use_threads` enables concurrent partition
   /// execution via an internal pool of `hardware_concurrency` threads.
   explicit Cluster(int num_workers, bool use_threads = false);
+  ~Cluster();
 
   int num_workers() const { return num_workers_; }
   const CostModelConfig& cost_model() const { return cost_; }
   CostModelConfig* mutable_cost_model() { return &cost_; }
 
+  const RetryPolicy& retry_policy() const { return retry_; }
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
+  /// Installs a seeded fault injector (replaces any previous one); pass
+  /// a default-constructed FaultConfig via `ClearFaultInjection` to turn
+  /// injection off.
+  void EnableFaultInjection(const FaultConfig& config);
+  void ClearFaultInjection();
+  /// May be null (no injection).
+  const FaultInjector* fault_injector() const { return injector_.get(); }
+
   /// Runs `fn(p)` for each partition p, timing each; appends a stage named
   /// `name` to `stats` (when non-null) with `rows_out` output rows.
-  void RunStage(const std::string& name,
-                const std::function<void(int)>& fn, ExecStats* stats,
-                int64_t rows_out = 0);
+  ///
+  /// `fn` must be *idempotent per partition*: a failed partition is
+  /// re-executed from scratch, so the task must reset any output slot it
+  /// owns before writing. Returns the first partition error when any
+  /// partition is still failing after the retry budget; the stage (with
+  /// its recovery accounting) is recorded in `stats` either way.
+  Status RunStage(const std::string& name,
+                  const std::function<Status(int)>& fn, ExecStats* stats,
+                  int64_t rows_out = 0);
 
   /// Charges `bytes`/`messages` of shuffle traffic to stage `name`.
+  /// Injected message drops are retransmitted (charged as extra traffic).
   void ChargeNetwork(const std::string& name, int64_t bytes,
                      int64_t messages, ExecStats* stats);
 
  private:
   int num_workers_;
   CostModelConfig cost_;
+  RetryPolicy retry_;
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -1,7 +1,5 @@
 #include "engine/exchange.h"
 
-#include <atomic>
-
 #include "common/status.h"
 
 namespace fudj {
@@ -25,19 +23,21 @@ Result<PartitionedRelation> Route(
       p_in, std::vector<ByteWriter>(p_out));
   std::vector<std::vector<int64_t>> outbound_counts(
       p_in, std::vector<int64_t>(p_out, 0));
-  std::atomic<bool> failed{false};
-  cluster->RunStage(
+  FUDJ_RETURN_NOT_OK(cluster->RunStage(
       stage_name,
-      [&](int p) {
-        if (p >= p_in) return;
-        auto rows = in.Materialize(p);
-        if (!rows.ok()) {
-          failed.store(true);
-          return;
+      [&](int p) -> Status {
+        if (p >= p_in) return Status::OK();
+        // Reset this source partition's outbound buffers: a retried
+        // partition re-serializes from scratch.
+        for (int d = 0; d < p_out; ++d) {
+          outbound[p][d].Clear();
+          outbound_counts[p][d] = 0;
         }
+        FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> rows,
+                              in.Materialize(p));
         std::vector<int> targets;
         int64_t seq = 0;
-        for (const Tuple& t : *rows) {
+        for (const Tuple& t : rows) {
           targets.clear();
           route(t, seq++, &targets);
           for (int d : targets) {
@@ -45,9 +45,9 @@ Result<PartitionedRelation> Route(
             ++outbound_counts[p][d];
           }
         }
+        return Status::OK();
       },
-      stats);
-  if (failed.load()) return Status::Internal("exchange: bad partition data");
+      stats));
 
   // Phase 2: merge inbound buffers; count cross-worker traffic.
   PartitionedRelation out(in.schema(), p_out);

@@ -1,0 +1,102 @@
+#include "engine/fault_injector.h"
+
+#include "common/hash.h"
+
+namespace fudj {
+
+namespace {
+
+/// Per-thread coordinates of the partition task currently executing.
+struct TaskContext {
+  const FaultInjector* injector = nullptr;
+  uint64_t stage_hash = 0;
+  int partition = -1;
+  int attempt = 0;
+};
+
+thread_local TaskContext t_ctx;
+
+/// Distinct streams so the same (stage, partition, attempt) draws
+/// independently per fault kind.
+enum FaultKind : uint64_t {
+  kKindCrash = 0x63726173u,      // "cras"
+  kKindStraggler = 0x736c6f77u,  // "slow"
+  kKindUdjThrow = 0x75646a74u,   // "udjt"
+  kKindDrop = 0x64726f70u,       // "drop"
+};
+
+}  // namespace
+
+FaultInjector::TaskScope::TaskScope(const FaultInjector* injector,
+                                    const std::string& stage, int partition,
+                                    int attempt) {
+  if (injector == nullptr) return;
+  t_ctx.injector = injector;
+  t_ctx.stage_hash = HashString(stage);
+  t_ctx.partition = partition;
+  t_ctx.attempt = attempt;
+  armed_ = true;
+}
+
+FaultInjector::TaskScope::~TaskScope() {
+  if (armed_) t_ctx = TaskContext{};
+}
+
+double FaultInjector::Draw(uint64_t kind, uint64_t stream, int partition,
+                           int attempt) const {
+  uint64_t h = HashCombine(config_.seed ^ kind, stream);
+  h = HashCombine(h, Mix64(static_cast<uint64_t>(partition + 1)));
+  h = HashCombine(h, Mix64(static_cast<uint64_t>(attempt + 1)));
+  // Top 53 bits -> uniform double in [0, 1).
+  return static_cast<double>(Mix64(h) >> 11) * 0x1.0p-53;
+}
+
+void FaultInjector::MaybeCrashPartition() const {
+  if (config_.crash_partition_prob <= 0.0 || t_ctx.injector != this) return;
+  if (Draw(kKindCrash, t_ctx.stage_hash, t_ctx.partition, t_ctx.attempt) <
+      config_.crash_partition_prob) {
+    crashes_.fetch_add(1, std::memory_order_relaxed);
+    throw StatusError(Status::Unavailable(
+        "injected worker crash (partition " +
+        std::to_string(t_ctx.partition) + ", attempt " +
+        std::to_string(t_ctx.attempt + 1) + ")"));
+  }
+}
+
+double FaultInjector::InjectedStragglerMs() const {
+  if (config_.straggler_prob <= 0.0 || t_ctx.injector != this) return 0.0;
+  if (Draw(kKindStraggler, t_ctx.stage_hash, t_ctx.partition,
+           t_ctx.attempt) < config_.straggler_prob) {
+    stragglers_.fetch_add(1, std::memory_order_relaxed);
+    return config_.straggler_ms;
+  }
+  return 0.0;
+}
+
+void FaultInjector::MaybeThrowInCallback(const char* site) const {
+  if (config_.udj_throw_prob <= 0.0 || t_ctx.injector != this) return;
+  // One draw per (site, task attempt): if it fires, the first use of the
+  // callback in that partition attempt throws and the task aborts.
+  const uint64_t stream =
+      HashCombine(t_ctx.stage_hash, HashString(site));
+  if (Draw(kKindUdjThrow, stream, t_ctx.partition, t_ctx.attempt) <
+      config_.udj_throw_prob) {
+    udj_throws_.fetch_add(1, std::memory_order_relaxed);
+    throw StatusError(Status::Unavailable(
+        std::string("injected exception in UDJ callback '") + site + "'"));
+  }
+}
+
+bool FaultInjector::ShouldDropMessage(const std::string& stage,
+                                      int64_t message_index) const {
+  if (config_.drop_message_prob <= 0.0) return false;
+  if (Draw(kKindDrop, HashString(stage),
+           static_cast<int>(message_index & 0x7fffffff), 0) <
+      config_.drop_message_prob) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace fudj

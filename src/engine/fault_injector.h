@@ -1,0 +1,109 @@
+#ifndef FUDJ_ENGINE_FAULT_INJECTOR_H_
+#define FUDJ_ENGINE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace fudj {
+
+/// Which fault sites fire and how often. All probabilities are per
+/// decision point (per partition-attempt for crash/straggler/UDJ-throw,
+/// per shuffled message for drops).
+struct FaultConfig {
+  /// Seed of the deterministic decision function; the same seed + the
+  /// same query replays the exact same faults regardless of thread
+  /// scheduling.
+  uint64_t seed = 0;
+  /// A partition task aborts mid-stage (worker crash); surfaces as
+  /// kUnavailable and is retried by the RetryPolicy.
+  double crash_partition_prob = 0.0;
+  /// A partition runs slow: `straggler_ms` of extra *simulated* busy time
+  /// is charged to the task. Combined with a partition deadline this
+  /// turns the task into a kTimeout retry; without one it only skews the
+  /// stage makespan (classic straggler).
+  double straggler_prob = 0.0;
+  double straggler_ms = 25.0;
+  /// A shuffled network message is dropped and must be retransmitted;
+  /// charged as extra bytes/messages to the network cost model.
+  double drop_message_prob = 0.0;
+  /// A user-defined join callback throws (exercises the
+  /// SandboxedFlexibleJoin error path); surfaces as kUnavailable.
+  double udj_throw_prob = 0.0;
+};
+
+/// Deterministic, seedable fault source for the simulated cluster.
+///
+/// Decisions are pure functions of (seed, fault kind, stage name,
+/// partition, attempt): no mutable RNG state is consumed, so concurrent
+/// partition tasks draw identical faults run-to-run and a retried attempt
+/// (attempt+1) re-draws independently — exactly how a real cluster's
+/// transient faults behave, minus the nondeterminism.
+///
+/// `Cluster::RunStage` opens a `TaskScope` around every partition attempt;
+/// the scope parks the task's coordinates in a thread-local so that fault
+/// sites deep inside user callbacks (via SandboxedFlexibleJoin) need no
+/// plumbing. Sites consulted while no scope is active never fire.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config) : config_(config) {}
+
+  /// RAII marker: "the current thread is executing partition `partition`
+  /// of stage `stage`, attempt `attempt`". Passing a null injector is
+  /// allowed and makes the scope a no-op.
+  class TaskScope {
+   public:
+    TaskScope(const FaultInjector* injector, const std::string& stage,
+              int partition, int attempt);
+    ~TaskScope();
+
+    TaskScope(const TaskScope&) = delete;
+    TaskScope& operator=(const TaskScope&) = delete;
+
+   private:
+    bool armed_ = false;
+  };
+
+  /// Throws StatusError(kUnavailable) when the crash fault fires for the
+  /// current task scope. Called by RunStage at task start.
+  void MaybeCrashPartition() const;
+
+  /// Extra simulated busy milliseconds for the current task scope (0 when
+  /// the straggler fault does not fire).
+  double InjectedStragglerMs() const;
+
+  /// Throws StatusError(kUnavailable) when the UDJ-throw fault fires for
+  /// the current task scope. Called by SandboxedFlexibleJoin before
+  /// delegating to the user callback; `site` names the callback.
+  void MaybeThrowInCallback(const char* site) const;
+
+  /// Whether shuffled message `message_index` of stage `stage` is dropped
+  /// (and must be retransmitted). Independent of task scopes.
+  bool ShouldDropMessage(const std::string& stage,
+                         int64_t message_index) const;
+
+  const FaultConfig& config() const { return config_; }
+
+  /// Fired-fault counters (for tests and reporting).
+  int64_t injected_crashes() const { return crashes_.load(); }
+  int64_t injected_stragglers() const { return stragglers_.load(); }
+  int64_t injected_udj_throws() const { return udj_throws_.load(); }
+  int64_t dropped_messages() const { return dropped_.load(); }
+
+ private:
+  /// Uniform [0, 1) draw, pure in its arguments.
+  double Draw(uint64_t kind, uint64_t stream, int partition,
+              int attempt) const;
+
+  FaultConfig config_;
+  mutable std::atomic<int64_t> crashes_{0};
+  mutable std::atomic<int64_t> stragglers_{0};
+  mutable std::atomic<int64_t> udj_throws_{0};
+  mutable std::atomic<int64_t> dropped_{0};
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_ENGINE_FAULT_INJECTOR_H_

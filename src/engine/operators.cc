@@ -1,7 +1,6 @@
 #include "engine/operators.h"
 
 #include <algorithm>
-#include <atomic>
 #include <unordered_map>
 
 #include "common/hash.h"
@@ -18,21 +17,19 @@ Result<PartitionedRelation> TransformPartitions(
   const int p_out = cluster->num_workers();
   PartitionedRelation out(std::move(out_schema), p_out);
   std::vector<std::vector<Tuple>> results(p_out);
-  std::atomic<bool> failed{false};
   int64_t rows_out = 0;
-  cluster->RunStage(
+  FUDJ_RETURN_NOT_OK(cluster->RunStage(
       stage_name,
-      [&](int p) {
-        if (p >= in.num_partitions()) return;
-        auto rows = in.Materialize(p);
-        if (!rows.ok() || !fn(p, *rows, &results[p]).ok()) {
-          failed.store(true);
-        }
+      [&](int p) -> Status {
+        if (p >= in.num_partitions()) return Status::OK();
+        // Reset the output slot: a retried partition restarts from
+        // scratch.
+        results[p].clear();
+        FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> rows,
+                              in.Materialize(p));
+        return fn(p, rows, &results[p]);
       },
-      stats);
-  if (failed.load()) {
-    return Status::Internal("operator '" + stage_name + "' failed");
-  }
+      stats));
   for (int p = 0; p < p_out; ++p) {
     for (const Tuple& t : results[p]) out.Append(p, t);
     rows_out += static_cast<int64_t>(results[p].size());

@@ -1,0 +1,40 @@
+#ifndef FUDJ_ENGINE_RETRY_POLICY_H_
+#define FUDJ_ENGINE_RETRY_POLICY_H_
+
+namespace fudj {
+
+/// Stage-granularity recovery policy of the simulated cluster. When a
+/// partition task of a stage fails (task error, caught exception, injected
+/// crash, or deadline overrun), `Cluster::RunStage` re-executes only the
+/// failed partitions, up to `max_attempts` total attempts, sleeping an
+/// exponentially growing backoff between rounds. The backoff and the busy
+/// time of failed attempts are charged to the *simulated* clock (they show
+/// up as `recovery_ms` in StageStat / ExecStats), never to real wall time,
+/// so fault-free runs are byte-identical to the pre-fault-tolerance
+/// engine.
+struct RetryPolicy {
+  /// Total attempts per partition, including the first (>= 1). With the
+  /// default of 3, a partition may be re-executed twice before the stage
+  /// reports failure.
+  int max_attempts = 3;
+  /// Simulated pause before the first retry round.
+  double initial_backoff_ms = 1.0;
+  /// Growth factor applied per retry round.
+  double backoff_multiplier = 2.0;
+  /// Per-partition deadline: a task whose (simulated) busy time exceeds
+  /// this is treated as hung and retried with outcome kTimeout. 0 disables
+  /// deadline checking (the default; real busy times on CI are noisy).
+  double partition_deadline_ms = 0.0;
+
+  /// Backoff charged before retry round `retry_round` (0-based: the pause
+  /// between attempt 1 and attempt 2 is round 0).
+  double BackoffMs(int retry_round) const {
+    double ms = initial_backoff_ms;
+    for (int i = 0; i < retry_round; ++i) ms *= backoff_multiplier;
+    return ms;
+  }
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_ENGINE_RETRY_POLICY_H_

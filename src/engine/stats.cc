@@ -8,7 +8,7 @@ namespace fudj {
 
 void ExecStats::AddStage(const std::string& name,
                          const std::vector<double>& partition_ms,
-                         int64_t rows_out) {
+                         int64_t rows_out, const StageFaultStats& faults) {
   StageStat s;
   s.name = name;
   if (!partition_ms.empty()) {
@@ -18,41 +18,69 @@ void ExecStats::AddStage(const std::string& name,
         std::accumulate(partition_ms.begin(), partition_ms.end(), 0.0);
   }
   s.rows_out = rows_out;
-  simulated_ms_ += s.max_partition_ms;
+  s.attempts = faults.attempts;
+  s.retries = faults.retried_partitions;
+  s.recovery_ms = faults.recovery_ms;
+  // Recovery (failed-attempt busy time + backoff) extends the stage's
+  // contribution to the query makespan.
+  simulated_ms_ += s.max_partition_ms + s.recovery_ms;
+  total_retries_ += s.retries;
+  recovery_ms_ += s.recovery_ms;
   stages_.push_back(std::move(s));
 }
 
 void ExecStats::AddNetwork(const std::string& name, int64_t bytes,
                            int64_t messages, int num_workers,
-                           const CostModelConfig& cost) {
+                           const CostModelConfig& cost,
+                           int64_t retransmits) {
   if (num_workers < 1) num_workers = 1;
-  const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  // A dropped message is retransmitted: its share of the stage's bytes
+  // travels again and one extra message is paid.
+  int64_t retransmit_bytes = 0;
+  if (retransmits > 0 && messages > 0) {
+    retransmit_bytes = bytes * retransmits / messages;
+  }
+  const int64_t wire_bytes = bytes + retransmit_bytes;
+  const int64_t wire_messages = messages + retransmits;
+  const double mb = static_cast<double>(wire_bytes) / (1024.0 * 1024.0);
   const double xfer_ms =
       (mb / cost.bandwidth_mb_per_sec) * 1000.0 / num_workers;
   const double msg_ms = cost.per_message_ms *
-                        (static_cast<double>(messages) / num_workers);
+                        (static_cast<double>(wire_messages) / num_workers);
   const double net_ms = xfer_ms + msg_ms;
   simulated_ms_ += net_ms;
-  bytes_shuffled_ += bytes;
+  bytes_shuffled_ += wire_bytes;
+  network_retransmits_ += retransmits;
   if (!stages_.empty() && stages_.back().name == name) {
     stages_.back().network_ms += net_ms;
-    stages_.back().bytes_shuffled += bytes;
-    stages_.back().messages += messages;
+    stages_.back().bytes_shuffled += wire_bytes;
+    stages_.back().messages += wire_messages;
+    stages_.back().network_retransmits += retransmits;
   } else {
     StageStat s;
     s.name = name;
     s.network_ms = net_ms;
-    s.bytes_shuffled = bytes;
-    s.messages = messages;
+    s.bytes_shuffled = wire_bytes;
+    s.messages = wire_messages;
+    s.network_retransmits = retransmits;
     stages_.push_back(std::move(s));
   }
+}
+
+void ExecStats::AddWarning(std::string message) {
+  warnings_.push_back(std::move(message));
 }
 
 void ExecStats::Merge(const ExecStats& other) {
   simulated_ms_ += other.simulated_ms_;
   wall_ms_ += other.wall_ms_;
   bytes_shuffled_ += other.bytes_shuffled_;
+  total_retries_ += other.total_retries_;
+  recovery_ms_ += other.recovery_ms_;
+  network_retransmits_ += other.network_retransmits_;
   stages_.insert(stages_.end(), other.stages_.begin(), other.stages_.end());
+  warnings_.insert(warnings_.end(), other.warnings_.begin(),
+                   other.warnings_.end());
 }
 
 std::string ExecStats::ToString() const {
@@ -65,6 +93,15 @@ std::string ExecStats::ToString() const {
                 static_cast<long long>(bytes_shuffled_),
                 static_cast<long long>(output_rows_));
   out += line;
+  if (total_retries_ > 0 || recovery_ms_ > 0.0 ||
+      network_retransmits_ > 0) {
+    std::snprintf(line, sizeof(line),
+                  "recovery: retries=%lld  recovery=%.2f ms  "
+                  "retransmits=%lld\n",
+                  static_cast<long long>(total_retries_), recovery_ms_,
+                  static_cast<long long>(network_retransmits_));
+    out += line;
+  }
   for (const StageStat& s : stages_) {
     std::snprintf(line, sizeof(line),
                   "  %-28s max=%8.2f ms  total=%9.2f ms  net=%7.2f ms  "
@@ -72,6 +109,17 @@ std::string ExecStats::ToString() const {
                   s.name.c_str(), s.max_partition_ms, s.total_partition_ms,
                   s.network_ms, static_cast<long long>(s.rows_out));
     out += line;
+    if (s.retries > 0 || s.recovery_ms > 0.0 || s.network_retransmits > 0) {
+      std::snprintf(line, sizeof(line),
+                    "  %-28s attempts=%d  retries=%d  recovery=%.2f ms  "
+                    "retransmits=%lld\n",
+                    "", s.attempts, s.retries, s.recovery_ms,
+                    static_cast<long long>(s.network_retransmits));
+      out += line;
+    }
+  }
+  for (const std::string& w : warnings_) {
+    out += "  warning: " + w + "\n";
   }
   return out;
 }

@@ -20,6 +20,18 @@ struct CostModelConfig {
   double per_message_ms = 0.02;
 };
 
+/// Fault-recovery accounting of one stage execution, produced by
+/// Cluster::RunStage's retry loop.
+struct StageFaultStats {
+  /// Execution rounds the stage needed (1 = no failure).
+  int attempts = 1;
+  /// Sum over retry rounds of partitions re-executed.
+  int retried_partitions = 0;
+  /// Simulated time lost to failures: busy time of failed attempts plus
+  /// retry backoff. Charged to the stage makespan.
+  double recovery_ms = 0.0;
+};
+
 /// Per-stage execution record.
 struct StageStat {
   std::string name;
@@ -32,6 +44,12 @@ struct StageStat {
   int64_t bytes_shuffled = 0;
   int64_t messages = 0;
   int64_t rows_out = 0;
+  /// Fault tolerance: execution rounds, partition re-executions, time
+  /// lost to failed attempts + backoff, and retransmitted messages.
+  int attempts = 1;
+  int retries = 0;
+  double recovery_ms = 0.0;
+  int64_t network_retransmits = 0;
 };
 
 /// Accumulated execution statistics of one query.
@@ -42,14 +60,23 @@ struct StageStat {
 /// `wall_ms` is the actual single-process wall clock, reported alongside.
 class ExecStats {
  public:
-  /// Records a computation stage from per-partition busy times.
+  /// Records a computation stage from per-partition busy times. The
+  /// optional fault record charges `recovery_ms` to the simulated clock
+  /// on top of the stage makespan.
   void AddStage(const std::string& name,
-                const std::vector<double>& partition_ms, int64_t rows_out);
+                const std::vector<double>& partition_ms, int64_t rows_out,
+                const StageFaultStats& faults = StageFaultStats());
 
   /// Records network traffic for the most recent stage (or a standalone
-  /// network stage when no compute stage matches).
+  /// network stage when no compute stage matches). `retransmits` messages
+  /// were dropped and resent: their bytes and latency are charged again.
   void AddNetwork(const std::string& name, int64_t bytes, int64_t messages,
-                  int num_workers, const CostModelConfig& cost);
+                  int num_workers, const CostModelConfig& cost,
+                  int64_t retransmits = 0);
+
+  /// Records a non-fatal execution warning (e.g. FUDJ path degraded to
+  /// the broadcast-NLJ fallback).
+  void AddWarning(std::string message);
 
   /// Merges another query's stats into this one (multi-query plans).
   void Merge(const ExecStats& other);
@@ -61,16 +88,26 @@ class ExecStats {
   int64_t output_rows() const { return output_rows_; }
   void set_output_rows(int64_t n) { output_rows_ = n; }
   const std::vector<StageStat>& stages() const { return stages_; }
+  const std::vector<std::string>& warnings() const { return warnings_; }
+
+  /// Fault-tolerance aggregates over all stages.
+  int64_t total_retries() const { return total_retries_; }
+  double recovery_ms() const { return recovery_ms_; }
+  int64_t network_retransmits() const { return network_retransmits_; }
 
   /// Multi-line human-readable breakdown.
   std::string ToString() const;
 
  private:
   std::vector<StageStat> stages_;
+  std::vector<std::string> warnings_;
   double simulated_ms_ = 0.0;
   double wall_ms_ = 0.0;
   int64_t bytes_shuffled_ = 0;
   int64_t output_rows_ = 0;
+  int64_t total_retries_ = 0;
+  double recovery_ms_ = 0.0;
+  int64_t network_retransmits_ = 0;
 };
 
 }  // namespace fudj

@@ -1,10 +1,10 @@
 #include "fudj/runtime.h"
 
 #include <algorithm>
-#include <atomic>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "builtin/ontop_nlj.h"
 #include "common/hash.h"
 #include "common/stopwatch.h"
 #include "engine/exchange.h"
@@ -17,65 +17,110 @@ Result<std::unique_ptr<Summary>> FudjRuntime::Summarize(
     ExecStats* stats, const std::string& label) const {
   const int p_in = rel.num_partitions();
   std::vector<std::unique_ptr<Summary>> partials(p_in);
-  std::atomic<bool> failed{false};
-  cluster_->RunStage(
+  FUDJ_RETURN_NOT_OK(cluster_->RunStage(
       "summarize-" + label,
-      [&](int p) {
-        if (p >= p_in) return;
-        auto rows = rel.Materialize(p);
-        if (!rows.ok()) {
-          failed.store(true);
-          return;
-        }
-        partials[p] = join_->CreateSummary(side);
-        for (const Tuple& t : *rows) partials[p]->Add(t[key_col]);
+      [&](int p) -> Status {
+        if (p >= p_in) return Status::OK();
+        FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> rows,
+                              rel.Materialize(p));
+        // Fresh summary per attempt: a retried partition restarts clean.
+        partials[p] = sandbox_.CreateSummary(side);
+        for (const Tuple& t : rows) partials[p]->Add(t[key_col]);
+        return Status::OK();
       },
-      stats, /*rows_out=*/p_in);
-  if (failed.load()) return Status::Internal("summarize: bad partition");
+      stats, /*rows_out=*/p_in));
 
   // Gather partial summaries to the coordinator over the wire and merge
   // (global_aggregate). Bytes charged: every non-coordinator partition
-  // ships its serialized summary.
-  std::unique_ptr<Summary> global = join_->CreateSummary(side);
-  int64_t bytes = 0;
-  Stopwatch merge_sw;
-  for (int p = 0; p < p_in; ++p) {
-    if (partials[p] == nullptr) continue;
-    ByteWriter w;
-    partials[p]->Serialize(&w);
-    if (p != 0) bytes += static_cast<int64_t>(w.size());
-    std::unique_ptr<Summary> wire = join_->CreateSummary(side);
-    ByteReader r(w.bytes());
-    FUDJ_RETURN_NOT_OK(wire->Deserialize(&r));
-    global->Merge(*wire);
+  // ships its serialized summary. Coordinator-side callback failures
+  // (CreateSummary / Deserialize throwing) surface as Status.
+  try {
+    std::unique_ptr<Summary> global = sandbox_.CreateSummary(side);
+    int64_t bytes = 0;
+    Stopwatch merge_sw;
+    for (int p = 0; p < p_in; ++p) {
+      if (partials[p] == nullptr) continue;
+      ByteWriter w;
+      partials[p]->Serialize(&w);
+      if (p != 0) bytes += static_cast<int64_t>(w.size());
+      std::unique_ptr<Summary> wire = sandbox_.CreateSummary(side);
+      ByteReader r(w.bytes());
+      FUDJ_RETURN_NOT_OK(wire->Deserialize(&r));
+      global->Merge(*wire);
+    }
+    cluster_->ChargeNetwork("summarize-" + label, bytes,
+                            p_in > 1 ? p_in - 1 : 0, stats);
+    if (stats != nullptr) {
+      stats->AddStage("global-aggregate-" + label, {merge_sw.ElapsedMillis()},
+                      1);
+    }
+    return global;
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("summary merge threw: ") + e.what());
   }
-  cluster_->ChargeNetwork("summarize-" + label, bytes,
-                          p_in > 1 ? p_in - 1 : 0, stats);
-  if (stats != nullptr) {
-    stats->AddStage("global-aggregate-" + label, {merge_sw.ElapsedMillis()},
-                    1);
-  }
-  return global;
 }
 
 Result<std::shared_ptr<const PPlan>> FudjRuntime::DivideAndBroadcast(
     const Summary& left, const Summary& right, ExecStats* stats) const {
-  Stopwatch sw;
-  FUDJ_ASSIGN_OR_RETURN(std::unique_ptr<PPlan> plan,
-                        join_->Divide(left, right));
-  // Broadcast the serialized plan to all workers; return the deserialized
-  // copy so the wire path is exercised end to end.
-  ByteWriter w;
-  plan->Serialize(&w);
-  ByteReader r(w.bytes());
-  FUDJ_ASSIGN_OR_RETURN(std::unique_ptr<PPlan> wire_plan,
-                        join_->DeserializePPlan(&r));
+  // DIVIDE runs on the coordinator (a single "partition"), so RunStage's
+  // retry loop does not cover it; apply the same retry policy here so a
+  // transiently-failing Divide/DeserializePPlan recovers.
+  const RetryPolicy& retry = cluster_->retry_policy();
+  const int max_attempts = std::max(1, retry.max_attempts);
+  StageFaultStats faults;
+  Status last_error;
+  std::unique_ptr<PPlan> wire_plan;
+  int64_t plan_bytes = 0;
+  double divide_ms = 0.0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    faults.attempts = attempt + 1;
+    if (attempt > 0) {
+      faults.recovery_ms += retry.BackoffMs(attempt - 1);
+      faults.retried_partitions += 1;
+    }
+    FaultInjector::TaskScope scope(cluster_->fault_injector(), "divide",
+                                   /*partition=*/0, attempt);
+    Stopwatch sw;
+    Status st;
+    try {
+      // Broadcast the serialized plan to all workers; return the
+      // deserialized copy so the wire path is exercised end to end.
+      st = [&]() -> Status {
+        FUDJ_ASSIGN_OR_RETURN(std::unique_ptr<PPlan> plan,
+                              sandbox_.Divide(left, right));
+        ByteWriter w;
+        plan->Serialize(&w);
+        plan_bytes = static_cast<int64_t>(w.size());
+        ByteReader r(w.bytes());
+        FUDJ_ASSIGN_OR_RETURN(wire_plan, sandbox_.DeserializePPlan(&r));
+        return Status::OK();
+      }();
+    } catch (const StatusError& e) {
+      st = e.status();
+    } catch (const std::exception& e) {
+      st = Status::Internal(std::string("divide threw: ") + e.what());
+    }
+    const double ms = sw.ElapsedMillis();
+    if (st.ok()) {
+      divide_ms = ms;
+      last_error = Status::OK();
+      break;
+    }
+    faults.recovery_ms += ms;  // the failed attempt's work is lost
+    last_error = st;
+  }
   if (stats != nullptr) {
-    stats->AddStage("divide", {sw.ElapsedMillis()}, 1);
+    stats->AddStage("divide", {divide_ms}, 1, faults);
+  }
+  if (!last_error.ok()) {
+    return Status(last_error.code(),
+                  "divide failed after " + std::to_string(faults.attempts) +
+                      " attempt(s): " + last_error.message());
   }
   const int p = cluster_->num_workers();
-  cluster_->ChargeNetwork("divide",
-                          static_cast<int64_t>(w.size()) * (p - 1),
+  cluster_->ChargeNetwork("divide", plan_bytes * (p - 1),
                           p > 1 ? p - 1 : 0, stats);
   return std::shared_ptr<const PPlan>(std::move(wire_plan));
 }
@@ -132,7 +177,7 @@ Result<PartitionedRelation> FudjRuntime::AssignUnnest(
   if (attach_assignments) {
     out_schema.AddField(kAssignmentsColumn, ValueType::kString);
   }
-  const FlexibleJoin* join = join_;
+  const FlexibleJoin* join = &sandbox_;
   return TransformPartitions(
       cluster_, rel, std::move(out_schema), "assign-" + label,
       [join, key_col, &plan, side, attach_assignments](
@@ -201,7 +246,7 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
     const PartitionedRelation& left, int left_key_col,
     const PartitionedRelation& right, int right_key_col, const PPlan& plan,
     const FudjExecOptions& options, ExecStats* stats) const {
-  const FlexibleJoin* join = join_;
+  const FlexibleJoin* join = &sandbox_;
   // Key columns in the assigned relations are shifted by the bucket_id.
   const int lk = left_key_col + 1;
   const int rk = right_key_col + 1;
@@ -401,6 +446,58 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
 }
 
 Result<PartitionedRelation> FudjRuntime::Execute(
+    const PartitionedRelation& left, int left_key_col,
+    const PartitionedRelation& right, int right_key_col,
+    const FudjExecOptions& options, ExecStats* stats) const {
+  Result<PartitionedRelation> result =
+      ExecuteFudjPath(left, left_key_col, right, right_key_col, options,
+                      stats);
+  if (result.ok() || !options.allow_degrade) return result;
+  // The FUDJ pipeline kept failing past the retry budget — most likely a
+  // persistently-broken user callback. Degrade to the exact broadcast-NLJ
+  // theta path, which only needs `Verify` (§I's on-top baseline).
+  if (stats != nullptr) {
+    stats->AddWarning("fudj pipeline failed (" +
+                      result.status().ToString() +
+                      "); degrading to the broadcast-NLJ fallback");
+  }
+  return ExecuteDegraded(left, left_key_col, right, right_key_col, stats);
+}
+
+Result<PartitionedRelation> FudjRuntime::ExecuteDegraded(
+    const PartitionedRelation& left, int left_key_col,
+    const PartitionedRelation& right, int right_key_col,
+    ExecStats* stats) const {
+  // `Verify` needs a PPlan; build a statistics-free one by dividing empty
+  // summaries (the same trick the optimizer's semijoin filter uses). This
+  // runs on the coordinator outside any task scope, so fault injection
+  // does not fire here — but a genuinely-broken Divide still fails the
+  // query, as no exact fallback exists without a plan.
+  std::shared_ptr<const PPlan> plan;
+  try {
+    std::unique_ptr<Summary> s1 = join_->CreateSummary(JoinSide::kLeft);
+    std::unique_ptr<Summary> s2 = join_->CreateSummary(JoinSide::kRight);
+    FUDJ_ASSIGN_OR_RETURN(std::unique_ptr<PPlan> raw,
+                          join_->Divide(*s1, *s2));
+    plan = std::shared_ptr<const PPlan>(std::move(raw));
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::exception& e) {
+    return Status::Internal(
+        std::string("degraded path could not build a plan: ") + e.what());
+  }
+  const SandboxedFlexibleJoin* sandbox = &sandbox_;
+  const PPlan* plan_ptr = plan.get();
+  return OnTopNestedLoopJoin(
+      cluster_, left, right,
+      [sandbox, plan_ptr, left_key_col, right_key_col](const Tuple& l,
+                                                       const Tuple& r) {
+        return sandbox->Verify(l[left_key_col], r[right_key_col], *plan_ptr);
+      },
+      stats);
+}
+
+Result<PartitionedRelation> FudjRuntime::ExecuteFudjPath(
     const PartitionedRelation& left, int left_key_col,
     const PartitionedRelation& right, int right_key_col,
     const FudjExecOptions& options, ExecStats* stats) const {

@@ -8,6 +8,7 @@
 #include "engine/operators.h"
 #include "engine/relation.h"
 #include "fudj/flexible_join.h"
+#include "fudj/sandboxed_join.h"
 
 namespace fudj {
 
@@ -19,6 +20,11 @@ struct FudjExecOptions {
   /// joins; used by the ablation bench. The optimizer normally selects
   /// hash bucket matching when `UsesDefaultMatch()` is true.
   bool force_theta_bucket_join = false;
+  /// When the FUDJ pipeline keeps failing past the cluster's retry
+  /// budget (e.g. a broken user callback), fall back to the exact
+  /// broadcast-NLJ theta join that uses only `Verify`, recording a
+  /// warning in the stats instead of failing the query.
+  bool allow_degrade = true;
 };
 
 /// The framework's internal actors (§VI-B): given a user `FlexibleJoin`,
@@ -30,7 +36,7 @@ class FudjRuntime {
  public:
   /// `join` must outlive the runtime. `cluster` is not owned.
   FudjRuntime(Cluster* cluster, const FlexibleJoin* join)
-      : cluster_(cluster), join_(join) {}
+      : cluster_(cluster), join_(join), sandbox_(join, cluster) {}
 
   /// SUMMARIZE: per-partition local_aggregate over `rel[key_col]`, then a
   /// gather + global_aggregate into one global summary. Summary bytes are
@@ -74,7 +80,9 @@ class FudjRuntime {
   /// Convenience: runs all phases end-to-end and returns the joined
   /// relation. Applies the self-join summarize-once optimization when
   /// `left` and `right` are the same object and the join declares a
-  /// symmetric summary.
+  /// symmetric summary. When the FUDJ pipeline fails past the retry
+  /// budget and `options.allow_degrade` is set, degrades to the exact
+  /// broadcast-NLJ fallback (see FudjExecOptions::allow_degrade).
   Result<PartitionedRelation> Execute(const PartitionedRelation& left,
                                       int left_key_col,
                                       const PartitionedRelation& right,
@@ -82,9 +90,30 @@ class FudjRuntime {
                                       const FudjExecOptions& options,
                                       ExecStats* stats) const;
 
+  /// Sandbox wrapping the user join: callback exceptions become Status /
+  /// per-partition failures. All phases invoke user code through it.
+  const SandboxedFlexibleJoin& sandbox() const { return sandbox_; }
+
  private:
+  /// The normal SUMMARIZE → DIVIDE → PARTITION → COMBINE pipeline.
+  Result<PartitionedRelation> ExecuteFudjPath(const PartitionedRelation& left,
+                                              int left_key_col,
+                                              const PartitionedRelation& right,
+                                              int right_key_col,
+                                              const FudjExecOptions& options,
+                                              ExecStats* stats) const;
+
+  /// Last-resort exact fallback: broadcast NLJ over a statistics-free
+  /// PPlan, using only the `Verify` callback.
+  Result<PartitionedRelation> ExecuteDegraded(const PartitionedRelation& left,
+                                              int left_key_col,
+                                              const PartitionedRelation& right,
+                                              int right_key_col,
+                                              ExecStats* stats) const;
+
   Cluster* cluster_;
   const FlexibleJoin* join_;
+  SandboxedFlexibleJoin sandbox_;
 };
 
 }  // namespace fudj

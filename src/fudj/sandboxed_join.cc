@@ -1,0 +1,99 @@
+#include "fudj/sandboxed_join.h"
+
+#include <string>
+#include <utility>
+
+namespace fudj {
+
+template <typename Fn>
+auto SandboxedFlexibleJoin::Guard(const char* site, Fn&& fn) const
+    -> decltype(fn()) {
+  try {
+    const FaultInjector* inj = injector();
+    if (inj != nullptr) inj->MaybeThrowInCallback(site);
+    return fn();
+  } catch (const StatusError&) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  } catch (const std::exception& e) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    throw StatusError(Status::Internal(std::string(site) +
+                                       " callback threw: " + e.what()));
+  } catch (...) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    throw StatusError(Status::Internal(
+        std::string(site) + " callback threw a non-standard exception"));
+  }
+}
+
+std::unique_ptr<Summary> SandboxedFlexibleJoin::CreateSummary(
+    JoinSide side) const {
+  return Guard("create_summary", [&] { return base_->CreateSummary(side); });
+}
+
+Result<std::unique_ptr<PPlan>> SandboxedFlexibleJoin::Divide(
+    const Summary& left, const Summary& right) const {
+  try {
+    const FaultInjector* inj = injector();
+    if (inj != nullptr) inj->MaybeThrowInCallback("divide");
+    Result<std::unique_ptr<PPlan>> r = base_->Divide(left, right);
+    if (!r.ok()) failures_.fetch_add(1, std::memory_order_relaxed);
+    return r;
+  } catch (const StatusError& e) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return e.status();
+  } catch (const std::exception& e) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal(std::string("divide callback threw: ") +
+                            e.what());
+  } catch (...) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal("divide callback threw a non-standard exception");
+  }
+}
+
+Result<std::unique_ptr<PPlan>> SandboxedFlexibleJoin::DeserializePPlan(
+    ByteReader* in) const {
+  try {
+    const FaultInjector* inj = injector();
+    if (inj != nullptr) inj->MaybeThrowInCallback("deserialize_pplan");
+    Result<std::unique_ptr<PPlan>> r = base_->DeserializePPlan(in);
+    if (!r.ok()) failures_.fetch_add(1, std::memory_order_relaxed);
+    return r;
+  } catch (const StatusError& e) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return e.status();
+  } catch (const std::exception& e) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal(
+        std::string("deserialize_pplan callback threw: ") + e.what());
+  } catch (...) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal(
+        "deserialize_pplan callback threw a non-standard exception");
+  }
+}
+
+void SandboxedFlexibleJoin::Assign(const Value& key, const PPlan& plan,
+                                   JoinSide side,
+                                   std::vector<int32_t>* buckets) const {
+  Guard("assign", [&] { base_->Assign(key, plan, side, buckets); });
+}
+
+bool SandboxedFlexibleJoin::Match(int32_t bucket1, int32_t bucket2) const {
+  return Guard("match", [&] { return base_->Match(bucket1, bucket2); });
+}
+
+bool SandboxedFlexibleJoin::Verify(const Value& key1, const Value& key2,
+                                   const PPlan& plan) const {
+  return Guard("verify", [&] { return base_->Verify(key1, key2, plan); });
+}
+
+bool SandboxedFlexibleJoin::Dedup(int32_t bucket1, const Value& key1,
+                                  int32_t bucket2, const Value& key2,
+                                  const PPlan& plan) const {
+  return Guard("dedup",
+               [&] { return base_->Dedup(bucket1, key1, bucket2, key2, plan); });
+}
+
+}  // namespace fudj

@@ -1,0 +1,77 @@
+#ifndef FUDJ_FUDJ_SANDBOXED_JOIN_H_
+#define FUDJ_FUDJ_SANDBOXED_JOIN_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "engine/cluster.h"
+#include "fudj/flexible_join.h"
+
+namespace fudj {
+
+/// Sandbox decorator around a user `FlexibleJoin`: user callbacks are
+/// untrusted code, so every delegation is wrapped so that a thrown
+/// exception becomes a `Status` instead of tearing down the engine.
+///
+/// - `Divide` / `DeserializePPlan` already return `Result`; a throw is
+///   converted into a non-OK return value in place.
+/// - The remaining callbacks (`CreateSummary`, `Assign`, `Match`,
+///   `Verify`, `Dedup`) cannot return `Status`, so a throw is re-thrown
+///   as `StatusError`, which `Cluster::RunStage` catches at the partition
+///   task boundary and turns into a per-partition failure (retried by the
+///   RetryPolicy).
+///
+/// The cluster's `FaultInjector` (when enabled) is consulted before each
+/// delegation, so the `udj_throw` fault exercises exactly this error
+/// path. `callback_failures()` counts how often any callback failed —
+/// `FudjRuntime::Execute` uses a non-OK FUDJ pipeline as the signal to
+/// degrade to the broadcast-NLJ fallback.
+class SandboxedFlexibleJoin : public FlexibleJoin {
+ public:
+  /// `base` must outlive the sandbox. `cluster` (not owned, may be null)
+  /// supplies the current fault injector at call time, so injection
+  /// enabled after construction is still honored.
+  SandboxedFlexibleJoin(const FlexibleJoin* base, const Cluster* cluster)
+      : base_(base), cluster_(cluster) {}
+
+  std::unique_ptr<Summary> CreateSummary(JoinSide side) const override;
+  Result<std::unique_ptr<PPlan>> Divide(const Summary& left,
+                                        const Summary& right) const override;
+  Result<std::unique_ptr<PPlan>> DeserializePPlan(
+      ByteReader* in) const override;
+  void Assign(const Value& key, const PPlan& plan, JoinSide side,
+              std::vector<int32_t>* buckets) const override;
+  bool Match(int32_t bucket1, int32_t bucket2) const override;
+  bool Verify(const Value& key1, const Value& key2,
+              const PPlan& plan) const override;
+  bool Dedup(int32_t bucket1, const Value& key1, int32_t bucket2,
+             const Value& key2, const PPlan& plan) const override;
+
+  bool UsesDefaultMatch() const override { return base_->UsesDefaultMatch(); }
+  bool MultiAssign() const override { return base_->MultiAssign(); }
+  bool UsesDefaultDedup() const override { return base_->UsesDefaultDedup(); }
+  bool SymmetricSummary() const override { return base_->SymmetricSummary(); }
+
+  /// How many callback invocations failed (threw or, for Result-returning
+  /// callbacks, returned non-OK) over the sandbox's lifetime.
+  int64_t callback_failures() const { return failures_.load(); }
+
+ private:
+  const FaultInjector* injector() const {
+    return cluster_ == nullptr ? nullptr : cluster_->fault_injector();
+  }
+
+  /// Runs `fn` with injection + exception-to-StatusError conversion for
+  /// callbacks that cannot return Status.
+  template <typename Fn>
+  auto Guard(const char* site, Fn&& fn) const -> decltype(fn());
+
+  const FlexibleJoin* base_;
+  const Cluster* cluster_;
+  mutable std::atomic<int64_t> failures_{0};
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_FUDJ_SANDBOXED_JOIN_H_

@@ -71,7 +71,13 @@ TEST(ClusterTest, RunStageVisitsEveryPartition) {
   Cluster cluster(6);
   std::vector<int> visits(6, 0);
   ExecStats stats;
-  cluster.RunStage("touch", [&](int p) { visits[p]++; }, &stats);
+  ASSERT_OK(cluster.RunStage(
+      "touch",
+      [&](int p) {
+        visits[p]++;
+        return Status::OK();
+      },
+      &stats));
   EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 6);
   ASSERT_EQ(stats.stages().size(), 1u);
   EXPECT_EQ(stats.stages()[0].name, "touch");
@@ -80,15 +86,16 @@ TEST(ClusterTest, RunStageVisitsEveryPartition) {
 TEST(ClusterTest, SimulatedTimeIsMakespanNotSum) {
   Cluster cluster(4);
   ExecStats stats;
-  cluster.RunStage(
+  ASSERT_OK(cluster.RunStage(
       "work",
       [&](int p) {
         // Partition 0 does ~4x the work of the others.
         volatile double x = 0;
         const int iters = p == 0 ? 400000 : 100000;
         for (int i = 0; i < iters; ++i) x = x + i * 0.5;
+        return Status::OK();
       },
-      &stats);
+      &stats));
   const StageStat& s = stats.stages()[0];
   EXPECT_LT(s.max_partition_ms, s.total_partition_ms);
   EXPECT_DOUBLE_EQ(stats.simulated_ms(), s.max_partition_ms);
@@ -98,8 +105,13 @@ TEST(ClusterTest, ThreadedExecutionMatchesSerial) {
   Cluster serial(8, /*use_threads=*/false);
   Cluster threaded(8, /*use_threads=*/true);
   std::vector<std::atomic<int>> counts(8);
-  threaded.RunStage("touch", [&](int p) { counts[p].fetch_add(1); },
-                    nullptr);
+  ASSERT_OK(threaded.RunStage(
+      "touch",
+      [&](int p) {
+        counts[p].fetch_add(1);
+        return Status::OK();
+      },
+      nullptr));
   for (auto& c : counts) EXPECT_EQ(c.load(), 1);
 }
 

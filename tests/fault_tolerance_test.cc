@@ -1,0 +1,632 @@
+// Tests for the fault-tolerance layer: status plumbing, ThreadPool
+// exception safety, RunStage retry/recovery accounting, deterministic
+// fault injection, UDJ sandboxing, and the chaos suite asserting that
+// every bundled join produces fault-free results under injected faults.
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/thread_pool.h"
+#include "datagen/datagen.h"
+#include "engine/cluster.h"
+#include "engine/exchange.h"
+#include "fudj/runtime.h"
+#include "fudj/sandboxed_join.h"
+#include "gtest/gtest.h"
+#include "joins/distance_fudj.h"
+#include "joins/interval_fudj.h"
+#include "joins/spatial_fudj.h"
+#include "joins/textsim_fudj.h"
+#include "test_util.h"
+
+namespace fudj {
+namespace {
+
+// ------------------------------------------------------------ StatusCodes
+
+TEST(StatusCodeTest, UnavailableAndCancelledFactories) {
+  const Status u = Status::Unavailable("node down");
+  EXPECT_FALSE(u.ok());
+  EXPECT_EQ(u.code(), StatusCode::kUnavailable);
+  EXPECT_NE(u.ToString().find("Unavailable"), std::string::npos);
+  const Status c = Status::Cancelled("stop");
+  EXPECT_EQ(c.code(), StatusCode::kCancelled);
+  EXPECT_NE(c.ToString().find("Cancelled"), std::string::npos);
+}
+
+TEST(StatusErrorTest, CarriesStatusAcrossThrow) {
+  try {
+    throw StatusError(Status::Unavailable("boom"));
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kUnavailable);
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, ThrowingTaskRethrownFromWaitIdle) {
+  ThreadPool pool(4);
+  pool.Submit([] { throw std::runtime_error("task exploded"); });
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+  // The pool survives and stays usable.
+  std::atomic<int> ran{0};
+  pool.Submit([&] { ran.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(16,
+                                [&](int i) {
+                                  ran.fetch_add(1);
+                                  if (i == 7) {
+                                    throw std::runtime_error("i == 7");
+                                  }
+                                }),
+               std::runtime_error);
+  EXPECT_GT(ran.load(), 0);
+}
+
+// ------------------------------------------------------------ RetryPolicy
+
+TEST(RetryPolicyTest, BackoffGrowsExponentially) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 2.0;
+  policy.backoff_multiplier = 3.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(0), 2.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(1), 6.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(2), 18.0);
+}
+
+// ---------------------------------------------------------- RunStage retry
+
+TEST(ClusterRetryTest, FailedPartitionIsRetriedToSuccess) {
+  Cluster cluster(4);
+  std::vector<std::atomic<int>> attempts(4);
+  ExecStats stats;
+  ASSERT_OK(cluster.RunStage(
+      "flaky",
+      [&](int p) -> Status {
+        const int a = attempts[p].fetch_add(1);
+        if (p == 2 && a == 0) {
+          return Status::Unavailable("transient failure");
+        }
+        return Status::OK();
+      },
+      &stats));
+  EXPECT_EQ(attempts[2].load(), 2) << "partition 2 re-executed once";
+  EXPECT_EQ(attempts[0].load(), 1) << "healthy partitions run once";
+  ASSERT_EQ(stats.stages().size(), 1u);
+  const StageStat& s = stats.stages()[0];
+  EXPECT_EQ(s.attempts, 2);
+  EXPECT_EQ(s.retries, 1);
+  EXPECT_GT(s.recovery_ms, 0.0) << "backoff charged to the simulated clock";
+  EXPECT_EQ(stats.total_retries(), 1);
+  EXPECT_GT(stats.recovery_ms(), 0.0);
+  // Recovery time is part of the reported makespan.
+  EXPECT_GE(stats.simulated_ms(), s.recovery_ms);
+}
+
+TEST(ClusterRetryTest, ExhaustedRetriesSurfaceFirstError) {
+  Cluster cluster(3);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  cluster.set_retry_policy(policy);
+  ExecStats stats;
+  const Status st = cluster.RunStage(
+      "doomed",
+      [&](int p) -> Status {
+        return p == 1 ? Status::Unavailable("persistent failure")
+                      : Status::OK();
+      },
+      &stats);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << "error code preserved";
+  EXPECT_NE(st.message().find("doomed"), std::string::npos);
+  EXPECT_EQ(stats.stages()[0].attempts, 2);
+}
+
+TEST(ClusterRetryTest, ThrowingTaskBecomesInternalAndRetries) {
+  Cluster cluster(2);
+  std::vector<std::atomic<int>> attempts(2);
+  ExecStats stats;
+  ASSERT_OK(cluster.RunStage(
+      "throwing",
+      [&](int p) -> Status {
+        if (p == 0 && attempts[p].fetch_add(1) == 0) {
+          throw std::runtime_error("callback blew up");
+        }
+        return Status::OK();
+      },
+      &stats));
+  EXPECT_EQ(attempts[0].load(), 2);
+}
+
+TEST(ClusterRetryTest, StatusErrorThrownInTaskKeepsItsCode) {
+  Cluster cluster(2);
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  cluster.set_retry_policy(policy);
+  const Status st = cluster.RunStage(
+      "statuserror",
+      [&](int p) -> Status {
+        if (p == 1) throw StatusError(Status::Cancelled("user abort"));
+        return Status::OK();
+      },
+      nullptr);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+}
+
+TEST(ClusterRetryTest, DeadlineOverrunTriggersTimeoutRetry) {
+  Cluster cluster(2);
+  RetryPolicy policy;
+  policy.partition_deadline_ms = 5.0;
+  cluster.set_retry_policy(policy);
+  std::vector<std::atomic<int>> attempts(2);
+  ExecStats stats;
+  ASSERT_OK(cluster.RunStage(
+      "hung",
+      [&](int p) -> Status {
+        if (p == 0 && attempts[p].fetch_add(1) == 0) {
+          // Hang past the deadline on the first attempt only.
+          std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        }
+        return Status::OK();
+      },
+      &stats));
+  EXPECT_EQ(attempts[0].load(), 2) << "timed-out partition re-executed";
+  EXPECT_EQ(stats.stages()[0].attempts, 2);
+  EXPECT_GT(stats.stages()[0].recovery_ms, 0.0);
+}
+
+// ---------------------------------------------------------- FaultInjector
+
+TEST(FaultInjectorTest, CrashInjectionIsDeterministicAndRecovered) {
+  FaultConfig config;
+  config.seed = 1234;
+  config.crash_partition_prob = 0.5;
+  auto run_once = [&](int64_t* crashes) -> Status {
+    Cluster cluster(8);
+    RetryPolicy policy;
+    policy.max_attempts = 8;
+    cluster.set_retry_policy(policy);
+    cluster.EnableFaultInjection(config);
+    ExecStats stats;
+    const Status st = cluster.RunStage(
+        "det", [](int) { return Status::OK(); }, &stats);
+    *crashes = cluster.fault_injector()->injected_crashes();
+    return st;
+  };
+  int64_t crashes1 = 0;
+  int64_t crashes2 = 0;
+  ASSERT_OK(run_once(&crashes1));
+  ASSERT_OK(run_once(&crashes2));
+  EXPECT_GT(crashes1, 0) << "prob 0.5 over 8 partitions must fire";
+  EXPECT_EQ(crashes1, crashes2) << "same seed => identical fault history";
+}
+
+TEST(FaultInjectorTest, FaultScheduleIndependentOfThreading) {
+  FaultConfig config;
+  config.seed = 2024;
+  config.crash_partition_prob = 0.4;
+  auto run = [&](bool use_threads) -> int64_t {
+    Cluster cluster(8, use_threads);
+    RetryPolicy policy;
+    policy.max_attempts = 8;
+    cluster.set_retry_policy(policy);
+    cluster.EnableFaultInjection(config);
+    std::vector<std::atomic<int>> visits(8);
+    EXPECT_OK(cluster.RunStage(
+        "sched",
+        [&](int p) {
+          visits[p].fetch_add(1);
+          return Status::OK();
+        },
+        nullptr));
+    for (auto& v : visits) EXPECT_GE(v.load(), 1);
+    return cluster.fault_injector()->injected_crashes();
+  };
+  const int64_t serial = run(false);
+  const int64_t threaded = run(true);
+  EXPECT_GT(serial, 0);
+  EXPECT_EQ(serial, threaded)
+      << "decisions are pure hashes, not scheduling-dependent RNG";
+}
+
+TEST(FaultInjectorTest, SitesAreInertOutsideTaskScopes) {
+  FaultInjector injector([] {
+    FaultConfig c;
+    c.crash_partition_prob = 1.0;
+    c.udj_throw_prob = 1.0;
+    c.straggler_prob = 1.0;
+    return c;
+  }());
+  // No TaskScope active: nothing fires.
+  EXPECT_NO_THROW(injector.MaybeCrashPartition());
+  EXPECT_NO_THROW(injector.MaybeThrowInCallback("verify"));
+  EXPECT_DOUBLE_EQ(injector.InjectedStragglerMs(), 0.0);
+  EXPECT_EQ(injector.injected_crashes(), 0);
+}
+
+TEST(FaultInjectorTest, StragglerInflatesStageMakespan) {
+  Cluster cluster(4);
+  FaultConfig config;
+  config.seed = 99;
+  config.straggler_prob = 1.0;
+  config.straggler_ms = 100.0;
+  cluster.EnableFaultInjection(config);
+  ExecStats stats;
+  ASSERT_OK(cluster.RunStage(
+      "slow", [](int) { return Status::OK(); }, &stats));
+  EXPECT_EQ(cluster.fault_injector()->injected_stragglers(), 4);
+  EXPECT_GE(stats.stages()[0].max_partition_ms, 100.0);
+  EXPECT_GE(stats.simulated_ms(), 100.0);
+}
+
+TEST(FaultInjectorTest, InjectedStragglerPastDeadlineIsRetried) {
+  Cluster cluster(3);
+  FaultConfig config;
+  config.seed = 4321;
+  config.straggler_prob = 0.5;
+  config.straggler_ms = 200.0;
+  cluster.EnableFaultInjection(config);
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.partition_deadline_ms = 50.0;
+  cluster.set_retry_policy(policy);
+  ExecStats stats;
+  ASSERT_OK(cluster.RunStage(
+      "straggling", [](int) { return Status::OK(); }, &stats));
+  EXPECT_GT(cluster.fault_injector()->injected_stragglers(), 0);
+  EXPECT_GT(stats.total_retries(), 0)
+      << "stragglers past the deadline count as timeouts and retry";
+}
+
+TEST(FaultInjectorTest, DroppedMessagesAreRetransmittedNotLost) {
+  Schema schema;
+  schema.AddField("id", ValueType::kInt64);
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 64; ++i) rows.push_back({Value::Int64(i)});
+  auto rel = PartitionedRelation::FromTuples(schema, rows, 4);
+  auto key_hash = [](const Tuple& t) {
+    return Mix64(static_cast<uint64_t>(t[0].i64()));
+  };
+
+  Cluster clean(4);
+  ExecStats clean_stats;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation clean_out,
+                       HashExchange(&clean, rel, key_hash, &clean_stats,
+                                    "shuffle"));
+
+  Cluster lossy(4);
+  FaultConfig config;
+  config.seed = 5;
+  config.drop_message_prob = 1.0;  // every cross-worker message drops once
+  lossy.EnableFaultInjection(config);
+  ExecStats lossy_stats;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation lossy_out,
+                       HashExchange(&lossy, rel, key_hash, &lossy_stats,
+                                    "shuffle"));
+
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> a,
+                       clean_out.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> b,
+                       lossy_out.MaterializeAll());
+  EXPECT_EQ(IdPairs(a, 0, 0), IdPairs(b, 0, 0)) << "drops never lose data";
+  EXPECT_GT(lossy_stats.network_retransmits(), 0);
+  EXPECT_EQ(lossy_stats.network_retransmits(),
+            lossy.fault_injector()->dropped_messages());
+  EXPECT_GT(lossy_stats.bytes_shuffled(), clean_stats.bytes_shuffled())
+      << "retransmitted bytes are charged";
+}
+
+// ---------------------------------------------------- Sandbox and degrade
+
+/// DistanceFudj with one callback overridden to misbehave.
+class ThrowingAssignJoin : public DistanceFudj {
+ public:
+  using DistanceFudj::DistanceFudj;
+  void Assign(const Value&, const PPlan&, JoinSide,
+              std::vector<int32_t>*) const override {
+    throw std::runtime_error("assign is permanently broken");
+  }
+};
+
+class ThrowingDivideJoin : public DistanceFudj {
+ public:
+  using DistanceFudj::DistanceFudj;
+  Result<std::unique_ptr<PPlan>> Divide(const Summary&,
+                                        const Summary&) const override {
+    throw std::runtime_error("divide is permanently broken");
+  }
+};
+
+TEST(SandboxTest, DivideExceptionBecomesStatus) {
+  ThrowingDivideJoin join(JoinParameters({Value::Double(1.0)}));
+  SandboxedFlexibleJoin sandbox(&join, nullptr);
+  RangeSummary s;
+  const auto result = sandbox.Divide(s, s);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("divide"), std::string::npos);
+  EXPECT_EQ(sandbox.callback_failures(), 1);
+}
+
+TEST(SandboxTest, VoidCallbackExceptionBecomesStatusError) {
+  ThrowingAssignJoin join(JoinParameters({Value::Double(1.0)}));
+  SandboxedFlexibleJoin sandbox(&join, nullptr);
+  DistancePPlan plan(0.0, 10.0, 1.0);
+  std::vector<int32_t> buckets;
+  try {
+    sandbox.Assign(Value::Double(1.0), plan, JoinSide::kLeft, &buckets);
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kInternal);
+    EXPECT_NE(e.status().message().find("assign"), std::string::npos);
+  }
+  EXPECT_EQ(sandbox.callback_failures(), 1);
+}
+
+TEST(SandboxTest, HealthyCallbacksPassThrough) {
+  DistanceFudj join(JoinParameters({Value::Double(2.0)}));
+  SandboxedFlexibleJoin sandbox(&join, nullptr);
+  DistancePPlan plan(0.0, 10.0, 2.0);
+  EXPECT_TRUE(sandbox.Verify(Value::Double(1.0), Value::Double(2.5), plan));
+  EXPECT_FALSE(sandbox.Verify(Value::Double(1.0), Value::Double(9.0), plan));
+  EXPECT_EQ(sandbox.callback_failures(), 0);
+}
+
+/// Self-join input for the degrade tests: (id, value) rows.
+PartitionedRelation NumbersRelation(int n, int partitions) {
+  Schema schema;
+  schema.AddField("id", ValueType::kInt64);
+  schema.AddField("v", ValueType::kDouble);
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({Value::Int64(i),
+                    Value::Double(static_cast<double>((i * 37) % 200))});
+  }
+  return PartitionedRelation::FromTuples(schema, rows, partitions);
+}
+
+TEST(DegradeTest, BrokenAssignFallsBackToExactNlj) {
+  Cluster cluster(3);
+  auto rel = NumbersRelation(80, 3);
+  ThrowingAssignJoin join(JoinParameters({Value::Double(5.0)}));
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats stats;
+  FudjExecOptions options;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation out,
+                       runtime.Execute(rel, 1, rel, 1, options, &stats));
+  ASSERT_EQ(stats.warnings().size(), 1u);
+  EXPECT_NE(stats.warnings()[0].find("degrading"), std::string::npos);
+  EXPECT_GT(stats.total_retries(), 0) << "assign stage was retried first";
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows, out.MaterializeAll());
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> in_rows,
+                       rel.MaterializeAll());
+  const auto expected = NljGroundTruth(
+      in_rows, 0, in_rows, 0, [](const Tuple& a, const Tuple& b) {
+        return std::fabs(a[1].AsDouble().ValueOr(0.0) -
+                         b[1].AsDouble().ValueOr(0.0)) <= 5.0;
+      });
+  EXPECT_EQ(IdPairs(rows, 0, 2), expected);
+}
+
+TEST(DegradeTest, DisabledDegradeSurfacesTheError) {
+  Cluster cluster(2);
+  auto rel = NumbersRelation(20, 2);
+  ThrowingAssignJoin join(JoinParameters({Value::Double(5.0)}));
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats stats;
+  FudjExecOptions options;
+  options.allow_degrade = false;
+  const auto result = runtime.Execute(rel, 1, rel, 1, options, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("assign"), std::string::npos);
+  EXPECT_TRUE(stats.warnings().empty());
+}
+
+TEST(DegradeTest, BrokenDivideCannotDegradeAndFails) {
+  Cluster cluster(2);
+  auto rel = NumbersRelation(20, 2);
+  ThrowingDivideJoin join(JoinParameters({Value::Double(5.0)}));
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats stats;
+  FudjExecOptions options;
+  const auto result = runtime.Execute(rel, 1, rel, 1, options, &stats);
+  ASSERT_FALSE(result.ok()) << "no exact fallback exists without a plan";
+}
+
+// ------------------------------------------------------------ Chaos suite
+
+using PairSet = std::set<std::pair<int64_t, int64_t>>;
+
+Result<PairSet> RunSpatial(Cluster* cluster, ExecStats* stats) {
+  auto parks = PartitionedRelation::FromTuples(
+      ParksSchema(), GenerateParks(60, 11), cluster->num_workers());
+  auto fires = PartitionedRelation::FromTuples(
+      WildfiresSchema(), GenerateWildfires(150, 22), cluster->num_workers());
+  SpatialFudj join(JoinParameters({Value::Int64(8), Value::Int64(1)}));
+  FudjRuntime runtime(cluster, &join);
+  FudjExecOptions options;
+  FUDJ_ASSIGN_OR_RETURN(
+      PartitionedRelation out,
+      runtime.Execute(parks, 1, fires, 1, options, stats));
+  FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> rows, out.MaterializeAll());
+  return IdPairs(rows, 0, 3);
+}
+
+Result<PairSet> RunTextSim(Cluster* cluster, ExecStats* stats) {
+  auto reviews = PartitionedRelation::FromTuples(
+      ReviewsSchema(), GenerateReviews(50, 77), cluster->num_workers());
+  TextSimFudj join(JoinParameters({Value::Double(0.7)}));
+  FudjRuntime runtime(cluster, &join);
+  FudjExecOptions options;
+  FUDJ_ASSIGN_OR_RETURN(
+      PartitionedRelation out,
+      runtime.Execute(reviews, 2, reviews, 2, options, stats));
+  FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> rows, out.MaterializeAll());
+  return IdPairs(rows, 0, 3);
+}
+
+Result<PairSet> RunInterval(Cluster* cluster, ExecStats* stats) {
+  auto rides = PartitionedRelation::FromTuples(
+      TaxiSchema(), GenerateTaxiRides(100, 33), cluster->num_workers());
+  IntervalFudj join(JoinParameters({Value::Int64(50)}));
+  FudjRuntime runtime(cluster, &join);
+  FudjExecOptions options;
+  options.duplicates = DuplicateHandling::kNone;
+  FUDJ_ASSIGN_OR_RETURN(
+      PartitionedRelation out,
+      runtime.Execute(rides, 2, rides, 2, options, stats));
+  FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> rows, out.MaterializeAll());
+  return IdPairs(rows, 0, 3);
+}
+
+Result<PairSet> RunDistance(Cluster* cluster, ExecStats* stats) {
+  auto rel = NumbersRelation(120, cluster->num_workers());
+  DistanceFudj join(JoinParameters({Value::Double(7.5)}));
+  FudjRuntime runtime(cluster, &join);
+  FudjExecOptions options;
+  FUDJ_ASSIGN_OR_RETURN(PartitionedRelation out,
+                        runtime.Execute(rel, 1, rel, 1, options, stats));
+  FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> rows, out.MaterializeAll());
+  return IdPairs(rows, 0, 2);
+}
+
+using JoinRunner = Result<PairSet> (*)(Cluster*, ExecStats*);
+
+struct ChaosCase {
+  const char* name;
+  FaultConfig config;
+  /// 0 disables the per-partition deadline.
+  double deadline_ms;
+};
+
+std::vector<ChaosCase> ChaosCases() {
+  std::vector<ChaosCase> cases;
+  {
+    ChaosCase c{"crash", {}, 0.0};
+    c.config.seed = 7;
+    c.config.crash_partition_prob = 0.3;
+    cases.push_back(c);
+  }
+  {
+    // Stragglers past the deadline become timeouts and retry. The
+    // deadline is generous vs. real task time (micro tasks) so only the
+    // injected 200 ms can overrun it.
+    ChaosCase c{"straggler", {}, 50.0};
+    c.config.seed = 8;
+    c.config.straggler_prob = 0.3;
+    c.config.straggler_ms = 200.0;
+    cases.push_back(c);
+  }
+  {
+    ChaosCase c{"drop", {}, 0.0};
+    c.config.seed = 9;
+    c.config.drop_message_prob = 0.3;
+    cases.push_back(c);
+  }
+  {
+    ChaosCase c{"udj-throw", {}, 0.0};
+    c.config.seed = 10;
+    c.config.udj_throw_prob = 0.1;
+    cases.push_back(c);
+  }
+  {
+    ChaosCase c{"all", {}, 50.0};
+    c.config.seed = 11;
+    c.config.crash_partition_prob = 0.15;
+    c.config.straggler_prob = 0.1;
+    c.config.straggler_ms = 200.0;
+    c.config.drop_message_prob = 0.2;
+    c.config.udj_throw_prob = 0.05;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+class ChaosTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static JoinRunner RunnerFor(const std::string& name) {
+    if (name == "spatial") return RunSpatial;
+    if (name == "textsim") return RunTextSim;
+    if (name == "interval") return RunInterval;
+    return RunDistance;
+  }
+};
+
+TEST_P(ChaosTest, ResultsSurviveEveryFaultKind) {
+  const JoinRunner runner = RunnerFor(GetParam());
+
+  // Fault-free baseline.
+  Cluster baseline(4);
+  ExecStats baseline_stats;
+  ASSERT_OK_AND_ASSIGN(const PairSet expected,
+                       runner(&baseline, &baseline_stats));
+  ASSERT_EQ(baseline_stats.total_retries(), 0);
+  ASSERT_DOUBLE_EQ(baseline_stats.recovery_ms(), 0.0);
+
+  for (const ChaosCase& c : ChaosCases()) {
+    SCOPED_TRACE(c.name);
+    Cluster cluster(4);
+    RetryPolicy policy;
+    policy.max_attempts = 6;
+    policy.partition_deadline_ms = c.deadline_ms;
+    cluster.set_retry_policy(policy);
+    cluster.EnableFaultInjection(c.config);
+    ExecStats stats;
+    ASSERT_OK_AND_ASSIGN(const PairSet got, runner(&cluster, &stats));
+    EXPECT_EQ(got, expected) << "faults must never change the result";
+
+    const FaultInjector* inj = cluster.fault_injector();
+    const bool fired = inj->injected_crashes() > 0 ||
+                       inj->injected_stragglers() > 0 ||
+                       inj->injected_udj_throws() > 0 ||
+                       inj->dropped_messages() > 0;
+    EXPECT_TRUE(fired) << "this seed/config must actually inject faults";
+    if (c.config.crash_partition_prob > 0.0) {
+      EXPECT_GT(stats.total_retries(), 0);
+      EXPECT_GT(stats.recovery_ms(), 0.0);
+    }
+    if (c.config.drop_message_prob > 0.0) {
+      EXPECT_GT(stats.network_retransmits(), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BundledJoins, ChaosTest,
+                         ::testing::Values("spatial", "textsim", "interval",
+                                           "distance"));
+
+// With injection disabled the retry machinery must be cost-free: same
+// stage accounting as the seed engine (attempts=1, zero recovery).
+TEST(ChaosTest, NoInjectionMeansNoRecoveryCost) {
+  Cluster cluster(4);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(const PairSet got, RunDistance(&cluster, &stats));
+  EXPECT_FALSE(got.empty());
+  EXPECT_EQ(stats.total_retries(), 0);
+  EXPECT_DOUBLE_EQ(stats.recovery_ms(), 0.0);
+  EXPECT_EQ(stats.network_retransmits(), 0);
+  for (const StageStat& s : stats.stages()) {
+    EXPECT_EQ(s.attempts, 1);
+    EXPECT_DOUBLE_EQ(s.recovery_ms, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace fudj
