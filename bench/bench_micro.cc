@@ -4,11 +4,23 @@
 //   * proxy-function overhead: FUDJ verify via virtual dispatch + Value
 //     unwrapping vs. calling the raw predicate (paper: ~0 per record for
 //     spatial/interval, 0.061 ms/record for text),
-//   * tokenizer / Jaccard / grid assignment kernels.
+//   * tokenizer / Jaccard / grid assignment kernels,
+//   * the vectorized chunk pipeline (src/vec) vs. the row path on
+//     filter → project → hash join.
+//
+// `bench_micro --smoke` skips google-benchmark and runs the chunk
+// pipeline comparison once, writing BENCH_vec.json and failing if the
+// two paths diverge or the chunk path is slower than the row path.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
 #include "datagen/datagen.h"
+#include "engine/operators.h"
 #include "geometry/grid.h"
 #include "joins/interval_fudj.h"
 #include "joins/spatial_fudj.h"
@@ -16,6 +28,7 @@
 #include "serde/serde.h"
 #include "text/jaccard.h"
 #include "text/tokenizer.h"
+#include "vec/chunk_io.h"
 
 namespace fudj {
 namespace {
@@ -197,7 +210,229 @@ void BM_SummarySerializeWordCounts(benchmark::State& state) {
 }
 BENCHMARK(BM_SummarySerializeWordCounts)->Arg(100)->Arg(1000);
 
+// ---- vectorized chunk pipeline: filter → project → hash join ----
+
+Schema FactSchema() {
+  Schema s;
+  s.AddField("k", ValueType::kInt64);
+  s.AddField("score", ValueType::kDouble);
+  s.AddField("payload", ValueType::kString);
+  return s;
+}
+
+Schema DimSchema() {
+  Schema s;
+  s.AddField("k", ValueType::kInt64);
+  s.AddField("name", ValueType::kString);
+  return s;
+}
+
+PartitionedRelation MakeFact(int64_t n, int workers) {
+  Rng rng(101);
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back({Value::Int64(rng.NextInt(0, 4000)),
+                    Value::Double(static_cast<double>(rng.Next() % 1000)),
+                    Value::String("p" + std::to_string(rng.Next() % 9973))});
+  }
+  return PartitionedRelation::FromTuples(FactSchema(), rows, workers);
+}
+
+PartitionedRelation MakeDim(int64_t n, int workers) {
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back({Value::Int64(i), Value::String("d" + std::to_string(i))});
+  }
+  return PartitionedRelation::FromTuples(DimSchema(), rows, workers);
+}
+
+Result<PartitionedRelation> RunPipeline(Cluster* cluster,
+                                        const PartitionedRelation& fact,
+                                        const PartitionedRelation& dim,
+                                        ExecMode mode, ExecStats* stats) {
+  FUDJ_ASSIGN_OR_RETURN(
+      auto filtered,
+      FilterRelation(
+          cluster, fact, [](const Tuple& t) { return t[0].i64() % 2 == 0; },
+          stats, "filter", mode));
+  Schema proj_schema;
+  proj_schema.AddField("k", ValueType::kInt64);
+  proj_schema.AddField("payload", ValueType::kString);
+  FUDJ_ASSIGN_OR_RETURN(
+      auto projected,
+      ProjectRelation(
+          cluster, filtered, proj_schema,
+          [](const Tuple& t) -> Tuple {
+            return {Value::Int64(t[0].i64() / 2), t[2]};
+          },
+          stats, "project", mode));
+  return HashJoinRelation(cluster, projected, {0}, dim, {0}, stats,
+                          "hash-join", mode);
+}
+
+void BM_PipelineRow(benchmark::State& state) {
+  const int workers = 4;
+  const auto fact = MakeFact(state.range(0), workers);
+  const auto dim = MakeDim(2000, workers);
+  for (auto _ : state) {
+    Cluster cluster(workers);
+    ExecStats stats;
+    auto out = RunPipeline(&cluster, fact, dim, ExecMode::kRow, &stats);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PipelineRow)->Arg(10000)->Arg(100000);
+
+void BM_PipelineChunk(benchmark::State& state) {
+  const int workers = 4;
+  const auto fact = MakeFact(state.range(0), workers);
+  const auto dim = MakeDim(2000, workers);
+  for (auto _ : state) {
+    Cluster cluster(workers);
+    ExecStats stats;
+    auto out = RunPipeline(&cluster, fact, dim, ExecMode::kChunk, &stats);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PipelineChunk)->Arg(10000)->Arg(100000);
+
+void BM_ChunkReaderScan(benchmark::State& state) {
+  const auto fact = MakeFact(state.range(0), 1);
+  for (auto _ : state) {
+    int64_t rows = 0;
+    ChunkReader reader(fact, 0);
+    DataChunk chunk(fact.schema());
+    while (true) {
+      auto more = reader.Next(&chunk);
+      if (!more.ok() || !*more) break;
+      rows += chunk.size();
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChunkReaderScan)->Arg(100000);
+
+void BM_RowMaterializeScan(benchmark::State& state) {
+  const auto fact = MakeFact(state.range(0), 1);
+  for (auto _ : state) {
+    auto rows = fact.Materialize(0);
+    benchmark::DoNotOptimize(rows->size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RowMaterializeScan)->Arg(100000);
+
+// ---- --smoke: one-shot row-vs-chunk comparison, emits BENCH_vec.json ----
+
+int RunChunkPipelineSmoke() {
+  const int workers = 4;
+  const int64_t rows = 120000;
+  const int64_t dim_rows = 2000;
+  const int reps = 3;
+  const auto fact = MakeFact(rows, workers);
+  const auto dim = MakeDim(dim_rows, workers);
+
+  auto run_mode = [&](ExecMode mode, ExecStats* stats,
+                      double* best_ms) -> Result<PartitionedRelation> {
+    *best_ms = 1e300;
+    Result<PartitionedRelation> out = Status::Internal("no reps ran");
+    for (int rep = 0; rep < reps; ++rep) {
+      Cluster cluster(workers);
+      ExecStats rep_stats;
+      Stopwatch timer;
+      out = RunPipeline(&cluster, fact, dim, mode, &rep_stats);
+      const double ms = timer.ElapsedMillis();
+      if (!out.ok()) return out;
+      if (ms < *best_ms) {
+        *best_ms = ms;
+        *stats = rep_stats;
+      }
+    }
+    return out;
+  };
+
+  ExecStats row_stats, chunk_stats;
+  double row_ms = 0, chunk_ms = 0;
+  auto row_out = run_mode(ExecMode::kRow, &row_stats, &row_ms);
+  auto chunk_out = run_mode(ExecMode::kChunk, &chunk_stats, &chunk_ms);
+  if (!row_out.ok() || !chunk_out.ok()) {
+    std::fprintf(stderr, "smoke: pipeline failed: %s\n",
+                 (!row_out.ok() ? row_out.status() : chunk_out.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+
+  bool identical = row_out->num_partitions() == chunk_out->num_partitions();
+  for (int p = 0; identical && p < row_out->num_partitions(); ++p) {
+    identical = row_out->raw_partition(p) == chunk_out->raw_partition(p);
+  }
+  const double speedup = row_ms / chunk_ms;
+
+  FILE* f = std::fopen("BENCH_vec.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"chunk_pipeline\",\n"
+                 "  \"pipeline\": \"filter->project->hashjoin\",\n"
+                 "  \"rows\": %lld,\n"
+                 "  \"dim_rows\": %lld,\n"
+                 "  \"workers\": %d,\n"
+                 "  \"reps\": %d,\n"
+                 "  \"output_rows\": %lld,\n"
+                 "  \"row_ms\": %.3f,\n"
+                 "  \"chunk_ms\": %.3f,\n"
+                 "  \"speedup\": %.3f,\n"
+                 "  \"identical\": %s,\n"
+                 "  \"chunks_in\": %lld,\n"
+                 "  \"chunks_out\": %lld,\n"
+                 "  \"chunks_compacted\": %lld,\n"
+                 "  \"chunk_rows\": %lld\n"
+                 "}\n",
+                 static_cast<long long>(rows),
+                 static_cast<long long>(dim_rows), workers, reps,
+                 static_cast<long long>(chunk_out->NumRows()), row_ms,
+                 chunk_ms, speedup, identical ? "true" : "false",
+                 static_cast<long long>(chunk_stats.chunks_in()),
+                 static_cast<long long>(chunk_stats.chunks_out()),
+                 static_cast<long long>(chunk_stats.chunks_compacted()),
+                 static_cast<long long>(chunk_stats.chunk_rows()));
+    std::fclose(f);
+  }
+
+  std::printf(
+      "chunk pipeline smoke: rows=%lld row_ms=%.3f chunk_ms=%.3f "
+      "speedup=%.2fx identical=%s\n",
+      static_cast<long long>(rows), row_ms, chunk_ms, speedup,
+      identical ? "yes" : "NO");
+  if (!identical) {
+    std::fprintf(stderr, "smoke FAILED: row and chunk outputs diverge\n");
+    return 1;
+  }
+  if (speedup < 1.0) {
+    std::fprintf(stderr, "smoke FAILED: chunk path slower than row path\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace fudj
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      return fudj::RunChunkPipelineSmoke();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,24 +1,44 @@
 #include "engine/exchange.h"
 
+#include "common/hash.h"
 #include "common/status.h"
+#include "vec/chunk_io.h"
+#include "vec/data_chunk.h"
 
 namespace fudj {
 
 namespace {
 
-/// Shared implementation: `route(tuple, seq)` returns the list of target
-/// partitions for one tuple (`seq` is the tuple's ordinal within its source
-/// partition, used by round-robin).
-Result<PartitionedRelation> Route(
-    Cluster* cluster, const PartitionedRelation& in,
-    const std::function<void(const Tuple&, int64_t, std::vector<int>*)>&
-        route,
-    ExecStats* stats, const std::string& stage_name) {
+/// Row router: `by_tuple(t, seq, targets)` returns the target partitions
+/// of one tuple (`seq` is the tuple's ordinal within its source partition,
+/// used by round-robin). The optional columnwise variant lets chunked
+/// routing skip boxing when the route only needs hashed columns or no
+/// data at all.
+struct Router {
+  std::function<void(const Tuple&, int64_t, std::vector<int>*)> by_tuple;
+  std::function<void(const DataChunk&, int, int64_t, std::vector<int>*)>
+      by_chunk;
+};
+
+/// Shared implementation of all exchanges.
+///
+/// Phase 1 (parallel, timed): each source partition routes its rows into
+/// one outbound buffer per destination. The row path materializes the
+/// partition and re-serializes each routed tuple; the chunk path streams
+/// DataChunks and copies each routed row's source span verbatim, so both
+/// paths fill the outbound buffers with identical bytes.
+///
+/// Phase 2: merge inbound buffers and charge cross-worker traffic. A
+/// (source, dest) buffer of B bytes costs ShuffleFrameCount(B) messages —
+/// one per wire frame — not one flat message regardless of size.
+Result<PartitionedRelation> Route(Cluster* cluster,
+                                  const PartitionedRelation& in,
+                                  const Router& router, ExecStats* stats,
+                                  const std::string& stage_name,
+                                  ExecMode mode) {
   const int p_out = cluster->num_workers();
   const int p_in = in.num_partitions();
 
-  // Phase 1 (parallel, timed): each source partition serializes its rows
-  // into one outbound buffer per destination.
   std::vector<std::vector<ByteWriter>> outbound(
       p_in, std::vector<ByteWriter>(p_out));
   std::vector<std::vector<int64_t>> outbound_counts(
@@ -28,18 +48,44 @@ Result<PartitionedRelation> Route(
       [&](int p) -> Status {
         if (p >= p_in) return Status::OK();
         // Reset this source partition's outbound buffers: a retried
-        // partition re-serializes from scratch.
+        // partition re-routes from scratch.
         for (int d = 0; d < p_out; ++d) {
           outbound[p][d].Clear();
           outbound_counts[p][d] = 0;
         }
-        FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> rows,
-                              in.Materialize(p));
         std::vector<int> targets;
         int64_t seq = 0;
+        if (mode == ExecMode::kChunk) {
+          ChunkReader reader(in, p);
+          DataChunk chunk(in.schema());
+          Tuple scratch;
+          for (;;) {
+            FUDJ_ASSIGN_OR_RETURN(const bool more, reader.Next(&chunk));
+            if (!more) break;
+            for (int r = 0; r < chunk.size(); ++r) {
+              targets.clear();
+              if (router.by_chunk) {
+                router.by_chunk(chunk, r, seq, &targets);
+              } else {
+                chunk.GetTupleInto(r, &scratch);
+                router.by_tuple(scratch, seq, &targets);
+              }
+              ++seq;
+              const auto& span = chunk.span(r);
+              for (int d : targets) {
+                outbound[p][d].PutRaw(chunk.arena() + span.first,
+                                      span.second);
+                ++outbound_counts[p][d];
+              }
+            }
+          }
+          return Status::OK();
+        }
+        FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> rows,
+                              in.Materialize(p));
         for (const Tuple& t : rows) {
           targets.clear();
-          route(t, seq++, &targets);
+          router.by_tuple(t, seq++, &targets);
           for (int d : targets) {
             SerializeTuple(t, &outbound[p][d]);
             ++outbound_counts[p][d];
@@ -49,7 +95,6 @@ Result<PartitionedRelation> Route(
       },
       stats));
 
-  // Phase 2: merge inbound buffers; count cross-worker traffic.
   PartitionedRelation out(in.schema(), p_out);
   int64_t bytes = 0;
   int64_t messages = 0;
@@ -58,13 +103,33 @@ Result<PartitionedRelation> Route(
       if (outbound_counts[s][d] == 0) continue;
       out.AppendRaw(d, outbound[s][d].bytes(), outbound_counts[s][d]);
       if (s != d) {
-        bytes += static_cast<int64_t>(outbound[s][d].size());
-        ++messages;
+        const int64_t sz = static_cast<int64_t>(outbound[s][d].size());
+        bytes += sz;
+        messages += ShuffleFrameCount(sz);
       }
     }
   }
   cluster->ChargeNetwork(stage_name, bytes, messages, stats);
   return out;
+}
+
+Router TupleRouter(
+    std::function<void(const Tuple&, int64_t, std::vector<int>*)> fn) {
+  Router r;
+  r.by_tuple = std::move(fn);
+  return r;
+}
+
+/// Router whose decision ignores row contents entirely (broadcast,
+/// round-robin, gather): the chunk path never boxes a tuple.
+Router DataFreeRouter(std::function<void(int64_t, std::vector<int>*)> fn) {
+  Router r;
+  r.by_tuple = [fn](const Tuple&, int64_t seq, std::vector<int>* targets) {
+    fn(seq, targets);
+  };
+  r.by_chunk = [fn](const DataChunk&, int, int64_t seq,
+                    std::vector<int>* targets) { fn(seq, targets); };
+  return r;
 }
 
 }  // namespace
@@ -76,10 +141,28 @@ Result<PartitionedRelation> HashExchange(
   const int p = cluster->num_workers();
   return Route(
       cluster, in,
-      [&key_hash, p](const Tuple& t, int64_t, std::vector<int>* targets) {
+      TupleRouter([&key_hash, p](const Tuple& t, int64_t,
+                                 std::vector<int>* targets) {
         targets->push_back(static_cast<int>(key_hash(t) % p));
-      },
-      stats, stage_name);
+      }),
+      stats, stage_name, DefaultExecMode());
+}
+
+Result<PartitionedRelation> HashExchangeCols(
+    Cluster* cluster, const PartitionedRelation& in,
+    const std::vector<int>& cols, ExecStats* stats,
+    const std::string& stage_name) {
+  const int p = cluster->num_workers();
+  Router router;
+  router.by_tuple = [&cols, p](const Tuple& t, int64_t,
+                               std::vector<int>* targets) {
+    targets->push_back(static_cast<int>(HashTupleColumns(t, cols) % p));
+  };
+  router.by_chunk = [&cols, p](const DataChunk& chunk, int row, int64_t,
+                               std::vector<int>* targets) {
+    targets->push_back(static_cast<int>(chunk.HashColumns(row, cols) % p));
+  };
+  return Route(cluster, in, router, stats, stage_name, DefaultExecMode());
 }
 
 Result<PartitionedRelation> BroadcastExchange(Cluster* cluster,
@@ -87,12 +170,11 @@ Result<PartitionedRelation> BroadcastExchange(Cluster* cluster,
                                               ExecStats* stats,
                                               const std::string& stage_name) {
   const int p = cluster->num_workers();
-  return Route(
-      cluster, in,
-      [p](const Tuple&, int64_t, std::vector<int>* targets) {
-        for (int d = 0; d < p; ++d) targets->push_back(d);
-      },
-      stats, stage_name);
+  return Route(cluster, in,
+               DataFreeRouter([p](int64_t, std::vector<int>* targets) {
+                 for (int d = 0; d < p; ++d) targets->push_back(d);
+               }),
+               stats, stage_name, DefaultExecMode());
 }
 
 Result<PartitionedRelation> RandomExchange(Cluster* cluster,
@@ -100,24 +182,22 @@ Result<PartitionedRelation> RandomExchange(Cluster* cluster,
                                            ExecStats* stats,
                                            const std::string& stage_name) {
   const int p = cluster->num_workers();
-  return Route(
-      cluster, in,
-      [p](const Tuple&, int64_t seq, std::vector<int>* targets) {
-        targets->push_back(static_cast<int>(seq % p));
-      },
-      stats, stage_name);
+  return Route(cluster, in,
+               DataFreeRouter([p](int64_t seq, std::vector<int>* targets) {
+                 targets->push_back(static_cast<int>(seq % p));
+               }),
+               stats, stage_name, DefaultExecMode());
 }
 
 Result<PartitionedRelation> GatherExchange(Cluster* cluster,
                                            const PartitionedRelation& in,
                                            ExecStats* stats,
                                            const std::string& stage_name) {
-  return Route(
-      cluster, in,
-      [](const Tuple&, int64_t, std::vector<int>* targets) {
-        targets->push_back(0);
-      },
-      stats, stage_name);
+  return Route(cluster, in,
+               DataFreeRouter([](int64_t, std::vector<int>* targets) {
+                 targets->push_back(0);
+               }),
+               stats, stage_name, DefaultExecMode());
 }
 
 }  // namespace fudj

@@ -2,8 +2,10 @@
 #define FUDJ_ENGINE_EXCHANGE_H_
 
 #include <functional>
+#include <vector>
 
 #include "engine/cluster.h"
+#include "engine/exec_mode.h"
 #include "engine/relation.h"
 
 namespace fudj {
@@ -11,11 +13,34 @@ namespace fudj {
 /// Exchange (shuffle) operators. Each produces a new relation with the
 /// cluster's partition count, charges cross-worker bytes and messages to
 /// the network cost model, and times the per-partition split/merge work.
+///
+/// In ExecMode::kChunk the split loop streams each source partition as
+/// DataChunks and forwards routed rows as raw byte copies of their source
+/// spans — no tuple is deserialized-and-reserialized just to move it.
+
+/// A shuffled (source, dest) buffer is sent as frames of at most this many
+/// bytes; the network model charges one message per frame, so message cost
+/// scales with shipped volume instead of only with the number of
+/// populated (source, dest) pairs.
+inline constexpr int64_t kShuffleFrameBytes = 64 * 1024;
+
+/// Number of network messages charged for one `bytes`-sized transfer.
+inline int64_t ShuffleFrameCount(int64_t bytes) {
+  return (bytes + kShuffleFrameBytes - 1) / kShuffleFrameBytes;
+}
 
 /// Routes each tuple to partition `hash(key(t)) % P`.
 Result<PartitionedRelation> HashExchange(
     Cluster* cluster, const PartitionedRelation& in,
     const std::function<uint64_t(const Tuple&)>& key_hash, ExecStats* stats,
+    const std::string& stage_name = "hash-exchange");
+
+/// Routes each tuple by HashTupleColumns over `cols`. In chunk mode the
+/// hash is computed columnwise (no boxing); both modes place every row
+/// identically.
+Result<PartitionedRelation> HashExchangeCols(
+    Cluster* cluster, const PartitionedRelation& in,
+    const std::vector<int>& cols, ExecStats* stats,
     const std::string& stage_name = "hash-exchange");
 
 /// Replicates every tuple to every partition (theta-join / PPlan

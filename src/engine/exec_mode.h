@@ -1,0 +1,53 @@
+#ifndef FUDJ_ENGINE_EXEC_MODE_H_
+#define FUDJ_ENGINE_EXEC_MODE_H_
+
+#include <atomic>
+
+namespace fudj {
+
+/// How operators traverse partitions.
+///
+///  - kRow:   materialize a partition as std::vector<Tuple>, process
+///    tuple-at-a-time (the original engine path; kept as the reference
+///    implementation and for property tests).
+///  - kChunk: stream the partition as fixed-capacity columnar DataChunks
+///    (src/vec): survivors are marked in selection vectors, sparse chunks
+///    are compacted, and untransformed rows are re-emitted as raw byte
+///    copies of their source spans.
+///
+/// Both modes produce byte-identical partition arenas; tests assert this
+/// for every operator and every bundled join.
+enum class ExecMode { kRow, kChunk };
+
+namespace internal {
+inline std::atomic<ExecMode> g_default_exec_mode{ExecMode::kChunk};
+}  // namespace internal
+
+/// Process-wide default consulted by operators whose callers do not pass
+/// an explicit mode. Chunked execution is the production default; the row
+/// path remains selectable for A/B tests and benchmarks.
+inline ExecMode DefaultExecMode() {
+  return internal::g_default_exec_mode.load(std::memory_order_relaxed);
+}
+
+inline void SetDefaultExecMode(ExecMode m) {
+  internal::g_default_exec_mode.store(m, std::memory_order_relaxed);
+}
+
+/// RAII default-mode override for tests and benchmarks.
+class ScopedExecMode {
+ public:
+  explicit ScopedExecMode(ExecMode m) : saved_(DefaultExecMode()) {
+    SetDefaultExecMode(m);
+  }
+  ~ScopedExecMode() { SetDefaultExecMode(saved_); }
+  ScopedExecMode(const ScopedExecMode&) = delete;
+  ScopedExecMode& operator=(const ScopedExecMode&) = delete;
+
+ private:
+  ExecMode saved_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_ENGINE_EXEC_MODE_H_

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "common/hash.h"
 #include "engine/exchange.h"
+#include "vec/compactor.h"
+#include "vec/data_chunk.h"
+#include "vec/selection_vector.h"
 
 namespace fudj {
 
@@ -31,7 +35,7 @@ Result<PartitionedRelation> TransformPartitions(
       },
       stats));
   for (int p = 0; p < p_out; ++p) {
-    for (const Tuple& t : results[p]) out.Append(p, t);
+    out.AppendBatch(p, results[p]);
     rows_out += static_cast<int64_t>(results[p].size());
   }
   if (stats != nullptr && !stats->stages().empty()) {
@@ -42,33 +46,318 @@ Result<PartitionedRelation> TransformPartitions(
   return out;
 }
 
+Result<PartitionedRelation> TransformChunks(
+    Cluster* cluster, const PartitionedRelation& in, Schema out_schema,
+    const std::string& stage_name,
+    const std::function<Status(int, ChunkReader*, ChunkWriter*)>& fn,
+    ExecStats* stats) {
+  const int p_out = cluster->num_workers();
+  PartitionedRelation out(std::move(out_schema), p_out);
+  std::vector<ChunkWriter> writers(p_out);
+  FUDJ_RETURN_NOT_OK(cluster->RunStage(
+      stage_name,
+      [&](int p) -> Status {
+        if (p >= in.num_partitions()) return Status::OK();
+        // Clearing the writer makes a retried partition idempotent: the
+        // arena is rebuilt from scratch and flushed only after the whole
+        // stage succeeded.
+        writers[p].Clear();
+        ChunkReader reader(in, p);
+        return fn(p, &reader, &writers[p]);
+      },
+      stats));
+  int64_t rows_out = 0;
+  for (int p = 0; p < p_out; ++p) {
+    rows_out += writers[p].rows();
+    writers[p].FlushTo(&out, p);
+  }
+  if (stats != nullptr && !stats->stages().empty()) {
+    stats->set_output_rows(rows_out);
+  }
+  return out;
+}
+
 Result<PartitionedRelation> FilterRelation(
     Cluster* cluster, const PartitionedRelation& in,
     const std::function<bool(const Tuple&)>& pred, ExecStats* stats,
-    const std::string& stage_name) {
-  return TransformPartitions(
-      cluster, in, in.schema(), stage_name,
-      [&pred](int, const std::vector<Tuple>& rows, std::vector<Tuple>* out) {
-        for (const Tuple& t : rows) {
-          if (pred(t)) out->push_back(t);
+    const std::string& stage_name, ExecMode mode) {
+  if (mode == ExecMode::kRow) {
+    return TransformPartitions(
+        cluster, in, in.schema(), stage_name,
+        [&pred](int, const std::vector<Tuple>& rows,
+                std::vector<Tuple>* out) {
+          for (const Tuple& t : rows) {
+            if (pred(t)) out->push_back(t);
+          }
+          return Status::OK();
+        },
+        stats);
+  }
+  const int p_out = cluster->num_workers();
+  std::vector<CompactionStats> cstats(p_out);
+  FUDJ_ASSIGN_OR_RETURN(
+      PartitionedRelation out,
+      TransformChunks(
+          cluster, in, in.schema(), stage_name,
+          [&](int p, ChunkReader* reader, ChunkWriter* writer) -> Status {
+            cstats[p] = CompactionStats();
+            ChunkCompactor compactor(
+                in.schema(), DataChunk::kDefaultCapacity,
+                [writer](const DataChunk& c, const SelectionVector* sel) {
+                  if (sel != nullptr) {
+                    writer->AppendChunk(c, *sel);
+                  } else {
+                    writer->AppendChunk(c);
+                  }
+                });
+            DataChunk chunk(in.schema());
+            SelectionVector sel;
+            Tuple scratch;
+            for (;;) {
+              FUDJ_ASSIGN_OR_RETURN(const bool more, reader->Next(&chunk));
+              if (!more) break;
+              sel.Clear();
+              for (int r = 0; r < chunk.size(); ++r) {
+                chunk.GetTupleInto(r, &scratch);
+                if (pred(scratch)) sel.Append(r);
+              }
+              compactor.Push(chunk, sel);
+            }
+            compactor.Flush();
+            cstats[p] = compactor.stats();
+            return Status::OK();
+          },
+          stats));
+  if (stats != nullptr) {
+    CompactionStats total;
+    for (const CompactionStats& c : cstats) total.Merge(c);
+    stats->AddChunkStats(total.chunks_in, total.chunks_out,
+                         total.chunks_compacted, total.rows);
+  }
+  return out;
+}
+
+Result<PartitionedRelation> ProjectRelation(
+    Cluster* cluster, const PartitionedRelation& in, Schema out_schema,
+    const std::function<Tuple(const Tuple&)>& fn, ExecStats* stats,
+    const std::string& stage_name, ExecMode mode) {
+  if (mode == ExecMode::kRow) {
+    return TransformPartitions(
+        cluster, in, std::move(out_schema), stage_name,
+        [&fn](int, const std::vector<Tuple>& rows,
+              std::vector<Tuple>* out) {
+          out->reserve(rows.size());
+          for (const Tuple& t : rows) out->push_back(fn(t));
+          return Status::OK();
+        },
+        stats);
+  }
+  return TransformChunks(
+      cluster, in, std::move(out_schema), stage_name,
+      [&](int, ChunkReader* reader, ChunkWriter* writer) -> Status {
+        DataChunk chunk(in.schema());
+        Tuple scratch;
+        for (;;) {
+          FUDJ_ASSIGN_OR_RETURN(const bool more, reader->Next(&chunk));
+          if (!more) break;
+          for (int r = 0; r < chunk.size(); ++r) {
+            chunk.GetTupleInto(r, &scratch);
+            writer->AppendTuple(fn(scratch));
+          }
         }
         return Status::OK();
       },
       stats);
 }
 
-Result<PartitionedRelation> ProjectRelation(
-    Cluster* cluster, const PartitionedRelation& in, Schema out_schema,
-    const std::function<Tuple(const Tuple&)>& fn, ExecStats* stats,
-    const std::string& stage_name) {
-  return TransformPartitions(
-      cluster, in, std::move(out_schema), stage_name,
-      [&fn](int, const std::vector<Tuple>& rows, std::vector<Tuple>* out) {
-        out->reserve(rows.size());
-        for (const Tuple& t : rows) out->push_back(fn(t));
+namespace {
+
+Schema JoinedSchema(const Schema& left, const Schema& right) {
+  Schema out;
+  for (int c = 0; c < left.num_fields(); ++c) {
+    out.AddField(left.field(c).name, left.field(c).type);
+  }
+  for (int c = 0; c < right.num_fields(); ++c) {
+    out.AddField(right.field(c).name, right.field(c).type);
+  }
+  return out;
+}
+
+bool JoinKeysEqual(const Tuple& l, const std::vector<int>& lk,
+                   const Tuple& r, const std::vector<int>& rk) {
+  for (size_t i = 0; i < lk.size(); ++i) {
+    if (l[lk[i]].Compare(r[rk[i]]) != 0) return false;
+  }
+  return true;
+}
+
+/// Bytes a LEB128 varint of `v` occupies.
+int VarintLen(uint64_t v) {
+  int n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Writes the value payload of one row (everything after the arity
+/// varint) into `out`. When the chunk carries source spans this is a raw
+/// byte copy; otherwise each column re-serializes from its lane with the
+/// identical wire encoding.
+void EmitRowPayload(const DataChunk& chunk, int row, int arity_len,
+                    ByteWriter* out) {
+  if (chunk.has_spans()) {
+    const auto& span = chunk.span(row);
+    out->PutRaw(chunk.arena() + span.first + arity_len,
+                span.second - arity_len);
+    return;
+  }
+  for (int c = 0; c < chunk.num_columns(); ++c) {
+    chunk.column(c).SerializeValueAt(row, out);
+  }
+}
+
+/// A build-side row address: (chunk index, row within chunk).
+struct BuildRef {
+  int chunk = 0;
+  int row = 0;
+};
+
+}  // namespace
+
+Result<PartitionedRelation> HashJoinRelation(
+    Cluster* cluster, const PartitionedRelation& left,
+    const std::vector<int>& left_keys, const PartitionedRelation& right,
+    const std::vector<int>& right_keys, ExecStats* stats,
+    const std::string& stage_name, ExecMode mode) {
+  // Co-partition both sides on their key columns. HashExchangeCols places
+  // rows identically in both exec modes, so the join partitions agree.
+  FUDJ_ASSIGN_OR_RETURN(
+      PartitionedRelation l_ex,
+      HashExchangeCols(cluster, left, left_keys, stats,
+                       stage_name + "-exchange-L"));
+  FUDJ_ASSIGN_OR_RETURN(
+      PartitionedRelation r_ex,
+      HashExchangeCols(cluster, right, right_keys, stats,
+                       stage_name + "-exchange-R"));
+
+  Schema out_schema = JoinedSchema(left.schema(), right.schema());
+  const int p_out = cluster->num_workers();
+
+  if (mode == ExecMode::kRow) {
+    PartitionedRelation out(std::move(out_schema), p_out);
+    std::vector<std::vector<Tuple>> results(p_out);
+    FUDJ_RETURN_NOT_OK(cluster->RunStage(
+        stage_name,
+        [&](int p) -> Status {
+          results[p].clear();
+          FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> r_rows,
+                                r_ex.Materialize(p));
+          FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> l_rows,
+                                l_ex.Materialize(p));
+          // Hash groups keep build-row order, so the probe emits matches
+          // in right-row order regardless of map internals.
+          std::unordered_map<uint64_t, std::vector<size_t>> build;
+          for (size_t i = 0; i < r_rows.size(); ++i) {
+            build[HashTupleColumns(r_rows[i], right_keys)].push_back(i);
+          }
+          for (const Tuple& l : l_rows) {
+            auto it = build.find(HashTupleColumns(l, left_keys));
+            if (it == build.end()) continue;
+            for (size_t ri : it->second) {
+              if (!JoinKeysEqual(l, left_keys, r_rows[ri], right_keys)) {
+                continue;
+              }
+              Tuple joined = l;
+              joined.insert(joined.end(), r_rows[ri].begin(),
+                            r_rows[ri].end());
+              results[p].push_back(std::move(joined));
+            }
+          }
+          return Status::OK();
+        },
+        stats));
+    int64_t rows_out = 0;
+    for (int p = 0; p < p_out; ++p) {
+      out.AppendBatch(p, results[p]);
+      rows_out += static_cast<int64_t>(results[p].size());
+    }
+    if (stats != nullptr) stats->set_output_rows(rows_out);
+    return out;
+  }
+
+  // Chunk mode: stream the build side into pinned chunks, hash columnwise,
+  // then probe chunk-at-a-time and compose output rows from the two
+  // sides' serialized payloads.
+  PartitionedRelation out(std::move(out_schema), p_out);
+  std::vector<ChunkWriter> writers(p_out);
+  const int l_arity = left.schema().num_fields();
+  const int r_arity = right.schema().num_fields();
+  const uint64_t out_arity = static_cast<uint64_t>(l_arity + r_arity);
+  const int l_hdr = VarintLen(static_cast<uint64_t>(l_arity));
+  const int r_hdr = VarintLen(static_cast<uint64_t>(r_arity));
+  FUDJ_RETURN_NOT_OK(cluster->RunStage(
+      stage_name,
+      [&](int p) -> Status {
+        writers[p].Clear();
+        ChunkWriter* writer = &writers[p];
+        std::vector<DataChunk> build_chunks;
+        {
+          ChunkReader reader(r_ex, p);
+          for (;;) {
+            DataChunk chunk(r_ex.schema());
+            FUDJ_ASSIGN_OR_RETURN(const bool more, reader.Next(&chunk));
+            if (!more) break;
+            build_chunks.push_back(std::move(chunk));
+          }
+        }
+        std::unordered_map<uint64_t, std::vector<BuildRef>> build;
+        for (size_t ci = 0; ci < build_chunks.size(); ++ci) {
+          const DataChunk& c = build_chunks[ci];
+          for (int r = 0; r < c.size(); ++r) {
+            build[c.HashColumns(r, right_keys)].push_back(
+                BuildRef{static_cast<int>(ci), r});
+          }
+        }
+        ChunkReader probe(l_ex, p);
+        DataChunk chunk(l_ex.schema());
+        for (;;) {
+          FUDJ_ASSIGN_OR_RETURN(const bool more, probe.Next(&chunk));
+          if (!more) break;
+          for (int r = 0; r < chunk.size(); ++r) {
+            auto it = build.find(chunk.HashColumns(r, left_keys));
+            if (it == build.end()) continue;
+            for (const BuildRef& ref : it->second) {
+              const DataChunk& bc = build_chunks[ref.chunk];
+              bool equal = true;
+              for (size_t k = 0; k < left_keys.size(); ++k) {
+                if (chunk.GetValue(left_keys[k], r)
+                        .Compare(bc.GetValue(right_keys[k], ref.row)) !=
+                    0) {
+                  equal = false;
+                  break;
+                }
+              }
+              if (!equal) continue;
+              ByteWriter* arena = writer->arena();
+              arena->PutVarint(out_arity);
+              EmitRowPayload(chunk, r, l_hdr, arena);
+              EmitRowPayload(bc, ref.row, r_hdr, arena);
+              writer->CommitRow();
+            }
+          }
+        }
         return Status::OK();
       },
-      stats);
+      stats));
+  int64_t rows_out = 0;
+  for (int p = 0; p < p_out; ++p) {
+    rows_out += writers[p].rows();
+    writers[p].FlushTo(&out, p);
+  }
+  if (stats != nullptr) stats->set_output_rows(rows_out);
+  return out;
 }
 
 namespace {
@@ -170,12 +459,8 @@ Result<PartitionedRelation> GroupByAggregate(
   // optimizer emits.)
   FUDJ_ASSIGN_OR_RETURN(
       PartitionedRelation exchanged,
-      HashExchange(
-          cluster, in,
-          [&group_cols](const Tuple& t) {
-            return HashTupleColumns(t, group_cols);
-          },
-          stats, "groupby-exchange"));
+      HashExchangeCols(cluster, in, group_cols, stats,
+                       "groupby-exchange"));
 
   Schema out_schema = GroupByOutputSchema(in.schema(), group_cols, aggs);
   return TransformPartitions(

@@ -6,15 +6,21 @@
 #include <vector>
 
 #include "engine/cluster.h"
+#include "engine/exec_mode.h"
 #include "engine/relation.h"
+#include "vec/chunk_io.h"
 
 namespace fudj {
 
 /// Per-partition relational operators. Each runs once per partition under
-/// Cluster::RunStage so busy time and makespan are accounted.
+/// Cluster::RunStage so busy time and makespan are accounted. Operators
+/// with a `mode` parameter run either tuple-at-a-time (ExecMode::kRow) or
+/// over streamed columnar DataChunks (ExecMode::kChunk); both modes
+/// produce byte-identical output partitions.
 
 /// Generic partition-wise transformation; `fn` consumes the materialized
-/// rows of one partition and emits output rows.
+/// rows of one partition and emits output rows (row engine; UDJ-facing
+/// stages that need whole-partition Tuple vectors keep using this).
 Result<PartitionedRelation> TransformPartitions(
     Cluster* cluster, const PartitionedRelation& in, Schema out_schema,
     const std::string& stage_name,
@@ -22,17 +28,44 @@ Result<PartitionedRelation> TransformPartitions(
                                std::vector<Tuple>*)>& fn,
     ExecStats* stats);
 
-/// Keeps tuples satisfying `pred`.
+/// Chunked analogue of TransformPartitions: `fn` streams one partition
+/// through a ChunkReader and emits serialized rows into a ChunkWriter.
+/// The writer is cleared at the start of every attempt, so retried
+/// partitions are idempotent; writers flush into the output relation only
+/// after the stage (and all its retries) succeeded.
+Result<PartitionedRelation> TransformChunks(
+    Cluster* cluster, const PartitionedRelation& in, Schema out_schema,
+    const std::string& stage_name,
+    const std::function<Status(int, ChunkReader*, ChunkWriter*)>& fn,
+    ExecStats* stats);
+
+/// Keeps tuples satisfying `pred`. The chunk path marks survivors in a
+/// SelectionVector, compacts sparse chunks, and re-emits surviving rows
+/// as raw byte copies of their source spans.
 Result<PartitionedRelation> FilterRelation(
     Cluster* cluster, const PartitionedRelation& in,
     const std::function<bool(const Tuple&)>& pred, ExecStats* stats,
-    const std::string& stage_name = "filter");
+    const std::string& stage_name = "filter",
+    ExecMode mode = DefaultExecMode());
 
 /// Maps each tuple through `fn` (projection / computed columns).
 Result<PartitionedRelation> ProjectRelation(
     Cluster* cluster, const PartitionedRelation& in, Schema out_schema,
     const std::function<Tuple(const Tuple&)>& fn, ExecStats* stats,
-    const std::string& stage_name = "project");
+    const std::string& stage_name = "project",
+    ExecMode mode = DefaultExecMode());
+
+/// Distributed equi-join: hash-exchanges both sides on their key columns,
+/// then builds a hash table on the right side of each partition and
+/// probes with the left. Output schema is left fields followed by right
+/// fields; output order is (left row order) x (right row order) within
+/// each partition, identical in both exec modes.
+Result<PartitionedRelation> HashJoinRelation(
+    Cluster* cluster, const PartitionedRelation& left,
+    const std::vector<int>& left_keys, const PartitionedRelation& right,
+    const std::vector<int>& right_keys, ExecStats* stats,
+    const std::string& stage_name = "hash-join",
+    ExecMode mode = DefaultExecMode());
 
 /// Aggregate function kinds supported by GROUP BY.
 enum class AggKind { kCount, kSum, kAvg, kMin, kMax };

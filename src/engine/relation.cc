@@ -19,6 +19,20 @@ void PartitionedRelation::Append(int p, const Tuple& t) {
   ++counts_[p];
 }
 
+void PartitionedRelation::AppendBatch(int p,
+                                      const std::vector<Tuple>& tuples) {
+  if (tuples.empty()) return;
+  ByteWriter w;
+  for (const Tuple& t : tuples) SerializeTuple(t, &w);
+  auto& buf = partitions_[p];
+  buf.insert(buf.end(), w.bytes().begin(), w.bytes().end());
+  counts_[p] += static_cast<int64_t>(tuples.size());
+}
+
+void PartitionedRelation::Reserve(int p, size_t bytes) {
+  partitions_[p].reserve(partitions_[p].size() + bytes);
+}
+
 void PartitionedRelation::AppendRaw(int p, const std::vector<uint8_t>& bytes,
                                     int64_t count) {
   auto& buf = partitions_[p];

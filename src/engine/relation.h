@@ -37,8 +37,14 @@ class PartitionedRelation {
 
   /// Serializes `t` into partition `p`.
   void Append(int p, const Tuple& t);
-  /// Appends pre-serialized bytes holding `count` tuples (exchange path).
+  /// Serializes a whole batch into partition `p` with one arena append —
+  /// operator emit loops use this instead of per-tuple Append.
+  void AppendBatch(int p, const std::vector<Tuple>& tuples);
+  /// Appends pre-serialized bytes holding `count` tuples (exchange and
+  /// ChunkWriter paths).
   void AppendRaw(int p, const std::vector<uint8_t>& bytes, int64_t count);
+  /// Pre-grows partition `p`'s arena by `bytes`.
+  void Reserve(int p, size_t bytes);
 
   /// Deserializes all tuples of partition `p`.
   Result<std::vector<Tuple>> Materialize(int p) const;

@@ -78,6 +78,10 @@ void ExecStats::Merge(const ExecStats& other) {
   total_retries_ += other.total_retries_;
   recovery_ms_ += other.recovery_ms_;
   network_retransmits_ += other.network_retransmits_;
+  chunks_in_ += other.chunks_in_;
+  chunks_out_ += other.chunks_out_;
+  chunks_compacted_ += other.chunks_compacted_;
+  chunk_rows_ += other.chunk_rows_;
   stages_.insert(stages_.end(), other.stages_.begin(), other.stages_.end());
   warnings_.insert(warnings_.end(), other.warnings_.begin(),
                    other.warnings_.end());
@@ -100,6 +104,15 @@ std::string ExecStats::ToString() const {
                   "retransmits=%lld\n",
                   static_cast<long long>(total_retries_), recovery_ms_,
                   static_cast<long long>(network_retransmits_));
+    out += line;
+  }
+  if (chunks_in_ > 0) {
+    std::snprintf(line, sizeof(line),
+                  "chunks: in=%lld  out=%lld  compacted=%lld  rows=%lld\n",
+                  static_cast<long long>(chunks_in_),
+                  static_cast<long long>(chunks_out_),
+                  static_cast<long long>(chunks_compacted_),
+                  static_cast<long long>(chunk_rows_));
     out += line;
   }
   for (const StageStat& s : stages_) {

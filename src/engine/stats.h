@@ -95,6 +95,20 @@ class ExecStats {
   double recovery_ms() const { return recovery_ms_; }
   int64_t network_retransmits() const { return network_retransmits_; }
 
+  /// Vectorized-path accounting, reported by chunked operators (plain
+  /// counters so this header does not depend on src/vec).
+  void AddChunkStats(int64_t chunks_in, int64_t chunks_out,
+                     int64_t chunks_compacted, int64_t chunk_rows) {
+    chunks_in_ += chunks_in;
+    chunks_out_ += chunks_out;
+    chunks_compacted_ += chunks_compacted;
+    chunk_rows_ += chunk_rows;
+  }
+  int64_t chunks_in() const { return chunks_in_; }
+  int64_t chunks_out() const { return chunks_out_; }
+  int64_t chunks_compacted() const { return chunks_compacted_; }
+  int64_t chunk_rows() const { return chunk_rows_; }
+
   /// Multi-line human-readable breakdown.
   std::string ToString() const;
 
@@ -108,6 +122,10 @@ class ExecStats {
   int64_t total_retries_ = 0;
   double recovery_ms_ = 0.0;
   int64_t network_retransmits_ = 0;
+  int64_t chunks_in_ = 0;
+  int64_t chunks_out_ = 0;
+  int64_t chunks_compacted_ = 0;
+  int64_t chunk_rows_ = 0;
 };
 
 }  // namespace fudj

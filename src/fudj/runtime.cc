@@ -9,6 +9,8 @@
 #include "common/stopwatch.h"
 #include "engine/exchange.h"
 #include "serde/serde.h"
+#include "vec/chunk_io.h"
+#include "vec/data_chunk.h"
 
 namespace fudj {
 
@@ -21,10 +23,25 @@ Result<std::unique_ptr<Summary>> FudjRuntime::Summarize(
       "summarize-" + label,
       [&](int p) -> Status {
         if (p >= p_in) return Status::OK();
-        FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> rows,
-                              rel.Materialize(p));
         // Fresh summary per attempt: a retried partition restarts clean.
         partials[p] = sandbox_.CreateSummary(side);
+        if (exec_mode_ == ExecMode::kChunk) {
+          // Stream the partition chunk-at-a-time; only the key column is
+          // boxed (Summary::Add is a UDJ callback and takes a Value).
+          ChunkReader reader(rel, p);
+          DataChunk chunk(rel.schema());
+          for (;;) {
+            FUDJ_ASSIGN_OR_RETURN(const bool more, reader.Next(&chunk));
+            if (!more) break;
+            const ColumnVector& key = chunk.column(key_col);
+            for (int r = 0; r < chunk.size(); ++r) {
+              partials[p]->Add(key.GetValue(r));
+            }
+          }
+          return Status::OK();
+        }
+        FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> rows,
+                              rel.Materialize(p));
         for (const Tuple& t : rows) partials[p]->Add(t[key_col]);
         return Status::OK();
       },
@@ -163,6 +180,33 @@ bool HasAssignmentsColumn(const Schema& schema) {
          schema.field(schema.num_fields() - 1).name == kAssignmentsColumn;
 }
 
+/// Bytes a LEB128 varint of `v` occupies.
+int VarintLen(uint64_t v) {
+  int n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Appends the serialized value payload of one chunk row — everything
+/// after the arity varint — as a raw span copy when the chunk mirrors a
+/// source arena, columnwise re-serialization otherwise. Both produce the
+/// exact SerializeTuple value bytes.
+void AppendRowPayload(const DataChunk& chunk, int row, int arity_len,
+                      ByteWriter* out) {
+  if (chunk.has_spans()) {
+    const auto& span = chunk.span(row);
+    out->PutRaw(chunk.arena() + span.first + arity_len,
+                span.second - arity_len);
+    return;
+  }
+  for (int c = 0; c < chunk.num_columns(); ++c) {
+    chunk.column(c).SerializeValueAt(row, out);
+  }
+}
+
 }  // namespace
 
 Result<PartitionedRelation> FudjRuntime::AssignUnnest(
@@ -178,6 +222,55 @@ Result<PartitionedRelation> FudjRuntime::AssignUnnest(
     out_schema.AddField(kAssignmentsColumn, ValueType::kString);
   }
   const FlexibleJoin* join = &sandbox_;
+  if (exec_mode_ == ExecMode::kChunk) {
+    // Stream chunks; only the key column is boxed for the Assign
+    // callback. Each unnested row is composed straight into the output
+    // arena: arity varint, serialized bucket id, then the input row's
+    // value payload copied verbatim from its source span.
+    const Schema& in_schema = rel.schema();
+    const uint64_t out_arity =
+        static_cast<uint64_t>(out_schema.num_fields());
+    const int in_hdr =
+        VarintLen(static_cast<uint64_t>(in_schema.num_fields()));
+    return TransformChunks(
+        cluster_, rel, std::move(out_schema), "assign-" + label,
+        [join, key_col, &plan, side, attach_assignments, &in_schema,
+         out_arity, in_hdr](int, ChunkReader* reader,
+                            ChunkWriter* writer) -> Status {
+          DataChunk chunk(in_schema);
+          std::vector<int32_t> buckets;
+          std::vector<int32_t> sorted;
+          for (;;) {
+            FUDJ_ASSIGN_OR_RETURN(const bool more, reader->Next(&chunk));
+            if (!more) break;
+            const ColumnVector& key = chunk.column(key_col);
+            for (int r = 0; r < chunk.size(); ++r) {
+              buckets.clear();
+              join->Assign(key.GetValue(r), plan, side, &buckets);
+              std::string encoded;
+              if (attach_assignments) {
+                sorted = buckets;
+                std::sort(sorted.begin(), sorted.end());
+                encoded = EncodeAssignments(sorted);
+              }
+              for (const int32_t b : buckets) {
+                ByteWriter* arena = writer->arena();
+                arena->PutVarint(out_arity);
+                SerializeValue(Value::Int64(b), arena);
+                AppendRowPayload(chunk, r, in_hdr, arena);
+                if (attach_assignments) {
+                  arena->PutU8(
+                      static_cast<uint8_t>(ValueType::kString));
+                  arena->PutString(encoded);
+                }
+                writer->CommitRow();
+              }
+            }
+          }
+          return Status::OK();
+        },
+        stats);
+  }
   return TransformPartitions(
       cluster_, rel, std::move(out_schema), "assign-" + label,
       [join, key_col, &plan, side, attach_assignments](
@@ -262,101 +355,117 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
   if (hash_path) {
     // Single-join: hash-partition both sides on bucket_id, then a local
     // hash join per worker (§VI-C's Hash Join physical optimization).
-    auto bucket_hash = [](const Tuple& t) {
-      return Mix64(static_cast<uint64_t>(t[0].i64()));
-    };
+    // HashExchangeCols places rows identically in both exec modes (and
+    // hashes the bucket column without boxing in chunk mode).
+    const std::vector<int> bucket_col = {0};
     FUDJ_ASSIGN_OR_RETURN(
         PartitionedRelation l_ex,
-        HashExchange(cluster_, left, bucket_hash, stats, "bucket-exchange-L"));
+        HashExchangeCols(cluster_, left, bucket_col, stats,
+                         "bucket-exchange-L"));
     FUDJ_ASSIGN_OR_RETURN(
         PartitionedRelation r_ex,
-        HashExchange(cluster_, right, bucket_hash, stats,
-                     "bucket-exchange-R"));
+        HashExchangeCols(cluster_, right, bucket_col, stats,
+                         "bucket-exchange-R"));
     const bool l_carried = HasAssignmentsColumn(l_ex.schema());
     const bool r_carried = HasAssignmentsColumn(r_ex.schema());
-    FUDJ_ASSIGN_OR_RETURN(
-        joined,
-        TransformPartitions(
-            cluster_, l_ex, out_schema, "bucket-hashjoin",
-            [&r_ex, join, lk, rk, &plan, avoidance, l_carried, r_carried](
-                int p, const std::vector<Tuple>& l_rows,
-                std::vector<Tuple>* out) -> Status {
-              FUDJ_ASSIGN_OR_RETURN(std::vector<Tuple> r_rows,
-                                    r_ex.Materialize(p));
-              std::unordered_multimap<int64_t, size_t> build;
-              build.reserve(r_rows.size());
-              for (size_t j = 0; j < r_rows.size(); ++j) {
-                build.emplace(r_rows[j][0].i64(), j);
-              }
-              // Default-dedup fast path: use each record's sorted
-              // assignment list (carried from AssignUnnest, or computed
-              // once per record here); a pair is kept only in its
-              // smallest common bucket.
-              const bool fast_dedup = avoidance && join->UsesDefaultDedup();
-              std::vector<std::vector<int32_t>> l_assign;
-              std::vector<std::vector<int32_t>> r_assign;
-              if (fast_dedup) {
-                l_assign.resize(l_rows.size());
-                r_assign.resize(r_rows.size());
-                for (size_t i = 0; i < l_rows.size(); ++i) {
-                  if (l_carried) {
-                    l_assign[i] = DecodeAssignments(l_rows[i].back().str());
-                  } else {
-                    join->Assign(l_rows[i][lk], plan, JoinSide::kLeft,
-                                 &l_assign[i]);
-                    std::sort(l_assign[i].begin(), l_assign[i].end());
-                  }
-                }
+    const bool fast_dedup = avoidance && join->UsesDefaultDedup();
+    auto smallest_common = [](const std::vector<int32_t>& a,
+                              const std::vector<int32_t>& b) {
+      size_t i = 0;
+      size_t j = 0;
+      while (i < a.size() && j < b.size()) {
+        if (a[i] == b[j]) return a[i];
+        if (a[i] < b[j]) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+      return INT32_MIN;  // unreachable for matched pairs
+    };
+    if (exec_mode_ == ExecMode::kChunk) {
+      FUDJ_ASSIGN_OR_RETURN(
+          joined, CombineHashJoinChunked(l_ex, r_ex, out_schema, lk, rk,
+                                         plan, avoidance, fast_dedup,
+                                         l_carried, r_carried,
+                                         smallest_common, stats));
+    } else {
+      FUDJ_ASSIGN_OR_RETURN(
+          joined,
+          TransformPartitions(
+              cluster_, l_ex, out_schema, "bucket-hashjoin",
+              [&r_ex, join, lk, rk, &plan, avoidance, fast_dedup,
+               l_carried, r_carried, &smallest_common](
+                  int p, const std::vector<Tuple>& l_rows,
+                  std::vector<Tuple>* out) -> Status {
+                FUDJ_ASSIGN_OR_RETURN(std::vector<Tuple> r_rows,
+                                      r_ex.Materialize(p));
+                // Hash groups keep build-row order, so matches emit in
+                // right-row order — the chunk path iterates identically.
+                std::unordered_map<int64_t, std::vector<size_t>> build;
+                build.reserve(r_rows.size());
                 for (size_t j = 0; j < r_rows.size(); ++j) {
-                  if (r_carried) {
-                    r_assign[j] = DecodeAssignments(r_rows[j].back().str());
-                  } else {
-                    join->Assign(r_rows[j][rk], plan, JoinSide::kRight,
-                                 &r_assign[j]);
-                    std::sort(r_assign[j].begin(), r_assign[j].end());
-                  }
+                  build[r_rows[j][0].i64()].push_back(j);
                 }
-              }
-              auto smallest_common = [](const std::vector<int32_t>& a,
-                                        const std::vector<int32_t>& b) {
-                size_t i = 0;
-                size_t j = 0;
-                while (i < a.size() && j < b.size()) {
-                  if (a[i] == b[j]) return a[i];
-                  if (a[i] < b[j]) {
-                    ++i;
-                  } else {
-                    ++j;
-                  }
-                }
-                return INT32_MIN;  // unreachable for matched pairs
-              };
-              for (size_t i = 0; i < l_rows.size(); ++i) {
-                const Tuple& l = l_rows[i];
-                auto [lo, hi] = build.equal_range(l[0].i64());
-                for (auto it = lo; it != hi; ++it) {
-                  const size_t j = it->second;
-                  const Tuple& r = r_rows[j];
-                  if (fast_dedup) {
-                    // Cheap dedup before the (possibly expensive) verify.
-                    if (smallest_common(l_assign[i], r_assign[j]) !=
-                        static_cast<int32_t>(l[0].i64())) {
-                      continue;
+                // Default-dedup fast path: use each record's sorted
+                // assignment list (carried from AssignUnnest, or computed
+                // once per record here); a pair is kept only in its
+                // smallest common bucket.
+                std::vector<std::vector<int32_t>> l_assign;
+                std::vector<std::vector<int32_t>> r_assign;
+                if (fast_dedup) {
+                  l_assign.resize(l_rows.size());
+                  r_assign.resize(r_rows.size());
+                  for (size_t i = 0; i < l_rows.size(); ++i) {
+                    if (l_carried) {
+                      l_assign[i] =
+                          DecodeAssignments(l_rows[i].back().str());
+                    } else {
+                      join->Assign(l_rows[i][lk], plan, JoinSide::kLeft,
+                                   &l_assign[i]);
+                      std::sort(l_assign[i].begin(), l_assign[i].end());
                     }
                   }
-                  if (!join->Verify(l[lk], r[rk], plan)) continue;
-                  if (avoidance && !fast_dedup &&
-                      !join->Dedup(static_cast<int32_t>(l[0].i64()), l[lk],
-                                   static_cast<int32_t>(r[0].i64()), r[rk],
-                                   plan)) {
-                    continue;
+                  for (size_t j = 0; j < r_rows.size(); ++j) {
+                    if (r_carried) {
+                      r_assign[j] =
+                          DecodeAssignments(r_rows[j].back().str());
+                    } else {
+                      join->Assign(r_rows[j][rk], plan, JoinSide::kRight,
+                                   &r_assign[j]);
+                      std::sort(r_assign[j].begin(), r_assign[j].end());
+                    }
                   }
-                  out->push_back(EmitPair(l, r, l_carried, r_carried));
                 }
-              }
-              return Status::OK();
-            },
-            stats));
+                for (size_t i = 0; i < l_rows.size(); ++i) {
+                  const Tuple& l = l_rows[i];
+                  auto it = build.find(l[0].i64());
+                  if (it == build.end()) continue;
+                  for (const size_t j : it->second) {
+                    const Tuple& r = r_rows[j];
+                    if (fast_dedup) {
+                      // Cheap dedup before the (possibly expensive)
+                      // verify.
+                      if (smallest_common(l_assign[i], r_assign[j]) !=
+                          static_cast<int32_t>(l[0].i64())) {
+                        continue;
+                      }
+                    }
+                    if (!join->Verify(l[lk], r[rk], plan)) continue;
+                    if (avoidance && !fast_dedup &&
+                        !join->Dedup(static_cast<int32_t>(l[0].i64()),
+                                     l[lk],
+                                     static_cast<int32_t>(r[0].i64()),
+                                     r[rk], plan)) {
+                      continue;
+                    }
+                    out->push_back(EmitPair(l, r, l_carried, r_carried));
+                  }
+                }
+                return Status::OK();
+              },
+              stats));
+    }
   } else {
     // Multi-join (theta bucket matching): AsterixDB has no theta
     // partitioning, so one side is randomly partitioned and the other
@@ -412,18 +521,14 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
     // Global duplicate elimination: shuffle on the full output row so
     // identical pairs co-locate, then drop repeats (Fig. 5a's extra
     // stage).
+    std::vector<int> all_cols(joined.schema().num_fields());
+    for (size_t i = 0; i < all_cols.size(); ++i) {
+      all_cols[i] = static_cast<int>(i);
+    }
     FUDJ_ASSIGN_OR_RETURN(
         PartitionedRelation shuffled,
-        HashExchange(
-            cluster_, joined,
-            [](const Tuple& t) {
-              std::vector<int> all(t.size());
-              for (size_t i = 0; i < t.size(); ++i) {
-                all[i] = static_cast<int>(i);
-              }
-              return HashTupleColumns(t, all);
-            },
-            stats, "dedup-exchange"));
+        HashExchangeCols(cluster_, joined, all_cols, stats,
+                         "dedup-exchange"));
     FUDJ_ASSIGN_OR_RETURN(
         joined,
         TransformPartitions(
@@ -443,6 +548,139 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
             stats));
   }
   return joined;
+}
+
+Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
+    const PartitionedRelation& l_ex, const PartitionedRelation& r_ex,
+    const Schema& out_schema, int lk, int rk, const PPlan& plan,
+    bool avoidance, bool fast_dedup, bool l_carried, bool r_carried,
+    const std::function<int32_t(const std::vector<int32_t>&,
+                                const std::vector<int32_t>&)>&
+        smallest_common,
+    ExecStats* stats) const {
+  const FlexibleJoin* join = &sandbox_;
+  const int p_out = cluster_->num_workers();
+  PartitionedRelation out(out_schema, p_out);
+  std::vector<ChunkWriter> writers(p_out);
+  const int l_fields = l_ex.schema().num_fields();
+  const int r_fields = r_ex.schema().num_fields();
+  // Output drops the bucket_id (col 0) and any trailing carried
+  // assignments column from both sides.
+  const int l_end = l_fields - (l_carried ? 1 : 0);
+  const int r_end = r_fields - (r_carried ? 1 : 0);
+  const uint64_t out_arity =
+      static_cast<uint64_t>((l_end - 1) + (r_end - 1));
+  FUDJ_RETURN_NOT_OK(cluster_->RunStage(
+      "bucket-hashjoin",
+      [&](int p) -> Status {
+        writers[p].Clear();
+        ChunkWriter* writer = &writers[p];
+        // Build side: pin every chunk of this partition; `base[ci]` is
+        // the partition-global index of chunk ci's first row.
+        std::vector<DataChunk> build_chunks;
+        std::vector<int> base;
+        int build_rows = 0;
+        {
+          ChunkReader reader(r_ex, p);
+          for (;;) {
+            DataChunk chunk(r_ex.schema());
+            FUDJ_ASSIGN_OR_RETURN(const bool more, reader.Next(&chunk));
+            if (!more) break;
+            base.push_back(build_rows);
+            build_rows += chunk.size();
+            build_chunks.push_back(std::move(chunk));
+          }
+        }
+        // Hash groups keep build-row order, matching the row path.
+        std::unordered_map<int64_t, std::vector<std::pair<int, int>>>
+            build;
+        build.reserve(build_rows);
+        std::vector<std::vector<int32_t>> r_assign;
+        if (fast_dedup) r_assign.resize(build_rows);
+        for (size_t ci = 0; ci < build_chunks.size(); ++ci) {
+          const DataChunk& bc = build_chunks[ci];
+          const ColumnVector& bucket = bc.column(0);
+          for (int r = 0; r < bc.size(); ++r) {
+            build[bucket.i64(r)].emplace_back(static_cast<int>(ci), r);
+            if (fast_dedup) {
+              std::vector<int32_t>& a = r_assign[base[ci] + r];
+              if (r_carried) {
+                a = DecodeAssignments(bc.column(r_fields - 1).str(r));
+              } else {
+                join->Assign(bc.GetValue(rk, r), plan, JoinSide::kRight,
+                             &a);
+                std::sort(a.begin(), a.end());
+              }
+            }
+          }
+        }
+        // Probe chunk-at-a-time.
+        ChunkReader probe(l_ex, p);
+        DataChunk chunk(l_ex.schema());
+        std::vector<std::vector<int32_t>> l_assign;
+        for (;;) {
+          FUDJ_ASSIGN_OR_RETURN(const bool more, probe.Next(&chunk));
+          if (!more) break;
+          const ColumnVector& bucket = chunk.column(0);
+          if (fast_dedup) {
+            l_assign.assign(chunk.size(), {});
+            for (int r = 0; r < chunk.size(); ++r) {
+              if (l_carried) {
+                l_assign[r] =
+                    DecodeAssignments(chunk.column(l_fields - 1).str(r));
+              } else {
+                join->Assign(chunk.GetValue(lk, r), plan, JoinSide::kLeft,
+                             &l_assign[r]);
+                std::sort(l_assign[r].begin(), l_assign[r].end());
+              }
+            }
+          }
+          for (int r = 0; r < chunk.size(); ++r) {
+            const int64_t b = bucket.i64(r);
+            auto it = build.find(b);
+            if (it == build.end()) continue;
+            const Value l_key = chunk.GetValue(lk, r);
+            for (const auto& [ci, rr] : it->second) {
+              const DataChunk& bc = build_chunks[ci];
+              if (fast_dedup) {
+                // Cheap dedup before the (possibly expensive) verify.
+                if (smallest_common(l_assign[r],
+                                    r_assign[base[ci] + rr]) !=
+                    static_cast<int32_t>(b)) {
+                  continue;
+                }
+              }
+              const Value r_key = bc.GetValue(rk, rr);
+              if (!join->Verify(l_key, r_key, plan)) continue;
+              if (avoidance && !fast_dedup &&
+                  !join->Dedup(
+                      static_cast<int32_t>(b), l_key,
+                      static_cast<int32_t>(bc.column(0).i64(rr)), r_key,
+                      plan)) {
+                continue;
+              }
+              ByteWriter* arena = writer->arena();
+              arena->PutVarint(out_arity);
+              for (int c = 1; c < l_end; ++c) {
+                chunk.column(c).SerializeValueAt(r, arena);
+              }
+              for (int c = 1; c < r_end; ++c) {
+                bc.column(c).SerializeValueAt(rr, arena);
+              }
+              writer->CommitRow();
+            }
+          }
+        }
+        return Status::OK();
+      },
+      stats));
+  int64_t rows_out = 0;
+  for (int p = 0; p < p_out; ++p) {
+    rows_out += writers[p].rows();
+    writers[p].FlushTo(&out, p);
+  }
+  if (stats != nullptr) stats->set_output_rows(rows_out);
+  return out;
 }
 
 Result<PartitionedRelation> FudjRuntime::Execute(

@@ -34,9 +34,21 @@ struct FudjExecOptions {
 /// here; benches and tests can also drive the runtime directly.
 class FudjRuntime {
  public:
-  /// `join` must outlive the runtime. `cluster` is not owned.
+  /// `join` must outlive the runtime. `cluster` is not owned. The runtime
+  /// adopts the process default exec mode at construction; override with
+  /// set_exec_mode for A/B runs.
   FudjRuntime(Cluster* cluster, const FlexibleJoin* join)
-      : cluster_(cluster), join_(join), sandbox_(join, cluster) {}
+      : cluster_(cluster),
+        join_(join),
+        sandbox_(join, cluster),
+        exec_mode_(DefaultExecMode()) {}
+
+  /// How framework stages traverse partitions (ExecMode::kChunk streams
+  /// columnar DataChunks; the UDJ callbacks still see boxed Values, so
+  /// the Fig. 7 serde contract is unchanged). Both modes produce
+  /// byte-identical results.
+  ExecMode exec_mode() const { return exec_mode_; }
+  void set_exec_mode(ExecMode m) { exec_mode_ = m; }
 
   /// SUMMARIZE: per-partition local_aggregate over `rel[key_col]`, then a
   /// gather + global_aggregate into one global summary. Summary bytes are
@@ -95,6 +107,20 @@ class FudjRuntime {
   const SandboxedFlexibleJoin& sandbox() const { return sandbox_; }
 
  private:
+  /// Chunked bucket hash join of the COMBINE phase: streams the build
+  /// side into pinned chunks, hashes bucket ids columnwise, probes
+  /// chunk-at-a-time, and composes output rows from both sides' column
+  /// lanes. Boxes Values only at the Verify/Dedup/Assign callback
+  /// boundary. Emits pairs in the exact order of the row path.
+  Result<PartitionedRelation> CombineHashJoinChunked(
+      const PartitionedRelation& l_ex, const PartitionedRelation& r_ex,
+      const Schema& out_schema, int lk, int rk, const PPlan& plan,
+      bool avoidance, bool fast_dedup, bool l_carried, bool r_carried,
+      const std::function<int32_t(const std::vector<int32_t>&,
+                                  const std::vector<int32_t>&)>&
+          smallest_common,
+      ExecStats* stats) const;
+
   /// The normal SUMMARIZE → DIVIDE → PARTITION → COMBINE pipeline.
   Result<PartitionedRelation> ExecuteFudjPath(const PartitionedRelation& left,
                                               int left_key_col,
@@ -114,6 +140,7 @@ class FudjRuntime {
   Cluster* cluster_;
   const FlexibleJoin* join_;
   SandboxedFlexibleJoin sandbox_;
+  ExecMode exec_mode_;
 };
 
 }  // namespace fudj

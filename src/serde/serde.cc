@@ -2,8 +2,6 @@
 
 namespace fudj {
 
-namespace {
-
 void SerializeGeometry(const Geometry& g, ByteWriter* out) {
   out->PutU8(static_cast<uint8_t>(g.kind()));
   switch (g.kind()) {
@@ -58,8 +56,6 @@ Result<Geometry> DeserializeGeometry(ByteReader* in) {
   }
   return Status::Internal("bad geometry kind tag");
 }
-
-}  // namespace
 
 void SerializeValue(const Value& v, ByteWriter* out) {
   out->PutU8(static_cast<uint8_t>(v.type()));

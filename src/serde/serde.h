@@ -23,6 +23,12 @@ namespace fudj {
 void SerializeValue(const Value& v, ByteWriter* out);
 Result<Value> DeserializeValue(ByteReader* in);
 
+/// Geometry payload codec (kind byte + coordinates), shared by the Value
+/// codec above and the columnar DataChunk codec in src/vec so both paths
+/// produce byte-identical frames.
+void SerializeGeometry(const Geometry& g, ByteWriter* out);
+Result<Geometry> DeserializeGeometry(ByteReader* in);
+
 /// Tuple: varint arity + values.
 void SerializeTuple(const Tuple& t, ByteWriter* out);
 Result<Tuple> DeserializeTuple(ByteReader* in);

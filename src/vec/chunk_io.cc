@@ -1,0 +1,82 @@
+#include "vec/chunk_io.h"
+
+namespace fudj {
+
+ChunkReader::ChunkReader(const PartitionedRelation& rel, int p)
+    : base_(rel.raw_partition(p).data()),
+      reader_(rel.raw_partition(p)),
+      remaining_(rel.RowsInPartition(p)) {}
+
+Result<bool> ChunkReader::Next(DataChunk* chunk) {
+  chunk->Reset();
+  if (remaining_ <= 0) {
+    if (!reader_.AtEnd()) {
+      return Status::Internal("trailing bytes in partition");
+    }
+    return false;
+  }
+  chunk->BindArena(base_);
+  const int cols = chunk->num_columns();
+  while (!chunk->full() && remaining_ > 0) {
+    const size_t start = reader_.position();
+    FUDJ_ASSIGN_OR_RETURN(const uint64_t arity, reader_.GetVarint());
+    if (static_cast<int>(arity) != cols) {
+      return Status::Internal("tuple arity does not match chunk schema");
+    }
+    for (int c = 0; c < cols; ++c) {
+      FUDJ_RETURN_NOT_OK(chunk->column(c).AppendFromSerde(&reader_));
+    }
+    chunk->AddRowSpanAndGrow(start, reader_.position() - start);
+    --remaining_;
+    ++rows_read_;
+  }
+  return true;
+}
+
+void ChunkWriter::AppendChunk(const DataChunk& chunk) {
+  if (chunk.has_spans()) {
+    // Rows are contiguous in the source arena: one raw copy.
+    if (chunk.size() > 0) {
+      const auto& first = chunk.span(0);
+      const auto& last = chunk.span(chunk.size() - 1);
+      arena_.PutRaw(chunk.arena() + first.first,
+                    last.first + last.second - first.first);
+      rows_ += chunk.size();
+    }
+    return;
+  }
+  for (int r = 0; r < chunk.size(); ++r) {
+    chunk.SerializeRow(r, &arena_);
+    ++rows_;
+  }
+}
+
+void ChunkWriter::AppendChunk(const DataChunk& chunk,
+                              const SelectionVector& sel) {
+  if (chunk.has_spans()) {
+    for (int i = 0; i < sel.size(); ++i) {
+      const auto& s = chunk.span(sel[i]);
+      arena_.PutRaw(chunk.arena() + s.first, s.second);
+    }
+    rows_ += sel.size();
+    return;
+  }
+  for (int i = 0; i < sel.size(); ++i) {
+    chunk.SerializeRow(sel[i], &arena_);
+  }
+  rows_ += sel.size();
+}
+
+void ChunkWriter::AppendTuple(const Tuple& t) {
+  SerializeTuple(t, &arena_);
+  ++rows_;
+}
+
+void ChunkWriter::FlushTo(PartitionedRelation* rel, int p) {
+  if (rows_ > 0) {
+    rel->AppendRaw(p, arena_.bytes(), rows_);
+  }
+  Clear();
+}
+
+}  // namespace fudj

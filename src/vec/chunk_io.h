@@ -1,0 +1,84 @@
+#ifndef FUDJ_VEC_CHUNK_IO_H_
+#define FUDJ_VEC_CHUNK_IO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/relation.h"
+#include "vec/data_chunk.h"
+#include "vec/selection_vector.h"
+
+namespace fudj {
+
+/// Streams one serialized partition of a PartitionedRelation as
+/// DataChunks, chunk-at-a-time, instead of materializing the whole
+/// partition as std::vector<Tuple>. Values deserialize straight into
+/// typed column lanes, and each row's byte span in the partition arena is
+/// recorded on the chunk so untransformed rows can be re-emitted with a
+/// raw copy.
+///
+/// The source relation must outlive the reader and stay unmodified while
+/// reading (readers borrow the partition arena).
+class ChunkReader {
+ public:
+  ChunkReader(const PartitionedRelation& rel, int p);
+
+  /// Fills `chunk` (after Reset) with up to chunk->capacity() rows.
+  /// Returns false when the partition is exhausted (chunk left empty).
+  Result<bool> Next(DataChunk* chunk);
+
+  bool AtEnd() const { return remaining_ <= 0; }
+  int64_t rows_read() const { return rows_read_; }
+
+ private:
+  const uint8_t* base_;
+  ByteReader reader_;
+  int64_t remaining_;
+  int64_t rows_read_ = 0;
+};
+
+/// Accumulates serialized rows for one output partition in a byte arena
+/// (the same wire format PartitionedRelation stores), then flushes with a
+/// single AppendRaw. Chunks that still carry source-row spans are copied
+/// byte-for-byte; transformed chunks serialize columnwise. Either path
+/// produces bytes identical to per-tuple Append.
+///
+/// The arena is the retry-idempotency unit: a retried partition attempt
+/// calls Clear() and rebuilds from scratch, so nothing is double-written.
+class ChunkWriter {
+ public:
+  ChunkWriter() = default;
+
+  /// Appends every row of `chunk`.
+  void AppendChunk(const DataChunk& chunk);
+  /// Appends the rows `sel` selects, in selection order.
+  void AppendChunk(const DataChunk& chunk, const SelectionVector& sel);
+  /// Appends one boxed tuple (transform emit path).
+  void AppendTuple(const Tuple& t);
+
+  /// Direct-serialization escape hatch: write a row's bytes straight to
+  /// arena() (exact tuple wire format), then call CommitRow() once per
+  /// row written. Used by emit loops that compose output rows from
+  /// multiple chunks (join pair emit, assign unnest).
+  ByteWriter* arena() { return &arena_; }
+  void CommitRow() { ++rows_; }
+
+  int64_t rows() const { return rows_; }
+  size_t bytes() const { return arena_.size(); }
+
+  void Clear() {
+    arena_.Clear();
+    rows_ = 0;
+  }
+
+  /// Appends the arena to partition `p` of `rel` and clears the writer.
+  void FlushTo(PartitionedRelation* rel, int p);
+
+ private:
+  ByteWriter arena_;
+  int64_t rows_ = 0;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_VEC_CHUNK_IO_H_

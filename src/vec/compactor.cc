@@ -1,0 +1,39 @@
+#include "vec/compactor.h"
+
+namespace fudj {
+
+void ChunkCompactor::Push(const DataChunk& chunk,
+                          const SelectionVector& sel) {
+  ++stats_.chunks_in;
+  stats_.rows += sel.size();
+  if (sel.empty()) return;
+
+  const double density =
+      static_cast<double>(sel.size()) / pending_.capacity();
+  if (pending_.empty() && density >= threshold_) {
+    // Dense enough: hand the original chunk through, zero copy.
+    sink_(chunk, &sel);
+    ++stats_.chunks_out;
+    stats_.rows_emitted += sel.size();
+    return;
+  }
+
+  ++stats_.chunks_compacted;
+  for (int i = 0; i < sel.size(); ++i) {
+    pending_.AppendRowFrom(chunk, sel[i]);
+    if (pending_.full()) EmitPending();
+  }
+}
+
+void ChunkCompactor::Flush() {
+  if (!pending_.empty()) EmitPending();
+}
+
+void ChunkCompactor::EmitPending() {
+  sink_(pending_, nullptr);
+  ++stats_.chunks_out;
+  stats_.rows_emitted += pending_.size();
+  pending_.Reset();
+}
+
+}  // namespace fudj

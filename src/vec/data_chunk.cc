@@ -1,0 +1,294 @@
+#include "vec/data_chunk.h"
+
+#include "common/hash.h"
+
+namespace fudj {
+
+void ColumnVector::Reset() {
+  tags_.clear();
+  offsets_.clear();
+  i64_.clear();
+  f64_.clear();
+  str_.clear();
+  geom_.clear();
+  interval_.clear();
+}
+
+void ColumnVector::Reserve(int n) {
+  tags_.reserve(n);
+  offsets_.reserve(n);
+  switch (declared_) {
+    case ValueType::kBool:
+    case ValueType::kInt64:
+      i64_.reserve(n);
+      break;
+    case ValueType::kDouble:
+      f64_.reserve(n);
+      break;
+    case ValueType::kString:
+      str_.reserve(n);
+      break;
+    case ValueType::kGeometry:
+      geom_.reserve(n);
+      break;
+    case ValueType::kInterval:
+      interval_.reserve(n);
+      break;
+    case ValueType::kNull:
+      break;
+  }
+}
+
+void ColumnVector::AppendValue(const Value& v) {
+  tags_.push_back(v.type());
+  switch (v.type()) {
+    case ValueType::kNull:
+      offsets_.push_back(0);
+      break;
+    case ValueType::kBool:
+      offsets_.push_back(static_cast<uint32_t>(i64_.size()));
+      i64_.push_back(v.bool_val() ? 1 : 0);
+      break;
+    case ValueType::kInt64:
+      offsets_.push_back(static_cast<uint32_t>(i64_.size()));
+      i64_.push_back(v.i64());
+      break;
+    case ValueType::kDouble:
+      offsets_.push_back(static_cast<uint32_t>(f64_.size()));
+      f64_.push_back(v.f64());
+      break;
+    case ValueType::kString:
+      offsets_.push_back(static_cast<uint32_t>(str_.size()));
+      str_.push_back(v.str());
+      break;
+    case ValueType::kGeometry:
+      offsets_.push_back(static_cast<uint32_t>(geom_.size()));
+      geom_.push_back(v.geometry_ptr());
+      break;
+    case ValueType::kInterval:
+      offsets_.push_back(static_cast<uint32_t>(interval_.size()));
+      interval_.push_back(v.interval());
+      break;
+  }
+}
+
+Status ColumnVector::AppendFromSerde(ByteReader* in) {
+  FUDJ_ASSIGN_OR_RETURN(const uint8_t raw_tag, in->GetU8());
+  const auto tag = static_cast<ValueType>(raw_tag);
+  switch (tag) {
+    case ValueType::kNull:
+      tags_.push_back(tag);
+      offsets_.push_back(0);
+      return Status::OK();
+    case ValueType::kBool: {
+      FUDJ_ASSIGN_OR_RETURN(const uint8_t b, in->GetU8());
+      tags_.push_back(tag);
+      offsets_.push_back(static_cast<uint32_t>(i64_.size()));
+      i64_.push_back(b != 0 ? 1 : 0);
+      return Status::OK();
+    }
+    case ValueType::kInt64: {
+      FUDJ_ASSIGN_OR_RETURN(const int64_t v, in->GetI64());
+      tags_.push_back(tag);
+      offsets_.push_back(static_cast<uint32_t>(i64_.size()));
+      i64_.push_back(v);
+      return Status::OK();
+    }
+    case ValueType::kDouble: {
+      FUDJ_ASSIGN_OR_RETURN(const double v, in->GetDouble());
+      tags_.push_back(tag);
+      offsets_.push_back(static_cast<uint32_t>(f64_.size()));
+      f64_.push_back(v);
+      return Status::OK();
+    }
+    case ValueType::kString: {
+      FUDJ_ASSIGN_OR_RETURN(std::string s, in->GetString());
+      tags_.push_back(tag);
+      offsets_.push_back(static_cast<uint32_t>(str_.size()));
+      str_.push_back(std::move(s));
+      return Status::OK();
+    }
+    case ValueType::kGeometry: {
+      FUDJ_ASSIGN_OR_RETURN(Geometry g, DeserializeGeometry(in));
+      tags_.push_back(tag);
+      offsets_.push_back(static_cast<uint32_t>(geom_.size()));
+      geom_.push_back(std::make_shared<const Geometry>(std::move(g)));
+      return Status::OK();
+    }
+    case ValueType::kInterval: {
+      FUDJ_ASSIGN_OR_RETURN(const int64_t s, in->GetI64());
+      FUDJ_ASSIGN_OR_RETURN(const int64_t e, in->GetI64());
+      tags_.push_back(tag);
+      offsets_.push_back(static_cast<uint32_t>(interval_.size()));
+      interval_.push_back(Interval(s, e));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad value type tag in column deserialize");
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& src, int row) {
+  const ValueType tag = src.tags_[row];
+  tags_.push_back(tag);
+  switch (tag) {
+    case ValueType::kNull:
+      offsets_.push_back(0);
+      break;
+    case ValueType::kBool:
+    case ValueType::kInt64:
+      offsets_.push_back(static_cast<uint32_t>(i64_.size()));
+      i64_.push_back(src.i64_[src.offsets_[row]]);
+      break;
+    case ValueType::kDouble:
+      offsets_.push_back(static_cast<uint32_t>(f64_.size()));
+      f64_.push_back(src.f64_[src.offsets_[row]]);
+      break;
+    case ValueType::kString:
+      offsets_.push_back(static_cast<uint32_t>(str_.size()));
+      str_.push_back(src.str_[src.offsets_[row]]);
+      break;
+    case ValueType::kGeometry:
+      offsets_.push_back(static_cast<uint32_t>(geom_.size()));
+      geom_.push_back(src.geom_[src.offsets_[row]]);
+      break;
+    case ValueType::kInterval:
+      offsets_.push_back(static_cast<uint32_t>(interval_.size()));
+      interval_.push_back(src.interval_[src.offsets_[row]]);
+      break;
+  }
+}
+
+void ColumnVector::SerializeValueAt(int row, ByteWriter* out) const {
+  const ValueType tag = tags_[row];
+  out->PutU8(static_cast<uint8_t>(tag));
+  switch (tag) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      out->PutU8(i64_[offsets_[row]] != 0 ? 1 : 0);
+      break;
+    case ValueType::kInt64:
+      out->PutI64(i64_[offsets_[row]]);
+      break;
+    case ValueType::kDouble:
+      out->PutDouble(f64_[offsets_[row]]);
+      break;
+    case ValueType::kString:
+      out->PutString(str_[offsets_[row]]);
+      break;
+    case ValueType::kGeometry:
+      SerializeGeometry(*geom_[offsets_[row]], out);
+      break;
+    case ValueType::kInterval: {
+      const Interval& iv = interval_[offsets_[row]];
+      out->PutI64(iv.start);
+      out->PutI64(iv.end);
+      break;
+    }
+  }
+}
+
+Value ColumnVector::GetValue(int row) const {
+  switch (tags_[row]) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool:
+      return Value::Bool(i64_[offsets_[row]] != 0);
+    case ValueType::kInt64:
+      return Value::Int64(i64_[offsets_[row]]);
+    case ValueType::kDouble:
+      return Value::Double(f64_[offsets_[row]]);
+    case ValueType::kString:
+      return Value::String(str_[offsets_[row]]);
+    case ValueType::kGeometry:
+      return Value::Geom(geom_[offsets_[row]]);
+    case ValueType::kInterval:
+      return Value::Intv(interval_[offsets_[row]]);
+  }
+  return Value::Null();
+}
+
+uint64_t ColumnVector::HashValueAt(int row) const {
+  // Strings are the common expensive case: hash the lane in place rather
+  // than boxing a copy. Every other type boxes cheaply.
+  if (tags_[row] == ValueType::kString) {
+    return HashString(str_[offsets_[row]]);
+  }
+  return GetValue(row).Hash();
+}
+
+int ColumnVector::CountValid() const {
+  int n = 0;
+  for (const ValueType t : tags_) {
+    if (t != ValueType::kNull) ++n;
+  }
+  return n;
+}
+
+void DataChunk::InitFrom(const Schema& schema, int capacity) {
+  cols_.clear();
+  cols_.reserve(schema.num_fields());
+  for (const Field& f : schema.fields()) {
+    cols_.emplace_back(f.type);
+  }
+  capacity_ = capacity < 1 ? 1 : capacity;
+  size_ = 0;
+  arena_ = nullptr;
+  spans_.clear();
+  for (ColumnVector& c : cols_) c.Reserve(capacity_);
+}
+
+void DataChunk::Reset() {
+  for (ColumnVector& c : cols_) c.Reset();
+  size_ = 0;
+  arena_ = nullptr;
+  spans_.clear();
+}
+
+void DataChunk::AppendTuple(const Tuple& t) {
+  arena_ = nullptr;
+  spans_.clear();
+  for (int c = 0; c < num_columns(); ++c) {
+    cols_[c].AppendValue(t[c]);
+  }
+  ++size_;
+}
+
+Tuple DataChunk::GetTuple(int row) const {
+  Tuple t;
+  GetTupleInto(row, &t);
+  return t;
+}
+
+void DataChunk::GetTupleInto(int row, Tuple* scratch) const {
+  scratch->clear();
+  scratch->reserve(num_columns());
+  for (int c = 0; c < num_columns(); ++c) {
+    scratch->push_back(cols_[c].GetValue(row));
+  }
+}
+
+void DataChunk::AppendRowFrom(const DataChunk& src, int row) {
+  arena_ = nullptr;
+  spans_.clear();
+  for (int c = 0; c < num_columns(); ++c) {
+    cols_[c].AppendFrom(src.cols_[c], row);
+  }
+  ++size_;
+}
+
+void DataChunk::SerializeRow(int row, ByteWriter* out) const {
+  out->PutVarint(static_cast<uint64_t>(num_columns()));
+  for (int c = 0; c < num_columns(); ++c) {
+    cols_[c].SerializeValueAt(row, out);
+  }
+}
+
+uint64_t DataChunk::HashColumns(int row,
+                                const std::vector<int>& cols) const {
+  uint64_t h = 0x12345678abcdefULL;  // must match HashTupleColumns
+  for (int c : cols) h = HashCombine(h, cols_[c].HashValueAt(row));
+  return h;
+}
+
+}  // namespace fudj

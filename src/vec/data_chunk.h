@@ -1,0 +1,178 @@
+#ifndef FUDJ_VEC_DATA_CHUNK_H_
+#define FUDJ_VEC_DATA_CHUNK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serde/serde.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+#include "vec/selection_vector.h"
+
+namespace fudj {
+
+/// One column of a DataChunk: contiguous typed storage plus a per-row
+/// type-tag lane that doubles as the validity mask (tag == kNull means
+/// the row is NULL). A column has a *declared* type from the schema, but
+/// tolerates rows whose runtime tag differs (the row engine is
+/// dynamically typed), storing each row in the lane its tag selects.
+///
+/// Layout: `tags_[row]` gives the runtime tag, `offsets_[row]` the index
+/// into that tag's value lane. Scalars therefore sit densely in
+/// `std::vector<int64_t>` / `std::vector<double>` and vectorized
+/// consumers touch one cache line per few rows instead of one boxed
+/// Value per row.
+class ColumnVector {
+ public:
+  explicit ColumnVector(ValueType declared = ValueType::kNull)
+      : declared_(declared) {}
+
+  ValueType declared_type() const { return declared_; }
+  int size() const { return static_cast<int>(tags_.size()); }
+
+  void Reset();
+  void Reserve(int n);
+
+  /// Appends a boxed Value (row-path boundary).
+  void AppendValue(const Value& v);
+
+  /// Appends the next serialized value from `in` (tag byte + payload),
+  /// writing the payload straight into the typed lane — no intermediate
+  /// Value is constructed for scalars and strings.
+  Status AppendFromSerde(ByteReader* in);
+
+  /// Appends row `row` of `src` (typed columnwise copy; compaction path).
+  void AppendFrom(const ColumnVector& src, int row);
+
+  /// Serializes row `row` with the exact wire encoding of
+  /// SerializeValue, reading straight from the typed lane.
+  void SerializeValueAt(int row, ByteWriter* out) const;
+
+  /// Boxes row `row` as a Value (UDJ-callback boundary).
+  Value GetValue(int row) const;
+
+  /// Hash identical to Value::Hash() of GetValue(row), without boxing
+  /// strings.
+  uint64_t HashValueAt(int row) const;
+
+  ValueType tag(int row) const { return tags_[row]; }
+  bool IsNull(int row) const { return tags_[row] == ValueType::kNull; }
+  int CountValid() const;
+
+  /// Typed accessors; only valid when tag(row) matches.
+  bool bool_val(int row) const { return i64_[offsets_[row]] != 0; }
+  int64_t i64(int row) const { return i64_[offsets_[row]]; }
+  double f64(int row) const { return f64_[offsets_[row]]; }
+  const std::string& str(int row) const { return str_[offsets_[row]]; }
+  const std::shared_ptr<const Geometry>& geom(int row) const {
+    return geom_[offsets_[row]];
+  }
+  const Interval& interval(int row) const {
+    return interval_[offsets_[row]];
+  }
+
+ private:
+  ValueType declared_;
+  std::vector<ValueType> tags_;
+  std::vector<uint32_t> offsets_;
+  std::vector<int64_t> i64_;  // kInt64 and kBool (0/1)
+  std::vector<double> f64_;
+  std::vector<std::string> str_;
+  std::vector<std::shared_ptr<const Geometry>> geom_;
+  std::vector<Interval> interval_;
+};
+
+/// Fixed-capacity batch of rows in columnar layout — the unit of work on
+/// the operator hot path. Operators stream chunks (ChunkReader), mark
+/// survivors in a SelectionVector, compact sparse chunks
+/// (ChunkCompactor), and emit serialized frames (ChunkWriter), instead of
+/// materializing whole partitions as std::vector<Tuple>.
+///
+/// A chunk filled by ChunkReader additionally carries *row spans*: the
+/// (offset, length) of each row's serialized bytes in the source
+/// partition arena. Emitting an untransformed row is then a raw byte
+/// copy — the filter hot path never re-serializes survivors.
+class DataChunk {
+ public:
+  static constexpr int kDefaultCapacity = 2048;
+
+  DataChunk() = default;
+  explicit DataChunk(const Schema& schema,
+                     int capacity = kDefaultCapacity) {
+    InitFrom(schema, capacity);
+  }
+
+  void InitFrom(const Schema& schema, int capacity = kDefaultCapacity);
+
+  int num_columns() const { return static_cast<int>(cols_.size()); }
+  int size() const { return size_; }
+  int capacity() const { return capacity_; }
+  bool full() const { return size_ >= capacity_; }
+  bool empty() const { return size_ == 0; }
+  double density() const {
+    return capacity_ == 0 ? 0.0
+                          : static_cast<double>(size_) / capacity_;
+  }
+
+  ColumnVector& column(int c) { return cols_[c]; }
+  const ColumnVector& column(int c) const { return cols_[c]; }
+
+  /// Clears all rows and spans; keeps schema and capacity.
+  void Reset();
+
+  /// Row-path boundary: appends/boxes whole tuples. Appending clears row
+  /// spans (the chunk no longer mirrors a source arena).
+  void AppendTuple(const Tuple& t);
+  Tuple GetTuple(int row) const;
+  /// Boxes row `row` into `*scratch`, reusing its storage.
+  void GetTupleInto(int row, Tuple* scratch) const;
+  Value GetValue(int col, int row) const {
+    return cols_[col].GetValue(row);
+  }
+
+  /// Typed columnwise copy of one row of `src` (compaction/join emit).
+  void AppendRowFrom(const DataChunk& src, int row);
+
+  /// Serializes row `row` with the exact SerializeTuple wire format.
+  void SerializeRow(int row, ByteWriter* out) const;
+
+  /// HashTupleColumns(GetTuple(row), cols), computed columnwise.
+  uint64_t HashColumns(int row, const std::vector<int>& cols) const;
+
+  /// -- Row spans (set by ChunkReader) ------------------------------
+  /// When present, `arena() + span(row).first` is the serialized form of
+  /// row `row` (`span(row).second` bytes), enabling zero-copy re-emit.
+  void BindArena(const uint8_t* arena) {
+    arena_ = arena;
+    spans_.clear();
+  }
+  /// Completes a row the ChunkReader filled columnwise via
+  /// AppendFromSerde: records the row's source span and grows the chunk.
+  void AddRowSpanAndGrow(size_t offset, size_t len) {
+    spans_.emplace_back(offset, len);
+    ++size_;
+  }
+  bool has_spans() const {
+    return arena_ != nullptr &&
+           static_cast<int>(spans_.size()) == size_;
+  }
+  const uint8_t* arena() const { return arena_; }
+  const std::pair<size_t, size_t>& span(int row) const {
+    return spans_[row];
+  }
+
+ private:
+  std::vector<ColumnVector> cols_;
+  int capacity_ = kDefaultCapacity;
+  int size_ = 0;
+  const uint8_t* arena_ = nullptr;
+  std::vector<std::pair<size_t, size_t>> spans_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_VEC_DATA_CHUNK_H_

@@ -1,0 +1,51 @@
+#ifndef FUDJ_VEC_SELECTION_VECTOR_H_
+#define FUDJ_VEC_SELECTION_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fudj {
+
+/// Row selection over a DataChunk: an ordered list of surviving row
+/// indices. Filters and join probes mark survivors here instead of
+/// copying rows; downstream consumers either iterate the selection or
+/// hand (chunk, selection) to the ChunkCompactor, which decides whether
+/// the survivor set is dense enough to pass through as-is.
+class SelectionVector {
+ public:
+  SelectionVector() = default;
+
+  /// Selection covering every row of an `n`-row chunk.
+  static SelectionVector All(int n) {
+    SelectionVector s;
+    s.idx_.reserve(n);
+    for (int i = 0; i < n; ++i) s.idx_.push_back(i);
+    return s;
+  }
+
+  void Clear() { idx_.clear(); }
+  void Append(int32_t row) { idx_.push_back(row); }
+  void Reserve(int n) { idx_.reserve(n); }
+
+  int size() const { return static_cast<int>(idx_.size()); }
+  bool empty() const { return idx_.empty(); }
+  int32_t operator[](int i) const { return idx_[i]; }
+  const std::vector<int32_t>& indices() const { return idx_; }
+
+  /// True when the selection is exactly rows [0, n) in order — i.e. it
+  /// selects the whole chunk and applying it is a no-op.
+  bool IsDensePrefix(int n) const {
+    if (static_cast<int>(idx_.size()) != n) return false;
+    for (int i = 0; i < n; ++i) {
+      if (idx_[i] != i) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<int32_t> idx_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_VEC_SELECTION_VECTOR_H_

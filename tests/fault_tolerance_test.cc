@@ -612,6 +612,45 @@ INSTANTIATE_TEST_SUITE_P(BundledJoins, ChaosTest,
                          ::testing::Values("spatial", "textsim", "interval",
                                            "distance"));
 
+// Chunked stages must be retry-idempotent: a partition attempt that dies
+// mid-stream (after writing some chunks) is re-run from scratch, and the
+// per-partition ChunkWriters are reset at attempt start, so the recovered
+// run matches a fault-free one byte for byte. Run the worst-case "all"
+// fault mix under both exec modes and require both to reproduce the
+// fault-free result.
+TEST(ChaosTest, ChunkedStagesAreRetryIdempotent) {
+  FaultConfig config;
+  config.seed = 11;
+  config.crash_partition_prob = 0.15;
+  config.straggler_prob = 0.1;
+  config.straggler_ms = 200.0;
+  config.drop_message_prob = 0.2;
+  config.udj_throw_prob = 0.05;
+
+  for (ExecMode mode : {ExecMode::kRow, ExecMode::kChunk}) {
+    SCOPED_TRACE(mode == ExecMode::kChunk ? "chunk" : "row");
+    ScopedExecMode scoped(mode);
+
+    Cluster baseline(4);
+    ExecStats baseline_stats;
+    ASSERT_OK_AND_ASSIGN(const PairSet expected,
+                         RunSpatial(&baseline, &baseline_stats));
+    ASSERT_EQ(baseline_stats.total_retries(), 0);
+
+    Cluster cluster(4);
+    RetryPolicy policy;
+    policy.max_attempts = 6;
+    policy.partition_deadline_ms = 50.0;
+    cluster.set_retry_policy(policy);
+    cluster.EnableFaultInjection(config);
+    ExecStats stats;
+    ASSERT_OK_AND_ASSIGN(const PairSet got, RunSpatial(&cluster, &stats));
+    EXPECT_EQ(got, expected) << "retried chunked stage changed the result";
+    EXPECT_GT(stats.total_retries(), 0)
+        << "this seed/config must actually force retries";
+  }
+}
+
 // With injection disabled the retry machinery must be cost-free: same
 // stage accounting as the seed engine (attempts=1, zero recovery).
 TEST(ChaosTest, NoInjectionMeansNoRecoveryCost) {
