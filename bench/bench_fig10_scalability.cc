@@ -11,9 +11,10 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fudj;
   using namespace fudj::bench;
+  BenchTracing tracing(argc, argv);
   const int kCores[] = {12, 24, 48, 96, 144};
   constexpr int kGrid = 64;
   constexpr int kIntervalBuckets = 1000;
@@ -43,6 +44,7 @@ int main() {
               "sp-Bltin", "iv-FUDJ", "iv-Bltin", "tx-FUDJ", "tx-Bltin");
   for (const int cores : kCores) {
     Cluster cluster(cores);
+    tracing.Attach(&cluster);
     auto parks = PartitionedRelation::FromTuples(ParksSchema(),
                                                  parks_rows, cores);
     auto fires = PartitionedRelation::FromTuples(WildfiresSchema(),

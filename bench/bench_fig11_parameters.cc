@@ -13,9 +13,10 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fudj;
   using namespace fudj::bench;
+  BenchTracing tracing(argc, argv);
   const int kCores[] = {12, 48, 144};
 
   // (a) Spatial: grid side sweep.
@@ -34,6 +35,7 @@ int main() {
     std::printf("%10d |", grid);
     for (const int cores : kCores) {
       Cluster cluster(cores);
+      tracing.Attach(&cluster);
       auto parks = PartitionedRelation::FromTuples(ParksSchema(),
                                                    parks_rows, cores);
       auto fires = PartitionedRelation::FromTuples(WildfiresSchema(),
@@ -60,6 +62,7 @@ int main() {
     std::printf("%10d |", buckets);
     for (const int cores : kCores) {
       Cluster cluster(cores);
+      tracing.Attach(&cluster);
       auto left = PartitionedRelation::FromTuples(TaxiSchema(), v1, cores);
       auto right = PartitionedRelation::FromTuples(TaxiSchema(), v2, cores);
       const RunResult r = RunIntervalFudj(&cluster, left, right, buckets);
@@ -81,6 +84,7 @@ int main() {
     std::printf("%10.2f |", t);
     for (const int cores : kCores) {
       Cluster cluster(cores);
+      tracing.Attach(&cluster);
       auto reviews = PartitionedRelation::FromTuples(ReviewsSchema(),
                                                      review_rows, cores);
       const RunResult r = RunTextFudj(&cluster, reviews, reviews, t);

@@ -15,11 +15,13 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fudj;
   using namespace fudj::bench;
+  BenchTracing tracing(argc, argv);
   constexpr int kWorkers = 12;
   Cluster cluster(kWorkers);
+  tracing.Attach(&cluster);
 
   // ---- (a) Avoidance vs Elimination (text-similarity, t=0.9) ----
   std::printf("Fig. 12(a) Set-similarity duplicate handling, t=0.9\n");

@@ -17,9 +17,10 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fudj;
   using namespace fudj::bench;
+  BenchTracing tracing(argc, argv);
   constexpr int kWorkers = 12;
   constexpr int kGrid = 64;         // scaled stand-in for n=1200
   constexpr int kIntervalBuckets = 1000;
@@ -33,6 +34,7 @@ int main() {
   const int64_t kOnTopCapText = Scaled(3000);
 
   Cluster cluster(kWorkers);
+  tracing.Attach(&cluster);
 
   std::printf("Fig. 9(a) Spatial (contains), grid %dx%d (paper: "
               "1200x1200), %d workers\n",

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "builtin/builtin_interval.h"
@@ -27,6 +28,7 @@
 #include "joins/interval_fudj.h"
 #include "joins/spatial_fudj.h"
 #include "joins/textsim_fudj.h"
+#include "obs/trace.h"
 #include "text/jaccard.h"
 #include "text/tokenizer.h"
 
@@ -44,6 +46,41 @@ inline int64_t Scaled(int64_t n) {
   const auto v = static_cast<int64_t>(n * BenchScale());
   return v < 1 ? 1 : v;
 }
+
+/// `--trace-out=<file>` support for bench mains: construct from
+/// (argc, argv) and Attach() every cluster the bench creates. Without the
+/// flag nothing is allocated and the cluster stays untraced (the <2%
+/// disabled-mode overhead budget of the smoke benches). The collected
+/// Chrome trace JSON is written when this object is destroyed.
+class BenchTracing {
+ public:
+  BenchTracing(int argc, char** argv)
+      : path_(ParseTraceOutFlag(argc, argv)) {
+    if (!path_.empty()) tracer_ = std::make_unique<Tracer>();
+  }
+  ~BenchTracing() {
+    if (tracer_ == nullptr) return;
+    const Status st = tracer_->WriteFile(path_);
+    if (st.ok()) {
+      std::fprintf(stderr, "# trace: %s (%lld events)\n", path_.c_str(),
+                   static_cast<long long>(tracer_->num_events()));
+    } else {
+      std::fprintf(stderr, "# trace write failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+  BenchTracing(const BenchTracing&) = delete;
+  BenchTracing& operator=(const BenchTracing&) = delete;
+
+  void Attach(Cluster* cluster) {
+    if (tracer_ != nullptr) cluster->set_tracer(tracer_.get());
+  }
+  bool enabled() const { return tracer_ != nullptr; }
+
+ private:
+  std::string path_;
+  std::unique_ptr<Tracer> tracer_;
+};
 
 /// One measured run.
 struct RunResult {

@@ -13,6 +13,7 @@
 #include "builtin/builtin_spatial.h"
 #include "catalog/catalog.h"
 #include "datagen/datagen.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 
 namespace {
@@ -24,11 +25,16 @@ constexpr int kGrid = 60;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fudj;
   RegisterBundledJoinLibraries();
   Cluster cluster(kWorkers);
   Catalog catalog;
+  // `--trace-out=<file>` captures the whole run as a Chrome trace-event
+  // file (open in Perfetto / chrome://tracing).
+  const std::string trace_path = ParseTraceOutFlag(argc, argv);
+  Tracer tracer;
+  if (!trace_path.empty()) cluster.set_tracer(&tracer);
   auto parks = PartitionedRelation::FromTuples(
       ParksSchema(), GenerateParks(kParks, 41), kWorkers);
   auto fires = PartitionedRelation::FromTuples(
@@ -95,6 +101,31 @@ int main() {
       "GROUP BY p.id ORDER BY num_fires DESC, p.id ASC LIMIT 5");
   if (report.ok()) {
     std::printf("\nMost-affected parks:\n%s", report->ToTable().c_str());
+  }
+
+  // Observability: the same join through EXPLAIN ANALYZE — the per-stage
+  // profile (compute/network/recovery, rows, bytes, skew) plus any
+  // execution warnings.
+  auto analyzed = ExecuteSql(&cluster, &catalog,
+                             std::string("EXPLAIN ANALYZE ") + kFudjQuery);
+  if (analyzed.ok()) {
+    std::printf("\nEXPLAIN ANALYZE:\n%s", analyzed->profile.c_str());
+    for (const std::string& w : analyzed->stats.warnings()) {
+      std::printf("warning: %s\n", w.c_str());
+    }
+  }
+
+  if (!trace_path.empty()) {
+    const Status st = tracer.WriteFile(trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\ntrace written to %s (%lld events) — open in "
+                "https://ui.perfetto.dev\n",
+                trace_path.c_str(),
+                static_cast<long long>(tracer.num_events()));
   }
   return 0;
 }

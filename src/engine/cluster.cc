@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <numeric>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fudj {
 
@@ -25,6 +28,17 @@ void Cluster::EnableFaultInjection(const FaultConfig& config) {
 
 void Cluster::ClearFaultInjection() { injector_.reset(); }
 
+void Cluster::set_tracer(Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    for (int w = 0; w < num_workers_; ++w) {
+      const std::string name = "worker " + std::to_string(w);
+      tracer_->SetThreadName(Tracer::kWallPid, 1 + w, name);
+      tracer_->SetThreadName(Tracer::kSimPid, 1 + w, name);
+    }
+  }
+}
+
 Status Cluster::RunStage(const std::string& name,
                          const std::function<Status(int)>& fn,
                          ExecStats* stats, int64_t rows_out) {
@@ -32,6 +46,18 @@ Status Cluster::RunStage(const std::string& name,
   Stopwatch wall;
   StageFaultStats faults;
   Status first_error;
+
+  const double stage_start_us = tracer_ != nullptr ? tracer_->NowUs() : 0.0;
+  const double sim_before_ms =
+      stats != nullptr ? stats->simulated_ms() : 0.0;
+  // Per-round record for the simulated-clock Gantt layout: backoff and
+  // (partition, busy_ms, ok) of every attempt. Collected only while
+  // tracing.
+  struct RoundRecord {
+    double backoff_ms = 0.0;
+    std::vector<std::tuple<int, double, bool>> tasks;
+  };
+  std::vector<RoundRecord> rounds;
 
   std::vector<int> pending(num_workers_);
   std::iota(pending.begin(), pending.end(), 0);
@@ -44,6 +70,14 @@ Status Cluster::RunStage(const std::string& name,
       // Backoff before a retry round, charged to the simulated clock.
       faults.recovery_ms += retry_.BackoffMs(attempt - 1);
       faults.retried_partitions += static_cast<int>(pending.size());
+      if (tracer_ != nullptr) {
+        tracer_->AddInstant(
+            Tracer::kWallPid, 0, "retry-round", "retry", tracer_->NowUs(),
+            {Tracer::StringArg("stage", name),
+             Tracer::IntArg("round", attempt),
+             Tracer::IntArg("pending", static_cast<int64_t>(pending.size())),
+             Tracer::DoubleArg("backoff_ms", retry_.BackoffMs(attempt - 1))});
+      }
     }
     const int n = static_cast<int>(pending.size());
     std::vector<Status> outcome(n);
@@ -51,6 +85,9 @@ Status Cluster::RunStage(const std::string& name,
     auto run_one = [&](int i) {
       const int p = pending[i];
       FaultInjector::TaskScope scope(injector_.get(), name, p, attempt);
+      Tracer::TaskScope trace_scope(tracer_, name, p, attempt);
+      const double task_start_us =
+          tracer_ != nullptr ? tracer_->NowUs() : 0.0;
       Stopwatch sw;
       Status st;
       try {
@@ -73,12 +110,29 @@ Status Cluster::RunStage(const std::string& name,
                              " ms deadline");
       }
       busy[i] = ms;
+      if (tracer_ != nullptr) {
+        tracer_->AddSpan(Tracer::kWallPid, 1 + p, name, "partition",
+                         task_start_us, tracer_->NowUs() - task_start_us,
+                         {Tracer::IntArg("partition", p),
+                          Tracer::IntArg("attempt", attempt + 1),
+                          Tracer::BoolArg("ok", st.ok()),
+                          Tracer::DoubleArg("busy_ms", ms)});
+      }
       outcome[i] = std::move(st);
     };
     if (pool_ != nullptr) {
       pool_->ParallelFor(n, run_one);
     } else {
       for (int i = 0; i < n; ++i) run_one(i);
+    }
+
+    if (tracer_ != nullptr) {
+      RoundRecord rec;
+      rec.backoff_ms = attempt > 0 ? retry_.BackoffMs(attempt - 1) : 0.0;
+      for (int i = 0; i < n; ++i) {
+        rec.tasks.emplace_back(pending[i], busy[i], outcome[i].ok());
+      }
+      rounds.push_back(std::move(rec));
     }
 
     std::vector<int> still_failed;
@@ -100,6 +154,67 @@ Status Cluster::RunStage(const std::string& name,
     stats->AddStage(name, partition_ms, rows_out, faults);
     stats->add_wall_ms(wall.ElapsedMillis());
   }
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("stage_attempts_total", {{"stage", name}})
+        ->Increment(faults.attempts);
+    if (faults.retried_partitions > 0) {
+      metrics_->GetCounter("stage_retries_total", {{"stage", name}})
+          ->Increment(faults.retried_partitions);
+    }
+    Histogram* busy_hist =
+        metrics_->GetHistogram("stage_partition_busy_ms", {{"stage", name}},
+                               ExponentialBuckets(0.001, 4, 20));
+    for (const double ms : partition_ms) busy_hist->Observe(ms);
+  }
+  if (tracer_ != nullptr) {
+    // Wall timeline: the whole stage (all retry rounds) as one span on
+    // the stage track; per-attempt spans were recorded by run_one.
+    tracer_->AddSpan(Tracer::kWallPid, 0, name, "stage", stage_start_us,
+                     tracer_->NowUs() - stage_start_us,
+                     {Tracer::IntArg("attempts", faults.attempts),
+                      Tracer::IntArg("retries", faults.retried_partitions),
+                      Tracer::DoubleArg("recovery_ms", faults.recovery_ms),
+                      Tracer::IntArg("rows_out", rows_out)});
+    // Simulated timeline: recovery (failed busy + backoff) is charged as
+    // a sum, so failed attempts lay out sequentially; the successful busy
+    // spans then run in parallel — the Gantt chart behind the stage's
+    // max_partition + recovery contribution to simulated_ms.
+    if (stats != nullptr) {
+      double cursor_ms = sim_before_ms;
+      for (size_t r = 0; r < rounds.size(); ++r) {
+        if (r > 0) {
+          tracer_->AddInstant(
+              Tracer::kSimPid, 0, "retry-backoff", "retry",
+              cursor_ms * 1000.0,
+              {Tracer::StringArg("stage", name),
+               Tracer::DoubleArg("backoff_ms", rounds[r].backoff_ms)});
+          cursor_ms += rounds[r].backoff_ms;
+        }
+        for (const auto& [p, busy_ms, ok] : rounds[r].tasks) {
+          if (ok) continue;
+          tracer_->AddSpan(
+              Tracer::kSimPid, 1 + p, name + " (failed)", "recovery",
+              cursor_ms * 1000.0, busy_ms * 1000.0,
+              {Tracer::IntArg("partition", p),
+               Tracer::IntArg("attempt", static_cast<int64_t>(r) + 1)});
+          cursor_ms += busy_ms;
+        }
+      }
+      for (const RoundRecord& round : rounds) {
+        for (const auto& [p, busy_ms, ok] : round.tasks) {
+          if (!ok) continue;
+          tracer_->AddSpan(Tracer::kSimPid, 1 + p, name, "partition",
+                           cursor_ms * 1000.0, busy_ms * 1000.0,
+                           {Tracer::IntArg("partition", p)});
+        }
+      }
+      tracer_->AddSpan(
+          Tracer::kSimPid, 0, name, "stage", sim_before_ms * 1000.0,
+          (stats->simulated_ms() - sim_before_ms) * 1000.0,
+          {Tracer::IntArg("attempts", faults.attempts),
+           Tracer::DoubleArg("recovery_ms", faults.recovery_ms)});
+    }
+  }
   if (!pending.empty()) {
     return Status(first_error.code(),
                   "stage '" + name + "' failed (" +
@@ -118,9 +233,37 @@ void Cluster::ChargeNetwork(const std::string& name, int64_t bytes,
       if (injector_->ShouldDropMessage(name, m)) ++retransmits;
     }
   }
+  const double sim_before_ms =
+      stats != nullptr ? stats->simulated_ms() : 0.0;
   if (stats != nullptr) {
     stats->AddNetwork(name, bytes, messages, num_workers_, cost_,
                       retransmits);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("network_bytes_total", {{"stage", name}})
+        ->Increment(bytes);
+    metrics_->GetCounter("network_messages_total", {{"stage", name}})
+        ->Increment(messages);
+    if (retransmits > 0) {
+      metrics_->GetCounter("network_retransmits_total", {{"stage", name}})
+          ->Increment(retransmits);
+    }
+  }
+  if (tracer_ != nullptr) {
+    if (stats != nullptr) {
+      const double net_ms = stats->simulated_ms() - sim_before_ms;
+      tracer_->AddSpan(Tracer::kSimPid, 0, name + " (network)", "network",
+                       sim_before_ms * 1000.0, net_ms * 1000.0,
+                       {Tracer::IntArg("bytes", bytes),
+                        Tracer::IntArg("messages", messages),
+                        Tracer::IntArg("retransmits", retransmits)});
+    }
+    if (retransmits > 0) {
+      tracer_->AddInstant(Tracer::kWallPid, 0, "message-drop", "fault",
+                          tracer_->NowUs(),
+                          {Tracer::StringArg("stage", name),
+                           Tracer::IntArg("dropped", retransmits)});
+    }
   }
 }
 

@@ -14,6 +14,9 @@
 
 namespace fudj {
 
+class Tracer;
+class MetricsRegistry;
+
 /// Simulated shared-nothing cluster: `num_workers` workers, each owning
 /// one partition of every relation.
 ///
@@ -53,6 +56,18 @@ class Cluster {
   /// May be null (no injection).
   const FaultInjector* fault_injector() const { return injector_.get(); }
 
+  /// Observability hooks (non-owning, null = disabled). With both null —
+  /// the default — instrumentation costs one branch per stage/partition.
+  /// The tracer receives wall-clock and simulated-clock spans for every
+  /// stage, partition attempt, retry round, and network charge; the
+  /// metrics registry receives per-stage counters and busy-time
+  /// histograms. Callers own the objects and must keep them alive while
+  /// queries run.
+  void set_tracer(Tracer* tracer);
+  Tracer* tracer() const { return tracer_; }
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  MetricsRegistry* metrics() const { return metrics_; }
+
   /// Runs `fn(p)` for each partition p, timing each; appends a stage named
   /// `name` to `stats` (when non-null) with `rows_out` output rows.
   ///
@@ -76,6 +91,8 @@ class Cluster {
   RetryPolicy retry_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<ThreadPool> pool_;
+  Tracer* tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace fudj

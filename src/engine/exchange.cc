@@ -2,6 +2,7 @@
 
 #include "common/hash.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "vec/chunk_io.h"
 #include "vec/data_chunk.h"
 
@@ -98,10 +99,14 @@ Result<PartitionedRelation> Route(Cluster* cluster,
   PartitionedRelation out(in.schema(), p_out);
   int64_t bytes = 0;
   int64_t messages = 0;
+  std::vector<int64_t> dest_rows(p_out, 0);
+  std::vector<int64_t> dest_bytes(p_out, 0);
   for (int s = 0; s < p_in; ++s) {
     for (int d = 0; d < p_out; ++d) {
       if (outbound_counts[s][d] == 0) continue;
       out.AppendRaw(d, outbound[s][d].bytes(), outbound_counts[s][d]);
+      dest_rows[d] += outbound_counts[s][d];
+      dest_bytes[d] += static_cast<int64_t>(outbound[s][d].size());
       if (s != d) {
         const int64_t sz = static_cast<int64_t>(outbound[s][d].size());
         bytes += sz;
@@ -110,6 +115,12 @@ Result<PartitionedRelation> Route(Cluster* cluster,
     }
   }
   cluster->ChargeNetwork(stage_name, bytes, messages, stats);
+  if (cluster->metrics() != nullptr) {
+    // How evenly the exchange placed rows on the destination workers —
+    // the source of the stage's skew report.
+    cluster->metrics()->RecordStagePartitions(stage_name, dest_rows,
+                                              dest_bytes);
+  }
   return out;
 }
 

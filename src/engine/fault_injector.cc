@@ -1,6 +1,7 @@
 #include "engine/fault_injector.h"
 
 #include "common/hash.h"
+#include "obs/trace.h"
 
 namespace fudj {
 
@@ -56,6 +57,7 @@ void FaultInjector::MaybeCrashPartition() const {
   if (Draw(kKindCrash, t_ctx.stage_hash, t_ctx.partition, t_ctx.attempt) <
       config_.crash_partition_prob) {
     crashes_.fetch_add(1, std::memory_order_relaxed);
+    Tracer::CurrentTaskEvent("worker-crash");
     throw StatusError(Status::Unavailable(
         "injected worker crash (partition " +
         std::to_string(t_ctx.partition) + ", attempt " +
@@ -68,6 +70,8 @@ double FaultInjector::InjectedStragglerMs() const {
   if (Draw(kKindStraggler, t_ctx.stage_hash, t_ctx.partition,
            t_ctx.attempt) < config_.straggler_prob) {
     stragglers_.fetch_add(1, std::memory_order_relaxed);
+    Tracer::CurrentTaskEvent(
+        "straggler", {Tracer::DoubleArg("extra_ms", config_.straggler_ms)});
     return config_.straggler_ms;
   }
   return 0.0;
@@ -82,6 +86,8 @@ void FaultInjector::MaybeThrowInCallback(const char* site) const {
   if (Draw(kKindUdjThrow, stream, t_ctx.partition, t_ctx.attempt) <
       config_.udj_throw_prob) {
     udj_throws_.fetch_add(1, std::memory_order_relaxed);
+    Tracer::CurrentTaskEvent("udj-throw",
+                             {Tracer::StringArg("site", site)});
     throw StatusError(Status::Unavailable(
         std::string("injected exception in UDJ callback '") + site + "'"));
   }

@@ -6,6 +6,8 @@
 
 #include "common/hash.h"
 #include "engine/exchange.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vec/compactor.h"
 #include "vec/data_chunk.h"
 #include "vec/selection_vector.h"
@@ -34,14 +36,20 @@ Result<PartitionedRelation> TransformPartitions(
         return fn(p, rows, &results[p]);
       },
       stats));
+  std::vector<int64_t> rows_per_partition(p_out, 0);
   for (int p = 0; p < p_out; ++p) {
     out.AppendBatch(p, results[p]);
-    rows_out += static_cast<int64_t>(results[p].size());
+    rows_per_partition[p] = static_cast<int64_t>(results[p].size());
+    rows_out += rows_per_partition[p];
   }
   if (stats != nullptr && !stats->stages().empty()) {
     // rows_out was not known at stage time; patch by re-adding is not
     // possible, so we record it through set_output_rows for terminal ops.
     stats->set_output_rows(rows_out);
+  }
+  if (cluster->metrics() != nullptr) {
+    cluster->metrics()->RecordStagePartitions(stage_name,
+                                              rows_per_partition, {});
   }
   return out;
 }
@@ -67,12 +75,18 @@ Result<PartitionedRelation> TransformChunks(
       },
       stats));
   int64_t rows_out = 0;
+  std::vector<int64_t> rows_per_partition(p_out, 0);
   for (int p = 0; p < p_out; ++p) {
-    rows_out += writers[p].rows();
+    rows_per_partition[p] = writers[p].rows();
+    rows_out += rows_per_partition[p];
     writers[p].FlushTo(&out, p);
   }
   if (stats != nullptr && !stats->stages().empty()) {
     stats->set_output_rows(rows_out);
+  }
+  if (cluster->metrics() != nullptr) {
+    cluster->metrics()->RecordStagePartitions(stage_name,
+                                              rows_per_partition, {});
   }
   return out;
 }
@@ -128,11 +142,20 @@ Result<PartitionedRelation> FilterRelation(
             return Status::OK();
           },
           stats));
+  CompactionStats total;
+  for (const CompactionStats& c : cstats) total.Merge(c);
   if (stats != nullptr) {
-    CompactionStats total;
-    for (const CompactionStats& c : cstats) total.Merge(c);
     stats->AddChunkStats(total.chunks_in, total.chunks_out,
                          total.chunks_compacted, total.rows);
+  }
+  if (cluster->tracer() != nullptr && total.chunks_compacted > 0) {
+    cluster->tracer()->AddInstant(
+        Tracer::kWallPid, 0, "chunk-compaction", "vec",
+        cluster->tracer()->NowUs(),
+        {Tracer::StringArg("stage", stage_name),
+         Tracer::IntArg("chunks_in", total.chunks_in),
+         Tracer::IntArg("chunks_out", total.chunks_out),
+         Tracer::IntArg("chunks_compacted", total.chunks_compacted)});
   }
   return out;
 }
@@ -279,11 +302,17 @@ Result<PartitionedRelation> HashJoinRelation(
         },
         stats));
     int64_t rows_out = 0;
+    std::vector<int64_t> rows_per_partition(p_out, 0);
     for (int p = 0; p < p_out; ++p) {
       out.AppendBatch(p, results[p]);
-      rows_out += static_cast<int64_t>(results[p].size());
+      rows_per_partition[p] = static_cast<int64_t>(results[p].size());
+      rows_out += rows_per_partition[p];
     }
     if (stats != nullptr) stats->set_output_rows(rows_out);
+    if (cluster->metrics() != nullptr) {
+      cluster->metrics()->RecordStagePartitions(stage_name,
+                                                rows_per_partition, {});
+    }
     return out;
   }
 
@@ -352,11 +381,17 @@ Result<PartitionedRelation> HashJoinRelation(
       },
       stats));
   int64_t rows_out = 0;
+  std::vector<int64_t> rows_per_partition(p_out, 0);
   for (int p = 0; p < p_out; ++p) {
-    rows_out += writers[p].rows();
+    rows_per_partition[p] = writers[p].rows();
+    rows_out += rows_per_partition[p];
     writers[p].FlushTo(&out, p);
   }
   if (stats != nullptr) stats->set_output_rows(rows_out);
+  if (cluster->metrics() != nullptr) {
+    cluster->metrics()->RecordStagePartitions(stage_name,
+                                              rows_per_partition, {});
+  }
   return out;
 }
 

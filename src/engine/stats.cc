@@ -1,6 +1,7 @@
 #include "engine/stats.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <numeric>
 
@@ -18,6 +19,7 @@ void ExecStats::AddStage(const std::string& name,
         std::accumulate(partition_ms.begin(), partition_ms.end(), 0.0);
   }
   s.rows_out = rows_out;
+  s.partitions = static_cast<int>(partition_ms.size());
   s.attempts = faults.attempts;
   s.retries = faults.retried_partitions;
   s.recovery_ms = faults.recovery_ms;
@@ -75,6 +77,7 @@ void ExecStats::Merge(const ExecStats& other) {
   simulated_ms_ += other.simulated_ms_;
   wall_ms_ += other.wall_ms_;
   bytes_shuffled_ += other.bytes_shuffled_;
+  output_rows_ += other.output_rows_;
   total_retries_ += other.total_retries_;
   recovery_ms_ += other.recovery_ms_;
   network_retransmits_ += other.network_retransmits_;
@@ -91,43 +94,38 @@ std::string ExecStats::ToString() const {
   std::string out;
   char line[256];
   std::snprintf(line, sizeof(line),
-                "simulated=%.2f ms  wall=%.2f ms  shuffled=%lld bytes  "
-                "rows=%lld\n",
-                simulated_ms_, wall_ms_,
-                static_cast<long long>(bytes_shuffled_),
-                static_cast<long long>(output_rows_));
+                "simulated=%.2f ms  wall=%.2f ms  shuffled=%" PRId64
+                " bytes  rows=%" PRId64 "\n",
+                simulated_ms_, wall_ms_, bytes_shuffled_, output_rows_);
   out += line;
   if (total_retries_ > 0 || recovery_ms_ > 0.0 ||
       network_retransmits_ > 0) {
     std::snprintf(line, sizeof(line),
-                  "recovery: retries=%lld  recovery=%.2f ms  "
-                  "retransmits=%lld\n",
-                  static_cast<long long>(total_retries_), recovery_ms_,
-                  static_cast<long long>(network_retransmits_));
+                  "recovery: retries=%" PRId64 "  recovery=%.2f ms  "
+                  "retransmits=%" PRId64 "\n",
+                  total_retries_, recovery_ms_, network_retransmits_);
     out += line;
   }
   if (chunks_in_ > 0) {
     std::snprintf(line, sizeof(line),
-                  "chunks: in=%lld  out=%lld  compacted=%lld  rows=%lld\n",
-                  static_cast<long long>(chunks_in_),
-                  static_cast<long long>(chunks_out_),
-                  static_cast<long long>(chunks_compacted_),
-                  static_cast<long long>(chunk_rows_));
+                  "chunks: in=%" PRId64 "  out=%" PRId64 "  compacted=%" PRId64
+                  "  rows=%" PRId64 "\n",
+                  chunks_in_, chunks_out_, chunks_compacted_, chunk_rows_);
     out += line;
   }
   for (const StageStat& s : stages_) {
     std::snprintf(line, sizeof(line),
                   "  %-28s max=%8.2f ms  total=%9.2f ms  net=%7.2f ms  "
-                  "rows=%lld\n",
+                  "rows=%" PRId64 "\n",
                   s.name.c_str(), s.max_partition_ms, s.total_partition_ms,
-                  s.network_ms, static_cast<long long>(s.rows_out));
+                  s.network_ms, s.rows_out);
     out += line;
     if (s.retries > 0 || s.recovery_ms > 0.0 || s.network_retransmits > 0) {
       std::snprintf(line, sizeof(line),
                     "  %-28s attempts=%d  retries=%d  recovery=%.2f ms  "
-                    "retransmits=%lld\n",
+                    "retransmits=%" PRId64 "\n",
                     "", s.attempts, s.retries, s.recovery_ms,
-                    static_cast<long long>(s.network_retransmits));
+                    s.network_retransmits);
       out += line;
     }
   }

@@ -44,6 +44,9 @@ struct StageStat {
   int64_t bytes_shuffled = 0;
   int64_t messages = 0;
   int64_t rows_out = 0;
+  /// Partition tasks this stage ran (0 for pure-network stages). With
+  /// max/total busy time this yields the busy-time skew max/(total/n).
+  int partitions = 0;
   /// Fault tolerance: execution rounds, partition re-executions, time
   /// lost to failed attempts + backoff, and retransmitted messages.
   int attempts = 1;

@@ -8,6 +8,8 @@
 #include "common/hash.h"
 #include "common/stopwatch.h"
 #include "engine/exchange.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serde/serde.h"
 #include "vec/chunk_io.h"
 #include "vec/data_chunk.h"
@@ -675,11 +677,17 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
       },
       stats));
   int64_t rows_out = 0;
+  std::vector<int64_t> rows_per_partition(p_out, 0);
   for (int p = 0; p < p_out; ++p) {
-    rows_out += writers[p].rows();
+    rows_per_partition[p] = writers[p].rows();
+    rows_out += rows_per_partition[p];
     writers[p].FlushTo(&out, p);
   }
   if (stats != nullptr) stats->set_output_rows(rows_out);
+  if (cluster_->metrics() != nullptr) {
+    cluster_->metrics()->RecordStagePartitions("bucket-hashjoin",
+                                               rows_per_partition, {});
+  }
   return out;
 }
 
@@ -698,6 +706,15 @@ Result<PartitionedRelation> FudjRuntime::Execute(
     stats->AddWarning("fudj pipeline failed (" +
                       result.status().ToString() +
                       "); degrading to the broadcast-NLJ fallback");
+  }
+  if (cluster_->tracer() != nullptr) {
+    cluster_->tracer()->AddInstant(
+        Tracer::kWallPid, 0, "degrade-to-broadcast-nlj", "fault",
+        cluster_->tracer()->NowUs(),
+        {Tracer::StringArg("reason", result.status().ToString())});
+  }
+  if (cluster_->metrics() != nullptr) {
+    cluster_->metrics()->GetCounter("fudj_degrade_total")->Increment();
   }
   return ExecuteDegraded(left, left_key_col, right, right_key_col, stats);
 }
@@ -739,6 +756,19 @@ Result<PartitionedRelation> FudjRuntime::ExecuteFudjPath(
     const PartitionedRelation& left, int left_key_col,
     const PartitionedRelation& right, int right_key_col,
     const FudjExecOptions& options, ExecStats* stats) const {
+  // The paper's four phases become top-level wall-clock spans; the stage
+  // spans RunStage records nest under them by time containment.
+  Tracer* tracer = cluster_->tracer();
+  auto phase_begin = [tracer]() {
+    return tracer != nullptr ? tracer->NowUs() : 0.0;
+  };
+  auto phase_end = [tracer](const char* name, double t0) {
+    if (tracer != nullptr) {
+      tracer->AddSpan(Tracer::kWallPid, 0, name, "phase", t0,
+                      tracer->NowUs() - t0);
+    }
+  };
+  double t0 = phase_begin();
   FUDJ_ASSIGN_OR_RETURN(
       std::unique_ptr<Summary> s_left,
       Summarize(left, left_key_col, JoinSide::kLeft, stats, "L"));
@@ -752,14 +782,18 @@ Result<PartitionedRelation> FudjRuntime::ExecuteFudjPath(
                            "R"));
   }
   const Summary& right_summary = self_join ? *s_left : *s_right;
+  phase_end("SUMMARIZE", t0);
+  t0 = phase_begin();
   FUDJ_ASSIGN_OR_RETURN(std::shared_ptr<const PPlan> plan,
                         DivideAndBroadcast(*s_left, right_summary, stats));
+  phase_end("DIVIDE", t0);
   // Carry per-record assignment lists when the hash bucket join will run
   // the default duplicate avoidance, so dedup never re-runs `assign`.
   const bool attach = options.duplicates == DuplicateHandling::kAvoidance &&
                       join_->MultiAssign() && join_->UsesDefaultDedup() &&
                       join_->UsesDefaultMatch() &&
                       !options.force_theta_bucket_join;
+  t0 = phase_begin();
   FUDJ_ASSIGN_OR_RETURN(
       PartitionedRelation a_left,
       AssignUnnest(left, left_key_col, *plan, JoinSide::kLeft, stats, "L",
@@ -768,8 +802,14 @@ Result<PartitionedRelation> FudjRuntime::ExecuteFudjPath(
       PartitionedRelation a_right,
       AssignUnnest(right, right_key_col, *plan, JoinSide::kRight, stats,
                    "R", attach));
-  return CombineJoin(a_left, left_key_col, a_right, right_key_col, *plan,
-                     options, stats);
+  phase_end("PARTITION", t0);
+  t0 = phase_begin();
+  FUDJ_ASSIGN_OR_RETURN(
+      PartitionedRelation joined,
+      CombineJoin(a_left, left_key_col, a_right, right_key_col, *plan,
+                  options, stats));
+  phase_end("COMBINE", t0);
+  return joined;
 }
 
 }  // namespace fudj

@@ -1,0 +1,288 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+
+namespace fudj {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[bucket];
+  if (total_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++total_;
+  sum_ += v;
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const int64_t next = cumulative + counts_[b];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate inside bucket b: [lo, hi].
+      const double lo = b == 0 ? min_ : bounds_[b - 1];
+      const double hi = b < bounds_.size() ? bounds_[b] : max_;
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(counts_[b]);
+      // Clamp to the observed range: bucket bounds can lie beyond the
+      // data (e.g. max_ inside the bucket), and an estimate outside
+      // [min_, max_] is never right.
+      return std::clamp(lo + (hi - lo) * std::clamp(frac, 0.0, 1.0), min_,
+                        max_);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+std::vector<double> ExponentialBuckets(double start, double base,
+                                       int count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double v = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= base;
+  }
+  return bounds;
+}
+
+std::string SkewReport::ToString() const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "%-28s partitions=%-3d rows=%-10" PRId64
+                " max=%-8" PRId64 " median=%-8" PRId64 " max/median=%.2f",
+                stage.c_str(), partitions, total_rows, max_rows,
+                median_rows, ratio);
+  out += buf;
+  if (!straggler_partitions.empty()) {
+    out += "  stragglers=[";
+    for (size_t i = 0; i < straggler_partitions.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(straggler_partitions[i]);
+    }
+    out += "]";
+  }
+  return out;
+}
+
+SkewReport ComputeSkew(const std::string& stage,
+                       const std::vector<int64_t>& rows_per_partition,
+                       double straggler_threshold) {
+  SkewReport report;
+  report.stage = stage;
+  report.partitions = static_cast<int>(rows_per_partition.size());
+  if (rows_per_partition.empty()) return report;
+  std::vector<int64_t> sorted = rows_per_partition;
+  std::sort(sorted.begin(), sorted.end());
+  report.median_rows = sorted[sorted.size() / 2];
+  report.max_rows = sorted.back();
+  for (const int64_t r : rows_per_partition) report.total_rows += r;
+  if (report.max_rows == 0) {
+    report.ratio = 1.0;
+    return report;
+  }
+  report.ratio = report.median_rows > 0
+                     ? static_cast<double>(report.max_rows) /
+                           static_cast<double>(report.median_rows)
+                     : static_cast<double>(report.max_rows);
+  const double cutoff =
+      report.median_rows > 0
+          ? straggler_threshold * static_cast<double>(report.median_rows)
+          : 0.0;
+  for (size_t p = 0; p < rows_per_partition.size(); ++p) {
+    if (static_cast<double>(rows_per_partition[p]) > cutoff) {
+      report.straggler_partitions.push_back(static_cast<int>(p));
+    }
+  }
+  report.skewed = report.ratio > straggler_threshold;
+  return report;
+}
+
+std::string MetricsRegistry::Key(const std::string& name,
+                                 MetricLabels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = name;
+  key += '{';
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key += ',';
+    key += labels[i].first;
+    key += "=\"";
+    key += labels[i].second;
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const MetricLabels& labels) {
+  const std::string key = Key(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[key];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const MetricLabels& labels) {
+  const std::string key = Key(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[key];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const MetricLabels& labels,
+                                         const std::vector<double>& bounds) {
+  const std::string key = Key(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[key];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+void MetricsRegistry::RecordStagePartitions(
+    const std::string& stage, const std::vector<int64_t>& rows,
+    const std::vector<int64_t>& bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = distributions_.find(stage);
+    if (it == distributions_.end()) {
+      distribution_order_.push_back(stage);
+      it = distributions_.emplace(stage, StageDistribution{}).first;
+    }
+    it->second.rows = rows;
+    it->second.bytes = bytes;
+  }
+  const std::vector<double> row_bounds = ExponentialBuckets(1, 4, 16);
+  Histogram* h_rows =
+      GetHistogram("stage_partition_rows", {{"stage", stage}}, row_bounds);
+  for (const int64_t r : rows) {
+    h_rows->Observe(static_cast<double>(r));
+  }
+  if (!bytes.empty()) {
+    const std::vector<double> byte_bounds = ExponentialBuckets(64, 4, 16);
+    Histogram* h_bytes = GetHistogram("stage_partition_bytes",
+                                      {{"stage", stage}}, byte_bounds);
+    for (const int64_t b : bytes) {
+      h_bytes->Observe(static_cast<double>(b));
+    }
+  }
+}
+
+std::vector<std::string> MetricsRegistry::StagesWithDistributions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return distribution_order_;
+}
+
+const std::vector<int64_t>* MetricsRegistry::StageRows(
+    const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = distributions_.find(stage);
+  return it == distributions_.end() ? nullptr : &it->second.rows;
+}
+
+const std::vector<int64_t>* MetricsRegistry::StageBytes(
+    const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = distributions_.find(stage);
+  return it == distributions_.end() ? nullptr : &it->second.bytes;
+}
+
+std::vector<SkewReport> MetricsRegistry::BuildSkewReports(
+    double straggler_threshold) const {
+  std::vector<std::string> stages = StagesWithDistributions();
+  std::vector<SkewReport> reports;
+  reports.reserve(stages.size());
+  for (const std::string& stage : stages) {
+    std::vector<int64_t> rows;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      rows = distributions_.at(stage).rows;
+    }
+    reports.push_back(ComputeSkew(stage, rows, straggler_threshold));
+  }
+  return reports;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[160];
+  for (const auto& [key, counter] : counters_) {
+    std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", counter->value());
+    out += key;
+    out += buf;
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    std::snprintf(buf, sizeof(buf), " %.6g\n", gauge->value());
+    out += key;
+    out += buf;
+  }
+  for (const auto& [key, hist] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "_count %" PRId64 "\n", hist->count());
+    out += key;
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "_sum %.6g\n", hist->sum());
+    out += key;
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "_p50 %.6g\n", hist->Quantile(0.5));
+    out += key;
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "_max %.6g\n", hist->max());
+    out += key;
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace fudj

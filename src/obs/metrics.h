@@ -1,0 +1,158 @@
+#ifndef FUDJ_OBS_METRICS_H_
+#define FUDJ_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fudj {
+
+/// Label set of one metric instance, e.g. {{"stage","bucket-exchange-L"},
+/// {"side","L"}}. Order-insensitive: labels are sorted on registration.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter (thread-safe).
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins gauge (thread-safe).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
+/// first N buckets; one implicit overflow bucket follows. Thread-safe.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  int64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  /// Counts per bucket (bounds.size() + 1 entries, last = overflow).
+  std::vector<int64_t> bucket_counts() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Quantile estimate by linear interpolation within the owning bucket.
+  double Quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponential bucket bounds {1, base, base^2, ...} (count entries) —
+/// the default shape of row/byte histograms.
+std::vector<double> ExponentialBuckets(double start, double base,
+                                       int count);
+
+/// Per-partition skew summary of one stage: how unevenly rows landed on
+/// the workers (§VII's motivation for statistics-driven partitioning).
+struct SkewReport {
+  std::string stage;
+  int partitions = 0;
+  int64_t total_rows = 0;
+  int64_t max_rows = 0;
+  int64_t median_rows = 0;
+  /// max / median (1.0 = perfectly balanced; median 0 with data present
+  /// reports +inf as max_rows).
+  double ratio = 1.0;
+  /// Partitions holding more than `straggler_threshold` x median rows.
+  std::vector<int> straggler_partitions;
+  bool skewed = false;
+
+  std::string ToString() const;
+};
+
+/// Computes the skew report of one per-partition row distribution.
+/// `straggler_threshold` is the max/median ratio above which a partition
+/// is flagged (default 2.0).
+SkewReport ComputeSkew(const std::string& stage,
+                       const std::vector<int64_t>& rows_per_partition,
+                       double straggler_threshold = 2.0);
+
+/// Label-aware metrics registry for one query (or one process — the
+/// engine does not care). Counter/gauge/histogram instances are created
+/// on first use and live until the registry dies; returned pointers are
+/// stable and lock-free to update.
+///
+/// Exchanges and UDJ stages additionally record their full per-partition
+/// row/byte distributions (RecordStagePartitions), from which skew
+/// reports and the EXPLAIN ANALYZE skew column are derived. A stage that
+/// executes repeatedly (e.g. inside BestOf loops) overwrites its
+/// distribution: the report describes the most recent run.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name,
+                      const MetricLabels& labels = {});
+  Gauge* GetGauge(const std::string& name, const MetricLabels& labels = {});
+  /// `bounds` is consulted only on first creation of the instance.
+  Histogram* GetHistogram(const std::string& name,
+                          const MetricLabels& labels,
+                          const std::vector<double>& bounds);
+
+  /// Records the per-partition output rows/bytes of stage `stage` (bytes
+  /// may be empty when unknown). Also feeds the labelled histograms
+  /// `stage_partition_rows{stage=...}` / `stage_partition_bytes{stage=...}`.
+  void RecordStagePartitions(const std::string& stage,
+                             const std::vector<int64_t>& rows,
+                             const std::vector<int64_t>& bytes);
+
+  /// Stages with a recorded distribution, in first-recorded order.
+  std::vector<std::string> StagesWithDistributions() const;
+  /// Per-partition rows of `stage`; nullptr when never recorded.
+  const std::vector<int64_t>* StageRows(const std::string& stage) const;
+  const std::vector<int64_t>* StageBytes(const std::string& stage) const;
+
+  /// Skew reports of every recorded stage (ComputeSkew per stage).
+  std::vector<SkewReport> BuildSkewReports(
+      double straggler_threshold = 2.0) const;
+
+  /// Plain-text dump of every counter/gauge/histogram (Prometheus-style
+  /// `name{labels} value` lines), sorted by name.
+  std::string ToText() const;
+
+ private:
+  /// name + rendered sorted labels -> storage key.
+  static std::string Key(const std::string& name, MetricLabels labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  struct StageDistribution {
+    std::vector<int64_t> rows;
+    std::vector<int64_t> bytes;
+  };
+  std::map<std::string, StageDistribution> distributions_;
+  std::vector<std::string> distribution_order_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_OBS_METRICS_H_

@@ -1,0 +1,133 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace fudj {
+
+namespace {
+
+/// Human-friendly byte count ("1.2 MB", "640 B").
+std::string FormatBytes(int64_t bytes) {
+  char buf[32];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", b / (1024.0 * 1024.0));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", b / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 " B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace
+
+QueryProfile QueryProfile::Build(const ExecStats& stats,
+                                 const MetricsRegistry* metrics) {
+  QueryProfile p;
+  p.simulated_ms = stats.simulated_ms();
+  p.wall_ms = stats.wall_ms();
+  p.bytes_shuffled = stats.bytes_shuffled();
+  p.output_rows = stats.output_rows();
+  p.total_retries = stats.total_retries();
+  p.recovery_ms = stats.recovery_ms();
+  p.network_retransmits = stats.network_retransmits();
+  p.chunks_in = stats.chunks_in();
+  p.chunks_out = stats.chunks_out();
+  p.chunks_compacted = stats.chunks_compacted();
+  p.chunk_rows = stats.chunk_rows();
+  p.warnings = stats.warnings();
+  p.stages.reserve(stats.stages().size());
+  for (const StageStat& s : stats.stages()) {
+    StageProfile row;
+    row.name = s.name;
+    row.compute_ms = s.max_partition_ms;
+    row.total_ms = s.total_partition_ms;
+    row.network_ms = s.network_ms;
+    row.recovery_ms = s.recovery_ms;
+    row.attempts = s.attempts;
+    row.retries = s.retries;
+    row.rows_out = s.rows_out;
+    row.bytes = s.bytes_shuffled;
+    row.messages = s.messages;
+    row.retransmits = s.network_retransmits;
+    row.partitions = s.partitions;
+    if (s.partitions > 0 && s.total_partition_ms > 0.0) {
+      const double mean = s.total_partition_ms / s.partitions;
+      row.busy_skew = s.max_partition_ms / mean;
+    }
+    if (metrics != nullptr) {
+      if (const std::vector<int64_t>* rows = metrics->StageRows(s.name)) {
+        row.rows_skew = ComputeSkew(s.name, *rows).ratio;
+      }
+    }
+    p.stages.push_back(std::move(row));
+  }
+  if (metrics != nullptr) {
+    p.skew_reports = metrics->BuildSkewReports();
+  }
+  return p;
+}
+
+std::string QueryProfile::ToString() const {
+  std::string out;
+  char line[320];
+  std::snprintf(line, sizeof(line),
+                "%-28s %10s %10s %10s %4s %12s %10s %6s\n", "stage",
+                "compute ms", "network ms", "recover ms", "att", "rows",
+                "bytes", "skew");
+  out += line;
+  out.append(96, '-');
+  out += '\n';
+  for (const StageProfile& s : stages) {
+    // Prefer the row-placement skew (what the paper's partitioning
+    // statistics target); fall back to busy-time imbalance.
+    const double skew = s.rows_skew > 0.0 ? s.rows_skew : s.busy_skew;
+    std::snprintf(line, sizeof(line),
+                  "%-28s %10.3f %10.3f %10.3f %4d %12" PRId64
+                  " %10s %6.2f\n",
+                  s.name.c_str(), s.compute_ms, s.network_ms, s.recovery_ms,
+                  s.attempts, s.rows_out, FormatBytes(s.bytes).c_str(),
+                  skew);
+    out += line;
+  }
+  out.append(96, '-');
+  out += '\n';
+  std::snprintf(line, sizeof(line),
+                "totals: simulated=%.3f ms  wall=%.3f ms  shuffled=%s  "
+                "output rows=%" PRId64 "\n",
+                simulated_ms, wall_ms, FormatBytes(bytes_shuffled).c_str(),
+                output_rows);
+  out += line;
+  if (total_retries > 0 || recovery_ms > 0.0 || network_retransmits > 0) {
+    std::snprintf(line, sizeof(line),
+                  "recovery: retries=%" PRId64 "  recovery=%.3f ms  "
+                  "retransmits=%" PRId64 "\n",
+                  total_retries, recovery_ms, network_retransmits);
+    out += line;
+  }
+  if (chunks_in > 0) {
+    std::snprintf(line, sizeof(line),
+                  "chunks: in=%" PRId64 "  out=%" PRId64
+                  "  compacted=%" PRId64 "  rows=%" PRId64 "\n",
+                  chunks_in, chunks_out, chunks_compacted, chunk_rows);
+    out += line;
+  }
+  bool any_skewed = false;
+  for (const SkewReport& r : skew_reports) any_skewed |= r.skewed;
+  if (any_skewed) {
+    out += "skew:\n";
+    for (const SkewReport& r : skew_reports) {
+      if (!r.skewed) continue;
+      out += "  " + r.ToString() + "\n";
+    }
+  }
+  for (const std::string& w : warnings) {
+    out += "warning: " + w + "\n";
+  }
+  return out;
+}
+
+}  // namespace fudj

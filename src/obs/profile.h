@@ -1,0 +1,76 @@
+#ifndef FUDJ_OBS_PROFILE_H_
+#define FUDJ_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/stats.h"
+#include "obs/metrics.h"
+
+namespace fudj {
+
+/// One stage of an EXPLAIN ANALYZE profile, merged from the stage's
+/// ExecStats record and (when a MetricsRegistry observed the run) its
+/// per-partition output-row distribution.
+struct StageProfile {
+  std::string name;
+  double compute_ms = 0.0;   ///< makespan: max partition busy time
+  double total_ms = 0.0;     ///< total CPU across partitions
+  double network_ms = 0.0;
+  double recovery_ms = 0.0;  ///< failed attempts + retry backoff
+  int attempts = 1;
+  int retries = 0;
+  int64_t rows_out = 0;
+  int64_t bytes = 0;
+  int64_t messages = 0;
+  int64_t retransmits = 0;
+  int partitions = 0;
+  /// Busy-time imbalance: max / mean partition busy (1 = balanced,
+  /// 0 = unknown).
+  double busy_skew = 0.0;
+  /// Row-placement imbalance: max / median partition output rows from
+  /// the metrics distribution (0 = not recorded).
+  double rows_skew = 0.0;
+
+  /// Simulated-clock contribution of this stage (compute + recovery +
+  /// network) — the stage rows of the profile sum to
+  /// ExecStats::simulated_ms.
+  double simulated_ms() const {
+    return compute_ms + recovery_ms + network_ms;
+  }
+};
+
+/// The per-query profile behind `EXPLAIN ANALYZE`: per-stage breakdown
+/// (compute, network, recovery, rows, bytes, skew), query totals, chunk
+/// compaction counters, skew reports of every exchange/UDJ stage, and
+/// execution warnings (e.g. broadcast-NLJ degradation).
+struct QueryProfile {
+  std::vector<StageProfile> stages;
+  double simulated_ms = 0.0;
+  double wall_ms = 0.0;
+  int64_t bytes_shuffled = 0;
+  int64_t output_rows = 0;
+  int64_t total_retries = 0;
+  double recovery_ms = 0.0;
+  int64_t network_retransmits = 0;
+  int64_t chunks_in = 0;
+  int64_t chunks_out = 0;
+  int64_t chunks_compacted = 0;
+  int64_t chunk_rows = 0;
+  std::vector<std::string> warnings;
+  std::vector<SkewReport> skew_reports;
+
+  /// Builds the profile from a query's ExecStats; `metrics` (nullable)
+  /// contributes per-partition row distributions and skew reports.
+  static QueryProfile Build(const ExecStats& stats,
+                            const MetricsRegistry* metrics);
+
+  /// Renders the aligned per-stage table plus totals / skew / warnings —
+  /// the text a client sees for EXPLAIN ANALYZE.
+  std::string ToString() const;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_OBS_PROFILE_H_

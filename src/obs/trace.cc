@@ -1,0 +1,269 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace fudj {
+
+namespace {
+
+/// Per-thread coordinates of the partition task currently executing,
+/// armed by Tracer::TaskScope (mirrors FaultInjector's TaskContext).
+struct TaskContext {
+  Tracer* tracer = nullptr;
+  std::string stage;
+  int partition = -1;
+  int attempt = 0;
+};
+
+thread_local TaskContext t_task;
+
+}  // namespace
+
+Tracer::Arg Tracer::IntArg(std::string key, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return Arg{std::move(key), buf};
+}
+
+Tracer::Arg Tracer::DoubleArg(std::string key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return Arg{std::move(key), buf};
+}
+
+Tracer::Arg Tracer::StringArg(std::string key, const std::string& v) {
+  return Arg{std::move(key), "\"" + JsonEscape(v) + "\""};
+}
+
+Tracer::Arg Tracer::BoolArg(std::string key, bool v) {
+  return Arg{std::move(key), v ? "true" : "false"};
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  SetProcessName(kWallPid, "query (wall clock)");
+  SetProcessName(kSimPid, "cluster (simulated clock)");
+  SetThreadName(kWallPid, 0, "stages");
+  SetThreadName(kSimPid, 0, "stages");
+}
+
+double Tracer::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::Push(Event e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::AddSpan(int pid, int tid, const std::string& name,
+                     const std::string& category, double ts_us,
+                     double dur_us, Args args) {
+  Event e;
+  e.phase = 'X';
+  e.name = name;
+  e.category = category;
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us < 0.0 ? 0.0 : dur_us;
+  e.args = std::move(args);
+  Push(std::move(e));
+}
+
+void Tracer::AddInstant(int pid, int tid, const std::string& name,
+                        const std::string& category, double ts_us,
+                        Args args) {
+  Event e;
+  e.phase = 'i';
+  e.name = name;
+  e.category = category;
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_us = ts_us;
+  e.args = std::move(args);
+  Push(std::move(e));
+}
+
+void Tracer::SetProcessName(int pid, const std::string& name) {
+  Event e;
+  e.phase = 'M';
+  e.name = "process_name";
+  e.pid = pid;
+  e.args.push_back(StringArg("name", name));
+  Push(std::move(e));
+}
+
+void Tracer::SetThreadName(int pid, int tid, const std::string& name) {
+  Event e;
+  e.phase = 'M';
+  e.name = "thread_name";
+  e.pid = pid;
+  e.tid = tid;
+  e.args.push_back(StringArg("name", name));
+  Push(std::move(e));
+}
+
+int64_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(events_.size());
+}
+
+namespace {
+
+std::string RenderArgs(const Tracer::Args& args) {
+  if (args.empty()) return std::string();
+  std::string out = "{";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(args[i].key) + "\":" + args[i].json;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::vector<Tracer::EventView> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EventView> out;
+  out.reserve(events_.size());
+  for (const Event& e : events_) {
+    EventView v;
+    v.phase = e.phase;
+    v.name = e.name;
+    v.category = e.category;
+    v.pid = e.pid;
+    v.tid = e.tid;
+    v.ts_us = e.ts_us;
+    v.dur_us = e.dur_us;
+    v.args_json = RenderArgs(e.args);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::string Tracer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  char buf[128];
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (i > 0) out += ",";
+    out += "\n{\"name\":\"" + JsonEscape(e.name) + "\"";
+    if (!e.category.empty()) {
+      out += ",\"cat\":\"" + JsonEscape(e.category) + "\"";
+    }
+    out += ",\"ph\":\"";
+    out += e.phase;
+    out += "\"";
+    std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%d", e.pid,
+                  e.tid);
+    out += buf;
+    if (e.phase != 'M') {
+      std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f", e.ts_us);
+      out += buf;
+    }
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", e.dur_us);
+      out += buf;
+    }
+    if (e.phase == 'i') {
+      out += ",\"s\":\"t\"";
+    }
+    const std::string args = RenderArgs(e.args);
+    if (!args.empty()) out += ",\"args\":" + args;
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status Tracer::WriteFile(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace output file '" + path +
+                            "'");
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace output file '" + path +
+                            "'");
+  }
+  return Status::OK();
+}
+
+Tracer::TaskScope::TaskScope(Tracer* tracer, const std::string& stage,
+                             int partition, int attempt) {
+  if (tracer == nullptr) return;
+  t_task.tracer = tracer;
+  t_task.stage = stage;
+  t_task.partition = partition;
+  t_task.attempt = attempt;
+  armed_ = true;
+}
+
+Tracer::TaskScope::~TaskScope() {
+  if (armed_) t_task = TaskContext{};
+}
+
+void Tracer::CurrentTaskEvent(const std::string& name, Args args) {
+  Tracer* tracer = t_task.tracer;
+  if (tracer == nullptr) return;
+  args.push_back(StringArg("stage", t_task.stage));
+  args.push_back(IntArg("partition", t_task.partition));
+  args.push_back(IntArg("attempt", t_task.attempt + 1));
+  tracer->AddInstant(kWallPid, 1 + t_task.partition, name, "fault",
+                     tracer->NowUs(), std::move(args));
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ParseTraceOutFlag(int argc, char** argv) {
+  constexpr const char kPrefix[] = "--trace-out=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kPrefix, sizeof(kPrefix) - 1) == 0) {
+      return argv[i] + (sizeof(kPrefix) - 1);
+    }
+  }
+  return std::string();
+}
+
+}  // namespace fudj

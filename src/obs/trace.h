@@ -1,0 +1,149 @@
+#ifndef FUDJ_OBS_TRACE_H_
+#define FUDJ_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fudj {
+
+/// Hierarchical span tracer for the simulated cluster, exported as Chrome
+/// trace-event JSON (loadable in Perfetto / chrome://tracing).
+///
+/// Two timelines ("processes") are recorded side by side:
+///
+///  - pid kWallPid: real wall-clock time of this process. Query and stage
+///    spans live on tid 0; per-partition attempt spans live on
+///    tid 1 + worker, so concurrent partition tasks render as parallel
+///    tracks.
+///  - pid kSimPid: the *simulated* cluster clock (the quantity the
+///    paper's figures report). Stage spans and per-partition busy spans
+///    are laid out against ExecStats' simulated milliseconds, with retry
+///    rounds (failed-attempt busy time + backoff) drawn sequentially
+///    before the successful round — the Gantt chart of the stage.
+///
+/// Injected faults (worker crash, straggler, UDJ callback throw, dropped
+/// shuffle message), retry rounds, broadcast-NLJ degradation and chunk
+/// compaction are recorded as instant events on the track they occurred
+/// on.
+///
+/// Cost model: every hook in the engine is guarded by a null check on the
+/// cluster's tracer pointer, so a disabled tracer costs one predictable
+/// branch per stage/partition (nothing per row). Recording itself takes a
+/// mutex; spans are buffered in memory until ToJson()/WriteFile().
+class Tracer {
+ public:
+  static constexpr int kWallPid = 1;  ///< wall-clock timeline
+  static constexpr int kSimPid = 2;   ///< simulated-clock timeline
+
+  /// One key/value pair attached to a span or event. `json` holds the
+  /// already-encoded JSON value ("3", "1.5", "\"text\"").
+  struct Arg {
+    std::string key;
+    std::string json;
+  };
+  using Args = std::vector<Arg>;
+
+  static Arg IntArg(std::string key, int64_t v);
+  static Arg DoubleArg(std::string key, double v);
+  static Arg StringArg(std::string key, const std::string& v);
+  static Arg BoolArg(std::string key, bool v);
+
+  Tracer();
+
+  /// Wall-clock microseconds since this tracer was constructed (the `ts`
+  /// origin of the kWallPid timeline).
+  double NowUs() const;
+
+  /// Records a complete span (`"ph":"X"`).
+  void AddSpan(int pid, int tid, const std::string& name,
+               const std::string& category, double ts_us, double dur_us,
+               Args args = {});
+
+  /// Records an instant event (`"ph":"i"`, thread scope).
+  void AddInstant(int pid, int tid, const std::string& name,
+                  const std::string& category, double ts_us,
+                  Args args = {});
+
+  /// Metadata: names a process / thread track in the viewer.
+  void SetProcessName(int pid, const std::string& name);
+  void SetThreadName(int pid, int tid, const std::string& name);
+
+  int64_t num_events() const;
+  /// True when any recorded event satisfies `pred` — test helper.
+  /// (Events are copied out under the lock; keep predicates cheap.)
+  struct EventView {
+    char phase;
+    std::string name;
+    std::string category;
+    int pid;
+    int tid;
+    double ts_us;
+    double dur_us;
+    std::string args_json;  ///< rendered {"k":v,...} (empty: no args)
+  };
+  std::vector<EventView> Snapshot() const;
+
+  /// Renders the Chrome trace-event JSON object
+  /// (`{"traceEvents":[...],"displayTimeUnit":"ms"}`).
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+  /// RAII thread-local marker mirroring FaultInjector::TaskScope: "this
+  /// thread is executing partition `partition` of `stage`, attempt
+  /// `attempt` (0-based)". While a scope is armed, fault sites deep in
+  /// the engine can record events via CurrentTaskEvent without any
+  /// plumbing. A null tracer makes the scope a no-op.
+  class TaskScope {
+   public:
+    TaskScope(Tracer* tracer, const std::string& stage, int partition,
+              int attempt);
+    ~TaskScope();
+    TaskScope(const TaskScope&) = delete;
+    TaskScope& operator=(const TaskScope&) = delete;
+
+   private:
+    bool armed_ = false;
+  };
+
+  /// Records an instant event on the current thread's task track (wall
+  /// timeline, tid 1 + partition). No-op when no TaskScope is armed —
+  /// one thread-local load and branch.
+  static void CurrentTaskEvent(const std::string& name, Args args = {});
+
+ private:
+  struct Event {
+    char phase;  // 'X', 'i', 'M'
+    std::string name;
+    std::string category;
+    int pid = 0;
+    int tid = 0;
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    Args args;
+  };
+
+  void Push(Event e);
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Escapes `s` for embedding in a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& s);
+
+/// Extracts the value of a `--trace-out=<file>` command-line flag;
+/// returns "" when absent. Shared by benches and examples.
+std::string ParseTraceOutFlag(int argc, char** argv);
+
+}  // namespace fudj
+
+#endif  // FUDJ_OBS_TRACE_H_

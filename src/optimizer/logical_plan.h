@@ -74,6 +74,10 @@ struct Statement {
   QuerySpec select;
   CreateJoinStmt create_join;
   DropJoinStmt drop_join;
+  /// EXPLAIN prefix on a SELECT: describe the plan without running it.
+  bool explain = false;
+  /// EXPLAIN ANALYZE: run the query and return the per-stage profile.
+  bool analyze = false;
 };
 
 }  // namespace fudj

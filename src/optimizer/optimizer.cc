@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "optimizer/functions.h"
 #include "sql/parser.h"
 
@@ -589,6 +591,74 @@ Result<QueryOutput> ExecuteQuery(Cluster* cluster, const Catalog& catalog,
   return ExecutePlan(cluster, plan);
 }
 
+namespace {
+
+/// EXPLAIN (no ANALYZE): describe the bound plan without running it —
+/// one "plan" string row per plan element.
+QueryOutput MakeExplainOutput(const PhysicalQueryPlan& plan) {
+  QueryOutput out;
+  out.schema.AddField("plan", ValueType::kString);
+  out.rows.push_back({Value::String("strategy: " + plan.explain)});
+  for (const BoundTable& t : plan.tables) {
+    std::string line = "table: " + t.dataset;
+    if (t.alias != t.dataset) line += " as " + t.alias;
+    if (t.filter != nullptr) line += "  filter: " + t.filter->ToString();
+    out.rows.push_back({Value::String(line)});
+  }
+  for (const ExtraJoinStep& step : plan.extra_steps) {
+    out.rows.push_back({Value::String(
+        std::string("then join: ") + JoinStrategyToString(step.strategy))});
+  }
+  if (plan.has_aggregation) {
+    out.rows.push_back({Value::String("group-by aggregate")});
+  }
+  if (!plan.order_cols.empty()) {
+    out.rows.push_back({Value::String("sort")});
+  }
+  if (plan.limit >= 0) {
+    out.rows.push_back(
+        {Value::String("limit " + std::to_string(plan.limit))});
+  }
+  return out;
+}
+
+/// EXPLAIN ANALYZE: run the plan with a per-query metrics registry
+/// attached, then return the per-stage profile as structured rows (the
+/// rendered report goes into QueryOutput::profile). The returned rows'
+/// compute/network/recovery columns sum to stats.simulated_ms().
+Result<QueryOutput> ExplainAnalyzeQuery(Cluster* cluster,
+                                        const PhysicalQueryPlan& plan) {
+  MetricsRegistry metrics;
+  MetricsRegistry* prev = cluster->metrics();
+  cluster->set_metrics(&metrics);
+  Result<QueryOutput> ran = ExecutePlan(cluster, plan);
+  cluster->set_metrics(prev);
+  if (!ran.ok()) return ran.status();
+  const QueryProfile profile = QueryProfile::Build(ran->stats, &metrics);
+  QueryOutput out;
+  out.stats = ran->stats;
+  out.profile = profile.ToString();
+  out.schema.AddField("stage", ValueType::kString);
+  out.schema.AddField("compute_ms", ValueType::kDouble);
+  out.schema.AddField("network_ms", ValueType::kDouble);
+  out.schema.AddField("recovery_ms", ValueType::kDouble);
+  out.schema.AddField("attempts", ValueType::kInt64);
+  out.schema.AddField("rows_out", ValueType::kInt64);
+  out.schema.AddField("bytes", ValueType::kInt64);
+  out.schema.AddField("skew", ValueType::kDouble);
+  for (const StageProfile& s : profile.stages) {
+    out.rows.push_back(
+        {Value::String(s.name), Value::Double(s.compute_ms),
+         Value::Double(s.network_ms), Value::Double(s.recovery_ms),
+         Value::Int64(s.attempts), Value::Int64(s.rows_out),
+         Value::Int64(s.bytes),
+         Value::Double(s.rows_skew > 0.0 ? s.rows_skew : s.busy_skew)});
+  }
+  return out;
+}
+
+}  // namespace
+
 Result<QueryOutput> ExecuteSql(Cluster* cluster, Catalog* catalog,
                                std::string_view sql) {
   FUDJ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
@@ -606,8 +676,15 @@ Result<QueryOutput> ExecuteSql(Cluster* cluster, Catalog* catalog,
     case Statement::Kind::kDropJoin:
       FUDJ_RETURN_NOT_OK(catalog->DropJoin(stmt.drop_join.name));
       return QueryOutput{};
-    case Statement::Kind::kSelect:
+    case Statement::Kind::kSelect: {
+      if (stmt.explain) {
+        FUDJ_ASSIGN_OR_RETURN(PhysicalQueryPlan plan,
+                              PlanQuery(stmt.select, *catalog));
+        if (!stmt.analyze) return MakeExplainOutput(plan);
+        return ExplainAnalyzeQuery(cluster, plan);
+      }
       return ExecuteQuery(cluster, *catalog, stmt.select);
+    }
   }
   return Status::Internal("unknown statement kind");
 }

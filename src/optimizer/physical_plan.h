@@ -113,6 +113,9 @@ struct QueryOutput {
   Schema schema;
   std::vector<Tuple> rows;
   ExecStats stats;
+  /// EXPLAIN ANALYZE only: rendered per-stage profile report
+  /// (QueryProfile::ToString); empty otherwise.
+  std::string profile;
 
   /// Renders rows as an aligned table (examples/demos).
   std::string ToTable(size_t max_rows = 20) const;

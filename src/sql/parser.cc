@@ -15,6 +15,19 @@ class Parser {
 
   Result<Statement> ParseStatement() {
     Statement stmt;
+    if (Peek().IsKeyword("explain")) {
+      Advance();
+      stmt.explain = true;
+      if (Peek().IsKeyword("analyze")) {
+        Advance();
+        stmt.analyze = true;
+      }
+      if (!Peek().IsKeyword("select")) {
+        return Status::ParseError(
+            "EXPLAIN" + std::string(stmt.analyze ? " ANALYZE" : "") +
+            " supports only SELECT statements");
+      }
+    }
     if (Peek().IsKeyword("create")) {
       Advance();
       FUDJ_RETURN_NOT_OK(Expect("join"));

@@ -147,10 +147,45 @@ TEST(ExecStatsTest, MergeAccumulates) {
   EXPECT_EQ(a.stages().size(), 2u);
 }
 
+TEST(ExecStatsTest, MergeCarriesOutputRowsAndChunkCounters) {
+  ExecStats a;
+  a.set_output_rows(10);
+  a.AddChunkStats(4, 3, 1, 200);
+  ExecStats b;
+  b.set_output_rows(32);
+  b.AddChunkStats(1, 1, 0, 50);
+  a.Merge(b);
+  EXPECT_EQ(a.output_rows(), 42) << "Merge must not drop output rows";
+  EXPECT_EQ(a.chunks_in(), 5);
+  EXPECT_EQ(a.chunks_out(), 4);
+  EXPECT_EQ(a.chunks_compacted(), 1);
+  EXPECT_EQ(a.chunk_rows(), 250);
+}
+
+TEST(ExecStatsTest, AddStageRecordsPartitionCount) {
+  ExecStats stats;
+  stats.AddStage("wide", {1.0, 2.0, 3.0}, 9);
+  ASSERT_EQ(stats.stages().size(), 1u);
+  EXPECT_EQ(stats.stages()[0].partitions, 3);
+  EXPECT_DOUBLE_EQ(stats.stages()[0].max_partition_ms, 3.0);
+  EXPECT_DOUBLE_EQ(stats.stages()[0].total_partition_ms, 6.0);
+}
+
 TEST(ExecStatsTest, ToStringContainsStages) {
   ExecStats stats;
   stats.AddStage("my-stage", {1.0}, 5);
   EXPECT_NE(stats.ToString().find("my-stage"), std::string::npos);
+}
+
+TEST(ExecStatsTest, ToStringRendersLargeCounts) {
+  // 2^32 + 5 rows: regression check for the 64-bit printf conversions —
+  // a truncating format would print a small or negative number.
+  ExecStats stats;
+  const int64_t big = (int64_t{1} << 32) + 5;
+  stats.AddStage("huge", {1.0}, big);
+  stats.set_output_rows(big);
+  EXPECT_NE(stats.ToString().find("4294967301"), std::string::npos)
+      << stats.ToString();
 }
 
 // -------------------------------------------------------------- Exchange

@@ -1,0 +1,479 @@
+// Tests for the observability subsystem (src/obs): the metrics registry
+// (counters, gauges, histograms, skew reports), the span tracer and its
+// Chrome trace-event export, engine instrumentation under fault
+// injection (retry-attempt spans, fault instants), and EXPLAIN ANALYZE —
+// including the invariant that the per-stage profile totals match
+// ExecStats.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/hash.h"
+#include "datagen/datagen.h"
+#include "engine/cluster.h"
+#include "engine/exchange.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "optimizer/optimizer.h"
+#include "test_util.h"
+
+namespace fudj {
+namespace {
+
+// ---------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("requests_total");
+  c->Increment();
+  c->Increment(4);
+  EXPECT_EQ(c->value(), 5);
+  EXPECT_EQ(registry.GetCounter("requests_total"), c)
+      << "same name resolves to the same instance";
+
+  Gauge* g = registry.GetGauge("queue_depth");
+  g->Set(3.5);
+  EXPECT_DOUBLE_EQ(g->value(), 3.5);
+  g->Set(1.0);
+  EXPECT_DOUBLE_EQ(g->value(), 1.0) << "gauge is last-write-wins";
+}
+
+TEST(MetricsTest, LabelsAreOrderInsensitive) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter(
+      "rows", {{"stage", "exchange"}, {"side", "L"}});
+  Counter* b = registry.GetCounter(
+      "rows", {{"side", "L"}, {"stage", "exchange"}});
+  EXPECT_EQ(a, b) << "label order must not create distinct instances";
+  Counter* other = registry.GetCounter("rows", {{"side", "R"}});
+  EXPECT_NE(a, other);
+}
+
+TEST(MetricsTest, HistogramCountsSumAndBuckets) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (const double v : {0.5, 2.0, 3.0, 50.0, 1000.0}) h.Observe(v);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 1055.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  const std::vector<int64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u) << "bounds + one overflow bucket";
+  EXPECT_EQ(counts[0], 1);  // 0.5
+  EXPECT_EQ(counts[1], 2);  // 2, 3
+  EXPECT_EQ(counts[2], 1);  // 50
+  EXPECT_EQ(counts[3], 1);  // 1000 overflows
+}
+
+TEST(MetricsTest, HistogramQuantilesAreMonotone) {
+  Histogram h(ExponentialBuckets(1.0, 2.0, 12));
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i));
+  const double p50 = h.Quantile(0.5);
+  const double p90 = h.Quantile(0.9);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GT(p50, 10.0) << "median of 1..100 is far above the low buckets";
+  EXPECT_LE(p99, h.max());
+}
+
+TEST(MetricsTest, ExponentialBucketsShape) {
+  const std::vector<double> b = ExponentialBuckets(1.0, 4.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 4.0);
+  EXPECT_DOUBLE_EQ(b[2], 16.0);
+  EXPECT_DOUBLE_EQ(b[3], 64.0);
+}
+
+TEST(SkewTest, BalancedDistributionIsNotSkewed) {
+  const SkewReport r = ComputeSkew("even", {100, 101, 99, 100});
+  EXPECT_EQ(r.partitions, 4);
+  EXPECT_EQ(r.total_rows, 400);
+  EXPECT_EQ(r.max_rows, 101);
+  EXPECT_NEAR(r.ratio, 1.01, 0.02);
+  EXPECT_FALSE(r.skewed);
+  EXPECT_TRUE(r.straggler_partitions.empty());
+}
+
+TEST(SkewTest, HotPartitionIsFlaggedAsStraggler) {
+  const SkewReport r = ComputeSkew("hot", {10, 12, 11, 95});
+  EXPECT_TRUE(r.skewed);
+  EXPECT_GT(r.ratio, 2.0);
+  ASSERT_EQ(r.straggler_partitions.size(), 1u);
+  EXPECT_EQ(r.straggler_partitions[0], 3);
+  EXPECT_NE(r.ToString().find("hot"), std::string::npos);
+}
+
+TEST(MetricsTest, StageDistributionsAndSkewReports) {
+  MetricsRegistry registry;
+  registry.RecordStagePartitions("exchange", {5, 6, 80}, {50, 60, 800});
+  registry.RecordStagePartitions("probe", {7, 7, 7}, {});
+  ASSERT_NE(registry.StageRows("exchange"), nullptr);
+  EXPECT_EQ((*registry.StageRows("exchange"))[2], 80);
+  ASSERT_NE(registry.StageBytes("exchange"), nullptr);
+  EXPECT_EQ(registry.StageRows("missing"), nullptr);
+  const std::vector<std::string> stages =
+      registry.StagesWithDistributions();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0], "exchange") << "first-recorded order";
+  const std::vector<SkewReport> reports = registry.BuildSkewReports();
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_TRUE(reports[0].skewed);
+  EXPECT_FALSE(reports[1].skewed);
+}
+
+TEST(MetricsTest, ToTextListsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("a_total", {{"stage", "s1"}})->Increment(7);
+  registry.GetGauge("b_value")->Set(2.25);
+  registry.GetHistogram("c_hist", {}, {1.0, 10.0})->Observe(5.0);
+  const std::string text = registry.ToText();
+  EXPECT_NE(text.find("a_total{stage=\"s1\"} 7"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("b_value"), std::string::npos);
+  EXPECT_NE(text.find("c_hist"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- Tracer
+
+TEST(TracerTest, SpansInstantsAndMetadataAreRecorded) {
+  Tracer tracer;
+  // A fresh tracer pre-names its two timelines (metadata events).
+  const int64_t baseline = tracer.num_events();
+  tracer.SetProcessName(Tracer::kWallPid, "wall clock");
+  tracer.SetThreadName(Tracer::kWallPid, 0, "stages");
+  tracer.AddSpan(Tracer::kWallPid, 0, "stage-a", "stage", 10.0, 25.0,
+                 {Tracer::IntArg("rows", 42)});
+  tracer.AddInstant(Tracer::kSimPid, 1, "worker-crash", "fault", 3.0,
+                    {Tracer::StringArg("stage", "a"),
+                     Tracer::BoolArg("recovered", true)});
+  EXPECT_EQ(tracer.num_events(), baseline + 4);
+
+  const std::vector<Tracer::EventView> events = tracer.Snapshot();
+  const auto span = std::find_if(
+      events.begin(), events.end(),
+      [](const Tracer::EventView& e) { return e.name == "stage-a"; });
+  ASSERT_NE(span, events.end());
+  EXPECT_EQ(span->phase, 'X');
+  EXPECT_DOUBLE_EQ(span->ts_us, 10.0);
+  EXPECT_DOUBLE_EQ(span->dur_us, 25.0);
+  EXPECT_NE(span->args_json.find("\"rows\":42"), std::string::npos);
+
+  const auto inst = std::find_if(
+      events.begin(), events.end(),
+      [](const Tracer::EventView& e) { return e.name == "worker-crash"; });
+  ASSERT_NE(inst, events.end());
+  EXPECT_EQ(inst->phase, 'i');
+  EXPECT_EQ(inst->pid, Tracer::kSimPid);
+  EXPECT_NE(inst->args_json.find("\"recovered\":true"), std::string::npos);
+}
+
+TEST(TracerTest, ToJsonIsWellFormedChromeTraceShape) {
+  Tracer tracer;
+  tracer.AddSpan(Tracer::kWallPid, 0, "q\"uote\\back", "stage", 0.0, 1.0);
+  const std::string json = tracer.ToJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("q\\\"uote\\\\back"), std::string::npos)
+      << "names must be JSON-escaped";
+  // Balanced braces/brackets — a cheap well-formedness proxy (no string
+  // content in this trace contains unescaped structural characters).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TracerTest, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(TracerTest, WriteFileRoundTrip) {
+  Tracer tracer;
+  tracer.AddInstant(Tracer::kWallPid, 0, "marker", "test", 1.0);
+  const std::string path =
+      ::testing::TempDir() + "/fudj_obs_trace_test.json";
+  ASSERT_OK(tracer.WriteFile(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents(1 << 12, '\0');
+  contents.resize(std::fread(contents.data(), 1, contents.size(), f));
+  std::fclose(f);
+  EXPECT_EQ(contents, tracer.ToJson());
+  std::remove(path.c_str());
+  EXPECT_FALSE(tracer.WriteFile("/nonexistent-dir/x/y.json").ok());
+}
+
+TEST(TracerTest, ParseTraceOutFlag) {
+  const char* argv_with[] = {"bench", "--smoke", "--trace-out=/tmp/t.json"};
+  EXPECT_EQ(ParseTraceOutFlag(3, const_cast<char**>(argv_with)),
+            "/tmp/t.json");
+  const char* argv_without[] = {"bench", "--smoke"};
+  EXPECT_EQ(ParseTraceOutFlag(2, const_cast<char**>(argv_without)), "");
+}
+
+TEST(TracerTest, CurrentTaskEventNeedsAnArmedScope) {
+  Tracer tracer;
+  const int64_t baseline = tracer.num_events();
+  Tracer::CurrentTaskEvent("outside");  // no scope: must be a no-op
+  EXPECT_EQ(tracer.num_events(), baseline);
+  {
+    Tracer::TaskScope scope(&tracer, "stage-x", /*partition=*/2,
+                            /*attempt=*/0);
+    Tracer::CurrentTaskEvent("inside",
+                             {Tracer::DoubleArg("extra_ms", 1.5)});
+  }
+  Tracer::CurrentTaskEvent("after");  // scope ended: no-op again
+  std::vector<Tracer::EventView> events = tracer.Snapshot();
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [](const Tracer::EventView& e) {
+                                return e.phase == 'M';
+                              }),
+               events.end());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "inside");
+  EXPECT_EQ(events[0].tid, 1 + 2) << "task events land on the worker track";
+  EXPECT_NE(events[0].args_json.find("\"stage\":\"stage-x\""),
+            std::string::npos);
+}
+
+// -------------------------------------------- Engine trace instrumentation
+
+TEST(EngineTraceTest, CleanStageEmitsWallAndSimSpans) {
+  Cluster cluster(4);
+  Tracer tracer;
+  cluster.set_tracer(&tracer);
+  ExecStats stats;
+  ASSERT_OK(cluster.RunStage(
+      "traced", [](int) { return Status::OK(); }, &stats));
+  const std::vector<Tracer::EventView> events = tracer.Snapshot();
+  int wall_stage = 0;
+  int sim_stage = 0;
+  int attempts = 0;
+  for (const Tracer::EventView& e : events) {
+    if (e.phase != 'X' || e.name != "traced") continue;
+    if (e.tid == 0 && e.pid == Tracer::kWallPid) ++wall_stage;
+    if (e.tid == 0 && e.pid == Tracer::kSimPid) ++sim_stage;
+    if (e.tid > 0 && e.pid == Tracer::kWallPid) ++attempts;
+  }
+  EXPECT_EQ(wall_stage, 1);
+  EXPECT_EQ(sim_stage, 1);
+  EXPECT_EQ(attempts, 4) << "one attempt span per partition";
+}
+
+TEST(EngineTraceTest, FaultedRunRecordsRetryRoundsAndCrashEvents) {
+  Cluster cluster(8);
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  cluster.set_retry_policy(policy);
+  FaultConfig config;
+  config.seed = 1234;
+  config.crash_partition_prob = 0.5;
+  cluster.EnableFaultInjection(config);
+  Tracer tracer;
+  cluster.set_tracer(&tracer);
+  ExecStats stats;
+  ASSERT_OK(cluster.RunStage(
+      "chaotic", [](int) { return Status::OK(); }, &stats));
+  ASSERT_GT(stats.total_retries(), 0) << "seed must actually inject";
+
+  const std::vector<Tracer::EventView> events = tracer.Snapshot();
+  bool saw_retry_round = false;
+  bool saw_crash = false;
+  bool saw_failed_attempt = false;
+  bool saw_second_attempt = false;
+  for (const Tracer::EventView& e : events) {
+    if (e.name == "retry-round") saw_retry_round = true;
+    if (e.name == "worker-crash" && e.category == "fault") saw_crash = true;
+    if (e.phase == 'X' && e.name == "chaotic" && e.tid > 0) {
+      if (e.args_json.find("\"ok\":false") != std::string::npos) {
+        saw_failed_attempt = true;
+      }
+      if (e.args_json.find("\"attempt\":2") != std::string::npos) {
+        saw_second_attempt = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_retry_round) << "retry rounds appear as instants";
+  EXPECT_TRUE(saw_crash) << "injected crashes appear as fault events";
+  EXPECT_TRUE(saw_failed_attempt);
+  EXPECT_TRUE(saw_second_attempt) << "re-executions carry attempt >= 2";
+
+  // Minimal trace-schema validation: the exported events must all be
+  // phases the Chrome trace-event format defines here, with sane fields.
+  for (const Tracer::EventView& e : events) {
+    EXPECT_TRUE(e.phase == 'X' || e.phase == 'i' || e.phase == 'M')
+        << e.name;
+    if (e.phase == 'X') {
+      EXPECT_GE(e.dur_us, 0.0) << e.name;
+    }
+    if (e.phase != 'M') {
+      EXPECT_FALSE(e.name.empty());
+      EXPECT_GE(e.ts_us, 0.0) << e.name;
+    }
+  }
+}
+
+TEST(EngineTraceTest, SimTimelineMatchesExecStatsAccounting) {
+  Cluster cluster(4);
+  Tracer tracer;
+  cluster.set_tracer(&tracer);
+  ExecStats stats;
+  ASSERT_OK(cluster.RunStage(
+      "first", [](int) { return Status::OK(); }, &stats));
+  ASSERT_OK(cluster.RunStage(
+      "second", [](int) { return Status::OK(); }, &stats));
+  const std::vector<Tracer::EventView> events = tracer.Snapshot();
+  double sim_total_us = 0.0;
+  for (const Tracer::EventView& e : events) {
+    if (e.pid == Tracer::kSimPid && e.phase == 'X' && e.tid == 0) {
+      sim_total_us = std::max(sim_total_us, e.ts_us + e.dur_us);
+    }
+  }
+  EXPECT_NEAR(sim_total_us / 1000.0, stats.simulated_ms(), 1e-6)
+      << "sim-timeline stage spans must end at the ExecStats makespan";
+}
+
+TEST(EngineMetricsTest, ExchangeRecordsDistributionsAndNetworkCounters) {
+  Cluster cluster(4);
+  MetricsRegistry registry;
+  cluster.set_metrics(&registry);
+  Schema schema;
+  schema.AddField("id", ValueType::kInt64);
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 64; ++i) rows.push_back({Value::Int64(i)});
+  auto rel = PartitionedRelation::FromTuples(schema, rows, 4);
+  ExecStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      PartitionedRelation out,
+      HashExchange(
+          &cluster, rel,
+          [](const Tuple& t) {
+            return Mix64(static_cast<uint64_t>(t[0].i64()));
+          },
+          &stats, "shuffle"));
+  (void)out;
+  const std::vector<int64_t>* dist = registry.StageRows("shuffle");
+  ASSERT_NE(dist, nullptr);
+  int64_t total = 0;
+  for (const int64_t r : *dist) total += r;
+  EXPECT_EQ(total, 64) << "distribution covers every routed row";
+  EXPECT_GT(
+      registry.GetCounter("network_bytes_total", {{"stage", "shuffle"}})
+          ->value(),
+      0);
+  EXPECT_GT(registry
+                .GetCounter("network_messages_total",
+                            {{"stage", "shuffle"}})
+                ->value(),
+            0);
+}
+
+// ----------------------------------------------------------- QueryProfile
+
+TEST(QueryProfileTest, BuildMatchesExecStatsTotals) {
+  Cluster cluster(4);
+  ExecStats stats;
+  ASSERT_OK(cluster.RunStage(
+      "alpha", [](int) { return Status::OK(); }, &stats));
+  ASSERT_OK(cluster.RunStage(
+      "beta", [](int) { return Status::OK(); }, &stats));
+  const QueryProfile profile = QueryProfile::Build(stats, nullptr);
+  ASSERT_EQ(profile.stages.size(), 2u);
+  double sum = 0.0;
+  for (const StageProfile& s : profile.stages) sum += s.simulated_ms();
+  EXPECT_NEAR(sum, stats.simulated_ms(), 1e-9)
+      << "per-stage rows must add up to the query's simulated time";
+  EXPECT_NE(profile.ToString().find("alpha"), std::string::npos);
+  EXPECT_NE(profile.ToString().find("totals:"), std::string::npos);
+}
+
+// -------------------------------------------------------- EXPLAIN ANALYZE
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterBundledJoinLibraries();
+    cluster_ = std::make_unique<Cluster>(4);
+    ASSERT_OK(catalog_.RegisterDataset(
+        "parks", PartitionedRelation::FromTuples(ParksSchema(),
+                                                 GenerateParks(60, 31), 4)));
+    ASSERT_OK(catalog_.RegisterDataset(
+        "wildfires",
+        PartitionedRelation::FromTuples(WildfiresSchema(),
+                                        GenerateWildfires(200, 32), 4)));
+    ASSERT_TRUE(
+        Run("CREATE JOIN st_contains_join(a: geometry, b: geometry) "
+            "RETURNS boolean AS \"spatial.SpatialJoin\" AT flexiblejoins "
+            "PARAMS (20, 1)")
+            .ok());
+  }
+
+  Result<QueryOutput> Run(const std::string& sql) {
+    return ExecuteSql(cluster_.get(), &catalog_, sql);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  Catalog catalog_;
+};
+
+TEST_F(ExplainTest, ExplainPrintsThePlanWithoutExecuting) {
+  ASSERT_OK_AND_ASSIGN(
+      const QueryOutput out,
+      Run("EXPLAIN SELECT count(*) FROM parks p, wildfires w "
+          "WHERE st_contains_join(p.boundary, w.location)"));
+  ASSERT_EQ(out.schema.num_fields(), 1);
+  EXPECT_EQ(out.schema.field(0).name, "plan");
+  ASSERT_GT(out.rows.size(), 0u);
+  std::string all;
+  for (const Tuple& row : out.rows) all += row[0].str() + "\n";
+  EXPECT_NE(all.find("FUDJ"), std::string::npos) << all;
+  EXPECT_DOUBLE_EQ(out.stats.simulated_ms(), 0.0)
+      << "EXPLAIN must not run the query";
+  EXPECT_TRUE(out.profile.empty());
+}
+
+TEST_F(ExplainTest, ExplainAnalyzeStageTotalsMatchExecStats) {
+  ASSERT_OK_AND_ASSIGN(
+      const QueryOutput out,
+      Run("EXPLAIN ANALYZE SELECT count(*) FROM parks p, wildfires w "
+          "WHERE st_contains_join(p.boundary, w.location)"));
+  // Structured rows: stage, compute_ms, network_ms, recovery_ms,
+  // attempts, rows_out, bytes, skew.
+  ASSERT_EQ(out.schema.num_fields(), 8);
+  EXPECT_EQ(out.schema.field(0).name, "stage");
+  ASSERT_GT(out.rows.size(), 0u);
+  double total_ms = 0.0;
+  int64_t total_bytes = 0;
+  for (const Tuple& row : out.rows) {
+    total_ms += row[1].AsDouble().ValueOr(0.0) +
+                row[2].AsDouble().ValueOr(0.0) +
+                row[3].AsDouble().ValueOr(0.0);
+    total_bytes += row[6].i64();
+  }
+  EXPECT_NEAR(total_ms, out.stats.simulated_ms(), 1e-6)
+      << "EXPLAIN ANALYZE per-stage totals must reconcile with ExecStats";
+  EXPECT_EQ(total_bytes, out.stats.bytes_shuffled());
+  EXPECT_FALSE(out.profile.empty());
+  EXPECT_NE(out.profile.find("totals:"), std::string::npos);
+  EXPECT_GT(out.stats.simulated_ms(), 0.0) << "the query really ran";
+}
+
+TEST_F(ExplainTest, ExplainRejectsNonSelectStatements) {
+  const auto result = Run("EXPLAIN DROP JOIN st_contains_join");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("SELECT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fudj

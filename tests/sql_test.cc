@@ -193,6 +193,41 @@ TEST(ParserTest, TrailingGarbageFails) {
   EXPECT_FALSE(ParseSelect("SELECT a.x FROM T a bogus extra").ok());
 }
 
+TEST(ParserTest, ExplainSelectSetsFlag) {
+  ASSERT_OK_AND_ASSIGN(const Statement stmt,
+                       ParseStatement("EXPLAIN SELECT p.id FROM Parks p"));
+  EXPECT_TRUE(stmt.explain);
+  EXPECT_FALSE(stmt.analyze);
+  EXPECT_EQ(stmt.kind, Statement::Kind::kSelect);
+  ASSERT_EQ(stmt.select.tables.size(), 1u);
+  EXPECT_EQ(stmt.select.tables[0].dataset, "parks");
+}
+
+TEST(ParserTest, ExplainAnalyzeSelectSetsBothFlags) {
+  ASSERT_OK_AND_ASSIGN(
+      const Statement stmt,
+      ParseStatement("explain analyze select p.id from Parks p"));
+  EXPECT_TRUE(stmt.explain) << "keywords are case-insensitive";
+  EXPECT_TRUE(stmt.analyze);
+}
+
+TEST(ParserTest, PlainSelectHasNoExplainFlags) {
+  ASSERT_OK_AND_ASSIGN(const Statement stmt,
+                       ParseStatement("SELECT p.id FROM Parks p"));
+  EXPECT_FALSE(stmt.explain);
+  EXPECT_FALSE(stmt.analyze);
+}
+
+TEST(ParserTest, ExplainRejectsDdlStatements) {
+  const auto result = ParseStatement("EXPLAIN DROP JOIN st_contains");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("SELECT"), std::string::npos);
+  EXPECT_FALSE(
+      ParseStatement("EXPLAIN ANALYZE CREATE JOIN j(a: double) RETURNS "
+                     "boolean AS \"x.Y\" AT lib")
+          .ok());
+}
+
 TEST(ParserTest, QuerySpecToStringRoundTripsShape) {
   ASSERT_OK_AND_ASSIGN(
       const QuerySpec q,
