@@ -43,9 +43,9 @@ RunResult RunSpatial(Cluster* cluster, const FlexibleJoin& join,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr int kWorkers = 12;
-  Cluster cluster(kWorkers);
+  Cluster cluster(kWorkers, fudj::bench::ParseThreadsFlag(argc, argv));
   const int64_t n_parks = Scaled(2000);
   const int64_t n_fires = Scaled(8000);
   auto parks = PartitionedRelation::FromTuples(

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   using namespace fudj::bench;
   BenchTracing tracing(argc, argv);
   constexpr int kWorkers = 12;
-  Cluster cluster(kWorkers);
+  Cluster cluster(kWorkers, ParseThreadsFlag(argc, argv));
   tracing.Attach(&cluster);
 
   // ---- (a) Avoidance vs Elimination (text-similarity, t=0.9) ----

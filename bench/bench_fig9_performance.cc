@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   const int64_t kOnTopCapInterval = Scaled(8000);
   const int64_t kOnTopCapText = Scaled(3000);
 
-  Cluster cluster(kWorkers);
+  Cluster cluster(kWorkers, ParseThreadsFlag(argc, argv));
   tracing.Attach(&cluster);
 
   std::printf("Fig. 9(a) Spatial (contains), grid %dx%d (paper: "

@@ -8,15 +8,20 @@
 //   * the vectorized chunk pipeline (src/vec) vs. the row path on
 //     filter → project → hash join.
 //
-// `bench_micro --smoke` skips google-benchmark and runs the chunk
-// pipeline comparison once, writing BENCH_vec.json and failing if the
-// two paths diverge or the chunk path is slower than the row path.
+// `bench_micro --smoke` skips google-benchmark and runs two one-shot
+// comparisons: the chunk pipeline (BENCH_vec.json, fails if the two
+// paths diverge or the chunk path is slower than the row path) and the
+// COMBINE kernel-vs-pairwise A/B (BENCH_combine.json, fails if outputs
+// differ or the kernel is less than 2x faster). `--threads=off` falls
+// back to sequential partition execution.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "datagen/datagen.h"
@@ -32,6 +37,10 @@
 
 namespace fudj {
 namespace {
+
+// Set from --threads= in main (default on); every cluster the bench
+// constructs honors it.
+bool g_use_threads = true;
 
 void BM_SerializeTuple(benchmark::State& state) {
   const auto rows = GenerateReviews(1, 1);
@@ -277,7 +286,7 @@ void BM_PipelineRow(benchmark::State& state) {
   const auto fact = MakeFact(state.range(0), workers);
   const auto dim = MakeDim(2000, workers);
   for (auto _ : state) {
-    Cluster cluster(workers);
+    Cluster cluster(workers, g_use_threads);
     ExecStats stats;
     auto out = RunPipeline(&cluster, fact, dim, ExecMode::kRow, &stats);
     benchmark::DoNotOptimize(out.ok());
@@ -291,7 +300,7 @@ void BM_PipelineChunk(benchmark::State& state) {
   const auto fact = MakeFact(state.range(0), workers);
   const auto dim = MakeDim(2000, workers);
   for (auto _ : state) {
-    Cluster cluster(workers);
+    Cluster cluster(workers, g_use_threads);
     ExecStats stats;
     auto out = RunPipeline(&cluster, fact, dim, ExecMode::kChunk, &stats);
     benchmark::DoNotOptimize(out.ok());
@@ -342,7 +351,7 @@ int RunChunkPipelineSmoke() {
     *best_ms = 1e300;
     Result<PartitionedRelation> out = Status::Internal("no reps ran");
     for (int rep = 0; rep < reps; ++rep) {
-      Cluster cluster(workers);
+      Cluster cluster(workers, g_use_threads);
       ExecStats rep_stats;
       Stopwatch timer;
       out = RunPipeline(&cluster, fact, dim, mode, &rep_stats);
@@ -421,15 +430,148 @@ int RunChunkPipelineSmoke() {
   return 0;
 }
 
+// ---- --smoke: COMBINE kernel vs pairwise A/B, emits BENCH_combine.json ----
+
+struct CombineCaseResult {
+  double pairwise_ms = 0.0;  // best-of simulated ms with the kernel off
+  double kernel_ms = 0.0;    // best-of simulated ms with the kernel on
+  int64_t output_rows = 0;
+  bool identical = false;
+  bool ok = false;
+
+  double speedup() const {
+    return kernel_ms > 0.0 ? pairwise_ms / kernel_ms : 0.0;
+  }
+};
+
+CombineCaseResult RunCombineCase(const char* name, const FlexibleJoin* join,
+                                 const PartitionedRelation& left, int lk,
+                                 const PartitionedRelation& right, int rk,
+                                 int workers, int reps) {
+  CombineCaseResult res;
+  Result<PartitionedRelation> outputs[2] = {
+      Status::Internal("no reps ran"), Status::Internal("no reps ran")};
+  for (const bool use_kernel : {false, true}) {
+    double best_ms = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      Cluster cluster(workers, g_use_threads);
+      FudjRuntime runtime(&cluster, join);
+      ExecStats stats;
+      FudjExecOptions options;
+      options.use_bucket_kernel = use_kernel;
+      auto out = runtime.Execute(left, lk, right, rk, options, &stats);
+      if (!out.ok()) {
+        std::fprintf(stderr, "combine smoke (%s, kernel=%d) failed: %s\n",
+                     name, use_kernel ? 1 : 0,
+                     out.status().ToString().c_str());
+        return res;
+      }
+      best_ms = std::min(best_ms, stats.simulated_ms());
+      outputs[use_kernel ? 1 : 0] = std::move(out);
+    }
+    (use_kernel ? res.kernel_ms : res.pairwise_ms) = best_ms;
+  }
+  res.identical =
+      outputs[0]->num_partitions() == outputs[1]->num_partitions();
+  for (int p = 0; res.identical && p < outputs[0]->num_partitions(); ++p) {
+    res.identical =
+        outputs[0]->raw_partition(p) == outputs[1]->raw_partition(p);
+  }
+  res.output_rows = outputs[1]->NumRows();
+  res.ok = true;
+  return res;
+}
+
+int RunCombineKernelSmoke() {
+  const int workers = 4;
+  const int reps = 3;
+  const double min_speedup = 2.0;
+
+  // Spatial: a deliberately coarse grid makes tiles dense, so the
+  // pairwise COMBINE loop is quadratic per tile while the plane-sweep
+  // kernel only verifies MBR-intersecting candidates.
+  const auto parks = PartitionedRelation::FromTuples(
+      ParksSchema(), GenerateParks(1500, 901), workers);
+  const auto fires = PartitionedRelation::FromTuples(
+      WildfiresSchema(), GenerateWildfires(6000, 902), workers);
+  SpatialFudj spatial(JoinParameters({Value::Int64(4), Value::Int64(0)}));
+  const CombineCaseResult sp = RunCombineCase(
+      "spatial", &spatial, parks, 1, fires, 1, workers, reps);
+
+  // Set-similarity: the pairwise loop re-tokenizes both records inside
+  // every Verify; the kernel tokenizes each record once per bucket and
+  // decides with the early-terminating merge.
+  const auto reviews = PartitionedRelation::FromTuples(
+      ReviewsSchema(), GenerateReviews(1200, 903), workers);
+  TextSimFudj text(JoinParameters({Value::Double(0.5)}));
+  const CombineCaseResult tx = RunCombineCase(
+      "set-similarity", &text, reviews, 2, reviews, 2, workers, reps);
+  if (!sp.ok || !tx.ok) return 1;
+
+  FILE* f = std::fopen("BENCH_combine.json", "w");
+  if (f != nullptr) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"benchmark\": \"combine_kernel\",\n"
+        "  \"workers\": %d,\n"
+        "  \"reps\": %d,\n"
+        "  \"min_speedup\": %.1f,\n"
+        "  \"spatial\": {\"pairwise_ms\": %.3f, \"kernel_ms\": %.3f, "
+        "\"speedup\": %.3f, \"identical\": %s, \"output_rows\": %lld},\n"
+        "  \"set_similarity\": {\"pairwise_ms\": %.3f, \"kernel_ms\": "
+        "%.3f, \"speedup\": %.3f, \"identical\": %s, \"output_rows\": "
+        "%lld}\n"
+        "}\n",
+        workers, reps, min_speedup, sp.pairwise_ms, sp.kernel_ms,
+        sp.speedup(), sp.identical ? "true" : "false",
+        static_cast<long long>(sp.output_rows), tx.pairwise_ms,
+        tx.kernel_ms, tx.speedup(), tx.identical ? "true" : "false",
+        static_cast<long long>(tx.output_rows));
+    std::fclose(f);
+  }
+
+  std::printf(
+      "combine kernel smoke: spatial pairwise=%.3fms kernel=%.3fms "
+      "(%.2fx, identical=%s) | set-sim pairwise=%.3fms kernel=%.3fms "
+      "(%.2fx, identical=%s)\n",
+      sp.pairwise_ms, sp.kernel_ms, sp.speedup(),
+      sp.identical ? "yes" : "NO", tx.pairwise_ms, tx.kernel_ms,
+      tx.speedup(), tx.identical ? "yes" : "NO");
+  if (!sp.identical || !tx.identical) {
+    std::fprintf(stderr,
+                 "smoke FAILED: kernel and pairwise outputs diverge\n");
+    return 1;
+  }
+  if (sp.speedup() < min_speedup || tx.speedup() < min_speedup) {
+    std::fprintf(stderr,
+                 "smoke FAILED: kernel COMBINE below %.1fx speedup\n",
+                 min_speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace fudj
 
 int main(int argc, char** argv) {
+  fudj::g_use_threads = fudj::bench::ParseThreadsFlag(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke") {
-      return fudj::RunChunkPipelineSmoke();
+      const int vec = fudj::RunChunkPipelineSmoke();
+      const int combine = fudj::RunCombineKernelSmoke();
+      return vec != 0 ? vec : combine;
     }
   }
+  // Strip --threads= (already consumed) so google-benchmark does not
+  // reject it as unrecognized.
+  int argc_kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--threads=", 0) == 0) continue;
+    argv[argc_kept++] = argv[i];
+  }
+  argc = argc_kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -64,7 +64,7 @@ int CountFiles(const std::vector<std::string>& files) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fudj;
   using namespace fudj::bench;
 
@@ -141,7 +141,7 @@ int main() {
   // operation; integrating a built-in operator needs an engine rebuild
   // (~5 minutes in the paper's environment).
   RegisterBundledJoinLibraries();
-  Cluster cluster(4);
+  Cluster cluster(4, ParseThreadsFlag(argc, argv));
   Catalog catalog;
   Stopwatch sw;
   auto created = ExecuteSql(

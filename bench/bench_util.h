@@ -82,6 +82,23 @@ class BenchTracing {
   std::unique_ptr<Tracer> tracer_;
 };
 
+/// `--threads=on|off` (default on): whether bench clusters execute
+/// partition tasks on the worker thread pool. `ExecStats::simulated_ms`
+/// is invariant either way — per-partition busy time is measured inside
+/// each task and the makespan model aggregates it identically — so the
+/// flag only changes wall-clock and gives a deterministic sequential
+/// schedule for debugging.
+inline bool ParseThreadsFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      const std::string v = arg.substr(10);
+      return !(v == "off" || v == "0" || v == "false" || v == "no");
+    }
+  }
+  return true;
+}
+
 /// One measured run.
 struct RunResult {
   bool ok = false;

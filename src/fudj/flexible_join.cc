@@ -50,4 +50,17 @@ bool FlexibleJoin::Dedup(int32_t bucket1, const Value& key1, int32_t bucket2,
   return false;
 }
 
+void FlexibleJoin::CombineBucket(
+    const std::vector<Value>& left_keys, const std::vector<Value>& right_keys,
+    const PPlan& plan,
+    const std::function<void(int32_t, int32_t)>& emit) const {
+  // All pairs are candidates: with the framework's re-verification this
+  // is exactly the pairwise loop.
+  const auto nl = static_cast<int32_t>(left_keys.size());
+  const auto nr = static_cast<int32_t>(right_keys.size());
+  for (int32_t i = 0; i < nl; ++i) {
+    for (int32_t j = 0; j < nr; ++j) emit(i, j);
+  }
+}
+
 }  // namespace fudj

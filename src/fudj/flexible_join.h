@@ -2,6 +2,7 @@
 #define FUDJ_FUDJ_FLEXIBLE_JOIN_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -111,6 +112,34 @@ class FlexibleJoin {
   virtual bool Dedup(int32_t bucket1, const Value& key1, int32_t bucket2,
                      const Value& key2, const PPlan& plan) const;
 
+  /// combine_bucket(L, R, PPlan, emit): optional *bulk* local-join hook
+  /// over one matched bucket pair (§VII-F's local-join optimization).
+  /// `left_keys` / `right_keys` are the key values of all records of the
+  /// bucket (pair) that met in the COMBINE phase; the hook calls
+  /// `emit(i, j)` with *local indices* into the two vectors for every
+  /// candidate pair.
+  ///
+  /// Contract:
+  ///  * Candidates must be a *superset* of the pairs `Verify` accepts —
+  ///    the framework re-runs `Verify` (and the active duplicate
+  ///    handling) on every emitted candidate, so a kernel only needs to
+  ///    be a sound filter, never exact.
+  ///  * Emission order is free: the framework re-sorts candidates into
+  ///    the pairwise iteration order, so output is byte-identical to the
+  ///    default path.
+  ///  * The hook may throw; the framework sandbox converts the throw
+  ///    into a per-partition failure (retried, then degraded).
+  ///
+  /// The default emits all |L| x |R| pairs, which the re-verification
+  /// collapses to exactly the pairwise Match/Verify loop — but the
+  /// runtime never routes through the hook unless `HasCombineBucket`
+  /// returns true, so third-party joins keep the direct pairwise path
+  /// with zero extra boxing.
+  virtual void CombineBucket(
+      const std::vector<Value>& left_keys,
+      const std::vector<Value>& right_keys, const PPlan& plan,
+      const std::function<void(int32_t, int32_t)>& emit) const;
+
   // --- Traits consulted by the optimizer (§VI-C) -----------------------
 
   /// True when `Match` is the default equality, enabling the hash-join
@@ -130,6 +159,11 @@ class FlexibleJoin {
   /// True when both sides are summarized identically, enabling the
   /// self-join summarize-once optimization.
   virtual bool SymmetricSummary() const { return true; }
+
+  /// True when `CombineBucket` is overridden with a substrate-aware
+  /// kernel worth routing buckets through. Joins overriding
+  /// `CombineBucket` must return true here, or the hook is never called.
+  virtual bool HasCombineBucket() const { return false; }
 };
 
 /// Adapter that runs a join with its logical sides flipped: used by the
@@ -168,6 +202,13 @@ class SwappedFlexibleJoin : public FlexibleJoin {
              const Value& key2, const PPlan& plan) const override {
     return base_->Dedup(bucket2, key2, bucket1, key1, plan);
   }
+  void CombineBucket(
+      const std::vector<Value>& left_keys,
+      const std::vector<Value>& right_keys, const PPlan& plan,
+      const std::function<void(int32_t, int32_t)>& emit) const override {
+    base_->CombineBucket(right_keys, left_keys, plan,
+                         [&emit](int32_t j, int32_t i) { emit(i, j); });
+  }
   bool UsesDefaultMatch() const override {
     return base_->UsesDefaultMatch();
   }
@@ -177,6 +218,9 @@ class SwappedFlexibleJoin : public FlexibleJoin {
   }
   bool SymmetricSummary() const override {
     return base_->SymmetricSummary();
+  }
+  bool HasCombineBucket() const override {
+    return base_->HasCombineBucket();
   }
 
  private:

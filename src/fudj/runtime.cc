@@ -335,6 +335,37 @@ Tuple EmitPair(const Tuple& l, const Tuple& r, bool l_carried,
   return out;
 }
 
+/// Candidate pairs from `CombineBucket` in partition-global (probe,
+/// build) row coordinates. Sorting restores the exact emission order of
+/// the pairwise loop (probe row ascending, then build row ascending —
+/// hash groups keep build-row order); dropping adjacent duplicates keeps
+/// a kernel that emits a pair twice from duplicating output rows.
+void SortKernelCandidates(std::vector<std::pair<int64_t, int64_t>>* c) {
+  std::sort(c->begin(), c->end());
+  c->erase(std::unique(c->begin(), c->end()), c->end());
+}
+
+/// Sums the per-partition COMBINE bucket counts into the registry.
+/// Counters are touched even at zero so both `path` series exist after
+/// any COMBINE stage, making kernel-vs-pairwise visible in ToText().
+void RecordCombineCounters(MetricsRegistry* metrics,
+                           const std::vector<int64_t>& kernel_buckets,
+                           const std::vector<int64_t>& pairwise_buckets,
+                           const std::vector<int64_t>& kernel_candidates) {
+  if (metrics == nullptr) return;
+  int64_t kb = 0;
+  int64_t pb = 0;
+  int64_t kc = 0;
+  for (const int64_t v : kernel_buckets) kb += v;
+  for (const int64_t v : pairwise_buckets) pb += v;
+  for (const int64_t v : kernel_candidates) kc += v;
+  metrics->GetCounter("fudj_combine_buckets_total", {{"path", "kernel"}})
+      ->Increment(kb);
+  metrics->GetCounter("fudj_combine_buckets_total", {{"path", "pairwise"}})
+      ->Increment(pb);
+  metrics->GetCounter("fudj_combine_kernel_candidates_total")->Increment(kc);
+}
+
 }  // namespace
 
 Result<PartitionedRelation> FudjRuntime::CombineJoin(
@@ -350,6 +381,15 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
       join->MultiAssign();
   const bool hash_path =
       join->UsesDefaultMatch() && !options.force_theta_bucket_join;
+  const bool use_kernel =
+      options.use_bucket_kernel && join->HasCombineBucket();
+  // Per-partition COMBINE accounting, summed into the MetricsRegistry
+  // after the stage. Written by index (last attempt wins), so retried
+  // partitions do not double-count.
+  const int p_combine = cluster_->num_workers();
+  std::vector<int64_t> kernel_buckets(p_combine, 0);
+  std::vector<int64_t> pairwise_buckets(p_combine, 0);
+  std::vector<int64_t> kernel_candidates(p_combine, 0);
 
   Schema out_schema = JoinOutputSchema(left, right);
 
@@ -389,15 +429,16 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
       FUDJ_ASSIGN_OR_RETURN(
           joined, CombineHashJoinChunked(l_ex, r_ex, out_schema, lk, rk,
                                          plan, avoidance, fast_dedup,
-                                         l_carried, r_carried,
+                                         l_carried, r_carried, use_kernel,
                                          smallest_common, stats));
     } else {
       FUDJ_ASSIGN_OR_RETURN(
           joined,
           TransformPartitions(
               cluster_, l_ex, out_schema, "bucket-hashjoin",
-              [&r_ex, join, lk, rk, &plan, avoidance, fast_dedup,
-               l_carried, r_carried, &smallest_common](
+              [this, &r_ex, join, lk, rk, &plan, avoidance, fast_dedup,
+               l_carried, r_carried, &smallest_common, use_kernel,
+               &kernel_buckets, &pairwise_buckets, &kernel_candidates](
                   int p, const std::vector<Tuple>& l_rows,
                   std::vector<Tuple>* out) -> Status {
                 FUDJ_ASSIGN_OR_RETURN(std::vector<Tuple> r_rows,
@@ -439,10 +480,87 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
                     }
                   }
                 }
+                if (use_kernel) {
+                  Tracer* tracer = cluster_->tracer();
+                  const double k_start =
+                      tracer != nullptr ? tracer->NowUs() : 0.0;
+                  // Group probe rows by bucket (probe-row order kept)
+                  // and run the bulk kernel once per common bucket.
+                  std::unordered_map<int64_t, std::vector<size_t>>
+                      probe_groups;
+                  for (size_t i = 0; i < l_rows.size(); ++i) {
+                    probe_groups[l_rows[i][0].i64()].push_back(i);
+                  }
+                  int64_t buckets_run = 0;
+                  std::vector<std::pair<int64_t, int64_t>> cands;
+                  for (const auto& [b, lidx] : probe_groups) {
+                    auto it = build.find(b);
+                    if (it == build.end()) continue;
+                    const std::vector<size_t>& ridx = it->second;
+                    std::vector<Value> lkeys;
+                    std::vector<Value> rkeys;
+                    lkeys.reserve(lidx.size());
+                    rkeys.reserve(ridx.size());
+                    for (const size_t i : lidx) {
+                      lkeys.push_back(l_rows[i][lk]);
+                    }
+                    for (const size_t j : ridx) {
+                      rkeys.push_back(r_rows[j][rk]);
+                    }
+                    const std::vector<size_t>& lref = lidx;
+                    join->CombineBucket(
+                        lkeys, rkeys, plan,
+                        [&cands, &lref, &ridx](int32_t li, int32_t rj) {
+                          cands.emplace_back(
+                              static_cast<int64_t>(lref[li]),
+                              static_cast<int64_t>(ridx[rj]));
+                        });
+                    ++buckets_run;
+                  }
+                  SortKernelCandidates(&cands);
+                  kernel_buckets[p] = buckets_run;
+                  kernel_candidates[p] =
+                      static_cast<int64_t>(cands.size());
+                  if (tracer != nullptr) {
+                    tracer->AddSpan(
+                        Tracer::kWallPid, 1 + p, "COMBINE-kernel",
+                        "combine", k_start, tracer->NowUs() - k_start,
+                        {Tracer::IntArg("partition", p),
+                         Tracer::IntArg("buckets", buckets_run),
+                         Tracer::IntArg(
+                             "candidates",
+                             static_cast<int64_t>(cands.size()))});
+                  }
+                  // Verify/dedup/emit in the pairwise order.
+                  for (const auto& [gi, gj] : cands) {
+                    const Tuple& l = l_rows[static_cast<size_t>(gi)];
+                    const Tuple& r = r_rows[static_cast<size_t>(gj)];
+                    if (fast_dedup) {
+                      if (smallest_common(
+                              l_assign[static_cast<size_t>(gi)],
+                              r_assign[static_cast<size_t>(gj)]) !=
+                          static_cast<int32_t>(l[0].i64())) {
+                        continue;
+                      }
+                    }
+                    if (!join->Verify(l[lk], r[rk], plan)) continue;
+                    if (avoidance && !fast_dedup &&
+                        !join->Dedup(static_cast<int32_t>(l[0].i64()),
+                                     l[lk],
+                                     static_cast<int32_t>(r[0].i64()),
+                                     r[rk], plan)) {
+                      continue;
+                    }
+                    out->push_back(EmitPair(l, r, l_carried, r_carried));
+                  }
+                  return Status::OK();
+                }
+                std::unordered_set<int64_t> probed_buckets;
                 for (size_t i = 0; i < l_rows.size(); ++i) {
                   const Tuple& l = l_rows[i];
                   auto it = build.find(l[0].i64());
                   if (it == build.end()) continue;
+                  probed_buckets.insert(l[0].i64());
                   for (const size_t j : it->second) {
                     const Tuple& r = r_rows[j];
                     if (fast_dedup) {
@@ -464,6 +582,8 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
                     out->push_back(EmitPair(l, r, l_carried, r_carried));
                   }
                 }
+                pairwise_buckets[p] =
+                    static_cast<int64_t>(probed_buckets.size());
                 return Status::OK();
               },
               stats));
@@ -482,7 +602,8 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
         joined,
         TransformPartitions(
             cluster_, l_ex, out_schema, "bucket-thetajoin",
-            [&r_ex, join, lk, rk, &plan, avoidance](
+            [this, &r_ex, join, lk, rk, &plan, avoidance, use_kernel,
+             &kernel_buckets, &pairwise_buckets, &kernel_candidates](
                 int p, const std::vector<Tuple>& l_rows,
                 std::vector<Tuple>* out) -> Status {
               FUDJ_ASSIGN_OR_RETURN(std::vector<Tuple> r_rows,
@@ -493,10 +614,55 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
               std::unordered_map<int64_t, std::vector<const Tuple*>> rb;
               for (const Tuple& l : l_rows) lb[l[0].i64()].push_back(&l);
               for (const Tuple& r : r_rows) rb[r[0].i64()].push_back(&r);
+              Tracer* tracer = use_kernel ? cluster_->tracer() : nullptr;
+              const double k_start =
+                  tracer != nullptr ? tracer->NowUs() : 0.0;
+              // Boxed-key caches: a group joins many Match-ing partner
+              // groups, but its keys are boxed only once.
+              std::unordered_map<int64_t, std::vector<Value>> l_cache;
+              std::unordered_map<int64_t, std::vector<Value>> r_cache;
+              int64_t buckets_run = 0;
+              int64_t cand_total = 0;
               for (const auto& [b1, ls] : lb) {
                 for (const auto& [b2, rs] : rb) {
                   if (!join->Match(static_cast<int32_t>(b1),
                                    static_cast<int32_t>(b2))) {
+                    continue;
+                  }
+                  ++buckets_run;
+                  if (use_kernel) {
+                    std::vector<Value>& lkeys = l_cache[b1];
+                    if (lkeys.empty()) {
+                      lkeys.reserve(ls.size());
+                      for (const Tuple* l : ls) lkeys.push_back((*l)[lk]);
+                    }
+                    std::vector<Value>& rkeys = r_cache[b2];
+                    if (rkeys.empty()) {
+                      rkeys.reserve(rs.size());
+                      for (const Tuple* r : rs) rkeys.push_back((*r)[rk]);
+                    }
+                    std::vector<std::pair<int64_t, int64_t>> cands;
+                    join->CombineBucket(
+                        lkeys, rkeys, plan,
+                        [&cands](int32_t li, int32_t rj) {
+                          cands.emplace_back(li, rj);
+                        });
+                    SortKernelCandidates(&cands);
+                    cand_total += static_cast<int64_t>(cands.size());
+                    for (const auto& [li, rj] : cands) {
+                      const Tuple* l = ls[static_cast<size_t>(li)];
+                      const Tuple* r = rs[static_cast<size_t>(rj)];
+                      if (!join->Verify((*l)[lk], (*r)[rk], plan)) {
+                        continue;
+                      }
+                      if (avoidance &&
+                          !join->Dedup(static_cast<int32_t>(b1), (*l)[lk],
+                                       static_cast<int32_t>(b2), (*r)[rk],
+                                       plan)) {
+                        continue;
+                      }
+                      out->push_back(EmitPair(*l, *r, false, false));
+                    }
                     continue;
                   }
                   for (const Tuple* l : ls) {
@@ -513,10 +679,29 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
                   }
                 }
               }
+              if (use_kernel) {
+                kernel_buckets[p] = buckets_run;
+                kernel_candidates[p] = cand_total;
+                if (tracer != nullptr) {
+                  tracer->AddSpan(Tracer::kWallPid, 1 + p,
+                                  "COMBINE-kernel", "combine", k_start,
+                                  tracer->NowUs() - k_start,
+                                  {Tracer::IntArg("partition", p),
+                                   Tracer::IntArg("buckets", buckets_run),
+                                   Tracer::IntArg("candidates",
+                                                  cand_total)});
+                }
+              } else {
+                pairwise_buckets[p] = buckets_run;
+              }
               return Status::OK();
             },
             stats));
   }
+  // The chunked hash path accounts for itself inside
+  // CombineHashJoinChunked; there these vectors are all zero.
+  RecordCombineCounters(cluster_->metrics(), kernel_buckets,
+                        pairwise_buckets, kernel_candidates);
 
   if (options.duplicates == DuplicateHandling::kElimination &&
       join->MultiAssign()) {
@@ -556,6 +741,7 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
     const PartitionedRelation& l_ex, const PartitionedRelation& r_ex,
     const Schema& out_schema, int lk, int rk, const PPlan& plan,
     bool avoidance, bool fast_dedup, bool l_carried, bool r_carried,
+    bool use_kernel,
     const std::function<int32_t(const std::vector<int32_t>&,
                                 const std::vector<int32_t>&)>&
         smallest_common,
@@ -564,6 +750,9 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
   const int p_out = cluster_->num_workers();
   PartitionedRelation out(out_schema, p_out);
   std::vector<ChunkWriter> writers(p_out);
+  std::vector<int64_t> kernel_buckets(p_out, 0);
+  std::vector<int64_t> pairwise_buckets(p_out, 0);
+  std::vector<int64_t> kernel_candidates(p_out, 0);
   const int l_fields = l_ex.schema().num_fields();
   const int r_fields = r_ex.schema().num_fields();
   // Output drops the bucket_id (col 0) and any trailing carried
@@ -616,10 +805,136 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
             }
           }
         }
+        if (use_kernel) {
+          Tracer* tracer = cluster_->tracer();
+          const double k_start = tracer != nullptr ? tracer->NowUs() : 0.0;
+          // Kernel mode pins the probe side too: candidates must be
+          // re-sorted to the pairwise (probe row, build row) order
+          // before verification, which needs random access.
+          std::vector<DataChunk> probe_chunks;
+          std::vector<std::pair<int, int>> probe_loc;  // global -> (ci, r)
+          {
+            ChunkReader reader(l_ex, p);
+            for (;;) {
+              DataChunk pc(l_ex.schema());
+              FUDJ_ASSIGN_OR_RETURN(const bool more, reader.Next(&pc));
+              if (!more) break;
+              const int ci = static_cast<int>(probe_chunks.size());
+              for (int r = 0; r < pc.size(); ++r) {
+                probe_loc.emplace_back(ci, r);
+              }
+              probe_chunks.push_back(std::move(pc));
+            }
+          }
+          std::vector<std::pair<int, int>> build_loc(build_rows);
+          for (size_t ci = 0; ci < build_chunks.size(); ++ci) {
+            for (int r = 0; r < build_chunks[ci].size(); ++r) {
+              build_loc[base[ci] + r] = {static_cast<int>(ci), r};
+            }
+          }
+          std::vector<std::vector<int32_t>> l_assign_all;
+          if (fast_dedup) {
+            l_assign_all.resize(probe_loc.size());
+            for (size_t g = 0; g < probe_loc.size(); ++g) {
+              const auto& [ci, r] = probe_loc[g];
+              const DataChunk& pc = probe_chunks[ci];
+              if (l_carried) {
+                l_assign_all[g] =
+                    DecodeAssignments(pc.column(l_fields - 1).str(r));
+              } else {
+                join->Assign(pc.GetValue(lk, r), plan, JoinSide::kLeft,
+                             &l_assign_all[g]);
+                std::sort(l_assign_all[g].begin(), l_assign_all[g].end());
+              }
+            }
+          }
+          // Group probe rows by bucket (probe-row order kept) and run
+          // the bulk kernel once per common bucket.
+          std::unordered_map<int64_t, std::vector<int64_t>> probe_groups;
+          for (size_t g = 0; g < probe_loc.size(); ++g) {
+            const auto& [ci, r] = probe_loc[g];
+            probe_groups[probe_chunks[ci].column(0).i64(r)].push_back(
+                static_cast<int64_t>(g));
+          }
+          int64_t buckets_run = 0;
+          std::vector<std::pair<int64_t, int64_t>> cands;
+          for (const auto& [b, lidx] : probe_groups) {
+            auto it = build.find(b);
+            if (it == build.end()) continue;
+            const std::vector<std::pair<int, int>>& rpairs = it->second;
+            std::vector<Value> lkeys;
+            std::vector<Value> rkeys;
+            std::vector<int64_t> ridx;
+            lkeys.reserve(lidx.size());
+            rkeys.reserve(rpairs.size());
+            ridx.reserve(rpairs.size());
+            for (const int64_t g : lidx) {
+              const auto& [ci, r] = probe_loc[static_cast<size_t>(g)];
+              lkeys.push_back(probe_chunks[ci].GetValue(lk, r));
+            }
+            for (const auto& [ci, rr] : rpairs) {
+              rkeys.push_back(build_chunks[ci].GetValue(rk, rr));
+              ridx.push_back(base[ci] + rr);
+            }
+            const std::vector<int64_t>& lref = lidx;
+            join->CombineBucket(
+                lkeys, rkeys, plan,
+                [&cands, &lref, &ridx](int32_t li, int32_t rj) {
+                  cands.emplace_back(lref[li], ridx[rj]);
+                });
+            ++buckets_run;
+          }
+          SortKernelCandidates(&cands);
+          kernel_buckets[p] = buckets_run;
+          kernel_candidates[p] = static_cast<int64_t>(cands.size());
+          if (tracer != nullptr) {
+            tracer->AddSpan(
+                Tracer::kWallPid, 1 + p, "COMBINE-kernel", "combine",
+                k_start, tracer->NowUs() - k_start,
+                {Tracer::IntArg("partition", p),
+                 Tracer::IntArg("buckets", buckets_run),
+                 Tracer::IntArg("candidates",
+                                static_cast<int64_t>(cands.size()))});
+          }
+          for (const auto& [gi, gj] : cands) {
+            const auto& [pci, pr] = probe_loc[static_cast<size_t>(gi)];
+            const DataChunk& pc = probe_chunks[pci];
+            const auto& [bci, brr] = build_loc[static_cast<size_t>(gj)];
+            const DataChunk& bc = build_chunks[bci];
+            const int64_t b = pc.column(0).i64(pr);
+            if (fast_dedup) {
+              if (smallest_common(l_assign_all[static_cast<size_t>(gi)],
+                                  r_assign[static_cast<size_t>(gj)]) !=
+                  static_cast<int32_t>(b)) {
+                continue;
+              }
+            }
+            const Value l_key = pc.GetValue(lk, pr);
+            const Value r_key = bc.GetValue(rk, brr);
+            if (!join->Verify(l_key, r_key, plan)) continue;
+            if (avoidance && !fast_dedup &&
+                !join->Dedup(static_cast<int32_t>(b), l_key,
+                             static_cast<int32_t>(bc.column(0).i64(brr)),
+                             r_key, plan)) {
+              continue;
+            }
+            ByteWriter* arena = writer->arena();
+            arena->PutVarint(out_arity);
+            for (int c = 1; c < l_end; ++c) {
+              pc.column(c).SerializeValueAt(pr, arena);
+            }
+            for (int c = 1; c < r_end; ++c) {
+              bc.column(c).SerializeValueAt(brr, arena);
+            }
+            writer->CommitRow();
+          }
+          return Status::OK();
+        }
         // Probe chunk-at-a-time.
         ChunkReader probe(l_ex, p);
         DataChunk chunk(l_ex.schema());
         std::vector<std::vector<int32_t>> l_assign;
+        std::unordered_set<int64_t> probed_buckets;
         for (;;) {
           FUDJ_ASSIGN_OR_RETURN(const bool more, probe.Next(&chunk));
           if (!more) break;
@@ -641,6 +956,7 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
             const int64_t b = bucket.i64(r);
             auto it = build.find(b);
             if (it == build.end()) continue;
+            probed_buckets.insert(b);
             const Value l_key = chunk.GetValue(lk, r);
             for (const auto& [ci, rr] : it->second) {
               const DataChunk& bc = build_chunks[ci];
@@ -673,9 +989,12 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
             }
           }
         }
+        pairwise_buckets[p] = static_cast<int64_t>(probed_buckets.size());
         return Status::OK();
       },
       stats));
+  RecordCombineCounters(cluster_->metrics(), kernel_buckets,
+                        pairwise_buckets, kernel_candidates);
   int64_t rows_out = 0;
   std::vector<int64_t> rows_per_partition(p_out, 0);
   for (int p = 0; p < p_out; ++p) {

@@ -25,6 +25,11 @@ struct FudjExecOptions {
   /// broadcast-NLJ theta join that uses only `Verify`, recording a
   /// warning in the stats instead of failing the query.
   bool allow_degrade = true;
+  /// Use the join's bulk `CombineBucket` kernel (when it advertises one
+  /// via `HasCombineBucket`) for the local bucket joins of the COMBINE
+  /// phase instead of the pairwise loop. Output is byte-identical either
+  /// way; disable for A/B runs of kernel vs pairwise (§VII-F).
+  bool use_bucket_kernel = true;
 };
 
 /// The framework's internal actors (§VI-B): given a user `FlexibleJoin`,
@@ -116,6 +121,7 @@ class FudjRuntime {
       const PartitionedRelation& l_ex, const PartitionedRelation& r_ex,
       const Schema& out_schema, int lk, int rk, const PPlan& plan,
       bool avoidance, bool fast_dedup, bool l_carried, bool r_carried,
+      bool use_kernel,
       const std::function<int32_t(const std::vector<int32_t>&,
                                   const std::vector<int32_t>&)>&
           smallest_common,

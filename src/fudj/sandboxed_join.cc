@@ -96,4 +96,12 @@ bool SandboxedFlexibleJoin::Dedup(int32_t bucket1, const Value& key1,
                [&] { return base_->Dedup(bucket1, key1, bucket2, key2, plan); });
 }
 
+void SandboxedFlexibleJoin::CombineBucket(
+    const std::vector<Value>& left_keys, const std::vector<Value>& right_keys,
+    const PPlan& plan,
+    const std::function<void(int32_t, int32_t)>& emit) const {
+  Guard("combine_bucket",
+        [&] { base_->CombineBucket(left_keys, right_keys, plan, emit); });
+}
+
 }  // namespace fudj

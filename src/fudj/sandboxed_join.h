@@ -47,11 +47,16 @@ class SandboxedFlexibleJoin : public FlexibleJoin {
               const PPlan& plan) const override;
   bool Dedup(int32_t bucket1, const Value& key1, int32_t bucket2,
              const Value& key2, const PPlan& plan) const override;
+  void CombineBucket(
+      const std::vector<Value>& left_keys,
+      const std::vector<Value>& right_keys, const PPlan& plan,
+      const std::function<void(int32_t, int32_t)>& emit) const override;
 
   bool UsesDefaultMatch() const override { return base_->UsesDefaultMatch(); }
   bool MultiAssign() const override { return base_->MultiAssign(); }
   bool UsesDefaultDedup() const override { return base_->UsesDefaultDedup(); }
   bool SymmetricSummary() const override { return base_->SymmetricSummary(); }
+  bool HasCombineBucket() const override { return base_->HasCombineBucket(); }
 
   /// How many callback invocations failed (threw or, for Result-returning
   /// callbacks, returned non-OK) over the sandbox's lifetime.

@@ -126,4 +126,52 @@ bool IntervalFudj::Verify(const Value& key1, const Value& key2,
   return key1.interval().Overlaps(key2.interval());
 }
 
+void IntervalFudj::CombineBucket(
+    const std::vector<Value>& left_keys, const std::vector<Value>& right_keys,
+    const PPlan& plan,
+    const std::function<void(int32_t, int32_t)>& emit) const {
+  // 1-D endpoint sweep, the interval analogue of PlaneSweepJoin: sort
+  // both sides by start and advance the earlier-starting side, scanning
+  // the other side while starts can still fall inside the current
+  // interval. Emits exactly the overlapping pairs, so re-verification is
+  // a formality.
+  struct Entry {
+    Interval iv;
+    int32_t idx;
+  };
+  std::vector<Entry> l;
+  std::vector<Entry> r;
+  l.reserve(left_keys.size());
+  r.reserve(right_keys.size());
+  for (size_t i = 0; i < left_keys.size(); ++i) {
+    l.push_back({left_keys[i].interval(), static_cast<int32_t>(i)});
+  }
+  for (size_t j = 0; j < right_keys.size(); ++j) {
+    r.push_back({right_keys[j].interval(), static_cast<int32_t>(j)});
+  }
+  auto by_start = [](const Entry& a, const Entry& b) {
+    return a.iv.start < b.iv.start;
+  };
+  std::sort(l.begin(), l.end(), by_start);
+  std::sort(r.begin(), r.end(), by_start);
+
+  size_t i = 0;
+  size_t j = 0;
+  while (i < l.size() && j < r.size()) {
+    if (l[i].iv.start <= r[j].iv.start) {
+      const Interval& cur = l[i].iv;
+      for (size_t k = j; k < r.size() && r[k].iv.start <= cur.end; ++k) {
+        if (cur.Overlaps(r[k].iv)) emit(l[i].idx, r[k].idx);
+      }
+      ++i;
+    } else {
+      const Interval& cur = r[j].iv;
+      for (size_t k = i; k < l.size() && l[k].iv.start <= cur.end; ++k) {
+        if (cur.Overlaps(l[k].iv)) emit(l[k].idx, r[j].idx);
+      }
+      ++j;
+    }
+  }
+}
+
 }  // namespace fudj

@@ -80,6 +80,14 @@ class IntervalFudj : public FlexibleJoin {
   bool Verify(const Value& key1, const Value& key2,
               const PPlan& plan) const override;
 
+  /// Bulk local-join kernel: endpoint-sorted interval sweep instead of
+  /// the all-pairs loop — emits exactly the overlapping pairs.
+  void CombineBucket(
+      const std::vector<Value>& left_keys,
+      const std::vector<Value>& right_keys, const PPlan& plan,
+      const std::function<void(int32_t, int32_t)>& emit) const override;
+  bool HasCombineBucket() const override { return true; }
+
   bool UsesDefaultMatch() const override { return false; }
   bool MultiAssign() const override { return false; }
 

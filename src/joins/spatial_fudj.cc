@@ -1,6 +1,9 @@
 #include "joins/spatial_fudj.h"
 
 #include <cstdio>
+#include <utility>
+
+#include "geometry/plane_sweep.h"
 
 namespace fudj {
 
@@ -106,6 +109,29 @@ bool SpatialFudj::Verify(const Value& key1, const Value& key2,
       return key1.geometry().Contains(key2.geometry());
   }
   return false;
+}
+
+void SpatialFudj::CombineBucket(
+    const std::vector<Value>& left_keys, const std::vector<Value>& right_keys,
+    const PPlan& plan,
+    const std::function<void(int32_t, int32_t)>& emit) const {
+  // Candidate generation by MBR plane sweep. Both bundled predicates
+  // (intersects, contains) imply MBR intersection, so the sweep's output
+  // is a superset of the Verify-accepting pairs and the framework's
+  // re-verification restores exactness.
+  std::vector<SweepEntry> l;
+  std::vector<SweepEntry> r;
+  l.reserve(left_keys.size());
+  r.reserve(right_keys.size());
+  for (size_t i = 0; i < left_keys.size(); ++i) {
+    l.push_back({left_keys[i].geometry().Mbr(), static_cast<int64_t>(i)});
+  }
+  for (size_t j = 0; j < right_keys.size(); ++j) {
+    r.push_back({right_keys[j].geometry().Mbr(), static_cast<int64_t>(j)});
+  }
+  PlaneSweepJoin(std::move(l), std::move(r), [&emit](int64_t a, int64_t b) {
+    emit(static_cast<int32_t>(a), static_cast<int32_t>(b));
+  });
 }
 
 bool SpatialFudjRefPoint::Dedup(int32_t bucket1, const Value& key1,

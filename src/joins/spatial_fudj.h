@@ -74,6 +74,15 @@ class SpatialFudj : public FlexibleJoin {
   bool Verify(const Value& key1, const Value& key2,
               const PPlan& plan) const override;
 
+  /// Bulk local-join kernel (§VII-F): MBR plane sweep instead of the
+  /// all-pairs loop. Sound for every subclass that keeps an
+  /// MBR-intersection-implied predicate (`kIntersects`, `kContains`).
+  void CombineBucket(
+      const std::vector<Value>& left_keys,
+      const std::vector<Value>& right_keys, const PPlan& plan,
+      const std::function<void(int32_t, int32_t)>& emit) const override;
+  bool HasCombineBucket() const override { return true; }
+
   int n() const { return n_; }
 
  protected:

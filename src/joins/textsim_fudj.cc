@@ -142,6 +142,30 @@ void TextSimFudj::Assign(const Value& key, const PPlan& plan, JoinSide side,
                   ranks.begin() + static_cast<long>(prefix));
 }
 
+void TextSimFudj::CombineBucket(
+    const std::vector<Value>& left_keys, const std::vector<Value>& right_keys,
+    const PPlan& plan,
+    const std::function<void(int32_t, int32_t)>& emit) const {
+  const auto& tplan = static_cast<const TextSimPPlan&>(plan);
+  const double t = tplan.threshold();
+  std::vector<std::vector<std::string>> l;
+  std::vector<std::vector<std::string>> r;
+  l.reserve(left_keys.size());
+  r.reserve(right_keys.size());
+  for (const Value& v : left_keys) l.push_back(TokenSet(v.str()));
+  for (const Value& v : right_keys) r.push_back(TokenSet(v.str()));
+  for (size_t i = 0; i < l.size(); ++i) {
+    for (size_t j = 0; j < r.size(); ++j) {
+      if (!JaccardLengthFilter(l[i].size(), r[j].size(), t)) continue;
+      // JaccardAtLeast decides with the same arithmetic as Verify, so
+      // emitting only the accepted pairs loses nothing.
+      if (JaccardAtLeast(l[i], r[j], t)) {
+        emit(static_cast<int32_t>(i), static_cast<int32_t>(j));
+      }
+    }
+  }
+}
+
 bool TextSimFudj::Verify(const Value& key1, const Value& key2,
                          const PPlan& plan) const {
   const auto& tplan = static_cast<const TextSimPPlan&>(plan);

@@ -79,6 +79,17 @@ class TextSimFudj : public FlexibleJoin {
   bool Verify(const Value& key1, const Value& key2,
               const PPlan& plan) const override;
 
+  /// Bulk local-join kernel: tokenizes every record once (the pairwise
+  /// loop re-tokenizes per pair inside Verify), then prunes pairs with
+  /// the length filter and decides survivors with the early-terminating
+  /// positional bound of `JaccardAtLeast`. The prefix filter itself ran
+  /// at Assign time — it is what formed this bucket.
+  void CombineBucket(
+      const std::vector<Value>& left_keys,
+      const std::vector<Value>& right_keys, const PPlan& plan,
+      const std::function<void(int32_t, int32_t)>& emit) const override;
+  bool HasCombineBucket() const override { return true; }
+
   double threshold() const { return threshold_; }
 
  private:

@@ -26,10 +26,49 @@ double JaccardSimilarity(const std::vector<std::string>& a,
   return uni == 0 ? 1.0 : static_cast<double>(common) / uni;
 }
 
+bool JaccardAtLeast(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b, double threshold) {
+  if (a.empty() && b.empty()) return 1.0 >= threshold;
+  const size_t total = a.size() + b.size();
+  size_t i = 0;
+  size_t j = 0;
+  size_t common = 0;
+  while (i < a.size() && j < b.size()) {
+    // Best case every remaining short-side token matches; if even that
+    // ceiling (evaluated with the exact division Verify performs) stays
+    // below the threshold, no suffix can rescue the pair. Pruning on the
+    // same double arithmetic keeps the decision bit-identical to
+    // JaccardSimilarity >= threshold.
+    const size_t possible =
+        common + std::min(a.size() - i, b.size() - j);
+    if (static_cast<double>(possible) /
+            static_cast<double>(total - possible) <
+        threshold) {
+      return false;
+    }
+    const int cmp = a[i].compare(b[j]);
+    if (cmp == 0) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = total - common;
+  return (uni == 0 ? 1.0 : static_cast<double>(common) / uni) >= threshold;
+}
+
 size_t JaccardPrefixLength(size_t set_size, double threshold) {
   if (set_size == 0) return 0;
   const double l = static_cast<double>(set_size);
-  const auto keep = static_cast<size_t>(std::ceil(threshold * l));
+  // The epsilon guards against upward rounding of threshold * l (e.g. a
+  // nearest-double threshold slightly above the decimal it denotes):
+  // an inflated ceil would shorten the prefix below the admissible bound
+  // and silently drop join results. Exact integer products are unmoved.
+  const auto keep = static_cast<size_t>(std::ceil(threshold * l - 1e-9));
   const size_t prefix = set_size - keep + 1;
   return prefix > set_size ? set_size : prefix;
 }

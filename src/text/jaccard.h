@@ -12,6 +12,13 @@ namespace fudj {
 double JaccardSimilarity(const std::vector<std::string>& a,
                          const std::vector<std::string>& b);
 
+/// Exactly `JaccardSimilarity(a, b) >= threshold` (same arithmetic, so
+/// the decision is bit-identical), but terminates the merge early once
+/// the remaining tokens cannot lift the similarity to `threshold` — the
+/// positional-filter bound used by the set-similarity COMBINE kernel.
+bool JaccardAtLeast(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b, double threshold);
+
 /// Prefix length for prefix filtering at Jaccard threshold `t` over a
 /// record with `set_size` distinct tokens:
 /// `p = (l - ceil(t * l)) + 1` (Section V-B of the paper). Records whose

@@ -115,6 +115,65 @@ TEST(ClusterTest, ThreadedExecutionMatchesSerial) {
   for (auto& c : counts) EXPECT_EQ(c.load(), 1);
 }
 
+// Threading is a physical execution detail: the same pipeline on a
+// threaded cluster must produce byte-identical partitions and an
+// identical stage profile — names, partition counts, rows, shuffled
+// bytes, messages, and cost-model network time are all deterministic.
+// Busy time is measured *inside* each task, so simulated_ms stays a
+// measurement of per-partition work, not of wall-clock parallelism; it
+// can only differ by scheduling noise, bounded loosely here.
+TEST(ClusterTest, ThreadedPipelineIsInvariant) {
+  auto run = [](bool use_threads, ExecStats* stats) {
+    Cluster cluster(6, use_threads);
+    auto rel = PartitionedRelation::FromTuples(KvSchema(), KvRows(300), 6);
+    auto shuffled = HashExchange(
+        &cluster, rel, [](const Tuple& t) { return Mix64(t[0].i64() % 7); },
+        stats);
+    EXPECT_TRUE(shuffled.ok());
+    auto out = TransformPartitions(
+        &cluster, *shuffled, shuffled->schema(), "filter-mod3",
+        [](int, const std::vector<Tuple>& rows, std::vector<Tuple>* out) {
+          for (const Tuple& t : rows) {
+            if (t[0].i64() % 3 == 0) out->push_back(t);
+          }
+          return Status::OK();
+        },
+        stats);
+    EXPECT_TRUE(out.ok());
+    return *out;
+  };
+  ExecStats seq_stats;
+  ExecStats thr_stats;
+  const PartitionedRelation seq = run(false, &seq_stats);
+  const PartitionedRelation thr = run(true, &thr_stats);
+
+  ASSERT_EQ(seq.num_partitions(), thr.num_partitions());
+  EXPECT_EQ(seq.NumRows(), thr.NumRows());
+  for (int p = 0; p < seq.num_partitions(); ++p) {
+    EXPECT_EQ(seq.raw_partition(p), thr.raw_partition(p))
+        << "partition " << p << " diverges under threading";
+  }
+  ASSERT_EQ(seq_stats.stages().size(), thr_stats.stages().size());
+  for (size_t i = 0; i < seq_stats.stages().size(); ++i) {
+    const StageStat& a = seq_stats.stages()[i];
+    const StageStat& b = thr_stats.stages()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.partitions, b.partitions);
+    EXPECT_EQ(a.rows_out, b.rows_out);
+    EXPECT_EQ(a.bytes_shuffled, b.bytes_shuffled);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_DOUBLE_EQ(a.network_ms, b.network_ms);
+  }
+  EXPECT_EQ(seq_stats.bytes_shuffled(), thr_stats.bytes_shuffled());
+  // Measured busy time is noisy but must stay the same order of
+  // magnitude: threading must not charge wall-clock speedup (or thread
+  // startup) to the simulated cluster model.
+  EXPECT_GT(seq_stats.simulated_ms(), 0.0);
+  EXPECT_GT(thr_stats.simulated_ms(), 0.0);
+  EXPECT_LT(thr_stats.simulated_ms(), seq_stats.simulated_ms() * 25.0);
+  EXPECT_GT(thr_stats.simulated_ms(), seq_stats.simulated_ms() / 25.0);
+}
+
 // ------------------------------------------------------------- ExecStats
 
 TEST(ExecStatsTest, NetworkChargesBandwidthAndLatency) {

@@ -329,5 +329,63 @@ TEST(PlaneSweepTest, MatchesBruteForceOnRandomRects) {
   }
 }
 
+// Adversarial geometry the random-rect test rarely produces: zero-width
+// and zero-height rectangles (points and segments as MBRs), exact
+// duplicates on both sides, and rectangles that touch only along an
+// edge or at a corner (Intersects is inclusive, so touching counts).
+TEST(PlaneSweepTest, MatchesBruteForceOnDegenerateRects) {
+  Rng rng(53);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<SweepEntry> l;
+    std::vector<SweepEntry> r;
+    auto gen = [&](std::vector<SweepEntry>* out, int n) {
+      for (int i = 0; i < n; ++i) {
+        // Integer coordinates on a tiny grid force shared endpoints:
+        // touching edges, identical rects, and containment all occur.
+        const double x = static_cast<double>(rng.NextInt(0, 6));
+        const double y = static_cast<double>(rng.NextInt(0, 6));
+        double w = static_cast<double>(rng.NextInt(0, 3));
+        double h = static_cast<double>(rng.NextInt(0, 3));
+        if (rng.NextBool(0.3)) w = 0;  // vertical segment or point
+        if (rng.NextBool(0.3)) h = 0;  // horizontal segment or point
+        out->push_back({Rect(x, y, x + w, y + h), i});
+        if (rng.NextBool(0.2)) {
+          // Exact duplicate under a distinct payload.
+          out->push_back({Rect(x, y, x + w, y + h), n + i});
+        }
+      }
+    };
+    gen(&l, 40);
+    gen(&r, 40);
+    PairSet sweep;
+    int emitted = 0;
+    PlaneSweepJoin(l, r, [&](int64_t a, int64_t b) {
+      sweep.emplace(a, b);
+      ++emitted;
+    });
+    EXPECT_EQ(sweep, BruteForcePairs(l, r)) << "trial " << trial;
+    EXPECT_EQ(static_cast<size_t>(emitted), sweep.size())
+        << "duplicate emission in trial " << trial;
+  }
+}
+
+// One-sided emptiness and all-identical inputs: the sweep must not run
+// off either list, and n x m identical rects must yield all n*m pairs.
+TEST(PlaneSweepTest, OneSidedAndAllIdentical) {
+  std::vector<SweepEntry> l = {{Rect(0, 0, 1, 1), 0}};
+  PairSet pairs;
+  PlaneSweepJoin(l, {}, [&](int64_t a, int64_t b) { pairs.emplace(a, b); });
+  EXPECT_TRUE(pairs.empty());
+  PlaneSweepJoin({}, l, [&](int64_t a, int64_t b) { pairs.emplace(a, b); });
+  EXPECT_TRUE(pairs.empty());
+
+  std::vector<SweepEntry> li;
+  std::vector<SweepEntry> ri;
+  for (int i = 0; i < 5; ++i) li.push_back({Rect(2, 2, 3, 3), i});
+  for (int j = 0; j < 4; ++j) ri.push_back({Rect(2, 2, 3, 3), j});
+  PlaneSweepJoin(li, ri, [&](int64_t a, int64_t b) { pairs.emplace(a, b); });
+  EXPECT_EQ(pairs.size(), 20u);
+}
+
 }  // namespace
 }  // namespace fudj

@@ -194,6 +194,70 @@ TEST(PrefixLengthTest, PrefixFilterCompleteness) {
   }
 }
 
+// Boundary audit: the degenerate thresholds and the empty set. t = 0
+// accepts every pair, so the only admissible prefix is the whole set
+// (p = l - ceil(0*l) + 1 = l + 1, clamped to l). t = 1 accepts only
+// equal sets, whose smallest element always agrees, so a single-token
+// prefix suffices. The empty set has no prefix at all.
+TEST(PrefixLengthTest, BoundaryThresholds) {
+  for (size_t l : {1u, 2u, 7u, 100u}) {
+    EXPECT_EQ(JaccardPrefixLength(l, 0.0), l) << "l=" << l;
+    EXPECT_EQ(JaccardPrefixLength(l, 1.0), 1u) << "l=" << l;
+  }
+  EXPECT_EQ(JaccardPrefixLength(0, 0.0), 0u);
+  EXPECT_EQ(JaccardPrefixLength(0, 1.0), 0u);
+}
+
+// Thresholds that are not exactly representable in binary (0.9 * 10 is
+// slightly above 9.0 in double arithmetic) must not inflate the ceil and
+// shorten the prefix below the admissible bound.
+TEST(PrefixLengthTest, InexactThresholdDoesNotShortenPrefix) {
+  EXPECT_EQ(JaccardPrefixLength(10, 0.9), 2u);
+  EXPECT_EQ(JaccardPrefixLength(20, 0.7), 7u);   // 20 - 14 + 1
+  EXPECT_EQ(JaccardPrefixLength(100, 0.3), 71u); // 100 - 30 + 1
+}
+
+// ----------------------------------------------------------- JaccardAtLeast
+
+TEST(JaccardAtLeastTest, BoundaryCases) {
+  const auto a = TokenSet("a b c");
+  const auto b = TokenSet("x y");
+  // t = 0 accepts everything, including a pair with empty union members.
+  EXPECT_TRUE(JaccardAtLeast(a, b, 0.0));
+  EXPECT_TRUE(JaccardAtLeast({}, b, 0.0));
+  EXPECT_TRUE(JaccardAtLeast({}, {}, 0.0));
+  // t = 1 accepts only equal sets; two empty sets have similarity 1.
+  EXPECT_TRUE(JaccardAtLeast(a, a, 1.0));
+  EXPECT_FALSE(JaccardAtLeast(a, b, 1.0));
+  EXPECT_TRUE(JaccardAtLeast({}, {}, 1.0));
+  EXPECT_FALSE(JaccardAtLeast(a, {}, 1.0));
+}
+
+// The early-terminating merge must make the exact same decision as the
+// reference predicate `JaccardSimilarity(a, b) >= t` on every input —
+// the COMBINE kernel relies on this for byte-identical output.
+TEST(JaccardAtLeastTest, AgreesWithJaccardSimilarityOnRandomSets) {
+  Rng rng(71);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string sa;
+    std::string sb;
+    const int na = static_cast<int>(rng.NextBounded(15));
+    const int nb = static_cast<int>(rng.NextBounded(15));
+    for (int i = 0; i < na; ++i) {
+      sa += " w" + std::to_string(rng.NextBounded(12));
+    }
+    for (int i = 0; i < nb; ++i) {
+      sb += " w" + std::to_string(rng.NextBounded(12));
+    }
+    const auto a = TokenSet(sa);
+    const auto b = TokenSet(sb);
+    for (const double t : {0.0, 0.3, 0.5, 0.8, 0.9, 1.0}) {
+      EXPECT_EQ(JaccardAtLeast(a, b, t), JaccardSimilarity(a, b) >= t)
+          << "sets '" << sa << "' vs '" << sb << "' at t=" << t;
+    }
+  }
+}
+
 // ----------------------------------------------------------- LengthFilter
 
 TEST(LengthFilterTest, EqualSizesPass) {

@@ -11,7 +11,9 @@
 #include "engine/exchange.h"
 #include "fudj/runtime.h"
 #include "gtest/gtest.h"
+#include "joins/distance_fudj.h"
 #include "joins/interval_fudj.h"
+#include "joins/spatial_distance_fudj.h"
 #include "joins/spatial_fudj.h"
 #include "joins/textsim_fudj.h"
 #include "optimizer/optimizer.h"
@@ -347,6 +349,103 @@ TEST(RowChunkEquivalenceTest, TextSimSelfJoin) {
   ASSERT_OK_AND_ASSIGN(auto chunk_out, run(ExecMode::kChunk));
   EXPECT_GT(row_out.NumRows(), 0);
   EXPECT_EQ(PartitionBytes(chunk_out), PartitionBytes(row_out));
+}
+
+// ------------------------------------- CombineBucket kernel equivalence
+
+// The bulk COMBINE kernels (plane sweep, endpoint sweep, prefix-token
+// matching) are pure candidate generators: the framework re-sorts their
+// candidates into pairwise emission order and re-runs the exact
+// Verify/Dedup refinement, so output partitions must be byte-identical
+// with the kernel on and off — in both execution modes.
+PartitionedRelation RunWithKernel(const FlexibleJoin& join,
+                                  const PartitionedRelation& left, int lk,
+                                  const PartitionedRelation& right, int rk,
+                                  ExecMode mode, bool use_kernel,
+                                  bool force_theta = false) {
+  ScopedExecMode scoped(mode);
+  Cluster cluster(4);
+  FudjRuntime runtime(&cluster, &join);
+  ExecStats stats;
+  FudjExecOptions options;
+  options.use_bucket_kernel = use_kernel;
+  options.force_theta_bucket_join = force_theta;
+  auto out = runtime.Execute(left, lk, right, rk, options, &stats);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out.ok() ? *out : PartitionedRelation(left.schema(), 0);
+}
+
+void ExpectKernelMatchesPairwise(const FlexibleJoin& join,
+                                 const PartitionedRelation& left, int lk,
+                                 const PartitionedRelation& right, int rk,
+                                 bool force_theta = false) {
+  for (const ExecMode mode : {ExecMode::kRow, ExecMode::kChunk}) {
+    const auto pairwise =
+        RunWithKernel(join, left, lk, right, rk, mode, false, force_theta);
+    const auto kernel =
+        RunWithKernel(join, left, lk, right, rk, mode, true, force_theta);
+    EXPECT_GT(pairwise.NumRows(), 0) << "vacuous workload";
+    EXPECT_EQ(PartitionBytes(kernel), PartitionBytes(pairwise))
+        << "kernel output diverges in "
+        << (mode == ExecMode::kRow ? "row" : "chunk") << " mode";
+  }
+}
+
+TEST(CombineKernelTest, SpatialByteIdentical) {
+  auto parks = PartitionedRelation::FromTuples(ParksSchema(),
+                                               GenerateParks(80, 811), 4);
+  auto fires = PartitionedRelation::FromTuples(
+      WildfiresSchema(), GenerateWildfires(200, 822), 4);
+  SpatialFudj join(
+      JoinParameters({Value::Int64(4), Value::Int64(0)}));  // intersects
+  EXPECT_TRUE(join.HasCombineBucket());
+  ExpectKernelMatchesPairwise(join, parks, 1, fires, 1);
+}
+
+TEST(CombineKernelTest, SpatialThetaPathByteIdentical) {
+  // Forcing the theta bucket join exercises the kernel inside the
+  // broadcast Match/CombineBucket path rather than the hash path.
+  auto parks = PartitionedRelation::FromTuples(ParksSchema(),
+                                               GenerateParks(50, 833), 3);
+  auto fires = PartitionedRelation::FromTuples(
+      WildfiresSchema(), GenerateWildfires(120, 844), 3);
+  SpatialFudj join(JoinParameters({Value::Int64(4), Value::Int64(0)}));
+  ExpectKernelMatchesPairwise(join, parks, 1, fires, 1,
+                              /*force_theta=*/true);
+}
+
+TEST(CombineKernelTest, IntervalByteIdentical) {
+  auto rides = PartitionedRelation::FromTuples(
+      TaxiSchema(), GenerateTaxiRides(120, 855), 4);
+  IntervalFudj join(JoinParameters({Value::Int64(12)}));
+  EXPECT_TRUE(join.HasCombineBucket());
+  ExpectKernelMatchesPairwise(join, rides, 2, rides, 2);
+}
+
+TEST(CombineKernelTest, TextSimByteIdentical) {
+  auto reviews = PartitionedRelation::FromTuples(
+      ReviewsSchema(), GenerateReviews(90, 866), 4);
+  TextSimFudj join(JoinParameters({Value::Double(0.5)}));
+  EXPECT_TRUE(join.HasCombineBucket());
+  ExpectKernelMatchesPairwise(join, reviews, 2, reviews, 2);
+}
+
+TEST(CombineKernelTest, ThirdPartyJoinsKeepPairwisePath) {
+  // A FUDJ that does not override CombineBucket (the distance joins ship
+  // without one) must report no kernel, so the runtime keeps running the
+  // pairwise loop even when the option is on; the bundled substrate
+  // joins opt in. SpatialFudjRefPoint inherits SpatialFudj's Verify, so
+  // inheriting its kernel is sound too.
+  DistanceFudj distance(JoinParameters({Value::Double(1.0)}));
+  SpatialDistanceFudj spatial_distance(
+      JoinParameters({Value::Double(1.0)}));
+  TextSimFudj text(JoinParameters({Value::Double(0.8)}));
+  SpatialFudjRefPoint ref_point(
+      JoinParameters({Value::Int64(8), Value::Int64(0)}));
+  EXPECT_FALSE(distance.HasCombineBucket());
+  EXPECT_FALSE(spatial_distance.HasCombineBucket());
+  EXPECT_TRUE(text.HasCombineBucket());
+  EXPECT_TRUE(ref_point.HasCombineBucket());
 }
 
 // --------------------------------------------- PPlan ToString coverage
