@@ -45,7 +45,9 @@ RunResult RunSpatial(Cluster* cluster, const FlexibleJoin& join,
 
 int main(int argc, char** argv) {
   constexpr int kWorkers = 12;
-  Cluster cluster(kWorkers, fudj::bench::ParseThreadsFlag(argc, argv));
+  const fudj::bench::ThreadsConfig threads =
+      fudj::bench::ParseThreadsFlag(argc, argv);
+  Cluster cluster(kWorkers, threads.use_threads, threads.pool_threads);
   const int64_t n_parks = Scaled(2000);
   const int64_t n_fires = Scaled(8000);
   auto parks = PartitionedRelation::FromTuples(

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   using namespace fudj;
   using namespace fudj::bench;
   BenchTracing tracing(argc, argv);
-  const bool use_threads = ParseThreadsFlag(argc, argv);
+  const ThreadsConfig threads = ParseThreadsFlag(argc, argv);
   const int kCores[] = {12, 24, 48, 96, 144};
   constexpr int kGrid = 64;
   constexpr int kIntervalBuckets = 1000;
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   std::printf("%7s | %9s %9s | %9s %9s | %9s %9s\n", "cores", "sp-FUDJ",
               "sp-Bltin", "iv-FUDJ", "iv-Bltin", "tx-FUDJ", "tx-Bltin");
   for (const int cores : kCores) {
-    Cluster cluster(cores, use_threads);
+    Cluster cluster(cores, threads.use_threads, threads.pool_threads);
     tracing.Attach(&cluster);
     auto parks = PartitionedRelation::FromTuples(ParksSchema(),
                                                  parks_rows, cores);

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   using namespace fudj;
   using namespace fudj::bench;
   BenchTracing tracing(argc, argv);
-  const bool use_threads = ParseThreadsFlag(argc, argv);
+  const ThreadsConfig threads = ParseThreadsFlag(argc, argv);
   const int kCores[] = {12, 48, 144};
 
   // (a) Spatial: grid side sweep.
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   for (const int grid : {4, 16, 64, 128, 256}) {
     std::printf("%10d |", grid);
     for (const int cores : kCores) {
-      Cluster cluster(cores, use_threads);
+      Cluster cluster(cores, threads.use_threads, threads.pool_threads);
       tracing.Attach(&cluster);
       auto parks = PartitionedRelation::FromTuples(ParksSchema(),
                                                    parks_rows, cores);
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
   for (const int buckets : {10, 100, 500, 1000, 2500, 10000}) {
     std::printf("%10d |", buckets);
     for (const int cores : kCores) {
-      Cluster cluster(cores, use_threads);
+      Cluster cluster(cores, threads.use_threads, threads.pool_threads);
       tracing.Attach(&cluster);
       auto left = PartitionedRelation::FromTuples(TaxiSchema(), v1, cores);
       auto right = PartitionedRelation::FromTuples(TaxiSchema(), v2, cores);
@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
   for (const double t : {0.95, 0.9, 0.8, 0.7, 0.6, 0.5}) {
     std::printf("%10.2f |", t);
     for (const int cores : kCores) {
-      Cluster cluster(cores, use_threads);
+      Cluster cluster(cores, threads.use_threads, threads.pool_threads);
       tracing.Attach(&cluster);
       auto reviews = PartitionedRelation::FromTuples(ReviewsSchema(),
                                                      review_rows, cores);

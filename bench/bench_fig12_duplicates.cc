@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   using namespace fudj::bench;
   BenchTracing tracing(argc, argv);
   constexpr int kWorkers = 12;
-  Cluster cluster(kWorkers, ParseThreadsFlag(argc, argv));
+  const ThreadsConfig threads = ParseThreadsFlag(argc, argv);
+  Cluster cluster(kWorkers, threads.use_threads, threads.pool_threads);
   tracing.Attach(&cluster);
 
   // ---- (a) Avoidance vs Elimination (text-similarity, t=0.9) ----

@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
   const int64_t kOnTopCapInterval = Scaled(8000);
   const int64_t kOnTopCapText = Scaled(3000);
 
-  Cluster cluster(kWorkers, ParseThreadsFlag(argc, argv));
+  const ThreadsConfig threads = ParseThreadsFlag(argc, argv);
+  Cluster cluster(kWorkers, threads.use_threads, threads.pool_threads);
   tracing.Attach(&cluster);
 
   std::printf("Fig. 9(a) Spatial (contains), grid %dx%d (paper: "

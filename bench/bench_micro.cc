@@ -8,12 +8,15 @@
 //   * the vectorized chunk pipeline (src/vec) vs. the row path on
 //     filter → project → hash join.
 //
-// `bench_micro --smoke` skips google-benchmark and runs two one-shot
+// `bench_micro --smoke` skips google-benchmark and runs three one-shot
 // comparisons: the chunk pipeline (BENCH_vec.json, fails if the two
-// paths diverge or the chunk path is slower than the row path) and the
+// paths diverge or the chunk path is slower than the row path), the
 // COMBINE kernel-vs-pairwise A/B (BENCH_combine.json, fails if outputs
-// differ or the kernel is less than 2x faster). `--threads=off` falls
-// back to sequential partition execution.
+// differ or the kernel is less than 2x faster), and the skew-adaptive
+// COMBINE A/B on a Zipf(1.1) bucket workload (BENCH_skew.json, fails if
+// outputs differ or adaptive splitting is less than 1.5x faster in
+// simulated time). `--threads=off|<count>` selects sequential partition
+// execution or an explicit pool size.
 
 #include <benchmark/benchmark.h>
 
@@ -30,6 +33,7 @@
 #include "joins/interval_fudj.h"
 #include "joins/spatial_fudj.h"
 #include "joins/textsim_fudj.h"
+#include "obs/profile.h"
 #include "serde/serde.h"
 #include "text/jaccard.h"
 #include "text/tokenizer.h"
@@ -40,7 +44,7 @@ namespace {
 
 // Set from --threads= in main (default on); every cluster the bench
 // constructs honors it.
-bool g_use_threads = true;
+bench::ThreadsConfig g_threads;
 
 void BM_SerializeTuple(benchmark::State& state) {
   const auto rows = GenerateReviews(1, 1);
@@ -286,7 +290,8 @@ void BM_PipelineRow(benchmark::State& state) {
   const auto fact = MakeFact(state.range(0), workers);
   const auto dim = MakeDim(2000, workers);
   for (auto _ : state) {
-    Cluster cluster(workers, g_use_threads);
+    Cluster cluster(workers, g_threads.use_threads,
+                      g_threads.pool_threads);
     ExecStats stats;
     auto out = RunPipeline(&cluster, fact, dim, ExecMode::kRow, &stats);
     benchmark::DoNotOptimize(out.ok());
@@ -300,7 +305,8 @@ void BM_PipelineChunk(benchmark::State& state) {
   const auto fact = MakeFact(state.range(0), workers);
   const auto dim = MakeDim(2000, workers);
   for (auto _ : state) {
-    Cluster cluster(workers, g_use_threads);
+    Cluster cluster(workers, g_threads.use_threads,
+                      g_threads.pool_threads);
     ExecStats stats;
     auto out = RunPipeline(&cluster, fact, dim, ExecMode::kChunk, &stats);
     benchmark::DoNotOptimize(out.ok());
@@ -351,7 +357,8 @@ int RunChunkPipelineSmoke() {
     *best_ms = 1e300;
     Result<PartitionedRelation> out = Status::Internal("no reps ran");
     for (int rep = 0; rep < reps; ++rep) {
-      Cluster cluster(workers, g_use_threads);
+      Cluster cluster(workers, g_threads.use_threads,
+                      g_threads.pool_threads);
       ExecStats rep_stats;
       Stopwatch timer;
       out = RunPipeline(&cluster, fact, dim, mode, &rep_stats);
@@ -454,7 +461,8 @@ CombineCaseResult RunCombineCase(const char* name, const FlexibleJoin* join,
   for (const bool use_kernel : {false, true}) {
     double best_ms = 1e300;
     for (int rep = 0; rep < reps; ++rep) {
-      Cluster cluster(workers, g_use_threads);
+      Cluster cluster(workers, g_threads.use_threads,
+                      g_threads.pool_threads);
       FudjRuntime runtime(&cluster, join);
       ExecStats stats;
       FudjExecOptions options;
@@ -552,16 +560,223 @@ int RunCombineKernelSmoke() {
   return 0;
 }
 
+// ---- --smoke: skew-adaptive COMBINE A/B, emits BENCH_skew.json ----
+
+// Synthetic single-assign join with a Zipf-distributed bucket column:
+// keys pack (bucket rank << 32 | row id), `Assign` unpacks the rank, and
+// both `Verify` and the bulk kernel evaluate the same cheap hash-mix
+// predicate. Per-bucket COMBINE work is therefore quadratic in the
+// bucket size, so the head bucket of the Zipf distribution concentrates
+// most of the query on one worker — exactly the straggler shape the
+// skew-adaptive splitting targets, with none of the geometry/tokenizer
+// noise of the bundled joins.
+class ZipfNullSummary final : public Summary {
+ public:
+  void Add(const Value&) override {}
+  void Merge(const Summary&) override {}
+  void Serialize(ByteWriter*) const override {}
+  Status Deserialize(ByteReader*) override { return Status::OK(); }
+};
+
+class ZipfPPlan final : public PPlan {
+ public:
+  void Serialize(ByteWriter*) const override {}
+  Status Deserialize(ByteReader*) override { return Status::OK(); }
+};
+
+class ZipfPairFudj final : public FlexibleJoin {
+ public:
+  /// The join predicate: a stateless mix of both keys accepting ~1/16k
+  /// of pairs. Shared by Verify and the bulk kernel so the kernel is
+  /// exact. Kept very selective on purpose: the quadratic predicate
+  /// sweep (what splitting parallelizes) must dominate the per-match
+  /// output pipeline (which stays on the owning partition).
+  static bool Pred(int64_t a, int64_t b) {
+    uint64_t h = static_cast<uint64_t>(a) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<uint64_t>(b) + 0xBF58476D1CE4E5B9ull + (h << 6);
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 32;
+    return (h & 16383) == 0;
+  }
+
+  std::unique_ptr<Summary> CreateSummary(JoinSide) const override {
+    return std::make_unique<ZipfNullSummary>();
+  }
+  Result<std::unique_ptr<PPlan>> Divide(const Summary&,
+                                        const Summary&) const override {
+    return std::unique_ptr<PPlan>(std::make_unique<ZipfPPlan>());
+  }
+  Result<std::unique_ptr<PPlan>> DeserializePPlan(
+      ByteReader* in) const override {
+    auto plan = std::make_unique<ZipfPPlan>();
+    FUDJ_RETURN_NOT_OK(plan->Deserialize(in));
+    return std::unique_ptr<PPlan>(std::move(plan));
+  }
+  void Assign(const Value& key, const PPlan&, JoinSide,
+              std::vector<int32_t>* buckets) const override {
+    buckets->push_back(static_cast<int32_t>(key.i64() >> 32));
+  }
+  bool Verify(const Value& key1, const Value& key2,
+              const PPlan&) const override {
+    return Pred(key1.i64(), key2.i64());
+  }
+  void CombineBucket(
+      const std::vector<Value>& left_keys,
+      const std::vector<Value>& right_keys, const PPlan&,
+      const std::function<void(int32_t, int32_t)>& emit) const override {
+    const auto nl = static_cast<int32_t>(left_keys.size());
+    const auto nr = static_cast<int32_t>(right_keys.size());
+    for (int32_t i = 0; i < nl; ++i) {
+      const int64_t l = left_keys[i].i64();
+      for (int32_t j = 0; j < nr; ++j) {
+        if (Pred(l, right_keys[j].i64())) emit(i, j);
+      }
+    }
+  }
+  bool MultiAssign() const override { return false; }
+  bool HasCombineBucket() const override { return true; }
+};
+
+PartitionedRelation MakeZipfSide(int64_t n, int64_t zipf_n, double zipf_s,
+                                 int workers, uint64_t seed) {
+  Schema schema;
+  schema.AddField("k", ValueType::kInt64);
+  Rng rng(seed);
+  ZipfGenerator zipf(zipf_n, zipf_s);
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t bucket = zipf.Next(&rng);
+    rows.push_back({Value::Int64((bucket << 32) | i)});
+  }
+  return PartitionedRelation::FromTuples(std::move(schema), rows, workers);
+}
+
+int RunSkewAdaptiveSmoke() {
+  const int workers = 8;
+  const int reps = 3;
+  const double min_speedup = 1.5;
+  const int64_t rows = 24000;
+  const int64_t zipf_n = 64;
+  const double zipf_s = 1.1;
+
+  const auto left = MakeZipfSide(rows, zipf_n, zipf_s, workers, 904);
+  const auto right = MakeZipfSide(rows, zipf_n, zipf_s, workers, 905);
+  const ZipfPairFudj join;
+
+  Result<PartitionedRelation> outputs[2] = {
+      Status::Internal("no reps ran"), Status::Internal("no reps ran")};
+  double ms[2] = {0.0, 0.0};
+  int64_t bucket_splits = 0;
+  int64_t split_morsels = 0;
+  for (const bool adaptive : {false, true}) {
+    double best_ms = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      Cluster cluster(workers, g_threads.use_threads,
+                      g_threads.pool_threads);
+      MetricsRegistry metrics;
+      cluster.set_metrics(&metrics);
+      FudjRuntime runtime(&cluster, &join);
+      ExecStats stats;
+      FudjExecOptions options;
+      options.duplicates = DuplicateHandling::kNone;
+      options.adaptive_skew = adaptive;
+      auto out = runtime.Execute(left, 0, right, 0, options, &stats);
+      if (!out.ok()) {
+        std::fprintf(stderr, "skew smoke (adaptive=%d) failed: %s\n",
+                     adaptive ? 1 : 0, out.status().ToString().c_str());
+        return 1;
+      }
+      if (std::getenv("FUDJ_SKEW_DEBUG") != nullptr) {
+        std::fprintf(stderr, "--- adaptive=%d rep=%d ---\n%s",
+                     adaptive ? 1 : 0, rep,
+                     QueryProfile::Build(stats, &metrics).ToString().c_str());
+      }
+      best_ms = std::min(best_ms, stats.simulated_ms());
+      if (adaptive) {
+        bucket_splits = std::max(
+            bucket_splits, metrics.CounterValue("fudj_bucket_splits_total"));
+        split_morsels = std::max(
+            split_morsels, metrics.CounterValue("fudj_split_morsels_total"));
+      }
+      outputs[adaptive ? 1 : 0] = std::move(out);
+    }
+    ms[adaptive ? 1 : 0] = best_ms;
+  }
+
+  bool identical =
+      outputs[0]->num_partitions() == outputs[1]->num_partitions();
+  for (int p = 0; identical && p < outputs[0]->num_partitions(); ++p) {
+    identical =
+        outputs[0]->raw_partition(p) == outputs[1]->raw_partition(p);
+  }
+  const double speedup = ms[1] > 0.0 ? ms[0] / ms[1] : 0.0;
+
+  FILE* f = std::fopen("BENCH_skew.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"skew_adaptive\",\n"
+                 "  \"workers\": %d,\n"
+                 "  \"reps\": %d,\n"
+                 "  \"rows_per_side\": %lld,\n"
+                 "  \"zipf_n\": %lld,\n"
+                 "  \"zipf_s\": %.2f,\n"
+                 "  \"min_speedup\": %.1f,\n"
+                 "  \"nonadaptive_ms\": %.3f,\n"
+                 "  \"adaptive_ms\": %.3f,\n"
+                 "  \"speedup\": %.3f,\n"
+                 "  \"identical\": %s,\n"
+                 "  \"output_rows\": %lld,\n"
+                 "  \"bucket_splits\": %lld,\n"
+                 "  \"split_morsels\": %lld\n"
+                 "}\n",
+                 workers, reps, static_cast<long long>(rows),
+                 static_cast<long long>(zipf_n), zipf_s, min_speedup, ms[0],
+                 ms[1], speedup, identical ? "true" : "false",
+                 static_cast<long long>(outputs[1]->NumRows()),
+                 static_cast<long long>(bucket_splits),
+                 static_cast<long long>(split_morsels));
+    std::fclose(f);
+  }
+
+  std::printf(
+      "skew adaptive smoke: zipf(%lld, %.1f) rows=%lld workers=%d "
+      "nonadaptive=%.3fms adaptive=%.3fms speedup=%.2fx splits=%lld "
+      "morsels=%lld identical=%s\n",
+      static_cast<long long>(zipf_n), zipf_s, static_cast<long long>(rows),
+      workers, ms[0], ms[1], speedup,
+      static_cast<long long>(bucket_splits),
+      static_cast<long long>(split_morsels), identical ? "yes" : "NO");
+  if (!identical) {
+    std::fprintf(stderr,
+                 "smoke FAILED: adaptive and non-adaptive outputs "
+                 "diverge\n");
+    return 1;
+  }
+  if (speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "smoke FAILED: adaptive COMBINE below %.1fx simulated "
+                 "speedup on the skewed workload\n",
+                 min_speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace fudj
 
 int main(int argc, char** argv) {
-  fudj::g_use_threads = fudj::bench::ParseThreadsFlag(argc, argv);
+  fudj::g_threads = fudj::bench::ParseThreadsFlag(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke") {
       const int vec = fudj::RunChunkPipelineSmoke();
       const int combine = fudj::RunCombineKernelSmoke();
-      return vec != 0 ? vec : combine;
+      const int skew = fudj::RunSkewAdaptiveSmoke();
+      if (vec != 0) return vec;
+      return combine != 0 ? combine : skew;
     }
   }
   // Strip --threads= (already consumed) so google-benchmark does not

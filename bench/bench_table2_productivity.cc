@@ -141,7 +141,8 @@ int main(int argc, char** argv) {
   // operation; integrating a built-in operator needs an engine rebuild
   // (~5 minutes in the paper's environment).
   RegisterBundledJoinLibraries();
-  Cluster cluster(4, ParseThreadsFlag(argc, argv));
+  const ThreadsConfig threads = ParseThreadsFlag(argc, argv);
+  Cluster cluster(4, threads.use_threads, threads.pool_threads);
   Catalog catalog;
   Stopwatch sw;
   auto created = ExecuteSql(

@@ -82,21 +82,50 @@ class BenchTracing {
   std::unique_ptr<Tracer> tracer_;
 };
 
-/// `--threads=on|off` (default on): whether bench clusters execute
-/// partition tasks on the worker thread pool. `ExecStats::simulated_ms`
-/// is invariant either way — per-partition busy time is measured inside
-/// each task and the makespan model aggregates it identically — so the
-/// flag only changes wall-clock and gives a deterministic sequential
-/// schedule for debugging.
-inline bool ParseThreadsFlag(int argc, char** argv) {
+/// Parsed `--threads=` flag (see ParseThreadsFlag).
+struct ThreadsConfig {
+  bool use_threads = true;
+  /// Explicit pool size; 0 = hardware_concurrency.
+  int pool_threads = 0;
+};
+
+/// `--threads=on|off|<count>` (default on): whether bench clusters
+/// execute partition tasks on the work-stealing pool, and optionally its
+/// size. `ExecStats::simulated_ms` is invariant either way —
+/// per-partition busy time is measured inside each task and the makespan
+/// model aggregates it identically — so the flag only changes wall-clock
+/// and gives a deterministic sequential schedule for debugging.
+///
+/// Accepted values: on/true/yes, off/false/no, or a positive thread
+/// count. Anything else — junk, zero, negatives — is a fatal CLI error
+/// rather than a silent fallback to the default.
+inline ThreadsConfig ParseThreadsFlag(int argc, char** argv) {
+  ThreadsConfig config;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--threads=", 0) == 0) {
-      const std::string v = arg.substr(10);
-      return !(v == "off" || v == "0" || v == "false" || v == "no");
+    if (arg.rfind("--threads=", 0) != 0) continue;
+    const std::string v = arg.substr(10);
+    if (v == "off" || v == "false" || v == "no") {
+      config.use_threads = false;
+      config.pool_threads = 0;
+    } else if (v == "on" || v == "true" || v == "yes") {
+      config.use_threads = true;
+      config.pool_threads = 0;
+    } else {
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (v.empty() || *end != '\0' || n <= 0 || n > 4096) {
+        std::fprintf(stderr,
+                     "error: invalid --threads= value '%s' (expected "
+                     "on, off, or a positive thread count)\n",
+                     v.c_str());
+        std::exit(2);
+      }
+      config.use_threads = true;
+      config.pool_threads = static_cast<int>(n);
     }
   }
-  return true;
+  return config;
 }
 
 /// One measured run.

@@ -4,11 +4,19 @@
 
 namespace fudj {
 
+namespace {
+// Worker identity of the current thread, used to route nested forks to
+// the calling worker's own deque. A thread belongs to at most one pool.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local int tls_worker = -1;
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
+  local_.resize(num_threads);
   threads_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -21,17 +29,24 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+bool ThreadPool::InWorker() const { return tls_pool == this; }
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    Task t{std::move(task), nullptr};
+    if (tls_pool == this) {
+      local_[tls_worker].push_back(std::move(t));
+    } else {
+      shared_.push_back(std::move(t));
+    }
   }
   cv_task_.notify_one();
 }
 
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  cv_idle_.wait(lock, [this] { return !HasRunnableLocked() && active_ == 0; });
   if (first_exception_ != nullptr) {
     std::exception_ptr e = std::exchange(first_exception_, nullptr);
     lock.unlock();
@@ -41,42 +56,146 @@ void ThreadPool::WaitIdle() {
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
-  if (n == 1 || threads_.size() == 1) {
+  const bool nested = tls_pool == this;
+  if (n == 1 || (!nested && threads_.size() == 1)) {
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }
-  for (int i = 0; i < n; ++i) {
-    Submit([&fn, i] { fn(i); });
-  }
-  WaitIdle();
-}
 
-void ThreadPool::WorkerLoop() {
-  while (true) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (shutdown_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
-    }
-    // A throwing task must not reach std::terminate: stash the first
-    // exception for WaitIdle to rethrow, keep the worker alive.
-    try {
-      task();
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (first_exception_ == nullptr) {
-        first_exception_ = std::current_exception();
+  TaskGroup group;
+  group.remaining = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < n; ++i) {
+      Task t{[&fn, i] { fn(i); }, &group};
+      if (nested) {
+        // Fork onto our own deque: we pop LIFO, idle siblings steal FIFO.
+        local_[tls_worker].push_back(std::move(t));
+      } else {
+        local_[i % local_.size()].push_back(std::move(t));
       }
     }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --active_;
-      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+  }
+  cv_task_.notify_all();
+
+  // Help-loop: drain our own batch rather than blocking. Only when every
+  // remaining batch task is being executed by another worker do we sleep
+  // on the batch's cv — those workers never wait on this batch, so the
+  // nesting cannot deadlock.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (group.remaining > 0) {
+    Task task;
+    if (PopGroupTaskLocked(&group, &task)) {
+      ++active_;
+      lock.unlock();
+      ExecuteAndFinish(std::move(task));
+      lock.lock();
+    } else {
+      group.done.wait(lock);
     }
+  }
+  if (group.error != nullptr) {
+    std::exception_ptr e = std::exchange(group.error, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+bool ThreadPool::HasRunnableLocked() const {
+  if (!shared_.empty()) return true;
+  for (const auto& q : local_) {
+    if (!q.empty()) return true;
+  }
+  return false;
+}
+
+bool ThreadPool::PopTaskLocked(int worker, Task* out) {
+  if (!local_[worker].empty()) {
+    *out = std::move(local_[worker].back());
+    local_[worker].pop_back();
+    return true;
+  }
+  if (!shared_.empty()) {
+    *out = std::move(shared_.front());
+    shared_.pop_front();
+    return true;
+  }
+  // Steal from the sibling with the most queued work; take the FIFO end
+  // (its oldest, typically largest-granularity task).
+  int victim = -1;
+  size_t most = 0;
+  for (int w = 0; w < static_cast<int>(local_.size()); ++w) {
+    if (w != worker && local_[w].size() > most) {
+      most = local_[w].size();
+      victim = w;
+    }
+  }
+  if (victim < 0) return false;
+  *out = std::move(local_[victim].front());
+  local_[victim].pop_front();
+  steals_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::PopGroupTaskLocked(TaskGroup* group, Task* out) {
+  auto take_from = [group, out](std::deque<Task>* q) {
+    for (auto it = q->rbegin(); it != q->rend(); ++it) {
+      if (it->group == group) {
+        *out = std::move(*it);
+        q->erase(std::next(it).base());
+        return true;
+      }
+    }
+    return false;
+  };
+  if (tls_pool == this && take_from(&local_[tls_worker])) return true;
+  for (auto& q : local_) {
+    if (take_from(&q)) return true;
+  }
+  return take_from(&shared_);
+}
+
+void ThreadPool::ExecuteAndFinish(Task task) {
+  // A throwing task must not reach std::terminate: stash the first
+  // exception of the owning batch (or of the pool, for Submit tasks) and
+  // count the ones that had to be dropped.
+  std::exception_ptr err;
+  try {
+    task.fn();
+  } catch (...) {
+    err = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (err != nullptr) {
+    std::exception_ptr& slot =
+        task.group != nullptr ? task.group->error : first_exception_;
+    if (slot == nullptr) {
+      slot = err;
+    } else {
+      dropped_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (task.group != nullptr && --task.group->remaining == 0) {
+    task.group->done.notify_all();
+  }
+  --active_;
+  if (!HasRunnableLocked() && active_ == 0) cv_idle_.notify_all();
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  tls_pool = this;
+  tls_worker = worker;
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock,
+                    [this] { return shutdown_ || HasRunnableLocked(); });
+      if (shutdown_ && !HasRunnableLocked()) return;
+      if (!PopTaskLocked(worker, &task)) continue;
+      ++active_;
+    }
+    ExecuteAndFinish(std::move(task));
   }
 }
 

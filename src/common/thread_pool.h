@@ -1,7 +1,9 @@
 #ifndef FUDJ_COMMON_THREAD_POOL_H_
 #define FUDJ_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -11,10 +13,17 @@
 
 namespace fudj {
 
-/// Fixed-size worker pool. The engine uses one pool to optionally execute
-/// per-partition operator work concurrently; on a single-core host the
-/// simulated-makespan accounting (see engine/stats.h) still yields
-/// meaningful scalability curves.
+/// Work-stealing worker pool. Every worker owns a deque: it pops its own
+/// deque LIFO (freshly forked morsels stay cache-hot), falls back to the
+/// shared overflow queue, and finally steals the oldest task from the
+/// busiest sibling — so the queued work of a straggler partition is
+/// drained by idle workers instead of pinning wall-clock.
+///
+/// The engine uses one pool to optionally execute per-partition operator
+/// work (and, under skew-adaptive COMBINE, the sub-bucket morsels those
+/// tasks fork) concurrently; on a single-core host the simulated-makespan
+/// accounting (see engine/stats.h) still yields meaningful scalability
+/// curves.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1).
@@ -26,7 +35,7 @@ class ThreadPool {
 
   /// Enqueues a task for asynchronous execution. A task that throws does
   /// NOT take the process down: the worker catches the exception and the
-  /// first one is rethrown from the next `WaitIdle`/`ParallelFor`.
+  /// first one is rethrown from the next `WaitIdle`.
   void Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished. If any task threw
@@ -36,21 +45,67 @@ class ThreadPool {
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for
   /// completion. Rethrows the first exception thrown by any `fn(i)`.
+  ///
+  /// Callable from outside the pool (iterations round-robin across the
+  /// worker deques) or from inside a pool task — a nested fork-join: the
+  /// forked morsels go to the calling worker's deque, idle siblings steal
+  /// them, and the caller helps drain its own batch instead of blocking a
+  /// worker slot, so nesting cannot deadlock the pool.
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
+  /// True when the calling thread is one of this pool's workers.
+  bool InWorker() const;
+
+  /// Tasks taken from another worker's deque since construction.
+  int64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+  /// Task exceptions that could NOT be rethrown to any caller because an
+  /// earlier exception of the same wait cycle / ParallelFor batch was
+  /// already captured. Chaos tests assert this stays 0 when every task
+  /// converts its own failures to Status — a nonzero value means a
+  /// failure was silently swallowed.
+  int64_t dropped_exceptions() const {
+    return dropped_exceptions_.load(std::memory_order_relaxed);
+  }
+
  private:
-  void WorkerLoop();
+  /// Fork-join batch state of one ParallelFor call; lives on the caller's
+  /// stack and is guarded by `mu_` (its `done` cv also waits on `mu_`).
+  struct TaskGroup {
+    int remaining = 0;
+    std::exception_ptr error;
+    std::condition_variable done;
+  };
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;  ///< null for fire-and-forget Submit tasks
+  };
+
+  void WorkerLoop(int worker);
+  /// Runs a task outside the lock, then records its outcome (exception
+  /// slot, group countdown, idle signal) under `mu_`. `active_` must have
+  /// been incremented by the caller while holding the lock.
+  void ExecuteAndFinish(Task task);
+  bool HasRunnableLocked() const;
+  /// Own deque LIFO -> shared queue -> steal FIFO from busiest sibling.
+  bool PopTaskLocked(int worker, Task* out);
+  /// Pops a task belonging to `group` from any queue (the helping caller
+  /// of a ParallelFor only runs its own batch).
+  bool PopGroupTaskLocked(TaskGroup* group, Task* out);
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  std::vector<std::deque<Task>> local_;  ///< one deque per worker
+  std::deque<Task> shared_;  ///< external submissions / overflow
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   int active_ = 0;
   bool shutdown_ = false;
   std::exception_ptr first_exception_;
+  std::atomic<int64_t> steals_{0};
+  std::atomic<int64_t> dropped_exceptions_{0};
 };
 
 }  // namespace fudj

@@ -12,11 +12,15 @@
 
 namespace fudj {
 
-Cluster::Cluster(int num_workers, bool use_threads)
+Cluster::Cluster(int num_workers, bool use_threads, int pool_threads)
     : num_workers_(num_workers < 1 ? 1 : num_workers) {
   if (use_threads) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    pool_ = std::make_unique<ThreadPool>(hw == 0 ? 2 : static_cast<int>(hw));
+    int n = pool_threads;
+    if (n <= 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      n = hw == 0 ? 2 : static_cast<int>(hw);
+    }
+    pool_ = std::make_unique<ThreadPool>(n);
   }
 }
 
@@ -42,10 +46,20 @@ void Cluster::set_tracer(Tracer* tracer) {
 Status Cluster::RunStage(const std::string& name,
                          const std::function<Status(int)>& fn,
                          ExecStats* stats, int64_t rows_out) {
+  return RunStageTimed(
+      name, [&fn](int p, double* /*sim_ms*/) { return fn(p); }, stats,
+      rows_out);
+}
+
+Status Cluster::RunStageTimed(
+    const std::string& name,
+    const std::function<Status(int, double* sim_ms)>& fn, ExecStats* stats,
+    int64_t rows_out) {
   std::vector<double> partition_ms(num_workers_, 0.0);
   Stopwatch wall;
   StageFaultStats faults;
   Status first_error;
+  const int64_t steals_before = pool_ != nullptr ? pool_->steals() : 0;
 
   const double stage_start_us = tracer_ != nullptr ? tracer_->NowUs() : 0.0;
   const double sim_before_ms =
@@ -90,9 +104,10 @@ Status Cluster::RunStage(const std::string& name,
           tracer_ != nullptr ? tracer_->NowUs() : 0.0;
       Stopwatch sw;
       Status st;
+      double sim_override_ms = -1.0;
       try {
         if (injector_ != nullptr) injector_->MaybeCrashPartition();
-        st = fn(p);
+        st = fn(p, &sim_override_ms);
       } catch (const StatusError& e) {
         st = e.status();
       } catch (const std::exception& e) {
@@ -101,6 +116,10 @@ Status Cluster::RunStage(const std::string& name,
         st = Status::Internal("stage task threw a non-standard exception");
       }
       double ms = sw.ElapsedMillis();
+      // A successful task that rebalanced its own work (morsel splitting)
+      // reports the balanced schedule; a failed attempt keeps the
+      // measured busy time — its override may describe partial work.
+      if (st.ok() && sim_override_ms >= 0.0) ms = sim_override_ms;
       if (injector_ != nullptr) ms += injector_->InjectedStragglerMs();
       if (st.ok() && retry_.partition_deadline_ms > 0.0 &&
           ms > retry_.partition_deadline_ms) {
@@ -165,6 +184,14 @@ Status Cluster::RunStage(const std::string& name,
         metrics_->GetHistogram("stage_partition_busy_ms", {{"stage", name}},
                                ExponentialBuckets(0.001, 4, 20));
     for (const double ms : partition_ms) busy_hist->Observe(ms);
+    if (pool_ != nullptr) {
+      const int64_t stolen = pool_->steals() - steals_before;
+      if (stolen > 0) {
+        metrics_->GetCounter("threadpool_steals_total")->Increment(stolen);
+        metrics_->GetCounter("threadpool_steals_total", {{"stage", name}})
+            ->Increment(stolen);
+      }
+    }
   }
   if (tracer_ != nullptr) {
     // Wall timeline: the whole stage (all retry rounds) as one span on

@@ -37,11 +37,16 @@ class MetricsRegistry;
 class Cluster {
  public:
   /// `num_workers` >= 1. `use_threads` enables concurrent partition
-  /// execution via an internal pool of `hardware_concurrency` threads.
-  explicit Cluster(int num_workers, bool use_threads = false);
+  /// execution via an internal work-stealing pool; `pool_threads` sets
+  /// its size (<= 0 means `hardware_concurrency`).
+  explicit Cluster(int num_workers, bool use_threads = false,
+                   int pool_threads = 0);
   ~Cluster();
 
   int num_workers() const { return num_workers_; }
+  /// Null when the cluster runs partitions sequentially. Stage tasks may
+  /// fork sub-task morsels through it (nested ParallelFor).
+  ThreadPool* pool() const { return pool_.get(); }
   const CostModelConfig& cost_model() const { return cost_; }
   CostModelConfig* mutable_cost_model() { return &cost_; }
 
@@ -79,6 +84,18 @@ class Cluster {
   Status RunStage(const std::string& name,
                   const std::function<Status(int)>& fn, ExecStats* stats,
                   int64_t rows_out = 0);
+
+  /// RunStage variant whose task may replace its measured busy time on
+  /// the simulated clock: a task that internally reschedules its work
+  /// across the cluster (e.g. skew-adaptive bucket splitting in COMBINE)
+  /// writes the balanced-schedule milliseconds to `*sim_ms` (leave it
+  /// untouched — negative — to keep the measurement). The override feeds
+  /// the makespan model and the partition deadline exactly like a
+  /// measured time; wall-clock tracing is unaffected.
+  Status RunStageTimed(
+      const std::string& name,
+      const std::function<Status(int, double* sim_ms)>& fn,
+      ExecStats* stats, int64_t rows_out = 0);
 
   /// Charges `bytes`/`messages` of shuffle traffic to stage `name`.
   /// Injected message drops are retransmitted (charged as extra traffic).

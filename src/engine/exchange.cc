@@ -3,6 +3,7 @@
 #include "common/hash.h"
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vec/chunk_io.h"
 #include "vec/data_chunk.h"
 
@@ -120,6 +121,26 @@ Result<PartitionedRelation> Route(Cluster* cluster,
     // the source of the stage's skew report.
     cluster->metrics()->RecordStagePartitions(stage_name, dest_rows,
                                               dest_bytes);
+    // Flag skewed placement at exchange time: this is where COMBINE-side
+    // stragglers originate, and downstream skew-adaptive execution keys
+    // off the same ComputeSkew cutoff.
+    const SkewReport report = ComputeSkew(stage_name, dest_rows);
+    if (report.skewed) {
+      cluster->metrics()
+          ->GetCounter("exchange_skewed_total", {{"stage", stage_name}})
+          ->Increment();
+      if (cluster->tracer() != nullptr) {
+        cluster->tracer()->AddInstant(
+            Tracer::kWallPid, 0, "exchange-skew", "skew",
+            cluster->tracer()->NowUs(),
+            {Tracer::StringArg("stage", stage_name),
+             Tracer::DoubleArg("ratio", report.ratio),
+             Tracer::DoubleArg("cutoff", report.cutoff),
+             Tracer::IntArg("stragglers",
+                            static_cast<int64_t>(
+                                report.straggler_partitions.size()))});
+      }
+    }
   }
   return out;
 }

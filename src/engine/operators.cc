@@ -20,20 +20,33 @@ Result<PartitionedRelation> TransformPartitions(
     const std::function<Status(int, const std::vector<Tuple>&,
                                std::vector<Tuple>*)>& fn,
     ExecStats* stats) {
+  return TransformPartitionsTimed(
+      cluster, in, std::move(out_schema), stage_name,
+      [&fn](int p, const std::vector<Tuple>& rows, std::vector<Tuple>* out,
+            double* /*sim_ms*/) { return fn(p, rows, out); },
+      stats);
+}
+
+Result<PartitionedRelation> TransformPartitionsTimed(
+    Cluster* cluster, const PartitionedRelation& in, Schema out_schema,
+    const std::string& stage_name,
+    const std::function<Status(int, const std::vector<Tuple>&,
+                               std::vector<Tuple>*, double* sim_ms)>& fn,
+    ExecStats* stats) {
   const int p_out = cluster->num_workers();
   PartitionedRelation out(std::move(out_schema), p_out);
   std::vector<std::vector<Tuple>> results(p_out);
   int64_t rows_out = 0;
-  FUDJ_RETURN_NOT_OK(cluster->RunStage(
+  FUDJ_RETURN_NOT_OK(cluster->RunStageTimed(
       stage_name,
-      [&](int p) -> Status {
+      [&](int p, double* sim_ms) -> Status {
         if (p >= in.num_partitions()) return Status::OK();
         // Reset the output slot: a retried partition restarts from
         // scratch.
         results[p].clear();
         FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> rows,
                               in.Materialize(p));
-        return fn(p, rows, &results[p]);
+        return fn(p, rows, &results[p], sim_ms);
       },
       stats));
   std::vector<int64_t> rows_per_partition(p_out, 0);

@@ -28,6 +28,18 @@ Result<PartitionedRelation> TransformPartitions(
                                std::vector<Tuple>*)>& fn,
     ExecStats* stats);
 
+/// TransformPartitions variant running under Cluster::RunStageTimed: the
+/// task receives a `sim_ms` out-param through which it may replace its
+/// measured busy time on the simulated clock (used by skew-adaptive
+/// COMBINE to charge the balanced morsel schedule instead of the
+/// thread-dependent wall measurement).
+Result<PartitionedRelation> TransformPartitionsTimed(
+    Cluster* cluster, const PartitionedRelation& in, Schema out_schema,
+    const std::string& stage_name,
+    const std::function<Status(int, const std::vector<Tuple>&,
+                               std::vector<Tuple>*, double* sim_ms)>& fn,
+    ExecStats* stats);
+
 /// Chunked analogue of TransformPartitions: `fn` streams one partition
 /// through a ChunkReader and emits serialized rows into a ChunkWriter.
 /// The writer is cleared at the start of every attempt, so retried

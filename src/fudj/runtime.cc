@@ -345,25 +345,204 @@ void SortKernelCandidates(std::vector<std::pair<int64_t, int64_t>>* c) {
   c->erase(std::unique(c->begin(), c->end()), c->end());
 }
 
+/// LPT (longest-processing-time-first) makespan of scheduling `ms` on
+/// `workers` identical machines — the simulated-clock model of running
+/// one partition's morsels across the cluster's workers.
+double LptMakespanMs(std::vector<double> ms, int workers) {
+  if (ms.empty()) return 0.0;
+  if (workers < 1) workers = 1;
+  std::sort(ms.begin(), ms.end(), std::greater<double>());
+  std::vector<double> load(static_cast<size_t>(workers), 0.0);
+  for (const double m : ms) {
+    *std::min_element(load.begin(), load.end()) += m;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+/// Skew-adaptive bucket splitting for one COMBINE partition (the
+/// FudjExecOptions::adaptive_skew tentpole). `Plan` derives a split
+/// cutoff from the partition's per-bucket |L|x|R| work distribution via
+/// ComputeSkew; `RunKernel` then executes each matched bucket through the
+/// join's CombineBucket kernel, splitting the larger side of any bucket
+/// above the cutoff into contiguous sub-ranges that run as independent
+/// morsels on the cluster's work-stealing pool.
+///
+/// Output contract: a morsel emits the same candidate pairs the unsplit
+/// kernel would for its sub-range (CombineBucket may only inspect the
+/// keys it is handed), so the union over morsels equals the unsplit
+/// candidate superset; every call site re-sorts candidates and refines
+/// through exact Verify/Dedup, so output partitions stay byte-identical
+/// with splitting on or off.
+///
+/// Simulated clock: wall time measured inside the split regions is
+/// thread-dependent (morsels run on other workers), so the owning task
+/// replaces its measured busy time via SimOverrideMs — time outside the
+/// split regions as measured, plus the LPT makespan of the morsel times
+/// over the cluster's workers. The override is threads-on/off invariant
+/// up to measurement noise.
+class BucketSplitter {
+ public:
+  BucketSplitter(const FudjExecOptions& options, const Cluster* cluster,
+                 int partition)
+      : options_(options), cluster_(cluster), partition_(partition) {}
+
+  void Plan(const std::vector<int64_t>& work_per_bucket) {
+    cutoff_ = 0;
+    if (!options_.adaptive_skew || work_per_bucket.size() < 2) return;
+    const SkewReport report =
+        ComputeSkew("combine-bucket-work", work_per_bucket,
+                    options_.skew_straggler_threshold);
+    // ComputeSkew's max/median ratio saturates when a partition holds
+    // one giant bucket and only a few stubs (with two buckets the ratio
+    // cannot exceed 2) — exactly the straggler shape splitting exists
+    // for. Gate the heavy bucket against the mean of the *other*
+    // buckets as well, and derive the split cutoff from that
+    // outlier-free location estimate.
+    int64_t total = 0;
+    int64_t max_work = 0;
+    for (const int64_t w : work_per_bucket) {
+      total += w;
+      max_work = std::max(max_work, w);
+    }
+    const double rest_mean =
+        static_cast<double>(total - max_work) /
+        static_cast<double>(work_per_bucket.size() - 1);
+    const double cut =
+        options_.skew_straggler_threshold * std::max(rest_mean, 1.0);
+    if (!report.skewed && static_cast<double>(max_work) <= cut) return;
+    const double derived =
+        report.skewed ? std::min(report.cutoff, cut) : cut;
+    cutoff_ = std::max(options_.skew_min_split_work,
+                       static_cast<int64_t>(derived));
+  }
+
+  /// Runs one matched bucket through the kernel, split or whole. `emit`
+  /// receives (li, rj) pairs in lkeys/rkeys index space; emission order
+  /// is morsel-major for split buckets (call sites re-sort).
+  void RunKernel(const FlexibleJoin* join, const std::vector<Value>& lkeys,
+                 const std::vector<Value>& rkeys, const PPlan& plan,
+                 const std::function<void(int32_t, int32_t)>& emit) {
+    const int64_t work = static_cast<int64_t>(lkeys.size()) *
+                         static_cast<int64_t>(rkeys.size());
+    const bool split_left = lkeys.size() >= rkeys.size();
+    const size_t larger = split_left ? lkeys.size() : rkeys.size();
+    int k = 0;
+    if (cutoff_ > 0 && work > cutoff_) {
+      // Enough morsels to bring each piece under the cutoff, capped so
+      // the scheduler is not flooded, and never finer than one key.
+      const int64_t pieces = (work + cutoff_ - 1) / cutoff_;
+      k = static_cast<int>(std::min<int64_t>(
+          {pieces, 4 * cluster_->num_workers(),
+           static_cast<int64_t>(larger)}));
+    }
+    if (k < 2) {
+      join->CombineBucket(lkeys, rkeys, plan, emit);
+      return;
+    }
+
+    Tracer* tracer = cluster_->tracer();
+    const double span_start = tracer != nullptr ? tracer->NowUs() : 0.0;
+    Stopwatch region_sw;
+    std::vector<std::vector<std::pair<int32_t, int32_t>>> found(k);
+    std::vector<double> morsel_ms(k, 0.0);
+    auto run_morsel = [&](int m) {
+      const size_t begin = larger * m / k;
+      const size_t end = larger * (m + 1) / k;
+      Stopwatch sw;
+      std::vector<std::pair<int32_t, int32_t>>& out = found[m];
+      const int32_t shift = static_cast<int32_t>(begin);
+      if (split_left) {
+        const std::vector<Value> sub(lkeys.begin() + begin,
+                                     lkeys.begin() + end);
+        join->CombineBucket(sub, rkeys, plan,
+                            [&out, shift](int32_t li, int32_t rj) {
+                              out.emplace_back(shift + li, rj);
+                            });
+      } else {
+        const std::vector<Value> sub(rkeys.begin() + begin,
+                                     rkeys.begin() + end);
+        join->CombineBucket(lkeys, sub, plan,
+                            [&out, shift](int32_t li, int32_t rj) {
+                              out.emplace_back(li, shift + rj);
+                            });
+      }
+      morsel_ms[m] = sw.ElapsedMillis();
+    };
+    ThreadPool* pool = cluster_->pool();
+    if (pool != nullptr) {
+      pool->ParallelFor(k, run_morsel);
+    } else {
+      for (int m = 0; m < k; ++m) run_morsel(m);
+    }
+    for (const auto& part : found) {
+      for (const auto& [li, rj] : part) emit(li, rj);
+    }
+    region_wall_ms_ += region_sw.ElapsedMillis();
+    morsel_ms_.insert(morsel_ms_.end(), morsel_ms.begin(),
+                      morsel_ms.end());
+    ++splits_;
+    morsels_ += k;
+    if (tracer != nullptr) {
+      tracer->AddSpan(
+          Tracer::kWallPid, 1 + partition_, "COMBINE-split", "combine",
+          span_start, tracer->NowUs() - span_start,
+          {Tracer::IntArg("partition", partition_),
+           Tracer::IntArg("morsels", k), Tracer::IntArg("work", work),
+           Tracer::StringArg("split_side", split_left ? "L" : "R")});
+    }
+  }
+
+  bool any_splits() const { return splits_ > 0; }
+  int64_t splits() const { return splits_; }
+  int64_t morsels() const { return morsels_; }
+
+  /// Balanced-schedule busy time of the owning partition task:
+  /// everything outside the split regions as measured, plus the LPT
+  /// makespan of the morsels over the cluster's workers.
+  double SimOverrideMs(double task_total_ms) const {
+    const double ms = task_total_ms - region_wall_ms_ +
+                      LptMakespanMs(morsel_ms_, cluster_->num_workers());
+    return ms < 0.0 ? 0.0 : ms;
+  }
+
+ private:
+  const FudjExecOptions& options_;
+  const Cluster* cluster_;
+  const int partition_;
+  int64_t cutoff_ = 0;
+  int64_t splits_ = 0;
+  int64_t morsels_ = 0;
+  double region_wall_ms_ = 0.0;
+  std::vector<double> morsel_ms_;
+};
+
 /// Sums the per-partition COMBINE bucket counts into the registry.
 /// Counters are touched even at zero so both `path` series exist after
 /// any COMBINE stage, making kernel-vs-pairwise visible in ToText().
 void RecordCombineCounters(MetricsRegistry* metrics,
                            const std::vector<int64_t>& kernel_buckets,
                            const std::vector<int64_t>& pairwise_buckets,
-                           const std::vector<int64_t>& kernel_candidates) {
+                           const std::vector<int64_t>& kernel_candidates,
+                           const std::vector<int64_t>& bucket_splits,
+                           const std::vector<int64_t>& split_morsels) {
   if (metrics == nullptr) return;
   int64_t kb = 0;
   int64_t pb = 0;
   int64_t kc = 0;
+  int64_t bs = 0;
+  int64_t sm = 0;
   for (const int64_t v : kernel_buckets) kb += v;
   for (const int64_t v : pairwise_buckets) pb += v;
   for (const int64_t v : kernel_candidates) kc += v;
+  for (const int64_t v : bucket_splits) bs += v;
+  for (const int64_t v : split_morsels) sm += v;
   metrics->GetCounter("fudj_combine_buckets_total", {{"path", "kernel"}})
       ->Increment(kb);
   metrics->GetCounter("fudj_combine_buckets_total", {{"path", "pairwise"}})
       ->Increment(pb);
   metrics->GetCounter("fudj_combine_kernel_candidates_total")->Increment(kc);
+  metrics->GetCounter("fudj_bucket_splits_total")->Increment(bs);
+  metrics->GetCounter("fudj_split_morsels_total")->Increment(sm);
 }
 
 }  // namespace
@@ -390,6 +569,8 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
   std::vector<int64_t> kernel_buckets(p_combine, 0);
   std::vector<int64_t> pairwise_buckets(p_combine, 0);
   std::vector<int64_t> kernel_candidates(p_combine, 0);
+  std::vector<int64_t> bucket_splits(p_combine, 0);
+  std::vector<int64_t> split_morsels(p_combine, 0);
 
   Schema out_schema = JoinOutputSchema(left, right);
 
@@ -428,19 +609,22 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
     if (exec_mode_ == ExecMode::kChunk) {
       FUDJ_ASSIGN_OR_RETURN(
           joined, CombineHashJoinChunked(l_ex, r_ex, out_schema, lk, rk,
-                                         plan, avoidance, fast_dedup,
-                                         l_carried, r_carried, use_kernel,
-                                         smallest_common, stats));
+                                         plan, options, avoidance,
+                                         fast_dedup, l_carried, r_carried,
+                                         use_kernel, smallest_common,
+                                         stats));
     } else {
       FUDJ_ASSIGN_OR_RETURN(
           joined,
-          TransformPartitions(
+          TransformPartitionsTimed(
               cluster_, l_ex, out_schema, "bucket-hashjoin",
-              [this, &r_ex, join, lk, rk, &plan, avoidance, fast_dedup,
-               l_carried, r_carried, &smallest_common, use_kernel,
-               &kernel_buckets, &pairwise_buckets, &kernel_candidates](
+              [this, &r_ex, join, lk, rk, &plan, &options, avoidance,
+               fast_dedup, l_carried, r_carried, &smallest_common,
+               use_kernel, &kernel_buckets, &pairwise_buckets,
+               &kernel_candidates, &bucket_splits, &split_morsels](
                   int p, const std::vector<Tuple>& l_rows,
-                  std::vector<Tuple>* out) -> Status {
+                  std::vector<Tuple>* out, double* sim_ms) -> Status {
+                Stopwatch task_sw;
                 FUDJ_ASSIGN_OR_RETURN(std::vector<Tuple> r_rows,
                                       r_ex.Materialize(p));
                 // Hash groups keep build-row order, so matches emit in
@@ -491,6 +675,21 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
                   for (size_t i = 0; i < l_rows.size(); ++i) {
                     probe_groups[l_rows[i][0].i64()].push_back(i);
                   }
+                  // Plan splitting from the per-bucket |L|x|R| work
+                  // distribution before running any kernel.
+                  BucketSplitter splitter(options, cluster_, p);
+                  {
+                    std::vector<int64_t> bucket_work;
+                    bucket_work.reserve(probe_groups.size());
+                    for (const auto& [b, lidx] : probe_groups) {
+                      auto it = build.find(b);
+                      if (it == build.end()) continue;
+                      bucket_work.push_back(
+                          static_cast<int64_t>(lidx.size()) *
+                          static_cast<int64_t>(it->second.size()));
+                    }
+                    splitter.Plan(bucket_work);
+                  }
                   int64_t buckets_run = 0;
                   std::vector<std::pair<int64_t, int64_t>> cands;
                   for (const auto& [b, lidx] : probe_groups) {
@@ -508,8 +707,8 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
                       rkeys.push_back(r_rows[j][rk]);
                     }
                     const std::vector<size_t>& lref = lidx;
-                    join->CombineBucket(
-                        lkeys, rkeys, plan,
+                    splitter.RunKernel(
+                        join, lkeys, rkeys, plan,
                         [&cands, &lref, &ridx](int32_t li, int32_t rj) {
                           cands.emplace_back(
                               static_cast<int64_t>(lref[li]),
@@ -521,6 +720,8 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
                   kernel_buckets[p] = buckets_run;
                   kernel_candidates[p] =
                       static_cast<int64_t>(cands.size());
+                  bucket_splits[p] = splitter.splits();
+                  split_morsels[p] = splitter.morsels();
                   if (tracer != nullptr) {
                     tracer->AddSpan(
                         Tracer::kWallPid, 1 + p, "COMBINE-kernel",
@@ -552,6 +753,10 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
                       continue;
                     }
                     out->push_back(EmitPair(l, r, l_carried, r_carried));
+                  }
+                  if (splitter.any_splits()) {
+                    *sim_ms =
+                        splitter.SimOverrideMs(task_sw.ElapsedMillis());
                   }
                   return Status::OK();
                 }
@@ -600,12 +805,14 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
         BroadcastExchange(cluster_, right, stats, "bucket-broadcast-R"));
     FUDJ_ASSIGN_OR_RETURN(
         joined,
-        TransformPartitions(
+        TransformPartitionsTimed(
             cluster_, l_ex, out_schema, "bucket-thetajoin",
-            [this, &r_ex, join, lk, rk, &plan, avoidance, use_kernel,
-             &kernel_buckets, &pairwise_buckets, &kernel_candidates](
+            [this, &r_ex, join, lk, rk, &plan, &options, avoidance,
+             use_kernel, &kernel_buckets, &pairwise_buckets,
+             &kernel_candidates, &bucket_splits, &split_morsels](
                 int p, const std::vector<Tuple>& l_rows,
-                std::vector<Tuple>* out) -> Status {
+                std::vector<Tuple>* out, double* sim_ms) -> Status {
+              Stopwatch task_sw;
               FUDJ_ASSIGN_OR_RETURN(std::vector<Tuple> r_rows,
                                     r_ex.Materialize(p));
               // Group both sides by bucket so `match` runs once per
@@ -617,71 +824,105 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
               Tracer* tracer = use_kernel ? cluster_->tracer() : nullptr;
               const double k_start =
                   tracer != nullptr ? tracer->NowUs() : 0.0;
-              // Boxed-key caches: a group joins many Match-ing partner
-              // groups, but its keys are boxed only once.
-              std::unordered_map<int64_t, std::vector<Value>> l_cache;
-              std::unordered_map<int64_t, std::vector<Value>> r_cache;
-              int64_t buckets_run = 0;
-              int64_t cand_total = 0;
+              // Resolve `Match` once per bucket pair, keeping the
+              // iteration order of the nested map loop (the emission
+              // order of the pre-splitting implementation).
+              struct MatchedPair {
+                int64_t b1;
+                int64_t b2;
+                const std::vector<const Tuple*>* ls;
+                const std::vector<const Tuple*>* rs;
+              };
+              std::vector<MatchedPair> matched;
               for (const auto& [b1, ls] : lb) {
                 for (const auto& [b2, rs] : rb) {
                   if (!join->Match(static_cast<int32_t>(b1),
                                    static_cast<int32_t>(b2))) {
                     continue;
                   }
-                  ++buckets_run;
-                  if (use_kernel) {
-                    std::vector<Value>& lkeys = l_cache[b1];
-                    if (lkeys.empty()) {
-                      lkeys.reserve(ls.size());
-                      for (const Tuple* l : ls) lkeys.push_back((*l)[lk]);
-                    }
-                    std::vector<Value>& rkeys = r_cache[b2];
-                    if (rkeys.empty()) {
-                      rkeys.reserve(rs.size());
-                      for (const Tuple* r : rs) rkeys.push_back((*r)[rk]);
-                    }
-                    std::vector<std::pair<int64_t, int64_t>> cands;
-                    join->CombineBucket(
-                        lkeys, rkeys, plan,
-                        [&cands](int32_t li, int32_t rj) {
-                          cands.emplace_back(li, rj);
-                        });
-                    SortKernelCandidates(&cands);
-                    cand_total += static_cast<int64_t>(cands.size());
-                    for (const auto& [li, rj] : cands) {
-                      const Tuple* l = ls[static_cast<size_t>(li)];
-                      const Tuple* r = rs[static_cast<size_t>(rj)];
-                      if (!join->Verify((*l)[lk], (*r)[rk], plan)) {
-                        continue;
-                      }
-                      if (avoidance &&
-                          !join->Dedup(static_cast<int32_t>(b1), (*l)[lk],
-                                       static_cast<int32_t>(b2), (*r)[rk],
-                                       plan)) {
-                        continue;
-                      }
-                      out->push_back(EmitPair(*l, *r, false, false));
-                    }
-                    continue;
+                  matched.push_back({b1, b2, &ls, &rs});
+                }
+              }
+              const int64_t buckets_run =
+                  static_cast<int64_t>(matched.size());
+              BucketSplitter splitter(options, cluster_, p);
+              if (use_kernel) {
+                std::vector<int64_t> pair_work;
+                pair_work.reserve(matched.size());
+                for (const MatchedPair& m : matched) {
+                  pair_work.push_back(
+                      static_cast<int64_t>(m.ls->size()) *
+                      static_cast<int64_t>(m.rs->size()));
+                }
+                splitter.Plan(pair_work);
+              }
+              // Boxed-key caches: a group joins many Match-ing partner
+              // groups, but its keys are boxed only once.
+              std::unordered_map<int64_t, std::vector<Value>> l_cache;
+              std::unordered_map<int64_t, std::vector<Value>> r_cache;
+              int64_t cand_total = 0;
+              for (const MatchedPair& m : matched) {
+                const std::vector<const Tuple*>& ls = *m.ls;
+                const std::vector<const Tuple*>& rs = *m.rs;
+                const int64_t b1 = m.b1;
+                const int64_t b2 = m.b2;
+                if (use_kernel) {
+                  std::vector<Value>& lkeys = l_cache[b1];
+                  if (lkeys.empty()) {
+                    lkeys.reserve(ls.size());
+                    for (const Tuple* l : ls) lkeys.push_back((*l)[lk]);
                   }
-                  for (const Tuple* l : ls) {
-                    for (const Tuple* r : rs) {
-                      if (!join->Verify((*l)[lk], (*r)[rk], plan)) continue;
-                      if (avoidance &&
-                          !join->Dedup(static_cast<int32_t>(b1), (*l)[lk],
-                                       static_cast<int32_t>(b2), (*r)[rk],
-                                       plan)) {
-                        continue;
-                      }
-                      out->push_back(EmitPair(*l, *r, false, false));
+                  std::vector<Value>& rkeys = r_cache[b2];
+                  if (rkeys.empty()) {
+                    rkeys.reserve(rs.size());
+                    for (const Tuple* r : rs) rkeys.push_back((*r)[rk]);
+                  }
+                  std::vector<std::pair<int64_t, int64_t>> cands;
+                  splitter.RunKernel(
+                      join, lkeys, rkeys, plan,
+                      [&cands](int32_t li, int32_t rj) {
+                        cands.emplace_back(li, rj);
+                      });
+                  SortKernelCandidates(&cands);
+                  cand_total += static_cast<int64_t>(cands.size());
+                  for (const auto& [li, rj] : cands) {
+                    const Tuple* l = ls[static_cast<size_t>(li)];
+                    const Tuple* r = rs[static_cast<size_t>(rj)];
+                    if (!join->Verify((*l)[lk], (*r)[rk], plan)) {
+                      continue;
                     }
+                    if (avoidance &&
+                        !join->Dedup(static_cast<int32_t>(b1), (*l)[lk],
+                                     static_cast<int32_t>(b2), (*r)[rk],
+                                     plan)) {
+                      continue;
+                    }
+                    out->push_back(EmitPair(*l, *r, false, false));
+                  }
+                  continue;
+                }
+                for (const Tuple* l : ls) {
+                  for (const Tuple* r : rs) {
+                    if (!join->Verify((*l)[lk], (*r)[rk], plan)) continue;
+                    if (avoidance &&
+                        !join->Dedup(static_cast<int32_t>(b1), (*l)[lk],
+                                     static_cast<int32_t>(b2), (*r)[rk],
+                                     plan)) {
+                      continue;
+                    }
+                    out->push_back(EmitPair(*l, *r, false, false));
                   }
                 }
               }
               if (use_kernel) {
                 kernel_buckets[p] = buckets_run;
                 kernel_candidates[p] = cand_total;
+                bucket_splits[p] = splitter.splits();
+                split_morsels[p] = splitter.morsels();
+                if (splitter.any_splits()) {
+                  *sim_ms =
+                      splitter.SimOverrideMs(task_sw.ElapsedMillis());
+                }
                 if (tracer != nullptr) {
                   tracer->AddSpan(Tracer::kWallPid, 1 + p,
                                   "COMBINE-kernel", "combine", k_start,
@@ -701,7 +942,8 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
   // The chunked hash path accounts for itself inside
   // CombineHashJoinChunked; there these vectors are all zero.
   RecordCombineCounters(cluster_->metrics(), kernel_buckets,
-                        pairwise_buckets, kernel_candidates);
+                        pairwise_buckets, kernel_candidates,
+                        bucket_splits, split_morsels);
 
   if (options.duplicates == DuplicateHandling::kElimination &&
       join->MultiAssign()) {
@@ -740,8 +982,8 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
 Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
     const PartitionedRelation& l_ex, const PartitionedRelation& r_ex,
     const Schema& out_schema, int lk, int rk, const PPlan& plan,
-    bool avoidance, bool fast_dedup, bool l_carried, bool r_carried,
-    bool use_kernel,
+    const FudjExecOptions& options, bool avoidance, bool fast_dedup,
+    bool l_carried, bool r_carried, bool use_kernel,
     const std::function<int32_t(const std::vector<int32_t>&,
                                 const std::vector<int32_t>&)>&
         smallest_common,
@@ -753,6 +995,8 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
   std::vector<int64_t> kernel_buckets(p_out, 0);
   std::vector<int64_t> pairwise_buckets(p_out, 0);
   std::vector<int64_t> kernel_candidates(p_out, 0);
+  std::vector<int64_t> bucket_splits(p_out, 0);
+  std::vector<int64_t> split_morsels(p_out, 0);
   const int l_fields = l_ex.schema().num_fields();
   const int r_fields = r_ex.schema().num_fields();
   // Output drops the bucket_id (col 0) and any trailing carried
@@ -761,9 +1005,10 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
   const int r_end = r_fields - (r_carried ? 1 : 0);
   const uint64_t out_arity =
       static_cast<uint64_t>((l_end - 1) + (r_end - 1));
-  FUDJ_RETURN_NOT_OK(cluster_->RunStage(
+  FUDJ_RETURN_NOT_OK(cluster_->RunStageTimed(
       "bucket-hashjoin",
-      [&](int p) -> Status {
+      [&](int p, double* sim_ms) -> Status {
+        Stopwatch task_sw;
         writers[p].Clear();
         ChunkWriter* writer = &writers[p];
         // Build side: pin every chunk of this partition; `base[ci]` is
@@ -856,6 +1101,21 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
             probe_groups[probe_chunks[ci].column(0).i64(r)].push_back(
                 static_cast<int64_t>(g));
           }
+          // Plan splitting from the per-bucket |L|x|R| work
+          // distribution before running any kernel.
+          BucketSplitter splitter(options, cluster_, p);
+          {
+            std::vector<int64_t> bucket_work;
+            bucket_work.reserve(probe_groups.size());
+            for (const auto& [b, lidx] : probe_groups) {
+              auto it = build.find(b);
+              if (it == build.end()) continue;
+              bucket_work.push_back(
+                  static_cast<int64_t>(lidx.size()) *
+                  static_cast<int64_t>(it->second.size()));
+            }
+            splitter.Plan(bucket_work);
+          }
           int64_t buckets_run = 0;
           std::vector<std::pair<int64_t, int64_t>> cands;
           for (const auto& [b, lidx] : probe_groups) {
@@ -877,8 +1137,8 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
               ridx.push_back(base[ci] + rr);
             }
             const std::vector<int64_t>& lref = lidx;
-            join->CombineBucket(
-                lkeys, rkeys, plan,
+            splitter.RunKernel(
+                join, lkeys, rkeys, plan,
                 [&cands, &lref, &ridx](int32_t li, int32_t rj) {
                   cands.emplace_back(lref[li], ridx[rj]);
                 });
@@ -887,6 +1147,8 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
           SortKernelCandidates(&cands);
           kernel_buckets[p] = buckets_run;
           kernel_candidates[p] = static_cast<int64_t>(cands.size());
+          bucket_splits[p] = splitter.splits();
+          split_morsels[p] = splitter.morsels();
           if (tracer != nullptr) {
             tracer->AddSpan(
                 Tracer::kWallPid, 1 + p, "COMBINE-kernel", "combine",
@@ -927,6 +1189,9 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
               bc.column(c).SerializeValueAt(brr, arena);
             }
             writer->CommitRow();
+          }
+          if (splitter.any_splits()) {
+            *sim_ms = splitter.SimOverrideMs(task_sw.ElapsedMillis());
           }
           return Status::OK();
         }
@@ -994,7 +1259,8 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
       },
       stats));
   RecordCombineCounters(cluster_->metrics(), kernel_buckets,
-                        pairwise_buckets, kernel_candidates);
+                        pairwise_buckets, kernel_candidates,
+                        bucket_splits, split_morsels);
   int64_t rows_out = 0;
   std::vector<int64_t> rows_per_partition(p_out, 0);
   for (int p = 0; p < p_out; ++p) {

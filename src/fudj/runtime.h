@@ -30,6 +30,22 @@ struct FudjExecOptions {
   /// phase instead of the pairwise loop. Output is byte-identical either
   /// way; disable for A/B runs of kernel vs pairwise (§VII-F).
   bool use_bucket_kernel = true;
+  /// Skew-adaptive COMBINE: when the per-bucket |L|x|R| work distribution
+  /// of a partition is skewed (per ComputeSkew over the bucket work
+  /// estimates), heavy buckets are split into sub-range morsels executed
+  /// through the CombineBucket kernel on the cluster's work-stealing
+  /// pool, and the partition's simulated busy time is charged as the
+  /// balanced max-over-workers schedule of its morsels. Output stays
+  /// byte-identical with splitting on or off (candidate-superset +
+  /// re-sort + Verify/Dedup refinement). Only affects the kernel paths
+  /// (`use_bucket_kernel` and a join advertising `CombineBucket`).
+  bool adaptive_skew = true;
+  /// max/work-median ratio above which a partition's bucket distribution
+  /// counts as skewed; also scales the per-bucket split cutoff.
+  double skew_straggler_threshold = 2.0;
+  /// Floor on the |L|x|R| work of a bucket worth splitting — below it the
+  /// morsel bookkeeping outweighs the imbalance.
+  int64_t skew_min_split_work = 1 << 15;
 };
 
 /// The framework's internal actors (§VI-B): given a user `FlexibleJoin`,
@@ -120,8 +136,8 @@ class FudjRuntime {
   Result<PartitionedRelation> CombineHashJoinChunked(
       const PartitionedRelation& l_ex, const PartitionedRelation& r_ex,
       const Schema& out_schema, int lk, int rk, const PPlan& plan,
-      bool avoidance, bool fast_dedup, bool l_carried, bool r_carried,
-      bool use_kernel,
+      const FudjExecOptions& options, bool avoidance, bool fast_dedup,
+      bool l_carried, bool r_carried, bool use_kernel,
       const std::function<int32_t(const std::vector<int32_t>&,
                                   const std::vector<int32_t>&)>&
           smallest_common,

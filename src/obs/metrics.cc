@@ -121,23 +121,34 @@ SkewReport ComputeSkew(const std::string& stage,
   if (rows_per_partition.empty()) return report;
   std::vector<int64_t> sorted = rows_per_partition;
   std::sort(sorted.begin(), sorted.end());
-  report.median_rows = sorted[sorted.size() / 2];
+  const size_t n = sorted.size();
+  // True median: mean of the two middle elements for even-length
+  // distributions (not the upper one, which overstates the typical
+  // partition whenever the middle pair straddles a gap).
+  const double median =
+      n % 2 == 0
+          ? (static_cast<double>(sorted[n / 2 - 1]) +
+             static_cast<double>(sorted[n / 2])) /
+                2.0
+          : static_cast<double>(sorted[n / 2]);
+  report.median_rows = static_cast<int64_t>(median);
   report.max_rows = sorted.back();
   for (const int64_t r : rows_per_partition) report.total_rows += r;
   if (report.max_rows == 0) {
     report.ratio = 1.0;
     return report;
   }
-  report.ratio = report.median_rows > 0
-                     ? static_cast<double>(report.max_rows) /
-                           static_cast<double>(report.median_rows)
+  report.ratio = median > 0.0
+                     ? static_cast<double>(report.max_rows) / median
                      : static_cast<double>(report.max_rows);
-  const double cutoff =
-      report.median_rows > 0
-          ? straggler_threshold * static_cast<double>(report.median_rows)
-          : 0.0;
+  // Straggler cutoff. A mostly-empty distribution has a zero median; a
+  // zero cutoff would flag every partition holding a single row, so fall
+  // back to the mean (> 0 here because max_rows > 0).
+  const double mean = static_cast<double>(report.total_rows) /
+                      static_cast<double>(report.partitions);
+  report.cutoff = straggler_threshold * (median > 0.0 ? median : mean);
   for (size_t p = 0; p < rows_per_partition.size(); ++p) {
-    if (static_cast<double>(rows_per_partition[p]) > cutoff) {
+    if (static_cast<double>(rows_per_partition[p]) > report.cutoff) {
       report.straggler_partitions.push_back(static_cast<int>(p));
     }
   }
@@ -187,6 +198,14 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   auto& slot = histograms_[key];
   if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
   return slot.get();
+}
+
+int64_t MetricsRegistry::CounterValue(const std::string& name,
+                                      const MetricLabels& labels) const {
+  const std::string key = Key(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(key);
+  return it == counters_.end() ? 0 : it->second->value();
 }
 
 void MetricsRegistry::RecordStagePartitions(

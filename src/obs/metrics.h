@@ -78,11 +78,16 @@ struct SkewReport {
   int partitions = 0;
   int64_t total_rows = 0;
   int64_t max_rows = 0;
+  /// True median (mean of the middle pair for even counts), truncated.
   int64_t median_rows = 0;
   /// max / median (1.0 = perfectly balanced; median 0 with data present
-  /// reports +inf as max_rows).
+  /// reports max_rows).
   double ratio = 1.0;
-  /// Partitions holding more than `straggler_threshold` x median rows.
+  /// Row count above which a partition counts as a straggler:
+  /// `straggler_threshold` x median, falling back to the mean when the
+  /// median is zero (mostly-empty distribution). 0 when no data.
+  double cutoff = 0.0;
+  /// Partitions holding more than `cutoff` rows.
   std::vector<int> straggler_partitions;
   bool skewed = false;
 
@@ -115,6 +120,10 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name,
                           const MetricLabels& labels,
                           const std::vector<double>& bounds);
+
+  /// Current value of a counter; 0 when it was never incremented.
+  int64_t CounterValue(const std::string& name,
+                       const MetricLabels& labels = {}) const;
 
   /// Records the per-partition output rows/bytes of stage `stage` (bytes
   /// may be empty when unknown). Also feeds the labelled histograms

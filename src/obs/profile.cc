@@ -67,6 +67,9 @@ QueryProfile QueryProfile::Build(const ExecStats& stats,
   }
   if (metrics != nullptr) {
     p.skew_reports = metrics->BuildSkewReports();
+    p.bucket_splits = metrics->CounterValue("fudj_bucket_splits_total");
+    p.split_morsels = metrics->CounterValue("fudj_split_morsels_total");
+    p.steals = metrics->CounterValue("threadpool_steals_total");
   }
   return p;
 }
@@ -113,6 +116,13 @@ std::string QueryProfile::ToString() const {
                   "chunks: in=%" PRId64 "  out=%" PRId64
                   "  compacted=%" PRId64 "  rows=%" PRId64 "\n",
                   chunks_in, chunks_out, chunks_compacted, chunk_rows);
+    out += line;
+  }
+  if (bucket_splits > 0 || steals > 0) {
+    std::snprintf(line, sizeof(line),
+                  "adaptive skew: bucket splits=%" PRId64
+                  "  morsels=%" PRId64 "  steals=%" PRId64 "\n",
+                  bucket_splits, split_morsels, steals);
     out += line;
   }
   bool any_skewed = false;

@@ -58,6 +58,13 @@ struct QueryProfile {
   int64_t chunks_out = 0;
   int64_t chunks_compacted = 0;
   int64_t chunk_rows = 0;
+  /// Skew-adaptive COMBINE activity (from the metrics registry): heavy
+  /// buckets split, morsels they fanned out into, and tasks the
+  /// work-stealing pool migrated between workers. All 0 when
+  /// adaptive_skew never fired (or no registry observed the run).
+  int64_t bucket_splits = 0;
+  int64_t split_morsels = 0;
+  int64_t steals = 0;
   std::vector<std::string> warnings;
   std::vector<SkewReport> skew_reports;
 

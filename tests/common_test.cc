@@ -1,5 +1,7 @@
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/hash.h"
@@ -249,6 +251,37 @@ TEST(ThreadPoolTest, SingleThreadFallback) {
 TEST(ThreadPoolTest, ClampsThreadCount) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  // A worker that reaches a nested ParallelFor must help drain its own
+  // batch instead of blocking a pool thread — with only 2 threads and
+  // 4 concurrent outer tasks, a blocking implementation deadlocks.
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.ParallelFor(4, [&pool, &inner](int) {
+    pool.ParallelFor(4, [&inner](int) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 16);
+}
+
+TEST(ThreadPoolTest, IdleWorkersStealImbalancedBatches) {
+  // An external ParallelFor round-robins tasks across the worker deques,
+  // so one worker's share is all sleepers and the other's is all fast
+  // tasks. The fast worker drains its own deque and must then steal the
+  // sleepers still queued on its busy sibling — sleeping yields the CPU,
+  // so this holds even on a single-core box.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.ParallelFor(64, [&ran](int i) {
+    ran.fetch_add(1);
+    if (i % 2 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_GT(pool.steals(), 0)
+      << "an idle worker never lifted work off its loaded sibling";
 }
 
 // ------------------------------------------------------------ Stopwatch

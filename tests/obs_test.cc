@@ -109,6 +109,43 @@ TEST(SkewTest, HotPartitionIsFlaggedAsStraggler) {
   EXPECT_NE(r.ToString().find("hot"), std::string::npos);
 }
 
+TEST(SkewTest, EvenLengthMedianAveragesMiddlePair) {
+  // Sorted: {10, 20, 30, 1000} — the median is (20 + 30) / 2 = 25, not
+  // the upper-middle element 30.
+  const SkewReport r = ComputeSkew("even-median", {10, 1000, 20, 30});
+  EXPECT_EQ(r.median_rows, 25);
+  EXPECT_NEAR(r.ratio, 40.0, 0.01);
+  EXPECT_NEAR(r.cutoff, 50.0, 0.01);
+}
+
+TEST(SkewTest, OddLengthMedianIsMiddleElement) {
+  const SkewReport r = ComputeSkew("odd-median", {10, 1000, 20});
+  EXPECT_EQ(r.median_rows, 20);
+  EXPECT_NEAR(r.ratio, 50.0, 0.01);
+  EXPECT_NEAR(r.cutoff, 40.0, 0.01);
+}
+
+TEST(SkewTest, ZeroMedianFallsBackToMeanCutoff) {
+  // A mostly-empty distribution has median 0. The straggler cutoff must
+  // fall back to the mean (here 2 x 7/6 ≈ 2.33) instead of 2 x 0 = 0,
+  // which used to misreport every non-empty partition as a straggler.
+  const SkewReport r = ComputeSkew("zero-median", {0, 0, 0, 0, 1, 6});
+  EXPECT_TRUE(r.skewed);
+  EXPECT_EQ(r.median_rows, 0);
+  EXPECT_NEAR(r.cutoff, 7.0 / 3.0, 0.01);
+  ASSERT_EQ(r.straggler_partitions.size(), 1u)
+      << "only the true outlier is a straggler, not every non-empty "
+         "partition";
+  EXPECT_EQ(r.straggler_partitions[0], 5);
+}
+
+TEST(SkewTest, AllEmptyDistributionIsNotSkewed) {
+  const SkewReport r = ComputeSkew("empty", {0, 0, 0, 0});
+  EXPECT_FALSE(r.skewed);
+  EXPECT_DOUBLE_EQ(r.cutoff, 0.0);
+  EXPECT_TRUE(r.straggler_partitions.empty());
+}
+
 TEST(MetricsTest, StageDistributionsAndSkewReports) {
   MetricsRegistry registry;
   registry.RecordStagePartitions("exchange", {5, 6, 80}, {50, 60, 800});
