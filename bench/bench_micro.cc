@@ -8,15 +8,19 @@
 //   * the vectorized chunk pipeline (src/vec) vs. the row path on
 //     filter → project → hash join.
 //
-// `bench_micro --smoke` skips google-benchmark and runs three one-shot
+// `bench_micro --smoke` skips google-benchmark and runs four one-shot
 // comparisons: the chunk pipeline (BENCH_vec.json, fails if the two
 // paths diverge or the chunk path is slower than the row path), the
 // COMBINE kernel-vs-pairwise A/B (BENCH_combine.json, fails if outputs
-// differ or the kernel is less than 2x faster), and the skew-adaptive
+// differ or the kernel is less than 2x faster), the skew-adaptive
 // COMBINE A/B on a Zipf(1.1) bucket workload (BENCH_skew.json, fails if
 // outputs differ or adaptive splitting is less than 1.5x faster in
-// simulated time). `--threads=off|<count>` selects sequential partition
-// execution or an explicit pool size.
+// simulated time), and the memory-governed spill A/B on a uniform
+// bucket workload (BENCH_spill.json, fails if a tight budget changes
+// the output bytes, never spills, or costs more than 1.5x simulated
+// time). `--threads=off|<count>` selects sequential partition execution
+// or an explicit pool size; see ParseFaultFlags for the --fault-*= /
+// --memory-budget= / --spill-dir= chaos knobs.
 
 #include <benchmark/benchmark.h>
 
@@ -45,6 +49,21 @@ namespace {
 // Set from --threads= in main (default on); every cluster the bench
 // constructs honors it.
 bench::ThreadsConfig g_threads;
+
+// Set from --fault-*= / --memory-budget= / --spill-dir= in main; the
+// spill smoke honors the budget/dir overrides and enables injection on
+// its clusters when any fault flag was given.
+bench::FaultFlags g_faults;
+
+// Closes a BENCH_*.json stream, reporting (instead of ignoring) flush
+// errors: a truncated artifact must be visible in the smoke log.
+bool CloseBenchJson(FILE* f, const char* path) {
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "warning: failed to flush %s\n", path);
+    return false;
+  }
+  return true;
+}
 
 void BM_SerializeTuple(benchmark::State& state) {
   const auto rows = GenerateReviews(1, 1);
@@ -418,7 +437,7 @@ int RunChunkPipelineSmoke() {
                  static_cast<long long>(chunk_stats.chunks_out()),
                  static_cast<long long>(chunk_stats.chunks_compacted()),
                  static_cast<long long>(chunk_stats.chunk_rows()));
-    std::fclose(f);
+    CloseBenchJson(f, "BENCH_vec.json");
   }
 
   std::printf(
@@ -536,7 +555,7 @@ int RunCombineKernelSmoke() {
         static_cast<long long>(sp.output_rows), tx.pairwise_ms,
         tx.kernel_ms, tx.speedup(), tx.identical ? "true" : "false",
         static_cast<long long>(tx.output_rows));
-    std::fclose(f);
+    CloseBenchJson(f, "BENCH_combine.json");
   }
 
   std::printf(
@@ -738,7 +757,7 @@ int RunSkewAdaptiveSmoke() {
                  static_cast<long long>(outputs[1]->NumRows()),
                  static_cast<long long>(bucket_splits),
                  static_cast<long long>(split_morsels));
-    std::fclose(f);
+    CloseBenchJson(f, "BENCH_skew.json");
   }
 
   std::printf(
@@ -765,25 +784,183 @@ int RunSkewAdaptiveSmoke() {
   return 0;
 }
 
+// ---- --smoke: memory-governed spill A/B, emits BENCH_spill.json ----
+
+// Uniform bucket column (no skew): every bucket side has the same
+// footprint, so a budget below one bucket's working set forces every
+// COMBINE bucket through the out-of-core path while the adaptive-skew
+// machinery stays quiet — the A/B isolates the spill overhead.
+PartitionedRelation MakeUniformSide(int64_t n, int64_t num_buckets,
+                                    int workers, uint64_t seed) {
+  Schema schema;
+  schema.AddField("k", ValueType::kInt64);
+  Rng rng(seed);
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t bucket =
+        static_cast<int64_t>(rng.Next() % static_cast<uint64_t>(num_buckets));
+    rows.push_back({Value::Int64((bucket << 32) | i)});
+  }
+  return PartitionedRelation::FromTuples(std::move(schema), rows, workers);
+}
+
+int RunSpillSmoke() {
+  const int workers = 4;
+  const int reps = 3;
+  const double max_overhead = 1.5;
+  const int64_t rows = 24000;
+  const int64_t num_buckets = 16;
+  // Well below one bucket side's ~13 KB key-vector footprint, so the
+  // strict reservation fails for every bucket and both sides of the A/B
+  // exercise a stable, rep-independent spill schedule.
+  const int64_t tight_budget = g_faults.memory_budget_bytes > 0
+                                   ? g_faults.memory_budget_bytes
+                                   : 8 * 1024;
+
+  const auto left = MakeUniformSide(rows, num_buckets, workers, 906);
+  const auto right = MakeUniformSide(rows, num_buckets, workers, 907);
+  const ZipfPairFudj join;
+
+  Result<PartitionedRelation> outputs[2] = {
+      Status::Internal("no reps ran"), Status::Internal("no reps ran")};
+  double ms[2] = {0.0, 0.0};
+  int64_t spilled_buckets = 0;
+  int64_t spill_bytes = 0;
+  int64_t reserve_failures = 0;
+  for (const bool budgeted : {false, true}) {
+    double best_ms = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      Cluster cluster(workers, g_threads.use_threads,
+                      g_threads.pool_threads);
+      if (g_faults.any_faults) {
+        cluster.EnableFaultInjection(g_faults.config);
+      }
+      MetricsRegistry metrics;
+      cluster.set_metrics(&metrics);
+      FudjRuntime runtime(&cluster, &join);
+      ExecStats stats;
+      FudjExecOptions options;
+      options.duplicates = DuplicateHandling::kNone;
+      options.memory_budget_bytes = budgeted ? tight_budget : 0;
+      options.spill_dir = g_faults.spill_dir;
+      auto out = runtime.Execute(left, 0, right, 0, options, &stats);
+      if (!out.ok()) {
+        std::fprintf(stderr, "spill smoke (budgeted=%d) failed: %s\n",
+                     budgeted ? 1 : 0, out.status().ToString().c_str());
+        return 1;
+      }
+      best_ms = std::min(best_ms, stats.simulated_ms());
+      if (budgeted) {
+        spilled_buckets = std::max(
+            spilled_buckets,
+            metrics.CounterValue("fudj_spilled_buckets_total"));
+        spill_bytes = std::max(
+            spill_bytes, metrics.CounterValue("fudj_spill_bytes_total"));
+        reserve_failures = std::max(
+            reserve_failures,
+            metrics.CounterValue("mem_reservation_failures_total"));
+      }
+      outputs[budgeted ? 1 : 0] = std::move(out);
+    }
+    ms[budgeted ? 1 : 0] = best_ms;
+  }
+
+  bool identical =
+      outputs[0]->num_partitions() == outputs[1]->num_partitions();
+  for (int p = 0; identical && p < outputs[0]->num_partitions(); ++p) {
+    identical =
+        outputs[0]->raw_partition(p) == outputs[1]->raw_partition(p);
+  }
+  const double overhead = ms[0] > 0.0 ? ms[1] / ms[0] : 0.0;
+
+  FILE* f = std::fopen("BENCH_spill.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"memory_governed_spill\",\n"
+                 "  \"workers\": %d,\n"
+                 "  \"reps\": %d,\n"
+                 "  \"rows_per_side\": %lld,\n"
+                 "  \"buckets\": %lld,\n"
+                 "  \"budget_bytes\": %lld,\n"
+                 "  \"max_overhead\": %.1f,\n"
+                 "  \"unlimited_ms\": %.3f,\n"
+                 "  \"budgeted_ms\": %.3f,\n"
+                 "  \"overhead\": %.3f,\n"
+                 "  \"identical\": %s,\n"
+                 "  \"output_rows\": %lld,\n"
+                 "  \"spilled_buckets\": %lld,\n"
+                 "  \"spill_bytes\": %lld,\n"
+                 "  \"reservation_failures\": %lld\n"
+                 "}\n",
+                 workers, reps, static_cast<long long>(rows),
+                 static_cast<long long>(num_buckets),
+                 static_cast<long long>(tight_budget), max_overhead, ms[0],
+                 ms[1], overhead, identical ? "true" : "false",
+                 static_cast<long long>(outputs[1]->NumRows()),
+                 static_cast<long long>(spilled_buckets),
+                 static_cast<long long>(spill_bytes),
+                 static_cast<long long>(reserve_failures));
+    CloseBenchJson(f, "BENCH_spill.json");
+  }
+
+  std::printf(
+      "spill smoke: rows=%lld buckets=%lld budget=%lldB workers=%d "
+      "unlimited=%.3fms budgeted=%.3fms overhead=%.2fx spilled=%lld "
+      "bytes=%lld identical=%s\n",
+      static_cast<long long>(rows), static_cast<long long>(num_buckets),
+      static_cast<long long>(tight_budget), workers, ms[0], ms[1], overhead,
+      static_cast<long long>(spilled_buckets),
+      static_cast<long long>(spill_bytes), identical ? "yes" : "NO");
+  if (!identical) {
+    std::fprintf(stderr,
+                 "smoke FAILED: budgeted and unlimited outputs diverge\n");
+    return 1;
+  }
+  if (spilled_buckets <= 0) {
+    std::fprintf(stderr,
+                 "smoke FAILED: tight budget never spilled a bucket\n");
+    return 1;
+  }
+  if (overhead > max_overhead) {
+    std::fprintf(stderr,
+                 "smoke FAILED: out-of-core COMBINE above %.1fx simulated "
+                 "overhead\n",
+                 max_overhead);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace fudj
 
 int main(int argc, char** argv) {
   fudj::g_threads = fudj::bench::ParseThreadsFlag(argc, argv);
+  fudj::g_faults = fudj::bench::ParseFaultFlags(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke") {
       const int vec = fudj::RunChunkPipelineSmoke();
       const int combine = fudj::RunCombineKernelSmoke();
       const int skew = fudj::RunSkewAdaptiveSmoke();
+      const int spill = fudj::RunSpillSmoke();
       if (vec != 0) return vec;
-      return combine != 0 ? combine : skew;
+      if (combine != 0) return combine;
+      return skew != 0 ? skew : spill;
     }
   }
-  // Strip --threads= (already consumed) so google-benchmark does not
-  // reject it as unrecognized.
+  // Strip the flags already consumed above so google-benchmark does not
+  // reject them as unrecognized.
   int argc_kept = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--threads=", 0) == 0) continue;
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0 ||
+        arg.rfind("--fault-", 0) == 0 ||
+        arg.rfind("--memory-budget=", 0) == 0 ||
+        arg.rfind("--spill-dir=", 0) == 0) {
+      continue;
+    }
     argv[argc_kept++] = argv[i];
   }
   argc = argc_kept;

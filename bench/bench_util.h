@@ -18,6 +18,7 @@
 #include <string>
 
 #include "builtin/builtin_interval.h"
+#include "engine/fault_injector.h"
 #include "builtin/builtin_spatial.h"
 #include "builtin/builtin_textsim.h"
 #include "builtin/ontop_nlj.h"
@@ -126,6 +127,118 @@ inline ThreadsConfig ParseThreadsFlag(int argc, char** argv) {
     }
   }
   return config;
+}
+
+/// Parsed fault-injection and memory-governance flags (see
+/// ParseFaultFlags).
+struct FaultFlags {
+  /// At least one --fault-*= flag was given; the bench should call
+  /// Cluster::EnableFaultInjection(config) on its clusters.
+  bool any_faults = false;
+  FaultConfig config;
+  /// `--memory-budget=<bytes>` for FudjExecOptions::memory_budget_bytes
+  /// (0 = unlimited).
+  int64_t memory_budget_bytes = 0;
+  /// `--spill-dir=<path>` for FudjExecOptions::spill_dir ("" = system
+  /// temp directory).
+  std::string spill_dir;
+};
+
+/// Fault-injection / memory-budget CLI flags shared by the bench mains:
+///
+///   --fault-seed=<n>         decision seed (default 0)
+///   --fault-crash=<p>        partition crash probability
+///   --fault-straggler=<p>    straggler probability
+///   --fault-straggler-ms=<ms> straggler slowdown (default 25)
+///   --fault-drop=<p>         network message drop probability
+///   --fault-udj-throw=<p>    UDJ callback throw probability
+///   --fault-alloc=<p>        memory reservation failure probability
+///   --fault-spill-io=<p>     spill read/write failure probability
+///   --memory-budget=<bytes>  COMBINE working-memory budget (0 = off)
+///   --spill-dir=<path>       spill run directory
+///
+/// Invalid values — probabilities outside [0, 1], junk numbers, negative
+/// budgets — are fatal CLI errors (exit 2, like ParseThreadsFlag), not
+/// silent fallbacks: a chaos bench run with a mistyped probability must
+/// not masquerade as a clean baseline.
+inline FaultFlags ParseFaultFlags(int argc, char** argv) {
+  FaultFlags flags;
+  auto die = [](const char* flag, const std::string& v,
+                const char* expected) {
+    std::fprintf(stderr, "error: invalid %s value '%s' (expected %s)\n",
+                 flag, v.c_str(), expected);
+    std::exit(2);
+  };
+  auto parse_double = [&die](const char* flag,
+                             const std::string& v) -> double {
+    char* end = nullptr;
+    const double d = std::strtod(v.c_str(), &end);
+    if (v.empty() || end == nullptr || *end != '\0') {
+      die(flag, v, "a number");
+    }
+    return d;
+  };
+  auto parse_i64 = [&die](const char* flag,
+                          const std::string& v) -> int64_t {
+    char* end = nullptr;
+    const long long n = std::strtoll(v.c_str(), &end, 10);
+    if (v.empty() || end == nullptr || *end != '\0') {
+      die(flag, v, "an integer");
+    }
+    return static_cast<int64_t>(n);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&arg](const char* prefix,
+                                 std::string* out) -> bool {
+      const size_t len = std::char_traits<char>::length(prefix);
+      if (arg.compare(0, len, prefix) != 0) return false;
+      *out = arg.substr(len);
+      return true;
+    };
+    std::string v;
+    if (value_of("--fault-seed=", &v)) {
+      flags.config.seed = static_cast<uint64_t>(
+          parse_i64("--fault-seed=", v));
+      flags.any_faults = true;
+    } else if (value_of("--fault-crash=", &v)) {
+      flags.config.crash_partition_prob = parse_double("--fault-crash=", v);
+      flags.any_faults = true;
+    } else if (value_of("--fault-straggler=", &v)) {
+      flags.config.straggler_prob = parse_double("--fault-straggler=", v);
+      flags.any_faults = true;
+    } else if (value_of("--fault-straggler-ms=", &v)) {
+      flags.config.straggler_ms =
+          parse_double("--fault-straggler-ms=", v);
+      flags.any_faults = true;
+    } else if (value_of("--fault-drop=", &v)) {
+      flags.config.drop_message_prob = parse_double("--fault-drop=", v);
+      flags.any_faults = true;
+    } else if (value_of("--fault-udj-throw=", &v)) {
+      flags.config.udj_throw_prob = parse_double("--fault-udj-throw=", v);
+      flags.any_faults = true;
+    } else if (value_of("--fault-alloc=", &v)) {
+      flags.config.alloc_fail_prob = parse_double("--fault-alloc=", v);
+      flags.any_faults = true;
+    } else if (value_of("--fault-spill-io=", &v)) {
+      flags.config.spill_io_fault_prob =
+          parse_double("--fault-spill-io=", v);
+      flags.any_faults = true;
+    } else if (value_of("--memory-budget=", &v)) {
+      const int64_t b = parse_i64("--memory-budget=", v);
+      if (b < 0) die("--memory-budget=", v, "a byte count >= 0");
+      flags.memory_budget_bytes = b;
+    } else if (value_of("--spill-dir=", &v)) {
+      flags.spill_dir = v;
+    }
+  }
+  const Status st = flags.config.Validate();
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: invalid fault flags: %s\n",
+                 st.ToString().c_str());
+    std::exit(2);
+  }
+  return flags;
 }
 
 /// One measured run.

@@ -25,6 +25,10 @@ enum class StatusCode {
   /// The operation was abandoned before completion (e.g. remaining
   /// retry attempts after a stage permanently failed).
   kCancelled,
+  /// A memory (or other resource) budget could not admit the
+  /// operation; the caller should spill, retry, or degrade rather
+  /// than abort the process.
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -74,6 +78,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

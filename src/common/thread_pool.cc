@@ -31,6 +31,10 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::InWorker() const { return tls_pool == this; }
 
+int ThreadPool::CurrentWorkerId() const {
+  return tls_pool == this ? tls_worker : -1;
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -58,6 +58,14 @@ class ThreadPool {
   /// True when the calling thread is one of this pool's workers.
   bool InWorker() const;
 
+  /// Worker index of the calling thread, or -1 when it is not one of
+  /// this pool's workers (e.g. the external caller of a ParallelFor
+  /// helping drain its batch). Lets fork-join callers attribute each
+  /// morsel to the worker that actually executed it — the basis of the
+  /// actual-schedule makespan charge and of steal attribution in the
+  /// tracer.
+  int CurrentWorkerId() const;
+
   /// Tasks taken from another worker's deque since construction.
   int64_t steals() const { return steals_.load(std::memory_order_relaxed); }
 

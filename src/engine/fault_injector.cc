@@ -24,9 +24,33 @@ enum FaultKind : uint64_t {
   kKindStraggler = 0x736c6f77u,  // "slow"
   kKindUdjThrow = 0x75646a74u,   // "udjt"
   kKindDrop = 0x64726f70u,       // "drop"
+  kKindAllocFail = 0x6d616c6cu,  // "mall"
+  kKindSpillIo = 0x7370696fu,    // "spio"
 };
 
+Status ValidateProb(const char* name, double p) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument(std::string(name) + " must be in [0, 1], got " +
+                                   std::to_string(p));
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+Status FaultConfig::Validate() const {
+  FUDJ_RETURN_NOT_OK(ValidateProb("crash_partition_prob", crash_partition_prob));
+  FUDJ_RETURN_NOT_OK(ValidateProb("straggler_prob", straggler_prob));
+  FUDJ_RETURN_NOT_OK(ValidateProb("drop_message_prob", drop_message_prob));
+  FUDJ_RETURN_NOT_OK(ValidateProb("udj_throw_prob", udj_throw_prob));
+  FUDJ_RETURN_NOT_OK(ValidateProb("alloc_fail_prob", alloc_fail_prob));
+  FUDJ_RETURN_NOT_OK(ValidateProb("spill_io_fault_prob", spill_io_fault_prob));
+  if (straggler_ms < 0.0) {
+    return Status::InvalidArgument("straggler_ms must be >= 0, got " +
+                                   std::to_string(straggler_ms));
+  }
+  return Status::OK();
+}
 
 FaultInjector::TaskScope::TaskScope(const FaultInjector* injector,
                                     const std::string& stage, int partition,
@@ -91,6 +115,40 @@ void FaultInjector::MaybeThrowInCallback(const char* site) const {
     throw StatusError(Status::Unavailable(
         std::string("injected exception in UDJ callback '") + site + "'"));
   }
+}
+
+bool FaultInjector::ShouldFailAlloc(const char* site) const {
+  if (config_.alloc_fail_prob <= 0.0 || t_ctx.injector != this) return false;
+  const uint64_t stream = HashCombine(t_ctx.stage_hash, HashString(site));
+  if (Draw(kKindAllocFail, stream, t_ctx.partition, t_ctx.attempt) <
+      config_.alloc_fail_prob) {
+    alloc_fails_.fetch_add(1, std::memory_order_relaxed);
+    Tracer::CurrentTaskEvent("alloc-fail",
+                             {Tracer::StringArg("site", site)});
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::ShouldFailSpillIo(const char* site,
+                                      int64_t op_index) const {
+  if (config_.spill_io_fault_prob <= 0.0 || t_ctx.injector != this) {
+    return false;
+  }
+  // Fold the op index into the stream so every frame write/read of a
+  // spill run draws independently, like per-message drops.
+  const uint64_t stream =
+      HashCombine(HashCombine(t_ctx.stage_hash, HashString(site)),
+                  Mix64(static_cast<uint64_t>(op_index + 1)));
+  if (Draw(kKindSpillIo, stream, t_ctx.partition, t_ctx.attempt) <
+      config_.spill_io_fault_prob) {
+    spill_io_faults_.fetch_add(1, std::memory_order_relaxed);
+    Tracer::CurrentTaskEvent("spill-io-fault",
+                             {Tracer::StringArg("site", site),
+                              Tracer::IntArg("op", op_index)});
+    return true;
+  }
+  return false;
 }
 
 bool FaultInjector::ShouldDropMessage(const std::string& stage,

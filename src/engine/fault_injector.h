@@ -32,6 +32,18 @@ struct FaultConfig {
   /// A user-defined join callback throws (exercises the
   /// SandboxedFlexibleJoin error path); surfaces as kUnavailable.
   double udj_throw_prob = 0.0;
+  /// A memory reservation is refused even though the budget would admit
+  /// it (simulated allocation failure); surfaces as kResourceExhausted
+  /// and exercises the spill/retry/degrade ladder. Drawn per
+  /// (site, partition, attempt) like udj_throw_prob.
+  double alloc_fail_prob = 0.0;
+  /// A spill read or write fails (simulated disk fault); surfaces as
+  /// kUnavailable and is retried. Drawn per (site, spill op, partition,
+  /// attempt).
+  double spill_io_fault_prob = 0.0;
+
+  /// Rejects probabilities outside [0, 1] and negative straggler_ms.
+  Status Validate() const;
 };
 
 /// Deterministic, seedable fault source for the simulated cluster.
@@ -84,6 +96,15 @@ class FaultInjector {
   bool ShouldDropMessage(const std::string& stage,
                          int64_t message_index) const;
 
+  /// Whether the memory reservation at `site` (one draw per site and
+  /// task attempt, like MaybeThrowInCallback) fails despite available
+  /// budget. The caller surfaces it as kResourceExhausted.
+  bool ShouldFailAlloc(const char* site) const;
+
+  /// Whether spill I/O operation `op_index` at `site` fails for the
+  /// current task scope. The caller surfaces it as kUnavailable.
+  bool ShouldFailSpillIo(const char* site, int64_t op_index) const;
+
   const FaultConfig& config() const { return config_; }
 
   /// Fired-fault counters (for tests and reporting).
@@ -91,6 +112,8 @@ class FaultInjector {
   int64_t injected_stragglers() const { return stragglers_.load(); }
   int64_t injected_udj_throws() const { return udj_throws_.load(); }
   int64_t dropped_messages() const { return dropped_.load(); }
+  int64_t injected_alloc_failures() const { return alloc_fails_.load(); }
+  int64_t injected_spill_io_faults() const { return spill_io_faults_.load(); }
 
  private:
   /// Uniform [0, 1) draw, pure in its arguments.
@@ -102,6 +125,8 @@ class FaultInjector {
   mutable std::atomic<int64_t> stragglers_{0};
   mutable std::atomic<int64_t> udj_throws_{0};
   mutable std::atomic<int64_t> dropped_{0};
+  mutable std::atomic<int64_t> alloc_fails_{0};
+  mutable std::atomic<int64_t> spill_io_faults_{0};
 };
 
 }  // namespace fudj

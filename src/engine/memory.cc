@@ -1,0 +1,89 @@
+#include "engine/memory.h"
+
+#include <algorithm>
+
+namespace fudj {
+
+MemoryGovernor::MemoryGovernor(int64_t budget_bytes, int num_partitions)
+    : budget_bytes_(budget_bytes),
+      per_partition_(static_cast<size_t>(std::max(num_partitions, 1)), 0) {}
+
+bool MemoryGovernor::TryReserve(int partition, int64_t bytes) {
+  if (bytes < 0) bytes = 0;
+  if (unlimited()) {
+    ReserveEssential(partition, bytes);
+    return true;
+  }
+  int64_t cur = reserved_.load(std::memory_order_relaxed);
+  while (true) {
+    if (cur + bytes > budget_bytes_) {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (reserved_.compare_exchange_weak(cur, cur + bytes,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  int64_t now = reserved_.load(std::memory_order_relaxed);
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (partition >= 0 &&
+        partition < static_cast<int>(per_partition_.size())) {
+      per_partition_[static_cast<size_t>(partition)] += bytes;
+    }
+  }
+  return true;
+}
+
+void MemoryGovernor::ReserveEssential(int partition, int64_t bytes) {
+  if (bytes < 0) bytes = 0;
+  const int64_t now =
+      reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  if (!unlimited() && now > budget_bytes_) {
+    const int64_t over = now - budget_bytes_;
+    int64_t worst = overcommit_.load(std::memory_order_relaxed);
+    while (over > worst && !overcommit_.compare_exchange_weak(
+                               worst, over, std::memory_order_relaxed)) {
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (partition >= 0 && partition < static_cast<int>(per_partition_.size())) {
+    per_partition_[static_cast<size_t>(partition)] += bytes;
+  }
+}
+
+void MemoryGovernor::Release(int partition, int64_t bytes) {
+  if (bytes <= 0) return;
+  reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (partition >= 0 && partition < static_cast<int>(per_partition_.size())) {
+    per_partition_[static_cast<size_t>(partition)] -= bytes;
+  }
+}
+
+int64_t MemoryGovernor::partition_reserved_bytes(int partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (partition < 0 || partition >= static_cast<int>(per_partition_.size())) {
+    return 0;
+  }
+  return per_partition_[static_cast<size_t>(partition)];
+}
+
+void MemoryReservation::Reset() {
+  if (governor_ != nullptr && bytes_ > 0) {
+    governor_->Release(partition_, bytes_);
+  }
+  governor_ = nullptr;
+  bytes_ = 0;
+}
+
+}  // namespace fudj

@@ -1,0 +1,117 @@
+#ifndef FUDJ_ENGINE_MEMORY_H_
+#define FUDJ_ENGINE_MEMORY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fudj {
+
+/// Per-query memory budget with per-partition reservations.
+///
+/// COMBINE tasks reserve the estimated footprint of a bucket's key
+/// vectors before materializing them. `TryReserve` is strict: it fails
+/// (without side effects) when the grant would exceed the budget, and
+/// the caller reacts by spilling the larger side and retrying with the
+/// smaller essential footprint. `ReserveEssential` is the spill path's
+/// minimum working-memory grant: it always succeeds — a spilling
+/// operator that cannot obtain its morsel buffer could only deadlock —
+/// but any overshoot past the budget is tracked as overcommit so tests
+/// and EXPLAIN ANALYZE can see it.
+///
+/// A budget of <= 0 means unlimited; every reservation succeeds and
+/// nothing is tracked beyond peak usage.
+///
+/// Thread safety: all methods are safe to call concurrently from stage
+/// tasks. Per-partition accounting assumes the engine's invariant that
+/// one partition runs on at most one thread at a time.
+class MemoryGovernor {
+ public:
+  /// `budget_bytes` <= 0 disables enforcement (unlimited budget).
+  explicit MemoryGovernor(int64_t budget_bytes, int num_partitions);
+
+  /// Strict reservation for `partition`: fails with no side effects if
+  /// `bytes` would push total reserved past the budget.
+  /// Returns true on success.
+  bool TryReserve(int partition, int64_t bytes);
+
+  /// Minimum working-memory grant for the spill path: always succeeds,
+  /// tracking any overshoot past the budget as overcommit.
+  void ReserveEssential(int partition, int64_t bytes);
+
+  /// Returns `bytes` of `partition`'s reservation to the budget.
+  void Release(int partition, int64_t bytes);
+
+  int64_t budget_bytes() const { return budget_bytes_; }
+  bool unlimited() const { return budget_bytes_ <= 0; }
+  int64_t reserved_bytes() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_reserved_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  /// Bytes granted by ReserveEssential beyond the budget (high-water).
+  int64_t overcommitted_bytes() const {
+    return overcommit_.load(std::memory_order_relaxed);
+  }
+  /// Number of failed TryReserve calls.
+  int64_t reservation_failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+  /// Current reservation held by `partition`.
+  int64_t partition_reserved_bytes(int partition) const;
+
+ private:
+  const int64_t budget_bytes_;
+  std::atomic<int64_t> reserved_{0};
+  std::atomic<int64_t> peak_{0};
+  std::atomic<int64_t> overcommit_{0};
+  std::atomic<int64_t> failures_{0};
+  mutable std::mutex mu_;
+  std::vector<int64_t> per_partition_;
+};
+
+/// Move-only RAII handle for a MemoryGovernor reservation; releases on
+/// destruction. Obtained through the governor-aware COMBINE runner, so
+/// a task that unwinds on a fault never leaks budget into its retry.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  MemoryReservation(MemoryGovernor* governor, int partition, int64_t bytes)
+      : governor_(governor), partition_(partition), bytes_(bytes) {}
+  MemoryReservation(MemoryReservation&& other) noexcept { Swap(other); }
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      Swap(other);
+    }
+    return *this;
+  }
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+  ~MemoryReservation() { Reset(); }
+
+  int64_t bytes() const { return bytes_; }
+  bool held() const { return governor_ != nullptr && bytes_ > 0; }
+
+  /// Releases the reservation early.
+  void Reset();
+
+ private:
+  void Swap(MemoryReservation& other) {
+    std::swap(governor_, other.governor_);
+    std::swap(partition_, other.partition_);
+    std::swap(bytes_, other.bytes_);
+  }
+
+  MemoryGovernor* governor_ = nullptr;
+  int partition_ = 0;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_ENGINE_MEMORY_H_

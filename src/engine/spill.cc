@@ -1,0 +1,244 @@
+#include "engine/spill.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "serde/serde.h"
+
+namespace fudj {
+
+namespace fs = std::filesystem;
+
+SpillRun::~SpillRun() { Discard(); }
+
+SpillRun::SpillRun(SpillRun&& other) noexcept { *this = std::move(other); }
+
+SpillRun& SpillRun::operator=(SpillRun&& other) noexcept {
+  if (this != &other) {
+    Discard();
+    manager_ = std::exchange(other.manager_, nullptr);
+    injector_ = std::exchange(other.injector_, nullptr);
+    path_ = std::move(other.path_);
+    other.path_.clear();
+    read_file_ = std::exchange(other.read_file_, nullptr);
+    bytes_ = other.bytes_;
+    frames_ = other.frames_;
+    rows_ = other.rows_;
+    frames_read_ = other.frames_read_;
+    io_wall_ms_ = other.io_wall_ms_;
+  }
+  return *this;
+}
+
+void SpillRun::Discard() {
+  if (read_file_ != nullptr) {
+    std::fclose(read_file_);
+    read_file_ = nullptr;
+  }
+  if (manager_ != nullptr && !path_.empty()) {
+    std::error_code ec;
+    fs::remove(path_, ec);
+    manager_->Unregister(path_);
+  }
+  manager_ = nullptr;
+  path_.clear();
+}
+
+Result<bool> SpillRun::ReadNextFrame(std::vector<Value>* frame) {
+  if (manager_ == nullptr) {
+    return Status::Internal("ReadNextFrame on a discarded spill run");
+  }
+  if (frames_read_ >= frames_) return false;
+  if (read_file_ == nullptr) {
+    read_file_ = std::fopen(path_.c_str(), "rb");
+    if (read_file_ == nullptr) {
+      return Status::Unavailable("cannot reopen spill run '" + path_ + "'");
+    }
+  }
+  if (injector_ != nullptr &&
+      injector_->ShouldFailSpillIo("spill-read", frames_read_)) {
+    return Status::Unavailable("injected spill read fault (frame " +
+                               std::to_string(frames_read_) + " of '" +
+                               path_ + "')");
+  }
+  Stopwatch io_sw;
+  uint32_t header[2];
+  if (std::fread(header, sizeof(uint32_t), 2, read_file_) != 2) {
+    return Status::Unavailable("short read of spill frame header in '" +
+                               path_ + "'");
+  }
+  const uint32_t payload_len = header[0];
+  const uint32_t row_count = header[1];
+  std::vector<uint8_t> payload(payload_len);
+  if (payload_len > 0 &&
+      std::fread(payload.data(), 1, payload_len, read_file_) !=
+          payload_len) {
+    return Status::Unavailable("short read of spill frame payload in '" +
+                               path_ + "'");
+  }
+  io_wall_ms_ += io_sw.ElapsedMillis();
+  frame->clear();
+  frame->reserve(row_count);
+  ByteReader reader(payload.data(), payload.size());
+  for (uint32_t i = 0; i < row_count; ++i) {
+    auto value = DeserializeValue(&reader);
+    if (!value.ok()) return value.status();
+    frame->push_back(std::move(value).value());
+  }
+  if (!reader.AtEnd()) {
+    return Status::Internal("trailing bytes in spill frame of '" + path_ +
+                            "'");
+  }
+  ++frames_read_;
+  return true;
+}
+
+SpillManager::SpillManager(std::string spill_dir,
+                           const FaultInjector* injector)
+    : base_dir_(std::move(spill_dir)), injector_(injector) {}
+
+SpillManager::~SpillManager() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  for (const std::string& path : live_files_) {
+    fs::remove(path, ec);
+  }
+  if (!dir_.empty()) {
+    fs::remove(dir_, ec);  // fails harmlessly if a caller dropped files in
+  }
+}
+
+std::string SpillManager::directory() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dir_;
+}
+
+int64_t SpillManager::runs_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_written_;
+}
+
+int64_t SpillManager::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+Status SpillManager::EnsureDir() {
+  // Callers hold mu_.
+  if (!dir_.empty()) return Status::OK();
+  std::error_code ec;
+  fs::path base = base_dir_.empty() ? fs::temp_directory_path(ec)
+                                    : fs::path(base_dir_);
+  if (ec) {
+    return Status::Unavailable("cannot resolve temp directory: " +
+                               ec.message());
+  }
+  static std::atomic<int64_t> query_counter{0};
+  const fs::path dir =
+      base / ("fudj-spill-" + std::to_string(::getpid()) + "-" +
+              std::to_string(query_counter.fetch_add(1)));
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Unavailable("cannot create spill directory '" +
+                               dir.string() + "': " + ec.message());
+  }
+  dir_ = dir.string();
+  return Status::OK();
+}
+
+void SpillManager::Unregister(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_files_.erase(path);
+}
+
+Result<SpillRun> SpillManager::WriteRun(int partition,
+                                        const std::vector<Value>& keys,
+                                        int64_t chunk_rows) {
+  if (chunk_rows < 1) chunk_rows = 1;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FUDJ_RETURN_NOT_OK(EnsureDir());
+    path = (fs::path(dir_) /
+            ("run-p" + std::to_string(partition) + "-" +
+             std::to_string(next_run_id_++) + ".spill"))
+               .string();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot create spill run '" + path + "'");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_files_.insert(path);
+  }
+  SpillRun run;
+  run.manager_ = this;
+  run.injector_ = injector_;
+  run.path_ = path;
+  // On any failure below, `run` (already owning the path) deletes the
+  // partial file when it goes out of scope.
+  ByteWriter frame;
+  int64_t frame_rows = 0;
+  double io_wall_ms = 0.0;
+  auto flush_frame = [&]() -> Status {
+    if (frame_rows == 0) return Status::OK();
+    if (injector_ != nullptr &&
+        injector_->ShouldFailSpillIo("spill-write", run.frames_)) {
+      return Status::Unavailable("injected spill write fault (frame " +
+                                 std::to_string(run.frames_) + " of '" +
+                                 path + "')");
+    }
+    const uint32_t header[2] = {static_cast<uint32_t>(frame.size()),
+                                static_cast<uint32_t>(frame_rows)};
+    Stopwatch io_sw;
+    if (std::fwrite(header, sizeof(uint32_t), 2, f) != 2 ||
+        (frame.size() > 0 &&
+         std::fwrite(frame.data(), 1, frame.size(), f) != frame.size())) {
+      return Status::Unavailable("short write to spill run '" + path + "'");
+    }
+    io_wall_ms += io_sw.ElapsedMillis();
+    run.bytes_ += static_cast<int64_t>(sizeof(header)) +
+                  static_cast<int64_t>(frame.size());
+    run.rows_ += frame_rows;
+    ++run.frames_;
+    frame.Clear();
+    frame_rows = 0;
+    return Status::OK();
+  };
+  Status st;
+  for (const Value& v : keys) {
+    SerializeValue(v, &frame);
+    if (++frame_rows >= chunk_rows) {
+      st = flush_frame();
+      if (!st.ok()) break;
+    }
+  }
+  if (st.ok()) st = flush_frame();
+  if (st.ok()) {
+    Stopwatch io_sw;
+    if (std::fflush(f) != 0) {
+      st = Status::Unavailable("cannot flush spill run '" + path + "'");
+    }
+    io_wall_ms += io_sw.ElapsedMillis();
+  }
+  if (std::fclose(f) != 0 && st.ok()) {
+    st = Status::Unavailable("cannot close spill run '" + path + "'");
+  }
+  if (!st.ok()) return st;
+  run.io_wall_ms_ = io_wall_ms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++runs_written_;
+    bytes_written_ += run.bytes_;
+  }
+  return run;
+}
+
+}  // namespace fudj

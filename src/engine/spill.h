@@ -1,0 +1,121 @@
+#ifndef FUDJ_ENGINE_SPILL_H_
+#define FUDJ_ENGINE_SPILL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/fault_injector.h"
+#include "types/value.h"
+
+namespace fudj {
+
+class SpillManager;
+
+/// One spilled bucket side on disk: a sequence of frames, each
+/// `[u32 payload_len][u32 row_count][row_count x SerializeValue]`, cut
+/// at `spill_chunk_rows` rows so reading back is bounded-memory. The
+/// payload reuses the engine's byte-stable Value codec, which is what
+/// makes spilled and in-memory executions byte-identical.
+///
+/// Move-only; the backing file is deleted when the run is destroyed (or
+/// Discard()ed), so a task that unwinds on a fault leaves no temp file
+/// behind for its retry to trip over.
+class SpillRun {
+ public:
+  SpillRun() = default;
+  ~SpillRun();
+  SpillRun(SpillRun&& other) noexcept;
+  SpillRun& operator=(SpillRun&& other) noexcept;
+  SpillRun(const SpillRun&) = delete;
+  SpillRun& operator=(const SpillRun&) = delete;
+
+  bool valid() const { return manager_ != nullptr; }
+  int64_t bytes() const { return bytes_; }
+  int64_t frames() const { return frames_; }
+  int64_t rows() const { return rows_; }
+  /// Wall milliseconds spent inside fwrite/fread/fflush so far (write
+  /// time plus read time). The COMBINE runner subtracts this from its
+  /// measured busy time and charges the cost model's disk time instead.
+  double io_wall_ms() const { return io_wall_ms_; }
+
+  /// Reads the next frame into `*frame` (replacing its contents).
+  /// Returns false at end of run, true when a frame was produced.
+  /// Consults the injector's spill-I/O fault site "spill-read" once per
+  /// frame; an injected or real read failure surfaces as kUnavailable.
+  Result<bool> ReadNextFrame(std::vector<Value>* frame);
+
+  /// Closes and deletes the backing file now (destructor otherwise).
+  void Discard();
+
+ private:
+  friend class SpillManager;
+
+  SpillManager* manager_ = nullptr;
+  const FaultInjector* injector_ = nullptr;
+  std::string path_;
+  std::FILE* read_file_ = nullptr;
+  int64_t bytes_ = 0;
+  int64_t frames_ = 0;
+  int64_t rows_ = 0;
+  int64_t frames_read_ = 0;
+  double io_wall_ms_ = 0.0;
+};
+
+/// Writes bucket runs to temp files and streams them back for the
+/// out-of-core COMBINE path.
+///
+/// The manager lazily creates one unique directory per query under
+/// `spill_dir` (or the system temp directory when empty) on first
+/// spill, registers every run file it creates, and removes whatever is
+/// left — files and directory — on destruction, so neither success,
+/// fault-triggered retries, nor degrade leaks temp files.
+///
+/// Thread safety: WriteRun and run destruction may race across
+/// partition tasks; registration is mutex-protected and file names are
+/// unique per run.
+class SpillManager {
+ public:
+  /// `spill_dir` empty means std::filesystem::temp_directory_path().
+  /// `injector` (nullable) supplies the spill-I/O fault sites.
+  SpillManager(std::string spill_dir, const FaultInjector* injector);
+  ~SpillManager();
+  SpillManager(const SpillManager&) = delete;
+  SpillManager& operator=(const SpillManager&) = delete;
+
+  /// Spills `keys` for `partition` as one run framed at `chunk_rows`
+  /// values per frame (minimum 1). Consults the injector's "spill-write"
+  /// fault site once per frame; injected and real I/O failures surface
+  /// as kUnavailable and leave no file behind.
+  Result<SpillRun> WriteRun(int partition, const std::vector<Value>& keys,
+                            int64_t chunk_rows);
+
+  int64_t runs_written() const;
+  int64_t bytes_written() const;
+  /// Directory currently holding run files ("" before the first spill).
+  std::string directory() const;
+
+ private:
+  friend class SpillRun;
+
+  /// Creates the per-query spill directory on first use.
+  Status EnsureDir();
+  void Unregister(const std::string& path);
+
+  const std::string base_dir_;
+  const FaultInjector* injector_;
+  mutable std::mutex mu_;
+  std::string dir_;
+  std::set<std::string> live_files_;
+  int64_t next_run_id_ = 0;
+  int64_t runs_written_ = 0;
+  int64_t bytes_written_ = 0;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_ENGINE_SPILL_H_

@@ -69,6 +69,22 @@ void ExecStats::AddNetwork(const std::string& name, int64_t bytes,
   }
 }
 
+void ExecStats::AddSpill(const std::string& name, int64_t spilled_buckets,
+                         int64_t spill_bytes, double spill_ms) {
+  if (spilled_buckets <= 0 && spill_bytes <= 0) return;
+  spilled_buckets_ += spilled_buckets;
+  spill_bytes_ += spill_bytes;
+  spill_ms_ += spill_ms;
+  for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
+    if (it->name == name) {
+      it->spill_ms += spill_ms;
+      it->spill_bytes += spill_bytes;
+      it->spilled_buckets += spilled_buckets;
+      return;
+    }
+  }
+}
+
 void ExecStats::AddWarning(std::string message) {
   warnings_.push_back(std::move(message));
 }
@@ -85,6 +101,9 @@ void ExecStats::Merge(const ExecStats& other) {
   chunks_out_ += other.chunks_out_;
   chunks_compacted_ += other.chunks_compacted_;
   chunk_rows_ += other.chunk_rows_;
+  spilled_buckets_ += other.spilled_buckets_;
+  spill_bytes_ += other.spill_bytes_;
+  spill_ms_ += other.spill_ms_;
   stages_.insert(stages_.end(), other.stages_.begin(), other.stages_.end());
   warnings_.insert(warnings_.end(), other.warnings_.begin(),
                    other.warnings_.end());
@@ -111,6 +130,13 @@ std::string ExecStats::ToString() const {
                   "chunks: in=%" PRId64 "  out=%" PRId64 "  compacted=%" PRId64
                   "  rows=%" PRId64 "\n",
                   chunks_in_, chunks_out_, chunks_compacted_, chunk_rows_);
+    out += line;
+  }
+  if (spilled_buckets_ > 0 || spill_bytes_ > 0) {
+    std::snprintf(line, sizeof(line),
+                  "spill: buckets=%" PRId64 "  bytes=%" PRId64
+                  "  disk=%.2f ms\n",
+                  spilled_buckets_, spill_bytes_, spill_ms_);
     out += line;
   }
   for (const StageStat& s : stages_) {

@@ -18,6 +18,13 @@ struct CostModelConfig {
   double bandwidth_mb_per_sec = 100.0;
   /// Fixed cost per shuffled message (framing, syscalls).
   double per_message_ms = 0.02;
+  /// Local-disk model for out-of-core COMBINE: sequential spill
+  /// bandwidth per worker plus a fixed per-I/O-operation latency
+  /// (one frame write or read = one operation). The defaults model a
+  /// local SATA SSD, comfortably faster than the network model so
+  /// spilling beats re-shuffling, as on the paper's cluster.
+  double spill_mb_per_sec = 500.0;
+  double per_spill_op_ms = 0.05;
 };
 
 /// Fault-recovery accounting of one stage execution, produced by
@@ -53,6 +60,13 @@ struct StageStat {
   int retries = 0;
   double recovery_ms = 0.0;
   int64_t network_retransmits = 0;
+  /// Out-of-core accounting: simulated disk time, bytes and bucket
+  /// sides spilled by this stage's COMBINE tasks. spill_ms is already
+  /// part of the tasks' sim-override busy time (it is NOT added to the
+  /// simulated clock again).
+  double spill_ms = 0.0;
+  int64_t spill_bytes = 0;
+  int64_t spilled_buckets = 0;
 };
 
 /// Accumulated execution statistics of one query.
@@ -112,6 +126,16 @@ class ExecStats {
   int64_t chunks_compacted() const { return chunks_compacted_; }
   int64_t chunk_rows() const { return chunk_rows_; }
 
+  /// Records out-of-core activity against the named stage (mirrors
+  /// AddNetwork's stage attribution). `spill_ms` is informational: the
+  /// COMBINE tasks already charged their disk time to the simulated
+  /// clock through the stage's sim override, so it is not added again.
+  void AddSpill(const std::string& name, int64_t spilled_buckets,
+                int64_t spill_bytes, double spill_ms);
+  int64_t spilled_buckets() const { return spilled_buckets_; }
+  int64_t spill_bytes() const { return spill_bytes_; }
+  double spill_ms() const { return spill_ms_; }
+
   /// Multi-line human-readable breakdown.
   std::string ToString() const;
 
@@ -129,6 +153,9 @@ class ExecStats {
   int64_t chunks_out_ = 0;
   int64_t chunks_compacted_ = 0;
   int64_t chunk_rows_ = 0;
+  int64_t spilled_buckets_ = 0;
+  int64_t spill_bytes_ = 0;
+  double spill_ms_ = 0.0;
 };
 
 }  // namespace fudj

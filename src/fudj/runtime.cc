@@ -8,6 +8,8 @@
 #include "common/hash.h"
 #include "common/stopwatch.h"
 #include "engine/exchange.h"
+#include "engine/memory.h"
+#include "engine/spill.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serde/serde.h"
@@ -359,32 +361,87 @@ double LptMakespanMs(std::vector<double> ms, int workers) {
   return *std::max_element(load.begin(), load.end());
 }
 
-/// Skew-adaptive bucket splitting for one COMBINE partition (the
-/// FudjExecOptions::adaptive_skew tentpole). `Plan` derives a split
-/// cutoff from the partition's per-bucket |L|x|R| work distribution via
-/// ComputeSkew; `RunKernel` then executes each matched bucket through the
-/// join's CombineBucket kernel, splitting the larger side of any bucket
-/// above the cutoff into contiguous sub-ranges that run as independent
-/// morsels on the cluster's work-stealing pool.
+/// Serialized footprint of one Value under the byte-stable wire codec
+/// (1 type-tag byte + payload; varints estimated at worst case). This is
+/// both the memory-governor reservation unit and — by construction —
+/// the bytes a spilled key occupies on disk.
+int64_t ApproxValueBytes(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kBool:
+      return 2;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 9;
+    case ValueType::kString:
+      return 6 + static_cast<int64_t>(v.str().size());
+    case ValueType::kInterval:
+      return 17;
+    case ValueType::kGeometry: {
+      const Geometry& g = v.geometry();
+      switch (g.kind()) {
+        case Geometry::Kind::kPoint:
+          return 2 + 16;
+        case Geometry::Kind::kRect:
+          return 2 + 32;
+        case Geometry::Kind::kPolygon:
+          return 2 + 5 +
+                 16 * static_cast<int64_t>(g.polygon().vertices.size());
+      }
+      return 2;
+    }
+  }
+  return 1;
+}
+
+int64_t ApproxKeyVectorBytes(const std::vector<Value>& keys) {
+  int64_t bytes = 0;
+  for (const Value& v : keys) bytes += ApproxValueBytes(v);
+  return bytes;
+}
+
+/// Memory-governed bucket execution for one COMBINE partition: the
+/// skew-adaptive splitting of PR 5 plus the out-of-core spill rung of
+/// the graceful-degradation ladder (reserve → skew-split/stream →
+/// spill → broadcast-NLJ degrade).
 ///
-/// Output contract: a morsel emits the same candidate pairs the unsplit
-/// kernel would for its sub-range (CombineBucket may only inspect the
-/// keys it is handed), so the union over morsels equals the unsplit
-/// candidate superset; every call site re-sorts candidates and refines
-/// through exact Verify/Dedup, so output partitions stay byte-identical
-/// with splitting on or off.
+/// `Plan` derives a split cutoff from the partition's per-bucket
+/// |L|x|R| work distribution via ComputeSkew. `RunKernel` then runs
+/// each matched bucket through the join's CombineBucket kernel. Before
+/// touching a bucket it strictly reserves the serialized footprint of
+/// both key vectors against the query's MemoryGovernor; when the
+/// reservation is refused (budget pressure or an injected allocation
+/// fault), the larger side is spilled to a temp run file, its in-memory
+/// vector is freed, and the run is streamed back frame-at-a-time
+/// through the kernel under a minimal essential grant.
+///
+/// Output contract: a split morsel or a streamed spill frame emits the
+/// same candidate pairs the unsplit kernel would for its contiguous
+/// sub-range (CombineBucket may only inspect the keys it is handed), so
+/// the union equals the unsplit candidate superset; every call site
+/// re-sorts candidates and refines through exact Verify/Dedup, so
+/// output partitions stay byte-identical with splitting and spilling on
+/// or off, threaded or sequential.
 ///
 /// Simulated clock: wall time measured inside the split regions is
-/// thread-dependent (morsels run on other workers), so the owning task
-/// replaces its measured busy time via SimOverrideMs — time outside the
-/// split regions as measured, plus the LPT makespan of the morsel times
-/// over the cluster's workers. The override is threads-on/off invariant
-/// up to measurement noise.
-class BucketSplitter {
+/// thread-dependent and spill wall time is host-disk-dependent, so the
+/// owning task replaces its measured busy time via SimOverrideMs —
+/// time outside those regions as measured, plus the morsel schedule
+/// over the cluster's workers (the pool's actual per-worker busy times
+/// when the pool can stand in for the cluster, the LPT model
+/// otherwise), plus the cost model's disk time for spill I/O.
+class CombineBucketRunner {
  public:
-  BucketSplitter(const FudjExecOptions& options, const Cluster* cluster,
-                 int partition)
-      : options_(options), cluster_(cluster), partition_(partition) {}
+  CombineBucketRunner(const FudjExecOptions& options, const Cluster* cluster,
+                      MemoryGovernor* governor, SpillManager* spill,
+                      int partition)
+      : options_(options),
+        cluster_(cluster),
+        governor_(governor),
+        spill_(spill),
+        partition_(partition),
+        injector_(cluster->fault_injector()) {}
 
   void Plan(const std::vector<int64_t>& work_per_bucket) {
     cutoff_ = 0;
@@ -416,12 +473,69 @@ class BucketSplitter {
                        static_cast<int64_t>(derived));
   }
 
-  /// Runs one matched bucket through the kernel, split or whole. `emit`
-  /// receives (li, rj) pairs in lkeys/rkeys index space; emission order
-  /// is morsel-major for split buckets (call sites re-sort).
-  void RunKernel(const FlexibleJoin* join, const std::vector<Value>& lkeys,
-                 const std::vector<Value>& rkeys, const PPlan& plan,
-                 const std::function<void(int32_t, int32_t)>& emit) {
+  /// Runs one matched bucket through the kernel — in memory (split or
+  /// whole) under a strict reservation, or out-of-core when the
+  /// reservation is refused. `emit` receives (li, rj) pairs in
+  /// lkeys/rkeys index space; emission order is morsel-major for split
+  /// buckets and frame-major for spilled ones (call sites re-sort).
+  /// The spilled side's vector is freed after its run is written; the
+  /// hash path rebuilds per bucket and the theta path's key cache
+  /// re-boxes lazily, so callers tolerate the clear.
+  Status RunKernel(const FlexibleJoin* join, std::vector<Value>* lkeys,
+                   std::vector<Value>* rkeys, const PPlan& plan,
+                   const std::function<void(int32_t, int32_t)>& emit) {
+    const int64_t l_bytes = ApproxKeyVectorBytes(*lkeys);
+    const int64_t r_bytes = ApproxKeyVectorBytes(*rkeys);
+    MemoryReservation reservation;
+    bool in_memory = true;
+    if (governor_ != nullptr) {
+      const bool injected =
+          injector_ != nullptr && injector_->ShouldFailAlloc("combine-reserve");
+      if (!injected &&
+          governor_->TryReserve(partition_, l_bytes + r_bytes)) {
+        reservation =
+            MemoryReservation(governor_, partition_, l_bytes + r_bytes);
+      } else {
+        ++reserve_failures_;
+        in_memory = false;
+      }
+    }
+    if (in_memory || spill_ == nullptr) {
+      RunInMemory(join, *lkeys, *rkeys, plan, emit);
+      return Status::OK();
+    }
+    return RunSpilled(join, lkeys, rkeys, l_bytes, r_bytes, plan, emit);
+  }
+
+  bool any_splits() const { return splits_ > 0; }
+  int64_t splits() const { return splits_; }
+  int64_t morsels() const { return morsels_; }
+  int64_t spilled_buckets() const { return spilled_buckets_; }
+  int64_t spill_bytes() const { return spill_bytes_; }
+  int64_t reserve_failures() const { return reserve_failures_; }
+  double spill_sim_ms() const { return spill_sim_ms_; }
+  /// True when measured busy time no longer models the simulated
+  /// cluster (morsels ran on other workers and/or host disk I/O
+  /// happened) and the task must charge SimOverrideMs instead.
+  bool needs_sim_override() const {
+    return splits_ > 0 || spilled_buckets_ > 0;
+  }
+
+  /// Busy time the owning partition task charges to the simulated
+  /// clock: everything outside the split/spill regions as measured,
+  /// plus the morsel schedule over the cluster's workers, plus the cost
+  /// model's disk time for spill I/O (replacing the host's measured
+  /// fwrite/fread wall time).
+  double SimOverrideMs(double task_total_ms) const {
+    const double ms = task_total_ms - region_wall_ms_ + MorselScheduleMs() -
+                      spill_io_wall_ms_ + spill_sim_ms_;
+    return ms < 0.0 ? 0.0 : ms;
+  }
+
+ private:
+  void RunInMemory(const FlexibleJoin* join, const std::vector<Value>& lkeys,
+                   const std::vector<Value>& rkeys, const PPlan& plan,
+                   const std::function<void(int32_t, int32_t)>& emit) {
     const int64_t work = static_cast<int64_t>(lkeys.size()) *
                          static_cast<int64_t>(rkeys.size());
     const bool split_left = lkeys.size() >= rkeys.size();
@@ -443,8 +557,11 @@ class BucketSplitter {
     Tracer* tracer = cluster_->tracer();
     const double span_start = tracer != nullptr ? tracer->NowUs() : 0.0;
     Stopwatch region_sw;
+    ThreadPool* pool = cluster_->pool();
+    const int fork_worker = pool != nullptr ? pool->CurrentWorkerId() : -1;
     std::vector<std::vector<std::pair<int32_t, int32_t>>> found(k);
     std::vector<double> morsel_ms(k, 0.0);
+    std::vector<int> morsel_worker(k, -1);
     auto run_morsel = [&](int m) {
       const size_t begin = larger * m / k;
       const size_t end = larger * (m + 1) / k;
@@ -467,8 +584,8 @@ class BucketSplitter {
                             });
       }
       morsel_ms[m] = sw.ElapsedMillis();
+      morsel_worker[m] = pool != nullptr ? pool->CurrentWorkerId() : -1;
     };
-    ThreadPool* pool = cluster_->pool();
     if (pool != nullptr) {
       pool->ParallelFor(k, run_morsel);
     } else {
@@ -478,8 +595,26 @@ class BucketSplitter {
       for (const auto& [li, rj] : part) emit(li, rj);
     }
     region_wall_ms_ += region_sw.ElapsedMillis();
+    if (tracer != nullptr && pool != nullptr) {
+      // Steal attribution: a morsel whose executing worker differs from
+      // the forking worker was drained by a sibling (or by the external
+      // helper, worker -1).
+      const double now = tracer->NowUs();
+      for (int m = 0; m < k; ++m) {
+        if (morsel_worker[m] == fork_worker) continue;
+        tracer->AddInstant(
+            Tracer::kWallPid, 1 + partition_, "morsel-steal", "combine",
+            now,
+            {Tracer::IntArg("morsel", m),
+             Tracer::IntArg("from_worker", fork_worker),
+             Tracer::IntArg("by_worker", morsel_worker[m]),
+             Tracer::DoubleArg("ms", morsel_ms[m])});
+      }
+    }
     morsel_ms_.insert(morsel_ms_.end(), morsel_ms.begin(),
                       morsel_ms.end());
+    morsel_worker_.insert(morsel_worker_.end(), morsel_worker.begin(),
+                          morsel_worker.end());
     ++splits_;
     morsels_ += k;
     if (tracer != nullptr) {
@@ -492,50 +627,208 @@ class BucketSplitter {
     }
   }
 
-  bool any_splits() const { return splits_ > 0; }
-  int64_t splits() const { return splits_; }
-  int64_t morsels() const { return morsels_; }
-
-  /// Balanced-schedule busy time of the owning partition task:
-  /// everything outside the split regions as measured, plus the LPT
-  /// makespan of the morsels over the cluster's workers.
-  double SimOverrideMs(double task_total_ms) const {
-    const double ms = task_total_ms - region_wall_ms_ +
-                      LptMakespanMs(morsel_ms_, cluster_->num_workers());
-    return ms < 0.0 ? 0.0 : ms;
+  /// Out-of-core rung: spill the larger side as a framed run, free its
+  /// vector, and stream the run back through the kernel frame-at-a-time
+  /// under the essential working-memory grant.
+  Status RunSpilled(const FlexibleJoin* join, std::vector<Value>* lkeys,
+                    std::vector<Value>* rkeys, int64_t l_bytes,
+                    int64_t r_bytes, const PPlan& plan,
+                    const std::function<void(int32_t, int32_t)>& emit) {
+    const bool spill_left = lkeys->size() >= rkeys->size();
+    std::vector<Value>* big = spill_left ? lkeys : rkeys;
+    std::vector<Value>* small = spill_left ? rkeys : lkeys;
+    const int64_t big_bytes = spill_left ? l_bytes : r_bytes;
+    const int64_t small_bytes = spill_left ? r_bytes : l_bytes;
+    const int64_t chunk_rows = std::max<int64_t>(1, options_.spill_chunk_rows);
+    // Essential grant: the in-memory side plus one spill frame. It
+    // always succeeds (a spilling operator that cannot obtain its
+    // morsel buffer could only deadlock), so the only failure here is
+    // an injected allocation fault — surfaced as kResourceExhausted for
+    // the stage's retry loop (and, past the retry budget, the
+    // broadcast-NLJ degrade).
+    const int64_t rows = static_cast<int64_t>(big->size());
+    const int64_t frame_bytes =
+        rows > 0 ? std::min(big_bytes, big_bytes * chunk_rows / rows + 1)
+                 : 0;
+    if (injector_ != nullptr && injector_->ShouldFailAlloc("spill-reserve")) {
+      ++reserve_failures_;
+      return Status::ResourceExhausted(
+          "injected allocation failure reserving spill working memory "
+          "(partition " +
+          std::to_string(partition_) + ")");
+    }
+    MemoryReservation essential;
+    if (governor_ != nullptr) {
+      governor_->ReserveEssential(partition_, small_bytes + frame_bytes);
+      essential =
+          MemoryReservation(governor_, partition_, small_bytes + frame_bytes);
+    }
+    Tracer* tracer = cluster_->tracer();
+    const double span_start = tracer != nullptr ? tracer->NowUs() : 0.0;
+    auto run_result = spill_->WriteRun(partition_, *big, chunk_rows);
+    if (!run_result.ok()) return run_result.status();
+    SpillRun run = std::move(run_result).value();
+    big->clear();
+    big->shrink_to_fit();
+    // Stream the run back one frame per kernel call, shifting
+    // frame-local indices to bucket coordinates — the same contiguous
+    // sub-range contract as skew splitting.
+    std::vector<Value> frame;
+    int32_t shift = 0;
+    for (;;) {
+      FUDJ_ASSIGN_OR_RETURN(const bool more, run.ReadNextFrame(&frame));
+      if (!more) break;
+      if (spill_left) {
+        join->CombineBucket(frame, *small, plan,
+                            [&emit, shift](int32_t li, int32_t rj) {
+                              emit(shift + li, rj);
+                            });
+      } else {
+        join->CombineBucket(*small, frame, plan,
+                            [&emit, shift](int32_t li, int32_t rj) {
+                              emit(li, shift + rj);
+                            });
+      }
+      shift += static_cast<int32_t>(frame.size());
+    }
+    // Simulated disk charge: the run's bytes travel to disk once and
+    // back once at the cost model's sequential spill bandwidth, plus a
+    // fixed latency per frame write/read. Replaces the host's measured
+    // I/O wall time in SimOverrideMs.
+    const CostModelConfig& cost = cluster_->cost_model();
+    const double mb =
+        static_cast<double>(run.bytes()) / (1024.0 * 1024.0);
+    spill_sim_ms_ += 2.0 * (mb / cost.spill_mb_per_sec) * 1000.0 +
+                     cost.per_spill_op_ms * 2.0 *
+                         static_cast<double>(run.frames());
+    spill_io_wall_ms_ += run.io_wall_ms();
+    ++spilled_buckets_;
+    spill_bytes_ += run.bytes();
+    const int64_t run_frames = run.frames();
+    run.Discard();  // delete the temp file promptly
+    if (tracer != nullptr) {
+      tracer->AddSpan(
+          Tracer::kWallPid, 1 + partition_, "COMBINE-spill", "spill",
+          span_start, tracer->NowUs() - span_start,
+          {Tracer::IntArg("partition", partition_),
+           Tracer::IntArg("rows", rows),
+           Tracer::IntArg("frames", run_frames),
+           Tracer::IntArg("bytes", spill_bytes_),
+           Tracer::StringArg("spilled_side", spill_left ? "L" : "R")});
+    }
+    return Status::OK();
   }
 
- private:
+  /// Morsel makespan on the simulated cluster. When the pool has at
+  /// least as many workers as the simulated cluster it faithfully
+  /// stands in for it, so the charge is the pool's *actual* per-worker
+  /// busy sums (steals and all — the ROADMAP accounting follow-up).
+  /// On an under-provisioned host (pool smaller than the cluster, or
+  /// sequential execution) the actual schedule would conflate host
+  /// capacity with the simulated cluster, so the idealized LPT schedule
+  /// over the cluster's workers is kept.
+  double MorselScheduleMs() const {
+    if (morsel_ms_.empty()) return 0.0;
+    const int workers = cluster_->num_workers();
+    ThreadPool* pool = cluster_->pool();
+    if (pool != nullptr && pool->num_threads() >= workers) {
+      std::unordered_map<int, double> busy;
+      for (size_t i = 0; i < morsel_ms_.size(); ++i) {
+        busy[morsel_worker_[i]] += morsel_ms_[i];
+      }
+      double makespan = 0.0;
+      for (const auto& [w, ms] : busy) makespan = std::max(makespan, ms);
+      return makespan;
+    }
+    return LptMakespanMs(morsel_ms_, workers);
+  }
+
   const FudjExecOptions& options_;
   const Cluster* cluster_;
+  MemoryGovernor* governor_;
+  SpillManager* spill_;
   const int partition_;
+  const FaultInjector* injector_;
   int64_t cutoff_ = 0;
   int64_t splits_ = 0;
   int64_t morsels_ = 0;
+  int64_t spilled_buckets_ = 0;
+  int64_t spill_bytes_ = 0;
+  int64_t reserve_failures_ = 0;
   double region_wall_ms_ = 0.0;
+  double spill_io_wall_ms_ = 0.0;
+  double spill_sim_ms_ = 0.0;
   std::vector<double> morsel_ms_;
+  std::vector<int> morsel_worker_;
 };
 
 /// Sums the per-partition COMBINE bucket counts into the registry.
 /// Counters are touched even at zero so both `path` series exist after
 /// any COMBINE stage, making kernel-vs-pairwise visible in ToText().
-void RecordCombineCounters(MetricsRegistry* metrics,
-                           const std::vector<int64_t>& kernel_buckets,
-                           const std::vector<int64_t>& pairwise_buckets,
-                           const std::vector<int64_t>& kernel_candidates,
-                           const std::vector<int64_t>& bucket_splits,
-                           const std::vector<int64_t>& split_morsels) {
+/// Per-partition COMBINE accounting shared by the three kernel paths:
+/// one slot per partition, written by index (last attempt wins) so
+/// retried partitions do not double-count, summed into the metrics
+/// registry and ExecStats after the stage.
+struct CombineAccounting {
+  explicit CombineAccounting(int partitions)
+      : kernel_buckets(partitions, 0),
+        pairwise_buckets(partitions, 0),
+        kernel_candidates(partitions, 0),
+        bucket_splits(partitions, 0),
+        split_morsels(partitions, 0),
+        spilled_buckets(partitions, 0),
+        spill_bytes(partitions, 0),
+        reserve_failures(partitions, 0),
+        spill_sim_ms(partitions, 0.0) {}
+
+  /// Copies one partition's runner totals into its slot.
+  void Record(int p, const CombineBucketRunner& runner) {
+    bucket_splits[p] = runner.splits();
+    split_morsels[p] = runner.morsels();
+    spilled_buckets[p] = runner.spilled_buckets();
+    spill_bytes[p] = runner.spill_bytes();
+    reserve_failures[p] = runner.reserve_failures();
+    spill_sim_ms[p] = runner.spill_sim_ms();
+  }
+
+  std::vector<int64_t> kernel_buckets;
+  std::vector<int64_t> pairwise_buckets;
+  std::vector<int64_t> kernel_candidates;
+  std::vector<int64_t> bucket_splits;
+  std::vector<int64_t> split_morsels;
+  std::vector<int64_t> spilled_buckets;
+  std::vector<int64_t> spill_bytes;
+  std::vector<int64_t> reserve_failures;
+  std::vector<double> spill_sim_ms;
+};
+
+/// Sums the per-partition COMBINE counts into the registry and the
+/// stage's spill totals into `stats`. Counters are touched even at zero
+/// so every series exists after any COMBINE stage, making
+/// kernel-vs-pairwise (and spill-vs-in-memory) visible in ToText().
+void RecordCombineCounters(MetricsRegistry* metrics, ExecStats* stats,
+                           const std::string& stage_name,
+                           const CombineAccounting& acc) {
+  int64_t sb = 0;
+  int64_t spb = 0;
+  double ssm = 0.0;
+  for (const int64_t v : acc.spilled_buckets) sb += v;
+  for (const int64_t v : acc.spill_bytes) spb += v;
+  for (const double v : acc.spill_sim_ms) ssm += v;
+  if (stats != nullptr) stats->AddSpill(stage_name, sb, spb, ssm);
   if (metrics == nullptr) return;
   int64_t kb = 0;
   int64_t pb = 0;
   int64_t kc = 0;
   int64_t bs = 0;
   int64_t sm = 0;
-  for (const int64_t v : kernel_buckets) kb += v;
-  for (const int64_t v : pairwise_buckets) pb += v;
-  for (const int64_t v : kernel_candidates) kc += v;
-  for (const int64_t v : bucket_splits) bs += v;
-  for (const int64_t v : split_morsels) sm += v;
+  int64_t rf = 0;
+  for (const int64_t v : acc.kernel_buckets) kb += v;
+  for (const int64_t v : acc.pairwise_buckets) pb += v;
+  for (const int64_t v : acc.kernel_candidates) kc += v;
+  for (const int64_t v : acc.bucket_splits) bs += v;
+  for (const int64_t v : acc.split_morsels) sm += v;
+  for (const int64_t v : acc.reserve_failures) rf += v;
   metrics->GetCounter("fudj_combine_buckets_total", {{"path", "kernel"}})
       ->Increment(kb);
   metrics->GetCounter("fudj_combine_buckets_total", {{"path", "pairwise"}})
@@ -543,6 +836,9 @@ void RecordCombineCounters(MetricsRegistry* metrics,
   metrics->GetCounter("fudj_combine_kernel_candidates_total")->Increment(kc);
   metrics->GetCounter("fudj_bucket_splits_total")->Increment(bs);
   metrics->GetCounter("fudj_split_morsels_total")->Increment(sm);
+  metrics->GetCounter("fudj_spilled_buckets_total")->Increment(sb);
+  metrics->GetCounter("fudj_spill_bytes_total")->Increment(spb);
+  metrics->GetCounter("mem_reservation_failures_total")->Increment(rf);
 }
 
 }  // namespace
@@ -566,11 +862,14 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
   // after the stage. Written by index (last attempt wins), so retried
   // partitions do not double-count.
   const int p_combine = cluster_->num_workers();
-  std::vector<int64_t> kernel_buckets(p_combine, 0);
-  std::vector<int64_t> pairwise_buckets(p_combine, 0);
-  std::vector<int64_t> kernel_candidates(p_combine, 0);
-  std::vector<int64_t> bucket_splits(p_combine, 0);
-  std::vector<int64_t> split_morsels(p_combine, 0);
+  CombineAccounting acc(p_combine);
+  // Memory governance for the kernel paths: a per-query budget with
+  // per-partition reservations, and a spill manager whose temp
+  // directory exists only while this COMBINE runs (both live on this
+  // frame; stage retries reuse them, so a retried partition's budget is
+  // already released by the failed attempt's RAII reservations).
+  MemoryGovernor governor(options.memory_budget_bytes, p_combine);
+  SpillManager spill_mgr(options.spill_dir, cluster_->fault_injector());
 
   Schema out_schema = JoinOutputSchema(left, right);
 
@@ -620,8 +919,7 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
               cluster_, l_ex, out_schema, "bucket-hashjoin",
               [this, &r_ex, join, lk, rk, &plan, &options, avoidance,
                fast_dedup, l_carried, r_carried, &smallest_common,
-               use_kernel, &kernel_buckets, &pairwise_buckets,
-               &kernel_candidates, &bucket_splits, &split_morsels](
+               use_kernel, &acc, &governor, &spill_mgr](
                   int p, const std::vector<Tuple>& l_rows,
                   std::vector<Tuple>* out, double* sim_ms) -> Status {
                 Stopwatch task_sw;
@@ -677,7 +975,8 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
                   }
                   // Plan splitting from the per-bucket |L|x|R| work
                   // distribution before running any kernel.
-                  BucketSplitter splitter(options, cluster_, p);
+                  CombineBucketRunner splitter(options, cluster_,
+                                               &governor, &spill_mgr, p);
                   {
                     std::vector<int64_t> bucket_work;
                     bucket_work.reserve(probe_groups.size());
@@ -707,21 +1006,20 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
                       rkeys.push_back(r_rows[j][rk]);
                     }
                     const std::vector<size_t>& lref = lidx;
-                    splitter.RunKernel(
-                        join, lkeys, rkeys, plan,
+                    FUDJ_RETURN_NOT_OK(splitter.RunKernel(
+                        join, &lkeys, &rkeys, plan,
                         [&cands, &lref, &ridx](int32_t li, int32_t rj) {
                           cands.emplace_back(
                               static_cast<int64_t>(lref[li]),
                               static_cast<int64_t>(ridx[rj]));
-                        });
+                        }));
                     ++buckets_run;
                   }
                   SortKernelCandidates(&cands);
-                  kernel_buckets[p] = buckets_run;
-                  kernel_candidates[p] =
+                  acc.kernel_buckets[p] = buckets_run;
+                  acc.kernel_candidates[p] =
                       static_cast<int64_t>(cands.size());
-                  bucket_splits[p] = splitter.splits();
-                  split_morsels[p] = splitter.morsels();
+                  acc.Record(p, splitter);
                   if (tracer != nullptr) {
                     tracer->AddSpan(
                         Tracer::kWallPid, 1 + p, "COMBINE-kernel",
@@ -754,7 +1052,7 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
                     }
                     out->push_back(EmitPair(l, r, l_carried, r_carried));
                   }
-                  if (splitter.any_splits()) {
+                  if (splitter.needs_sim_override()) {
                     *sim_ms =
                         splitter.SimOverrideMs(task_sw.ElapsedMillis());
                   }
@@ -787,7 +1085,7 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
                     out->push_back(EmitPair(l, r, l_carried, r_carried));
                   }
                 }
-                pairwise_buckets[p] =
+                acc.pairwise_buckets[p] =
                     static_cast<int64_t>(probed_buckets.size());
                 return Status::OK();
               },
@@ -808,8 +1106,7 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
         TransformPartitionsTimed(
             cluster_, l_ex, out_schema, "bucket-thetajoin",
             [this, &r_ex, join, lk, rk, &plan, &options, avoidance,
-             use_kernel, &kernel_buckets, &pairwise_buckets,
-             &kernel_candidates, &bucket_splits, &split_morsels](
+             use_kernel, &acc, &governor, &spill_mgr](
                 int p, const std::vector<Tuple>& l_rows,
                 std::vector<Tuple>* out, double* sim_ms) -> Status {
               Stopwatch task_sw;
@@ -845,7 +1142,8 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
               }
               const int64_t buckets_run =
                   static_cast<int64_t>(matched.size());
-              BucketSplitter splitter(options, cluster_, p);
+              CombineBucketRunner splitter(options, cluster_, &governor,
+                                           &spill_mgr, p);
               if (use_kernel) {
                 std::vector<int64_t> pair_work;
                 pair_work.reserve(matched.size());
@@ -878,11 +1176,11 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
                     for (const Tuple* r : rs) rkeys.push_back((*r)[rk]);
                   }
                   std::vector<std::pair<int64_t, int64_t>> cands;
-                  splitter.RunKernel(
-                      join, lkeys, rkeys, plan,
+                  FUDJ_RETURN_NOT_OK(splitter.RunKernel(
+                      join, &lkeys, &rkeys, plan,
                       [&cands](int32_t li, int32_t rj) {
                         cands.emplace_back(li, rj);
-                      });
+                      }));
                   SortKernelCandidates(&cands);
                   cand_total += static_cast<int64_t>(cands.size());
                   for (const auto& [li, rj] : cands) {
@@ -915,11 +1213,10 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
                 }
               }
               if (use_kernel) {
-                kernel_buckets[p] = buckets_run;
-                kernel_candidates[p] = cand_total;
-                bucket_splits[p] = splitter.splits();
-                split_morsels[p] = splitter.morsels();
-                if (splitter.any_splits()) {
+                acc.kernel_buckets[p] = buckets_run;
+                acc.kernel_candidates[p] = cand_total;
+                acc.Record(p, splitter);
+                if (splitter.needs_sim_override()) {
                   *sim_ms =
                       splitter.SimOverrideMs(task_sw.ElapsedMillis());
                 }
@@ -933,17 +1230,18 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
                                                   cand_total)});
                 }
               } else {
-                pairwise_buckets[p] = buckets_run;
+                acc.pairwise_buckets[p] = buckets_run;
               }
               return Status::OK();
             },
             stats));
   }
   // The chunked hash path accounts for itself inside
-  // CombineHashJoinChunked; there these vectors are all zero.
-  RecordCombineCounters(cluster_->metrics(), kernel_buckets,
-                        pairwise_buckets, kernel_candidates,
-                        bucket_splits, split_morsels);
+  // CombineHashJoinChunked; there `acc` stays all-zero and this call is
+  // a no-op for the spill attribution.
+  RecordCombineCounters(cluster_->metrics(), stats,
+                        hash_path ? "bucket-hashjoin" : "bucket-thetajoin",
+                        acc);
 
   if (options.duplicates == DuplicateHandling::kElimination &&
       join->MultiAssign()) {
@@ -992,11 +1290,9 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
   const int p_out = cluster_->num_workers();
   PartitionedRelation out(out_schema, p_out);
   std::vector<ChunkWriter> writers(p_out);
-  std::vector<int64_t> kernel_buckets(p_out, 0);
-  std::vector<int64_t> pairwise_buckets(p_out, 0);
-  std::vector<int64_t> kernel_candidates(p_out, 0);
-  std::vector<int64_t> bucket_splits(p_out, 0);
-  std::vector<int64_t> split_morsels(p_out, 0);
+  CombineAccounting acc(p_out);
+  MemoryGovernor governor(options.memory_budget_bytes, p_out);
+  SpillManager spill_mgr(options.spill_dir, cluster_->fault_injector());
   const int l_fields = l_ex.schema().num_fields();
   const int r_fields = r_ex.schema().num_fields();
   // Output drops the bucket_id (col 0) and any trailing carried
@@ -1103,7 +1399,8 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
           }
           // Plan splitting from the per-bucket |L|x|R| work
           // distribution before running any kernel.
-          BucketSplitter splitter(options, cluster_, p);
+          CombineBucketRunner splitter(options, cluster_, &governor,
+                                       &spill_mgr, p);
           {
             std::vector<int64_t> bucket_work;
             bucket_work.reserve(probe_groups.size());
@@ -1137,18 +1434,17 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
               ridx.push_back(base[ci] + rr);
             }
             const std::vector<int64_t>& lref = lidx;
-            splitter.RunKernel(
-                join, lkeys, rkeys, plan,
+            FUDJ_RETURN_NOT_OK(splitter.RunKernel(
+                join, &lkeys, &rkeys, plan,
                 [&cands, &lref, &ridx](int32_t li, int32_t rj) {
                   cands.emplace_back(lref[li], ridx[rj]);
-                });
+                }));
             ++buckets_run;
           }
           SortKernelCandidates(&cands);
-          kernel_buckets[p] = buckets_run;
-          kernel_candidates[p] = static_cast<int64_t>(cands.size());
-          bucket_splits[p] = splitter.splits();
-          split_morsels[p] = splitter.morsels();
+          acc.kernel_buckets[p] = buckets_run;
+          acc.kernel_candidates[p] = static_cast<int64_t>(cands.size());
+          acc.Record(p, splitter);
           if (tracer != nullptr) {
             tracer->AddSpan(
                 Tracer::kWallPid, 1 + p, "COMBINE-kernel", "combine",
@@ -1190,7 +1486,7 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
             }
             writer->CommitRow();
           }
-          if (splitter.any_splits()) {
+          if (splitter.needs_sim_override()) {
             *sim_ms = splitter.SimOverrideMs(task_sw.ElapsedMillis());
           }
           return Status::OK();
@@ -1254,13 +1550,12 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
             }
           }
         }
-        pairwise_buckets[p] = static_cast<int64_t>(probed_buckets.size());
+        acc.pairwise_buckets[p] =
+            static_cast<int64_t>(probed_buckets.size());
         return Status::OK();
       },
       stats));
-  RecordCombineCounters(cluster_->metrics(), kernel_buckets,
-                        pairwise_buckets, kernel_candidates,
-                        bucket_splits, split_morsels);
+  RecordCombineCounters(cluster_->metrics(), stats, "bucket-hashjoin", acc);
   int64_t rows_out = 0;
   std::vector<int64_t> rows_per_partition(p_out, 0);
   for (int p = 0; p < p_out; ++p) {

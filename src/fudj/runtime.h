@@ -46,6 +46,21 @@ struct FudjExecOptions {
   /// Floor on the |L|x|R| work of a bucket worth splitting — below it the
   /// morsel bookkeeping outweighs the imbalance.
   int64_t skew_min_split_work = 1 << 15;
+  /// Per-query memory budget for COMBINE bucket working memory, in
+  /// bytes; <= 0 means unlimited. COMBINE tasks reserve the estimated
+  /// footprint of each bucket's key vectors before materializing them;
+  /// when the strict reservation fails, the larger side is spilled to
+  /// disk and streamed back through the CombineBucket kernel in
+  /// bounded-memory morsels. Output is byte-identical with spill on or
+  /// off (graceful-degradation ladder: reserve → skew-split/stream →
+  /// spill → broadcast-NLJ degrade). Only affects the kernel paths.
+  int64_t memory_budget_bytes = 0;
+  /// Directory for spill run files; "" uses the system temp directory.
+  /// Each query creates (and removes) one unique subdirectory.
+  std::string spill_dir;
+  /// Rows per spill frame: the unit in which a spilled bucket side is
+  /// written and streamed back (bounds the spill path's working memory).
+  int64_t spill_chunk_rows = 1024;
 };
 
 /// The framework's internal actors (§VI-B): given a user `FlexibleJoin`,

@@ -38,6 +38,9 @@ QueryProfile QueryProfile::Build(const ExecStats& stats,
   p.chunks_out = stats.chunks_out();
   p.chunks_compacted = stats.chunks_compacted();
   p.chunk_rows = stats.chunk_rows();
+  p.spilled_buckets = stats.spilled_buckets();
+  p.spill_bytes = stats.spill_bytes();
+  p.spill_ms = stats.spill_ms();
   p.warnings = stats.warnings();
   p.stages.reserve(stats.stages().size());
   for (const StageStat& s : stats.stages()) {
@@ -70,6 +73,8 @@ QueryProfile QueryProfile::Build(const ExecStats& stats,
     p.bucket_splits = metrics->CounterValue("fudj_bucket_splits_total");
     p.split_morsels = metrics->CounterValue("fudj_split_morsels_total");
     p.steals = metrics->CounterValue("threadpool_steals_total");
+    p.reservation_failures =
+        metrics->CounterValue("mem_reservation_failures_total");
   }
   return p;
 }
@@ -123,6 +128,14 @@ std::string QueryProfile::ToString() const {
                   "adaptive skew: bucket splits=%" PRId64
                   "  morsels=%" PRId64 "  steals=%" PRId64 "\n",
                   bucket_splits, split_morsels, steals);
+    out += line;
+  }
+  if (spilled_buckets > 0 || spill_bytes > 0 || reservation_failures > 0) {
+    std::snprintf(line, sizeof(line),
+                  "spill: buckets=%" PRId64 "  bytes=%s  disk=%.3f ms  "
+                  "reservation failures=%" PRId64 "\n",
+                  spilled_buckets, FormatBytes(spill_bytes).c_str(),
+                  spill_ms, reservation_failures);
     out += line;
   }
   bool any_skewed = false;

@@ -65,6 +65,14 @@ struct QueryProfile {
   int64_t bucket_splits = 0;
   int64_t split_morsels = 0;
   int64_t steals = 0;
+  /// Memory-governed COMBINE activity: bucket sides spilled out-of-core,
+  /// bytes written to spill runs, simulated disk time (already inside
+  /// the stage busy times), and strict reservations the memory governor
+  /// refused. All 0 when the query ran fully in memory.
+  int64_t spilled_buckets = 0;
+  int64_t spill_bytes = 0;
+  double spill_ms = 0.0;
+  int64_t reservation_failures = 0;
   std::vector<std::string> warnings;
   std::vector<SkewReport> skew_reports;
 

@@ -190,9 +190,15 @@ Status Tracer::WriteFile(const std::string& path) const {
   }
   const std::string json = ToJson();
   const size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
+  const bool closed = std::fclose(f) == 0;
   if (written != json.size()) {
     return Status::Internal("short write to trace output file '" + path +
+                            "'");
+  }
+  if (!closed) {
+    // fclose flushes buffered bytes; a failure here means the file is
+    // incomplete even though every fwrite succeeded.
+    return Status::Internal("cannot flush trace output file '" + path +
                             "'");
   }
   return Status::OK();

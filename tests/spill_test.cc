@@ -1,0 +1,613 @@
+// Tests for the memory-governed COMBINE path: per-query budgets, the
+// out-of-core spill rung, and the memory/disk fault sites. The load-
+// bearing invariant is byte identity — for any budget (unlimited, tight
+// enough to race, tiny enough to always spill), any kernel path (row
+// hash, chunked hash, theta), threaded or sequential, with or without
+// injected alloc/spill-I/O faults that resolve within the retry budget,
+// every output partition must be byte-for-byte the same as the
+// unlimited in-memory run. Resource exhaustion must surface as
+// kResourceExhausted / kUnavailable and resolve through the
+// spill → retry → degrade ladder, never as a process abort, and no
+// spill temp files may outlive a query.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/cluster.h"
+#include "engine/fault_injector.h"
+#include "engine/memory.h"
+#include "engine/spill.h"
+#include "fudj/runtime.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "test_util.h"
+
+namespace fudj {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ----------------------------------------------------- governor units
+
+TEST(MemoryGovernorTest, StrictReserveRespectsBudget) {
+  MemoryGovernor governor(1000, 4);
+  EXPECT_FALSE(governor.unlimited());
+  EXPECT_TRUE(governor.TryReserve(0, 600));
+  EXPECT_EQ(governor.reserved_bytes(), 600);
+  EXPECT_EQ(governor.partition_reserved_bytes(0), 600);
+  // 600 + 500 > 1000: refused with no side effects.
+  EXPECT_FALSE(governor.TryReserve(1, 500));
+  EXPECT_EQ(governor.reserved_bytes(), 600);
+  EXPECT_EQ(governor.partition_reserved_bytes(1), 0);
+  EXPECT_EQ(governor.reservation_failures(), 1);
+  EXPECT_TRUE(governor.TryReserve(1, 400));
+  governor.Release(0, 600);
+  governor.Release(1, 400);
+  EXPECT_EQ(governor.reserved_bytes(), 0);
+  EXPECT_EQ(governor.peak_reserved_bytes(), 1000);
+}
+
+TEST(MemoryGovernorTest, EssentialGrantOvercommitsInsteadOfFailing) {
+  MemoryGovernor governor(100, 2);
+  ASSERT_TRUE(governor.TryReserve(0, 90));
+  // The spill path's minimum grant must never fail — the overshoot is
+  // tracked instead so tests and EXPLAIN ANALYZE can see it.
+  governor.ReserveEssential(1, 60);
+  EXPECT_EQ(governor.reserved_bytes(), 150);
+  EXPECT_GE(governor.overcommitted_bytes(), 50);
+  governor.Release(0, 90);
+  governor.Release(1, 60);
+  EXPECT_EQ(governor.reserved_bytes(), 0);
+}
+
+TEST(MemoryGovernorTest, ZeroBudgetMeansUnlimited) {
+  MemoryGovernor governor(0, 2);
+  EXPECT_TRUE(governor.unlimited());
+  EXPECT_TRUE(governor.TryReserve(0, int64_t{1} << 40));
+  EXPECT_EQ(governor.reservation_failures(), 0);
+}
+
+TEST(MemoryGovernorTest, ReservationRaiiReleasesOnScopeExit) {
+  MemoryGovernor governor(1000, 1);
+  ASSERT_TRUE(governor.TryReserve(0, 300));
+  {
+    MemoryReservation res(&governor, 0, 300);
+    EXPECT_TRUE(res.held());
+    MemoryReservation moved(std::move(res));
+    EXPECT_FALSE(res.held());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(moved.held());
+  }
+  EXPECT_EQ(governor.reserved_bytes(), 0);
+}
+
+// -------------------------------------------------- fault config units
+
+TEST(FaultConfigTest, ValidateAcceptsSaneConfigs) {
+  EXPECT_OK(FaultConfig{}.Validate());
+  FaultConfig config;
+  config.crash_partition_prob = 1.0;
+  config.alloc_fail_prob = 0.5;
+  config.spill_io_fault_prob = 0.0;
+  config.straggler_ms = 0.0;
+  EXPECT_OK(config.Validate());
+}
+
+TEST(FaultConfigTest, ValidateRejectsOutOfRangeValues) {
+  {
+    FaultConfig config;
+    config.alloc_fail_prob = 1.5;
+    EXPECT_FALSE(config.Validate().ok());
+  }
+  {
+    FaultConfig config;
+    config.spill_io_fault_prob = -0.1;
+    EXPECT_FALSE(config.Validate().ok());
+  }
+  {
+    FaultConfig config;
+    config.drop_message_prob = 2.0;
+    EXPECT_FALSE(config.Validate().ok());
+  }
+  {
+    FaultConfig config;
+    config.straggler_ms = -1.0;
+    EXPECT_FALSE(config.Validate().ok());
+  }
+}
+
+// ----------------------------------------------------- spill run units
+
+TEST(SpillManagerTest, RoundTripIsByteStableAndCleansUp) {
+  const fs::path base = fs::temp_directory_path() / "fudj-spill-test-rt";
+  fs::create_directories(base);
+  std::vector<Value> keys;
+  for (int i = 0; i < 100; ++i) {
+    keys.push_back(i % 3 == 0 ? Value::String("k" + std::to_string(i))
+                              : Value::Int64(int64_t{1} << (i % 60)));
+  }
+  {
+    SpillManager manager(base.string(), nullptr);
+    ASSERT_OK_AND_ASSIGN(SpillRun run, manager.WriteRun(0, keys, 7));
+    EXPECT_EQ(run.rows(), 100);
+    EXPECT_EQ(run.frames(), (100 + 6) / 7);
+    EXPECT_GT(run.bytes(), 0);
+    EXPECT_EQ(manager.runs_written(), 1);
+    EXPECT_FALSE(manager.directory().empty());
+
+    std::vector<Value> got;
+    std::vector<Value> frame;
+    for (;;) {
+      ASSERT_OK_AND_ASSIGN(const bool more, run.ReadNextFrame(&frame));
+      if (!more) break;
+      EXPECT_LE(frame.size(), 7u);
+      got.insert(got.end(), frame.begin(), frame.end());
+    }
+    ASSERT_EQ(got.size(), keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ByteWriter expect_w, got_w;
+      SerializeValue(keys[i], &expect_w);
+      SerializeValue(got[i], &got_w);
+      ASSERT_EQ(expect_w.bytes(), got_w.bytes()) << "value " << i;
+    }
+  }
+  // Manager destruction removes run files and the per-query directory.
+  EXPECT_TRUE(fs::is_empty(base));
+  fs::remove_all(base);
+}
+
+TEST(SpillManagerTest, InjectedWriteFaultIsUnavailableAndLeavesNoFile) {
+  const fs::path base = fs::temp_directory_path() / "fudj-spill-test-wf";
+  fs::create_directories(base);
+  FaultConfig config;
+  config.seed = 7;
+  config.spill_io_fault_prob = 1.0;
+  const FaultInjector injector(config);
+  {
+    SpillManager manager(base.string(), &injector);
+    // Fault sites only fire inside a task scope (mirrors a COMBINE
+    // partition attempt).
+    FaultInjector::TaskScope scope(&injector, "spill-unit", 0, 1);
+    const std::vector<Value> keys = {Value::Int64(1), Value::Int64(2)};
+    auto run = manager.WriteRun(0, keys, 1);
+    ASSERT_FALSE(run.ok());
+    EXPECT_EQ(run.status().code(), StatusCode::kUnavailable);
+    EXPECT_GT(injector.injected_spill_io_faults(), 0);
+  }
+  EXPECT_TRUE(fs::is_empty(base));
+  fs::remove_all(base);
+}
+
+// ------------------------------------------------- end-to-end workload
+
+// Single-assign join over packed (bucket << 32 | row id) keys. Verify
+// checks bucket equality explicitly so the exact broadcast-NLJ degrade
+// produces the same logical result as the FUDJ path, and the bulk
+// kernel applies the identical predicate, so candidate sets match
+// across every physical strategy.
+class NullSummary final : public Summary {
+ public:
+  void Add(const Value&) override {}
+  void Merge(const Summary&) override {}
+  void Serialize(ByteWriter*) const override {}
+  Status Deserialize(ByteReader*) override { return Status::OK(); }
+};
+
+class NullPPlan final : public PPlan {
+ public:
+  void Serialize(ByteWriter*) const override {}
+  Status Deserialize(ByteReader*) override { return Status::OK(); }
+};
+
+class BudgetPairFudj final : public FlexibleJoin {
+ public:
+  static bool Pred(int64_t a, int64_t b) {
+    uint64_t h = static_cast<uint64_t>(a) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<uint64_t>(b) + 0xBF58476D1CE4E5B9ull + (h << 6);
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 32;
+    return (h & 255) == 0;
+  }
+
+  std::unique_ptr<Summary> CreateSummary(JoinSide) const override {
+    return std::make_unique<NullSummary>();
+  }
+  Result<std::unique_ptr<PPlan>> Divide(const Summary&,
+                                        const Summary&) const override {
+    return std::unique_ptr<PPlan>(std::make_unique<NullPPlan>());
+  }
+  Result<std::unique_ptr<PPlan>> DeserializePPlan(
+      ByteReader* in) const override {
+    auto plan = std::make_unique<NullPPlan>();
+    FUDJ_RETURN_NOT_OK(plan->Deserialize(in));
+    return std::unique_ptr<PPlan>(std::move(plan));
+  }
+  void Assign(const Value& key, const PPlan&, JoinSide,
+              std::vector<int32_t>* buckets) const override {
+    buckets->push_back(static_cast<int32_t>(key.i64() >> 32));
+  }
+  bool Verify(const Value& key1, const Value& key2,
+              const PPlan&) const override {
+    return (key1.i64() >> 32) == (key2.i64() >> 32) &&
+           Pred(key1.i64(), key2.i64());
+  }
+  void CombineBucket(
+      const std::vector<Value>& left_keys,
+      const std::vector<Value>& right_keys, const PPlan&,
+      const std::function<void(int32_t, int32_t)>& emit) const override {
+    const auto nl = static_cast<int32_t>(left_keys.size());
+    const auto nr = static_cast<int32_t>(right_keys.size());
+    for (int32_t i = 0; i < nl; ++i) {
+      const int64_t l = left_keys[i].i64();
+      for (int32_t j = 0; j < nr; ++j) {
+        if (Pred(l, right_keys[j].i64())) emit(i, j);
+      }
+    }
+  }
+  bool MultiAssign() const override { return false; }
+  bool HasCombineBucket() const override { return true; }
+};
+
+PartitionedRelation MakeUniformKeys(int64_t n, int64_t num_buckets,
+                                    int workers, uint64_t seed) {
+  Schema schema;
+  schema.AddField("k", ValueType::kInt64);
+  Rng rng(seed);
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t bucket = static_cast<int64_t>(
+        rng.Next() % static_cast<uint64_t>(num_buckets));
+    rows.push_back({Value::Int64((bucket << 32) | i)});
+  }
+  return PartitionedRelation::FromTuples(std::move(schema), rows, workers);
+}
+
+PartitionedRelation MakeZipfKeys(int64_t n, int64_t zipf_n, double zipf_s,
+                                 int workers, uint64_t seed) {
+  Schema schema;
+  schema.AddField("k", ValueType::kInt64);
+  Rng rng(seed);
+  ZipfGenerator zipf(zipf_n, zipf_s);
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back({Value::Int64((zipf.Next(&rng) << 32) | i)});
+  }
+  return PartitionedRelation::FromTuples(std::move(schema), rows, workers);
+}
+
+struct JoinRunConfig {
+  int workers = 4;
+  bool use_threads = false;
+  int pool_threads = 0;
+  ExecMode mode = ExecMode::kRow;
+  bool force_theta = false;
+  int64_t budget = 0;
+  std::string spill_dir;
+  const FaultConfig* faults = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+  ExecStats* stats = nullptr;
+  bool allow_degrade = true;
+  int64_t skew_min_split_work = 1 << 15;
+  int max_attempts = 3;
+};
+
+Result<PartitionedRelation> RunJoin(const FlexibleJoin& join,
+                                    const PartitionedRelation& left,
+                                    const PartitionedRelation& right,
+                                    const JoinRunConfig& config) {
+  Cluster cluster(config.workers, config.use_threads, config.pool_threads);
+  if (config.faults != nullptr) {
+    cluster.EnableFaultInjection(*config.faults);
+  }
+  if (config.metrics != nullptr) cluster.set_metrics(config.metrics);
+  if (config.tracer != nullptr) cluster.set_tracer(config.tracer);
+  if (config.max_attempts != 3) {
+    RetryPolicy retry = cluster.retry_policy();
+    retry.max_attempts = config.max_attempts;
+    cluster.set_retry_policy(retry);
+  }
+  FudjRuntime runtime(&cluster, &join);
+  runtime.set_exec_mode(config.mode);
+  ExecStats local_stats;
+  ExecStats* stats =
+      config.stats != nullptr ? config.stats : &local_stats;
+  FudjExecOptions options;
+  options.duplicates = DuplicateHandling::kNone;
+  options.force_theta_bucket_join = config.force_theta;
+  options.allow_degrade = config.allow_degrade;
+  options.memory_budget_bytes = config.budget;
+  options.spill_dir = config.spill_dir;
+  options.skew_min_split_work = config.skew_min_split_work;
+  return runtime.Execute(left, 0, right, 0, options, stats);
+}
+
+void ExpectIdentical(const PartitionedRelation& a,
+                     const PartitionedRelation& b, const std::string& what) {
+  ASSERT_EQ(a.num_partitions(), b.num_partitions()) << what;
+  for (int p = 0; p < a.num_partitions(); ++p) {
+    EXPECT_EQ(a.raw_partition(p), b.raw_partition(p))
+        << what << ": partition " << p << " diverged";
+  }
+}
+
+// Asserts that `base_dir` holds no leftover spill files — every query
+// must remove its per-query spill directory whether it succeeded,
+// retried, or degraded.
+void ExpectNoSpillLeaks(const fs::path& base_dir, const std::string& what) {
+  ASSERT_TRUE(fs::exists(base_dir)) << what;
+  EXPECT_TRUE(fs::is_empty(base_dir))
+      << what << ": leaked spill files in " << base_dir;
+}
+
+// ------------------------------------------------------------ matrix
+
+TEST(SpillJoinTest, ByteIdenticalAcrossBudgetsThreadsAndPaths) {
+  const auto left = MakeUniformKeys(3000, 8, 4, 1201);
+  const auto right = MakeUniformKeys(3000, 8, 4, 1202);
+  const BudgetPairFudj join;
+  const fs::path base = fs::temp_directory_path() / "fudj-spill-test-mx";
+  fs::create_directories(base);
+
+  struct Path {
+    const char* name;
+    ExecMode mode;
+    bool force_theta;
+  };
+  const Path paths[] = {
+      {"row-hash", ExecMode::kRow, false},
+      {"chunk-hash", ExecMode::kChunk, false},
+      {"theta", ExecMode::kRow, true},
+  };
+  // 0 = unlimited baseline; 8 KB admits a bucket pair only when no
+  // other partition holds budget (spill decisions race under threads);
+  // 2 KB forces every bucket out-of-core.
+  const int64_t budgets[] = {0, 8 * 1024, 2 * 1024};
+
+  for (const Path& path : paths) {
+    JoinRunConfig base_config;
+    base_config.mode = path.mode;
+    base_config.force_theta = path.force_theta;
+    ASSERT_OK_AND_ASSIGN(const PartitionedRelation baseline,
+                         RunJoin(join, left, right, base_config));
+    ASSERT_GT(baseline.NumRows(), 0) << path.name;
+    for (const int64_t budget : budgets) {
+      for (const bool threads : {false, true}) {
+        MetricsRegistry metrics;
+        JoinRunConfig config = base_config;
+        config.use_threads = threads;
+        config.budget = budget;
+        config.spill_dir = base.string();
+        config.metrics = &metrics;
+        const std::string what = std::string(path.name) + " budget=" +
+                                 std::to_string(budget) + " threads=" +
+                                 (threads ? "on" : "off");
+        ASSERT_OK_AND_ASSIGN(const PartitionedRelation out,
+                             RunJoin(join, left, right, config));
+        ExpectIdentical(baseline, out, what);
+        ExpectNoSpillLeaks(base, what);
+        if (budget == 2 * 1024) {
+          EXPECT_GT(metrics.CounterValue("fudj_spilled_buckets_total"), 0)
+              << what << ": the tiny budget must force spilling";
+        } else if (budget == 0) {
+          EXPECT_EQ(metrics.CounterValue("fudj_spilled_buckets_total"), 0)
+              << what << ": unlimited budget must not spill";
+        }
+      }
+    }
+  }
+  fs::remove_all(base);
+}
+
+TEST(SpillJoinTest, SpillActivityIsObservable) {
+  const auto left = MakeUniformKeys(3000, 8, 4, 1203);
+  const auto right = MakeUniformKeys(3000, 8, 4, 1204);
+  const BudgetPairFudj join;
+  MetricsRegistry metrics;
+  Tracer tracer;
+  ExecStats stats;
+  JoinRunConfig config;
+  config.budget = 2 * 1024;
+  config.metrics = &metrics;
+  config.tracer = &tracer;
+  config.stats = &stats;
+  ASSERT_OK_AND_ASSIGN(const PartitionedRelation out,
+                       RunJoin(join, left, right, config));
+  ASSERT_GT(out.NumRows(), 0);
+
+  EXPECT_GT(metrics.CounterValue("fudj_spilled_buckets_total"), 0);
+  EXPECT_GT(metrics.CounterValue("fudj_spill_bytes_total"), 0);
+  EXPECT_GT(metrics.CounterValue("mem_reservation_failures_total"), 0);
+  EXPECT_GT(stats.spilled_buckets(), 0);
+  EXPECT_GT(stats.spill_bytes(), 0);
+  EXPECT_NE(stats.ToString().find("spill:"), std::string::npos);
+
+  const QueryProfile profile = QueryProfile::Build(stats, &metrics);
+  EXPECT_GT(profile.spilled_buckets, 0);
+  EXPECT_GT(profile.reservation_failures, 0);
+  EXPECT_NE(profile.ToString().find("spill:"), std::string::npos);
+
+  bool saw_spill_span = false;
+  for (const Tracer::EventView& e : tracer.Snapshot()) {
+    saw_spill_span |= e.name == "COMBINE-spill";
+  }
+  EXPECT_TRUE(saw_spill_span)
+      << "spilled buckets must appear on the trace timeline";
+}
+
+// ------------------------------------------------------------- chaos
+
+TEST(SpillJoinTest, TransientChaosResolvesWithoutDivergenceOrLeaks) {
+  const auto left = MakeUniformKeys(2500, 8, 4, 1205);
+  const auto right = MakeUniformKeys(2500, 8, 4, 1206);
+  const BudgetPairFudj join;
+  const fs::path base = fs::temp_directory_path() / "fudj-spill-test-ch";
+  fs::create_directories(base);
+
+  ASSERT_OK_AND_ASSIGN(const PartitionedRelation baseline,
+                       RunJoin(join, left, right, JoinRunConfig{}));
+  ASSERT_GT(baseline.NumRows(), 0);
+
+  // Transient faults: every retry attempt re-draws its fault decisions,
+  // so with p = 0.2 and a 6-attempt budget the ladder resolves every
+  // partition (the fault draws are deterministic per seed, so these
+  // configurations pass reproducibly). The invariant under chaos is
+  // total: byte-identical output, no temp files, no aborts.
+  for (const uint64_t seed : {11u, 12u, 13u}) {
+    for (const bool threads : {false, true}) {
+      FaultConfig faults;
+      faults.seed = seed;
+      faults.alloc_fail_prob = 0.2;
+      faults.spill_io_fault_prob = 0.2;
+      ASSERT_OK(faults.Validate());
+      ExecStats stats;
+      JoinRunConfig config;
+      config.use_threads = threads;
+      config.budget = 2 * 1024;
+      config.spill_dir = base.string();
+      config.faults = &faults;
+      config.stats = &stats;
+      config.max_attempts = 6;
+      const std::string what = "chaos seed=" + std::to_string(seed) +
+                               " threads=" + (threads ? "on" : "off");
+      ASSERT_OK_AND_ASSIGN(const PartitionedRelation out,
+                           RunJoin(join, left, right, config));
+      ExpectIdentical(baseline, out, what);
+      ExpectNoSpillLeaks(base, what);
+      EXPECT_TRUE(stats.warnings().empty())
+          << what << ": transient chaos must resolve without degrading";
+    }
+  }
+  fs::remove_all(base);
+}
+
+TEST(SpillJoinTest, ExhaustedLadderSurfacesResourceExhaustedOrDegrades) {
+  const auto left = MakeUniformKeys(1200, 8, 4, 1207);
+  const auto right = MakeUniformKeys(1200, 8, 4, 1208);
+  const BudgetPairFudj join;
+  const fs::path base = fs::temp_directory_path() / "fudj-spill-test-dg";
+  fs::create_directories(base);
+
+  ASSERT_OK_AND_ASSIGN(const PartitionedRelation baseline,
+                       RunJoin(join, left, right, JoinRunConfig{}));
+
+  // alloc_fail_prob = 1 fails the strict reservation (-> spill) AND the
+  // spill path's essential grant on every attempt, so the FUDJ pipeline
+  // exhausts its retries deterministically.
+  FaultConfig faults;
+  faults.alloc_fail_prob = 1.0;
+
+  {
+    ExecStats stats;
+    JoinRunConfig config;
+    config.spill_dir = base.string();
+    config.faults = &faults;
+    config.stats = &stats;
+    config.allow_degrade = false;
+    auto out = RunJoin(join, left, right, config);
+    ASSERT_FALSE(out.ok())
+        << "permanent allocation failure must fail the pipeline";
+    EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted)
+        << out.status().ToString();
+    ExpectNoSpillLeaks(base, "degrade-off");
+  }
+  {
+    // With degradation allowed, the ladder's last rung answers the
+    // query exactly via broadcast NLJ and records a warning.
+    ExecStats stats;
+    JoinRunConfig config;
+    config.spill_dir = base.string();
+    config.faults = &faults;
+    config.stats = &stats;
+    ASSERT_OK_AND_ASSIGN(const PartitionedRelation out,
+                         RunJoin(join, left, right, config));
+    EXPECT_EQ(out.NumRows(), baseline.NumRows());
+    EXPECT_FALSE(stats.warnings().empty())
+        << "degradation must be reported, not silent";
+    ExpectNoSpillLeaks(base, "degrade-on");
+  }
+  fs::remove_all(base);
+}
+
+TEST(SpillJoinTest, PermanentSpillIoFaultDegradesExactly) {
+  const auto left = MakeUniformKeys(1200, 8, 4, 1209);
+  const auto right = MakeUniformKeys(1200, 8, 4, 1210);
+  const BudgetPairFudj join;
+
+  ASSERT_OK_AND_ASSIGN(const PartitionedRelation baseline,
+                       RunJoin(join, left, right, JoinRunConfig{}));
+
+  // Every spill write fails (dead local disk) while the tiny budget
+  // makes spilling mandatory: kUnavailable per attempt, then degrade.
+  FaultConfig faults;
+  faults.spill_io_fault_prob = 1.0;
+  ExecStats stats;
+  JoinRunConfig config;
+  config.budget = 2 * 1024;
+  config.faults = &faults;
+  config.stats = &stats;
+  ASSERT_OK_AND_ASSIGN(const PartitionedRelation out,
+                       RunJoin(join, left, right, config));
+  EXPECT_EQ(out.NumRows(), baseline.NumRows());
+  EXPECT_FALSE(stats.warnings().empty());
+}
+
+// ------------------------------------------- morsel schedule accounting
+
+TEST(SpillJoinTest, OverProvisionedPoolUsesActualScheduleAndStaysExact) {
+  // More pool threads than simulated workers: the skew-split morsel
+  // schedule is charged from the pool's actual per-worker busy times
+  // (steals included) instead of the idealized LPT bound. The output
+  // must stay byte-identical and the simulated time finite and positive.
+  // The Zipf head bucket makes the split planner engage.
+  const auto left = MakeZipfKeys(4000, 16, 1.2, 2, 1211);
+  const auto right = MakeZipfKeys(4000, 16, 1.2, 2, 1212);
+  const BudgetPairFudj join;
+
+  JoinRunConfig base_config;
+  base_config.workers = 2;
+  base_config.skew_min_split_work = 1 << 8;
+  ASSERT_OK_AND_ASSIGN(const PartitionedRelation baseline,
+                       RunJoin(join, left, right, base_config));
+  ASSERT_GT(baseline.NumRows(), 0);
+
+  MetricsRegistry metrics;
+  Tracer tracer;
+  ExecStats stats;
+  JoinRunConfig config = base_config;
+  config.use_threads = true;
+  config.pool_threads = 4;
+  // Unlimited budget on purpose: a bucket that spills streams through
+  // the kernel instead of splitting, and this test targets the split
+  // morsels' actual-schedule accounting.
+  config.metrics = &metrics;
+  config.tracer = &tracer;
+  config.stats = &stats;
+  ASSERT_OK_AND_ASSIGN(const PartitionedRelation out,
+                       RunJoin(join, left, right, config));
+  ExpectIdentical(baseline, out, "pool(4) > workers(2)");
+  EXPECT_GT(stats.simulated_ms(), 0.0);
+  EXPECT_GT(metrics.CounterValue("fudj_bucket_splits_total"), 0)
+      << "the two fat buckets must trip the split planner";
+  // Stolen morsels, when the pool migrated any, are attributed on the
+  // trace timeline with the owning and executing worker.
+  for (const Tracer::EventView& e : tracer.Snapshot()) {
+    if (e.name != "morsel-steal") continue;
+    EXPECT_NE(e.args_json.find("from_worker"), std::string::npos);
+    EXPECT_NE(e.args_json.find("by_worker"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fudj
