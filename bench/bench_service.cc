@@ -1,0 +1,402 @@
+// QueryService serving benchmark: drives a mixed spatial / text-similarity
+// / interval FUDJ workload through many concurrent sessions and reports
+// BENCH_service.json.
+//
+// The host is a small CI box, so throughput is measured on the SIMULATED
+// clock, like every other experiment in this repo: each query reports its
+// simulated execution time, serial cost is the sum over the same
+// completed queries, and concurrent cost is the earliest-free-slot
+// packing of those queries onto `c` service slots. The same per-query
+// numbers feed every concurrency level, so the scaling curve is free of
+// wall-clock contention noise.
+//
+// Gates (exit 1 on violation):
+//   * every service query is byte-identical to standalone ExecuteSql;
+//   * simulated speedup at 8 concurrent sessions >= 3x over serial;
+//   * a 2x overload burst produces admission rejects (> 0) while the
+//     modelled p99 latency of admitted queries stays within the bound
+//     implied by the queue depth;
+//   * cancellation releases memory reservations and pool slots
+//     (governor drains to zero, queue-depth gauge back to zero).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "catalog/catalog.h"
+#include "datagen/datagen.h"
+#include "engine/cluster.h"
+#include "engine/relation.h"
+#include "fudj/join_registry.h"
+#include "optimizer/optimizer.h"
+#include "service/query_service.h"
+
+namespace fudj {
+namespace {
+
+struct Workload {
+  std::vector<std::string> ddl;
+  std::vector<std::string> queries;  // fully ordered -> byte-comparable
+};
+
+Workload MakeWorkload() {
+  Workload w;
+  w.ddl = {
+      "CREATE JOIN st_contains_join(a: geometry, b: geometry) RETURNS "
+      "boolean AS \"spatial.SpatialJoin\" AT flexiblejoins PARAMS (30, 1)",
+      "CREATE JOIN tags_similar(a: string, b: string, t: double) RETURNS "
+      "boolean AS \"setsimilarity.SetSimilarityJoin\" AT flexiblejoins",
+      "CREATE JOIN iv_overlap(a: interval, b: interval) RETURNS boolean "
+      "AS \"interval.IntervalJoin\" AT flexiblejoins PARAMS (100)",
+  };
+  w.queries = {
+      "SELECT p.id, w.id FROM parks p, wildfires w WHERE "
+      "st_contains_join(p.boundary, w.location) ORDER BY p.id, w.id",
+      "SELECT a.id, b.id FROM parks a, parks b WHERE "
+      "tags_similar(a.tags, b.tags, 0.5) AND a.id <> b.id "
+      "ORDER BY a.id, b.id",
+      "SELECT t.id, w.id FROM nyctaxi t, weather w WHERE "
+      "iv_overlap(t.ride_interval, w.reading_interval) "
+      "ORDER BY t.id, w.id",
+      "SELECT p.id, count(w.id) AS fires FROM parks p, wildfires w WHERE "
+      "st_contains_join(p.boundary, w.location) GROUP BY p.id "
+      "ORDER BY fires DESC, p.id ASC",
+  };
+  return w;
+}
+
+void RegisterWorkloadDatasets(Catalog* catalog, int partitions) {
+  auto add = [&](const char* name, Schema schema, std::vector<Tuple> rows) {
+    const Status st = catalog->RegisterDataset(
+        name,
+        PartitionedRelation::FromTuples(schema, std::move(rows), partitions));
+    if (!st.ok()) {
+      std::fprintf(stderr, "dataset %s: %s\n", name, st.ToString().c_str());
+      std::exit(1);
+    }
+  };
+  add("parks", ParksSchema(), GenerateParks(bench::Scaled(60), 91));
+  add("wildfires", WildfiresSchema(),
+      GenerateWildfires(bench::Scaled(200), 92));
+  add("nyctaxi", TaxiSchema(), GenerateTaxiRides(bench::Scaled(90), 93));
+  add("weather", WeatherSchema(), GenerateWeather(bench::Scaled(140), 94));
+}
+
+bool SameRows(const QueryOutput& a, const QueryOutput& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    if (a.rows[i].size() != b.rows[i].size()) return false;
+    for (size_t c = 0; c < a.rows[i].size(); ++c) {
+      if (!a.rows[i][c].Equals(b.rows[i][c])) return false;
+    }
+  }
+  return true;
+}
+
+/// Earliest-free-slot packing of `costs_ms` (in submission order) onto
+/// `slots` simulated executor slots; returns the makespan. Also reports
+/// each query's modelled completion latency when `latencies` != null
+/// (batch model: everything submitted at t = 0).
+double PackMakespanMs(const std::vector<double>& costs_ms, int slots,
+                      std::vector<double>* latencies = nullptr) {
+  std::vector<double> slot_end(static_cast<size_t>(slots), 0.0);
+  for (const double cost : costs_ms) {
+    auto it = std::min_element(slot_end.begin(), slot_end.end());
+    *it += cost;
+    if (latencies != nullptr) latencies->push_back(*it);
+  }
+  return *std::max_element(slot_end.begin(), slot_end.end());
+}
+
+double Percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(q * (v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+ServiceOptions BenchServiceOptions() {
+  ServiceOptions opts;
+  opts.num_workers = 4;
+  opts.pool_threads = 2;
+  opts.max_concurrent = 8;
+  opts.max_queue_depth = 512;
+  return opts;
+}
+
+int Run(bool smoke, Tracer* tracer) {
+  RegisterBundledJoinLibraries();
+  const Workload workload = MakeWorkload();
+  const int total_queries = smoke ? 96 : 240;
+  constexpr int kSessions = 8;
+
+  // ---- Reference: standalone serial ExecuteSql, same data seeds ----
+  Catalog ref_catalog;
+  RegisterWorkloadDatasets(&ref_catalog, 4);
+  Cluster ref_cluster(4);
+  for (const std::string& ddl : workload.ddl) {
+    auto st = ExecuteSql(&ref_cluster, &ref_catalog, ddl);
+    if (!st.ok()) {
+      std::fprintf(stderr, "ddl: %s\n", st.status().ToString().c_str());
+      return 1;
+    }
+  }
+  std::vector<QueryOutput> expected;
+  for (const std::string& q : workload.queries) {
+    auto out = ExecuteSql(&ref_cluster, &ref_catalog, q);
+    if (!out.ok()) {
+      std::fprintf(stderr, "ref query: %s\n",
+                   out.status().ToString().c_str());
+      return 1;
+    }
+    expected.push_back(std::move(*out));
+  }
+
+  // ---- Phase 1: concurrent mixed workload through the service ----
+  QueryService service(BenchServiceOptions());
+  if (tracer != nullptr) service.set_tracer(tracer);
+  RegisterWorkloadDatasets(service.catalog(), 4);
+  for (const std::string& ddl : workload.ddl) {
+    const Status st = service.RunDdl(ddl);
+    if (!st.ok()) {
+      std::fprintf(stderr, "service ddl: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.push_back(
+        service.OpenSession("bench-" + std::to_string(s)));
+  }
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < total_queries; ++i) {
+    const std::string& sql =
+        workload.queries[static_cast<size_t>(i) % workload.queries.size()];
+    auto t = sessions[static_cast<size_t>(i) % kSessions]->Submit(sql);
+    if (!t.ok()) {
+      std::fprintf(stderr, "submit: %s\n", t.status().ToString().c_str());
+      return 1;
+    }
+    tickets.push_back(std::move(*t));
+  }
+  service.Drain();
+
+  int identical = 0;
+  int failed = 0;
+  std::vector<double> costs_ms;
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const TicketPtr& t = tickets[i];
+    if (t->state() != QueryState::kSucceeded) {
+      ++failed;
+      std::fprintf(stderr, "query %zu: %s\n", i,
+                   t->status().ToString().c_str());
+      continue;
+    }
+    costs_ms.push_back(t->sim_ms());
+    if (SameRows(t->output(), expected[i % workload.queries.size()])) {
+      ++identical;
+    }
+  }
+  const bool all_identical =
+      failed == 0 && identical == static_cast<int>(tickets.size());
+
+  // Scaling curve: the same completed queries packed onto c slots.
+  double serial_ms = 0.0;
+  for (const double c : costs_ms) serial_ms += c;
+  const std::vector<int> levels = {1, 2, 4, 8};
+  std::vector<double> makespans;
+  std::vector<double> speedups;
+  for (const int c : levels) {
+    const double mk = PackMakespanMs(costs_ms, c);
+    makespans.push_back(mk);
+    speedups.push_back(mk > 0.0 ? serial_ms / mk : 0.0);
+  }
+  const double speedup_at_8 = speedups.back();
+
+  // ---- Phase 2: 2x overload burst against a small service ----
+  ServiceOptions small = BenchServiceOptions();
+  small.max_concurrent = 2;
+  small.max_queue_depth = 4;
+  small.memory_budget_bytes = (small.max_concurrent + small.max_queue_depth)
+                              * small.per_query_reserve_bytes;
+  int64_t rejects = 0;
+  double p99_admitted_ms = 0.0;
+  double p99_bound_ms = 0.0;
+  {
+    QueryService overload(small);
+    RegisterWorkloadDatasets(overload.catalog(), 4);
+    for (const std::string& ddl : workload.ddl) {
+      const Status st = overload.RunDdl(ddl);
+      if (!st.ok()) return 1;
+    }
+    auto session = overload.OpenSession("overload");
+    // 2x the service's total capacity (slots + queue), submitted as one
+    // burst so the excess hits the admission controller.
+    const int burst =
+        2 * (small.max_concurrent + small.max_queue_depth) * 4;
+    std::vector<TicketPtr> burst_tickets;
+    for (int i = 0; i < burst; ++i) {
+      const std::string& sql =
+          workload
+              .queries[static_cast<size_t>(i) % workload.queries.size()];
+      auto t = session->Submit(sql);
+      if (!t.ok()) return 1;
+      burst_tickets.push_back(std::move(*t));
+    }
+    overload.Drain();
+    std::vector<double> admitted_costs;
+    double max_cost = 0.0;
+    for (const TicketPtr& t : burst_tickets) {
+      if (t->state() == QueryState::kRejected) {
+        ++rejects;
+      } else if (t->state() == QueryState::kSucceeded) {
+        admitted_costs.push_back(t->sim_ms());
+        max_cost = std::max(max_cost, t->sim_ms());
+      }
+    }
+    // Modelled completion latency of admitted queries on the service's
+    // own slot count; admission bounds the in-system population, so p99
+    // must stay within (queue + slots) rounds of the worst query.
+    std::vector<double> latencies;
+    PackMakespanMs(admitted_costs, small.max_concurrent, &latencies);
+    p99_admitted_ms = Percentile(latencies, 0.99);
+    p99_bound_ms = 1.5 * max_cost *
+                   (small.max_queue_depth + small.max_concurrent +
+                    static_cast<double>(admitted_costs.size())) /
+                   small.max_concurrent;
+  }
+
+  // ---- Phase 3: cancellation releases reservations and slots ----
+  bool cancel_released = false;
+  int64_t cancel_peak_bytes = 0;
+  int64_t cancel_reserved_after = -1;
+  {
+    ServiceOptions copts = BenchServiceOptions();
+    copts.max_concurrent = 2;
+    copts.memory_budget_bytes = 256 << 20;
+    QueryService cancel_service(copts);
+    RegisterWorkloadDatasets(cancel_service.catalog(), 4);
+    for (const std::string& ddl : workload.ddl) {
+      const Status st = cancel_service.RunDdl(ddl);
+      if (!st.ok()) return 1;
+    }
+    auto session = cancel_service.OpenSession("cancel");
+    std::vector<TicketPtr> doomed;
+    for (int i = 0; i < 12; ++i) {
+      auto t = session->Submit(
+          workload.queries[static_cast<size_t>(i) %
+                           workload.queries.size()]);
+      if (!t.ok()) return 1;
+      doomed.push_back(std::move(*t));
+    }
+    for (const TicketPtr& t : doomed) t->Cancel("bench cancellation");
+    for (const TicketPtr& t : doomed) t->Wait();
+    cancel_service.Drain();
+    cancel_peak_bytes = cancel_service.governor().peak_reserved_bytes();
+    cancel_reserved_after = cancel_service.governor().reserved_bytes();
+    const int64_t depth_gauge = static_cast<int64_t>(
+        cancel_service.metrics()->GetGauge("service_queue_depth")->value());
+    cancel_released = cancel_reserved_after == 0 && depth_gauge == 0 &&
+                      cancel_service.queue_depth() == 0 &&
+                      cancel_service.running() == 0 &&
+                      cancel_peak_bytes > 0;
+  }
+
+  // ---- Report + gates ----
+  FILE* f = std::fopen("BENCH_service.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"query_service\",\n"
+                 "  \"clock\": \"simulated\",\n"
+                 "  \"queries\": %d,\n"
+                 "  \"sessions\": %d,\n"
+                 "  \"query_mix\": %zu,\n"
+                 "  \"failed\": %d,\n"
+                 "  \"identical\": %s,\n"
+                 "  \"serial_sim_ms\": %.3f,\n",
+                 total_queries, kSessions, workload.queries.size(), failed,
+                 all_identical ? "true" : "false", serial_ms);
+    for (size_t i = 0; i < levels.size(); ++i) {
+      std::fprintf(f,
+                   "  \"makespan_c%d_ms\": %.3f,\n"
+                   "  \"speedup_c%d\": %.3f,\n",
+                   levels[i], makespans[i], levels[i], speedups[i]);
+    }
+    std::fprintf(f,
+                 "  \"overload_rejects\": %lld,\n"
+                 "  \"overload_p99_ms\": %.3f,\n"
+                 "  \"overload_p99_bound_ms\": %.3f,\n"
+                 "  \"cancel_peak_reserved_bytes\": %lld,\n"
+                 "  \"cancel_reserved_after_bytes\": %lld,\n"
+                 "  \"cancel_released\": %s\n"
+                 "}\n",
+                 static_cast<long long>(rejects), p99_admitted_ms,
+                 p99_bound_ms, static_cast<long long>(cancel_peak_bytes),
+                 static_cast<long long>(cancel_reserved_after),
+                 cancel_released ? "true" : "false");
+    if (std::fclose(f) != 0) {
+      std::fprintf(stderr, "warning: failed to flush BENCH_service.json\n");
+    }
+  }
+
+  std::printf(
+      "service smoke: %d queries / %d sessions, serial=%.1fms "
+      "speedup@8=%.2fx rejects=%lld p99=%.1fms (bound %.1fms) "
+      "identical=%s cancel_released=%s\n",
+      total_queries, kSessions, serial_ms, speedup_at_8,
+      static_cast<long long>(rejects), p99_admitted_ms, p99_bound_ms,
+      all_identical ? "yes" : "NO", cancel_released ? "yes" : "NO");
+
+  int rc = 0;
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "smoke FAILED: service output differs from serial "
+                 "ExecuteSql (%d/%zu identical, %d failed)\n",
+                 identical, tickets.size(), failed);
+    rc = 1;
+  }
+  if (speedup_at_8 < 3.0) {
+    std::fprintf(stderr,
+                 "smoke FAILED: simulated speedup at 8 sessions %.2fx "
+                 "< 3x\n",
+                 speedup_at_8);
+    rc = 1;
+  }
+  if (rejects <= 0) {
+    std::fprintf(stderr,
+                 "smoke FAILED: overload burst produced no admission "
+                 "rejects\n");
+    rc = 1;
+  }
+  if (p99_admitted_ms > p99_bound_ms) {
+    std::fprintf(stderr,
+                 "smoke FAILED: admitted p99 %.1fms exceeds bound "
+                 "%.1fms\n",
+                 p99_admitted_ms, p99_bound_ms);
+    rc = 1;
+  }
+  if (!cancel_released) {
+    std::fprintf(stderr,
+                 "smoke FAILED: cancellation left reservations or slots "
+                 "held (reserved=%lld peak=%lld)\n",
+                 static_cast<long long>(cancel_reserved_after),
+                 static_cast<long long>(cancel_peak_bytes));
+    rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace fudj
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  fudj::bench::BenchTracing tracing(argc, argv);
+  return fudj::Run(smoke, tracing.tracer());
+}

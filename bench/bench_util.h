@@ -77,6 +77,9 @@ class BenchTracing {
     if (tracer_ != nullptr) cluster->set_tracer(tracer_.get());
   }
   bool enabled() const { return tracer_ != nullptr; }
+  /// Raw tracer for sinks that are not a Cluster (e.g. QueryService);
+  /// null when `--trace-out=` was not passed.
+  Tracer* tracer() const { return tracer_.get(); }
 
  private:
   std::string path_;

@@ -1,40 +1,63 @@
 #include "catalog/catalog.h"
 
+#include <algorithm>
+#include <mutex>
+
 namespace fudj {
 
 Status Catalog::RegisterDataset(const std::string& name,
                                 PartitionedRelation rel) {
+  if (parent_ != nullptr && parent_->GetDataset(name).ok()) {
+    return Status::AlreadyExists("dataset '" + name + "' already exists");
+  }
+  std::unique_lock lock(mu_);
   if (datasets_.count(name) > 0) {
     return Status::AlreadyExists("dataset '" + name + "' already exists");
   }
-  datasets_.emplace(name, std::move(rel));
+  datasets_.emplace(
+      name, std::make_shared<const PartitionedRelation>(std::move(rel)));
   return Status::OK();
 }
 
 Status Catalog::DropDataset(const std::string& name) {
+  std::unique_lock lock(mu_);
   if (datasets_.erase(name) == 0) {
+    if (parent_ != nullptr && parent_->GetDataset(name).ok()) {
+      return Status::InvalidArgument(
+          "dataset '" + name +
+          "' belongs to the shared catalog and cannot be dropped from a "
+          "session");
+    }
     return Status::NotFound("no dataset named '" + name + "'");
   }
   return Status::OK();
 }
 
-Result<const PartitionedRelation*> Catalog::GetDataset(
+Result<std::shared_ptr<const PartitionedRelation>> Catalog::GetDataset(
     const std::string& name) const {
-  auto it = datasets_.find(name);
-  if (it == datasets_.end()) {
-    return Status::NotFound("no dataset named '" + name + "'");
+  {
+    std::shared_lock lock(mu_);
+    auto it = datasets_.find(name);
+    if (it != datasets_.end()) return it->second;
   }
-  return &it->second;
+  if (parent_ != nullptr) return parent_->GetDataset(name);
+  return Status::NotFound("no dataset named '" + name + "'");
 }
 
 std::vector<std::string> Catalog::ListDatasets() const {
-  std::vector<std::string> names;
-  for (const auto& [name, rel] : datasets_) names.push_back(name);
+  std::vector<std::string> names =
+      parent_ != nullptr ? parent_->ListDatasets() : std::vector<std::string>{};
+  {
+    std::shared_lock lock(mu_);
+    for (const auto& [name, rel] : datasets_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
   return names;
 }
 
 Status Catalog::CreateJoin(JoinDefinition def) {
-  if (joins_.count(def.name) > 0) {
+  if (parent_ != nullptr && parent_->HasJoin(def.name)) {
     return Status::AlreadyExists("join '" + def.name + "' already exists");
   }
   if (def.param_types.size() < 2) {
@@ -48,39 +71,65 @@ Status Catalog::CreateJoin(JoinDefinition def) {
                         JoinLibraryRegistry::Global().Lookup(
                             def.library, def.class_name));
   (void)factory;
-  joins_.emplace(def.name, std::move(def));
+  std::unique_lock lock(mu_);
+  if (joins_.count(def.name) > 0) {
+    return Status::AlreadyExists("join '" + def.name + "' already exists");
+  }
+  const std::string name = def.name;
+  joins_.emplace(name,
+                 std::make_shared<const JoinDefinition>(std::move(def)));
   return Status::OK();
 }
 
 Status Catalog::DropJoin(const std::string& name) {
+  std::unique_lock lock(mu_);
   if (joins_.erase(name) == 0) {
+    if (parent_ != nullptr && parent_->HasJoin(name)) {
+      return Status::InvalidArgument(
+          "join '" + name +
+          "' belongs to the shared catalog and cannot be dropped from a "
+          "session");
+    }
     return Status::NotFound("no join named '" + name + "'");
   }
   return Status::OK();
 }
 
 bool Catalog::HasJoin(const std::string& name) const {
-  return joins_.count(name) > 0;
+  {
+    std::shared_lock lock(mu_);
+    if (joins_.count(name) > 0) return true;
+  }
+  return parent_ != nullptr && parent_->HasJoin(name);
 }
 
-Result<const JoinDefinition*> Catalog::GetJoin(
+Result<std::shared_ptr<const JoinDefinition>> Catalog::GetJoin(
     const std::string& name) const {
-  auto it = joins_.find(name);
-  if (it == joins_.end()) {
-    return Status::NotFound("no join named '" + name + "'");
+  {
+    std::shared_lock lock(mu_);
+    auto it = joins_.find(name);
+    if (it != joins_.end()) return it->second;
   }
-  return &it->second;
+  if (parent_ != nullptr) return parent_->GetJoin(name);
+  return Status::NotFound("no join named '" + name + "'");
 }
 
 std::vector<std::string> Catalog::ListJoins() const {
-  std::vector<std::string> names;
-  for (const auto& [name, def] : joins_) names.push_back(name);
+  std::vector<std::string> names =
+      parent_ != nullptr ? parent_->ListJoins() : std::vector<std::string>{};
+  {
+    std::shared_lock lock(mu_);
+    for (const auto& [name, def] : joins_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
   return names;
 }
 
 Result<std::unique_ptr<FlexibleJoin>> Catalog::InstantiateJoin(
     const std::string& name, const std::vector<Value>& call_params) const {
-  FUDJ_ASSIGN_OR_RETURN(const JoinDefinition* def, GetJoin(name));
+  FUDJ_ASSIGN_OR_RETURN(std::shared_ptr<const JoinDefinition> def,
+                        GetJoin(name));
   FUDJ_ASSIGN_OR_RETURN(FlexibleJoinFactory factory,
                         JoinLibraryRegistry::Global().Lookup(
                             def->library, def->class_name));

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -26,25 +27,46 @@ struct JoinDefinition {
 
 /// System catalog: named datasets plus installed user-defined joins.
 /// The optimizer consults `GetJoin` to detect FUDJ predicates (§VI-C).
+///
+/// Thread safety: all methods take a `std::shared_mutex` (readers
+/// shared, DDL exclusive), and lookups hand out `shared_ptr`s — a
+/// concurrent CREATE/DROP cannot invalidate a running query's view of a
+/// dataset or join definition.
+///
+/// Session overlays: a catalog constructed with a parent resolves
+/// lookups locally first and falls through to the parent, while
+/// mutations stay local. The query service gives each session such an
+/// overlay, so one session's `CREATE JOIN` is invisible to the others
+/// (and to the shared base catalog) until promoted explicitly. The
+/// parent is not owned and must outlive the overlay.
 class Catalog {
  public:
   Catalog() = default;
+  explicit Catalog(const Catalog* parent) : parent_(parent) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
 
   // Datasets --------------------------------------------------------------
   Status RegisterDataset(const std::string& name, PartitionedRelation rel);
+  /// Overlay note: only locally registered datasets can be dropped; a
+  /// session cannot drop a shared dataset out from under its siblings.
   Status DropDataset(const std::string& name);
-  Result<const PartitionedRelation*> GetDataset(
+  Result<std::shared_ptr<const PartitionedRelation>> GetDataset(
       const std::string& name) const;
   std::vector<std::string> ListDatasets() const;
 
   // User-defined joins (CREATE JOIN / DROP JOIN) --------------------------
 
   /// Validates that the library class exists in the JoinLibraryRegistry,
-  /// then records the join. Fails on duplicate names.
+  /// then records the join. Fails on duplicate names (including names
+  /// visible through the parent).
   Status CreateJoin(JoinDefinition def);
+  /// Overlay note: only locally created joins can be dropped.
   Status DropJoin(const std::string& name);
   bool HasJoin(const std::string& name) const;
-  Result<const JoinDefinition*> GetJoin(const std::string& name) const;
+  Result<std::shared_ptr<const JoinDefinition>> GetJoin(
+      const std::string& name) const;
   std::vector<std::string> ListJoins() const;
 
   /// Instantiates the FlexibleJoin for `name` with `call_params` (the
@@ -53,8 +75,11 @@ class Catalog {
       const std::string& name, const std::vector<Value>& call_params) const;
 
  private:
-  std::map<std::string, PartitionedRelation> datasets_;
-  std::map<std::string, JoinDefinition> joins_;
+  const Catalog* parent_ = nullptr;  ///< overlay fall-through; not owned
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::shared_ptr<const PartitionedRelation>>
+      datasets_;
+  std::map<std::string, std::shared_ptr<const JoinDefinition>> joins_;
 };
 
 }  // namespace fudj

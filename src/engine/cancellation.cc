@@ -1,0 +1,53 @@
+#include "engine/cancellation.h"
+
+namespace fudj {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Sets the trip status (first writer wins) and then publishes the flag.
+void Trip(internal::CancelState* state, Status status) {
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->status.ok()) state->status = std::move(status);
+  }
+  state->cancelled.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+bool CancellationToken::cancelled() const {
+  if (state_ == nullptr) return false;
+  if (state_->cancelled.load(std::memory_order_acquire)) return true;
+  const int64_t deadline =
+      state_->deadline_ns.load(std::memory_order_relaxed);
+  if (deadline != 0 && SteadyNowNs() >= deadline) {
+    Trip(state_.get(), Status::Timeout("query deadline expired"));
+    return true;
+  }
+  return false;
+}
+
+Status CancellationToken::Check() const {
+  if (!cancelled()) return Status::OK();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->status;
+}
+
+void CancellationSource::Cancel(const std::string& reason) {
+  Trip(state_.get(), Status::Cancelled(reason));
+}
+
+void CancellationSource::SetDeadlineAfterMs(double ms) {
+  if (ms <= 0.0) return;
+  state_->deadline_ns.store(
+      SteadyNowNs() + static_cast<int64_t>(ms * 1e6),
+      std::memory_order_relaxed);
+}
+
+}  // namespace fudj

@@ -1,0 +1,81 @@
+#ifndef FUDJ_ENGINE_CANCELLATION_H_
+#define FUDJ_ENGINE_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace fudj {
+
+namespace internal {
+/// Shared state behind a CancellationSource and its tokens. The fast
+/// path (a live, deadline-free query) is one relaxed atomic load; the
+/// status message is filled in exactly once, under the mutex, by
+/// whichever trip (explicit cancel or deadline expiry) wins.
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+  /// Deadline as steady-clock nanoseconds since epoch; 0 = none.
+  std::atomic<int64_t> deadline_ns{0};
+  std::mutex mu;
+  Status status;  // non-OK once tripped; guarded by mu
+};
+}  // namespace internal
+
+/// Read side of cooperative cancellation. Copyable and cheap; a
+/// default-constructed token is never cancelled (the engine's "no
+/// cancellation installed" value). Checks are safe from any thread.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the source was cancelled or the deadline passed. The
+  /// first deadline observation trips the shared state, so later checks
+  /// (and the retry ladder) see a stable kTimeout status.
+  bool cancelled() const;
+
+  /// OK while the query is live; the tripping status (kCancelled from an
+  /// explicit cancel, kTimeout from a deadline) afterwards.
+  Status Check() const;
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<internal::CancelState> s)
+      : state_(std::move(s)) {}
+
+  std::shared_ptr<internal::CancelState> state_;
+};
+
+/// Write side: owned by whoever controls the query's lifetime (the
+/// QueryService ticket, a test, a driver loop). Hand `token()` to the
+/// Cluster; stage tasks and the FUDJ COMBINE ladder observe the trip at
+/// partition-task and bucket boundaries.
+class CancellationSource {
+ public:
+  CancellationSource() : state_(std::make_shared<internal::CancelState>()) {}
+
+  CancellationToken token() const { return CancellationToken(state_); }
+
+  /// Trips the token with kCancelled. Idempotent; the first trip's
+  /// status wins.
+  void Cancel(const std::string& reason);
+
+  /// Arms a steady-clock deadline; once passed, any check trips the
+  /// token with kTimeout. `ms` <= 0 is ignored.
+  void SetDeadlineAfterMs(double ms);
+
+  bool cancelled() const { return token().cancelled(); }
+
+ private:
+  std::shared_ptr<internal::CancelState> state_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_ENGINE_CANCELLATION_H_

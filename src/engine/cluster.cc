@@ -24,6 +24,10 @@ Cluster::Cluster(int num_workers, bool use_threads, int pool_threads)
   }
 }
 
+Cluster::Cluster(int num_workers, ThreadPool* shared_pool)
+    : num_workers_(num_workers < 1 ? 1 : num_workers),
+      external_pool_(shared_pool) {}
+
 Cluster::~Cluster() = default;
 
 void Cluster::EnableFaultInjection(const FaultConfig& config) {
@@ -59,7 +63,9 @@ Status Cluster::RunStageTimed(
   Stopwatch wall;
   StageFaultStats faults;
   Status first_error;
-  const int64_t steals_before = pool_ != nullptr ? pool_->steals() : 0;
+  ThreadPool* run_pool = pool();
+  const int64_t steals_before =
+      run_pool != nullptr ? run_pool->steals() : 0;
 
   const double stage_start_us = tracer_ != nullptr ? tracer_->NowUs() : 0.0;
   const double sim_before_ms =
@@ -75,9 +81,13 @@ Status Cluster::RunStageTimed(
 
   std::vector<int> pending(num_workers_);
   std::iota(pending.begin(), pending.end(), 0);
+  // Partitions whose failure is not retry-eligible (cancellation): they
+  // are abandoned instead of re-entering the retry ladder.
+  std::vector<int> abandoned;
   const int max_attempts = std::max(1, retry_.max_attempts);
 
-  for (int attempt = 0; attempt < max_attempts && !pending.empty();
+  for (int attempt = 0; attempt < max_attempts && !pending.empty() &&
+                        !cancel_.cancelled();
        ++attempt) {
     faults.attempts = attempt + 1;
     if (attempt > 0) {
@@ -103,11 +113,11 @@ Status Cluster::RunStageTimed(
       const double task_start_us =
           tracer_ != nullptr ? tracer_->NowUs() : 0.0;
       Stopwatch sw;
-      Status st;
+      Status st = cancel_.Check();  // tasks of a killed query never start
       double sim_override_ms = -1.0;
       try {
-        if (injector_ != nullptr) injector_->MaybeCrashPartition();
-        st = fn(p, &sim_override_ms);
+        if (st.ok() && injector_ != nullptr) injector_->MaybeCrashPartition();
+        if (st.ok()) st = fn(p, &sim_override_ms);
       } catch (const StatusError& e) {
         st = e.status();
       } catch (const std::exception& e) {
@@ -139,8 +149,8 @@ Status Cluster::RunStageTimed(
       }
       outcome[i] = std::move(st);
     };
-    if (pool_ != nullptr) {
-      pool_->ParallelFor(n, run_one);
+    if (run_pool != nullptr) {
+      run_pool->ParallelFor(n, run_one);
     } else {
       for (int i = 0; i < n; ++i) run_one(i);
     }
@@ -163,7 +173,11 @@ Status Cluster::RunStageTimed(
         // stage but produces nothing.
         faults.recovery_ms += busy[i];
         if (first_error.ok()) first_error = outcome[i];
-        still_failed.push_back(pending[i]);
+        if (retry_.ShouldRetry(outcome[i])) {
+          still_failed.push_back(pending[i]);
+        } else {
+          abandoned.push_back(pending[i]);
+        }
       }
     }
     pending.swap(still_failed);
@@ -184,8 +198,8 @@ Status Cluster::RunStageTimed(
         metrics_->GetHistogram("stage_partition_busy_ms", {{"stage", name}},
                                ExponentialBuckets(0.001, 4, 20));
     for (const double ms : partition_ms) busy_hist->Observe(ms);
-    if (pool_ != nullptr) {
-      const int64_t stolen = pool_->steals() - steals_before;
+    if (run_pool != nullptr) {
+      const int64_t stolen = run_pool->steals() - steals_before;
       if (stolen > 0) {
         metrics_->GetCounter("threadpool_steals_total")->Increment(stolen);
         metrics_->GetCounter("threadpool_steals_total", {{"stage", name}})
@@ -242,12 +256,18 @@ Status Cluster::RunStageTimed(
            Tracer::DoubleArg("recovery_ms", faults.recovery_ms)});
     }
   }
-  if (!pending.empty()) {
+  const size_t failed = pending.size() + abandoned.size();
+  if (failed > 0) {
+    // A cancellation that tripped before any partition could fail (e.g.
+    // between retry rounds) is still the stage's outcome.
+    if (first_error.ok()) first_error = cancel_.Check();
+    if (first_error.ok()) {
+      first_error = Status::Internal("stage aborted without an error");
+    }
     return Status(first_error.code(),
-                  "stage '" + name + "' failed (" +
-                      std::to_string(pending.size()) + " partition(s), " +
-                      std::to_string(faults.attempts) + " attempt(s)): " +
-                      first_error.message());
+                  "stage '" + name + "' failed (" + std::to_string(failed) +
+                      " partition(s), " + std::to_string(faults.attempts) +
+                      " attempt(s)): " + first_error.message());
   }
   return Status::OK();
 }

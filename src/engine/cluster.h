@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "engine/cancellation.h"
 #include "engine/fault_injector.h"
 #include "engine/retry_policy.h"
 #include "engine/stats.h"
@@ -41,17 +42,38 @@ class Cluster {
   /// its size (<= 0 means `hardware_concurrency`).
   explicit Cluster(int num_workers, bool use_threads = false,
                    int pool_threads = 0);
+  /// Shares an externally owned pool instead of constructing one: the
+  /// serving path builds one lightweight Cluster per query, all wired to
+  /// the service's work-stealing pool (whose ParallelFor is safe from
+  /// concurrent external callers). `shared_pool` may be null (sequential
+  /// execution) and is never owned; it must outlive the cluster.
+  Cluster(int num_workers, ThreadPool* shared_pool);
   ~Cluster();
 
   int num_workers() const { return num_workers_; }
   /// Null when the cluster runs partitions sequentially. Stage tasks may
   /// fork sub-task morsels through it (nested ParallelFor).
-  ThreadPool* pool() const { return pool_.get(); }
+  ThreadPool* pool() const {
+    return external_pool_ != nullptr ? external_pool_ : pool_.get();
+  }
   const CostModelConfig& cost_model() const { return cost_; }
   CostModelConfig* mutable_cost_model() { return &cost_; }
 
   const RetryPolicy& retry_policy() const { return retry_; }
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
+  /// Installs the query's cancellation token. Stage tasks observe the
+  /// trip at partition-task boundaries (a pending task fails with the
+  /// token's status instead of running), the retry ladder stops
+  /// scheduling new rounds, and long COMBINE tasks poll it between
+  /// buckets. A default-constructed token (the default) never cancels.
+  void set_cancellation(CancellationToken token) {
+    cancel_ = std::move(token);
+  }
+  const CancellationToken& cancellation() const { return cancel_; }
+  /// OK while the query is live; the tripping kCancelled/kTimeout status
+  /// afterwards. Cheap enough for per-bucket polling.
+  Status CheckCancelled() const { return cancel_.Check(); }
 
   /// Installs a seeded fault injector (replaces any previous one); pass
   /// a default-constructed FaultConfig via `ClearFaultInjection` to turn
@@ -108,6 +130,8 @@ class Cluster {
   RetryPolicy retry_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<ThreadPool> pool_;
+  ThreadPool* external_pool_ = nullptr;  ///< not owned; wins over pool_
+  CancellationToken cancel_;
   Tracer* tracer_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
 };

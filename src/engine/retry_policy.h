@@ -1,6 +1,8 @@
 #ifndef FUDJ_ENGINE_RETRY_POLICY_H_
 #define FUDJ_ENGINE_RETRY_POLICY_H_
 
+#include "common/status.h"
+
 namespace fudj {
 
 /// Stage-granularity recovery policy of the simulated cluster. When a
@@ -25,6 +27,14 @@ struct RetryPolicy {
   /// this is treated as hung and retried with outcome kTimeout. 0 disables
   /// deadline checking (the default; real busy times on CI are noisy).
   double partition_deadline_ms = 0.0;
+
+  /// True when a failed partition outcome is eligible for another
+  /// attempt. Cancellation is not: re-running work whose query the user
+  /// (or its deadline) already killed would only burn simulated recovery
+  /// time — the stage abandons the partition immediately instead.
+  bool ShouldRetry(const Status& failure) const {
+    return failure.code() != StatusCode::kCancelled;
+  }
 
   /// Backoff charged before retry round `retry_round` (0-based: the pause
   /// between attempt 1 and attempt 2 is round 0).

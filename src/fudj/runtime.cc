@@ -992,6 +992,7 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
                   int64_t buckets_run = 0;
                   std::vector<std::pair<int64_t, int64_t>> cands;
                   for (const auto& [b, lidx] : probe_groups) {
+                    FUDJ_RETURN_NOT_OK(cluster_->CheckCancelled());
                     auto it = build.find(b);
                     if (it == build.end()) continue;
                     const std::vector<size_t>& ridx = it->second;
@@ -1060,6 +1061,9 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
                 }
                 std::unordered_set<int64_t> probed_buckets;
                 for (size_t i = 0; i < l_rows.size(); ++i) {
+                  // Poll per probe row (bucket granularity): cancellation
+                  // must interrupt a long verify ladder mid-partition.
+                  FUDJ_RETURN_NOT_OK(cluster_->CheckCancelled());
                   const Tuple& l = l_rows[i];
                   auto it = build.find(l[0].i64());
                   if (it == build.end()) continue;
@@ -1160,6 +1164,7 @@ Result<PartitionedRelation> FudjRuntime::CombineJoin(
               std::unordered_map<int64_t, std::vector<Value>> r_cache;
               int64_t cand_total = 0;
               for (const MatchedPair& m : matched) {
+                FUDJ_RETURN_NOT_OK(cluster_->CheckCancelled());
                 const std::vector<const Tuple*>& ls = *m.ls;
                 const std::vector<const Tuple*>& rs = *m.rs;
                 const int64_t b1 = m.b1;
@@ -1416,6 +1421,7 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
           int64_t buckets_run = 0;
           std::vector<std::pair<int64_t, int64_t>> cands;
           for (const auto& [b, lidx] : probe_groups) {
+            FUDJ_RETURN_NOT_OK(cluster_->CheckCancelled());
             auto it = build.find(b);
             if (it == build.end()) continue;
             const std::vector<std::pair<int, int>>& rpairs = it->second;
@@ -1514,6 +1520,7 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
             }
           }
           for (int r = 0; r < chunk.size(); ++r) {
+            FUDJ_RETURN_NOT_OK(cluster_->CheckCancelled());
             const int64_t b = bucket.i64(r);
             auto it = build.find(b);
             if (it == build.end()) continue;
@@ -1579,6 +1586,13 @@ Result<PartitionedRelation> FudjRuntime::Execute(
       ExecuteFudjPath(left, left_key_col, right, right_key_col, options,
                       stats);
   if (result.ok() || !options.allow_degrade) return result;
+  // Never mask a cancelled or deadline-expired query as a degraded
+  // success: the caller asked for the query to stop, not for a slower
+  // answer. (Deadline trips surface as kTimeout via the cluster token.)
+  if (result.status().code() == StatusCode::kCancelled ||
+      !cluster_->CheckCancelled().ok()) {
+    return result;
+  }
   // The FUDJ pipeline kept failing past the retry budget — most likely a
   // persistently-broken user callback. Degrade to the exact broadcast-NLJ
   // theta path, which only needs `Verify` (§I's on-top baseline).

@@ -54,6 +54,48 @@ Expr::Ptr Expr::Not(Ptr inner) {
 
 Expr::Ptr Expr::Star() { return Ptr(new Expr(ExprKind::kStar)); }
 
+Expr::Ptr Expr::Parameter(int index) {
+  auto e = Ptr(new Expr(ExprKind::kParameter));
+  e->param_index_ = index;
+  return e;
+}
+
+Expr::Ptr Expr::Clone() const {
+  auto e = Ptr(new Expr(kind_));
+  e->name_ = name_;
+  e->literal_ = literal_;
+  e->compare_op_ = compare_op_;
+  e->column_index_ = column_index_;
+  e->param_index_ = param_index_;
+  e->children_.reserve(children_.size());
+  for (const Ptr& c : children_) e->children_.push_back(c->Clone());
+  return e;
+}
+
+Result<Expr::Ptr> Expr::SubstituteParameters(
+    const Ptr& e, const std::vector<Value>& params) {
+  if (e->kind_ == ExprKind::kParameter) {
+    if (e->param_index_ < 0 ||
+        e->param_index_ >= static_cast<int>(params.size())) {
+      return Status::InvalidArgument(
+          "no value bound for parameter ?" +
+          std::to_string(e->param_index_ + 1));
+    }
+    return Literal(params[static_cast<size_t>(e->param_index_)]);
+  }
+  auto out = Ptr(new Expr(e->kind_));
+  out->name_ = e->name_;
+  out->literal_ = e->literal_;
+  out->compare_op_ = e->compare_op_;
+  out->column_index_ = e->column_index_;
+  out->children_.reserve(e->children_.size());
+  for (const Ptr& c : e->children_) {
+    FUDJ_ASSIGN_OR_RETURN(Ptr sub, SubstituteParameters(c, params));
+    out->children_.push_back(std::move(sub));
+  }
+  return out;
+}
+
 Status Expr::Bind(const Schema& schema) {
   switch (kind_) {
     case ExprKind::kColumn: {
@@ -63,6 +105,10 @@ Status Expr::Bind(const Schema& schema) {
     case ExprKind::kLiteral:
     case ExprKind::kStar:
       return Status::OK();
+    case ExprKind::kParameter:
+      return Status::InvalidArgument(
+          "unbound parameter ?" + std::to_string(param_index_ + 1) +
+          "; bind values before planning");
     case ExprKind::kCall:
       if (!IsAggregateCall() &&
           !ScalarFunctionRegistry::Global().Has(name_)) {
@@ -93,6 +139,9 @@ Result<Value> Expr::Eval(const Tuple& t) const {
       return literal_;
     case ExprKind::kStar:
       return Status::Internal("'*' outside COUNT(*)");
+    case ExprKind::kParameter:
+      return Status::Internal("unbound parameter ?" +
+                              std::to_string(param_index_ + 1));
     case ExprKind::kCall: {
       FUDJ_ASSIGN_OR_RETURN(ScalarFunction fn,
                             ScalarFunctionRegistry::Global().Lookup(name_));
@@ -199,6 +248,8 @@ std::string Expr::ToString() const {
                  : literal_.ToString();
     case ExprKind::kStar:
       return "*";
+    case ExprKind::kParameter:
+      return "?";
     case ExprKind::kCall: {
       std::string s = name_ + "(";
       for (size_t i = 0; i < children_.size(); ++i) {

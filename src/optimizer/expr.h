@@ -20,7 +20,8 @@ enum class ExprKind {
   kAnd,
   kOr,
   kNot,
-  kStar,  // the '*' inside COUNT(*)
+  kStar,       // the '*' inside COUNT(*)
+  kParameter,  // a '?' placeholder of a prepared statement
 };
 
 enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
@@ -40,8 +41,15 @@ class Expr {
   static Ptr Or(Ptr lhs, Ptr rhs);
   static Ptr Not(Ptr inner);
   static Ptr Star();
+  /// A prepared-statement placeholder; `index` is its 0-based position
+  /// in the statement's `?` order. Must be substituted with a literal
+  /// (SubstituteParameters) before Bind/Eval.
+  static Ptr Parameter(int index);
 
   ExprKind kind() const { return kind_; }
+
+  // kParameter
+  int param_index() const { return param_index_; }
 
   // kColumn
   const std::string& column_name() const { return name_; }
@@ -73,6 +81,16 @@ class Expr {
   /// Convenience: Eval + truthiness (NULL and non-bool are false).
   bool EvalBool(const Tuple& t) const;
 
+  /// Deep copy. `Bind` mutates nodes in place (column indexes), so a
+  /// shared expression template — e.g. a prepared statement executed by
+  /// several sessions at once — must be cloned per execution.
+  Ptr Clone() const;
+
+  /// Deep copy with every kParameter node replaced by the literal at its
+  /// index in `params`. Fails on an out-of-range index.
+  static Result<Ptr> SubstituteParameters(const Ptr& e,
+                                          const std::vector<Value>& params);
+
   /// Splits a conjunction tree into its AND-ed conjuncts.
   static void CollectConjuncts(const Ptr& e, std::vector<Ptr>* out);
 
@@ -96,6 +114,7 @@ class Expr {
   CompareOp compare_op_ = CompareOp::kEq;
   std::vector<Ptr> children_;
   int column_index_ = -1;
+  int param_index_ = -1;
 };
 
 }  // namespace fudj

@@ -2,6 +2,51 @@
 
 namespace fudj {
 
+Result<QuerySpec> QuerySpec::WithParameters(
+    const std::vector<Value>& params) const {
+  QuerySpec out;
+  out.tables = tables;
+  out.order_by = order_by;
+  out.limit = limit;
+  for (const SelectItem& item : select) {
+    SelectItem copy;
+    FUDJ_ASSIGN_OR_RETURN(copy.expr,
+                          Expr::SubstituteParameters(item.expr, params));
+    copy.alias = item.alias;
+    out.select.push_back(std::move(copy));
+  }
+  if (where != nullptr) {
+    FUDJ_ASSIGN_OR_RETURN(out.where,
+                          Expr::SubstituteParameters(where, params));
+  }
+  for (const Expr::Ptr& g : group_by) {
+    FUDJ_ASSIGN_OR_RETURN(Expr::Ptr col,
+                          Expr::SubstituteParameters(g, params));
+    out.group_by.push_back(std::move(col));
+  }
+  return out;
+}
+
+Result<Statement> Statement::WithParameters(
+    const std::vector<Value>& params) const {
+  if (static_cast<int>(params.size()) != parameter_count) {
+    return Status::InvalidArgument(
+        "statement expects " + std::to_string(parameter_count) +
+        " parameter(s), got " + std::to_string(params.size()));
+  }
+  Statement out;
+  out.kind = kind;
+  out.create_join = create_join;
+  out.drop_join = drop_join;
+  out.explain = explain;
+  out.analyze = analyze;
+  out.parameter_count = 0;  // substituted below
+  if (kind == Kind::kSelect) {
+    FUDJ_ASSIGN_OR_RETURN(out.select, select.WithParameters(params));
+  }
+  return out;
+}
+
 std::string QuerySpec::ToString() const {
   std::string s = "SELECT ";
   for (size_t i = 0; i < select.size(); ++i) {

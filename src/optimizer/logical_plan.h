@@ -49,6 +49,12 @@ struct QuerySpec {
   std::vector<OrderItem> order_by;
   int64_t limit = -1;  // -1: no limit
 
+  /// Deep copy with every `?` placeholder replaced by the literal at its
+  /// index in `params`. Expressions are cloned even when parameter-free:
+  /// Bind mutates nodes in place, so a prepared statement executed
+  /// concurrently must never share trees between executions.
+  Result<QuerySpec> WithParameters(const std::vector<Value>& params) const;
+
   std::string ToString() const;
 };
 
@@ -78,6 +84,14 @@ struct Statement {
   bool explain = false;
   /// EXPLAIN ANALYZE: run the query and return the per-stage profile.
   bool analyze = false;
+  /// Number of `?` placeholders the parser saw (prepared statements).
+  int parameter_count = 0;
+
+  /// Per-execution instantiation of a (possibly prepared) statement:
+  /// validates `params` against `parameter_count` and returns a copy
+  /// whose SELECT expressions are deep-cloned with placeholders
+  /// substituted (see QuerySpec::WithParameters).
+  Result<Statement> WithParameters(const std::vector<Value>& params) const;
 };
 
 }  // namespace fudj

@@ -39,6 +39,7 @@ ValueType InferType(const Expr::Ptr& e, const Schema& schema) {
     case ExprKind::kNot:
       return ValueType::kBool;
     case ExprKind::kStar:
+    case ExprKind::kParameter:
       return ValueType::kNull;
   }
   return ValueType::kNull;
@@ -366,7 +367,7 @@ Result<PhysicalQueryPlan> PlanQuery(const QuerySpec& query,
       Expr::Ptr nlj_predicate;
       std::string explain_step;
       if (fudj_conjunct >= 0) {
-        FUDJ_ASSIGN_OR_RETURN(const JoinDefinition* def,
+        FUDJ_ASSIGN_OR_RETURN(const std::shared_ptr<const JoinDefinition> def,
                               catalog.GetJoin(detection.join_name));
         const BuiltinRuleFn* builtin_rule =
             def->library == kBuiltinOpsLibrary
@@ -659,9 +660,13 @@ Result<QueryOutput> ExplainAnalyzeQuery(Cluster* cluster,
 
 }  // namespace
 
-Result<QueryOutput> ExecuteSql(Cluster* cluster, Catalog* catalog,
-                               std::string_view sql) {
-  FUDJ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+Result<QueryOutput> ExecuteStatement(Cluster* cluster, Catalog* catalog,
+                                     const Statement& stmt) {
+  if (stmt.parameter_count > 0) {
+    return Status::InvalidArgument(
+        "statement has " + std::to_string(stmt.parameter_count) +
+        " unbound parameter(s); use Statement::WithParameters first");
+  }
   switch (stmt.kind) {
     case Statement::Kind::kCreateJoin: {
       JoinDefinition def;
@@ -687,6 +692,12 @@ Result<QueryOutput> ExecuteSql(Cluster* cluster, Catalog* catalog,
     }
   }
   return Status::Internal("unknown statement kind");
+}
+
+Result<QueryOutput> ExecuteSql(Cluster* cluster, Catalog* catalog,
+                               std::string_view sql) {
+  FUDJ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return ExecuteStatement(cluster, catalog, stmt);
 }
 
 }  // namespace fudj

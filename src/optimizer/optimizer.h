@@ -28,9 +28,16 @@ Result<PhysicalQueryPlan> PlanQuery(const QuerySpec& query,
 Result<QueryOutput> ExecuteQuery(Cluster* cluster, const Catalog& catalog,
                                  const QuerySpec& query);
 
-/// Parses and executes any supported statement. CREATE JOIN / DROP JOIN
-/// mutate the catalog and return an empty QueryOutput; SELECT returns
-/// rows.
+/// Executes an already-parsed statement. CREATE JOIN / DROP JOIN mutate
+/// the catalog and return an empty QueryOutput; SELECT returns rows.
+/// Rejects statements with unbound `?` parameters — instantiate with
+/// Statement::WithParameters first.
+Result<QueryOutput> ExecuteStatement(Cluster* cluster, Catalog* catalog,
+                                     const Statement& stmt);
+
+/// Parses and executes any supported statement (ParseStatement +
+/// ExecuteStatement). Re-entrant: may be called from many threads
+/// concurrently as long as each call uses its own Cluster.
 Result<QueryOutput> ExecuteSql(Cluster* cluster, Catalog* catalog,
                                std::string_view sql);
 

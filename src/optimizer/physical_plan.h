@@ -18,7 +18,9 @@ namespace fudj {
 /// A FROM-clause table after binding: the catalog relation, its aliased
 /// schema, and any pushed-down filter (bound against that schema).
 struct BoundTable {
-  const PartitionedRelation* relation = nullptr;
+  /// Shared with the catalog: a concurrent DROP cannot free the data
+  /// out from under a running query.
+  std::shared_ptr<const PartitionedRelation> relation;
   Schema schema;
   Expr::Ptr filter;  // nullable
   std::string alias;

@@ -1,0 +1,395 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "engine/cluster.h"
+#include "obs/trace.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+
+namespace fudj {
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+std::vector<double> LatencyBuckets() { return ExponentialBuckets(1.0, 2.0, 18); }
+
+}  // namespace
+
+const char* QueryStateToString(QueryState s) {
+  switch (s) {
+    case QueryState::kQueued:
+      return "queued";
+    case QueryState::kRunning:
+      return "running";
+    case QueryState::kSucceeded:
+      return "succeeded";
+    case QueryState::kFailed:
+      return "failed";
+    case QueryState::kCancelled:
+      return "cancelled";
+    case QueryState::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+// QueryTicket ---------------------------------------------------------------
+
+QueryState QueryTicket::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+bool QueryTicket::done() const {
+  const QueryState s = state();
+  return s != QueryState::kQueued && s != QueryState::kRunning;
+}
+
+void QueryTicket::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    return state_ != QueryState::kQueued && state_ != QueryState::kRunning;
+  });
+}
+
+void QueryTicket::Cancel(const std::string& reason) {
+  cancel_.Cancel(reason);
+}
+
+Status QueryTicket::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+const QueryOutput& QueryTicket::output() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return output_;
+}
+
+const ExecStats& QueryTicket::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return output_.stats;
+}
+
+double QueryTicket::queue_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_ms_;
+}
+
+double QueryTicket::sim_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sim_ms_;
+}
+
+// Session -------------------------------------------------------------------
+
+Session::Session(QueryService* service, int64_t id, std::string name,
+                 double weight, const Catalog* base)
+    : service_(service),
+      id_(id),
+      name_(std::move(name)),
+      weight_(weight > 0.0 ? weight : 1.0),
+      overlay_(base) {}
+
+Result<TicketPtr> Session::Submit(std::string_view sql,
+                                  const SubmitOptions& opts) {
+  FUDJ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.parameter_count > 0 || !opts.params.empty()) {
+    FUDJ_ASSIGN_OR_RETURN(stmt, stmt.WithParameters(opts.params));
+  }
+  return service_->Enqueue(shared_from_this(), std::move(stmt), opts);
+}
+
+Result<PreparedStatement> Session::Prepare(std::string_view sql) const {
+  PreparedStatement prep;
+  FUDJ_ASSIGN_OR_RETURN(prep.stmt_, ParseStatement(sql));
+  return prep;
+}
+
+Result<TicketPtr> Session::SubmitPrepared(const PreparedStatement& prep,
+                                          const SubmitOptions& opts) {
+  FUDJ_ASSIGN_OR_RETURN(Statement stmt,
+                        prep.stmt_.WithParameters(opts.params));
+  return service_->Enqueue(shared_from_this(), std::move(stmt), opts);
+}
+
+Result<QueryOutput> Session::Execute(std::string_view sql,
+                                     const SubmitOptions& opts) {
+  FUDJ_ASSIGN_OR_RETURN(TicketPtr t, Submit(sql, opts));
+  t->Wait();
+  FUDJ_RETURN_NOT_OK(t->status());
+  return t->output();
+}
+
+// QueryService --------------------------------------------------------------
+
+QueryService::QueryService(const ServiceOptions& options)
+    : options_(options),
+      pool_(options.pool_threads > 0
+                ? options.pool_threads
+                : std::max(1u, std::thread::hardware_concurrency())),
+      governor_(options.memory_budget_bytes, 1) {
+  metrics_.GetGauge("service_queue_depth")->Set(0);
+  metrics_.GetGauge("service_running")->Set(0);
+  const int slots = std::max(1, options_.max_concurrent);
+  executors_.reserve(slots);
+  for (int s = 0; s < slots; ++s) {
+    executors_.emplace_back([this, s] { ExecutorLoop(s); });
+  }
+}
+
+QueryService::~QueryService() {
+  std::vector<TicketPtr> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    for (auto& [sid, q] : queues_) {
+      for (TicketPtr& t : q.fifo) orphans.push_back(std::move(t));
+      q.fifo.clear();
+    }
+    queued_ = 0;
+    metrics_.GetGauge("service_queue_depth")->Set(0);
+  }
+  work_cv_.notify_all();
+  // Queued tickets never ran; running ones get their token tripped and
+  // abort at the next partition/bucket boundary, so the join is bounded.
+  for (const TicketPtr& t : orphans) {
+    t->cancel_.Cancel("service shutting down");
+    FinishTicket(t, QueryState::kCancelled,
+                 Status::Cancelled("service shutting down"), {});
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, t] : running_tickets_) {
+      t->cancel_.Cancel("service shutting down");
+    }
+  }
+  for (std::thread& t : executors_) t.join();
+}
+
+std::shared_ptr<Session> QueryService::OpenSession(const std::string& name,
+                                                   double weight) {
+  int64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_session_id_++;
+  }
+  return std::shared_ptr<Session>(
+      new Session(this, id, name, weight, &base_catalog_));
+}
+
+Status QueryService::RunDdl(std::string_view sql) {
+  FUDJ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  Cluster cluster(options_.num_workers, &pool_);
+  cluster.set_retry_policy(options_.retry);
+  cluster.set_metrics(&metrics_);
+  return ExecuteStatement(&cluster, &base_catalog_, stmt).status();
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
+}
+
+int QueryService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+int QueryService::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+TicketPtr QueryService::Enqueue(const std::shared_ptr<Session>& session,
+                                Statement stmt, const SubmitOptions& opts) {
+  TicketPtr t(new QueryTicket());
+  t->session_id_ = session->id_;
+  t->session_name_ = session->name_;
+  t->weight_ = session->weight_;
+  t->stmt_ = std::move(stmt);
+  t->session_ = session;
+  t->submitted_ = std::chrono::steady_clock::now();
+  t->charged_estimate_ = -1.0;
+
+  Status reject;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    t->id_ = next_query_id_++;
+    if (shutdown_) {
+      reject = Status::Unavailable("service is shutting down");
+    } else if (queued_ >= options_.max_queue_depth) {
+      reject = Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(queued_) + "/" +
+          std::to_string(options_.max_queue_depth) + " queued)");
+    } else if (!governor_.TryReserve(0, options_.per_query_reserve_bytes)) {
+      reject = Status::ResourceExhausted(
+          "service memory budget exhausted (" +
+          std::to_string(governor_.reserved_bytes()) + "/" +
+          std::to_string(governor_.budget_bytes()) + " bytes reserved)");
+    } else {
+      t->reservation_ = MemoryReservation(&governor_, 0,
+                                          options_.per_query_reserve_bytes);
+      if (opts.deadline_ms > 0.0) {
+        // Armed at admission: queue wait counts against the deadline.
+        t->cancel_.SetDeadlineAfterMs(opts.deadline_ms);
+      }
+      SessionQueue& q = queues_[t->session_id_];
+      if (q.fifo.empty()) {
+        // Re-joining the runnable set: floor the pass at the global
+        // virtual time so an idle session cannot bank unbounded credit.
+        q.pass = std::max(q.pass, global_pass_);
+      }
+      q.fifo.push_back(t);
+      ++queued_;
+      metrics_.GetGauge("service_queue_depth")->Set(queued_);
+    }
+  }
+  if (!reject.ok()) {
+    metrics_.GetCounter("service_admission_rejects_total")->Increment();
+    FinishTicket(t, QueryState::kRejected, std::move(reject), {});
+    return t;
+  }
+  work_cv_.notify_one();
+  return t;
+}
+
+TicketPtr QueryService::PopNextLocked() {
+  SessionQueue* best = nullptr;
+  for (auto& [sid, q] : queues_) {
+    if (q.fifo.empty()) continue;
+    if (best == nullptr || q.pass < best->pass) best = &q;
+  }
+  if (best == nullptr) return nullptr;
+  TicketPtr t = std::move(best->fifo.front());
+  best->fifo.pop_front();
+  global_pass_ = std::max(global_pass_, best->pass);
+  // Provisional stride charge (the session's rolling mean cost):
+  // prevents one session from seizing every slot before its first
+  // completion reports an actual cost. Corrected in FinishTicket.
+  t->charged_estimate_ = best->mean_cost_ms;
+  best->pass += best->mean_cost_ms / t->weight_;
+  --queued_;
+  ++running_;
+  running_tickets_[t->id_] = t;
+  metrics_.GetGauge("service_queue_depth")->Set(queued_);
+  metrics_.GetGauge("service_running")->Set(running_);
+  return t;
+}
+
+void QueryService::ExecutorLoop(int slot) {
+  for (;;) {
+    TicketPtr t;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || queued_ > 0; });
+      if (shutdown_) return;
+      t = PopNextLocked();
+    }
+    if (t == nullptr) continue;
+
+    const double queue_ms = ElapsedMs(t->submitted_);
+    {
+      std::lock_guard<std::mutex> lock(t->mu_);
+      t->state_ = QueryState::kRunning;
+      t->queue_ms_ = queue_ms;
+    }
+    metrics_
+        .GetHistogram("service_queue_wait_ms", {}, LatencyBuckets())
+        ->Observe(queue_ms);
+
+    const double span_start =
+        tracer_ != nullptr ? tracer_->NowUs() : 0.0;
+    QueryState end_state;
+    Status end_status;
+    QueryOutput out;
+    // A token tripped while queued (explicit cancel or an expired
+    // deadline) finishes the query without touching the engine.
+    Status pre = t->cancel_.token().Check();
+    if (!pre.ok()) {
+      end_state = pre.code() == StatusCode::kCancelled
+                      ? QueryState::kCancelled
+                      : QueryState::kFailed;
+      end_status = std::move(pre);
+    } else {
+      Cluster cluster(options_.num_workers, &pool_);
+      cluster.set_retry_policy(options_.retry);
+      cluster.set_metrics(&metrics_);
+      cluster.set_cancellation(t->cancel_.token());
+      if (tracer_ != nullptr) cluster.set_tracer(tracer_);
+      Result<QueryOutput> ran =
+          ExecuteStatement(&cluster, t->session_->catalog(), t->stmt_);
+      if (ran.ok()) {
+        end_state = QueryState::kSucceeded;
+        out = std::move(*ran);
+      } else {
+        end_state = ran.status().code() == StatusCode::kCancelled
+                        ? QueryState::kCancelled
+                        : QueryState::kFailed;
+        end_status = ran.status();
+      }
+    }
+    if (tracer_ != nullptr) {
+      tracer_->AddSpan(
+          Tracer::kWallPid, 100 + slot, "service-query", "service",
+          span_start, tracer_->NowUs() - span_start,
+          {Tracer::IntArg("query", t->id_),
+           Tracer::StringArg("session", t->session_name_),
+           Tracer::StringArg("state", QueryStateToString(end_state))});
+    }
+    FinishTicket(t, end_state, std::move(end_status), std::move(out));
+  }
+}
+
+void QueryService::FinishTicket(const TicketPtr& t, QueryState state,
+                                Status status, QueryOutput output) {
+  const double sim_ms = output.stats.simulated_ms();
+  const double total_ms = ElapsedMs(t->submitted_);
+  {
+    std::lock_guard<std::mutex> lock(t->mu_);
+    t->state_ = state;
+    t->status_ = std::move(status);
+    t->output_ = std::move(output);
+    t->sim_ms_ = sim_ms;
+  }
+  // Release the admission reservation before signalling: a waiter that
+  // wakes on a terminal ticket must observe the budget returned.
+  t->reservation_.Reset();
+  t->cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (t->charged_estimate_ >= 0.0) {
+      // Dispatched: replace the provisional stride charge with the
+      // query's actual simulated cost and refresh the session estimate.
+      SessionQueue& q = queues_[t->session_id_];
+      q.pass += (sim_ms - t->charged_estimate_) / t->weight_;
+      if (sim_ms > 0.0) {
+        q.mean_cost_ms = 0.8 * q.mean_cost_ms + 0.2 * sim_ms;
+      }
+      --running_;
+      running_tickets_.erase(t->id_);
+      metrics_.GetGauge("service_running")->Set(running_);
+    }
+  }
+  metrics_
+      .GetCounter("service_queries_total",
+                  {{"state", QueryStateToString(state)}})
+      ->Increment();
+  metrics_
+      .GetHistogram("service_query_latency_ms",
+                    {{"state", QueryStateToString(state)}},
+                    LatencyBuckets())
+      ->Observe(total_ms);
+  drain_cv_.notify_all();
+}
+
+}  // namespace fudj

@@ -1,0 +1,285 @@
+#ifndef FUDJ_SERVICE_QUERY_SERVICE_H_
+#define FUDJ_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/thread_pool.h"
+#include "engine/cancellation.h"
+#include "engine/memory.h"
+#include "engine/retry_policy.h"
+#include "obs/metrics.h"
+#include "optimizer/logical_plan.h"
+#include "optimizer/physical_plan.h"
+
+namespace fudj {
+
+class Tracer;
+class QueryService;
+class Session;
+
+/// Configuration of a QueryService instance.
+struct ServiceOptions {
+  /// Simulated cluster width of every query (workers per query).
+  int num_workers = 8;
+  /// Threads in the one shared work-stealing pool all queries run on
+  /// (<= 0: hardware_concurrency).
+  int pool_threads = 0;
+  /// Executor slots: queries running at once. Also the admission
+  /// controller's concurrency bound.
+  int max_concurrent = 4;
+  /// Queries allowed to wait beyond the running ones; a submit past this
+  /// bound is rejected with kResourceExhausted.
+  int max_queue_depth = 32;
+  /// Global service memory budget (<= 0: unlimited). Admission reserves
+  /// `per_query_reserve_bytes` against it per admitted query and releases
+  /// the reservation when the query reaches a terminal state.
+  int64_t memory_budget_bytes = 0;
+  int64_t per_query_reserve_bytes = 16 << 20;
+  /// Retry policy installed on every per-query cluster.
+  RetryPolicy retry;
+};
+
+/// Lifecycle of a submitted query.
+enum class QueryState {
+  kQueued,     ///< admitted, waiting for an executor slot
+  kRunning,    ///< executing on the shared pool
+  kSucceeded,  ///< terminal: output() is valid
+  kFailed,     ///< terminal: status() holds the error (incl. kTimeout)
+  kCancelled,  ///< terminal: explicitly cancelled
+  kRejected,   ///< terminal: admission refused (kResourceExhausted)
+};
+
+const char* QueryStateToString(QueryState s);
+
+/// Per-submit knobs.
+struct SubmitOptions {
+  /// Wall-clock deadline from submit (queue wait counts); <= 0: none.
+  /// An expired deadline fails the query with kTimeout.
+  double deadline_ms = 0.0;
+  /// Values bound to `?` placeholders, in order.
+  std::vector<Value> params;
+};
+
+/// Handle to one submitted query: queryable while it runs, joinable, and
+/// cancellable. Created by Session::Submit; shared between the caller
+/// and the service executor.
+class QueryTicket {
+ public:
+  int64_t id() const { return id_; }
+  const std::string& session_name() const { return session_name_; }
+
+  QueryState state() const;
+  bool done() const;
+
+  /// Blocks until the query reaches a terminal state.
+  void Wait();
+
+  /// Trips the query's cancellation token. A queued query finishes
+  /// kCancelled without running; a running query aborts at the next
+  /// partition-task or COMBINE-bucket boundary. Idempotent; has no
+  /// effect once terminal.
+  void Cancel(const std::string& reason);
+
+  /// Terminal status: OK for kSucceeded, the error otherwise. Callable
+  /// while running (returns OK).
+  Status status() const;
+  /// Valid once kSucceeded (empty otherwise).
+  const QueryOutput& output() const;
+  /// Execution stats (populated at completion; empty while running).
+  const ExecStats& stats() const;
+
+  /// Wall milliseconds spent queued before dispatch.
+  double queue_ms() const;
+  /// Simulated execution milliseconds (0 until terminal).
+  double sim_ms() const;
+
+ private:
+  friend class QueryService;
+  friend class Session;
+  QueryTicket() = default;
+
+  // Immutable after construction.
+  int64_t id_ = 0;
+  int64_t session_id_ = 0;
+  std::string session_name_;
+  double weight_ = 1.0;
+  Statement stmt_;
+  /// Keeps the session (and its overlay catalog) alive while queued.
+  std::shared_ptr<Session> session_;
+  CancellationSource cancel_;
+  MemoryReservation reservation_;
+  double charged_estimate_ = 0.0;  ///< stride charged at dispatch
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  QueryState state_ = QueryState::kQueued;
+  Status status_;
+  QueryOutput output_;
+  double queue_ms_ = 0.0;
+  double sim_ms_ = 0.0;
+  std::chrono::steady_clock::time_point submitted_;
+};
+
+using TicketPtr = std::shared_ptr<QueryTicket>;
+
+/// A prepared statement: parsed once, executed many times with different
+/// `?` bindings. Cheap to copy; safe to execute concurrently (every
+/// execution deep-clones the expression trees).
+class PreparedStatement {
+ public:
+  int parameter_count() const { return stmt_.parameter_count; }
+
+ private:
+  friend class Session;
+  Statement stmt_;
+};
+
+/// One client connection. Queries submitted through a session see the
+/// service's shared base catalog through a private overlay: the
+/// session's CREATE JOIN / dataset DDL is visible only to this session,
+/// and the session cannot drop shared entries. Obtained from
+/// QueryService::OpenSession; closing is dropping the last shared_ptr
+/// (in-flight tickets keep the session alive until they finish).
+class Session : public std::enable_shared_from_this<Session> {
+ public:
+  const std::string& name() const { return name_; }
+  double weight() const { return weight_; }
+  /// The session's catalog view (overlay over the service base).
+  Catalog* catalog() { return &overlay_; }
+
+  /// Parses and enqueues `sql`. Returns the ticket immediately (state
+  /// kQueued — or kRejected when admission refused it; the ticket is
+  /// then already terminal with kResourceExhausted). Parse and
+  /// parameter-binding errors surface synchronously as a non-OK result.
+  Result<TicketPtr> Submit(std::string_view sql,
+                           const SubmitOptions& opts = {});
+
+  /// Parses `sql` (with `?` placeholders) without executing.
+  Result<PreparedStatement> Prepare(std::string_view sql) const;
+  /// Enqueues one execution of `prep` with `opts.params` bound.
+  Result<TicketPtr> SubmitPrepared(const PreparedStatement& prep,
+                                   const SubmitOptions& opts = {});
+
+  /// Submit + Wait: the blocking convenience used by tests and demos.
+  Result<QueryOutput> Execute(std::string_view sql,
+                              const SubmitOptions& opts = {});
+
+ private:
+  friend class QueryService;
+  Session(QueryService* service, int64_t id, std::string name,
+          double weight, const Catalog* base);
+
+  QueryService* service_;
+  int64_t id_;
+  std::string name_;
+  double weight_;
+  Catalog overlay_;
+};
+
+/// Multi-tenant query front-end over the simulated cluster: one shared
+/// work-stealing thread pool, one shared base catalog, N concurrent
+/// sessions. Each admitted query runs on its own lightweight
+/// Cluster wired to the shared pool, with its own cancellation token and
+/// the service-wide metrics registry.
+///
+///   admission  — bounded queue + global memory budget; overload is
+///                rejected fast with kResourceExhausted instead of
+///                queueing without bound (tail-latency protection);
+///   scheduling — stride fair-share across sessions: each session
+///                accumulates `pass` at rate cost/weight, executors
+///                always dispatch the runnable session with the lowest
+///                pass, so long-term simulated-time share is
+///                proportional to session weight;
+///   cancellation / deadlines — cooperative, via the per-query token
+///                observed at partition-task and COMBINE-bucket
+///                boundaries; deadlines count queue wait.
+class QueryService {
+ public:
+  explicit QueryService(const ServiceOptions& options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Opens a session with a fair-share `weight` (relative; 1.0 default).
+  std::shared_ptr<Session> OpenSession(const std::string& name,
+                                       double weight = 1.0);
+
+  /// Executes DDL (or any statement) synchronously against the shared
+  /// base catalog — the bootstrap path for joins/datasets every session
+  /// should see. Not subject to admission control.
+  Status RunDdl(std::string_view sql);
+
+  /// The shared base catalog (thread-safe); datasets registered here are
+  /// visible to every session.
+  Catalog* catalog() { return &base_catalog_; }
+
+  /// Blocks until no query is queued or running.
+  void Drain();
+
+  const ServiceOptions& options() const { return options_; }
+  MetricsRegistry* metrics() { return &metrics_; }
+  const MemoryGovernor& governor() const { return governor_; }
+  ThreadPool* pool() { return &pool_; }
+  /// Optional tracing of query lifecycles (not owned; may be null).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Current depth of the admission queue (excludes running queries).
+  int queue_depth() const;
+  int running() const;
+
+ private:
+  friend class Session;
+
+  /// Per-session run queue with its stride-scheduling pass value.
+  struct SessionQueue {
+    std::deque<TicketPtr> fifo;
+    double pass = 0.0;
+    double mean_cost_ms = 1.0;  ///< rolling estimate for dispatch charge
+  };
+
+  /// Admission + enqueue. Fills the ticket's terminal rejection state
+  /// itself when the service is overloaded.
+  TicketPtr Enqueue(const std::shared_ptr<Session>& session, Statement stmt,
+                    const SubmitOptions& opts);
+
+  void ExecutorLoop(int slot);
+  /// Picks the lowest-pass non-empty session queue; null when idle.
+  TicketPtr PopNextLocked();
+  void FinishTicket(const TicketPtr& t, QueryState state, Status status,
+                    QueryOutput output);
+
+  const ServiceOptions options_;
+  ThreadPool pool_;
+  Catalog base_catalog_;
+  MemoryGovernor governor_;
+  MetricsRegistry metrics_;
+  Tracer* tracer_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< executors: work or shutdown
+  std::condition_variable drain_cv_;  ///< Drain(): idle transition
+  std::map<int64_t, SessionQueue> queues_;
+  std::map<int64_t, TicketPtr> running_tickets_;
+  double global_pass_ = 0.0;  ///< virtual time; floors new/idle sessions
+  int queued_ = 0;
+  int running_ = 0;
+  bool shutdown_ = false;
+  int64_t next_session_id_ = 1;
+  int64_t next_query_id_ = 1;
+
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_SERVICE_QUERY_SERVICE_H_

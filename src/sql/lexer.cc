@@ -114,7 +114,7 @@ Result<std::vector<Token>> LexSql(std::string_view sql) {
       i += 2;
       continue;
     }
-    if (std::string_view("(),.;*=<>:").find(c) != std::string_view::npos) {
+    if (std::string_view("(),.;*=<>:?").find(c) != std::string_view::npos) {
       push_symbol(std::string(1, c));
       ++i;
       continue;

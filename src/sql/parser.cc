@@ -49,6 +49,7 @@ class Parser {
       return Status::ParseError("trailing tokens after statement: '" +
                                 Peek().text + "'");
     }
+    stmt.parameter_count = param_count_;
     return stmt;
   }
 
@@ -353,6 +354,10 @@ class Parser {
       Advance();
       return Expr::Star();
     }
+    if (t.IsSymbol("?")) {
+      Advance();
+      return Expr::Parameter(param_count_++);
+    }
     if (t.kind == TokenKind::kInt || t.kind == TokenKind::kFloat ||
         t.kind == TokenKind::kString || t.IsKeyword("true") ||
         t.IsKeyword("false") || t.IsKeyword("null")) {
@@ -388,6 +393,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int param_count_ = 0;  ///< `?` placeholders seen, in statement order
 };
 
 }  // namespace

@@ -1,0 +1,575 @@
+// Tests of the multi-tenant QueryService: cancellation and deadlines,
+// admission control, fair-share scheduling, session-scoped catalogs,
+// prepared statements, and byte-identity of concurrent execution against
+// the standalone serial path.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "engine/cancellation.h"
+#include "engine/cluster.h"
+#include "gtest/gtest.h"
+#include "joins/interval_fudj.h"
+#include "optimizer/optimizer.h"
+#include "service/query_service.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace fudj {
+namespace {
+
+// ------------------------------------------------------- test fixtures
+
+/// IntervalFudj with an artificially slow `Verify`: each candidate pair
+/// burns real time, so a COMBINE phase runs long enough to be cancelled
+/// mid-flight. Custom Match (inherited) keeps it on the theta path.
+std::atomic<int64_t> g_slow_verifies{0};
+
+class SlowIntervalJoin : public IntervalFudj {
+ public:
+  explicit SlowIntervalJoin(const JoinParameters& params)
+      : IntervalFudj(params) {}
+
+  bool Verify(const Value& key1, const Value& key2,
+              const PPlan& plan) const override {
+    g_slow_verifies.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+    return IntervalFudj::Verify(key1, key2, plan);
+  }
+};
+
+void RegisterTestJoinLibrary() {
+  static const bool once = [] {
+    (void)JoinLibraryRegistry::Global().RegisterClass(
+        "testlib", "slow.IntervalJoin", [](const JoinParameters& p) {
+          return std::unique_ptr<FlexibleJoin>(new SlowIntervalJoin(p));
+        });
+    return true;
+  }();
+  (void)once;
+}
+
+constexpr const char* kSlowJoinDdl =
+    "CREATE JOIN slow_overlap(a: interval, b: interval) RETURNS boolean "
+    "AS \"slow.IntervalJoin\" AT testlib PARAMS (40)";
+constexpr const char* kSlowQuery =
+    "SELECT t.id, w.id FROM nyctaxi t, weather w WHERE "
+    "slow_overlap(t.ride_interval, w.reading_interval) "
+    "ORDER BY t.id, w.id";
+
+void RegisterDatasets(Catalog* catalog, int partitions) {
+  ASSERT_OK(catalog->RegisterDataset(
+      "parks", PartitionedRelation::FromTuples(
+                   ParksSchema(), GenerateParks(60, 71), partitions)));
+  ASSERT_OK(catalog->RegisterDataset(
+      "wildfires",
+      PartitionedRelation::FromTuples(
+          WildfiresSchema(), GenerateWildfires(180, 72), partitions)));
+  ASSERT_OK(catalog->RegisterDataset(
+      "amazonreview",
+      PartitionedRelation::FromTuples(
+          ReviewsSchema(), GenerateReviews(60, 73), partitions)));
+  ASSERT_OK(catalog->RegisterDataset(
+      "nyctaxi", PartitionedRelation::FromTuples(
+                     TaxiSchema(), GenerateTaxiRides(80, 74), partitions)));
+  ASSERT_OK(catalog->RegisterDataset(
+      "weather",
+      PartitionedRelation::FromTuples(WeatherSchema(),
+                                      GenerateWeather(120, 75), partitions)));
+}
+
+bool SameRows(const QueryOutput& a, const QueryOutput& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    if (a.rows[i].size() != b.rows[i].size()) return false;
+    for (size_t c = 0; c < a.rows[i].size(); ++c) {
+      if (!a.rows[i][c].Equals(b.rows[i][c])) return false;
+    }
+  }
+  return true;
+}
+
+// --------------------------------------------------- engine satellites
+
+TEST(RetryPolicyTest, OnlyCancellationIsNotRetryable) {
+  RetryPolicy policy;
+  EXPECT_FALSE(policy.ShouldRetry(Status::Cancelled("user")));
+  EXPECT_TRUE(policy.ShouldRetry(Status::Internal("worker crash")));
+  // Partition-deadline overruns (stragglers) must stay retryable: the
+  // straggler-mitigation path re-executes them.
+  EXPECT_TRUE(policy.ShouldRetry(Status::Timeout("partition deadline")));
+  EXPECT_TRUE(policy.ShouldRetry(Status::Unavailable("dropped message")));
+}
+
+TEST(CancellationTest, DefaultTokenNeverCancels) {
+  CancellationToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_OK(token.Check());
+}
+
+TEST(CancellationTest, ExplicitCancelTripsWithCancelled) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  EXPECT_OK(token.Check());
+  source.Cancel("user hit ^C");
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+  // First trip wins: a later deadline cannot change the status.
+  source.SetDeadlineAfterMs(0.001);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTest, DeadlineTripsWithTimeout) {
+  CancellationSource source;
+  source.SetDeadlineAfterMs(1.0);
+  CancellationToken token = source.token();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.Check().code(), StatusCode::kTimeout);
+}
+
+TEST(ClusterTest, SharedExternalPoolRunsStages) {
+  ThreadPool pool(2);
+  Cluster a(4, &pool);
+  Cluster b(4, &pool);
+  EXPECT_EQ(a.pool(), &pool);
+  EXPECT_EQ(b.pool(), &pool);
+  std::atomic<int> ran{0};
+  ExecStats stats;
+  ASSERT_OK(a.RunStage(
+      "shared-a", [&](int) { ++ran; return Status::OK(); }, &stats));
+  ASSERT_OK(b.RunStage(
+      "shared-b", [&](int) { ++ran; return Status::OK(); }, &stats));
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ClusterTest, CancelledTokenFailsStageWithoutRunningTasks) {
+  Cluster cluster(4);
+  CancellationSource source;
+  cluster.set_cancellation(source.token());
+  source.Cancel("pre-cancelled");
+  std::atomic<int> ran{0};
+  ExecStats stats;
+  const Status st = cluster.RunStage(
+      "never-runs", [&](int) { ++ran; return Status::OK(); }, &stats);
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ClusterTest, CancelledPartitionIsNotRetried) {
+  // A task that cancels the query on its first failure: the retry
+  // ladder must stop instead of burning the retry budget.
+  Cluster cluster(2);
+  RetryPolicy retry;
+  retry.max_attempts = 5;
+  retry.initial_backoff_ms = 0.0;
+  cluster.set_retry_policy(retry);
+  CancellationSource source;
+  cluster.set_cancellation(source.token());
+  std::atomic<int> attempts{0};
+  ExecStats stats;
+  const Status st = cluster.RunStage(
+      "cancel-on-fail",
+      [&](int p) {
+        ++attempts;
+        if (p == 1) {
+          source.Cancel("fatal");
+          return Status::Internal("boom");
+        }
+        return Status::OK();
+      },
+      &stats);
+  EXPECT_FALSE(st.ok());
+  // One round only: 2 first attempts, no retry rounds after the trip.
+  EXPECT_EQ(attempts.load(), 2);
+}
+
+// -------------------------------------------------- catalog satellites
+
+TEST(CatalogOverlayTest, OverlaySeesParentAndHidesLocalDdl) {
+  RegisterBundledJoinLibraries();
+  Catalog base;
+  RegisterDatasets(&base, 4);
+  JoinDefinition def;
+  def.name = "base_overlap";
+  def.param_types = {ValueType::kInterval, ValueType::kInterval};
+  def.library = "flexiblejoins";
+  def.class_name = "interval.IntervalJoin";
+  ASSERT_OK(base.CreateJoin(def));
+
+  Catalog session_a(&base);
+  Catalog session_b(&base);
+  // Parent entries are visible through the overlay.
+  EXPECT_TRUE(session_a.HasJoin("base_overlap"));
+  ASSERT_OK(session_a.GetDataset("parks").status());
+  // A session-local join is invisible to the base and to siblings.
+  def.name = "private_overlap";
+  ASSERT_OK(session_a.CreateJoin(def));
+  EXPECT_TRUE(session_a.HasJoin("private_overlap"));
+  EXPECT_FALSE(base.HasJoin("private_overlap"));
+  EXPECT_FALSE(session_b.HasJoin("private_overlap"));
+  // Duplicate names are rejected even across the parent boundary.
+  def.name = "base_overlap";
+  EXPECT_FALSE(session_a.CreateJoin(def).ok());
+  // Shared entries cannot be dropped through a session.
+  EXPECT_EQ(session_a.DropJoin("base_overlap").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session_a.DropDataset("parks").code(),
+            StatusCode::kInvalidArgument);
+  // Local entries can.
+  ASSERT_OK(session_a.DropJoin("private_overlap"));
+  EXPECT_FALSE(session_a.HasJoin("private_overlap"));
+}
+
+TEST(CatalogOverlayTest, DroppedDatasetStaysAliveForRunningQuery) {
+  Catalog catalog;
+  RegisterDatasets(&catalog, 2);
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const PartitionedRelation> held,
+                       catalog.GetDataset("parks"));
+  ASSERT_OK(catalog.DropDataset("parks"));
+  EXPECT_FALSE(catalog.GetDataset("parks").ok());
+  // The handle obtained before the DROP still reads valid data.
+  ASSERT_OK_AND_ASSIGN(const std::vector<Tuple> rows,
+                       held->MaterializeAll());
+  EXPECT_GT(rows.size(), 0u);
+}
+
+// --------------------------------------------------- the query service
+
+ServiceOptions SmallServiceOptions() {
+  ServiceOptions opts;
+  opts.num_workers = 4;
+  opts.pool_threads = 2;
+  opts.max_concurrent = 3;
+  opts.max_queue_depth = 64;
+  return opts;
+}
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterBundledJoinLibraries();
+    RegisterTestJoinLibrary();
+  }
+
+  void StartService(const ServiceOptions& opts) {
+    service_ = std::make_unique<QueryService>(opts);
+    RegisterDatasets(service_->catalog(), opts.num_workers);
+    ASSERT_OK(service_->RunDdl(
+        "CREATE JOIN st_contains_join(a: geometry, b: geometry) RETURNS "
+        "boolean AS \"spatial.SpatialJoin\" AT flexiblejoins PARAMS "
+        "(30, 1)"));
+    ASSERT_OK(service_->RunDdl(
+        "CREATE JOIN iv_overlap(a: interval, b: interval) RETURNS boolean "
+        "AS \"interval.IntervalJoin\" AT flexiblejoins PARAMS (100)"));
+    ASSERT_OK(service_->RunDdl(kSlowJoinDdl));
+  }
+
+  std::unique_ptr<QueryService> service_;
+};
+
+TEST_F(QueryServiceTest, ConcurrentMixedWorkloadMatchesSerial) {
+  StartService(SmallServiceOptions());
+  // Fully-ordered queries so "byte-identical" is well-defined.
+  const std::vector<std::string> queries = {
+      "SELECT p.id, count(w.id) AS fires FROM parks p, wildfires w WHERE "
+      "st_contains_join(p.boundary, w.location) GROUP BY p.id "
+      "ORDER BY fires DESC, p.id ASC",
+      "SELECT t.id, w.id FROM nyctaxi t, weather w WHERE "
+      "iv_overlap(t.ride_interval, w.reading_interval) ORDER BY t.id, w.id",
+      "SELECT r.id, r.overall FROM amazonreview r WHERE r.overall >= 4 "
+      "ORDER BY r.id",
+  };
+  // Serial reference: a standalone cluster + catalog, same data seeds.
+  Catalog ref_catalog;
+  RegisterDatasets(&ref_catalog, 4);
+  Cluster ref_cluster(4);
+  ASSERT_TRUE(ExecuteSql(&ref_cluster, &ref_catalog,
+                         "CREATE JOIN st_contains_join(a: geometry, "
+                         "b: geometry) RETURNS boolean AS "
+                         "\"spatial.SpatialJoin\" AT flexiblejoins "
+                         "PARAMS (30, 1)")
+                  .ok());
+  ASSERT_TRUE(ExecuteSql(&ref_cluster, &ref_catalog,
+                         "CREATE JOIN iv_overlap(a: interval, b: interval)"
+                         " RETURNS boolean AS \"interval.IntervalJoin\" AT"
+                         " flexiblejoins PARAMS (100)")
+                  .ok());
+  std::vector<QueryOutput> expected(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ASSERT_OK_AND_ASSIGN(expected[q],
+                         ExecuteSql(&ref_cluster, &ref_catalog, queries[q]));
+  }
+  // 6 sessions, each running every query a few times concurrently, plus
+  // session-local DDL mixed in.
+  constexpr int kSessions = 6;
+  constexpr int kRounds = 3;
+  std::vector<std::thread> clients;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  for (int s = 0; s < kSessions; ++s) {
+    clients.emplace_back([&, s] {
+      auto session =
+          service_->OpenSession("tenant-" + std::to_string(s));
+      // Session-scoped DDL: every tenant creates the SAME name; the
+      // overlay keeps them from colliding.
+      if (!session
+               ->Execute(
+                   "CREATE JOIN my_overlap(a: interval, b: interval) "
+                   "RETURNS boolean AS \"interval.IntervalJoin\" AT "
+                   "flexiblejoins PARAMS (50)")
+               .ok()) {
+        ++failures;
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t q = 0; q < queries.size(); ++q) {
+          auto out = session->Execute(queries[q]);
+          if (!out.ok()) {
+            ++failures;
+          } else if (!SameRows(*out, expected[q])) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0)
+      << "concurrent execution must be byte-identical to serial";
+  service_->Drain();
+  EXPECT_EQ(service_->queue_depth(), 0);
+  EXPECT_EQ(service_->running(), 0);
+  EXPECT_EQ(service_->governor().reserved_bytes(), 0);
+}
+
+TEST_F(QueryServiceTest, SessionScopedCreateJoinIsolation) {
+  StartService(SmallServiceOptions());
+  auto alice = service_->OpenSession("alice");
+  auto bob = service_->OpenSession("bob");
+  ASSERT_OK(alice
+                ->Execute("CREATE JOIN alice_overlap(a: interval, "
+                          "b: interval) RETURNS boolean AS "
+                          "\"interval.IntervalJoin\" AT flexiblejoins "
+                          "PARAMS (64)")
+                .status());
+  // Alice can use her join.
+  ASSERT_OK(alice
+                ->Execute("SELECT t.id, w.id FROM nyctaxi t, weather w "
+                          "WHERE alice_overlap(t.ride_interval, "
+                          "w.reading_interval) ORDER BY t.id, w.id")
+                .status());
+  // Bob cannot: the name does not exist in his session's view, so the
+  // optimizer finds no scalar function or join named alice_overlap.
+  EXPECT_FALSE(bob->Execute("SELECT t.id, w.id FROM nyctaxi t, weather w "
+                            "WHERE alice_overlap(t.ride_interval, "
+                            "w.reading_interval) ORDER BY t.id, w.id")
+                   .ok());
+  // And the shared base catalog is untouched.
+  EXPECT_FALSE(service_->catalog()->HasJoin("alice_overlap"));
+  // Bob may claim the same name for himself.
+  ASSERT_OK(bob
+                ->Execute("CREATE JOIN alice_overlap(a: interval, "
+                          "b: interval) RETURNS boolean AS "
+                          "\"interval.IntervalJoin\" AT flexiblejoins "
+                          "PARAMS (32)")
+                .status());
+}
+
+TEST_F(QueryServiceTest, PreparedStatementBindsAtExecute) {
+  StartService(SmallServiceOptions());
+  auto session = service_->OpenSession("prep");
+  ASSERT_OK_AND_ASSIGN(
+      PreparedStatement prep,
+      session->Prepare("SELECT r.id, r.overall FROM amazonreview r WHERE "
+                       "r.overall >= ? ORDER BY r.id"));
+  EXPECT_EQ(prep.parameter_count(), 1);
+  for (int64_t threshold : {1, 3, 5}) {
+    SubmitOptions opts;
+    opts.params = {Value::Int64(threshold)};
+    ASSERT_OK_AND_ASSIGN(TicketPtr t, session->SubmitPrepared(prep, opts));
+    t->Wait();
+    ASSERT_OK(t->status());
+    ASSERT_OK_AND_ASSIGN(
+        const QueryOutput expected,
+        session->Execute("SELECT r.id, r.overall FROM amazonreview r "
+                         "WHERE r.overall >= " +
+                         std::to_string(threshold) + " ORDER BY r.id"));
+    EXPECT_TRUE(SameRows(t->output(), expected))
+        << "threshold " << threshold;
+  }
+  // Unbound execution is rejected, as is a wrong parameter count.
+  EXPECT_FALSE(session->SubmitPrepared(prep, {}).ok());
+  SubmitOptions two;
+  two.params = {Value::Int64(1), Value::Int64(2)};
+  EXPECT_FALSE(session->SubmitPrepared(prep, two).ok());
+}
+
+TEST_F(QueryServiceTest, CancellationMidCombineReleasesResources) {
+  ServiceOptions opts = SmallServiceOptions();
+  opts.memory_budget_bytes = 256 << 20;
+  opts.per_query_reserve_bytes = 16 << 20;
+  StartService(opts);
+  auto session = service_->OpenSession("canceller");
+  g_slow_verifies.store(0);
+  ASSERT_OK_AND_ASSIGN(TicketPtr t, session->Submit(kSlowQuery));
+  // Wait until COMBINE is demonstrably in its verify ladder, then pull
+  // the plug.
+  while (g_slow_verifies.load(std::memory_order_relaxed) < 8 &&
+         !t->done()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(t->done()) << "query finished before it could be cancelled";
+  t->Cancel("user aborted");
+  t->Wait();
+  EXPECT_EQ(t->state(), QueryState::kCancelled);
+  EXPECT_EQ(t->status().code(), StatusCode::kCancelled);
+  service_->Drain();
+  // Cancellation must release the admission reservation and the slot.
+  EXPECT_EQ(service_->governor().reserved_bytes(), 0);
+  EXPECT_GT(service_->governor().peak_reserved_bytes(), 0);
+  EXPECT_EQ(service_->queue_depth(), 0);
+  EXPECT_EQ(service_->running(), 0);
+  EXPECT_EQ(service_->metrics()->CounterValue("service_queries_total",
+                                              {{"state", "cancelled"}}),
+            1);
+}
+
+TEST_F(QueryServiceTest, DeadlineExpiredQueryFailsWithTimeout) {
+  StartService(SmallServiceOptions());
+  auto session = service_->OpenSession("deadline");
+  SubmitOptions opts;
+  opts.deadline_ms = 4.0;  // far below the slow join's runtime
+  ASSERT_OK_AND_ASSIGN(TicketPtr t, session->Submit(kSlowQuery, opts));
+  t->Wait();
+  EXPECT_EQ(t->state(), QueryState::kFailed);
+  EXPECT_EQ(t->status().code(), StatusCode::kTimeout);
+  service_->Drain();
+  EXPECT_EQ(service_->governor().reserved_bytes(), 0);
+}
+
+TEST_F(QueryServiceTest, AdmissionRejectsQueueOverflow) {
+  ServiceOptions opts = SmallServiceOptions();
+  opts.max_concurrent = 1;
+  opts.max_queue_depth = 2;
+  StartService(opts);
+  auto session = service_->OpenSession("burst");
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK_AND_ASSIGN(TicketPtr t, session->Submit(kSlowQuery));
+    tickets.push_back(t);
+  }
+  int rejected = 0;
+  for (const TicketPtr& t : tickets) {
+    if (t->state() == QueryState::kRejected) {
+      ++rejected;
+      EXPECT_EQ(t->status().code(), StatusCode::kResourceExhausted);
+    } else {
+      t->Cancel("test teardown");
+    }
+  }
+  // 1 running + 2 queued at most: the burst of 10 must shed load.
+  EXPECT_GE(rejected, 7);
+  EXPECT_GE(service_->metrics()->CounterValue(
+                "service_admission_rejects_total"),
+            7);
+  for (const TicketPtr& t : tickets) t->Wait();
+  service_->Drain();
+  EXPECT_EQ(service_->governor().reserved_bytes(), 0);
+}
+
+TEST_F(QueryServiceTest, AdmissionRejectsWhenMemoryBudgetExhausted) {
+  ServiceOptions opts = SmallServiceOptions();
+  opts.max_concurrent = 1;
+  opts.max_queue_depth = 64;  // the queue is not the limit here
+  opts.memory_budget_bytes = 32 << 20;
+  opts.per_query_reserve_bytes = 16 << 20;  // 2 admitted queries max
+  StartService(opts);
+  auto session = service_->OpenSession("memhog");
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_OK_AND_ASSIGN(TicketPtr t, session->Submit(kSlowQuery));
+    tickets.push_back(t);
+  }
+  int rejected = 0;
+  for (const TicketPtr& t : tickets) {
+    if (t->state() == QueryState::kRejected) ++rejected;
+  }
+  EXPECT_GE(rejected, 4);
+  for (const TicketPtr& t : tickets) t->Cancel("test teardown");
+  for (const TicketPtr& t : tickets) t->Wait();
+  service_->Drain();
+  EXPECT_EQ(service_->governor().reserved_bytes(), 0);
+}
+
+TEST_F(QueryServiceTest, FairShareFavorsHigherWeight) {
+  ServiceOptions opts = SmallServiceOptions();
+  opts.max_concurrent = 1;  // serial dispatch makes ordering observable
+  StartService(opts);
+  auto low = service_->OpenSession("low-priority", 1.0);
+  auto high = service_->OpenSession("high-priority", 4.0);
+  // Block the single executor so all contenders queue behind it.
+  ASSERT_OK_AND_ASSIGN(TicketPtr blocker, low->Submit(kSlowQuery));
+  while (service_->running() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_OK_AND_ASSIGN(TicketPtr low_q, low->Submit(kSlowQuery));
+  std::vector<TicketPtr> high_qs;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK_AND_ASSIGN(TicketPtr t, high->Submit(kSlowQuery));
+    high_qs.push_back(t);
+  }
+  // Stride scheduling: the weight-4 session accumulates pass 4x slower,
+  // so its queries dispatch ahead of the competing weight-1 query —
+  // observable as queue wait (queue_ms is stamped at dispatch).
+  low_q->Wait();
+  blocker->Wait();
+  for (const TicketPtr& t : high_qs) t->Wait();
+  EXPECT_GT(low_q->queue_ms(), high_qs[0]->queue_ms());
+  EXPECT_GT(low_q->queue_ms(), high_qs[1]->queue_ms());
+  service_->Drain();
+}
+
+TEST_F(QueryServiceTest, ServiceMetricsCoverLifecycle) {
+  StartService(SmallServiceOptions());
+  auto session = service_->OpenSession("metrics");
+  ASSERT_OK(session
+                ->Execute("SELECT r.id FROM amazonreview r ORDER BY r.id")
+                .status());
+  EXPECT_FALSE(session->Execute("SELECT nope.x FROM nope").ok());
+  service_->Drain();
+  MetricsRegistry* m = service_->metrics();
+  EXPECT_EQ(m->CounterValue("service_queries_total",
+                            {{"state", "succeeded"}}),
+            1);
+  EXPECT_EQ(m->CounterValue("service_queries_total", {{"state", "failed"}}),
+            1);
+  const std::string text = m->ToText();
+  EXPECT_NE(text.find("service_queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("service_query_latency_ms"), std::string::npos);
+}
+
+TEST_F(QueryServiceTest, ShutdownCancelsQueuedQueries) {
+  ServiceOptions opts = SmallServiceOptions();
+  opts.max_concurrent = 1;
+  StartService(opts);
+  auto session = service_->OpenSession("abandoned");
+  ASSERT_OK_AND_ASSIGN(TicketPtr running, session->Submit(kSlowQuery));
+  ASSERT_OK_AND_ASSIGN(TicketPtr queued, session->Submit(kSlowQuery));
+  while (service_->running() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service_.reset();  // destructor: cancel queued + running, join
+  EXPECT_TRUE(queued->done());
+  EXPECT_EQ(queued->state(), QueryState::kCancelled);
+  EXPECT_TRUE(running->done());
+}
+
+}  // namespace
+}  // namespace fudj
