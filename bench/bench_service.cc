@@ -17,10 +17,23 @@
 //     modelled p99 latency of admitted queries stays within the bound
 //     implied by the queue depth;
 //   * cancellation releases memory reservations and pool slots
-//     (governor drains to zero, queue-depth gauge back to zero).
+//     (governor drains to zero, queue-depth gauge back to zero);
+//   * SHOW METRICS / SHOW PROFILES answer through the SQL front end;
+//   * the persisted query-stats store round-trips: reloading the file
+//     yields exactly the shape keys of the executed workload;
+//   * a telemetry-disabled pass stays inert (zero events recorded) and
+//     its outputs remain byte-identical. Its wall-clock ratio vs the
+//     telemetry-on pass is reported informationally (wall-clock gates
+//     flap on shared CI boxes; see EXPERIMENTS.md).
+//
+// Telemetry outputs: --metrics-out=<file> (Prometheus-text snapshot),
+// --events-out=<file> (JSONL event log). The query-stats store is always
+// written to --stats-out= (default BENCH_query_stats.jsonl).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -30,6 +43,7 @@
 #include "engine/cluster.h"
 #include "engine/relation.h"
 #include "fudj/join_registry.h"
+#include "obs/query_stats.h"
 #include "optimizer/optimizer.h"
 #include "service/query_service.h"
 
@@ -126,7 +140,19 @@ ServiceOptions BenchServiceOptions() {
   return opts;
 }
 
-int Run(bool smoke, Tracer* tracer) {
+double WallMsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct TelemetryOutPaths {
+  std::string metrics;  ///< "" = don't write
+  std::string events;   ///< "" = don't write
+  std::string stats;    ///< query-stats store path (always written)
+};
+
+int Run(bool smoke, Tracer* tracer, const TelemetryOutPaths& out) {
   RegisterBundledJoinLibraries();
   const Workload workload = MakeWorkload();
   const int total_queries = smoke ? 96 : 240;
@@ -155,7 +181,12 @@ int Run(bool smoke, Tracer* tracer) {
   }
 
   // ---- Phase 1: concurrent mixed workload through the service ----
-  QueryService service(BenchServiceOptions());
+  // The query-stats store is append-only; start from a clean file so the
+  // round-trip gate sees exactly this run's workload.
+  std::remove(out.stats.c_str());
+  ServiceOptions phase1_opts = BenchServiceOptions();
+  phase1_opts.telemetry.stats_path = out.stats;
+  QueryService service(phase1_opts);
   if (tracer != nullptr) service.set_tracer(tracer);
   RegisterWorkloadDatasets(service.catalog(), 4);
   for (const std::string& ddl : workload.ddl) {
@@ -170,6 +201,7 @@ int Run(bool smoke, Tracer* tracer) {
     sessions.push_back(
         service.OpenSession("bench-" + std::to_string(s)));
   }
+  const auto on_start = std::chrono::steady_clock::now();
   std::vector<TicketPtr> tickets;
   for (int i = 0; i < total_queries; ++i) {
     const std::string& sql =
@@ -182,6 +214,7 @@ int Run(bool smoke, Tracer* tracer) {
     tickets.push_back(std::move(*t));
   }
   service.Drain();
+  const double telemetry_on_wall_ms = WallMsSince(on_start);
 
   int identical = 0;
   int failed = 0;
@@ -214,6 +247,121 @@ int Run(bool smoke, Tracer* tracer) {
     speedups.push_back(mk > 0.0 ? serial_ms / mk : 0.0);
   }
   const double speedup_at_8 = speedups.back();
+
+  // ---- Telemetry plane: SHOW queries through the SQL front end ----
+  int64_t show_metrics_rows = 0;
+  int64_t show_profiles_rows = 0;
+  {
+    auto metrics_out = sessions[0]->Execute("SHOW METRICS");
+    if (!metrics_out.ok()) {
+      std::fprintf(stderr, "SHOW METRICS: %s\n",
+                   metrics_out.status().ToString().c_str());
+      return 1;
+    }
+    show_metrics_rows = static_cast<int64_t>(metrics_out->rows.size());
+    auto profiles_out = sessions[0]->Execute("SHOW PROFILES LIMIT 5");
+    if (!profiles_out.ok()) {
+      std::fprintf(stderr, "SHOW PROFILES: %s\n",
+                   profiles_out.status().ToString().c_str());
+      return 1;
+    }
+    show_profiles_rows = static_cast<int64_t>(profiles_out->rows.size());
+  }
+
+  // Exposition snapshots (flag-gated).
+  if (!out.metrics.empty()) {
+    const Status st =
+        service.telemetry()->WriteExposeText(out.metrics, service.metrics());
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics-out: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!out.events.empty()) {
+    const Status st = service.telemetry()->WriteEventsJsonl(out.events);
+    if (!st.ok()) {
+      std::fprintf(stderr, "events-out: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // ---- Query-stats store round-trip: reload, compare shape keys ----
+  std::set<std::string> expected_shapes;
+  for (const QueryOutput& e : expected) {
+    QueryShape shape;
+    shape.join_name = e.join_name;
+    shape.strategy = e.strategy;
+    shape.num_tables = e.num_tables;
+    shape.aggregated = e.aggregated;
+    expected_shapes.insert(shape.Key());
+  }
+  bool stats_roundtrip = false;
+  int64_t stats_records = 0;
+  {
+    QueryStatsStore reloaded(out.stats);
+    const Status st = reloaded.Reload();
+    if (!st.ok()) {
+      std::fprintf(stderr, "stats reload: %s\n", st.ToString().c_str());
+    } else {
+      const std::vector<std::string> keys = reloaded.Keys();
+      stats_records = static_cast<int64_t>(reloaded.records().size());
+      stats_roundtrip =
+          std::set<std::string>(keys.begin(), keys.end()) == expected_shapes &&
+          stats_records == static_cast<int64_t>(tickets.size()) &&
+          service.telemetry()->stats_write_errors() == 0;
+    }
+  }
+
+  // ---- Telemetry-off pass: must stay inert and byte-identical ----
+  // The wall-clock ratio is reported informationally only: simulated-time
+  // gates are deterministic, wall-clock ones flap on shared CI hosts.
+  double telemetry_off_wall_ms = 0.0;
+  bool disabled_inert = false;
+  bool disabled_identical = false;
+  {
+    ServiceOptions off_opts = BenchServiceOptions();
+    off_opts.telemetry.enabled = false;
+    QueryService off_service(off_opts);
+    RegisterWorkloadDatasets(off_service.catalog(), 4);
+    for (const std::string& ddl : workload.ddl) {
+      const Status st = off_service.RunDdl(ddl);
+      if (!st.ok()) return 1;
+    }
+    std::vector<std::shared_ptr<Session>> off_sessions;
+    for (int s = 0; s < kSessions; ++s) {
+      off_sessions.push_back(
+          off_service.OpenSession("off-" + std::to_string(s)));
+    }
+    const auto off_start = std::chrono::steady_clock::now();
+    std::vector<TicketPtr> off_tickets;
+    for (int i = 0; i < total_queries; ++i) {
+      const std::string& sql =
+          workload.queries[static_cast<size_t>(i) % workload.queries.size()];
+      auto t = off_sessions[static_cast<size_t>(i) % kSessions]->Submit(sql);
+      if (!t.ok()) return 1;
+      off_tickets.push_back(std::move(*t));
+    }
+    off_service.Drain();
+    telemetry_off_wall_ms = WallMsSince(off_start);
+    int off_identical = 0;
+    for (size_t i = 0; i < off_tickets.size(); ++i) {
+      if (off_tickets[i]->state() == QueryState::kSucceeded &&
+          SameRows(off_tickets[i]->output(),
+                   expected[i % workload.queries.size()])) {
+        ++off_identical;
+      }
+    }
+    disabled_identical =
+        off_identical == static_cast<int>(off_tickets.size());
+    disabled_inert = off_service.telemetry()->Events().empty() &&
+                     off_service.telemetry()->events_dropped() == 0 &&
+                     off_service.telemetry()->RecentProfiles().empty() &&
+                     off_service.telemetry()->stats_store() == nullptr;
+  }
+  const double overhead_ratio = telemetry_off_wall_ms > 0.0
+                                    ? telemetry_on_wall_ms /
+                                          telemetry_off_wall_ms
+                                    : 0.0;
 
   // ---- Phase 2: 2x overload burst against a small service ----
   ServiceOptions small = BenchServiceOptions();
@@ -331,12 +479,32 @@ int Run(bool smoke, Tracer* tracer) {
                  "  \"overload_p99_bound_ms\": %.3f,\n"
                  "  \"cancel_peak_reserved_bytes\": %lld,\n"
                  "  \"cancel_reserved_after_bytes\": %lld,\n"
-                 "  \"cancel_released\": %s\n"
-                 "}\n",
+                 "  \"cancel_released\": %s,\n",
                  static_cast<long long>(rejects), p99_admitted_ms,
                  p99_bound_ms, static_cast<long long>(cancel_peak_bytes),
                  static_cast<long long>(cancel_reserved_after),
                  cancel_released ? "true" : "false");
+    std::fprintf(f,
+                 "  \"show_metrics_rows\": %lld,\n"
+                 "  \"show_profiles_rows\": %lld,\n"
+                 "  \"stats_records\": %lld,\n"
+                 "  \"stats_shapes\": %zu,\n"
+                 "  \"stats_roundtrip\": %s,\n"
+                 "  \"telemetry_disabled_inert\": %s,\n"
+                 "  \"telemetry_disabled_identical\": %s,\n"
+                 "  \"telemetry_on_wall_ms\": %.3f,\n"
+                 "  \"telemetry_off_wall_ms\": %.3f,\n"
+                 "  \"telemetry_overhead_ratio_informational\": %.4f\n"
+                 "}\n",
+                 static_cast<long long>(show_metrics_rows),
+                 static_cast<long long>(show_profiles_rows),
+                 static_cast<long long>(stats_records),
+                 expected_shapes.size(),
+                 stats_roundtrip ? "true" : "false",
+                 disabled_inert ? "true" : "false",
+                 disabled_identical ? "true" : "false",
+                 telemetry_on_wall_ms, telemetry_off_wall_ms,
+                 overhead_ratio);
     if (std::fclose(f) != 0) {
       std::fprintf(stderr, "warning: failed to flush BENCH_service.json\n");
     }
@@ -349,6 +517,15 @@ int Run(bool smoke, Tracer* tracer) {
       total_queries, kSessions, serial_ms, speedup_at_8,
       static_cast<long long>(rejects), p99_admitted_ms, p99_bound_ms,
       all_identical ? "yes" : "NO", cancel_released ? "yes" : "NO");
+  std::printf(
+      "telemetry: show_metrics=%lld rows show_profiles=%lld rows "
+      "stats=%lld records/%zu shapes roundtrip=%s disabled_inert=%s "
+      "wall on/off=%.1f/%.1fms (ratio %.3f, informational)\n",
+      static_cast<long long>(show_metrics_rows),
+      static_cast<long long>(show_profiles_rows),
+      static_cast<long long>(stats_records), expected_shapes.size(),
+      stats_roundtrip ? "yes" : "NO", disabled_inert ? "yes" : "NO",
+      telemetry_on_wall_ms, telemetry_off_wall_ms, overhead_ratio);
 
   int rc = 0;
   if (!all_identical) {
@@ -386,6 +563,30 @@ int Run(bool smoke, Tracer* tracer) {
                  static_cast<long long>(cancel_peak_bytes));
     rc = 1;
   }
+  if (show_metrics_rows <= 0 || show_profiles_rows != 5) {
+    std::fprintf(stderr,
+                 "smoke FAILED: SHOW METRICS returned %lld rows, SHOW "
+                 "PROFILES LIMIT 5 returned %lld (want >0 and 5)\n",
+                 static_cast<long long>(show_metrics_rows),
+                 static_cast<long long>(show_profiles_rows));
+    rc = 1;
+  }
+  if (!stats_roundtrip) {
+    std::fprintf(stderr,
+                 "smoke FAILED: query-stats store round-trip mismatch "
+                 "(%lld records reloaded from %s, want %zu with %zu "
+                 "shape keys)\n",
+                 static_cast<long long>(stats_records), out.stats.c_str(),
+                 tickets.size(), expected_shapes.size());
+    rc = 1;
+  }
+  if (!disabled_inert || !disabled_identical) {
+    std::fprintf(stderr,
+                 "smoke FAILED: telemetry-disabled pass not inert or not "
+                 "identical (inert=%d identical=%d)\n",
+                 disabled_inert ? 1 : 0, disabled_identical ? 1 : 0);
+    rc = 1;
+  }
   return rc;
 }
 
@@ -397,6 +598,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke") smoke = true;
   }
+  fudj::TelemetryOutPaths out;
+  out.metrics = fudj::bench::ParseOutPathFlag(argc, argv, "metrics-out");
+  out.events = fudj::bench::ParseOutPathFlag(argc, argv, "events-out");
+  out.stats = fudj::bench::ParseOutPathFlag(argc, argv, "stats-out");
+  if (out.stats.empty()) out.stats = "BENCH_query_stats.jsonl";
   fudj::bench::BenchTracing tracing(argc, argv);
-  return fudj::Run(smoke, tracing.tracer());
+  return fudj::Run(smoke, tracing.tracer(), out);
 }

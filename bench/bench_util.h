@@ -86,6 +86,29 @@ class BenchTracing {
   std::unique_ptr<Tracer> tracer_;
 };
 
+/// `--<name>=<path>` output-file flag shared by the bench mains
+/// (--metrics-out=, --events-out=, --stats-out=). Returns "" when the
+/// flag is absent. A flag given with an EMPTY path is a fatal CLI error
+/// (exit 2, matching ParseThreadsFlag): a telemetry run whose outputs
+/// silently went nowhere must not masquerade as a captured one.
+inline std::string ParseOutPathFlag(int argc, char** argv,
+                                    const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) != 0) continue;
+    const std::string v = arg.substr(prefix.size());
+    if (v.empty()) {
+      std::fprintf(stderr,
+                   "error: invalid --%s= value '' (expected a file path)\n",
+                   name);
+      std::exit(2);
+    }
+    return v;
+  }
+  return std::string();
+}
+
 /// Parsed `--threads=` flag (see ParseThreadsFlag).
 struct ThreadsConfig {
   bool use_threads = true;

@@ -1,0 +1,46 @@
+#include "common/file_util.h"
+
+#include <cstdio>
+
+namespace fudj {
+
+namespace {
+
+Status WriteAndClose(FILE* f, const std::string& path,
+                     const std::string& content) {
+  const size_t written =
+      content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != content.size()) {
+    return Status::Internal("short write to '" + path + "' (" +
+                            std::to_string(written) + "/" +
+                            std::to_string(content.size()) + " bytes)");
+  }
+  if (!closed) {
+    // fclose flushes buffered bytes; a failure here means the file is
+    // incomplete even though every fwrite succeeded.
+    return Status::Internal("cannot flush '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  return WriteAndClose(f, path, content);
+}
+
+Status AppendLineToFile(const std::string& path, const std::string& line) {
+  FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for appending");
+  }
+  return WriteAndClose(f, path, line + "\n");
+}
+
+}  // namespace fudj

@@ -1,0 +1,25 @@
+#ifndef FUDJ_COMMON_FILE_UTIL_H_
+#define FUDJ_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace fudj {
+
+/// Checked whole-file write: opens `path` for truncating write, writes
+/// `content`, and verifies both the write and the flushing fclose. Every
+/// telemetry writer (trace files, metrics snapshots, event logs, the
+/// query-stats store) goes through these two helpers so short writes and
+/// full disks surface as a Status instead of a silently truncated file.
+Status WriteStringToFile(const std::string& path,
+                         const std::string& content);
+
+/// Checked append of one line (a trailing '\n' is added): the
+/// append-only variant used by JSONL writers. Same error contract as
+/// WriteStringToFile.
+Status AppendLineToFile(const std::string& path, const std::string& line);
+
+}  // namespace fudj
+
+#endif  // FUDJ_COMMON_FILE_UTIL_H_

@@ -8,6 +8,7 @@
 
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace fudj {
@@ -101,6 +102,11 @@ Status Cluster::RunStageTimed(
              Tracer::IntArg("round", attempt),
              Tracer::IntArg("pending", static_cast<int64_t>(pending.size())),
              Tracer::DoubleArg("backoff_ms", retry_.BackoffMs(attempt - 1))});
+      }
+      if (event_sink_ != nullptr) {
+        event_sink_->QueryEvent(
+            "retried", "stage=" + name + " round=" + std::to_string(attempt) +
+                           " pending=" + std::to_string(pending.size()));
       }
     }
     const int n = static_cast<int>(pending.size());

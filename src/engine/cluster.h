@@ -17,6 +17,7 @@ namespace fudj {
 
 class Tracer;
 class MetricsRegistry;
+class QueryEventSink;
 
 /// Simulated shared-nothing cluster: `num_workers` workers, each owning
 /// one partition of every relation.
@@ -95,6 +96,15 @@ class Cluster {
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
   MetricsRegistry* metrics() const { return metrics_; }
 
+  /// Per-query lifecycle event sink (non-owning, null = disabled). The
+  /// serving path installs a sink bound to the query's identity so the
+  /// retry ladder and COMBINE's spill/split paths report "retried"/
+  /// "spilled"/"split" events into the service's telemetry log. Same
+  /// contract as the tracer: one null-check branch per emit site, and
+  /// the sink must be thread-safe (pool threads call it).
+  void set_event_sink(QueryEventSink* sink) { event_sink_ = sink; }
+  QueryEventSink* event_sink() const { return event_sink_; }
+
   /// Runs `fn(p)` for each partition p, timing each; appends a stage named
   /// `name` to `stats` (when non-null) with `rows_out` output rows.
   ///
@@ -134,6 +144,7 @@ class Cluster {
   CancellationToken cancel_;
   Tracer* tracer_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
+  QueryEventSink* event_sink_ = nullptr;
 };
 
 }  // namespace fudj

@@ -104,6 +104,8 @@ void ExecStats::Merge(const ExecStats& other) {
   spilled_buckets_ += other.spilled_buckets_;
   spill_bytes_ += other.spill_bytes_;
   spill_ms_ += other.spill_ms_;
+  bucket_splits_ += other.bucket_splits_;
+  split_morsels_ += other.split_morsels_;
   stages_.insert(stages_.end(), other.stages_.begin(), other.stages_.end());
   warnings_.insert(warnings_.end(), other.warnings_.begin(),
                    other.warnings_.end());

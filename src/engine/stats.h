@@ -136,6 +136,15 @@ class ExecStats {
   int64_t spill_bytes() const { return spill_bytes_; }
   double spill_ms() const { return spill_ms_; }
 
+  /// Adaptive-COMBINE accounting: straggler buckets split and the morsels
+  /// they were split into (fed to the telemetry plane's query profiles).
+  void AddCombine(int64_t bucket_splits, int64_t split_morsels) {
+    bucket_splits_ += bucket_splits;
+    split_morsels_ += split_morsels;
+  }
+  int64_t bucket_splits() const { return bucket_splits_; }
+  int64_t split_morsels() const { return split_morsels_; }
+
   /// Multi-line human-readable breakdown.
   std::string ToString() const;
 
@@ -156,6 +165,8 @@ class ExecStats {
   int64_t spilled_buckets_ = 0;
   int64_t spill_bytes_ = 0;
   double spill_ms_ = 0.0;
+  int64_t bucket_splits_ = 0;
+  int64_t split_morsels_ = 0;
 };
 
 }  // namespace fudj

@@ -11,6 +11,7 @@
 #include "engine/memory.h"
 #include "engine/spill.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "serde/serde.h"
 #include "vec/chunk_io.h"
@@ -625,6 +626,11 @@ class CombineBucketRunner {
            Tracer::IntArg("morsels", k), Tracer::IntArg("work", work),
            Tracer::StringArg("split_side", split_left ? "L" : "R")});
     }
+    if (cluster_->event_sink() != nullptr) {
+      cluster_->event_sink()->QueryEvent(
+          "split", "partition=" + std::to_string(partition_) +
+                       " morsels=" + std::to_string(k));
+    }
   }
 
   /// Out-of-core rung: spill the larger side as a framed run, free its
@@ -715,6 +721,12 @@ class CombineBucketRunner {
            Tracer::IntArg("frames", run_frames),
            Tracer::IntArg("bytes", spill_bytes_),
            Tracer::StringArg("spilled_side", spill_left ? "L" : "R")});
+    }
+    if (cluster_->event_sink() != nullptr) {
+      cluster_->event_sink()->QueryEvent(
+          "spilled", "partition=" + std::to_string(partition_) +
+                         " rows=" + std::to_string(rows) +
+                         " bytes=" + std::to_string(spill_bytes_));
     }
     return Status::OK();
   }
@@ -812,22 +824,25 @@ void RecordCombineCounters(MetricsRegistry* metrics, ExecStats* stats,
   int64_t sb = 0;
   int64_t spb = 0;
   double ssm = 0.0;
+  int64_t bs = 0;
+  int64_t sm = 0;
   for (const int64_t v : acc.spilled_buckets) sb += v;
   for (const int64_t v : acc.spill_bytes) spb += v;
   for (const double v : acc.spill_sim_ms) ssm += v;
-  if (stats != nullptr) stats->AddSpill(stage_name, sb, spb, ssm);
+  for (const int64_t v : acc.bucket_splits) bs += v;
+  for (const int64_t v : acc.split_morsels) sm += v;
+  if (stats != nullptr) {
+    stats->AddSpill(stage_name, sb, spb, ssm);
+    stats->AddCombine(bs, sm);
+  }
   if (metrics == nullptr) return;
   int64_t kb = 0;
   int64_t pb = 0;
   int64_t kc = 0;
-  int64_t bs = 0;
-  int64_t sm = 0;
   int64_t rf = 0;
   for (const int64_t v : acc.kernel_buckets) kb += v;
   for (const int64_t v : acc.pairwise_buckets) pb += v;
   for (const int64_t v : acc.kernel_candidates) kc += v;
-  for (const int64_t v : acc.bucket_splits) bs += v;
-  for (const int64_t v : acc.split_morsels) sm += v;
   for (const int64_t v : acc.reserve_failures) rf += v;
   metrics->GetCounter("fudj_combine_buckets_total", {{"path", "kernel"}})
       ->Increment(kb);

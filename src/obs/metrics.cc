@@ -304,4 +304,54 @@ std::string MetricsRegistry::ToText() const {
   return out;
 }
 
+namespace {
+
+/// Re-renders a storage key (`name{labels}`) with `suffix` inserted on
+/// the metric name — `name_suffix{labels}` — dropping empty braces so
+/// the line is valid Prometheus exposition text.
+std::string PrometheusKey(const std::string& key,
+                          const std::string& suffix) {
+  const size_t brace = key.find('{');
+  if (brace == std::string::npos) return key + suffix;
+  const std::string name = key.substr(0, brace);
+  const std::string labels = key.substr(brace);
+  if (labels == "{}") return name + suffix;
+  return name + suffix + labels;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[160];
+  auto line = [&out, &buf](const std::string& key, const char* suffix) {
+    out += PrometheusKey(key, suffix);
+    out += buf;
+  };
+  for (const auto& [key, counter] : counters_) {
+    std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", counter->value());
+    line(key, "");
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    std::snprintf(buf, sizeof(buf), " %.6g\n", gauge->value());
+    line(key, "");
+  }
+  for (const auto& [key, hist] : histograms_) {
+    std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", hist->count());
+    line(key, "_count");
+    std::snprintf(buf, sizeof(buf), " %.6g\n", hist->sum());
+    line(key, "_sum");
+    std::snprintf(buf, sizeof(buf), " %.6g\n", hist->Quantile(0.5));
+    line(key, "_p50");
+    std::snprintf(buf, sizeof(buf), " %.6g\n", hist->Quantile(0.95));
+    line(key, "_p95");
+    std::snprintf(buf, sizeof(buf), " %.6g\n", hist->Quantile(0.99));
+    line(key, "_p99");
+    std::snprintf(buf, sizeof(buf), " %.6g\n", hist->max());
+    line(key, "_max");
+  }
+  return out;
+}
+
 }  // namespace fudj

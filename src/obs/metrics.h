@@ -146,6 +146,14 @@ class MetricsRegistry {
   /// `name{labels} value` lines), sorted by name.
   std::string ToText() const;
 
+  /// Prometheus-exposition-valid variant of ToText(): histogram
+  /// summaries are rendered with the suffix on the metric NAME
+  /// (`name_count{labels} v`, plus _sum/_p50/_p95/_p99/_max) instead of
+  /// appended after the label set, so every line matches
+  /// `name{labels} value`. Instances without labels drop the braces.
+  /// TelemetryHub::ExposeText embeds this as the lifetime section.
+  std::string ToPrometheusText() const;
+
  private:
   /// name + rendered sorted labels -> storage key.
   static std::string Key(const std::string& name, MetricLabels labels);

@@ -1,0 +1,354 @@
+#include "obs/query_stats.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/file_util.h"
+#include "obs/trace.h"  // JsonEscape
+
+namespace fudj {
+
+std::string QueryShape::Key() const {
+  std::string key = "join=" + (join_name.empty() ? "none" : join_name);
+  key += "|strategy=" + (strategy.empty() ? "none" : strategy);
+  key += "|tables=" + std::to_string(num_tables);
+  key += "|agg=";
+  key += aggregated ? '1' : '0';
+  return key;
+}
+
+namespace {
+
+void AppendField(std::string* out, const char* key, const std::string& v) {
+  *out += "\"";
+  *out += key;
+  *out += "\":\"" + JsonEscape(v) + "\"";
+}
+
+void AppendField(std::string* out, const char* key, int64_t v) {
+  *out += "\"";
+  *out += key;
+  *out += "\":" + std::to_string(v);
+}
+
+void AppendField(std::string* out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += "\"";
+  *out += key;
+  *out += "\":";
+  *out += buf;
+}
+
+/// Minimal pull-parser over one flat JSON object line. Supports exactly
+/// what ToJson emits: string values with \-escapes, numbers, and one
+/// level of nested object ("stages"). Not a general JSON parser — the
+/// store owns both ends of the format.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(const std::string& s) : s_(s) {}
+
+  bool AtObjectStart() {
+    SkipWs();
+    return !done_ && Peek() == '{';
+  }
+
+  Status Enter() {
+    SkipWs();
+    if (done_ || Peek() != '{') return Err("expected '{'");
+    ++pos_;
+    return Status::OK();
+  }
+
+  /// Advances to the next "key": returns false at the '}' (consumed).
+  Status NextKey(std::string* key, bool* end) {
+    SkipWs();
+    if (done_) return Err("unterminated object");
+    if (Peek() == '}') {
+      ++pos_;
+      *end = true;
+      return Status::OK();
+    }
+    if (Peek() == ',') {
+      ++pos_;
+      SkipWs();
+    }
+    FUDJ_RETURN_NOT_OK(ParseString(key));
+    SkipWs();
+    if (done_ || Peek() != ':') return Err("expected ':' after key");
+    ++pos_;
+    *end = false;
+    return Status::OK();
+  }
+
+  bool ValueIsString() {
+    SkipWs();
+    return !done_ && Peek() == '"';
+  }
+  bool ValueIsObject() {
+    SkipWs();
+    return !done_ && Peek() == '{';
+  }
+
+  Status ParseString(std::string* out) {
+    SkipWs();
+    if (done_ || Peek() != '"') return Err("expected string");
+    ++pos_;
+    out->clear();
+    while (!done_ && Peek() != '"') {
+      char c = Peek();
+      ++pos_;
+      if (c == '\\') {
+        if (done_) return Err("unterminated escape");
+        char e = Peek();
+        ++pos_;
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            // Only \u00XX is ever emitted (control chars).
+            if (pos_ + 4 > s_.size()) return Err("bad \\u escape");
+            out->push_back(static_cast<char>(
+                std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16)));
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Err("unknown escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (done_) return Err("unterminated string");
+    ++pos_;  // closing quote
+    return Status::OK();
+  }
+
+  Status ParseNumber(double* out) {
+    SkipWs();
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    errno = 0;
+    *out = std::strtod(start, &end);
+    if (end == start || errno == ERANGE) return Err("expected number");
+    pos_ += static_cast<size_t>(end - start);
+    return Status::OK();
+  }
+
+  Status AtEnd() {
+    SkipWs();
+    if (!done_) return Err("trailing characters after object");
+    return Status::OK();
+  }
+
+ private:
+  char Peek() const { return s_[pos_]; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r' ||
+            s_[pos_] == '\n')) {
+      ++pos_;
+    }
+    done_ = pos_ >= s_.size();
+  }
+  Status Err(const std::string& what) const {
+    return Status::ParseError("query-stats record: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace
+
+std::string QueryStatsRecord::ToJson() const {
+  std::string out = "{";
+  AppendField(&out, "key", shape.Key());
+  out += ",";
+  AppendField(&out, "join", shape.join_name);
+  out += ",";
+  AppendField(&out, "strategy", shape.strategy);
+  out += ",";
+  AppendField(&out, "tables", static_cast<int64_t>(shape.num_tables));
+  out += ",";
+  AppendField(&out, "agg", static_cast<int64_t>(shape.aggregated ? 1 : 0));
+  out += ",";
+  AppendField(&out, "state", state);
+  out += ",";
+  AppendField(&out, "sim_ms", sim_ms);
+  out += ",";
+  AppendField(&out, "wall_ms", wall_ms);
+  out += ",";
+  AppendField(&out, "queue_ms", queue_ms);
+  out += ",";
+  AppendField(&out, "rows", rows);
+  out += ",";
+  AppendField(&out, "retries", retries);
+  out += ",";
+  AppendField(&out, "spilled_buckets", spilled_buckets);
+  out += ",";
+  AppendField(&out, "spill_bytes", spill_bytes);
+  out += ",";
+  AppendField(&out, "bucket_splits", bucket_splits);
+  out += ",";
+  AppendField(&out, "degraded", static_cast<int64_t>(degraded ? 1 : 0));
+  out += ",\"stages\":{";
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendField(&out, JsonEscape(stages[i].first).c_str(),
+                stages[i].second);
+  }
+  out += "}}";
+  return out;
+}
+
+Status QueryStatsRecord::FromJson(const std::string& line,
+                                  QueryStatsRecord* out) {
+  *out = QueryStatsRecord();
+  FlatJsonParser p(line);
+  FUDJ_RETURN_NOT_OK(p.Enter());
+  for (;;) {
+    std::string key;
+    bool end = false;
+    FUDJ_RETURN_NOT_OK(p.NextKey(&key, &end));
+    if (end) break;
+    if (key == "stages") {
+      if (!p.ValueIsObject()) {
+        return Status::ParseError(
+            "query-stats record: \"stages\" must be an object");
+      }
+      FUDJ_RETURN_NOT_OK(p.Enter());
+      for (;;) {
+        std::string stage;
+        bool stages_end = false;
+        FUDJ_RETURN_NOT_OK(p.NextKey(&stage, &stages_end));
+        if (stages_end) break;
+        double ms = 0.0;
+        FUDJ_RETURN_NOT_OK(p.ParseNumber(&ms));
+        out->stages.emplace_back(stage, ms);
+      }
+      continue;
+    }
+    if (p.ValueIsString()) {
+      std::string v;
+      FUDJ_RETURN_NOT_OK(p.ParseString(&v));
+      if (key == "join") {
+        out->shape.join_name = v;
+      } else if (key == "strategy") {
+        out->shape.strategy = v;
+      } else if (key == "state") {
+        out->state = v;
+      }
+      // "key" is derived (shape.Key()); unknown string keys skipped.
+      continue;
+    }
+    double v = 0.0;
+    FUDJ_RETURN_NOT_OK(p.ParseNumber(&v));
+    if (key == "tables") {
+      out->shape.num_tables = static_cast<int>(v);
+    } else if (key == "agg") {
+      out->shape.aggregated = v != 0.0;
+    } else if (key == "sim_ms") {
+      out->sim_ms = v;
+    } else if (key == "wall_ms") {
+      out->wall_ms = v;
+    } else if (key == "queue_ms") {
+      out->queue_ms = v;
+    } else if (key == "rows") {
+      out->rows = static_cast<int64_t>(v);
+    } else if (key == "retries") {
+      out->retries = static_cast<int64_t>(v);
+    } else if (key == "spilled_buckets") {
+      out->spilled_buckets = static_cast<int64_t>(v);
+    } else if (key == "spill_bytes") {
+      out->spill_bytes = static_cast<int64_t>(v);
+    } else if (key == "bucket_splits") {
+      out->bucket_splits = static_cast<int64_t>(v);
+    } else if (key == "degraded") {
+      out->degraded = v != 0.0;
+    }
+    // Unknown numeric keys are skipped: older binaries read newer files.
+  }
+  return p.AtEnd();
+}
+
+QueryStatsStore::QueryStatsStore(std::string path)
+    : path_(std::move(path)) {}
+
+Status QueryStatsStore::Append(const QueryStatsRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(record);
+  return AppendLineToFile(path_, record.ToJson());
+}
+
+Status QueryStatsStore::Reload() {
+  FILE* f = std::fopen(path_.c_str(), "r");
+  std::vector<QueryStatsRecord> loaded;
+  if (f != nullptr) {
+    std::string line;
+    char buf[4096];
+    while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+      line += buf;
+      if (line.empty() || line.back() != '\n') continue;  // long line
+      line.pop_back();
+      if (!line.empty()) {
+        QueryStatsRecord rec;
+        const Status st = QueryStatsRecord::FromJson(line, &rec);
+        if (!st.ok()) {
+          std::fclose(f);
+          return st;
+        }
+        loaded.push_back(std::move(rec));
+      }
+      line.clear();
+    }
+    // A final line without '\n' (interrupted append) is still parsed.
+    if (!line.empty()) {
+      QueryStatsRecord rec;
+      const Status st = QueryStatsRecord::FromJson(line, &rec);
+      if (!st.ok()) {
+        std::fclose(f);
+        return st;
+      }
+      loaded.push_back(std::move(rec));
+    }
+    std::fclose(f);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  records_ = std::move(loaded);
+  return Status::OK();
+}
+
+std::vector<QueryStatsRecord> QueryStatsStore::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::vector<std::string> QueryStatsStore::Keys() const {
+  std::set<std::string> keys;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const QueryStatsRecord& r : records_) keys.insert(r.shape.Key());
+  }
+  return std::vector<std::string>(keys.begin(), keys.end());
+}
+
+std::vector<QueryStatsRecord> QueryStatsStore::ForShape(
+    const std::string& key) const {
+  std::vector<QueryStatsRecord> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const QueryStatsRecord& r : records_) {
+    if (r.shape.Key() == key) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace fudj

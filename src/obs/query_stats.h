@@ -1,0 +1,91 @@
+#ifndef FUDJ_OBS_QUERY_STATS_H_
+#define FUDJ_OBS_QUERY_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fudj {
+
+/// Shape of a query for the persisted stats store: what it did, not when
+/// it ran. Two queries with the same shape key are comparable — the
+/// store's history of a shape is the input a future statistics-driven
+/// optimizer would consult (§VII direction of the paper).
+struct QueryShape {
+  std::string join_name;  ///< FUDJ join ("none" when not a join query)
+  std::string strategy;   ///< plan choice (JoinStrategyToString)
+  int num_tables = 0;
+  bool aggregated = false;
+
+  /// Canonical key, e.g. "join=st_contains_join|strategy=theta-bucket|
+  /// tables=2|agg=0".
+  std::string Key() const;
+};
+
+/// One executed query, as persisted (one JSON object per line).
+struct QueryStatsRecord {
+  QueryShape shape;
+  std::string state;  ///< succeeded|failed|cancelled|rejected
+  double sim_ms = 0.0;
+  double wall_ms = 0.0;
+  double queue_ms = 0.0;
+  int64_t rows = 0;
+  int64_t retries = 0;
+  int64_t spilled_buckets = 0;
+  int64_t spill_bytes = 0;
+  int64_t bucket_splits = 0;
+  bool degraded = false;  ///< broadcast-NLJ fallback fired
+  /// Observed per-stage simulated times (stage name -> ms). Repeated
+  /// stage names accumulate.
+  std::vector<std::pair<std::string, double>> stages;
+
+  /// One-line JSON object (no trailing newline). Flat except the nested
+  /// "stages" object of name -> ms.
+  std::string ToJson() const;
+  /// Parses one ToJson() line. Tolerates unknown scalar keys (forward
+  /// compatibility); rejects lines that are not a flat JSON object in
+  /// this shape.
+  static Status FromJson(const std::string& line, QueryStatsRecord* out);
+};
+
+/// Append-only persisted query-stats store: one JSONL file, one record
+/// per executed query, keyed by query shape. Survives service restarts —
+/// Reload() re-reads whatever earlier processes appended. Thread-safe.
+class QueryStatsStore {
+ public:
+  explicit QueryStatsStore(std::string path);
+
+  const std::string& path() const { return path_; }
+
+  /// Appends `record` to the file AND the in-memory view. Returns the
+  /// file error when the append failed (the in-memory view keeps the
+  /// record either way so a full disk does not lose live telemetry).
+  Status Append(const QueryStatsRecord& record);
+
+  /// Replaces the in-memory view with the file's contents. Unparsable
+  /// lines fail the reload (a corrupt store should be loud, not
+  /// silently shortened). A missing file reloads to empty: a fresh
+  /// store has no history.
+  Status Reload();
+
+  std::vector<QueryStatsRecord> records() const;
+  /// Distinct shape keys, sorted.
+  std::vector<std::string> Keys() const;
+  /// Records whose shape key equals `key`, in append order.
+  std::vector<QueryStatsRecord> ForShape(const std::string& key) const;
+
+ private:
+  const std::string path_;
+  mutable std::mutex mu_;
+  std::vector<QueryStatsRecord> records_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_OBS_QUERY_STATS_H_

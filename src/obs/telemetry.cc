@@ -1,0 +1,451 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "common/file_util.h"
+#include "obs/trace.h"  // JsonEscape
+
+namespace fudj {
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+const std::array<double, LatencyHistogram::kBuckets>&
+LatencyHistogram::Bounds() {
+  static const std::array<double, kBuckets> bounds = [] {
+    std::array<double, kBuckets> b{};
+    double v = 0.001;  // 1µs in ms
+    for (int i = 0; i < kBuckets; ++i) {
+      b[i] = v;
+      v *= 2.0;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+void LatencyHistogram::Observe(double ms) {
+  const auto& bounds = Bounds();
+  size_t b = 0;
+  while (b < bounds.size() && ms > bounds[b]) ++b;
+  ++counts_[b];
+  if (total_ == 0) {
+    min_ = ms;
+    max_ = ms;
+  } else {
+    min_ = std::min(min_, ms);
+    max_ = std::max(max_, ms);
+  }
+  ++total_;
+  sum_ += ms;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.total_ == 0) return;
+  for (size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  // Mirrors Histogram::Quantile so windowed and lifetime percentiles of
+  // the same data agree: interpolate inside the owning bucket, clamp to
+  // the observed [min, max].
+  if (total_ == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const auto& bounds = Bounds();
+  const double target = q * static_cast<double>(total_);
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const int64_t next = cumulative + counts_[b];
+    if (static_cast<double>(next) >= target) {
+      const double lo = b == 0 ? min_ : bounds[b - 1];
+      const double hi = b < bounds.size() ? bounds[b] : max_;
+      const double frac = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(counts_[b]);
+      const double est =
+          lo + (hi - lo) * std::min(std::max(frac, 0.0), 1.0);
+      return std::min(std::max(est, min_), max_);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryEvent
+
+std::string TelemetryEvent::ToJsonl() const {
+  char buf[64];
+  std::string out = "{\"ts_ms\":";
+  std::snprintf(buf, sizeof(buf), "%.3f", ts_ms);
+  out += buf;
+  out += ",\"kind\":\"" + JsonEscape(kind) + "\"";
+  out += ",\"query_id\":" + std::to_string(query_id);
+  out += ",\"session_id\":" + std::to_string(session_id);
+  out += ",\"session\":\"" + JsonEscape(session) + "\"";
+  out += ",\"detail\":\"" + JsonEscape(detail) + "\"}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryHub
+
+namespace {
+
+/// Renders a sorted `{k="v",...}` label block ("" when unlabelled) —
+/// the same shape MetricsRegistry uses, so window and lifetime lines of
+/// one exposition read uniformly.
+std::string RenderLabels(MetricLabels labels) {
+  if (labels.empty()) return std::string();
+  std::sort(labels.begin(), labels.end());
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string FormatValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Forwards engine lifecycle events into the hub under one query's
+/// identity.
+class HubQuerySink final : public QueryEventSink {
+ public:
+  HubQuerySink(TelemetryHub* hub, int64_t query_id, int64_t session_id,
+               std::string session)
+      : hub_(hub),
+        query_id_(query_id),
+        session_id_(session_id),
+        session_(std::move(session)) {}
+
+  void QueryEvent(const std::string& kind,
+                  const std::string& detail) override {
+    hub_->Event(kind, query_id_, session_id_, session_, detail);
+  }
+
+ private:
+  TelemetryHub* hub_;
+  int64_t query_id_;
+  int64_t session_id_;
+  std::string session_;
+};
+
+}  // namespace
+
+TelemetryHub::TelemetryHub(const TelemetryOptions& options)
+    : options_(options) {
+  const auto start = std::chrono::steady_clock::now();
+  now_ms_ = [start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  if (options_.enabled && !options_.stats_path.empty()) {
+    stats_store_.reset(new QueryStatsStore(options_.stats_path));
+  }
+}
+
+void TelemetryHub::set_clock_for_test(std::function<double()> now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ms_ = std::move(now_ms);
+}
+
+int64_t TelemetryHub::BucketIndex(double now_ms) const {
+  return static_cast<int64_t>(std::floor(now_ms / options_.bucket_span_ms));
+}
+
+TelemetryHub::WindowSeries* TelemetryHub::GetSeriesLocked(
+    const std::string& name, const MetricLabels& labels, bool counter) {
+  const std::string rendered = RenderLabels(labels);
+  const std::string key = name + rendered;
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    WindowSeries s;
+    s.name = name;
+    s.labels = rendered;
+    s.is_counter = counter;
+    it = series_.emplace(key, std::move(s)).first;
+  }
+  return &it->second;
+}
+
+void TelemetryHub::EvictLocked(WindowSeries* s, int64_t now_bucket) const {
+  const int64_t oldest_live = now_bucket - options_.window_buckets + 1;
+  while (!s->hist_buckets.empty() &&
+         s->hist_buckets.front().first < oldest_live) {
+    s->hist_buckets.pop_front();
+  }
+  while (!s->counter_buckets.empty() &&
+         s->counter_buckets.front().first < oldest_live) {
+    s->counter_buckets.pop_front();
+  }
+}
+
+void TelemetryHub::AddWindowCounter(const std::string& name,
+                                    const MetricLabels& labels,
+                                    double delta) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t bucket = BucketIndex(NowMsLocked());
+  WindowSeries* s = GetSeriesLocked(name, labels, /*counter=*/true);
+  EvictLocked(s, bucket);
+  if (s->counter_buckets.empty() ||
+      s->counter_buckets.back().first != bucket) {
+    s->counter_buckets.emplace_back(bucket, 0.0);
+  }
+  s->counter_buckets.back().second += delta;
+}
+
+void TelemetryHub::ObserveWindowLatency(const std::string& name,
+                                        const MetricLabels& labels,
+                                        double ms) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t bucket = BucketIndex(NowMsLocked());
+  WindowSeries* s = GetSeriesLocked(name, labels, /*counter=*/false);
+  EvictLocked(s, bucket);
+  if (s->hist_buckets.empty() || s->hist_buckets.back().first != bucket) {
+    s->hist_buckets.emplace_back(bucket, LatencyHistogram());
+  }
+  s->hist_buckets.back().second.Observe(ms);
+}
+
+void TelemetryHub::PushEventLocked(TelemetryEvent e) {
+  if (static_cast<int>(events_.size()) >= options_.max_events) {
+    events_.pop_front();
+    ++events_dropped_;
+  }
+  events_.push_back(std::move(e));
+}
+
+void TelemetryHub::Event(const std::string& kind, int64_t query_id,
+                         int64_t session_id, const std::string& session,
+                         const std::string& detail) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  TelemetryEvent e;
+  e.ts_ms = NowMsLocked();
+  e.kind = kind;
+  e.query_id = query_id;
+  e.session_id = session_id;
+  e.session = session;
+  e.detail = detail;
+  PushEventLocked(std::move(e));
+}
+
+std::unique_ptr<QueryEventSink> TelemetryHub::MakeQuerySink(
+    int64_t query_id, int64_t session_id, const std::string& session) {
+  if (!options_.enabled) return nullptr;
+  return std::unique_ptr<QueryEventSink>(
+      new HubQuerySink(this, query_id, session_id, session));
+}
+
+std::vector<TelemetryEvent> TelemetryHub::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TelemetryEvent>(events_.begin(), events_.end());
+}
+
+int64_t TelemetryHub::events_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_dropped_;
+}
+
+std::string TelemetryHub::EventsJsonl() const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TelemetryEvent& e : events_) {
+    out += e.ToJsonl();
+    out += "\n";
+  }
+  return out;
+}
+
+Status TelemetryHub::WriteEventsJsonl(const std::string& path) const {
+  return WriteStringToFile(path, EventsJsonl());
+}
+
+void TelemetryHub::OnQueryFinished(const QueryProfileEntry& entry,
+                                   const ExecStats& stats) {
+  if (!options_.enabled) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double now = NowMsLocked();
+    const int64_t bucket = BucketIndex(now);
+
+    // Windowed series: latency percentiles per join type, per session,
+    // per stage, plus the per-state completion counter.
+    auto observe = [&](const std::string& name, const MetricLabels& labels,
+                       double ms) {
+      WindowSeries* s = GetSeriesLocked(name, labels, /*counter=*/false);
+      EvictLocked(s, bucket);
+      if (s->hist_buckets.empty() ||
+          s->hist_buckets.back().first != bucket) {
+        s->hist_buckets.emplace_back(bucket, LatencyHistogram());
+      }
+      s->hist_buckets.back().second.Observe(ms);
+    };
+    observe("query_sim_ms", {{"join", entry.join_name}}, entry.sim_ms);
+    observe("query_wall_ms", {{"session", entry.session}}, entry.wall_ms);
+    for (const StageStat& st : stats.stages()) {
+      observe("stage_sim_ms", {{"stage", st.name}},
+              st.max_partition_ms + st.network_ms + st.recovery_ms);
+    }
+    {
+      WindowSeries* s = GetSeriesLocked(
+          "queries_total", {{"state", entry.state}}, /*counter=*/true);
+      EvictLocked(s, bucket);
+      if (s->counter_buckets.empty() ||
+          s->counter_buckets.back().first != bucket) {
+        s->counter_buckets.emplace_back(bucket, 0.0);
+      }
+      s->counter_buckets.back().second += 1.0;
+    }
+
+    // Profile ring (bounded, oldest evicted).
+    QueryProfileEntry recorded = entry;
+    recorded.ts_ms = now;
+    if (static_cast<int>(profiles_.size()) >= options_.profile_ring) {
+      profiles_.pop_front();
+    }
+    profiles_.push_back(std::move(recorded));
+
+    // Lifecycle event.
+    TelemetryEvent e;
+    e.ts_ms = now;
+    e.kind = entry.state == "cancelled" ? "cancelled" : "finished";
+    e.query_id = entry.query_id;
+    e.session_id = 0;
+    e.session = entry.session;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "state=%s sim_ms=%.3f wall_ms=%.3f rows=%lld",
+                  entry.state.c_str(), entry.sim_ms, entry.wall_ms,
+                  static_cast<long long>(entry.rows));
+    e.detail = buf;
+    PushEventLocked(std::move(e));
+  }
+
+  // Persisted store, outside the hub lock: the append does file I/O and
+  // the store has its own mutex.
+  if (stats_store_ != nullptr) {
+    QueryStatsRecord rec;
+    rec.shape.join_name = entry.join_name;
+    rec.shape.strategy = entry.strategy;
+    rec.shape.num_tables = entry.num_tables;
+    rec.shape.aggregated = entry.aggregated;
+    rec.state = entry.state;
+    rec.sim_ms = entry.sim_ms;
+    rec.wall_ms = entry.wall_ms;
+    rec.queue_ms = entry.queue_ms;
+    rec.rows = entry.rows;
+    rec.retries = entry.retries;
+    rec.spilled_buckets = stats.spilled_buckets();
+    rec.spill_bytes = stats.spill_bytes();
+    rec.bucket_splits = entry.bucket_splits;
+    for (const std::string& w : stats.warnings()) {
+      if (w.find("degrad") != std::string::npos) {
+        rec.degraded = true;
+        break;
+      }
+    }
+    for (const StageStat& st : stats.stages()) {
+      rec.stages.emplace_back(
+          st.name, st.max_partition_ms + st.network_ms + st.recovery_ms);
+    }
+    if (!stats_store_->Append(rec).ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_write_errors_;
+    }
+  }
+}
+
+std::vector<QueryProfileEntry> TelemetryHub::RecentProfiles(
+    int64_t limit) const {
+  std::vector<QueryProfileEntry> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = profiles_.rbegin(); it != profiles_.rend(); ++it) {
+    if (limit >= 0 && static_cast<int64_t>(out.size()) >= limit) break;
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::string TelemetryHub::ExposeText(const MetricsRegistry* lifetime) const {
+  std::string out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t now_bucket = BucketIndex(NowMsLocked());
+    out += "# window: last " +
+           std::to_string(static_cast<int64_t>(options_.window_buckets *
+                                               options_.bucket_span_ms)) +
+           " ms\n";
+    for (const auto& kv : series_) {
+      const WindowSeries& s = kv.second;
+      const int64_t oldest_live = now_bucket - options_.window_buckets + 1;
+      if (s.is_counter) {
+        double total = 0.0;
+        for (const auto& b : s.counter_buckets) {
+          if (b.first >= oldest_live) total += b.second;
+        }
+        out += s.name + s.labels + " " + FormatValue(total) + "\n";
+        continue;
+      }
+      LatencyHistogram merged;
+      for (const auto& b : s.hist_buckets) {
+        if (b.first >= oldest_live) merged.Merge(b.second);
+      }
+      if (merged.count() == 0) continue;  // fully evicted series
+      const std::string& l = s.labels;
+      out += s.name + "_count" + l + " " +
+             std::to_string(merged.count()) + "\n";
+      out += s.name + "_sum" + l + " " + FormatValue(merged.sum()) + "\n";
+      out += s.name + "_p50" + l + " " + FormatValue(merged.Quantile(0.5)) +
+             "\n";
+      out += s.name + "_p95" + l + " " +
+             FormatValue(merged.Quantile(0.95)) + "\n";
+      out += s.name + "_p99" + l + " " +
+             FormatValue(merged.Quantile(0.99)) + "\n";
+      out += s.name + "_min" + l + " " + FormatValue(merged.min()) + "\n";
+      out += s.name + "_max" + l + " " + FormatValue(merged.max()) + "\n";
+    }
+    out += "telemetry_events_dropped " +
+           std::to_string(events_dropped_) + "\n";
+    out += "telemetry_stats_write_errors " +
+           std::to_string(stats_write_errors_) + "\n";
+  }
+  if (lifetime != nullptr) {
+    out += "# lifetime\n";
+    out += lifetime->ToPrometheusText();
+  }
+  return out;
+}
+
+Status TelemetryHub::WriteExposeText(const std::string& path,
+                                     const MetricsRegistry* lifetime) const {
+  return WriteStringToFile(path, ExposeText(lifetime));
+}
+
+int64_t TelemetryHub::stats_write_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_write_errors_;
+}
+
+}  // namespace fudj

@@ -1,0 +1,222 @@
+#ifndef FUDJ_OBS_TELEMETRY_H_
+#define FUDJ_OBS_TELEMETRY_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/stats.h"
+#include "obs/metrics.h"
+#include "obs/query_stats.h"
+
+namespace fudj {
+
+/// Per-query lifecycle event sink, installed on a query's Cluster next
+/// to the cancellation token (null = disabled, one branch per site).
+/// Engine hooks report coarse, per-stage events — the retry ladder emits
+/// "retried", COMBINE tasks emit "spilled"/"split" — never per-row. The
+/// TelemetryHub binds one sink per running query so the events land in
+/// the service-wide log already attributed to query/session.
+class QueryEventSink {
+ public:
+  virtual ~QueryEventSink() = default;
+  /// `kind` is a lifecycle verb ("retried", "spilled", "split");
+  /// `detail` is a short free-form "k=v k=v" annotation. May be called
+  /// concurrently from pool threads.
+  virtual void QueryEvent(const std::string& kind,
+                          const std::string& detail) = 0;
+};
+
+/// Log-bucketed latency histogram with FIXED bucket bounds shared by
+/// every instance (powers of two from 1µs to ~6 days, in ms): two
+/// histograms over the same bounds merge EXACTLY by adding bucket counts
+/// — the property the sliding-window aggregation relies on when it
+/// collapses per-bucket histograms into one window snapshot. Not
+/// internally synchronized; the hub guards instances with its mutex.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;
+  /// Inclusive upper bounds, bounds[i] = 0.001 * 2^i ms.
+  static const std::array<double, kBuckets>& Bounds();
+
+  void Observe(double ms);
+  /// Exact merge: elementwise count add, min/min, max/max, sum add.
+  void Merge(const LatencyHistogram& other);
+
+  int64_t count() const { return total_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Quantile by linear interpolation inside the owning bucket, clamped
+  /// to [min, max] — monotone in q (p50 <= p95 <= p99 always).
+  double Quantile(double q) const;
+
+ private:
+  std::array<int64_t, kBuckets + 1> counts_{};  // last = overflow
+  int64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One structured event in the service's JSONL log.
+struct TelemetryEvent {
+  double ts_ms = 0.0;  ///< hub clock (ms since hub construction)
+  std::string kind;    ///< admitted|started|retried|spilled|split|
+                       ///< cancelled|finished|rejected
+  int64_t query_id = 0;
+  int64_t session_id = 0;
+  std::string session;
+  std::string detail;  ///< free-form "k=v k=v" annotation
+
+  /// One-line JSON object (no trailing newline).
+  std::string ToJsonl() const;
+};
+
+/// One completed query in the SHOW PROFILES ring.
+struct QueryProfileEntry {
+  int64_t query_id = 0;
+  std::string session;
+  std::string state;      ///< QueryStateToString
+  std::string join_name;  ///< first FUDJ join; "none" when not a join
+  std::string strategy;   ///< JoinStrategyToString of the first step
+  int num_tables = 0;
+  bool aggregated = false;
+  double sim_ms = 0.0;
+  double wall_ms = 0.0;
+  double queue_ms = 0.0;
+  int64_t rows = 0;
+  int64_t retries = 0;
+  int64_t spilled_buckets = 0;
+  int64_t bucket_splits = 0;
+  double ts_ms = 0.0;  ///< hub clock at completion
+};
+
+/// TelemetryHub configuration (all bounds are hard caps).
+struct TelemetryOptions {
+  /// Master switch: disabled, every hub entry point returns after one
+  /// branch — the <2% disabled-cost budget of the smoke benches.
+  bool enabled = true;
+  /// Sliding window: `window_buckets` time buckets of `bucket_span_ms`
+  /// each (default: 6 x 10 s = a one-minute window).
+  int window_buckets = 6;
+  double bucket_span_ms = 10000.0;
+  /// Bounded ring of recent QueryProfiles behind SHOW PROFILES.
+  int profile_ring = 128;
+  /// Bounded event log; overflow drops the oldest (counted).
+  int max_events = 65536;
+  /// Append-only query-stats store path ("" = not persisted).
+  std::string stats_path;
+};
+
+/// Service-wide telemetry plane: sliding-window time series (counters +
+/// exact-merge latency histograms with p50/p95/p99), a bounded
+/// structured event log, the SHOW PROFILES ring, and the persisted
+/// query-stats store. One hub per QueryService; every method is
+/// thread-safe and cheap-to-skip when disabled.
+///
+/// The window model: each series owns a deque of (bucket index,
+/// histogram-or-count) pairs; an observation lands in bucket
+/// floor(now / bucket_span). Snapshots merge the buckets still inside
+/// the window (exact, because all histograms share one bucket layout)
+/// and evict expired ones.
+class TelemetryHub {
+ public:
+  explicit TelemetryHub(const TelemetryOptions& options);
+
+  bool enabled() const { return options_.enabled; }
+  const TelemetryOptions& options() const { return options_; }
+
+  /// Test hook: replaces the hub clock (ms since an arbitrary origin).
+  /// Window eviction boundaries become deterministic under a fake clock.
+  void set_clock_for_test(std::function<double()> now_ms);
+
+  // -- Windowed series ----------------------------------------------------
+  void AddWindowCounter(const std::string& name, const MetricLabels& labels,
+                        double delta = 1.0);
+  void ObserveWindowLatency(const std::string& name,
+                            const MetricLabels& labels, double ms);
+
+  // -- Event log ----------------------------------------------------------
+  void Event(const std::string& kind, int64_t query_id, int64_t session_id,
+             const std::string& session, const std::string& detail);
+  /// Sink bound to one query's identity, installable on its Cluster.
+  /// Null when the hub is disabled: the engine's own null checks then
+  /// make every hook site a single branch.
+  std::unique_ptr<QueryEventSink> MakeQuerySink(int64_t query_id,
+                                                int64_t session_id,
+                                                const std::string& session);
+  std::vector<TelemetryEvent> Events() const;
+  int64_t events_dropped() const;
+  /// Renders the event log as JSONL (one event object per line).
+  std::string EventsJsonl() const;
+  Status WriteEventsJsonl(const std::string& path) const;
+
+  // -- Query lifecycle ----------------------------------------------------
+  /// Records a completed (or cancelled/failed) query: feeds the windowed
+  /// series (`query_sim_ms{join=}`, `query_wall_ms{session=}`,
+  /// `stage_sim_ms{stage=}`, `queries_total{state=}`), pushes the
+  /// profile ring, emits the finished/cancelled event, and appends to
+  /// the stats store when one is configured.
+  void OnQueryFinished(const QueryProfileEntry& entry, const ExecStats& stats);
+
+  /// Most recent completed queries, newest first. Negative `limit`
+  /// returns the whole ring; 0 returns nothing (SHOW PROFILES LIMIT 0).
+  std::vector<QueryProfileEntry> RecentProfiles(int64_t limit = -1) const;
+
+  // -- Exposition ---------------------------------------------------------
+  /// Prometheus-text snapshot: the live window series (counters as
+  /// `name{labels} v`, histograms as `name_{count,sum,p50,p95,p99,min,
+  /// max}{labels} v`) followed by `lifetime`'s ToPrometheusText()
+  /// (nullable). Every non-comment line matches `name{labels} value`.
+  std::string ExposeText(const MetricsRegistry* lifetime) const;
+  Status WriteExposeText(const std::string& path,
+                         const MetricsRegistry* lifetime) const;
+
+  /// The persisted store (null when `stats_path` is empty or the hub is
+  /// disabled).
+  QueryStatsStore* stats_store() { return stats_store_.get(); }
+  /// Stats-store appends that failed (disk full, permissions).
+  int64_t stats_write_errors() const;
+
+ private:
+  struct WindowSeries {
+    std::string name;
+    std::string labels;  ///< rendered {k="v",...} or "" when unlabelled
+    bool is_counter = false;
+    /// (bucket index, payload), ascending; expired buckets evicted on
+    /// write and on snapshot.
+    std::deque<std::pair<int64_t, LatencyHistogram>> hist_buckets;
+    std::deque<std::pair<int64_t, double>> counter_buckets;
+  };
+
+  double NowMsLocked() const { return now_ms_(); }
+  int64_t BucketIndex(double now_ms) const;
+  WindowSeries* GetSeriesLocked(const std::string& name,
+                                const MetricLabels& labels, bool counter);
+  void EvictLocked(WindowSeries* s, int64_t now_bucket) const;
+  void PushEventLocked(TelemetryEvent e);
+
+  const TelemetryOptions options_;
+  std::unique_ptr<QueryStatsStore> stats_store_;
+
+  mutable std::mutex mu_;
+  std::function<double()> now_ms_;
+  std::map<std::string, WindowSeries> series_;
+  std::deque<TelemetryEvent> events_;
+  int64_t events_dropped_ = 0;
+  std::deque<QueryProfileEntry> profiles_;
+  int64_t stats_write_errors_ = 0;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_OBS_TELEMETRY_H_

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/file_util.h"
+
 namespace fudj {
 
 namespace {
@@ -42,10 +44,24 @@ Tracer::Arg Tracer::BoolArg(std::string key, bool v) {
 }
 
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  SetDefaultNames();
+}
+
+Tracer::Tracer(std::chrono::steady_clock::time_point epoch)
+    : epoch_(epoch) {
+  SetDefaultNames();
+}
+
+void Tracer::SetDefaultNames() {
   SetProcessName(kWallPid, "query (wall clock)");
   SetProcessName(kSimPid, "cluster (simulated clock)");
   SetThreadName(kWallPid, 0, "stages");
   SetThreadName(kSimPid, 0, "stages");
+}
+
+void Tracer::SetCommonArgs(Args args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  common_args_ = std::move(args);
 }
 
 double Tracer::NowUs() const {
@@ -56,7 +72,25 @@ double Tracer::NowUs() const {
 
 void Tracer::Push(Event e) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (e.phase != 'M') {
+    e.args.insert(e.args.end(), common_args_.begin(), common_args_.end());
+  }
   events_.push_back(std::move(e));
+}
+
+void Tracer::MergeFrom(const Tracer& src, int wall_pid, int sim_pid) {
+  std::vector<Event> copied;
+  {
+    std::lock_guard<std::mutex> lock(src.mu_);
+    copied = src.events_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.reserve(events_.size() + copied.size());
+  for (Event& e : copied) {
+    if (e.phase == 'M' && e.name == "process_name") continue;
+    e.pid = e.pid == kSimPid ? sim_pid : wall_pid;
+    events_.push_back(std::move(e));
+  }
 }
 
 void Tracer::AddSpan(int pid, int tid, const std::string& name,
@@ -183,25 +217,7 @@ std::string Tracer::ToJson() const {
 }
 
 Status Tracer::WriteFile(const std::string& path) const {
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::Internal("cannot open trace output file '" + path +
-                            "'");
-  }
-  const std::string json = ToJson();
-  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  const bool closed = std::fclose(f) == 0;
-  if (written != json.size()) {
-    return Status::Internal("short write to trace output file '" + path +
-                            "'");
-  }
-  if (!closed) {
-    // fclose flushes buffered bytes; a failure here means the file is
-    // incomplete even though every fwrite succeeded.
-    return Status::Internal("cannot flush trace output file '" + path +
-                            "'");
-  }
-  return Status::OK();
+  return WriteStringToFile(path, ToJson());
 }
 
 Tracer::TaskScope::TaskScope(Tracer* tracer, const std::string& stage,

@@ -55,10 +55,31 @@ class Tracer {
   static Arg BoolArg(std::string key, bool v);
 
   Tracer();
+  /// Constructs a tracer whose wall-clock origin is `epoch` instead of
+  /// "now": per-query tracers in the service share the sink tracer's
+  /// epoch so their spans line up on one timeline after MergeFrom.
+  explicit Tracer(std::chrono::steady_clock::time_point epoch);
 
   /// Wall-clock microseconds since this tracer was constructed (the `ts`
   /// origin of the kWallPid timeline).
   double NowUs() const;
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
+  /// Args appended to every subsequently recorded span/instant (not to
+  /// 'M' metadata). The service stamps each per-query tracer with
+  /// {query, session} here, so every hook in the engine — cluster,
+  /// exchange, operators, fault injector, COMBINE runtime — emits
+  /// query-attributed spans without any per-hook plumbing.
+  void SetCommonArgs(Args args);
+
+  /// Appends a copy of `src`'s events, remapping its wall timeline
+  /// (kWallPid) to `wall_pid` and its simulated timeline (kSimPid) to
+  /// `sim_pid`. process_name metadata is skipped (the caller names the
+  /// merged tracks); thread_name metadata and all spans are kept. This
+  /// is how the service exports ONE Chrome trace with one named track
+  /// pair per query: isolation is structural — concurrent queries write
+  /// to disjoint tracers and land on disjoint pid blocks.
+  void MergeFrom(const Tracer& src, int wall_pid, int sim_pid);
 
   /// Records a complete span (`"ph":"X"`).
   void AddSpan(int pid, int tid, const std::string& name,
@@ -131,11 +152,23 @@ class Tracer {
   };
 
   void Push(Event e);
+  void SetDefaultNames();
 
   mutable std::mutex mu_;
   std::vector<Event> events_;
+  Args common_args_;  ///< appended to every non-metadata event
   std::chrono::steady_clock::time_point epoch_;
 };
+
+/// Pid block of one service query in a merged trace: queries never share
+/// a pid, so spans from concurrent queries cannot interleave by
+/// construction. pids 1/2 stay the service's own wall/sim timelines.
+inline int QueryTraceWallPid(int64_t query_id) {
+  return 1000 + 2 * static_cast<int>(query_id);
+}
+inline int QueryTraceSimPid(int64_t query_id) {
+  return QueryTraceWallPid(query_id) + 1;
+}
 
 /// Escapes `s` for embedding in a JSON string literal (no quotes added).
 std::string JsonEscape(const std::string& s);

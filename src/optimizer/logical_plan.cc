@@ -40,6 +40,7 @@ Result<Statement> Statement::WithParameters(
   out.drop_join = drop_join;
   out.explain = explain;
   out.analyze = analyze;
+  out.show_limit = show_limit;
   out.parameter_count = 0;  // substituted below
   if (kind == Kind::kSelect) {
     FUDJ_ASSIGN_OR_RETURN(out.select, select.WithParameters(params));

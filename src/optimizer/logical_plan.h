@@ -75,7 +75,16 @@ struct DropJoinStmt {
 
 /// A parsed SQL statement (exactly one member set).
 struct Statement {
-  enum class Kind { kSelect, kCreateJoin, kDropJoin };
+  enum class Kind {
+    kSelect,
+    kCreateJoin,
+    kDropJoin,
+    /// SHOW METRICS / SHOW PROFILES [LIMIT n]: system introspection,
+    /// served from the query service's telemetry plane (the standalone
+    /// optimizer path has no service and rejects them).
+    kShowMetrics,
+    kShowProfiles,
+  };
   Kind kind = Kind::kSelect;
   QuerySpec select;
   CreateJoinStmt create_join;
@@ -86,6 +95,8 @@ struct Statement {
   bool analyze = false;
   /// Number of `?` placeholders the parser saw (prepared statements).
   int parameter_count = 0;
+  /// SHOW PROFILES row cap (-1 = unlimited / flag absent).
+  int64_t show_limit = -1;
 
   /// Per-execution instantiation of a (possibly prepared) statement:
   /// validates `params` against `parameter_count` and returns a copy

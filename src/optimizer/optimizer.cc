@@ -639,6 +639,11 @@ Result<QueryOutput> ExplainAnalyzeQuery(Cluster* cluster,
   QueryOutput out;
   out.stats = ran->stats;
   out.profile = profile.ToString();
+  out.plan_explain = ran->plan_explain;
+  out.join_name = ran->join_name;
+  out.strategy = ran->strategy;
+  out.num_tables = ran->num_tables;
+  out.aggregated = ran->aggregated;
   out.schema.AddField("stage", ValueType::kString);
   out.schema.AddField("compute_ms", ValueType::kDouble);
   out.schema.AddField("network_ms", ValueType::kDouble);
@@ -690,6 +695,12 @@ Result<QueryOutput> ExecuteStatement(Cluster* cluster, Catalog* catalog,
       }
       return ExecuteQuery(cluster, *catalog, stmt.select);
     }
+    case Statement::Kind::kShowMetrics:
+    case Statement::Kind::kShowProfiles:
+      // Introspection reads the service's telemetry plane; a standalone
+      // cluster has none.
+      return Status::InvalidArgument(
+          "SHOW statements are served by the query service");
   }
   return Status::Internal("unknown statement kind");
 }

@@ -64,6 +64,12 @@ Result<QueryOutput> ExecutePlan(Cluster* cluster,
                                 const PhysicalQueryPlan& plan) {
   QueryOutput output;
   ExecStats* stats = &output.stats;
+  output.plan_explain = plan.explain;
+  output.strategy = JoinStrategyToString(plan.strategy);
+  output.join_name =
+      plan.fudj.has_value() ? plan.fudj->join_name : std::string("none");
+  output.num_tables = static_cast<int>(plan.tables.size());
+  output.aggregated = plan.has_aggregation;
 
   // Scan + pushed-down filters.
   std::vector<PartitionedRelation> inputs;

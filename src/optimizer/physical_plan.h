@@ -119,6 +119,15 @@ struct QueryOutput {
   /// (QueryProfile::ToString); empty otherwise.
   std::string profile;
 
+  /// Shape of the executed plan, copied from PhysicalQueryPlan so the
+  /// serving layer can key telemetry (SHOW PROFILES, the persisted
+  /// query-stats store) without re-planning.
+  std::string plan_explain;  ///< PhysicalQueryPlan::explain
+  std::string join_name;     ///< first FUDJ join; "none" otherwise
+  std::string strategy;      ///< JoinStrategyToString of the first step
+  int num_tables = 0;
+  bool aggregated = false;
+
   /// Renders rows as an aligned table (examples/demos).
   std::string ToTable(size_t max_rows = 20) const;
 };

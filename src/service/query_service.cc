@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 #include <utility>
 
@@ -137,7 +138,8 @@ QueryService::QueryService(const ServiceOptions& options)
       pool_(options.pool_threads > 0
                 ? options.pool_threads
                 : std::max(1u, std::thread::hardware_concurrency())),
-      governor_(options.memory_budget_bytes, 1) {
+      governor_(options.memory_budget_bytes, 1),
+      hub_(options.telemetry) {
   metrics_.GetGauge("service_queue_depth")->Set(0);
   metrics_.GetGauge("service_running")->Set(0);
   const int slots = std::max(1, options_.max_concurrent);
@@ -221,6 +223,21 @@ TicketPtr QueryService::Enqueue(const std::shared_ptr<Session>& session,
   t->submitted_ = std::chrono::steady_clock::now();
   t->charged_estimate_ = -1.0;
 
+  if (stmt.kind == Statement::Kind::kShowMetrics ||
+      stmt.kind == Statement::Kind::kShowProfiles) {
+    // System introspection: served synchronously from the telemetry
+    // plane, bypassing admission and scheduling (a SHOW must work while
+    // the service is overloaded — that is when it is needed).
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      t->id_ = next_query_id_++;
+    }
+    t->system_ = true;
+    FinishTicket(t, QueryState::kSucceeded, Status::OK(),
+                 BuildShowOutput(t->stmt_));
+    return t;
+  }
+
   Status reject;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -256,9 +273,12 @@ TicketPtr QueryService::Enqueue(const std::shared_ptr<Session>& session,
   }
   if (!reject.ok()) {
     metrics_.GetCounter("service_admission_rejects_total")->Increment();
+    hub_.Event("rejected", t->id_, t->session_id_, t->session_name_,
+               reject.message());
     FinishTicket(t, QueryState::kRejected, std::move(reject), {});
     return t;
   }
+  hub_.Event("admitted", t->id_, t->session_id_, t->session_name_, "");
   work_cv_.notify_one();
   return t;
 }
@@ -306,6 +326,8 @@ void QueryService::ExecutorLoop(int slot) {
     metrics_
         .GetHistogram("service_queue_wait_ms", {}, LatencyBuckets())
         ->Observe(queue_ms);
+    hub_.Event("started", t->id_, t->session_id_, t->session_name_,
+               "slot=" + std::to_string(slot));
 
     const double span_start =
         tracer_ != nullptr ? tracer_->NowUs() : 0.0;
@@ -321,11 +343,27 @@ void QueryService::ExecutorLoop(int slot) {
                       : QueryState::kFailed;
       end_status = std::move(pre);
     } else {
+      // Per-query lifecycle sink: the engine's retry/spill/split hooks
+      // report events already attributed to this query.
+      std::unique_ptr<QueryEventSink> sink =
+          hub_.MakeQuerySink(t->id_, t->session_id_, t->session_name_);
+      // Per-query tracer: spans of concurrent queries go to DISJOINT
+      // tracers (zero interleaving by construction) and are merged into
+      // the service trace afterwards on the query's own pid block. The
+      // shared epoch keeps every query on one wall timeline.
+      std::unique_ptr<Tracer> qtracer;
       Cluster cluster(options_.num_workers, &pool_);
       cluster.set_retry_policy(options_.retry);
       cluster.set_metrics(&metrics_);
       cluster.set_cancellation(t->cancel_.token());
-      if (tracer_ != nullptr) cluster.set_tracer(tracer_);
+      cluster.set_event_sink(sink.get());
+      if (tracer_ != nullptr) {
+        qtracer.reset(new Tracer(tracer_->epoch()));
+        qtracer->SetCommonArgs(
+            {Tracer::IntArg("query", t->id_),
+             Tracer::StringArg("session", t->session_name_)});
+        cluster.set_tracer(qtracer.get());
+      }
       Result<QueryOutput> ran =
           ExecuteStatement(&cluster, t->session_->catalog(), t->stmt_);
       if (ran.ok()) {
@@ -336,6 +374,16 @@ void QueryService::ExecutorLoop(int slot) {
                         ? QueryState::kCancelled
                         : QueryState::kFailed;
         end_status = ran.status();
+      }
+      if (qtracer != nullptr) {
+        const int wall_pid = QueryTraceWallPid(t->id_);
+        const int sim_pid = QueryTraceSimPid(t->id_);
+        const std::string label =
+            "query " + std::to_string(t->id_) + " [" + t->session_name_ +
+            "]";
+        tracer_->SetProcessName(wall_pid, label + " wall clock");
+        tracer_->SetProcessName(sim_pid, label + " simulated clock");
+        tracer_->MergeFrom(*qtracer, wall_pid, sim_pid);
       }
     }
     if (tracer_ != nullptr) {
@@ -354,6 +402,27 @@ void QueryService::FinishTicket(const TicketPtr& t, QueryState state,
                                 Status status, QueryOutput output) {
   const double sim_ms = output.stats.simulated_ms();
   const double total_ms = ElapsedMs(t->submitted_);
+  if (!t->system_ && hub_.enabled()) {
+    // Telemetry: windowed percentiles, profile ring, event log, and the
+    // persisted stats store (before `output` is moved into the ticket).
+    QueryProfileEntry entry;
+    entry.query_id = t->id_;
+    entry.session = t->session_name_;
+    entry.state = QueryStateToString(state);
+    entry.join_name =
+        output.join_name.empty() ? "none" : output.join_name;
+    entry.strategy = output.strategy.empty() ? "none" : output.strategy;
+    entry.num_tables = output.num_tables;
+    entry.aggregated = output.aggregated;
+    entry.sim_ms = sim_ms;
+    entry.wall_ms = total_ms;
+    entry.queue_ms = t->queue_ms();
+    entry.rows = static_cast<int64_t>(output.rows.size());
+    entry.retries = output.stats.total_retries();
+    entry.spilled_buckets = output.stats.spilled_buckets();
+    entry.bucket_splits = output.stats.bucket_splits();
+    hub_.OnQueryFinished(entry, output.stats);
+  }
   {
     std::lock_guard<std::mutex> lock(t->mu_);
     t->state_ = state;
@@ -380,16 +449,70 @@ void QueryService::FinishTicket(const TicketPtr& t, QueryState state,
       metrics_.GetGauge("service_running")->Set(running_);
     }
   }
-  metrics_
-      .GetCounter("service_queries_total",
-                  {{"state", QueryStateToString(state)}})
-      ->Increment();
-  metrics_
-      .GetHistogram("service_query_latency_ms",
-                    {{"state", QueryStateToString(state)}},
-                    LatencyBuckets())
-      ->Observe(total_ms);
+  if (!t->system_) {
+    // SHOW queries are not workload: keep them out of the counters the
+    // benches and the stats store key on.
+    metrics_
+        .GetCounter("service_queries_total",
+                    {{"state", QueryStateToString(state)}})
+        ->Increment();
+    metrics_
+        .GetHistogram("service_query_latency_ms",
+                      {{"state", QueryStateToString(state)}},
+                      LatencyBuckets())
+        ->Observe(total_ms);
+  }
   drain_cv_.notify_all();
+}
+
+QueryOutput QueryService::BuildShowOutput(const Statement& stmt) {
+  QueryOutput out;
+  if (stmt.kind == Statement::Kind::kShowMetrics) {
+    out.schema.AddField("name", ValueType::kString);
+    out.schema.AddField("value", ValueType::kDouble);
+    const std::string text = hub_.ExposeText(&metrics_);
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t nl = text.find('\n', pos);
+      if (nl == std::string::npos) nl = text.size();
+      const std::string line = text.substr(pos, nl - pos);
+      pos = nl + 1;
+      if (line.empty() || line[0] == '#') continue;
+      const size_t sp = line.rfind(' ');
+      if (sp == std::string::npos) continue;
+      out.rows.push_back(
+          {Value::String(line.substr(0, sp)),
+           Value::Double(std::strtod(line.c_str() + sp + 1, nullptr))});
+    }
+    out.plan_explain = "SHOW METRICS";
+  } else {
+    out.schema.AddField("query_id", ValueType::kInt64);
+    out.schema.AddField("session", ValueType::kString);
+    out.schema.AddField("state", ValueType::kString);
+    out.schema.AddField("join", ValueType::kString);
+    out.schema.AddField("strategy", ValueType::kString);
+    out.schema.AddField("sim_ms", ValueType::kDouble);
+    out.schema.AddField("wall_ms", ValueType::kDouble);
+    out.schema.AddField("queue_ms", ValueType::kDouble);
+    out.schema.AddField("rows", ValueType::kInt64);
+    out.schema.AddField("retries", ValueType::kInt64);
+    out.schema.AddField("spilled_buckets", ValueType::kInt64);
+    out.schema.AddField("bucket_splits", ValueType::kInt64);
+    for (const QueryProfileEntry& p :
+         hub_.RecentProfiles(stmt.show_limit)) {
+      out.rows.push_back(
+          {Value::Int64(p.query_id), Value::String(p.session),
+           Value::String(p.state), Value::String(p.join_name),
+           Value::String(p.strategy), Value::Double(p.sim_ms),
+           Value::Double(p.wall_ms), Value::Double(p.queue_ms),
+           Value::Int64(p.rows), Value::Int64(p.retries),
+           Value::Int64(p.spilled_buckets),
+           Value::Int64(p.bucket_splits)});
+    }
+    out.plan_explain = "SHOW PROFILES";
+  }
+  out.stats.set_output_rows(static_cast<int64_t>(out.rows.size()));
+  return out;
 }
 
 }  // namespace fudj

@@ -17,6 +17,7 @@
 #include "engine/memory.h"
 #include "engine/retry_policy.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "optimizer/logical_plan.h"
 #include "optimizer/physical_plan.h"
 
@@ -46,6 +47,10 @@ struct ServiceOptions {
   int64_t per_query_reserve_bytes = 16 << 20;
   /// Retry policy installed on every per-query cluster.
   RetryPolicy retry;
+  /// Telemetry plane: windowed metrics, event log, SHOW METRICS/PROFILES
+  /// and the persisted query-stats store. Disabled, the hub's entry
+  /// points reduce to one branch each.
+  TelemetryOptions telemetry;
 };
 
 /// Lifecycle of a submitted query.
@@ -118,6 +123,9 @@ class QueryTicket {
   CancellationSource cancel_;
   MemoryReservation reservation_;
   double charged_estimate_ = 0.0;  ///< stride charged at dispatch
+  /// System introspection (SHOW ...): served synchronously at submit,
+  /// bypassing admission, scheduling, and telemetry recording.
+  bool system_ = false;
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
@@ -228,6 +236,13 @@ class QueryService {
 
   const ServiceOptions& options() const { return options_; }
   MetricsRegistry* metrics() { return &metrics_; }
+  /// The service's telemetry plane (always present; may be disabled).
+  TelemetryHub* telemetry() { return &hub_; }
+  /// One Prometheus-text snapshot: windowed percentiles + lifetime
+  /// registry.
+  std::string ExposeMetricsText() const {
+    return hub_.ExposeText(&metrics_);
+  }
   const MemoryGovernor& governor() const { return governor_; }
   ThreadPool* pool() { return &pool_; }
   /// Optional tracing of query lifecycles (not owned; may be null).
@@ -257,12 +272,15 @@ class QueryService {
   TicketPtr PopNextLocked();
   void FinishTicket(const TicketPtr& t, QueryState state, Status status,
                     QueryOutput output);
+  /// Materializes SHOW METRICS / SHOW PROFILES as a relational result.
+  QueryOutput BuildShowOutput(const Statement& stmt);
 
   const ServiceOptions options_;
   ThreadPool pool_;
   Catalog base_catalog_;
   MemoryGovernor governor_;
   MetricsRegistry metrics_;
+  TelemetryHub hub_;
   Tracer* tracer_ = nullptr;
 
   mutable std::mutex mu_;

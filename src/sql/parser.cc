@@ -41,8 +41,30 @@ class Parser {
     } else if (Peek().IsKeyword("select")) {
       stmt.kind = Statement::Kind::kSelect;
       FUDJ_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+    } else if (Peek().IsKeyword("show")) {
+      Advance();
+      if (Peek().IsKeyword("metrics")) {
+        Advance();
+        stmt.kind = Statement::Kind::kShowMetrics;
+      } else if (Peek().IsKeyword("profiles")) {
+        Advance();
+        stmt.kind = Statement::Kind::kShowProfiles;
+        if (Peek().IsKeyword("limit")) {
+          Advance();
+          if (Peek().kind != TokenKind::kInt) {
+            return Status::ParseError("expected integer after LIMIT");
+          }
+          stmt.show_limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+          if (stmt.show_limit < 0) {
+            return Status::ParseError("LIMIT must be non-negative");
+          }
+        }
+      } else {
+        return Status::ParseError("expected METRICS or PROFILES after SHOW");
+      }
     } else {
-      return Status::ParseError("expected SELECT, CREATE JOIN or DROP JOIN");
+      return Status::ParseError(
+          "expected SELECT, CREATE JOIN, DROP JOIN or SHOW");
     }
     if (Peek().IsSymbol(";")) Advance();
     if (Peek().kind != TokenKind::kEnd) {

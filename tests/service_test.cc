@@ -5,6 +5,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -13,6 +15,8 @@
 #include "engine/cluster.h"
 #include "gtest/gtest.h"
 #include "joins/interval_fudj.h"
+#include "obs/query_stats.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "service/query_service.h"
 #include "sql/parser.h"
@@ -553,6 +557,206 @@ TEST_F(QueryServiceTest, ServiceMetricsCoverLifecycle) {
   const std::string text = m->ToText();
   EXPECT_NE(text.find("service_queue_depth"), std::string::npos);
   EXPECT_NE(text.find("service_query_latency_ms"), std::string::npos);
+}
+
+// ------------------------------------------------ telemetry satellites
+
+TEST_F(QueryServiceTest, ConcurrentQueriesProduceIsolatedTraceTracks) {
+  // Two sessions racing mixed queries through a traced service: the
+  // merged Chrome trace must keep every span inside its query's own pid
+  // block, stamped with that query's id — zero cross-query bleed.
+  Tracer sink;
+  StartService(SmallServiceOptions());
+  service_->set_tracer(&sink);
+  const std::vector<std::string> queries = {
+      "SELECT p.id, count(w.id) AS fires FROM parks p, wildfires w WHERE "
+      "st_contains_join(p.boundary, w.location) GROUP BY p.id "
+      "ORDER BY fires DESC, p.id ASC",
+      "SELECT t.id, w.id FROM nyctaxi t, weather w WHERE "
+      "iv_overlap(t.ride_interval, w.reading_interval) ORDER BY t.id, w.id",
+  };
+  constexpr int kClients = 2;
+  constexpr int kRounds = 3;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int s = 0; s < kClients; ++s) {
+    clients.emplace_back([&, s] {
+      auto session = service_->OpenSession("trace-" + std::to_string(s));
+      for (int round = 0; round < kRounds; ++round) {
+        for (const std::string& q : queries) {
+          if (!session->Execute(q).ok()) ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  service_->Drain();
+  ASSERT_EQ(failures.load(), 0);
+
+  std::set<int> pid_blocks;
+  int attributed = 0;
+  for (const Tracer::EventView& e : sink.Snapshot()) {
+    if (e.pid < 1000) continue;  // service-level tracks
+    // Both pids of a query's block (wall = even, sim = odd) map back to
+    // the one query id.
+    const int qid = (e.pid - 1000) / 2;
+    pid_blocks.insert(qid);
+    if (e.phase == 'M') continue;  // metadata carries no args
+    const std::string own = "\"query\":" + std::to_string(qid);
+    EXPECT_NE(e.args_json.find(own), std::string::npos)
+        << "span '" << e.name << "' on pid " << e.pid
+        << " is missing its own query id: " << e.args_json;
+    // Exactly one query attribution per span: a second one would mean
+    // another query's args leaked into this track.
+    const size_t first = e.args_json.find("\"query\":");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(e.args_json.find("\"query\":", first + 1), std::string::npos)
+        << "span '" << e.name << "' carries two query ids: " << e.args_json;
+    ++attributed;
+  }
+  // Every query of the run got its own track pair, and real spans landed
+  // in them.
+  EXPECT_EQ(pid_blocks.size(), kClients * kRounds * queries.size());
+  EXPECT_GT(attributed, 0);
+}
+
+TEST_F(QueryServiceTest, ShowMetricsAndProfilesAnswerThroughSql) {
+  StartService(SmallServiceOptions());
+  auto session = service_->OpenSession("observer");
+  ASSERT_OK(session
+                ->Execute("SELECT t.id, w.id FROM nyctaxi t, weather w "
+                          "WHERE iv_overlap(t.ride_interval, "
+                          "w.reading_interval) ORDER BY t.id, w.id")
+                .status());
+  ASSERT_OK(session
+                ->Execute("SELECT p.id, count(w.id) AS fires FROM parks p, "
+                          "wildfires w WHERE st_contains_join(p.boundary, "
+                          "w.location) GROUP BY p.id "
+                          "ORDER BY fires DESC, p.id ASC")
+                .status());
+
+  ASSERT_OK_AND_ASSIGN(const QueryOutput metrics,
+                       session->Execute("SHOW METRICS"));
+  ASSERT_EQ(metrics.schema.num_fields(), 2);
+  ASSERT_GT(metrics.rows.size(), 0u);
+  // Per-join percentiles are present and sane.
+  bool found_p50 = false;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  for (const auto& row : metrics.rows) {
+    const std::string& name = row[0].str();
+    if (name == "query_sim_ms_p50{join=\"iv_overlap\"}") {
+      found_p50 = true;
+      p50 = row[1].f64();
+    } else if (name == "query_sim_ms_p95{join=\"iv_overlap\"}") {
+      p95 = row[1].f64();
+    } else if (name == "query_sim_ms_p99{join=\"iv_overlap\"}") {
+      p99 = row[1].f64();
+    }
+  }
+  EXPECT_TRUE(found_p50);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+
+  ASSERT_OK_AND_ASSIGN(const QueryOutput profiles,
+                       session->Execute("SHOW PROFILES"));
+  ASSERT_EQ(profiles.rows.size(), 2u);  // SHOW itself is not profiled
+  // Newest first: the aggregated spatial query is row 0.
+  EXPECT_EQ(profiles.rows[0][3].str(), "st_contains_join");
+  EXPECT_EQ(profiles.rows[1][3].str(), "iv_overlap");
+  EXPECT_EQ(profiles.rows[0][2].str(), "succeeded");
+  EXPECT_GT(profiles.rows[0][5].f64(), 0.0);  // sim_ms
+  EXPECT_GT(profiles.rows[0][8].i64(), 0);    // rows
+
+  ASSERT_OK_AND_ASSIGN(const QueryOutput limited,
+                       session->Execute("SHOW PROFILES LIMIT 1"));
+  ASSERT_EQ(limited.rows.size(), 1u);
+  EXPECT_EQ(limited.rows[0][3].str(), "st_contains_join");
+  ASSERT_OK_AND_ASSIGN(const QueryOutput none,
+                       session->Execute("SHOW PROFILES LIMIT 0"));
+  EXPECT_EQ(none.rows.size(), 0u);
+}
+
+TEST_F(QueryServiceTest, EventLogRecordsQueryLifecycleInOrder) {
+  StartService(SmallServiceOptions());
+  auto session = service_->OpenSession("events");
+  ASSERT_OK_AND_ASSIGN(
+      TicketPtr t,
+      session->Submit("SELECT r.id FROM amazonreview r ORDER BY r.id"));
+  t->Wait();
+  ASSERT_OK(t->status());
+  service_->Drain();
+  std::vector<std::string> kinds;
+  for (const TelemetryEvent& e : service_->telemetry()->Events()) {
+    if (e.query_id != t->id()) continue;
+    EXPECT_EQ(e.session, "events");
+    kinds.push_back(e.kind);
+  }
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], "admitted");
+  EXPECT_EQ(kinds[1], "started");
+  EXPECT_EQ(kinds[2], "finished");
+}
+
+TEST_F(QueryServiceTest, QueryStatsStorePersistsAndReloads) {
+  const std::string path = "service_test_query_stats.jsonl";
+  std::remove(path.c_str());
+  ServiceOptions opts = SmallServiceOptions();
+  opts.telemetry.stats_path = path;
+  StartService(opts);
+  auto session = service_->OpenSession("persist");
+  ASSERT_OK(session
+                ->Execute("SELECT t.id, w.id FROM nyctaxi t, weather w "
+                          "WHERE iv_overlap(t.ride_interval, "
+                          "w.reading_interval) ORDER BY t.id, w.id")
+                .status());
+  ASSERT_OK(session
+                ->Execute("SELECT r.id FROM amazonreview r ORDER BY r.id")
+                .status());
+  service_->Drain();
+  ASSERT_NE(service_->telemetry()->stats_store(), nullptr);
+  EXPECT_EQ(service_->telemetry()->stats_write_errors(), 0);
+
+  QueryStatsStore reloaded(path);
+  ASSERT_OK(reloaded.Reload());
+  ASSERT_EQ(reloaded.records().size(), 2u);
+  const std::vector<std::string> keys = reloaded.Keys();
+  const std::set<std::string> key_set(keys.begin(), keys.end());
+  EXPECT_EQ(key_set.count(
+                "join=iv_overlap|strategy=theta-bucket-join|tables=2|agg=0"),
+            1u);
+  // The non-join scan records a shape too (join/strategy "none").
+  EXPECT_EQ(key_set.size(), 2u);
+  for (const QueryStatsRecord& r : reloaded.records()) {
+    EXPECT_EQ(r.state, "succeeded");
+    EXPECT_GT(r.sim_ms, 0.0);
+    EXPECT_FALSE(r.stages.empty());
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(QueryServiceTest, DisabledTelemetryStaysInert) {
+  ServiceOptions opts = SmallServiceOptions();
+  opts.telemetry.enabled = false;
+  opts.telemetry.stats_path = "should_never_be_written.jsonl";
+  StartService(opts);
+  auto session = service_->OpenSession("quiet");
+  ASSERT_OK(session
+                ->Execute("SELECT r.id FROM amazonreview r ORDER BY r.id")
+                .status());
+  service_->Drain();
+  TelemetryHub* hub = service_->telemetry();
+  EXPECT_FALSE(hub->enabled());
+  EXPECT_TRUE(hub->Events().empty());
+  EXPECT_EQ(hub->events_dropped(), 0);
+  EXPECT_TRUE(hub->RecentProfiles().empty());
+  EXPECT_EQ(hub->stats_store(), nullptr);
+  EXPECT_EQ(hub->MakeQuerySink(1, 1, "quiet"), nullptr);
+  // SHOW still answers (from the lifetime registry), just without
+  // windowed series.
+  ASSERT_OK_AND_ASSIGN(const QueryOutput profiles,
+                       session->Execute("SHOW PROFILES"));
+  EXPECT_EQ(profiles.rows.size(), 0u);
 }
 
 TEST_F(QueryServiceTest, ShutdownCancelsQueuedQueries) {

@@ -228,6 +228,37 @@ TEST(ParserTest, ExplainRejectsDdlStatements) {
           .ok());
 }
 
+TEST(ParserTest, ShowMetricsAndProfilesParse) {
+  ASSERT_OK_AND_ASSIGN(const Statement metrics,
+                       ParseStatement("SHOW METRICS"));
+  EXPECT_EQ(metrics.kind, Statement::Kind::kShowMetrics);
+  ASSERT_OK_AND_ASSIGN(const Statement profiles,
+                       ParseStatement("show profiles"));
+  EXPECT_EQ(profiles.kind, Statement::Kind::kShowProfiles);
+  EXPECT_EQ(profiles.show_limit, -1) << "no LIMIT: the whole ring";
+  ASSERT_OK_AND_ASSIGN(const Statement limited,
+                       ParseStatement("SHOW PROFILES LIMIT 10"));
+  EXPECT_EQ(limited.kind, Statement::Kind::kShowProfiles);
+  EXPECT_EQ(limited.show_limit, 10);
+  ASSERT_OK_AND_ASSIGN(const Statement zero,
+                       ParseStatement("SHOW PROFILES LIMIT 0"));
+  EXPECT_EQ(zero.show_limit, 0);
+}
+
+TEST(ParserTest, ShowRejectsUnknownTopicAndBadLimit) {
+  const auto unknown = ParseStatement("SHOW TABLES");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("METRICS or PROFILES"),
+            std::string::npos);
+  const auto bad_limit = ParseStatement("SHOW PROFILES LIMIT abc");
+  ASSERT_FALSE(bad_limit.ok());
+  EXPECT_NE(bad_limit.status().message().find("integer"),
+            std::string::npos);
+  EXPECT_FALSE(ParseStatement("SHOW").ok());
+  EXPECT_FALSE(ParseStatement("EXPLAIN SHOW METRICS").ok())
+      << "EXPLAIN covers only SELECT";
+}
+
 TEST(ParserTest, QuerySpecToStringRoundTripsShape) {
   ASSERT_OK_AND_ASSIGN(
       const QuerySpec q,

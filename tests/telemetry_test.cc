@@ -1,0 +1,420 @@
+// Tests of the service telemetry plane: latency-histogram edge cases
+// (empty, single sample, all-equal, exact merge, percentile
+// monotonicity), sliding-window eviction boundaries under a fake clock,
+// event-log bounds, Prometheus-text exposition, the persisted
+// query-stats store (round-trip and malformed-input rejection), and the
+// shared checked-write file helpers.
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "gtest/gtest.h"
+#include "obs/query_stats.h"
+#include "obs/telemetry.h"
+#include "test_util.h"
+
+namespace fudj {
+namespace {
+
+// ----------------------------------------------------- LatencyHistogram
+
+TEST(LatencyHistogramTest, EmptyHistogramIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0.0);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), 0.0) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, SingleSampleReportsItselfAtEveryQuantile) {
+  LatencyHistogram h;
+  h.Observe(3.25);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 3.25);
+  EXPECT_EQ(h.max(), 3.25);
+  for (double q : {0.01, 0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 3.25) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, AllEqualSamplesCollapseToThatValue) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Observe(7.0);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_DOUBLE_EQ(h.sum(), 700.0);
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 7.0) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotoneInQ) {
+  LatencyHistogram h;
+  // Log-uniform spread across many buckets, plus overflow territory.
+  for (int i = 0; i < 200; ++i) {
+    h.Observe(0.01 * std::pow(1.13, i));
+  }
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    EXPECT_GE(v, h.min());
+    EXPECT_LE(v, h.max());
+    prev = v;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeIsExact) {
+  // Two disjoint-range histograms merged must equal one histogram that
+  // observed every sample — the property windowed aggregation rests on.
+  LatencyHistogram lo, hi, all;
+  for (int i = 1; i <= 50; ++i) {
+    lo.Observe(0.1 * i);
+    all.Observe(0.1 * i);
+  }
+  for (int i = 1; i <= 50; ++i) {
+    hi.Observe(100.0 * i);
+    all.Observe(100.0 * i);
+  }
+  LatencyHistogram merged = lo;
+  merged.Merge(hi);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), all.sum());
+  EXPECT_EQ(merged.min(), all.min());
+  EXPECT_EQ(merged.max(), all.max());
+  for (double q : {0.25, 0.5, 0.75, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.Quantile(q), all.Quantile(q)) << "q=" << q;
+  }
+  // Merging into an empty histogram is identity too.
+  LatencyHistogram onto_empty;
+  onto_empty.Merge(all);
+  EXPECT_EQ(onto_empty.count(), all.count());
+  EXPECT_DOUBLE_EQ(onto_empty.Quantile(0.5), all.Quantile(0.5));
+}
+
+TEST(LatencyHistogramTest, OverflowBucketClampsToMax) {
+  LatencyHistogram h;
+  const double beyond = LatencyHistogram::Bounds().back() * 8.0;
+  h.Observe(beyond);
+  h.Observe(beyond * 2.0);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_LE(h.Quantile(0.99), h.max());
+  EXPECT_GE(h.Quantile(0.01), h.min());
+}
+
+// ----------------------------------------------------- windowed series
+
+TelemetryOptions FakeClockOptions() {
+  TelemetryOptions o;
+  o.window_buckets = 3;
+  o.bucket_span_ms = 100.0;
+  return o;
+}
+
+TEST(TelemetryHubTest, WindowEvictsExpiredBuckets) {
+  TelemetryHub hub(FakeClockOptions());
+  double now = 0.0;
+  hub.set_clock_for_test([&now] { return now; });
+
+  hub.ObserveWindowLatency("lat_ms", {}, 5.0);  // bucket 0
+  now = 150.0;
+  hub.ObserveWindowLatency("lat_ms", {}, 7.0);  // bucket 1
+  std::string text = hub.ExposeText(nullptr);
+  EXPECT_NE(text.find("lat_ms_count 2"), std::string::npos) << text;
+
+  // Window is 3 buckets of 100 ms. At t=250 (bucket 2) the live window
+  // is buckets {0,1,2}: nothing evicted yet.
+  now = 250.0;
+  text = hub.ExposeText(nullptr);
+  EXPECT_NE(text.find("lat_ms_count 2"), std::string::npos) << text;
+
+  // At t=310 (bucket 3) the live window is {1,2,3}: bucket 0 expires.
+  now = 310.0;
+  text = hub.ExposeText(nullptr);
+  EXPECT_NE(text.find("lat_ms_count 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_ms_p50 7"), std::string::npos) << text;
+
+  // At t=420 (bucket 4) everything expired: a fully-evicted histogram
+  // series disappears from the exposition instead of reporting zeros.
+  now = 420.0;
+  text = hub.ExposeText(nullptr);
+  EXPECT_EQ(text.find("lat_ms"), std::string::npos) << text;
+}
+
+TEST(TelemetryHubTest, WindowCountersEvictAndSeparateByLabels) {
+  TelemetryHub hub(FakeClockOptions());
+  double now = 0.0;
+  hub.set_clock_for_test([&now] { return now; });
+  hub.AddWindowCounter("qps", {{"state", "ok"}}, 1.0);
+  hub.AddWindowCounter("qps", {{"state", "err"}}, 1.0);
+  now = 120.0;
+  hub.AddWindowCounter("qps", {{"state", "ok"}}, 2.0);
+  std::string text = hub.ExposeText(nullptr);
+  EXPECT_NE(text.find("qps{state=\"ok\"} 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("qps{state=\"err\"} 1"), std::string::npos) << text;
+  // Bucket 0 expires at bucket index 3.
+  now = 320.0;
+  text = hub.ExposeText(nullptr);
+  EXPECT_NE(text.find("qps{state=\"ok\"} 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("qps{state=\"err\"} 0"), std::string::npos) << text;
+}
+
+TEST(TelemetryHubTest, DisjointWindowMergeMatchesDirectObservation) {
+  // Observations scattered over several live buckets must expose the
+  // same percentiles as one histogram holding all of them (exact merge).
+  TelemetryHub hub(FakeClockOptions());
+  double now = 0.0;
+  hub.set_clock_for_test([&now] { return now; });
+  LatencyHistogram direct;
+  const std::vector<double> samples = {0.5, 1.5, 2.5, 40.0, 41.0, 800.0};
+  for (size_t i = 0; i < samples.size(); ++i) {
+    now = static_cast<double>(i % 3) * 100.0;  // buckets 0,1,2
+    hub.ObserveWindowLatency("lat_ms", {}, samples[i]);
+    direct.Observe(samples[i]);
+  }
+  now = 299.0;  // all three buckets still live
+  const std::string text = hub.ExposeText(nullptr);
+  char want[64];
+  std::snprintf(want, sizeof(want), "lat_ms_p95 %.6g",
+                direct.Quantile(0.95));
+  EXPECT_NE(text.find(want), std::string::npos) << text;
+  std::snprintf(want, sizeof(want), "lat_ms_count %lld",
+                static_cast<long long>(direct.count()));
+  EXPECT_NE(text.find(want), std::string::npos) << text;
+}
+
+// -------------------------------------------------- events & profiles
+
+TEST(TelemetryHubTest, EventLogIsBoundedAndCountsDrops) {
+  TelemetryOptions o;
+  o.max_events = 4;
+  TelemetryHub hub(o);
+  for (int i = 0; i < 10; ++i) {
+    hub.Event("admitted", i, 1, "s", "");
+  }
+  const std::vector<TelemetryEvent> events = hub.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().query_id, 6);  // oldest dropped first
+  EXPECT_EQ(events.back().query_id, 9);
+  EXPECT_EQ(hub.events_dropped(), 6);
+  // The drop counter is visible in the exposition.
+  EXPECT_NE(hub.ExposeText(nullptr).find("telemetry_events_dropped 6"),
+            std::string::npos);
+}
+
+TEST(TelemetryHubTest, EventsJsonlEscapesAndRoundsTrips) {
+  TelemetryHub hub({});
+  hub.Event("rejected", 7, 3, "tenant \"a\"\n", "queue full");
+  const std::string jsonl = hub.EventsJsonl();
+  EXPECT_NE(jsonl.find("\"kind\":\"rejected\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"session\":\"tenant \\\"a\\\"\\n\""),
+            std::string::npos)
+      << jsonl;
+  EXPECT_EQ(jsonl.back(), '\n');
+}
+
+TEST(TelemetryHubTest, ProfileRingIsBoundedAndNewestFirst) {
+  TelemetryOptions o;
+  o.profile_ring = 3;
+  TelemetryHub hub(o);
+  ExecStats stats;
+  for (int i = 1; i <= 5; ++i) {
+    QueryProfileEntry e;
+    e.query_id = i;
+    e.state = "succeeded";
+    hub.OnQueryFinished(e, stats);
+  }
+  const std::vector<QueryProfileEntry> all = hub.RecentProfiles();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].query_id, 5);
+  EXPECT_EQ(all[2].query_id, 3);
+  EXPECT_EQ(hub.RecentProfiles(1).size(), 1u);
+  EXPECT_EQ(hub.RecentProfiles(0).size(), 0u);
+  EXPECT_EQ(hub.RecentProfiles(99).size(), 3u);
+}
+
+TEST(TelemetryHubTest, ExposeTextLinesAreNameSpaceValue) {
+  TelemetryHub hub({});
+  hub.ObserveWindowLatency("lat_ms", {{"join", "iv"}}, 1.0);
+  hub.AddWindowCounter("ctr", {}, 2.0);
+  MetricsRegistry lifetime;
+  lifetime.GetCounter("lifetime_total", {{"k", "v"}})->Increment();
+  const std::string text = hub.ExposeText(&lifetime);
+  size_t pos = 0;
+  int lines = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty() || line[0] == '#') continue;
+    ++lines;
+    const size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_GT(sp, 0u) << line;
+    // The value parses as a number.
+    char* end = nullptr;
+    std::strtod(line.c_str() + sp + 1, &end);
+    EXPECT_EQ(*end, '\0') << line;
+  }
+  EXPECT_GT(lines, 5);
+  EXPECT_NE(text.find("lifetime_total{k=\"v\"} 1"), std::string::npos);
+}
+
+TEST(TelemetryHubTest, DisabledHubIsInert) {
+  TelemetryOptions o;
+  o.enabled = false;
+  o.stats_path = "never_written.jsonl";
+  TelemetryHub hub(o);
+  hub.ObserveWindowLatency("lat_ms", {}, 1.0);
+  hub.AddWindowCounter("ctr", {}, 1.0);
+  hub.Event("admitted", 1, 1, "s", "");
+  QueryProfileEntry e;
+  ExecStats stats;
+  hub.OnQueryFinished(e, stats);
+  EXPECT_TRUE(hub.Events().empty());
+  EXPECT_TRUE(hub.RecentProfiles().empty());
+  EXPECT_EQ(hub.stats_store(), nullptr);
+  EXPECT_EQ(hub.MakeQuerySink(1, 1, "s"), nullptr);
+}
+
+// ------------------------------------------------- query-stats store
+
+QueryStatsRecord SampleRecord() {
+  QueryStatsRecord r;
+  r.shape.join_name = "iv_overlap";
+  r.shape.strategy = "theta-bucket-join";
+  r.shape.num_tables = 2;
+  r.shape.aggregated = false;
+  r.state = "succeeded";
+  r.sim_ms = 1.5;
+  r.wall_ms = 12.25;
+  r.queue_ms = 0.5;
+  r.rows = 54;
+  r.retries = 1;
+  r.spilled_buckets = 2;
+  r.spill_bytes = 4096;
+  r.bucket_splits = 1;
+  r.degraded = true;
+  r.stages = {{"summarize-L", 0.25}, {"bucket-thetajoin", 1.0}};
+  return r;
+}
+
+TEST(QueryStatsTest, ShapeKeyIsStable) {
+  const QueryStatsRecord r = SampleRecord();
+  EXPECT_EQ(r.shape.Key(),
+            "join=iv_overlap|strategy=theta-bucket-join|tables=2|agg=0");
+  QueryShape scan;
+  scan.num_tables = 1;
+  EXPECT_EQ(scan.Key(), "join=none|strategy=none|tables=1|agg=0");
+}
+
+TEST(QueryStatsTest, RecordRoundTripsThroughJson) {
+  const QueryStatsRecord r = SampleRecord();
+  QueryStatsRecord back;
+  ASSERT_OK(QueryStatsRecord::FromJson(r.ToJson(), &back));
+  EXPECT_EQ(back.shape.Key(), r.shape.Key());
+  EXPECT_EQ(back.state, r.state);
+  EXPECT_DOUBLE_EQ(back.sim_ms, r.sim_ms);
+  EXPECT_DOUBLE_EQ(back.wall_ms, r.wall_ms);
+  EXPECT_EQ(back.rows, r.rows);
+  EXPECT_EQ(back.retries, r.retries);
+  EXPECT_EQ(back.spilled_buckets, r.spilled_buckets);
+  EXPECT_EQ(back.spill_bytes, r.spill_bytes);
+  EXPECT_EQ(back.bucket_splits, r.bucket_splits);
+  EXPECT_EQ(back.degraded, r.degraded);
+  ASSERT_EQ(back.stages.size(), 2u);
+  EXPECT_EQ(back.stages[1].first, "bucket-thetajoin");
+  EXPECT_DOUBLE_EQ(back.stages[1].second, 1.0);
+}
+
+TEST(QueryStatsTest, FromJsonRejectsMalformedLines) {
+  QueryStatsRecord out;
+  EXPECT_FALSE(QueryStatsRecord::FromJson("", &out).ok());
+  EXPECT_FALSE(QueryStatsRecord::FromJson("not json", &out).ok());
+  EXPECT_FALSE(QueryStatsRecord::FromJson("{\"state\":", &out).ok());
+  EXPECT_FALSE(QueryStatsRecord::FromJson("{\"sim_ms\":abc}", &out).ok());
+  EXPECT_FALSE(QueryStatsRecord::FromJson("{\"stages\":5}", &out).ok());
+  // Unknown keys are tolerated (forward compatibility), and so is a
+  // string where a number is expected: the value-typed dispatch skips it
+  // as an unknown string key.
+  EXPECT_OK(QueryStatsRecord::FromJson(
+      "{\"sim_ms\":\"not-a-number\"}", &out));
+  EXPECT_EQ(out.sim_ms, 0.0);
+  EXPECT_OK(QueryStatsRecord::FromJson(
+      "{\"state\":\"ok\",\"future_field\":42}", &out));
+  EXPECT_EQ(out.state, "ok");
+}
+
+TEST(QueryStatsTest, StoreAppendsReloadsAndGroups) {
+  const std::string path = "telemetry_test_stats.jsonl";
+  std::remove(path.c_str());
+  {
+    QueryStatsStore store(path);
+    QueryStatsRecord a = SampleRecord();
+    QueryStatsRecord b = SampleRecord();
+    b.shape.join_name = "st_contains_join";
+    ASSERT_OK(store.Append(a));
+    ASSERT_OK(store.Append(a));
+    ASSERT_OK(store.Append(b));
+    EXPECT_EQ(store.records().size(), 3u);
+  }
+  QueryStatsStore reloaded(path);
+  ASSERT_OK(reloaded.Reload());
+  ASSERT_EQ(reloaded.records().size(), 3u);
+  const std::vector<std::string> keys = reloaded.Keys();
+  EXPECT_EQ(std::set<std::string>(keys.begin(), keys.end()).size(), 2u);
+  EXPECT_EQ(reloaded.ForShape(SampleRecord().shape.Key()).size(), 2u);
+  // Reload replaces, not appends.
+  ASSERT_OK(reloaded.Reload());
+  EXPECT_EQ(reloaded.records().size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(QueryStatsTest, ReloadOfMissingFileIsEmpty) {
+  QueryStatsStore store("does_not_exist_12345.jsonl");
+  ASSERT_OK(store.Reload());
+  EXPECT_TRUE(store.records().empty());
+}
+
+TEST(QueryStatsTest, ReloadFailsLoudlyOnCorruptLine) {
+  const std::string path = "telemetry_test_corrupt.jsonl";
+  ASSERT_OK(WriteStringToFile(
+      path, SampleRecord().ToJson() + "\ngarbage line\n"));
+  QueryStatsStore store(path);
+  EXPECT_FALSE(store.Reload().ok());
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- file helpers
+
+TEST(FileUtilTest, WriteStringToFileRoundTrips) {
+  const std::string path = "telemetry_test_file_util.txt";
+  ASSERT_OK(WriteStringToFile(path, "hello\nworld\n"));
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "hello\nworld\n");
+  ASSERT_OK(AppendLineToFile(path, "third"));
+  f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf2[64] = {};
+  const size_t n2 = std::fread(buf2, 1, sizeof(buf2) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf2, n2), "hello\nworld\nthird\n");
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, UnwritablePathReportsError) {
+  EXPECT_FALSE(WriteStringToFile("/nonexistent-dir/x/y.txt", "x").ok());
+  EXPECT_FALSE(AppendLineToFile("/nonexistent-dir/x/y.txt", "x").ok());
+}
+
+}  // namespace
+}  // namespace fudj
