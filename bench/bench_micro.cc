@@ -25,8 +25,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/random.h"
@@ -34,6 +37,7 @@
 #include "datagen/datagen.h"
 #include "engine/operators.h"
 #include "geometry/grid.h"
+#include "geometry/plane_sweep.h"
 #include "joins/interval_fudj.h"
 #include "joins/spatial_fudj.h"
 #include "joins/textsim_fudj.h"
@@ -42,6 +46,7 @@
 #include "text/jaccard.h"
 #include "text/tokenizer.h"
 #include "vec/chunk_io.h"
+#include "vec/simd/simd.h"
 
 namespace fudj {
 namespace {
@@ -263,8 +268,13 @@ PartitionedRelation MakeFact(int64_t n, int workers) {
   Rng rng(101);
   std::vector<Tuple> rows;
   rows.reserve(n);
+  // Key range spans twice the dim cardinality (after the pipeline's /2
+  // projection), so about half the probe rows miss the build side: the
+  // join stage stays representative — probes that find nothing exist —
+  // instead of emitting one output row per input row, which would bury
+  // the scan stages under output-copy cost both legs share.
   for (int64_t i = 0; i < n; ++i) {
-    rows.push_back({Value::Int64(rng.NextInt(0, 4000)),
+    rows.push_back({Value::Int64(rng.NextInt(0, 8000)),
                     Value::Double(static_cast<double>(rng.Next() % 1000)),
                     Value::String("p" + std::to_string(rng.Next() % 9973))});
   }
@@ -302,6 +312,31 @@ Result<PartitionedRelation> RunPipeline(Cluster* cluster,
           stats, "project", mode));
   return HashJoinRelation(cluster, projected, {0}, dim, {0}, stats,
                           "hash-join", mode);
+}
+
+// The same query compiled for the SIMD chunk path: the filter runs the
+// dense-lane kernel (`k % 2 == 0` as a mask compare), the projection
+// re-serializes straight from column lanes, and the hash join batch-
+// hashes whole chunks. No per-row Value is boxed anywhere.
+Result<PartitionedRelation> RunPipelineSimd(Cluster* cluster,
+                                            const PartitionedRelation& fact,
+                                            const PartitionedRelation& dim,
+                                            ExecStats* stats) {
+  FUDJ_ASSIGN_OR_RETURN(
+      auto filtered,
+      FilterRelation(cluster, fact, ColumnPredicate::MaskEq(0, 1, 0), stats,
+                     "filter", ExecMode::kChunk));
+  Schema proj_schema;
+  proj_schema.AddField("k", ValueType::kInt64);
+  proj_schema.AddField("payload", ValueType::kString);
+  const SimpleProjection proj = {ProjectionStep::I64DivConst(0, 2),
+                                 ProjectionStep::Column(2)};
+  FUDJ_ASSIGN_OR_RETURN(
+      auto projected,
+      ProjectRelation(cluster, filtered, proj_schema, proj, stats,
+                      "project", ExecMode::kChunk));
+  return HashJoinRelation(cluster, projected, {0}, dim, {0}, stats,
+                          "hash-join", ExecMode::kChunk);
 }
 
 void BM_PipelineRow(benchmark::State& state) {
@@ -363,38 +398,220 @@ BENCHMARK(BM_RowMaterializeScan)->Arg(100000);
 
 // ---- --smoke: one-shot row-vs-chunk comparison, emits BENCH_vec.json ----
 
+// Median of the per-rep paired ratios num[i]/den[i]. Legs alternate
+// within every rep, so a ratio formed inside one rep cancels whatever
+// slowdown that rep's ambient load added to both legs, and the median
+// discards reps where a spike (or a cold first pass) landed between the
+// legs — far tighter run-to-run than a quotient of per-leg best-ofs.
+double PairedMedianRatio(const std::vector<double>& num,
+                         const std::vector<double>& den) {
+  std::vector<double> ratios;
+  for (size_t i = 0; i < num.size() && i < den.size(); ++i) {
+    if (den[i] > 0.0) ratios.push_back(num[i] / den[i]);
+  }
+  if (ratios.empty()) return 0.0;
+  std::sort(ratios.begin(), ratios.end());
+  return ratios[ratios.size() / 2];
+}
+
+// One scalar-vs-SIMD A/B over a COMBINE-style inner loop: best-of wall
+// times, the paired-median speedup, and an exact output comparison
+// between the two dispatch levels.
+struct MicroAB {
+  double scalar_ms = 0.0;  // best-of-reps
+  double simd_ms = 0.0;    // best-of-reps
+  double ratio = 0.0;      // median of per-rep paired ratios
+  bool identical = false;
+  long long items = 0;  // emitted pairs / decided pairs
+
+  double speedup() const { return ratio; }
+};
+
+// Plane-sweep MBR join micro-loop (the spatial CombineBucket kernel's
+// inner loop): dense rectangles so active windows span many 4-lane
+// blocks.
+MicroAB RunSweepMicro(int reps) {
+  auto make_side = [](int n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<SweepEntry> out;
+    out.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      SweepEntry e;
+      e.payload = i;
+      const double x = static_cast<double>(rng.Next() % 100000) / 100.0;
+      const double y = static_cast<double>(rng.Next() % 100000) / 100.0;
+      const double w = static_cast<double>(rng.Next() % 3000) / 100.0;
+      const double h = static_cast<double>(rng.Next() % 3000) / 100.0;
+      e.mbr = Rect(x, y, x + w, y + h);
+      out.push_back(e);
+    }
+    return out;
+  };
+  const auto left = make_side(4000, 911);
+  const auto right = make_side(4000, 912);
+
+  MicroAB res;
+  res.scalar_ms = 1e300;
+  res.simd_ms = 1e300;
+  std::vector<double> scalar_t, simd_t;
+  std::vector<std::pair<int64_t, int64_t>> pairs[2];
+  // Honor a FUDJ_SIMD=off pin: the "simd" side runs at the process
+  // dispatch level, not the raw hardware level. Scalar and dispatched
+  // legs alternate within each rep so load spikes hit both sides.
+  const SimdLevel dispatch_level = CurrentSimdLevel();
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const bool simd : {false, true}) {
+      const SimdLevel level = simd ? dispatch_level : SimdLevel::kScalar;
+      ScopedSimdLevel pin(level);
+      std::vector<std::pair<int64_t, int64_t>> out;
+      Stopwatch timer;
+      PlaneSweepJoin(left, right, [&out](int64_t a, int64_t b) {
+        out.emplace_back(a, b);
+      });
+      const double ms = timer.ElapsedMillis();
+      (simd ? simd_t : scalar_t).push_back(ms);
+      double& best = simd ? res.simd_ms : res.scalar_ms;
+      best = std::min(best, ms);
+      pairs[simd ? 1 : 0] = std::move(out);
+    }
+  }
+  res.ratio = PairedMedianRatio(scalar_t, simd_t);
+  res.identical = pairs[0] == pairs[1];
+  res.items = static_cast<long long>(pairs[1].size());
+  return res;
+}
+
+// Sorted-token intersection micro-loop (the set-similarity CombineBucket
+// kernel's inner decision): all-pairs JaccardAtLeast vs the prefixed
+// SIMD merge, including the per-record prefix precomputation the kernel
+// amortizes over the bucket. The workload mirrors what prefix bucketing
+// actually hands Verify: clusters of near-duplicate records whose
+// pairwise similarity straddles the threshold (so the merge cannot
+// bound-exit early and runs the full intersection), mixed with
+// dissimilar cross-cluster pairs that prune partway in.
+MicroAB RunJaccardMicro(int reps) {
+  const double threshold = 0.5;
+  const int num_clusters = 24;
+  const int sets_per_cluster = 12;
+  const int tokens_per_set = 60;
+  const int num_sets = num_clusters * sets_per_cluster;
+  Rng rng(913);
+  auto token = [&] { return "t" + std::to_string(rng.Next() % 50000); };
+  std::vector<std::vector<std::string>> sets;
+  sets.reserve(num_sets);
+  for (int c = 0; c < num_clusters; ++c) {
+    std::vector<std::string> center;
+    for (int t = 0; t < tokens_per_set; ++t) center.push_back(token());
+    for (int m = 0; m < sets_per_cluster; ++m) {
+      std::vector<std::string> s = center;
+      const int swaps = static_cast<int>(rng.Next() % 16);
+      for (int k = 0; k < swaps; ++k) {
+        s[rng.Next() % s.size()] = token();
+      }
+      std::sort(s.begin(), s.end());
+      s.erase(std::unique(s.begin(), s.end()), s.end());
+      sets.push_back(std::move(s));
+    }
+  }
+
+  MicroAB res;
+  res.scalar_ms = 1e300;
+  res.simd_ms = 1e300;
+  std::vector<double> scalar_t, simd_t;
+  std::vector<uint8_t> decisions[2];
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const bool simd : {false, true}) {
+      std::vector<uint8_t> out;
+      Stopwatch timer;
+      if (simd) {
+        std::vector<std::vector<uint64_t>> prefixes;
+        prefixes.reserve(sets.size());
+        for (const auto& s : sets) prefixes.push_back(TokenPrefixes(s));
+        for (int i = 0; i < num_sets; ++i) {
+          for (int j = i + 1; j < num_sets; ++j) {
+            out.push_back(
+                JaccardLengthFilter(sets[i].size(), sets[j].size(),
+                                    threshold) &&
+                JaccardAtLeastPrefixed(sets[i], sets[j], prefixes[i],
+                                       prefixes[j], threshold));
+          }
+        }
+      } else {
+        for (int i = 0; i < num_sets; ++i) {
+          for (int j = i + 1; j < num_sets; ++j) {
+            out.push_back(
+                JaccardLengthFilter(sets[i].size(), sets[j].size(),
+                                    threshold) &&
+                JaccardAtLeast(sets[i], sets[j], threshold));
+          }
+        }
+      }
+      const double ms = timer.ElapsedMillis();
+      (simd ? simd_t : scalar_t).push_back(ms);
+      double& best = simd ? res.simd_ms : res.scalar_ms;
+      best = std::min(best, ms);
+      decisions[simd ? 1 : 0] = std::move(out);
+    }
+  }
+  res.ratio = PairedMedianRatio(scalar_t, simd_t);
+  res.identical = decisions[0] == decisions[1];
+  res.items = static_cast<long long>(decisions[1].size());
+  return res;
+}
+
 int RunChunkPipelineSmoke() {
   const int workers = 4;
   const int64_t rows = 120000;
   const int64_t dim_rows = 2000;
-  const int reps = 3;
+  const int reps = 5;
   const auto fact = MakeFact(rows, workers);
   const auto dim = MakeDim(dim_rows, workers);
 
-  auto run_mode = [&](ExecMode mode, ExecStats* stats,
-                      double* best_ms) -> Result<PartitionedRelation> {
-    *best_ms = 1e300;
-    Result<PartitionedRelation> out = Status::Internal("no reps ran");
-    for (int rep = 0; rep < reps; ++rep) {
+  // All compared legs run inside the same rep so that machine-load and
+  // frequency drift hit every mode equally. The reported speedups are
+  // the MEDIAN of the per-rep paired ratios: a ratio formed within one
+  // rep cancels whatever slowdown that rep's ambient load added to both
+  // legs, and the median discards reps where a spike landed between the
+  // legs. Best-of times are still reported for the absolute *_ms fields.
+  //
+  // The row and chunk legs are pinned to scalar dispatch: they are the
+  // PRE-SIMD baselines (the row path and the chunk path as they stood
+  // before the SIMD kernel layer), so letting them silently call AVX2
+  // kernels inside the shared join/exchange stages would fold the very
+  // speedup under measurement into its own baseline. The simd leg runs
+  // the compiled kernels at the process dispatch level. Pinning changes
+  // timing only — every leg produces identical bytes either way, which
+  // the identity checks below assert.
+  ExecStats row_stats, chunk_stats, simd_stats;
+  double row_ms = 1e300, chunk_ms = 1e300, simd_ms = 1e300;
+  std::vector<double> row_t, chunk_t, simd_t;
+  Result<PartitionedRelation> row_out = Status::Internal("no reps ran");
+  Result<PartitionedRelation> chunk_out = Status::Internal("no reps ran");
+  Result<PartitionedRelation> simd_out = Status::Internal("no reps ran");
+  for (int rep = 0; rep < reps; ++rep) {
+    auto one = [&](ExecMode mode, ExecStats* stats, double* best_ms,
+                   std::vector<double>* times,
+                   Result<PartitionedRelation>* out, bool simd) {
+      ScopedSimdLevel pin(simd ? CurrentSimdLevel() : SimdLevel::kScalar);
       Cluster cluster(workers, g_threads.use_threads,
                       g_threads.pool_threads);
       ExecStats rep_stats;
       Stopwatch timer;
-      out = RunPipeline(&cluster, fact, dim, mode, &rep_stats);
+      *out = simd ? RunPipelineSimd(&cluster, fact, dim, &rep_stats)
+                  : RunPipeline(&cluster, fact, dim, mode, &rep_stats);
       const double ms = timer.ElapsedMillis();
-      if (!out.ok()) return out;
-      if (ms < *best_ms) {
+      times->push_back(ms);
+      if (out->ok() && ms < *best_ms) {
         *best_ms = ms;
         *stats = rep_stats;
       }
-    }
-    return out;
-  };
-
-  ExecStats row_stats, chunk_stats;
-  double row_ms = 0, chunk_ms = 0;
-  auto row_out = run_mode(ExecMode::kRow, &row_stats, &row_ms);
-  auto chunk_out = run_mode(ExecMode::kChunk, &chunk_stats, &chunk_ms);
+    };
+    one(ExecMode::kRow, &row_stats, &row_ms, &row_t, &row_out, false);
+    one(ExecMode::kChunk, &chunk_stats, &chunk_ms, &chunk_t, &chunk_out,
+        false);
+    one(ExecMode::kChunk, &simd_stats, &simd_ms, &simd_t, &simd_out, true);
+    if (!row_out.ok() || !chunk_out.ok() || !simd_out.ok()) break;
+  }
   if (!row_out.ok() || !chunk_out.ok()) {
     std::fprintf(stderr, "smoke: pipeline failed: %s\n",
                  (!row_out.ok() ? row_out.status() : chunk_out.status())
@@ -403,11 +620,101 @@ int RunChunkPipelineSmoke() {
     return 1;
   }
 
-  bool identical = row_out->num_partitions() == chunk_out->num_partitions();
-  for (int p = 0; identical && p < row_out->num_partitions(); ++p) {
-    identical = row_out->raw_partition(p) == chunk_out->raw_partition(p);
+  auto same_bytes = [](const PartitionedRelation& a,
+                       const PartitionedRelation& b) {
+    if (a.num_partitions() != b.num_partitions()) return false;
+    for (int p = 0; p < a.num_partitions(); ++p) {
+      if (a.raw_partition(p) != b.raw_partition(p)) return false;
+    }
+    return true;
+  };
+
+  const bool identical = same_bytes(*row_out, *chunk_out);
+  const double speedup = PairedMedianRatio(row_t, chunk_t);
+
+  // One forced-scalar rep of the compiled pipeline: the dispatch level
+  // must not change a byte.
+  Result<PartitionedRelation> simd_scalar_out =
+      Status::Internal("not run");
+  if (simd_out.ok()) {
+    ScopedSimdLevel pin(SimdLevel::kScalar);
+    Cluster cluster(workers, g_threads.use_threads, g_threads.pool_threads);
+    ExecStats scalar_stats;
+    simd_scalar_out = RunPipelineSimd(&cluster, fact, dim, &scalar_stats);
   }
-  const double speedup = row_ms / chunk_ms;
+  if (!simd_out.ok() || !simd_scalar_out.ok()) {
+    std::fprintf(stderr, "smoke: simd pipeline failed: %s\n",
+                 (!simd_out.ok() ? simd_out.status()
+                                 : simd_scalar_out.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  if (std::getenv("FUDJ_SMOKE_STAGES") != nullptr) {
+    auto dump = [](const char* tag, const ExecStats& st) {
+      for (const auto& s : st.stages()) {
+        std::printf("  [%s] %-18s total=%.3fms rows=%lld\n", tag,
+                    s.name.c_str(), s.total_partition_ms,
+                    static_cast<long long>(s.rows_out));
+      }
+    };
+    dump("chunk", chunk_stats);
+    dump("simd", simd_stats);
+  }
+  const bool simd_identical = same_bytes(*row_out, *simd_out);
+  const bool simd_scalar_identical = same_bytes(*simd_out,
+                                                *simd_scalar_out);
+  const double speedup_simd = PairedMedianRatio(chunk_t, simd_t);
+
+  // Low-selectivity filter (k % 8 == 0, ~12.5% survivors): density falls
+  // below the kernel-consumer compaction threshold, so survivors must be
+  // merged into dense chunks — and compaction must not move a byte.
+  ExecStats sparse_row_stats, sparse_chunk_stats;
+  double sparse_row_ms = 0, sparse_chunk_ms = 0;
+  const ColumnPredicate sparse_pred = ColumnPredicate::MaskEq(0, 7, 0);
+  sparse_row_ms = 1e300;
+  sparse_chunk_ms = 1e300;
+  Result<PartitionedRelation> sparse_row = Status::Internal("no reps ran");
+  Result<PartitionedRelation> sparse_chunk =
+      Status::Internal("no reps ran");
+  auto one_sparse = [&](ExecMode mode, ExecStats* stats, double* best_ms,
+                        Result<PartitionedRelation>* out) {
+    Cluster cluster(workers, g_threads.use_threads,
+                    g_threads.pool_threads);
+    ExecStats rep_stats;
+    Stopwatch timer;
+    *out = FilterRelation(&cluster, fact, sparse_pred, &rep_stats,
+                          "sparse-filter", mode);
+    const double ms = timer.ElapsedMillis();
+    if (out->ok() && ms < *best_ms) {
+      *best_ms = ms;
+      *stats = rep_stats;
+    }
+  };
+  for (int rep = 0; rep < reps; ++rep) {
+    one_sparse(ExecMode::kRow, &sparse_row_stats, &sparse_row_ms,
+               &sparse_row);
+    one_sparse(ExecMode::kChunk, &sparse_chunk_stats, &sparse_chunk_ms,
+               &sparse_chunk);
+    if (!sparse_row.ok() || !sparse_chunk.ok()) break;
+  }
+  if (!sparse_row.ok() || !sparse_chunk.ok()) {
+    std::fprintf(stderr, "smoke: sparse filter failed: %s\n",
+                 (!sparse_row.ok() ? sparse_row.status()
+                                   : sparse_chunk.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  const bool sparse_identical = same_bytes(*sparse_row, *sparse_chunk);
+  const long long sparse_compacted =
+      static_cast<long long>(sparse_chunk_stats.chunks_compacted());
+
+  // COMBINE kernel inner loops, scalar vs dispatched.
+  const MicroAB sweep = RunSweepMicro(reps);
+  const MicroAB jac = RunJaccardMicro(reps);
+
+  const char* level = SimdLevelName(CurrentSimdLevel());
 
   FILE* f = std::fopen("BENCH_vec.json", "w");
   if (f != nullptr) {
@@ -427,7 +734,20 @@ int RunChunkPipelineSmoke() {
                  "  \"chunks_in\": %lld,\n"
                  "  \"chunks_out\": %lld,\n"
                  "  \"chunks_compacted\": %lld,\n"
-                 "  \"chunk_rows\": %lld\n"
+                 "  \"chunk_rows\": %lld,\n"
+                 "  \"simd_level\": \"%s\",\n"
+                 "  \"simd\": {\"simd_ms\": %.3f, \"speedup_vs_chunk\": "
+                 "%.3f, \"identical\": %s, \"scalar_fallback_identical\": "
+                 "%s},\n"
+                 "  \"compaction_case\": {\"filter\": \"k %% 8 == 0\", "
+                 "\"row_ms\": %.3f, \"chunk_ms\": %.3f, \"chunks_in\": "
+                 "%lld, \"chunks_compacted\": %lld, \"identical\": %s},\n"
+                 "  \"spatial_sweep\": {\"scalar_ms\": %.3f, \"simd_ms\": "
+                 "%.3f, \"speedup\": %.3f, \"identical\": %s, \"pairs\": "
+                 "%lld},\n"
+                 "  \"jaccard_intersect\": {\"scalar_ms\": %.3f, "
+                 "\"simd_ms\": %.3f, \"speedup\": %.3f, \"identical\": %s, "
+                 "\"pairs\": %lld}\n"
                  "}\n",
                  static_cast<long long>(rows),
                  static_cast<long long>(dim_rows), workers, reps,
@@ -436,7 +756,16 @@ int RunChunkPipelineSmoke() {
                  static_cast<long long>(chunk_stats.chunks_in()),
                  static_cast<long long>(chunk_stats.chunks_out()),
                  static_cast<long long>(chunk_stats.chunks_compacted()),
-                 static_cast<long long>(chunk_stats.chunk_rows()));
+                 static_cast<long long>(chunk_stats.chunk_rows()), level,
+                 simd_ms, speedup_simd, simd_identical ? "true" : "false",
+                 simd_scalar_identical ? "true" : "false", sparse_row_ms,
+                 sparse_chunk_ms,
+                 static_cast<long long>(sparse_chunk_stats.chunks_in()),
+                 sparse_compacted, sparse_identical ? "true" : "false",
+                 sweep.scalar_ms, sweep.simd_ms, sweep.speedup(),
+                 sweep.identical ? "true" : "false", sweep.items,
+                 jac.scalar_ms, jac.simd_ms, jac.speedup(),
+                 jac.identical ? "true" : "false", jac.items);
     CloseBenchJson(f, "BENCH_vec.json");
   }
 
@@ -445,13 +774,52 @@ int RunChunkPipelineSmoke() {
       "speedup=%.2fx identical=%s\n",
       static_cast<long long>(rows), row_ms, chunk_ms, speedup,
       identical ? "yes" : "NO");
-  if (!identical) {
-    std::fprintf(stderr, "smoke FAILED: row and chunk outputs diverge\n");
+  std::printf(
+      "simd pipeline smoke: level=%s simd_ms=%.3f speedup_vs_chunk=%.2fx "
+      "identical=%s scalar_fallback_identical=%s\n",
+      level, simd_ms, speedup_simd, simd_identical ? "yes" : "NO",
+      simd_scalar_identical ? "yes" : "NO");
+  std::printf(
+      "compaction smoke: k%%8 row_ms=%.3f chunk_ms=%.3f compacted=%lld "
+      "identical=%s\n",
+      sparse_row_ms, sparse_chunk_ms, sparse_compacted,
+      sparse_identical ? "yes" : "NO");
+  std::printf(
+      "sweep micro: scalar=%.3fms simd=%.3fms (%.2fx, identical=%s, "
+      "pairs=%lld) | jaccard micro: scalar=%.3fms simd=%.3fms (%.2fx, "
+      "identical=%s, pairs=%lld)\n",
+      sweep.scalar_ms, sweep.simd_ms, sweep.speedup(),
+      sweep.identical ? "yes" : "NO", sweep.items, jac.scalar_ms,
+      jac.simd_ms, jac.speedup(), jac.identical ? "yes" : "NO", jac.items);
+
+  if (!identical || !simd_identical || !simd_scalar_identical ||
+      !sparse_identical || !sweep.identical || !jac.identical) {
+    std::fprintf(stderr, "smoke FAILED: outputs diverge across paths\n");
     return 1;
   }
   if (speedup < 1.0) {
     std::fprintf(stderr, "smoke FAILED: chunk path slower than row path\n");
     return 1;
+  }
+  if (sparse_compacted <= 0) {
+    std::fprintf(stderr,
+                 "smoke FAILED: sparse filter never compacted a chunk\n");
+    return 1;
+  }
+  if (CurrentSimdLevel() >= SimdLevel::kAvx2) {
+    // Speedups are gated only when the SIMD kernels actually dispatch;
+    // the forced-scalar CI job still checks every identity above.
+    if (speedup_simd < 2.0) {
+      std::fprintf(stderr,
+                   "smoke FAILED: simd pipeline below 2x over the chunk "
+                   "path\n");
+      return 1;
+    }
+    if (sweep.speedup() < 2.0 || jac.speedup() < 2.0) {
+      std::fprintf(stderr,
+                   "smoke FAILED: COMBINE micro-loop below 2x speedup\n");
+      return 1;
+    }
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "engine/operators.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_map>
 #include <utility>
 
@@ -11,6 +12,7 @@
 #include "vec/compactor.h"
 #include "vec/data_chunk.h"
 #include "vec/selection_vector.h"
+#include "vec/simd/hash_batch.h"
 
 namespace fudj {
 
@@ -83,6 +85,7 @@ Result<PartitionedRelation> TransformChunks(
         // arena is rebuilt from scratch and flushed only after the whole
         // stage succeeded.
         writers[p].Clear();
+        writers[p].ReserveArena(in.raw_partition(p).size());
         ChunkReader reader(in, p);
         return fn(p, &reader, &writers[p]);
       },
@@ -104,22 +107,20 @@ Result<PartitionedRelation> TransformChunks(
   return out;
 }
 
-Result<PartitionedRelation> FilterRelation(
-    Cluster* cluster, const PartitionedRelation& in,
-    const std::function<bool(const Tuple&)>& pred, ExecStats* stats,
-    const std::string& stage_name, ExecMode mode) {
-  if (mode == ExecMode::kRow) {
-    return TransformPartitions(
-        cluster, in, in.schema(), stage_name,
-        [&pred](int, const std::vector<Tuple>& rows,
-                std::vector<Tuple>* out) {
-          for (const Tuple& t : rows) {
-            if (pred(t)) out->push_back(t);
-          }
-          return Status::OK();
-        },
-        stats);
-  }
+namespace {
+
+/// Shared chunk-mode filter skeleton: streams chunks, lets `mark` fill
+/// the survivor selection for each chunk, and routes survivors through an
+/// adaptive ChunkCompactor sized for `consumer`. Both FilterRelation
+/// overloads differ only in how they mark survivors. When `parse_cols`
+/// is set, only those columns are deserialized (the compiled predicate
+/// path needs just its predicate column); survivors leave as raw span
+/// copies either way, so the output bytes don't depend on the mask.
+Result<PartitionedRelation> FilterChunksImpl(
+    Cluster* cluster, const PartitionedRelation& in, ExecStats* stats,
+    const std::string& stage_name, ChunkConsumer consumer,
+    const std::function<void(const DataChunk&, SelectionVector*)>& mark,
+    const std::vector<int>* parse_cols = nullptr) {
   const int p_out = cluster->num_workers();
   std::vector<CompactionStats> cstats(p_out);
   FUDJ_ASSIGN_OR_RETURN(
@@ -128,26 +129,16 @@ Result<PartitionedRelation> FilterRelation(
           cluster, in, in.schema(), stage_name,
           [&](int p, ChunkReader* reader, ChunkWriter* writer) -> Status {
             cstats[p] = CompactionStats();
-            ChunkCompactor compactor(
-                in.schema(), DataChunk::kDefaultCapacity,
-                [writer](const DataChunk& c, const SelectionVector* sel) {
-                  if (sel != nullptr) {
-                    writer->AppendChunk(c, *sel);
-                  } else {
-                    writer->AppendChunk(c);
-                  }
-                });
+            if (parse_cols != nullptr) reader->ParseOnly(*parse_cols);
+            ChunkCompactor compactor(in.schema(),
+                                     DataChunk::kDefaultCapacity, writer,
+                                     consumer);
             DataChunk chunk(in.schema());
             SelectionVector sel;
-            Tuple scratch;
             for (;;) {
               FUDJ_ASSIGN_OR_RETURN(const bool more, reader->Next(&chunk));
               if (!more) break;
-              sel.Clear();
-              for (int r = 0; r < chunk.size(); ++r) {
-                chunk.GetTupleInto(r, &scratch);
-                if (pred(scratch)) sel.Append(r);
-              }
+              mark(chunk, &sel);
               compactor.Push(chunk, sel);
             }
             compactor.Flush();
@@ -171,6 +162,61 @@ Result<PartitionedRelation> FilterRelation(
          Tracer::IntArg("chunks_compacted", total.chunks_compacted)});
   }
   return out;
+}
+
+}  // namespace
+
+Result<PartitionedRelation> FilterRelation(
+    Cluster* cluster, const PartitionedRelation& in,
+    const std::function<bool(const Tuple&)>& pred, ExecStats* stats,
+    const std::string& stage_name, ExecMode mode, ChunkConsumer consumer) {
+  if (mode == ExecMode::kRow) {
+    return TransformPartitions(
+        cluster, in, in.schema(), stage_name,
+        [&pred](int, const std::vector<Tuple>& rows,
+                std::vector<Tuple>* out) {
+          for (const Tuple& t : rows) {
+            if (pred(t)) out->push_back(t);
+          }
+          return Status::OK();
+        },
+        stats);
+  }
+  return FilterChunksImpl(
+      cluster, in, stats, stage_name, consumer,
+      [&pred](const DataChunk& chunk, SelectionVector* sel) {
+        sel->Clear();
+        Tuple scratch;
+        for (int r = 0; r < chunk.size(); ++r) {
+          chunk.GetTupleInto(r, &scratch);
+          if (pred(scratch)) sel->Append(r);
+        }
+      });
+}
+
+Result<PartitionedRelation> FilterRelation(
+    Cluster* cluster, const PartitionedRelation& in,
+    const ColumnPredicate& pred, ExecStats* stats,
+    const std::string& stage_name, ExecMode mode, ChunkConsumer consumer) {
+  if (mode == ExecMode::kRow) {
+    return TransformPartitions(
+        cluster, in, in.schema(), stage_name,
+        [&pred](int, const std::vector<Tuple>& rows,
+                std::vector<Tuple>* out) {
+          for (const Tuple& t : rows) {
+            if (EvalColumnPredicate(pred, t)) out->push_back(t);
+          }
+          return Status::OK();
+        },
+        stats);
+  }
+  const std::vector<int> parse_cols{pred.column};
+  return FilterChunksImpl(
+      cluster, in, stats, stage_name, consumer,
+      [&pred](const DataChunk& chunk, SelectionVector* sel) {
+        FilterChunk(chunk, pred, sel);
+      },
+      &parse_cols);
 }
 
 Result<PartitionedRelation> ProjectRelation(
@@ -199,6 +245,91 @@ Result<PartitionedRelation> ProjectRelation(
           for (int r = 0; r < chunk.size(); ++r) {
             chunk.GetTupleInto(r, &scratch);
             writer->AppendTuple(fn(scratch));
+          }
+        }
+        return Status::OK();
+      },
+      stats);
+}
+
+Tuple ApplySimpleProjection(const SimpleProjection& proj, const Tuple& t) {
+  Tuple out;
+  out.reserve(proj.size());
+  for (const ProjectionStep& s : proj) {
+    switch (s.kind) {
+      case ProjectionStep::Kind::kColumn:
+        out.push_back(t[s.column]);
+        break;
+      case ProjectionStep::Kind::kI64DivConst:
+        out.push_back(t[s.column].type() == ValueType::kInt64
+                          ? Value::Int64(t[s.column].i64() / s.divisor)
+                          : Value::Null());
+        break;
+    }
+  }
+  return out;
+}
+
+Result<PartitionedRelation> ProjectRelation(
+    Cluster* cluster, const PartitionedRelation& in, Schema out_schema,
+    const SimpleProjection& proj, ExecStats* stats,
+    const std::string& stage_name, ExecMode mode) {
+  if (mode == ExecMode::kRow) {
+    return TransformPartitions(
+        cluster, in, std::move(out_schema), stage_name,
+        [&proj](int, const std::vector<Tuple>& rows,
+                std::vector<Tuple>* out) {
+          out->reserve(rows.size());
+          for (const Tuple& t : rows) {
+            out->push_back(ApplySimpleProjection(proj, t));
+          }
+          return Status::OK();
+        },
+        stats);
+  }
+  const uint64_t arity = static_cast<uint64_t>(proj.size());
+  // Only columns feeding computed steps need typed lanes; plain column
+  // references re-emit the source value's bytes verbatim (identical wire
+  // encoding), so those columns are skipped at parse time.
+  std::vector<int> parse_cols;
+  for (const ProjectionStep& s : proj) {
+    if (s.kind != ProjectionStep::Kind::kColumn) {
+      parse_cols.push_back(s.column);
+    }
+  }
+  return TransformChunks(
+      cluster, in, std::move(out_schema), stage_name,
+      [&](int, ChunkReader* reader, ChunkWriter* writer) -> Status {
+        reader->ParseOnly(parse_cols, /*record_value_spans=*/true);
+        DataChunk chunk(in.schema());
+        for (;;) {
+          FUDJ_ASSIGN_OR_RETURN(const bool more, reader->Next(&chunk));
+          if (!more) break;
+          // Serialize output rows straight from the column lanes —
+          // exact SerializeTuple wire bytes, no Value boxing.
+          ByteWriter* arena = writer->arena();
+          for (int r = 0; r < chunk.size(); ++r) {
+            arena->PutVarint(arity);
+            for (const ProjectionStep& s : proj) {
+              const ColumnVector& col = chunk.column(s.column);
+              switch (s.kind) {
+                case ProjectionStep::Kind::kColumn: {
+                  const auto& vs = chunk.value_span(r, s.column);
+                  arena->PutRaw(chunk.arena() + vs.first, vs.second);
+                  break;
+                }
+                case ProjectionStep::Kind::kI64DivConst:
+                  if (col.tag(r) == ValueType::kInt64) {
+                    arena->PutU8(
+                        static_cast<uint8_t>(ValueType::kInt64));
+                    arena->PutI64(col.i64(r) / s.divisor);
+                  } else {
+                    arena->PutU8(static_cast<uint8_t>(ValueType::kNull));
+                  }
+                  break;
+              }
+            }
+            writer->CommitRow();
           }
         }
         return Status::OK();
@@ -259,6 +390,78 @@ struct BuildRef {
   int chunk = 0;
   int row = 0;
 };
+
+/// Open-addressed hash index over the build side: entries with the same
+/// slot sit in one contiguous range (counting sort over slots), in build
+/// row order, so probing `slot range, filtered by exact hash` yields
+/// matches in exactly the order the per-key-vector map did — same emit
+/// sequence, no node allocations, one cache line per probe instead of a
+/// pointer chase.
+class BuildTable {
+ public:
+  void Build(std::vector<uint64_t> hashes, std::vector<BuildRef> refs) {
+    hashes_ = std::move(hashes);
+    refs_ = std::move(refs);
+    size_t slots = 16;
+    while (slots < hashes_.size() * 2) slots <<= 1;
+    mask_ = slots - 1;
+    starts_.assign(slots + 1, 0);
+    for (uint64_t h : hashes_) ++starts_[(h & mask_) + 1];
+    for (size_t s = 1; s <= slots; ++s) starts_[s] += starts_[s - 1];
+    std::vector<uint32_t> cursor(starts_.begin(), starts_.end() - 1);
+    std::vector<uint64_t> sh(hashes_.size());
+    std::vector<BuildRef> sr(refs_.size());
+    for (size_t i = 0; i < hashes_.size(); ++i) {
+      const uint32_t pos = cursor[hashes_[i] & mask_]++;
+      sh[pos] = hashes_[i];
+      sr[pos] = refs_[i];
+    }
+    hashes_ = std::move(sh);
+    refs_ = std::move(sr);
+  }
+
+  /// Calls `fn(ref)` for every build entry whose hash equals `h`, in
+  /// build row order.
+  template <typename Fn>
+  void ForEachMatch(uint64_t h, Fn&& fn) const {
+    const size_t slot = h & mask_;
+    const uint32_t end = starts_[slot + 1];
+    for (uint32_t e = starts_[slot]; e < end; ++e) {
+      if (hashes_[e] == h) fn(refs_[e]);
+    }
+  }
+
+ private:
+  size_t mask_ = 0;
+  std::vector<uint32_t> starts_;
+  std::vector<uint64_t> hashes_;
+  std::vector<BuildRef> refs_;
+};
+
+/// Typed single-key equality with Value::Compare == 0 semantics: int64
+/// and string compare directly from the lanes; same-type doubles use the
+/// three-way Cmp form (both comparisons false), under which NaN is equal
+/// to everything, exactly like the row path; anything else (nulls,
+/// cross-type numerics, geometry) boxes and defers to Value::Compare.
+bool ChunkKeyEqual(const DataChunk& a, int ac, int ar, const DataChunk& b,
+                   int bc, int br) {
+  const ColumnVector& ca = a.column(ac);
+  const ColumnVector& cb = b.column(bc);
+  const ValueType ta = ca.tag(ar);
+  const ValueType tb = cb.tag(br);
+  if (ta == ValueType::kInt64 && tb == ValueType::kInt64) {
+    return ca.i64(ar) == cb.i64(br);
+  }
+  if (ta == ValueType::kDouble && tb == ValueType::kDouble) {
+    const double x = ca.f64(ar);
+    const double y = cb.f64(br);
+    return !(x < y) && !(y < x);
+  }
+  if (ta == ValueType::kString && tb == ValueType::kString) {
+    return ca.str(ar) == cb.str(br);
+  }
+  return ca.GetValue(ar).Compare(cb.GetValue(br)) == 0;
+}
 
 }  // namespace
 
@@ -343,10 +546,15 @@ Result<PartitionedRelation> HashJoinRelation(
       stage_name,
       [&](int p) -> Status {
         writers[p].Clear();
+        writers[p].ReserveArena(l_ex.raw_partition(p).size() +
+                                r_ex.raw_partition(p).size());
         ChunkWriter* writer = &writers[p];
+        // Both sides parse only their key columns: hashing and equality
+        // touch nothing else, and matched rows emit as raw span copies.
         std::vector<DataChunk> build_chunks;
         {
           ChunkReader reader(r_ex, p);
+          reader.ParseOnly(right_keys);
           for (;;) {
             DataChunk chunk(r_ex.schema());
             FUDJ_ASSIGN_OR_RETURN(const bool more, reader.Next(&chunk));
@@ -354,38 +562,98 @@ Result<PartitionedRelation> HashJoinRelation(
             build_chunks.push_back(std::move(chunk));
           }
         }
-        std::unordered_map<uint64_t, std::vector<BuildRef>> build;
-        for (size_t ci = 0; ci < build_chunks.size(); ++ci) {
-          const DataChunk& c = build_chunks[ci];
-          for (int r = 0; r < c.size(); ++r) {
-            build[c.HashColumns(r, right_keys)].push_back(
-                BuildRef{static_cast<int>(ci), r});
+        BuildTable build;
+        {
+          std::vector<uint64_t> build_hashes;
+          std::vector<BuildRef> build_refs;
+          std::vector<uint64_t> hashes;
+          for (size_t ci = 0; ci < build_chunks.size(); ++ci) {
+            const DataChunk& c = build_chunks[ci];
+            HashColumnsBatch(c, right_keys, &hashes);
+            for (int r = 0; r < c.size(); ++r) {
+              build_hashes.push_back(hashes[r]);
+              build_refs.push_back(BuildRef{static_cast<int>(ci), r});
+            }
           }
+          build.Build(std::move(build_hashes), std::move(build_refs));
         }
         ChunkReader probe(l_ex, p);
+        probe.ParseOnly(left_keys);
         DataChunk chunk(l_ex.schema());
+        std::vector<uint64_t> hashes;
+        // Output-row header, encoded once: every emitted row starts with
+        // the same arity varint.
+        uint8_t hdr[10];
+        int hdr_len = 0;
+        {
+          uint64_t v = out_arity;
+          while (v >= 0x80) {
+            hdr[hdr_len++] = static_cast<uint8_t>(v) | 0x80;
+            v >>= 7;
+          }
+          hdr[hdr_len++] = static_cast<uint8_t>(v);
+        }
+        // When both sides carry source spans (the normal streamed case),
+        // matches buffer as span references and each chunk's output is
+        // written with ONE arena extension — per-match buffer growth
+        // otherwise dominates the emit cost. Span-less chunks fall back
+        // to per-row serialization; the mode is fixed per chunk, so emit
+        // order is probe order either way.
+        struct EmitRef {
+          const uint8_t* l;
+          const uint8_t* r;
+          uint32_t l_len;
+          uint32_t r_len;
+        };
+        std::vector<EmitRef> matches;
+        bool all_build_spans = true;
+        for (const DataChunk& c : build_chunks) {
+          if (!c.has_spans()) all_build_spans = false;
+        }
         for (;;) {
           FUDJ_ASSIGN_OR_RETURN(const bool more, probe.Next(&chunk));
           if (!more) break;
+          HashColumnsBatch(chunk, left_keys, &hashes);
+          const bool fast = chunk.has_spans() && all_build_spans;
+          matches.clear();
+          size_t total = 0;
           for (int r = 0; r < chunk.size(); ++r) {
-            auto it = build.find(chunk.HashColumns(r, left_keys));
-            if (it == build.end()) continue;
-            for (const BuildRef& ref : it->second) {
+            build.ForEachMatch(hashes[r], [&](const BuildRef& ref) {
               const DataChunk& bc = build_chunks[ref.chunk];
-              bool equal = true;
               for (size_t k = 0; k < left_keys.size(); ++k) {
-                if (chunk.GetValue(left_keys[k], r)
-                        .Compare(bc.GetValue(right_keys[k], ref.row)) !=
-                    0) {
-                  equal = false;
-                  break;
+                if (!ChunkKeyEqual(chunk, left_keys[k], r, bc,
+                                   right_keys[k], ref.row)) {
+                  return;
                 }
               }
-              if (!equal) continue;
+              if (fast) {
+                const auto& ls = chunk.span(r);
+                const auto& rs = bc.span(ref.row);
+                EmitRef m;
+                m.l = chunk.arena() + ls.first + l_hdr;
+                m.r = bc.arena() + rs.first + r_hdr;
+                m.l_len = static_cast<uint32_t>(ls.second - l_hdr);
+                m.r_len = static_cast<uint32_t>(rs.second - r_hdr);
+                total += hdr_len + m.l_len + m.r_len;
+                matches.push_back(m);
+                return;
+              }
               ByteWriter* arena = writer->arena();
               arena->PutVarint(out_arity);
               EmitRowPayload(chunk, r, l_hdr, arena);
               EmitRowPayload(bc, ref.row, r_hdr, arena);
+              writer->CommitRow();
+            });
+          }
+          if (!matches.empty()) {
+            uint8_t* dst = writer->arena()->Extend(total);
+            for (const EmitRef& m : matches) {
+              std::memcpy(dst, hdr, hdr_len);
+              dst += hdr_len;
+              std::memcpy(dst, m.l, m.l_len);
+              dst += m.l_len;
+              std::memcpy(dst, m.r, m.r_len);
+              dst += m.r_len;
               writer->CommitRow();
             }
           }

@@ -9,6 +9,8 @@
 #include "engine/exec_mode.h"
 #include "engine/relation.h"
 #include "vec/chunk_io.h"
+#include "vec/compactor.h"
+#include "vec/simd/filter_kernels.h"
 
 namespace fudj {
 
@@ -58,6 +60,57 @@ Result<PartitionedRelation> FilterRelation(
     Cluster* cluster, const PartitionedRelation& in,
     const std::function<bool(const Tuple&)>& pred, ExecStats* stats,
     const std::string& stage_name = "filter",
+    ExecMode mode = DefaultExecMode(),
+    ChunkConsumer consumer = ChunkConsumer::kUdjBoundary);
+
+/// Compiled-predicate filter: the chunk path evaluates `pred` with the
+/// vectorized FilterChunk kernel (dense-lane SIMD where tags allow) and
+/// the row path with its exact scalar twin, so both modes keep the same
+/// rows. `consumer` drives the adaptive compaction threshold.
+Result<PartitionedRelation> FilterRelation(
+    Cluster* cluster, const PartitionedRelation& in,
+    const ColumnPredicate& pred, ExecStats* stats,
+    const std::string& stage_name = "filter",
+    ExecMode mode = DefaultExecMode(),
+    ChunkConsumer consumer = ChunkConsumer::kKernel);
+
+/// One output column of a compiled (unboxed) projection.
+struct ProjectionStep {
+  enum class Kind {
+    kColumn,       // pass input column `column` through unchanged
+    kI64DivConst,  // Value::Int64(t[column].i64() / divisor)
+  };
+  Kind kind = Kind::kColumn;
+  int column = 0;
+  int64_t divisor = 1;
+
+  static ProjectionStep Column(int c) {
+    ProjectionStep s;
+    s.kind = Kind::kColumn;
+    s.column = c;
+    return s;
+  }
+  static ProjectionStep I64DivConst(int c, int64_t d) {
+    ProjectionStep s;
+    s.kind = Kind::kI64DivConst;
+    s.column = c;
+    s.divisor = d;
+    return s;
+  }
+};
+using SimpleProjection = std::vector<ProjectionStep>;
+
+/// Row-path twin of the compiled chunk projection (non-int64 input to
+/// kI64DivConst projects to NULL in both paths).
+Tuple ApplySimpleProjection(const SimpleProjection& proj, const Tuple& t);
+
+/// Compiled projection: the chunk path serializes output rows straight
+/// from column lanes (no per-row Value boxing); pass-through columns
+/// re-encode with the identical wire format.
+Result<PartitionedRelation> ProjectRelation(
+    Cluster* cluster, const PartitionedRelation& in, Schema out_schema,
+    const SimpleProjection& proj, ExecStats* stats,
+    const std::string& stage_name = "project",
     ExecMode mode = DefaultExecMode());
 
 /// Maps each tuple through `fn` (projection / computed columns).

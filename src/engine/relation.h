@@ -43,6 +43,20 @@ class PartitionedRelation {
   /// Appends pre-serialized bytes holding `count` tuples (exchange and
   /// ChunkWriter paths).
   void AppendRaw(int p, const std::vector<uint8_t>& bytes, int64_t count);
+
+  /// Move-adopts `bytes` as partition `p`'s contents when the partition
+  /// is still empty (the common stage-flush case), falling back to a
+  /// copying append otherwise. Stage writers hand over multi-megabyte
+  /// arenas; adopting skips that memcpy entirely.
+  void AdoptRaw(int p, std::vector<uint8_t>&& bytes, int64_t count) {
+    auto& buf = partitions_[p];
+    if (buf.empty()) {
+      buf = std::move(bytes);
+    } else {
+      buf.insert(buf.end(), bytes.begin(), bytes.end());
+    }
+    counts_[p] += count;
+  }
   /// Pre-grows partition `p`'s arena by `bytes`.
   void Reserve(int p, size_t bytes);
 

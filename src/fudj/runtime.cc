@@ -1,6 +1,7 @@
 #include "fudj/runtime.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -16,6 +17,7 @@
 #include "serde/serde.h"
 #include "vec/chunk_io.h"
 #include "vec/data_chunk.h"
+#include "vec/simd/simd.h"
 
 namespace fudj {
 
@@ -1352,8 +1354,14 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
         for (size_t ci = 0; ci < build_chunks.size(); ++ci) {
           const DataChunk& bc = build_chunks[ci];
           const ColumnVector& bucket = bc.column(0);
+          // Bucket ids are engine-generated int64s, so the column is
+          // normally a dense lane readable without per-row offset
+          // indirection.
+          const int64_t* bucket_ids =
+              bucket.AllTag(ValueType::kInt64) ? bucket.I64Data() : nullptr;
           for (int r = 0; r < bc.size(); ++r) {
-            build[bucket.i64(r)].emplace_back(static_cast<int>(ci), r);
+            build[bucket_ids != nullptr ? bucket_ids[r] : bucket.i64(r)]
+                .emplace_back(static_cast<int>(ci), r);
             if (fast_dedup) {
               std::vector<int32_t>& a = r_assign[base[ci] + r];
               if (r_carried) {
@@ -1412,10 +1420,22 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
           // Group probe rows by bucket (probe-row order kept) and run
           // the bulk kernel once per common bucket.
           std::unordered_map<int64_t, std::vector<int64_t>> probe_groups;
-          for (size_t g = 0; g < probe_loc.size(); ++g) {
-            const auto& [ci, r] = probe_loc[g];
-            probe_groups[probe_chunks[ci].column(0).i64(r)].push_back(
-                static_cast<int64_t>(g));
+          {
+            // probe_loc enumerates (chunk, row) in ascending order, so
+            // walking chunks keeps the same global index sequence while
+            // reading bucket ids from the dense lane.
+            int64_t g = 0;
+            for (const DataChunk& pc : probe_chunks) {
+              const ColumnVector& bucket = pc.column(0);
+              const int64_t* bucket_ids =
+                  bucket.AllTag(ValueType::kInt64) ? bucket.I64Data()
+                                                   : nullptr;
+              for (int r = 0; r < pc.size(); ++r, ++g) {
+                probe_groups[bucket_ids != nullptr ? bucket_ids[r]
+                                                   : bucket.i64(r)]
+                    .push_back(g);
+              }
+            }
           }
           // Plan splitting from the per-bucket |L|x|R| work
           // distribution before running any kernel.
@@ -1521,6 +1541,8 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
           FUDJ_ASSIGN_OR_RETURN(const bool more, probe.Next(&chunk));
           if (!more) break;
           const ColumnVector& bucket = chunk.column(0);
+          const int64_t* bucket_ids =
+              bucket.AllTag(ValueType::kInt64) ? bucket.I64Data() : nullptr;
           if (fast_dedup) {
             l_assign.assign(chunk.size(), {});
             for (int r = 0; r < chunk.size(); ++r) {
@@ -1536,7 +1558,8 @@ Result<PartitionedRelation> FudjRuntime::CombineHashJoinChunked(
           }
           for (int r = 0; r < chunk.size(); ++r) {
             FUDJ_RETURN_NOT_OK(cluster_->CheckCancelled());
-            const int64_t b = bucket.i64(r);
+            const int64_t b =
+                bucket_ids != nullptr ? bucket_ids[r] : bucket.i64(r);
             auto it = build.find(b);
             if (it == build.end()) continue;
             probed_buckets.insert(b);
@@ -1597,6 +1620,13 @@ Result<PartitionedRelation> FudjRuntime::Execute(
     const PartitionedRelation& left, int left_key_col,
     const PartitionedRelation& right, int right_key_col,
     const FudjExecOptions& options, ExecStats* stats) const {
+  // Pin the kernel dispatch level for the whole execution (including a
+  // possible degrade) when the caller asked for the scalar A/B run. The
+  // override is process-wide like ScopedExecMode; a concurrent query
+  // observing it only runs slower, never differently — every level is
+  // bit-identical by contract.
+  std::optional<ScopedSimdLevel> simd_pin;
+  if (options.force_scalar_simd) simd_pin.emplace(SimdLevel::kScalar);
   Result<PartitionedRelation> result =
       ExecuteFudjPath(left, left_key_col, right, right_key_col, options,
                       stats);

@@ -61,6 +61,12 @@ struct FudjExecOptions {
   /// Rows per spill frame: the unit in which a spilled bucket side is
   /// written and streamed back (bounds the spill path's working memory).
   int64_t spill_chunk_rows = 1024;
+  /// Pin the data-parallel kernels (src/vec/simd) to the portable scalar
+  /// fallback for this execution — the byte-identity A/B knob. false
+  /// leaves the process dispatch level (detected ISA, or FUDJ_SIMD env
+  /// pin) in effect. All levels produce bit-identical output; this only
+  /// trades throughput.
+  bool force_scalar_simd = false;
 };
 
 /// The framework's internal actors (§VI-B): given a user `FlexibleJoin`,

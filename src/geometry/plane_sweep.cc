@@ -1,8 +1,40 @@
 #include "geometry/plane_sweep.h"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "vec/simd/simd.h"
+#include "vec/simd/simd_internal.h"
 
 namespace fudj {
+
+namespace {
+
+/// Structure-of-arrays mirror of a sorted SweepEntry vector: the SIMD
+/// window scan tests 4 rectangles per step against one query rect, which
+/// needs each MBR edge in its own contiguous lane.
+struct SweepSoA {
+  std::vector<double> min_x, min_y, max_x, max_y;
+  std::vector<uint64_t> nonempty;  // all-ones mask / 0, AND-able with cmp
+
+  explicit SweepSoA(const std::vector<SweepEntry>& entries) {
+    const size_t n = entries.size();
+    min_x.reserve(n);
+    min_y.reserve(n);
+    max_x.reserve(n);
+    max_y.reserve(n);
+    nonempty.reserve(n);
+    for (const SweepEntry& e : entries) {
+      min_x.push_back(e.mbr.min_x);
+      min_y.push_back(e.mbr.min_y);
+      max_x.push_back(e.mbr.max_x);
+      max_y.push_back(e.mbr.max_y);
+      nonempty.push_back(e.mbr.empty() ? 0 : ~uint64_t{0});
+    }
+  }
+};
+
+}  // namespace
 
 void PlaneSweepJoin(std::vector<SweepEntry> left,
                     std::vector<SweepEntry> right,
@@ -12,6 +44,52 @@ void PlaneSweepJoin(std::vector<SweepEntry> left,
   };
   std::sort(left.begin(), left.end(), by_min_x);
   std::sort(right.begin(), right.end(), by_min_x);
+
+  if (CurrentSimdLevel() == SimdLevel::kAvx2 && !left.empty() &&
+      !right.empty()) {
+    // Same event loop as the scalar sweep below, but each event's window
+    // scan runs 4 MBR overlap tests per step over the SoA lanes.
+    // SweepScan stops at the first k failing `min_x[k] <= query.max_x`
+    // and appends matches in ascending k — exactly the scalar inner
+    // loop — so the emit sequence is identical.
+    const SweepSoA l_soa(left);
+    const SweepSoA r_soa(right);
+    std::vector<int32_t> matches;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < left.size() && j < right.size()) {
+      if (left[i].mbr.min_x <= right[j].mbr.min_x) {
+        const Rect& l = left[i].mbr;
+        if (!l.empty()) {  // empty query intersects nothing; skip the scan
+          matches.clear();
+          simd_avx2::SweepScan(r_soa.min_x.data(), r_soa.min_y.data(),
+                               r_soa.max_x.data(), r_soa.max_y.data(),
+                               r_soa.nonempty.data(), right.size(), j,
+                               l.min_x, l.min_y, l.max_x, l.max_y,
+                               &matches);
+          for (const int32_t k : matches) {
+            emit(left[i].payload, right[k].payload);
+          }
+        }
+        ++i;
+      } else {
+        const Rect& r = right[j].mbr;
+        if (!r.empty()) {
+          matches.clear();
+          simd_avx2::SweepScan(l_soa.min_x.data(), l_soa.min_y.data(),
+                               l_soa.max_x.data(), l_soa.max_y.data(),
+                               l_soa.nonempty.data(), left.size(), i,
+                               r.min_x, r.min_y, r.max_x, r.max_y,
+                               &matches);
+          for (const int32_t k : matches) {
+            emit(left[k].payload, right[j].payload);
+          }
+        }
+        ++j;
+      }
+    }
+    return;
+  }
 
   size_t i = 0;
   size_t j = 0;

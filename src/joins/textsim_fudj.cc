@@ -154,12 +154,23 @@ void TextSimFudj::CombineBucket(
   r.reserve(right_keys.size());
   for (const Value& v : left_keys) l.push_back(TokenSet(v.str()));
   for (const Value& v : right_keys) r.push_back(TokenSet(v.str()));
+  // Order-preserving u64 token prefixes, computed once per record: the
+  // prefixed merge skips mismatching tokens on integer compares (SIMD
+  // run scans when dispatched) and only breaks prefix ties with full
+  // string compares.
+  std::vector<std::vector<uint64_t>> lp;
+  std::vector<std::vector<uint64_t>> rp;
+  lp.reserve(l.size());
+  rp.reserve(r.size());
+  for (const auto& tokens : l) lp.push_back(TokenPrefixes(tokens));
+  for (const auto& tokens : r) rp.push_back(TokenPrefixes(tokens));
   for (size_t i = 0; i < l.size(); ++i) {
     for (size_t j = 0; j < r.size(); ++j) {
       if (!JaccardLengthFilter(l[i].size(), r[j].size(), t)) continue;
-      // JaccardAtLeast decides with the same arithmetic as Verify, so
-      // emitting only the accepted pairs loses nothing.
-      if (JaccardAtLeast(l[i], r[j], t)) {
+      // Decision-identical to JaccardAtLeast, which decides with the
+      // same arithmetic as Verify, so emitting only the accepted pairs
+      // loses nothing.
+      if (JaccardAtLeastPrefixed(l[i], r[j], lp[i], rp[j], t)) {
         emit(static_cast<int32_t>(i), static_cast<int32_t>(j));
       }
     }

@@ -8,13 +8,94 @@ namespace fudj {
 
 namespace {
 
+/// Compiles a bound `col <op> literal` (or `literal <op> col`) compare
+/// into the vectorized engine's ColumnPredicate form. Returns false for
+/// any other expression shape; those keep the interpreted Eval path.
+bool CompilePredicate(const Expr::Ptr& filter, ColumnPredicate* out) {
+  if (filter == nullptr || filter->kind() != ExprKind::kCompare) {
+    return false;
+  }
+  const Expr::Ptr& lhs = filter->children()[0];
+  const Expr::Ptr& rhs = filter->children()[1];
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  bool flipped = false;
+  if (lhs->kind() == ExprKind::kColumn && rhs->kind() == ExprKind::kLiteral) {
+    col = lhs.get();
+    lit = rhs.get();
+  } else if (lhs->kind() == ExprKind::kLiteral &&
+             rhs->kind() == ExprKind::kColumn) {
+    col = rhs.get();
+    lit = lhs.get();
+    flipped = true;
+  } else {
+    return false;
+  }
+  if (col->column_index() < 0) return false;  // unbound
+  const ValueType lt = lit->literal().type();
+  if (lt != ValueType::kInt64 && lt != ValueType::kDouble) return false;
+  CompareOp op = filter->compare_op();
+  if (flipped) {
+    // `5 < col` is `col > 5`; kEq/kNe are symmetric.
+    switch (op) {
+      case CompareOp::kLt:
+        op = CompareOp::kGt;
+        break;
+      case CompareOp::kLe:
+        op = CompareOp::kGe;
+        break;
+      case CompareOp::kGt:
+        op = CompareOp::kLt;
+        break;
+      case CompareOp::kGe:
+        op = CompareOp::kLe;
+        break;
+      default:
+        break;
+    }
+  }
+  LaneCmp lane_op;
+  switch (op) {
+    case CompareOp::kEq:
+      lane_op = LaneCmp::kEq;
+      break;
+    case CompareOp::kNe:
+      lane_op = LaneCmp::kNe;
+      break;
+    case CompareOp::kLt:
+      lane_op = LaneCmp::kLt;
+      break;
+    case CompareOp::kLe:
+      lane_op = LaneCmp::kLe;
+      break;
+    case CompareOp::kGt:
+      lane_op = LaneCmp::kGt;
+      break;
+    case CompareOp::kGe:
+      lane_op = LaneCmp::kGe;
+      break;
+    default:
+      return false;
+  }
+  *out = ColumnPredicate::Cmp(col->column_index(), lane_op, lit->literal());
+  return true;
+}
+
 /// Applies a bound filter expression to a relation (no-op for null).
+/// Simple column-vs-literal compares run through the vectorized
+/// FilterChunk kernel; everything else interprets the expression per row
+/// — ColumnPredicate evaluation reproduces Expr::Eval's compare
+/// semantics exactly, so both paths keep the same rows.
 Result<PartitionedRelation> MaybeFilter(Cluster* cluster,
                                         const PartitionedRelation& rel,
                                         const Expr::Ptr& filter,
                                         ExecStats* stats,
                                         const std::string& name) {
   if (filter == nullptr) return rel;
+  ColumnPredicate pred;
+  if (CompilePredicate(filter, &pred)) {
+    return FilterRelation(cluster, rel, pred, stats, name);
+  }
   return FilterRelation(
       cluster, rel, [&filter](const Tuple& t) { return filter->EvalBool(t); },
       stats, name);
@@ -193,21 +274,40 @@ Result<QueryOutput> ExecutePlan(Cluster* cluster,
     pre_projection = std::move(joined);
   }
 
-  // Projection.
-  FUDJ_ASSIGN_OR_RETURN(
-      PartitionedRelation projected,
-      ProjectRelation(cluster, pre_projection, plan.output_schema,
-                      [&plan](const Tuple& t) {
-                        Tuple out;
-                        out.reserve(plan.projections.size());
-                        for (const Expr::Ptr& e : plan.projections) {
-                          auto v = e->Eval(t);
-                          out.push_back(v.ok() ? std::move(v).value()
-                                               : Value::Null());
-                        }
-                        return out;
-                      },
-                      stats));
+  // Projection. All-column-reference projections compile to the unboxed
+  // SimpleProjection path (the chunk mode re-serializes straight from
+  // column lanes); computed columns keep the interpreted Eval path.
+  SimpleProjection sproj;
+  bool projections_compiled = !plan.projections.empty();
+  for (const Expr::Ptr& e : plan.projections) {
+    if (e->kind() == ExprKind::kColumn && e->column_index() >= 0) {
+      sproj.push_back(ProjectionStep::Column(e->column_index()));
+    } else {
+      projections_compiled = false;
+      break;
+    }
+  }
+  PartitionedRelation projected;
+  if (projections_compiled) {
+    FUDJ_ASSIGN_OR_RETURN(
+        projected, ProjectRelation(cluster, pre_projection,
+                                   plan.output_schema, sproj, stats));
+  } else {
+    FUDJ_ASSIGN_OR_RETURN(
+        projected,
+        ProjectRelation(cluster, pre_projection, plan.output_schema,
+                        [&plan](const Tuple& t) {
+                          Tuple out;
+                          out.reserve(plan.projections.size());
+                          for (const Expr::Ptr& e : plan.projections) {
+                            auto v = e->Eval(t);
+                            out.push_back(v.ok() ? std::move(v).value()
+                                                 : Value::Null());
+                          }
+                          return out;
+                        },
+                        stats));
+  }
 
   // ORDER BY.
   if (!plan.order_cols.empty()) {

@@ -27,15 +27,39 @@ class ByteWriter {
   void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
 
   /// LEB128 unsigned varint.
-  void PutVarint(uint64_t v);
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
 
   /// Varint length followed by raw bytes.
-  void PutString(std::string_view s);
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    PutRaw(s.data(), s.size());
+  }
 
   void PutRaw(const void* data, size_t len) {
     const auto* p = static_cast<const uint8_t*>(data);
     buf_.insert(buf_.end(), p, p + len);
   }
+
+  /// Grows the buffer by `n` bytes and returns a pointer to the new
+  /// region. Emit loops that compose one output row from several source
+  /// spans write through this: one capacity check per row instead of one
+  /// per fragment. The pointer is invalidated by any subsequent write.
+  uint8_t* Extend(size_t n) {
+    const size_t old = buf_.size();
+    buf_.resize(old + n);
+    return buf_.data() + old;
+  }
+
+  /// Grows capacity ahead of a known write volume so bulk appends don't
+  /// pay doubling-regrowth copies (stage writers hint with the input
+  /// partition's byte size).
+  void Reserve(size_t n) { buf_.reserve(n); }
 
   size_t size() const { return buf_.size(); }
   const uint8_t* data() const { return buf_.data(); }
@@ -58,18 +82,67 @@ class ByteReader {
 
   bool AtEnd() const { return pos_ >= len_; }
   size_t position() const { return pos_; }
+  size_t length() const { return len_; }
   size_t remaining() const { return len_ - pos_; }
 
-  Result<uint8_t> GetU8();
-  Result<uint32_t> GetU32();
-  Result<uint64_t> GetU64();
-  Result<int32_t> GetI32();
-  Result<int64_t> GetI64();
-  Result<double> GetDouble();
-  Result<uint64_t> GetVarint();
-  Result<std::string> GetString();
+  /// Repositions the cursor (callers that scan ahead with raw pointer
+  /// arithmetic sync back through this; `pos` must be <= length()).
+  void Seek(size_t pos) { pos_ = pos; }
+
+  /// Advances past `n` bytes without reading them (lazy-decode paths).
+  Status Skip(size_t n) {
+    Status s = CheckAvail(n);
+    if (!s.ok()) return s;
+    pos_ += n;
+    return Status::OK();
+  }
+
+  // The per-value primitives are defined inline: serde-heavy loops (chunk
+  // parsing, lazy skips, exchange routing) call them once or more per
+  // value, and the cross-TU call plus Result round-trip costs more than
+  // the read itself.
+  Result<uint8_t> GetU8() {
+    FUDJ_RETURN_NOT_OK(CheckAvail(1));
+    return data_[pos_++];
+  }
+  Result<uint32_t> GetU32() { return GetFixed<uint32_t>(); }
+  Result<uint64_t> GetU64() { return GetFixed<uint64_t>(); }
+  Result<int32_t> GetI32() { return GetFixed<int32_t>(); }
+  Result<int64_t> GetI64() { return GetFixed<int64_t>(); }
+  Result<double> GetDouble() { return GetFixed<double>(); }
+
+  Result<uint64_t> GetVarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      FUDJ_RETURN_NOT_OK(CheckAvail(1));
+      const uint8_t b = data_[pos_++];
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+      if (shift >= 64) return Status::Internal("varint too long");
+    }
+    return v;
+  }
+
+  Result<std::string> GetString() {
+    FUDJ_ASSIGN_OR_RETURN(const uint64_t len, GetVarint());
+    FUDJ_RETURN_NOT_OK(CheckAvail(len));
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
 
  private:
+  template <typename T>
+  Result<T> GetFixed() {
+    FUDJ_RETURN_NOT_OK(CheckAvail(sizeof(T)));
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(v));
+    pos_ += sizeof(v);
+    return v;
+  }
+
   Status CheckAvail(size_t n) const {
     if (pos_ + n > len_) {
       return Status::Internal("buffer underrun in ByteReader");

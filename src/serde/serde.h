@@ -23,6 +23,45 @@ namespace fudj {
 void SerializeValue(const Value& v, ByteWriter* out);
 Result<Value> DeserializeValue(ByteReader* in);
 
+/// Advances `in` past one serialized value (tag byte + payload) without
+/// materializing it — the lazy-column path of ChunkReader uses this to
+/// step over columns an operator never touches (notably string payloads,
+/// which would otherwise each allocate a std::string). Inline: it runs
+/// once per skipped value in every lazy scan.
+inline Status SkipSerializedValue(ByteReader* in) {
+  FUDJ_ASSIGN_OR_RETURN(const uint8_t tag, in->GetU8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Status::OK();
+    case ValueType::kBool:
+      return in->Skip(1);
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return in->Skip(8);
+    case ValueType::kString: {
+      FUDJ_ASSIGN_OR_RETURN(const uint64_t len, in->GetVarint());
+      return in->Skip(len);
+    }
+    case ValueType::kGeometry: {
+      FUDJ_ASSIGN_OR_RETURN(const uint8_t kind, in->GetU8());
+      switch (static_cast<Geometry::Kind>(kind)) {
+        case Geometry::Kind::kPoint:
+          return in->Skip(2 * sizeof(double));
+        case Geometry::Kind::kRect:
+          return in->Skip(4 * sizeof(double));
+        case Geometry::Kind::kPolygon: {
+          FUDJ_ASSIGN_OR_RETURN(const uint64_t n, in->GetVarint());
+          return in->Skip(n * 2 * sizeof(double));
+        }
+      }
+      return Status::Internal("bad geometry kind tag");
+    }
+    case ValueType::kInterval:
+      return in->Skip(2 * sizeof(int64_t));
+  }
+  return Status::Internal("bad value type tag");
+}
+
 /// Geometry payload codec (kind byte + coordinates), shared by the Value
 /// codec above and the columnar DataChunk codec in src/vec so both paths
 /// produce byte-identical frames.

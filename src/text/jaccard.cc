@@ -1,6 +1,10 @@
 #include "text/jaccard.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "vec/simd/simd.h"
+#include "vec/simd/simd_internal.h"
 
 namespace fudj {
 
@@ -55,6 +59,91 @@ bool JaccardAtLeast(const std::vector<std::string>& a,
       ++i;
     } else {
       ++j;
+    }
+  }
+  const size_t uni = total - common;
+  return (uni == 0 ? 1.0 : static_cast<double>(common) / uni) >= threshold;
+}
+
+std::vector<uint64_t> TokenPrefixes(const std::vector<std::string>& tokens) {
+  std::vector<uint64_t> out;
+  out.reserve(tokens.size());
+  for (const std::string& s : tokens) {
+    uint64_t p = 0;
+    const size_t n = std::min<size_t>(8, s.size());
+    for (size_t k = 0; k < n; ++k) {
+      p |= static_cast<uint64_t>(static_cast<uint8_t>(s[k]))
+           << (56 - 8 * k);
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+bool JaccardAtLeastPrefixed(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b,
+                            const std::vector<uint64_t>& pa,
+                            const std::vector<uint64_t>& pb,
+                            double threshold) {
+  if (a.empty() && b.empty()) return 1.0 >= threshold;
+  const size_t total = a.size() + b.size();
+  const bool avx2 = CurrentSimdLevel() == SimdLevel::kAvx2;
+  const size_t a_n = a.size();
+  const size_t b_n = b.size();
+  size_t i = 0;
+  size_t j = 0;
+  size_t common = 0;
+  size_t until_check = 0;  // run maintenance on the first step
+  while (i < a_n && j < b_n) {
+    // Periodic maintenance, every 8th step rather than every step. (1)
+    // The same conservative ceiling as JaccardAtLeast: it only
+    // decreases as the merge advances, so if it ever drops below the
+    // threshold the exact final value is below it too — checking less
+    // often merely delays the early exit, it cannot change the
+    // decision. (2) SIMD bulk skips: every token whose prefix is below
+    // the other side's current prefix can never match anything that
+    // side still holds, so both fronts jump over their mismatch runs in
+    // one scan each. Neither affects `common`, so the decision is
+    // identical at every dispatch level; the stride keeps the division
+    // and the vector-call overhead off the compare-dominated path.
+    if (until_check == 0) {
+      const size_t possible = common + std::min(a_n - i, b_n - j);
+      if (static_cast<double>(possible) /
+              static_cast<double>(total - possible) <
+          threshold) {
+        return false;
+      }
+      if (avx2) {
+        i += simd_avx2::CountLessU64(pa.data() + i, a_n - i, pb[j]);
+        if (i >= a_n) break;
+        j += simd_avx2::CountLessU64(pb.data() + j, b_n - j, pa[i]);
+        if (j >= b_n) break;
+      }
+      until_check = 8;
+    }
+    --until_check;
+    const uint64_t qa = pa[i];
+    const uint64_t qb = pb[j];
+    if (qa == qb) {
+      // Prefix ties: only here does the string pay a full compare
+      // (equal tokens always land here; distinct ones only when their
+      // first 8 bytes collide).
+      const int cmp = a[i].compare(b[j]);
+      if (cmp == 0) {
+        ++common;
+        ++i;
+        ++j;
+      } else if (cmp < 0) {
+        ++i;
+      } else {
+        ++j;
+      }
+    } else {
+      // Branchless single-step advance: interleaved sets make the
+      // less-than direction a coin flip, so a conditional branch here
+      // would mispredict half the time and dominate the loop.
+      i += qa < qb;
+      j += qb < qa;
     }
   }
   const size_t uni = total - common;

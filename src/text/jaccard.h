@@ -2,6 +2,7 @@
 #define FUDJ_TEXT_JACCARD_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,26 @@ double JaccardSimilarity(const std::vector<std::string>& a,
 /// positional-filter bound used by the set-similarity COMBINE kernel.
 bool JaccardAtLeast(const std::vector<std::string>& a,
                     const std::vector<std::string>& b, double threshold);
+
+/// Order-preserving 8-byte key per token: the first 8 bytes big-endian,
+/// zero-padded. `prefix(a) < prefix(b)` implies `a < b` lexicographically
+/// (zero-padding can only create ties, resolved by a full compare), so a
+/// sorted token vector's prefixes are sorted u64s — the form the SIMD
+/// gallop in JaccardAtLeastPrefixed scans.
+std::vector<uint64_t> TokenPrefixes(const std::vector<std::string>& tokens);
+
+/// JaccardAtLeast accelerated with precomputed TokenPrefixes of both
+/// sides: mismatching tokens are skipped by comparing u64 prefixes (in
+/// bulk, via the SIMD leading-run scan when dispatched), and the full
+/// string compare runs only on prefix ties. Decision-identical to
+/// JaccardAtLeast(a, b, threshold): the early-exit bound is conservative
+/// and monotone, so evaluating it at fewer merge positions cannot flip
+/// the outcome.
+bool JaccardAtLeastPrefixed(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b,
+                            const std::vector<uint64_t>& pa,
+                            const std::vector<uint64_t>& pb,
+                            double threshold);
 
 /// Prefix length for prefix filtering at Jaccard threshold `t` over a
 /// record with `set_size` distinct tokens:

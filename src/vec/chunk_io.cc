@@ -1,11 +1,21 @@
 #include "vec/chunk_io.h"
 
+#include <cstring>
+
 namespace fudj {
 
 ChunkReader::ChunkReader(const PartitionedRelation& rel, int p)
     : base_(rel.raw_partition(p).data()),
       reader_(rel.raw_partition(p)),
       remaining_(rel.RowsInPartition(p)) {}
+
+void ChunkReader::ParseOnly(const std::vector<int>& cols,
+                            bool record_value_spans) {
+  lazy_ = true;
+  record_value_spans_ = record_value_spans;
+  parse_cols_ = cols;
+  parse_mask_.clear();
+}
 
 Result<bool> ChunkReader::Next(DataChunk* chunk) {
   chunk->Reset();
@@ -17,19 +27,128 @@ Result<bool> ChunkReader::Next(DataChunk* chunk) {
   }
   chunk->BindArena(base_);
   const int cols = chunk->num_columns();
+  if (lazy_ && static_cast<int>(parse_mask_.size()) != cols) {
+    parse_mask_.assign(cols, 0);
+    for (int c : parse_cols_) parse_mask_[c] = 1;
+  }
+  // Raw-pointer scan. The per-value ByteReader primitives each return a
+  // Result<T> — a variant whose error arm carries a Status with a
+  // std::string — and at one-plus calls per value the construct/destroy
+  // traffic of those non-trivially-destructible temporaries costs more
+  // than the reads themselves. The scan below bounds-checks against
+  // `len` directly, writes lanes through the Raw appends (identical lane
+  // writes to AppendFromSerde), and drops to the general serde path only
+  // for nested types and bad tags, syncing the cursor through Seek() so
+  // both paths observe the same positions and bytes.
+  const uint8_t* buf = base_;
+  const size_t len = reader_.length();
+  size_t pos = reader_.position();
   while (!chunk->full() && remaining_ > 0) {
-    const size_t start = reader_.position();
-    FUDJ_ASSIGN_OR_RETURN(const uint64_t arity, reader_.GetVarint());
+    const size_t start = pos;
+    uint64_t arity = 0;
+    int shift = 0;
+    while (true) {
+      if (pos >= len) {
+        return Status::Internal("buffer underrun in ByteReader");
+      }
+      const uint8_t b = buf[pos++];
+      arity |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+      if (shift >= 64) return Status::Internal("varint too long");
+    }
     if (static_cast<int>(arity) != cols) {
       return Status::Internal("tuple arity does not match chunk schema");
     }
     for (int c = 0; c < cols; ++c) {
-      FUDJ_RETURN_NOT_OK(chunk->column(c).AppendFromSerde(&reader_));
+      const size_t vstart = pos;
+      const bool want = !lazy_ || parse_mask_[c] != 0;
+      if (pos >= len) {
+        return Status::Internal("buffer underrun in ByteReader");
+      }
+      const auto tag = static_cast<ValueType>(buf[pos++]);
+      ColumnVector& col = chunk->column(c);
+      switch (tag) {
+        case ValueType::kNull:
+          if (want) col.AppendNullRaw();
+          break;
+        case ValueType::kBool:
+          if (pos + 1 > len) {
+            return Status::Internal("buffer underrun in ByteReader");
+          }
+          if (want) col.AppendBoolRaw(buf[pos]);
+          pos += 1;
+          break;
+        case ValueType::kInt64: {
+          if (pos + 8 > len) {
+            return Status::Internal("buffer underrun in ByteReader");
+          }
+          if (want) {
+            int64_t v;
+            std::memcpy(&v, buf + pos, sizeof(v));
+            col.AppendI64Raw(v);
+          }
+          pos += 8;
+          break;
+        }
+        case ValueType::kDouble: {
+          if (pos + 8 > len) {
+            return Status::Internal("buffer underrun in ByteReader");
+          }
+          if (want) {
+            double v;
+            std::memcpy(&v, buf + pos, sizeof(v));
+            col.AppendF64Raw(v);
+          }
+          pos += 8;
+          break;
+        }
+        case ValueType::kString: {
+          uint64_t slen = 0;
+          shift = 0;
+          while (true) {
+            if (pos >= len) {
+              return Status::Internal("buffer underrun in ByteReader");
+            }
+            const uint8_t b = buf[pos++];
+            slen |= static_cast<uint64_t>(b & 0x7F) << shift;
+            if ((b & 0x80) == 0) break;
+            shift += 7;
+            if (shift >= 64) return Status::Internal("varint too long");
+          }
+          if (pos + slen > len) {
+            return Status::Internal("buffer underrun in ByteReader");
+          }
+          if (want) {
+            col.AppendStrRaw(reinterpret_cast<const char*>(buf + pos),
+                             static_cast<size_t>(slen));
+          }
+          pos += slen;
+          break;
+        }
+        default: {
+          // Nested types (geometry, interval) and corrupt tags take the
+          // general serde path, which owns their decode and the error
+          // message for unknown tags.
+          reader_.Seek(vstart);
+          if (want) {
+            FUDJ_RETURN_NOT_OK(col.AppendFromSerde(&reader_));
+          } else {
+            FUDJ_RETURN_NOT_OK(SkipSerializedValue(&reader_));
+          }
+          pos = reader_.position();
+          break;
+        }
+      }
+      if (record_value_spans_) {
+        chunk->AddValueSpan(vstart, pos - vstart);
+      }
     }
-    chunk->AddRowSpanAndGrow(start, reader_.position() - start);
+    chunk->AddRowSpanAndGrow(start, pos - start);
     --remaining_;
     ++rows_read_;
   }
+  reader_.Seek(pos);
   return true;
 }
 
@@ -54,9 +173,18 @@ void ChunkWriter::AppendChunk(const DataChunk& chunk) {
 void ChunkWriter::AppendChunk(const DataChunk& chunk,
                               const SelectionVector& sel) {
   if (chunk.has_spans()) {
+    // One arena extension for the whole selection, then straight span
+    // copies: per-row buffer growth costs more than the copies at
+    // filter-survivor densities.
+    size_t total = 0;
+    for (int i = 0; i < sel.size(); ++i) {
+      total += chunk.span(sel[i]).second;
+    }
+    uint8_t* dst = arena_.Extend(total);
     for (int i = 0; i < sel.size(); ++i) {
       const auto& s = chunk.span(sel[i]);
-      arena_.PutRaw(chunk.arena() + s.first, s.second);
+      std::memcpy(dst, chunk.arena() + s.first, s.second);
+      dst += s.second;
     }
     rows_ += sel.size();
     return;
@@ -74,7 +202,7 @@ void ChunkWriter::AppendTuple(const Tuple& t) {
 
 void ChunkWriter::FlushTo(PartitionedRelation* rel, int p) {
   if (rows_ > 0) {
-    rel->AppendRaw(p, arena_.bytes(), rows_);
+    rel->AdoptRaw(p, std::move(arena_.bytes()), rows_);
   }
   Clear();
 }

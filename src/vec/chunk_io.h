@@ -23,6 +23,19 @@ class ChunkReader {
  public:
   ChunkReader(const PartitionedRelation& rel, int p);
 
+  /// Restricts parsing to `cols` (may be empty: parse nothing). Next()
+  /// then deserializes only those columns into typed lanes and steps
+  /// over the rest with SkipSerializedValue — no std::string or geometry
+  /// is ever materialized for a skipped column. Chunks read this way
+  /// must only touch parsed columns through the typed/boxed accessors;
+  /// skipped columns are re-emitted via span raw copies. With
+  /// `record_value_spans`, every value's byte range is additionally
+  /// recorded on the chunk (compiled projections re-emit single values
+  /// verbatim through them); consumers that only re-emit whole rows
+  /// should leave it off. Call before the first Next().
+  void ParseOnly(const std::vector<int>& cols,
+                 bool record_value_spans = false);
+
   /// Fills `chunk` (after Reset) with up to chunk->capacity() rows.
   /// Returns false when the partition is exhausted (chunk left empty).
   Result<bool> Next(DataChunk* chunk);
@@ -35,6 +48,10 @@ class ChunkReader {
   ByteReader reader_;
   int64_t remaining_;
   int64_t rows_read_ = 0;
+  bool lazy_ = false;
+  bool record_value_spans_ = false;
+  std::vector<int> parse_cols_;
+  std::vector<char> parse_mask_;  // sized on first Next from the schema
 };
 
 /// Accumulates serialized rows for one output partition in a byte arena
@@ -55,6 +72,17 @@ class ChunkWriter {
   void AppendChunk(const DataChunk& chunk, const SelectionVector& sel);
   /// Appends one boxed tuple (transform emit path).
   void AppendTuple(const Tuple& t);
+
+  /// Appends `rows` pre-serialized rows (exact tuple wire format) in one
+  /// raw copy — the compactor's span-merge buffer flushes through here.
+  void AppendRaw(const ByteWriter& buf, int64_t rows) {
+    arena_.PutRaw(buf.data(), buf.size());
+    rows_ += rows;
+  }
+
+  /// Capacity hint for the output arena (typically the input partition's
+  /// byte size — filters and projections never grow the data).
+  void ReserveArena(size_t n) { arena_.Reserve(n); }
 
   /// Direct-serialization escape hatch: write a row's bytes straight to
   /// arena() (exact tuple wire format), then call CommitRow() once per

@@ -2,6 +2,52 @@
 
 namespace fudj {
 
+CompactionPolicy CompactionPolicy::ForConsumer(ChunkConsumer consumer) {
+  CompactionPolicy p;
+  switch (consumer) {
+    case ChunkConsumer::kExchange:
+      // Span raw-copy routing pays ~nothing per chunk; only merge the
+      // truly pathological trickles.
+      p.base_threshold = 0.05;
+      break;
+    case ChunkConsumer::kKernel:
+      // Vector kernels amortize dispatch + lane setup over the chunk;
+      // below ~45% fill the merge copy beats the wasted lane work.
+      p.base_threshold = 0.45;
+      break;
+    case ChunkConsumer::kUdjBoundary:
+      // Per-row boxing dominates; merge only when chunk bookkeeping
+      // (pinning, group maps) starts to show.
+      p.base_threshold = 0.25;
+      break;
+  }
+  return p;
+}
+
+double CompactionPolicy::EffectiveThreshold(const Schema& schema) const {
+  int heavy = 0;
+  for (const Field& f : schema.fields()) {
+    if (f.type == ValueType::kString || f.type == ValueType::kGeometry) {
+      ++heavy;
+    }
+  }
+  return base_threshold * 2.0 / (2.0 + heavy);
+}
+
+ChunkCompactor::ChunkCompactor(const Schema& schema, int capacity,
+                               ChunkWriter* writer, ChunkConsumer consumer)
+    : pending_(schema, capacity),
+      threshold_(CompactionPolicy::ForConsumer(consumer)
+                     .EffectiveThreshold(schema)),
+      sink_([writer](const DataChunk& c, const SelectionVector* sel) {
+        if (sel != nullptr) {
+          writer->AppendChunk(c, *sel);
+        } else {
+          writer->AppendChunk(c);
+        }
+      }),
+      writer_(writer) {}
+
 void ChunkCompactor::Push(const DataChunk& chunk,
                           const SelectionVector& sel) {
   ++stats_.chunks_in;
@@ -10,7 +56,7 @@ void ChunkCompactor::Push(const DataChunk& chunk,
 
   const double density =
       static_cast<double>(sel.size()) / pending_.capacity();
-  if (pending_.empty() && density >= threshold_) {
+  if (pending_.empty() && raw_rows_ == 0 && density >= threshold_) {
     // Dense enough: hand the original chunk through, zero copy.
     sink_(chunk, &sel);
     ++stats_.chunks_out;
@@ -19,6 +65,19 @@ void ChunkCompactor::Push(const DataChunk& chunk,
   }
 
   ++stats_.chunks_compacted;
+  if (writer_ != nullptr && chunk.has_spans()) {
+    // Raw merge: concatenate survivor row bytes; the typed and raw
+    // buffers never interleave within one stream (flush the other
+    // first) so FIFO row order is preserved.
+    if (!pending_.empty()) EmitPending();
+    for (int i = 0; i < sel.size(); ++i) {
+      const auto& s = chunk.span(sel[i]);
+      raw_pending_.PutRaw(chunk.arena() + s.first, s.second);
+      if (++raw_rows_ >= pending_.capacity()) EmitRawPending();
+    }
+    return;
+  }
+  if (raw_rows_ > 0) EmitRawPending();
   for (int i = 0; i < sel.size(); ++i) {
     pending_.AppendRowFrom(chunk, sel[i]);
     if (pending_.full()) EmitPending();
@@ -26,6 +85,7 @@ void ChunkCompactor::Push(const DataChunk& chunk,
 }
 
 void ChunkCompactor::Flush() {
+  if (raw_rows_ > 0) EmitRawPending();
   if (!pending_.empty()) EmitPending();
 }
 
@@ -34,6 +94,14 @@ void ChunkCompactor::EmitPending() {
   ++stats_.chunks_out;
   stats_.rows_emitted += pending_.size();
   pending_.Reset();
+}
+
+void ChunkCompactor::EmitRawPending() {
+  writer_->AppendRaw(raw_pending_, raw_rows_);
+  ++stats_.chunks_out;
+  stats_.rows_emitted += raw_rows_;
+  raw_pending_.Clear();
+  raw_rows_ = 0;
 }
 
 }  // namespace fudj

@@ -4,10 +4,51 @@
 #include <cstdint>
 #include <functional>
 
+#include "types/schema.h"
+#include "vec/chunk_io.h"
 #include "vec/data_chunk.h"
 #include "vec/selection_vector.h"
 
 namespace fudj {
+
+/// What consumes the chunks a compactor emits. The profitable density
+/// threshold depends on the consumer's per-chunk overhead relative to
+/// per-row work: consumers that amortize a large fixed setup over the
+/// rows of each chunk want denser chunks than consumers whose cost is
+/// almost purely per-row.
+enum class ChunkConsumer {
+  /// Exchange/Route: survivors leave as raw span copies, per-chunk
+  /// overhead is a handful of pointer ops — almost any density is fine.
+  kExchange,
+  /// SIMD/typed kernels (filter, batch hash, typed join probe): fixed
+  /// per-chunk dispatch plus lane setup is amortized over dense lanes;
+  /// sparse chunks waste most of the vector width.
+  kKernel,
+  /// UDJ callback boundary: every surviving row is boxed to Values
+  /// anyway, so per-row cost dominates, but chunk bookkeeping (pin,
+  /// group map, virtual dispatch) still charges per chunk.
+  kUdjBoundary,
+};
+
+/// Decides when merging survivors is cheaper than passing a sparse chunk
+/// downstream. Two inputs: the consumer's per-chunk overhead (the base
+/// threshold) and the cost of the merge copy itself — rows with string
+/// or geometry columns are several times more expensive to copy than
+/// pure-scalar rows, so heavy schemas lower the threshold and compact
+/// less eagerly. Compaction never reorders rows, so any threshold yields
+/// byte-identical downstream output; this policy is purely a perf knob.
+struct CompactionPolicy {
+  /// Survivor density (vs chunk capacity) below which merging pays off
+  /// for a pure-scalar row; from the consumer's per-chunk overhead.
+  double base_threshold = 0.25;
+
+  static CompactionPolicy ForConsumer(ChunkConsumer consumer);
+
+  /// Threshold after discounting for the copy cost of `schema`: each
+  /// string/geometry column makes the merge copy more expensive, so the
+  /// break-even density drops (base * 2 / (2 + heavy_columns)).
+  double EffectiveThreshold(const Schema& schema) const;
+};
 
 /// Counters describing one compactor's lifetime, merged into ExecStats so
 /// benches can report chunk counts and output density.
@@ -56,11 +97,33 @@ class ChunkCompactor {
 
   static constexpr double kDefaultDensityThreshold = 0.25;
 
+  /// Fixed-threshold form (tests, explicit tuning).
   ChunkCompactor(const Schema& schema, int capacity, Sink sink,
                  double density_threshold = kDefaultDensityThreshold)
       : pending_(schema, capacity),
         threshold_(density_threshold),
         sink_(std::move(sink)) {}
+
+  /// Adaptive form: derives the threshold from the downstream consumer's
+  /// per-chunk overhead and the schema's row copy cost.
+  ChunkCompactor(const Schema& schema, int capacity, Sink sink,
+                 ChunkConsumer consumer)
+      : ChunkCompactor(schema, capacity, std::move(sink),
+                       CompactionPolicy::ForConsumer(consumer)
+                           .EffectiveThreshold(schema)) {}
+
+  /// Serialization-sink form: survivors flow to `writer`. Pass-through
+  /// batches append as (chunk, sel); sparse span-carrying batches merge
+  /// by buffering raw row bytes and flushing capacity-row groups — same
+  /// rows in the same order, so the output bytes are identical to the
+  /// typed merge, but no column is ever copied lane-wise. That also
+  /// makes compaction safe for lazily-parsed chunks (ChunkReader
+  /// ParseOnly), whose skipped columns exist only as arena bytes.
+  /// Span-less chunks fall back to the typed merge.
+  ChunkCompactor(const Schema& schema, int capacity, ChunkWriter* writer,
+                 ChunkConsumer consumer);
+
+  double density_threshold() const { return threshold_; }
 
   /// Feeds the survivors of one chunk.
   void Push(const DataChunk& chunk, const SelectionVector& sel);
@@ -72,11 +135,16 @@ class ChunkCompactor {
 
  private:
   void EmitPending();
+  void EmitRawPending();
 
   DataChunk pending_;
   double threshold_;
   Sink sink_;
   CompactionStats stats_;
+  // Serialization-sink mode only.
+  ChunkWriter* writer_ = nullptr;
+  ByteWriter raw_pending_;
+  int raw_rows_ = 0;
 };
 
 }  // namespace fudj

@@ -72,42 +72,8 @@ void ColumnVector::AppendValue(const Value& v) {
   }
 }
 
-Status ColumnVector::AppendFromSerde(ByteReader* in) {
-  FUDJ_ASSIGN_OR_RETURN(const uint8_t raw_tag, in->GetU8());
-  const auto tag = static_cast<ValueType>(raw_tag);
+Status ColumnVector::AppendNestedFromSerde(ValueType tag, ByteReader* in) {
   switch (tag) {
-    case ValueType::kNull:
-      tags_.push_back(tag);
-      offsets_.push_back(0);
-      return Status::OK();
-    case ValueType::kBool: {
-      FUDJ_ASSIGN_OR_RETURN(const uint8_t b, in->GetU8());
-      tags_.push_back(tag);
-      offsets_.push_back(static_cast<uint32_t>(i64_.size()));
-      i64_.push_back(b != 0 ? 1 : 0);
-      return Status::OK();
-    }
-    case ValueType::kInt64: {
-      FUDJ_ASSIGN_OR_RETURN(const int64_t v, in->GetI64());
-      tags_.push_back(tag);
-      offsets_.push_back(static_cast<uint32_t>(i64_.size()));
-      i64_.push_back(v);
-      return Status::OK();
-    }
-    case ValueType::kDouble: {
-      FUDJ_ASSIGN_OR_RETURN(const double v, in->GetDouble());
-      tags_.push_back(tag);
-      offsets_.push_back(static_cast<uint32_t>(f64_.size()));
-      f64_.push_back(v);
-      return Status::OK();
-    }
-    case ValueType::kString: {
-      FUDJ_ASSIGN_OR_RETURN(std::string s, in->GetString());
-      tags_.push_back(tag);
-      offsets_.push_back(static_cast<uint32_t>(str_.size()));
-      str_.push_back(std::move(s));
-      return Status::OK();
-    }
     case ValueType::kGeometry: {
       FUDJ_ASSIGN_OR_RETURN(Geometry g, DeserializeGeometry(in));
       tags_.push_back(tag);
@@ -123,8 +89,9 @@ Status ColumnVector::AppendFromSerde(ByteReader* in) {
       interval_.push_back(Interval(s, e));
       return Status::OK();
     }
+    default:
+      return Status::Internal("bad value type tag in column deserialize");
   }
-  return Status::Internal("bad value type tag in column deserialize");
 }
 
 void ColumnVector::AppendFrom(const ColumnVector& src, int row) {
@@ -243,11 +210,13 @@ void DataChunk::Reset() {
   size_ = 0;
   arena_ = nullptr;
   spans_.clear();
+  value_spans_.clear();
 }
 
 void DataChunk::AppendTuple(const Tuple& t) {
   arena_ = nullptr;
   spans_.clear();
+  value_spans_.clear();
   for (int c = 0; c < num_columns(); ++c) {
     cols_[c].AppendValue(t[c]);
   }

@@ -42,11 +42,87 @@ class ColumnVector {
 
   /// Appends the next serialized value from `in` (tag byte + payload),
   /// writing the payload straight into the typed lane — no intermediate
-  /// Value is constructed for scalars and strings.
-  Status AppendFromSerde(ByteReader* in);
+  /// Value is constructed for scalars and strings. Inline: scan loops
+  /// call it once per parsed value, and the tag branch predicts to the
+  /// column's declared type.
+  Status AppendFromSerde(ByteReader* in) {
+    FUDJ_ASSIGN_OR_RETURN(const uint8_t raw_tag, in->GetU8());
+    const auto tag = static_cast<ValueType>(raw_tag);
+    switch (tag) {
+      case ValueType::kNull:
+        tags_.push_back(tag);
+        offsets_.push_back(0);
+        return Status::OK();
+      case ValueType::kBool: {
+        FUDJ_ASSIGN_OR_RETURN(const uint8_t b, in->GetU8());
+        tags_.push_back(tag);
+        offsets_.push_back(static_cast<uint32_t>(i64_.size()));
+        i64_.push_back(b != 0 ? 1 : 0);
+        return Status::OK();
+      }
+      case ValueType::kInt64: {
+        FUDJ_ASSIGN_OR_RETURN(const int64_t v, in->GetI64());
+        tags_.push_back(tag);
+        offsets_.push_back(static_cast<uint32_t>(i64_.size()));
+        i64_.push_back(v);
+        return Status::OK();
+      }
+      case ValueType::kDouble: {
+        FUDJ_ASSIGN_OR_RETURN(const double v, in->GetDouble());
+        tags_.push_back(tag);
+        offsets_.push_back(static_cast<uint32_t>(f64_.size()));
+        f64_.push_back(v);
+        return Status::OK();
+      }
+      case ValueType::kString: {
+        FUDJ_ASSIGN_OR_RETURN(std::string s, in->GetString());
+        tags_.push_back(tag);
+        offsets_.push_back(static_cast<uint32_t>(str_.size()));
+        str_.push_back(std::move(s));
+        return Status::OK();
+      }
+      case ValueType::kGeometry:
+      case ValueType::kInterval:
+        return AppendNestedFromSerde(tag, in);
+    }
+    return Status::Internal("bad value type tag in column deserialize");
+  }
+
+  /// Raw lane appends used by ChunkReader's pointer scan. Each performs
+  /// exactly the lane writes of the matching AppendFromSerde case; the
+  /// caller has already consumed the tag byte and bounds-checked the
+  /// payload, so no Result round trip happens per value.
+  void AppendNullRaw() {
+    tags_.push_back(ValueType::kNull);
+    offsets_.push_back(0);
+  }
+  void AppendBoolRaw(uint8_t b) {
+    tags_.push_back(ValueType::kBool);
+    offsets_.push_back(static_cast<uint32_t>(i64_.size()));
+    i64_.push_back(b != 0 ? 1 : 0);
+  }
+  void AppendI64Raw(int64_t v) {
+    tags_.push_back(ValueType::kInt64);
+    offsets_.push_back(static_cast<uint32_t>(i64_.size()));
+    i64_.push_back(v);
+  }
+  void AppendF64Raw(double v) {
+    tags_.push_back(ValueType::kDouble);
+    offsets_.push_back(static_cast<uint32_t>(f64_.size()));
+    f64_.push_back(v);
+  }
+  void AppendStrRaw(const char* data, size_t n) {
+    tags_.push_back(ValueType::kString);
+    offsets_.push_back(static_cast<uint32_t>(str_.size()));
+    str_.emplace_back(data, n);
+  }
 
   /// Appends row `row` of `src` (typed columnwise copy; compaction path).
   void AppendFrom(const ColumnVector& src, int row);
+
+  /// Out-of-line tail of AppendFromSerde for the heap-heavy nested types
+  /// (geometry, interval) — keeps the inline fast path small.
+  Status AppendNestedFromSerde(ValueType tag, ByteReader* in);
 
   /// Serializes row `row` with the exact wire encoding of
   /// SerializeValue, reading straight from the typed lane.
@@ -62,6 +138,21 @@ class ColumnVector {
   ValueType tag(int row) const { return tags_[row]; }
   bool IsNull(int row) const { return tags_[row] == ValueType::kNull; }
   int CountValid() const;
+
+  /// True when every row's runtime tag is exactly `t`. When true for
+  /// kInt64 or kDouble, that lane was appended once per row in row
+  /// order, so offsets are the identity and I64Data()/F64Data() expose
+  /// the column as a dense array for SIMD kernels. (kBool shares the
+  /// i64 lane, so the check must be per-tag, not per-lane.)
+  bool AllTag(ValueType t) const {
+    for (ValueType tag : tags_) {
+      if (tag != t) return false;
+    }
+    return true;
+  }
+  /// Dense lane pointers; only valid when AllTag(kInt64) / AllTag(kDouble).
+  const int64_t* I64Data() const { return i64_.data(); }
+  const double* F64Data() const { return f64_.data(); }
 
   /// Typed accessors; only valid when tag(row) matches.
   bool bool_val(int row) const { return i64_[offsets_[row]] != 0; }
@@ -149,6 +240,7 @@ class DataChunk {
   void BindArena(const uint8_t* arena) {
     arena_ = arena;
     spans_.clear();
+    value_spans_.clear();
   }
   /// Completes a row the ChunkReader filled columnwise via
   /// AppendFromSerde: records the row's source span and grows the chunk.
@@ -165,12 +257,34 @@ class DataChunk {
     return spans_[row];
   }
 
+  /// -- Per-value spans (lazy column reads) -------------------------
+  /// A ChunkReader restricted to a column subset records every value's
+  /// byte range in the arena (row-major, num_columns() entries per row),
+  /// parsed or skipped alike, so consumers can still raw-copy any single
+  /// value (compiled projection) without it ever being materialized.
+  void AddValueSpan(size_t offset, size_t len) {
+    if (value_spans_.empty()) {
+      value_spans_.reserve(static_cast<size_t>(capacity_) *
+                           static_cast<size_t>(num_columns()));
+    }
+    value_spans_.emplace_back(offset, len);
+  }
+  bool has_value_spans() const {
+    return arena_ != nullptr &&
+           static_cast<int>(value_spans_.size()) ==
+               size_ * num_columns();
+  }
+  const std::pair<size_t, size_t>& value_span(int row, int c) const {
+    return value_spans_[row * num_columns() + c];
+  }
+
  private:
   std::vector<ColumnVector> cols_;
   int capacity_ = kDefaultCapacity;
   int size_ = 0;
   const uint8_t* arena_ = nullptr;
   std::vector<std::pair<size_t, size_t>> spans_;
+  std::vector<std::pair<size_t, size_t>> value_spans_;
 };
 
 }  // namespace fudj

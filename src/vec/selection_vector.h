@@ -27,6 +27,10 @@ class SelectionVector {
   void Append(int32_t row) { idx_.push_back(row); }
   void Reserve(int n) { idx_.reserve(n); }
 
+  /// Direct storage access for vectorized kernels that append runs of
+  /// indices (src/vec/simd); indices must stay ascending.
+  std::vector<int32_t>* MutableIndices() { return &idx_; }
+
   int size() const { return static_cast<int>(idx_.size()); }
   bool empty() const { return idx_.empty(); }
   int32_t operator[](int i) const { return idx_[i]; }

@@ -1,0 +1,159 @@
+#include "vec/simd/filter_kernels.h"
+
+#include "vec/simd/simd.h"
+
+namespace fudj {
+
+namespace {
+
+/// Portable reference for the dense int64 lane; the AVX2 kernel must
+/// produce bit-identical selections.
+int FilterI64Scalar(const int64_t* v, int n, LaneCmp op, int64_t lit,
+                    int64_t mask, std::vector<int32_t>* out) {
+  const size_t before = out->size();
+  for (int i = 0; i < n; ++i) {
+    bool keep = false;
+    switch (op) {
+      case LaneCmp::kEq:
+        keep = v[i] == lit;
+        break;
+      case LaneCmp::kNe:
+        keep = v[i] != lit;
+        break;
+      case LaneCmp::kLt:
+        keep = v[i] < lit;
+        break;
+      case LaneCmp::kLe:
+        keep = v[i] <= lit;
+        break;
+      case LaneCmp::kGt:
+        keep = v[i] > lit;
+        break;
+      case LaneCmp::kGe:
+        keep = v[i] >= lit;
+        break;
+      case LaneCmp::kMaskEq:
+        keep = (v[i] & mask) == lit;
+        break;
+    }
+    if (keep) out->push_back(i);
+  }
+  return static_cast<int>(out->size() - before);
+}
+
+/// Portable reference for the dense double lane. Ordering ops are spelled
+/// in the negated forms (`!(v > lit)` for kLe) so NaN rows behave exactly
+/// like Value::Compare's Cmp, where NaN is three-way-equal to everything;
+/// kEq/kNe use IEEE == like Value::Equals, where NaN equals nothing.
+int FilterF64Scalar(const double* v, int n, LaneCmp op, double lit,
+                    std::vector<int32_t>* out) {
+  const size_t before = out->size();
+  for (int i = 0; i < n; ++i) {
+    bool keep = false;
+    switch (op) {
+      case LaneCmp::kEq:
+        keep = v[i] == lit;
+        break;
+      case LaneCmp::kNe:
+        keep = !(v[i] == lit);
+        break;
+      case LaneCmp::kLt:
+        keep = v[i] < lit;
+        break;
+      case LaneCmp::kLe:
+        keep = !(v[i] > lit);
+        break;
+      case LaneCmp::kGt:
+        keep = v[i] > lit;
+        break;
+      case LaneCmp::kGe:
+        keep = !(v[i] < lit);
+        break;
+      case LaneCmp::kMaskEq:
+        break;  // integer-only predicate: no double row passes
+    }
+    if (keep) out->push_back(i);
+  }
+  return static_cast<int>(out->size() - before);
+}
+
+}  // namespace
+
+bool EvalColumnPredicateValue(const ColumnPredicate& pred, const Value& v) {
+  if (pred.op == LaneCmp::kMaskEq) {
+    return v.type() == ValueType::kInt64 &&
+           (v.i64() & pred.mask) == pred.literal.i64();
+  }
+  // Expr::Eval(kCompare): NULL operand => NULL => EvalBool false.
+  if (v.is_null() || pred.literal.is_null()) return false;
+  switch (pred.op) {
+    case LaneCmp::kEq:
+      return v.Equals(pred.literal);
+    case LaneCmp::kNe:
+      return !v.Equals(pred.literal);
+    case LaneCmp::kLt:
+      return v.Compare(pred.literal) < 0;
+    case LaneCmp::kLe:
+      return v.Compare(pred.literal) <= 0;
+    case LaneCmp::kGt:
+      return v.Compare(pred.literal) > 0;
+    case LaneCmp::kGe:
+      return v.Compare(pred.literal) >= 0;
+    case LaneCmp::kMaskEq:
+      break;
+  }
+  return false;
+}
+
+bool EvalColumnPredicate(const ColumnPredicate& pred, const Tuple& t) {
+  return EvalColumnPredicateValue(pred, t[pred.column]);
+}
+
+int FilterChunk(const DataChunk& chunk, const ColumnPredicate& pred,
+                SelectionVector* sel) {
+  sel->Clear();
+  const int n = chunk.size();
+  if (n == 0) return 0;
+  const ColumnVector& col = chunk.column(pred.column);
+  const bool avx2 = CurrentSimdLevel() == SimdLevel::kAvx2;
+
+  // Dense int64 lane with an int64 literal: pure integer kernel. A
+  // double literal against int64 rows coerces through AsDouble in the
+  // row engine, so it takes the boxed fallback below to match exactly.
+  if (col.AllTag(ValueType::kInt64) &&
+      pred.literal.type() == ValueType::kInt64) {
+    const int64_t lit = pred.literal.i64();
+    return avx2 ? simd_avx2::FilterI64(col.I64Data(), n, pred.op, lit,
+                                       pred.mask, sel->MutableIndices())
+                : FilterI64Scalar(col.I64Data(), n, pred.op, lit, pred.mask,
+                                  sel->MutableIndices());
+  }
+
+  // Dense double lane with a numeric literal: coerce the literal once
+  // (exactly what Value::Compare/Equals do per row) and run the double
+  // kernel. kMaskEq is integer-only, handled inside the kernels.
+  if (col.AllTag(ValueType::kDouble) && pred.op != LaneCmp::kMaskEq &&
+      (pred.literal.type() == ValueType::kDouble ||
+       pred.literal.type() == ValueType::kInt64)) {
+    const double lit = pred.literal.type() == ValueType::kDouble
+                           ? pred.literal.f64()
+                           : static_cast<double>(pred.literal.i64());
+    return avx2 ? simd_avx2::FilterF64(col.F64Data(), n, pred.op, lit,
+                                       sel->MutableIndices())
+                : FilterF64Scalar(col.F64Data(), n, pred.op, lit,
+                                  sel->MutableIndices());
+  }
+
+  // Mixed tags (nulls, strings, bools, cross-type numerics): boxed
+  // per-row evaluation with full row-engine semantics.
+  int kept = 0;
+  for (int r = 0; r < n; ++r) {
+    if (EvalColumnPredicateValue(pred, col.GetValue(r))) {
+      sel->Append(r);
+      ++kept;
+    }
+  }
+  return kept;
+}
+
+}  // namespace fudj

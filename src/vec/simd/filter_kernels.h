@@ -1,0 +1,68 @@
+#ifndef FUDJ_VEC_SIMD_FILTER_KERNELS_H_
+#define FUDJ_VEC_SIMD_FILTER_KERNELS_H_
+
+#include <cstdint>
+
+#include "types/tuple.h"
+#include "types/value.h"
+#include "vec/data_chunk.h"
+#include "vec/selection_vector.h"
+#include "vec/simd/simd_internal.h"
+
+namespace fudj {
+
+/// A filter the vectorized engine can run without boxing: one column
+/// compared against one literal. Produced by the optimizer for simple
+/// `col <op> literal` conjuncts (see CompilePredicate) or built directly
+/// (e.g. kMaskEq for `col % 2^k == c`).
+///
+/// Semantics contract: FilterChunk keeps exactly the rows for which
+/// EvalColumnPredicate returns true, and EvalColumnPredicate reproduces
+/// Expr::Eval's kCompare on (column, literal) — NULL rows never pass,
+/// kEq/kNe go through Value::Equals, ordering ops through Value::Compare
+/// (so NaN doubles satisfy <= and >= against anything, and cross-type
+/// int/double rows coerce through AsDouble).
+struct ColumnPredicate {
+  int column = 0;
+  LaneCmp op = LaneCmp::kEq;
+  Value literal;    // kInt64 or kDouble
+  int64_t mask = 0;  // kMaskEq only: keep rows with (v & mask) == literal
+
+  static ColumnPredicate Cmp(int column, LaneCmp op, Value literal) {
+    ColumnPredicate p;
+    p.column = column;
+    p.op = op;
+    p.literal = std::move(literal);
+    return p;
+  }
+  /// `(v & mask) == value` on int64 rows; non-int64 rows never pass.
+  /// With mask = 2^k - 1 this is `v % 2^k == value` for any sign of v.
+  static ColumnPredicate MaskEq(int column, int64_t mask, int64_t value) {
+    ColumnPredicate p;
+    p.column = column;
+    p.op = LaneCmp::kMaskEq;
+    p.literal = Value::Int64(value);
+    p.mask = mask;
+    return p;
+  }
+};
+
+/// Row-path twin of FilterChunk; used by FilterRelation's row mode so
+/// both modes evaluate the identical predicate.
+bool EvalColumnPredicate(const ColumnPredicate& pred, const Tuple& t);
+
+/// Single-value form shared by the row path and the chunk path's
+/// mixed-tag fallback.
+bool EvalColumnPredicateValue(const ColumnPredicate& pred, const Value& v);
+
+/// Materializes the selection of rows of `chunk` passing `pred` into
+/// *sel (cleared first), in ascending row order. Uses the dense int64 /
+/// double lane kernels when the column's tags are uniform, dispatched on
+/// CurrentSimdLevel(); otherwise evaluates per row via
+/// EvalColumnPredicateValue. Returns the number of selected rows.
+int FilterChunk(const DataChunk& chunk, const ColumnPredicate& pred,
+                SelectionVector* sel);
+
+}  // namespace fudj
+
+#endif  // FUDJ_VEC_SIMD_FILTER_KERNELS_H_

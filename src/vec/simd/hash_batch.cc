@@ -1,0 +1,44 @@
+#include "vec/simd/hash_batch.h"
+
+#include "common/hash.h"
+#include "vec/simd/simd.h"
+#include "vec/simd/simd_internal.h"
+
+namespace fudj {
+
+namespace {
+
+// Seed must match DataChunk::HashColumns / HashTupleColumns exactly.
+constexpr uint64_t kHashSeed = 0x12345678abcdefULL;
+
+void CombineDenseI64Scalar(const int64_t* v, int n, uint64_t* acc) {
+  for (int i = 0; i < n; ++i) {
+    acc[i] = HashCombine(acc[i], Mix64(static_cast<uint64_t>(v[i])));
+  }
+}
+
+}  // namespace
+
+void HashColumnsBatch(const DataChunk& chunk, const std::vector<int>& cols,
+                      std::vector<uint64_t>* out) {
+  const int n = chunk.size();
+  out->assign(static_cast<size_t>(n), kHashSeed);
+  if (n == 0) return;
+  const bool avx2 = CurrentSimdLevel() == SimdLevel::kAvx2;
+  for (int c : cols) {
+    const ColumnVector& col = chunk.column(c);
+    if (col.AllTag(ValueType::kInt64)) {
+      if (avx2) {
+        simd_avx2::HashI64LaneCombine(col.I64Data(), n, out->data());
+      } else {
+        CombineDenseI64Scalar(col.I64Data(), n, out->data());
+      }
+      continue;
+    }
+    for (int r = 0; r < n; ++r) {
+      (*out)[r] = HashCombine((*out)[r], col.HashValueAt(r));
+    }
+  }
+}
+
+}  // namespace fudj

@@ -1,0 +1,23 @@
+#ifndef FUDJ_VEC_SIMD_HASH_BATCH_H_
+#define FUDJ_VEC_SIMD_HASH_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "vec/data_chunk.h"
+
+namespace fudj {
+
+/// Hashes every row of `chunk` over `cols` in one call, resizing *out to
+/// chunk.size(). out[r] == chunk.HashColumns(r, cols) for every r — the
+/// batch form exists so dense int64 key columns can run through the
+/// vectorized Mix64/HashCombine kernel a column at a time instead of
+/// re-dispatching per row; columns with mixed tags (nulls, strings,
+/// doubles) fall back to the per-row HashValueAt path for that column
+/// only. Dispatches on CurrentSimdLevel().
+void HashColumnsBatch(const DataChunk& chunk, const std::vector<int>& cols,
+                      std::vector<uint64_t>* out);
+
+}  // namespace fudj
+
+#endif  // FUDJ_VEC_SIMD_HASH_BATCH_H_

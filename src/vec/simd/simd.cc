@@ -1,0 +1,47 @@
+#include "vec/simd/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace fudj {
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel DetectedSimdLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const SimdLevel detected =
+      __builtin_cpu_supports("avx2") ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  return detected;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+namespace internal {
+
+SimdLevel InitialSimdLevel() {
+  const char* env = std::getenv("FUDJ_SIMD");
+  if (env != nullptr &&
+      (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0 ||
+       std::strcmp(env, "0") == 0)) {
+    return SimdLevel::kScalar;
+  }
+  return DetectedSimdLevel();
+}
+
+}  // namespace internal
+
+void SetSimdLevel(SimdLevel level) {
+  if (level > DetectedSimdLevel()) level = DetectedSimdLevel();
+  internal::g_simd_level.store(level, std::memory_order_relaxed);
+}
+
+}  // namespace fudj

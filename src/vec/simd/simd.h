@@ -1,0 +1,62 @@
+#ifndef FUDJ_VEC_SIMD_SIMD_H_
+#define FUDJ_VEC_SIMD_SIMD_H_
+
+#include <atomic>
+
+namespace fudj {
+
+/// Instruction-set level the data-parallel kernels (src/vec/simd) run at.
+///
+///  - kScalar: portable fallback, compiled unconditionally on every
+///    target. The reference implementation for byte-identity tests.
+///  - kAvx2:   256-bit integer/double kernels, compiled into their own
+///    translation unit with -mavx2 and selected only when the CPU
+///    reports AVX2 at runtime.
+///
+/// Every kernel computes bit-identical results at every level — the
+/// level is a throughput knob, never a semantics knob. Tests and the
+/// forced-fallback CI job pin kScalar and byte-compare whole pipelines
+/// against the dispatched run.
+enum class SimdLevel { kScalar, kAvx2 };
+
+const char* SimdLevelName(SimdLevel level);
+
+/// Highest level the executing CPU supports (detected once per process).
+SimdLevel DetectedSimdLevel();
+
+namespace internal {
+SimdLevel InitialSimdLevel();
+inline std::atomic<SimdLevel> g_simd_level{InitialSimdLevel()};
+}  // namespace internal
+
+/// Process-wide dispatch level consulted by every kernel call site.
+/// Initialized to the detected level, or pinned to kScalar when the
+/// FUDJ_SIMD environment variable is "off"/"scalar"/"0" at startup.
+inline SimdLevel CurrentSimdLevel() {
+  return internal::g_simd_level.load(std::memory_order_relaxed);
+}
+
+/// Clamps to the detected level: requesting kAvx2 on a non-AVX2 CPU
+/// leaves the process on kScalar.
+void SetSimdLevel(SimdLevel level);
+
+/// RAII dispatch override for tests and A/B benchmarks. Like
+/// ScopedExecMode this toggles a process-wide default; concurrent
+/// queries observing a temporary override only change speed, never
+/// results (all levels are bit-identical).
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) : saved_(CurrentSimdLevel()) {
+    SetSimdLevel(level);
+  }
+  ~ScopedSimdLevel() { SetSimdLevel(saved_); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  SimdLevel saved_;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_VEC_SIMD_SIMD_H_

@@ -1,0 +1,324 @@
+// The only translation unit compiled with -mavx2 (see src/CMakeLists.txt).
+// Every kernel here is the bit-exact vector transcription of a scalar
+// reference in src/common/hash.h, filter_kernels.cc, plane_sweep.cc, or
+// token_prefix.cc; call sites dispatch on CurrentSimdLevel(), so nothing
+// in this file runs on a CPU without AVX2.
+
+#include "vec/simd/simd_internal.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace fudj {
+namespace simd_avx2 {
+
+namespace {
+
+/// Low 64 bits of the lane-wise product — AVX2 has no 64-bit multiply,
+/// so compose it from 32x32 partial products:
+/// lo(a*b) = lo32(a)*lo32(b) + ((hi32(a)*lo32(b) + lo32(a)*hi32(b)) << 32).
+inline __m256i Mul64(__m256i a, __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a_hi, b),
+                                         _mm256_mul_epu32(a, b_hi));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// Lane-wise Mix64 (MurmurHash3 fmix64), bit-identical to common/hash.h.
+inline __m256i Mix64V(__m256i k) {
+  k = _mm256_xor_si256(k, _mm256_srli_epi64(k, 33));
+  k = Mul64(k, _mm256_set1_epi64x(
+                   static_cast<long long>(0xff51afd7ed558ccdULL)));
+  k = _mm256_xor_si256(k, _mm256_srli_epi64(k, 33));
+  k = Mul64(k, _mm256_set1_epi64x(
+                   static_cast<long long>(0xc4ceb9fe1a85ec53ULL)));
+  k = _mm256_xor_si256(k, _mm256_srli_epi64(k, 33));
+  return k;
+}
+
+/// Lane-wise HashCombine: a ^ (b + K + (a << 12) + (a >> 4)).
+inline __m256i HashCombineV(__m256i a, __m256i b) {
+  __m256i t = _mm256_add_epi64(
+      b, _mm256_set1_epi64x(static_cast<long long>(0x9e3779b97f4a7c15ULL)));
+  t = _mm256_add_epi64(t, _mm256_slli_epi64(a, 12));
+  t = _mm256_add_epi64(t, _mm256_srli_epi64(a, 4));
+  return _mm256_xor_si256(a, t);
+}
+
+inline uint64_t ScalarMix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+inline uint64_t ScalarHashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+/// Appends the set bits of a 4-bit movemask as indices base+lane, in
+/// ascending lane order (preserving row order in selections and sweeps).
+inline void AppendMaskBits(int mask4, int32_t base,
+                           std::vector<int32_t>* out) {
+  while (mask4 != 0) {
+    const int lane = __builtin_ctz(static_cast<unsigned>(mask4));
+    out->push_back(base + lane);
+    mask4 &= mask4 - 1;
+  }
+}
+
+}  // namespace
+
+void HashI64LaneCombine(const int64_t* v, int n, uint64_t* acc) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(v + i));
+    const __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(acc + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        HashCombineV(a, Mix64V(x)));
+  }
+  for (; i < n; ++i) {
+    acc[i] = ScalarHashCombine(acc[i],
+                               ScalarMix64(static_cast<uint64_t>(v[i])));
+  }
+}
+
+int FilterI64(const int64_t* v, int n, LaneCmp op, int64_t lit,
+              int64_t mask, std::vector<int32_t>* out) {
+  const size_t before = out->size();
+  const __m256i vlit = _mm256_set1_epi64x(lit);
+  const __m256i vmask = _mm256_set1_epi64x(mask);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(v + i));
+    __m256i m;
+    bool invert = false;
+    switch (op) {
+      case LaneCmp::kEq:
+        m = _mm256_cmpeq_epi64(x, vlit);
+        break;
+      case LaneCmp::kNe:
+        m = _mm256_cmpeq_epi64(x, vlit);
+        invert = true;
+        break;
+      case LaneCmp::kLt:
+        m = _mm256_cmpgt_epi64(vlit, x);
+        break;
+      case LaneCmp::kLe:
+        m = _mm256_cmpgt_epi64(x, vlit);
+        invert = true;
+        break;
+      case LaneCmp::kGt:
+        m = _mm256_cmpgt_epi64(x, vlit);
+        break;
+      case LaneCmp::kGe:
+        m = _mm256_cmpgt_epi64(vlit, x);
+        invert = true;
+        break;
+      case LaneCmp::kMaskEq:
+        m = _mm256_cmpeq_epi64(_mm256_and_si256(x, vmask), vlit);
+        break;
+    }
+    int bits = _mm256_movemask_pd(_mm256_castsi256_pd(m));
+    if (invert) bits ^= 0xF;
+    AppendMaskBits(bits, i, out);
+  }
+  for (; i < n; ++i) {
+    bool keep = false;
+    switch (op) {
+      case LaneCmp::kEq:
+        keep = v[i] == lit;
+        break;
+      case LaneCmp::kNe:
+        keep = v[i] != lit;
+        break;
+      case LaneCmp::kLt:
+        keep = v[i] < lit;
+        break;
+      case LaneCmp::kLe:
+        keep = v[i] <= lit;
+        break;
+      case LaneCmp::kGt:
+        keep = v[i] > lit;
+        break;
+      case LaneCmp::kGe:
+        keep = v[i] >= lit;
+        break;
+      case LaneCmp::kMaskEq:
+        keep = (v[i] & mask) == lit;
+        break;
+    }
+    if (keep) out->push_back(i);
+  }
+  return static_cast<int>(out->size() - before);
+}
+
+int FilterF64(const double* v, int n, LaneCmp op, double lit,
+              std::vector<int32_t>* out) {
+  if (op == LaneCmp::kMaskEq) return 0;  // integer-only predicate
+  const size_t before = out->size();
+  const __m256d vlit = _mm256_set1_pd(lit);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(v + i);
+    __m256d m;
+    switch (op) {
+      case LaneCmp::kEq:
+        m = _mm256_cmp_pd(x, vlit, _CMP_EQ_OQ);
+        break;
+      case LaneCmp::kNe:
+        m = _mm256_cmp_pd(x, vlit, _CMP_NEQ_UQ);
+        break;
+      case LaneCmp::kLt:
+        m = _mm256_cmp_pd(x, vlit, _CMP_LT_OQ);
+        break;
+      case LaneCmp::kLe:
+        // Value::Compare's Cmp gives NaN rows c == 0, so `<=` holds;
+        // NGT (unordered-true) reproduces that.
+        m = _mm256_cmp_pd(x, vlit, _CMP_NGT_UQ);
+        break;
+      case LaneCmp::kGt:
+        m = _mm256_cmp_pd(x, vlit, _CMP_GT_OQ);
+        break;
+      case LaneCmp::kGe:
+        m = _mm256_cmp_pd(x, vlit, _CMP_NLT_UQ);
+        break;
+      case LaneCmp::kMaskEq:
+        m = _mm256_setzero_pd();
+        break;
+    }
+    AppendMaskBits(_mm256_movemask_pd(m), i, out);
+  }
+  for (; i < n; ++i) {
+    bool keep = false;
+    switch (op) {
+      case LaneCmp::kEq:
+        keep = v[i] == lit;
+        break;
+      case LaneCmp::kNe:
+        keep = !(v[i] == lit);
+        break;
+      case LaneCmp::kLt:
+        keep = v[i] < lit;
+        break;
+      case LaneCmp::kLe:
+        keep = !(v[i] > lit);
+        break;
+      case LaneCmp::kGt:
+        keep = v[i] > lit;
+        break;
+      case LaneCmp::kGe:
+        keep = !(v[i] < lit);
+        break;
+      case LaneCmp::kMaskEq:
+        break;
+    }
+    if (keep) out->push_back(i);
+  }
+  return static_cast<int>(out->size() - before);
+}
+
+void SweepScan(const double* min_x, const double* min_y,
+               const double* max_x, const double* max_y,
+               const uint64_t* nonempty, size_t n, size_t start,
+               double q_min_x, double q_min_y, double q_max_x,
+               double q_max_y, std::vector<int32_t>* out) {
+  const __m256d qminx = _mm256_set1_pd(q_min_x);
+  const __m256d qminy = _mm256_set1_pd(q_min_y);
+  const __m256d qmaxx = _mm256_set1_pd(q_max_x);
+  const __m256d qmaxy = _mm256_set1_pd(q_max_y);
+  size_t k = start;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d rminx = _mm256_loadu_pd(min_x + k);
+    // Window condition of the sweep's inner loop: r.min_x <= q.max_x.
+    const __m256d cont = _mm256_cmp_pd(rminx, qmaxx, _CMP_LE_OQ);
+    const int cont_bits = _mm256_movemask_pd(cont);
+    __m256d m = _mm256_and_pd(
+        cont, _mm256_castsi256_pd(_mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(nonempty + k))));
+    m = _mm256_and_pd(
+        m, _mm256_cmp_pd(_mm256_loadu_pd(max_x + k), qminx, _CMP_GE_OQ));
+    m = _mm256_and_pd(
+        m, _mm256_cmp_pd(_mm256_loadu_pd(min_y + k), qmaxy, _CMP_LE_OQ));
+    m = _mm256_and_pd(
+        m, _mm256_cmp_pd(_mm256_loadu_pd(max_y + k), qminy, _CMP_GE_OQ));
+    int bits = _mm256_movemask_pd(m);
+    if (cont_bits != 0xF) {
+      // The scalar loop stops at the first failing k: mask off that
+      // lane and everything after it, emit, and end the scan.
+      const int limit =
+          __builtin_ctz(static_cast<unsigned>(~cont_bits & 0xF));
+      bits &= (1 << limit) - 1;
+      AppendMaskBits(bits, static_cast<int32_t>(k), out);
+      return;
+    }
+    AppendMaskBits(bits, static_cast<int32_t>(k), out);
+  }
+  for (; k < n; ++k) {
+    if (!(min_x[k] <= q_max_x)) return;
+    if (nonempty[k] != 0 && max_x[k] >= q_min_x && min_y[k] <= q_max_y &&
+        max_y[k] >= q_min_y) {
+      out->push_back(static_cast<int32_t>(k));
+    }
+  }
+}
+
+size_t CountLessU64(const uint64_t* v, size_t n, uint64_t bound) {
+  const __m256i bias =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  const __m256i vb = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(bound)), bias);
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256i x = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + k)), bias);
+    const int less =
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(vb, x)));
+    if (less == 0xF) continue;
+    return k + __builtin_ctz(static_cast<unsigned>(~less & 0xF));
+  }
+  for (; k < n; ++k) {
+    if (!(v[k] < bound)) break;
+  }
+  return k;
+}
+
+}  // namespace simd_avx2
+}  // namespace fudj
+
+#else  // !x86
+
+#include <cstdlib>
+
+namespace fudj {
+namespace simd_avx2 {
+
+// Unreachable on non-x86 targets: DetectedSimdLevel() never reports
+// kAvx2 there, so dispatch cannot land here.
+void HashI64LaneCombine(const int64_t*, int, uint64_t*) { std::abort(); }
+int FilterI64(const int64_t*, int, LaneCmp, int64_t, int64_t,
+              std::vector<int32_t>*) {
+  std::abort();
+}
+int FilterF64(const double*, int, LaneCmp, double, std::vector<int32_t>*) {
+  std::abort();
+}
+void SweepScan(const double*, const double*, const double*, const double*,
+               const uint64_t*, size_t, size_t, double, double, double,
+               double, std::vector<int32_t>*) {
+  std::abort();
+}
+size_t CountLessU64(const uint64_t*, size_t, uint64_t) { std::abort(); }
+
+}  // namespace simd_avx2
+}  // namespace fudj
+
+#endif

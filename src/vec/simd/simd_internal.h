@@ -1,0 +1,56 @@
+#ifndef FUDJ_VEC_SIMD_SIMD_INTERNAL_H_
+#define FUDJ_VEC_SIMD_SIMD_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fudj {
+
+/// Comparison kinds the vectorized filter kernels implement. kEq..kGe
+/// mirror the row engine's CompareOp semantics on a typed lane; kMaskEq
+/// is `(v & mask) == value` — the normal form of modulo-by-power-of-two
+/// predicates (`v % 2 == 0` compiles to mask 1, value 0, exact for
+/// negative values too).
+enum class LaneCmp { kEq, kNe, kLt, kLe, kGt, kGe, kMaskEq };
+
+namespace simd_avx2 {
+
+/// AVX2 kernel entry points, implemented in simd_avx2.cc (the only TU
+/// compiled with -mavx2). Call sites must check CurrentSimdLevel() ==
+/// SimdLevel::kAvx2 first; on non-x86 builds these abort if reached.
+
+/// acc[i] = HashCombine(acc[i], Mix64(uint64(v[i]))) for i in [0, n).
+void HashI64LaneCombine(const int64_t* v, int n, uint64_t* acc);
+
+/// Appends the indices i in [0, n) with `v[i] <op> lit` (int64 lane,
+/// mask used by kMaskEq) to out, ascending. Returns the match count.
+int FilterI64(const int64_t* v, int n, LaneCmp op, int64_t lit,
+              int64_t mask, std::vector<int32_t>* out);
+
+/// Double-lane filter with the row engine's NaN behavior: ordering ops
+/// evaluate through Value::Compare's three-way Cmp (NaN compares equal
+/// to everything), kEq/kNe through Value::Equals (NaN equals nothing).
+int FilterF64(const double* v, int n, LaneCmp op, double lit,
+              std::vector<int32_t>* out);
+
+/// Plane-sweep window scan over an SoA of rectangles: visits k = start,
+/// start+1, ... while min_x[k] <= q_max_x (stopping at the first k that
+/// fails, like the scalar sweep loop), appending every k whose
+/// rectangle is non-empty and intersects the query rect to *out in
+/// ascending order. nonempty[k] is all-ones for a non-empty rect, 0
+/// otherwise. The query rect must be non-empty.
+void SweepScan(const double* min_x, const double* min_y,
+               const double* max_x, const double* max_y,
+               const uint64_t* nonempty, size_t n, size_t start,
+               double q_min_x, double q_min_y, double q_max_x,
+               double q_max_y, std::vector<int32_t>* out);
+
+/// Length of the leading run of v[0..n) with v[k] < bound (unsigned),
+/// i.e. the number of merge steps a sorted-intersection can skip.
+size_t CountLessU64(const uint64_t* v, size_t n, uint64_t bound);
+
+}  // namespace simd_avx2
+}  // namespace fudj
+
+#endif  // FUDJ_VEC_SIMD_SIMD_INTERNAL_H_
