@@ -8,17 +8,23 @@
 //   * the vectorized chunk pipeline (src/vec) vs. the row path on
 //     filter → project → hash join.
 //
-// `bench_micro --smoke` skips google-benchmark and runs four one-shot
+// `bench_micro --smoke` skips google-benchmark and runs five one-shot
 // comparisons: the chunk pipeline (BENCH_vec.json, fails if the two
 // paths diverge or the chunk path is slower than the row path), the
 // COMBINE kernel-vs-pairwise A/B (BENCH_combine.json, fails if outputs
 // differ or the kernel is less than 2x faster), the skew-adaptive
 // COMBINE A/B on a Zipf(1.1) bucket workload (BENCH_skew.json, fails if
 // outputs differ or adaptive splitting is less than 1.5x faster in
-// simulated time), and the memory-governed spill A/B on a uniform
+// simulated time), the memory-governed spill A/B on a uniform
 // bucket workload (BENCH_spill.json, fails if a tight budget changes
 // the output bytes, never spills, or costs more than 1.5x simulated
-// time). `--threads=off|<count>` selects sequential partition execution
+// time), and the adaptive re-planning A/B (BENCH_adaptive.json): a
+// stats-fed strategy switch on a big x tiny interval join (warm store
+// must flip theta -> broadcast-NLJ at >= 2x simulated speedup) plus a
+// histogram-driven DIVIDE re-plan on a skewed hot-window join (warm
+// store must cut COMBINE skew splits), both returning the byte-identical
+// result set as the static plan.
+// `--threads=off|<count>` selects sequential partition execution
 // or an explicit pool size; see ParseFaultFlags for the --fault-*= /
 // --memory-budget= / --spill-dir= chaos knobs.
 
@@ -32,16 +38,21 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "catalog/catalog.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "datagen/datagen.h"
 #include "engine/operators.h"
+#include "fudj/join_registry.h"
 #include "geometry/grid.h"
 #include "geometry/plane_sweep.h"
 #include "joins/interval_fudj.h"
 #include "joins/spatial_fudj.h"
 #include "joins/textsim_fudj.h"
 #include "obs/profile.h"
+#include "obs/query_stats.h"
+#include "optimizer/adaptive/adaptive_planner.h"
+#include "optimizer/optimizer.h"
 #include "serde/serde.h"
 #include "text/jaccard.h"
 #include "text/tokenizer.h"
@@ -1301,6 +1312,269 @@ int RunSpillSmoke() {
   return 0;
 }
 
+// ---- --smoke: adaptive re-planning A/B, emits BENCH_adaptive.json ----
+
+// Skewed interval table for the replan leg: a dense hot window (one
+// static granule's worth of rides) plus a few outliers that stretch the
+// timeline, so the static equi-width DIVIDE funnels the hot window's
+// candidate pairs into one COMBINE bucket — over the skew-split cutoff —
+// while equi-depth re-planning slices it along the observed mass.
+std::vector<Tuple> MakeSkewedRides(int64_t phase) {
+  std::vector<Tuple> rows;
+  for (int64_t i = 0; i < 550; ++i) {
+    const int64_t start = 1000000 + i * 9 + phase;
+    rows.push_back({Value::Int64(i), Value::Int64(0),
+                    Value::Intv(Interval(start, start + 200))});
+  }
+  for (int64_t i = 0; i < 50; ++i) {
+    const int64_t start = i * 40000;
+    rows.push_back({Value::Int64(550 + i), Value::Int64(1),
+                    Value::Intv(Interval(start, start + 100))});
+  }
+  return rows;
+}
+
+// Rows as an order-insensitive multiset: the adaptive planner guarantees
+// byte identity of the result *set* (a switched strategy or re-bucketed
+// DIVIDE may emit in a different order).
+std::vector<std::string> RowSet(const std::vector<Tuple>& rows) {
+  std::vector<std::string> keys;
+  keys.reserve(rows.size());
+  for (const Tuple& row : rows) {
+    std::string k;
+    for (const Value& v : row) {
+      k += v.ToString();
+      k += '|';
+    }
+    keys.push_back(std::move(k));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// Appends `n` usable records mirroring an observed run, so the warm leg
+// plans from exactly the history the cold leg produced.
+Status SeedStoreFromRun(QueryStatsStore* store, const QueryOutput& out,
+                        int n) {
+  for (int i = 0; i < n; ++i) {
+    QueryStatsRecord r;
+    r.shape.join_name = out.join_name;
+    r.shape.strategy = out.strategy;
+    r.shape.num_tables = out.num_tables;
+    r.shape.aggregated = out.aggregated;
+    r.state = "succeeded";
+    r.outcome = "succeeded";
+    r.sim_ms = out.stats.simulated_ms();
+    r.bucket_splits = out.stats.bucket_splits();
+    FUDJ_RETURN_NOT_OK(store->Append(r));
+  }
+  return Status::OK();
+}
+
+// Closes the adaptive-optimization loop end to end, in two legs sharing
+// one cluster:
+//
+//  * Strategy switch — a 20k-row interval table joined against a 5-row
+//    window table. The static theta plan pays full SUMMARIZE/DIVIDE/
+//    PARTITION passes plus the left side's shuffle; after two observed
+//    runs are appended to a throwaway query-stats store, the warm rerun
+//    must switch to broadcast-NLJ (est from the calibrated cost model)
+//    and beat the static plan on simulated time. Interleaved best-of-3
+//    per side keeps host scheduling noise out of the ratio.
+//  * DIVIDE re-plan — the skewed hot-window join. The static plan's hot
+//    bucket forces COMBINE skew splits; the warm rerun derives
+//    equi-depth granules from the live SUMMARIZE histogram (with the
+//    split-history 2x boost) and must eliminate the splits.
+//
+// Both legs must return the byte-identical result set; the speedup and
+// the split reduction are CI-gated via baseline_gates.json.
+int RunAdaptivePlanningSmoke() {
+  const int workers = 4;
+  const int reps = 3;
+  const std::string store_path = "BENCH_adaptive_stats.jsonl";
+  std::remove(store_path.c_str());
+
+  RegisterBundledJoinLibraries();
+  Cluster cluster(workers, g_threads.use_threads, g_threads.pool_threads);
+  Catalog catalog;
+  std::vector<Tuple> rides;
+  rides.reserve(20000);
+  for (int64_t i = 0; i < 20000; ++i) {
+    const int64_t start = (i * 9973) % 2000000;
+    rides.push_back({Value::Int64(i), Value::Int64(0),
+                     Value::Intv(Interval(start, start + 300))});
+  }
+  std::vector<Tuple> windows;
+  for (int64_t i = 0; i < 5; ++i) {
+    const int64_t start = i * 400000;
+    windows.push_back({Value::Int64(i), Value::Int64(1),
+                       Value::Intv(Interval(start, start + 2000))});
+  }
+  Status st = catalog.RegisterDataset(
+      "rides", PartitionedRelation::FromTuples(TaxiSchema(),
+                                               std::move(rides), workers));
+  if (st.ok()) {
+    st = catalog.RegisterDataset(
+        "windows", PartitionedRelation::FromTuples(
+                       TaxiSchema(), std::move(windows), workers));
+  }
+  if (st.ok()) {
+    st = catalog.RegisterDataset(
+        "hotleft", PartitionedRelation::FromTuples(TaxiSchema(),
+                                                   MakeSkewedRides(0),
+                                                   workers));
+  }
+  if (st.ok()) {
+    st = catalog.RegisterDataset(
+        "hotright", PartitionedRelation::FromTuples(TaxiSchema(),
+                                                    MakeSkewedRides(3),
+                                                    workers));
+  }
+  if (st.ok()) {
+    auto ddl = ExecuteSql(
+        &cluster, &catalog,
+        "CREATE JOIN overlapping_interval(a: interval, b: interval) "
+        "RETURNS boolean AS \"interval.IntervalJoin\" AT flexiblejoins "
+        "PARAMS (200)");
+    if (!ddl.ok()) st = ddl.status();
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "adaptive smoke setup failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  // --- leg 1: stats-fed strategy switch on the big x tiny join.
+  const char* kSwitchQuery =
+      "SELECT l.id, r.id FROM rides l, windows r WHERE "
+      "overlapping_interval(l.ride_interval, r.ride_interval)";
+  QueryStatsStore store(store_path);
+  auto seed = ExecuteSql(&cluster, &catalog, kSwitchQuery);
+  if (seed.ok()) st = SeedStoreFromRun(&store, *seed, 2);
+  if (st.ok() && seed.ok()) {
+    AdaptivePlanningContext ctx;
+    ctx.store = &store;
+    ctx.workers = workers;
+    double cold_ms = 1e300;
+    double warm_ms = 1e300;
+    std::string chosen;
+    bool identical = true;
+    int64_t out_rows = 0;
+    for (int rep = 0; rep < reps && st.ok(); ++rep) {
+      auto cold = ExecuteSql(&cluster, &catalog, kSwitchQuery);
+      auto warm = ExecuteSql(&cluster, &catalog, kSwitchQuery, &ctx);
+      if (!cold.ok() || !warm.ok()) {
+        st = cold.ok() ? warm.status() : cold.status();
+        break;
+      }
+      cold_ms = std::min(cold_ms, cold->stats.simulated_ms());
+      warm_ms = std::min(warm_ms, warm->stats.simulated_ms());
+      chosen = warm->adaptive.chosen;
+      identical = identical && RowSet(cold->rows) == RowSet(warm->rows);
+      out_rows = static_cast<int64_t>(warm->rows.size());
+    }
+    if (st.ok()) {
+      const double sim_speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+
+      // --- leg 2: histogram-driven DIVIDE re-plan on the skewed join.
+      const char* kReplanQuery =
+          "SELECT l.id, r.id FROM hotleft l, hotright r WHERE "
+          "overlapping_interval(l.ride_interval, r.ride_interval)";
+      QueryStatsStore replan_store(store_path + ".replan");
+      auto base = ExecuteSql(&cluster, &catalog, kReplanQuery);
+      if (base.ok()) st = SeedStoreFromRun(&replan_store, *base, 2);
+      if (st.ok() && base.ok()) {
+        AdaptivePlanningContext rctx;
+        rctx.store = &replan_store;
+        rctx.workers = workers;
+        auto warm2 = ExecuteSql(&cluster, &catalog, kReplanQuery, &rctx);
+        std::remove(store_path.c_str());
+        std::remove((store_path + ".replan").c_str());
+        if (!warm2.ok()) {
+          std::fprintf(stderr, "adaptive smoke (replan) failed: %s\n",
+                       warm2.status().ToString().c_str());
+          return 1;
+        }
+        const int64_t cold_splits = base->stats.bucket_splits();
+        const int64_t warm_splits = warm2->stats.bucket_splits();
+        const int64_t split_reduction = cold_splits - warm_splits;
+        const double boost = warm2->adaptive.bucket_boost;
+        identical =
+            identical && RowSet(base->rows) == RowSet(warm2->rows);
+
+        FILE* f = std::fopen("BENCH_adaptive.json", "w");
+        if (f != nullptr) {
+          std::fprintf(
+              f,
+              "{\n"
+              "  \"benchmark\": \"adaptive_replanning\",\n"
+              "  \"workers\": %d,\n"
+              "  \"reps\": %d,\n"
+              "  \"cold_ms\": %.3f,\n"
+              "  \"warm_ms\": %.3f,\n"
+              "  \"sim_speedup\": %.3f,\n"
+              "  \"chosen\": \"%s\",\n"
+              "  \"switch_rows\": %lld,\n"
+              "  \"identical_bytes\": %d,\n"
+              "  \"cold_splits\": %lld,\n"
+              "  \"warm_splits\": %lld,\n"
+              "  \"split_reduction\": %lld,\n"
+              "  \"divide_boost\": %.1f\n"
+              "}\n",
+              workers, reps, cold_ms, warm_ms, sim_speedup,
+              chosen.c_str(), static_cast<long long>(out_rows),
+              identical ? 1 : 0, static_cast<long long>(cold_splits),
+              static_cast<long long>(warm_splits),
+              static_cast<long long>(split_reduction), boost);
+          CloseBenchJson(f, "BENCH_adaptive.json");
+        }
+
+        std::printf(
+            "adaptive smoke: workers=%d switch cold=%.3fms warm=%.3fms "
+            "speedup=%.2fx chosen=%s | replan splits %lld->%lld "
+            "boost=%.1fx identical=%s\n",
+            workers, cold_ms, warm_ms, sim_speedup, chosen.c_str(),
+            static_cast<long long>(cold_splits),
+            static_cast<long long>(warm_splits), boost,
+            identical ? "yes" : "NO");
+        if (!identical) {
+          std::fprintf(stderr,
+                       "smoke FAILED: adaptive output diverges from the "
+                       "static plan\n");
+          return 1;
+        }
+        if (chosen != "broadcast-nlj") {
+          std::fprintf(stderr,
+                       "smoke FAILED: warm store never switched the "
+                       "strategy (chose %s)\n",
+                       chosen.c_str());
+          return 1;
+        }
+        if (sim_speedup < 2.0) {
+          std::fprintf(stderr,
+                       "smoke FAILED: strategy switch below 2.0x "
+                       "simulated speedup\n");
+          return 1;
+        }
+        if (split_reduction < 1) {
+          std::fprintf(stderr,
+                       "smoke FAILED: warm rerun did not cut COMBINE "
+                       "bucket splits\n");
+          return 1;
+        }
+        return 0;
+      }
+      if (st.ok()) st = base.status();
+    }
+  }
+  if (st.ok() && !seed.ok()) st = seed.status();
+  std::remove(store_path.c_str());
+  std::remove((store_path + ".replan").c_str());
+  std::fprintf(stderr, "adaptive smoke failed: %s\n",
+               st.ToString().c_str());
+  return 1;
+}
+
 }  // namespace
 }  // namespace fudj
 
@@ -1313,9 +1587,11 @@ int main(int argc, char** argv) {
       const int combine = fudj::RunCombineKernelSmoke();
       const int skew = fudj::RunSkewAdaptiveSmoke();
       const int spill = fudj::RunSpillSmoke();
+      const int adaptive = fudj::RunAdaptivePlanningSmoke();
       if (vec != 0) return vec;
       if (combine != 0) return combine;
-      return skew != 0 ? skew : spill;
+      if (skew != 0) return skew;
+      return spill != 0 ? spill : adaptive;
     }
   }
   // Strip the flags already consumed above so google-benchmark does not

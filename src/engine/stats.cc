@@ -89,6 +89,10 @@ void ExecStats::AddWarning(std::string message) {
   warnings_.push_back(std::move(message));
 }
 
+void ExecStats::AddNote(std::string message) {
+  notes_.push_back(std::move(message));
+}
+
 void ExecStats::Merge(const ExecStats& other) {
   simulated_ms_ += other.simulated_ms_;
   wall_ms_ += other.wall_ms_;
@@ -109,6 +113,7 @@ void ExecStats::Merge(const ExecStats& other) {
   stages_.insert(stages_.end(), other.stages_.begin(), other.stages_.end());
   warnings_.insert(warnings_.end(), other.warnings_.begin(),
                    other.warnings_.end());
+  notes_.insert(notes_.end(), other.notes_.begin(), other.notes_.end());
 }
 
 std::string ExecStats::ToString() const {
@@ -159,6 +164,9 @@ std::string ExecStats::ToString() const {
   }
   for (const std::string& w : warnings_) {
     out += "  warning: " + w + "\n";
+  }
+  for (const std::string& n : notes_) {
+    out += "  note: " + n + "\n";
   }
   return out;
 }

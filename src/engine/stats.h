@@ -95,6 +95,11 @@ class ExecStats {
   /// the broadcast-NLJ fallback).
   void AddWarning(std::string message);
 
+  /// Records an informational plan annotation (e.g. the adaptive DIVIDE
+  /// re-plan applied). Unlike warnings, notes never indicate a problem —
+  /// telemetry's degrade detection must not trip on them.
+  void AddNote(std::string message);
+
   /// Merges another query's stats into this one (multi-query plans).
   void Merge(const ExecStats& other);
 
@@ -106,6 +111,7 @@ class ExecStats {
   void set_output_rows(int64_t n) { output_rows_ = n; }
   const std::vector<StageStat>& stages() const { return stages_; }
   const std::vector<std::string>& warnings() const { return warnings_; }
+  const std::vector<std::string>& notes() const { return notes_; }
 
   /// Fault-tolerance aggregates over all stages.
   int64_t total_retries() const { return total_retries_; }
@@ -151,6 +157,7 @@ class ExecStats {
  private:
   std::vector<StageStat> stages_;
   std::vector<std::string> warnings_;
+  std::vector<std::string> notes_;
   double simulated_ms_ = 0.0;
   double wall_ms_ = 0.0;
   int64_t bytes_shuffled_ = 0;

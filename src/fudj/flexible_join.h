@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "fudj/key_histogram.h"
 #include "fudj/pplan.h"
 #include "fudj/summary.h"
 #include "types/value.h"
@@ -76,6 +77,26 @@ class FlexibleJoin {
   /// parameters) into a partitioning plan.
   virtual Result<std::unique_ptr<PPlan>> Divide(
       const Summary& left, const Summary& right) const = 0;
+
+  /// Adaptive divide(S1, S2, hints): like Divide, but additionally sees
+  /// the live SUMMARIZE key histograms and history-derived knobs
+  /// (DivideHints). Joins that can re-plan bucket boundaries or
+  /// bucket/grid counts override this (and SupportsAdaptiveDivide);
+  /// the contract is:
+  ///  * Degenerate or missing histograms MUST fall back to the static
+  ///    Divide plan — never emit zero-width or empty buckets.
+  ///  * The returned plan must keep the join's output set identical to
+  ///    the static plan's (only the bucketing may change; Verify still
+  ///    decides every pair).
+  ///  * When a re-plan is applied and hints.note is non-null, describe
+  ///    it there (surfaced by EXPLAIN ANALYZE).
+  /// The default ignores the hints and delegates to Divide.
+  virtual Result<std::unique_ptr<PPlan>> DivideWithHints(
+      const Summary& left, const Summary& right,
+      const DivideHints& hints) const {
+    (void)hints;
+    return Divide(left, right);
+  }
 
   /// Reconstructs a PPlan of this join's concrete type from its wire
   /// encoding (used after the coordinator broadcasts the plan).
@@ -164,6 +185,11 @@ class FlexibleJoin {
   /// kernel worth routing buckets through. Joins overriding
   /// `CombineBucket` must return true here, or the hook is never called.
   virtual bool HasCombineBucket() const { return false; }
+
+  /// True when `DivideWithHints` is overridden with a histogram-driven
+  /// re-planner. The runtime only builds (and network-charges) the
+  /// SUMMARIZE key histograms when this returns true.
+  virtual bool SupportsAdaptiveDivide() const { return false; }
 };
 
 /// Adapter that runs a join with its logical sides flipped: used by the
@@ -182,6 +208,16 @@ class SwappedFlexibleJoin : public FlexibleJoin {
   Result<std::unique_ptr<PPlan>> Divide(
       const Summary& left, const Summary& right) const override {
     return base_->Divide(right, left);
+  }
+  Result<std::unique_ptr<PPlan>> DivideWithHints(
+      const Summary& left, const Summary& right,
+      const DivideHints& hints) const override {
+    DivideHints flipped = hints;
+    flipped.left = hints.right;
+    flipped.right = hints.left;
+    flipped.left_rows = hints.right_rows;
+    flipped.right_rows = hints.left_rows;
+    return base_->DivideWithHints(right, left, flipped);
   }
   Result<std::unique_ptr<PPlan>> DeserializePPlan(
       ByteReader* in) const override {
@@ -221,6 +257,9 @@ class SwappedFlexibleJoin : public FlexibleJoin {
   }
   bool HasCombineBucket() const override {
     return base_->HasCombineBucket();
+  }
+  bool SupportsAdaptiveDivide() const override {
+    return base_->SupportsAdaptiveDivide();
   }
 
  private:

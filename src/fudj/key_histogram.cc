@@ -1,0 +1,210 @@
+#include "fudj/key_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/geometry.h"
+#include "interval/interval.h"
+
+namespace fudj {
+
+int KeyHistogram::BinOf(double x) const {
+  if (grid_max_ <= grid_min_) return 0;
+  const double frac = (x - grid_min_) / (grid_max_ - grid_min_);
+  int b = static_cast<int>(frac * kBins);
+  if (b < 0) b = 0;
+  if (b >= kBins) b = kBins - 1;
+  return b;
+}
+
+void KeyHistogram::Rebin(double new_min, double new_max) {
+  if (new_min == grid_min_ && new_max == grid_max_) return;
+  std::vector<int64_t> next(kBins, 0);
+  const double old_width = (grid_max_ - grid_min_) / kBins;
+  const double new_range = new_max - new_min;
+  for (int i = 0; i < kBins; ++i) {
+    if (bins_[i] == 0) continue;
+    // Mass moves by bin center; a zero-width source range collapses to
+    // its single point. When the grid exactly doubles around a shared
+    // edge (the Add growth policy), this is an exact pair-merge.
+    const double center =
+        grid_max_ > grid_min_ ? grid_min_ + (i + 0.5) * old_width
+                              : grid_min_;
+    int b = 0;
+    if (new_range > 0) {
+      b = static_cast<int>((center - new_min) / new_range * kBins);
+      if (b < 0) b = 0;
+      if (b >= kBins) b = kBins - 1;
+    }
+    next[b] += bins_[i];
+  }
+  bins_ = std::move(next);
+  grid_min_ = new_min;
+  grid_max_ = new_max;
+}
+
+void KeyHistogram::Add(double x) {
+  if (!std::isfinite(x)) return;
+  if (!any_) {
+    any_ = true;
+    min_ = x;
+    max_ = x;
+    grid_min_ = x;
+    grid_max_ = x;
+  } else if (x < grid_min_ || x > grid_max_) {
+    // Grow the bin grid geometrically (at least doubling the span on
+    // the growing side) instead of resizing to the exact observed
+    // range. Monotone streams — timestamps arriving in order — would
+    // otherwise rebin on every add, and the repeated move-by-center
+    // pass piles most of the mass into one bin. Doubling bounds the
+    // number of rebins at O(log range), and a rebin whose span exactly
+    // doubles merges old bins pairwise with no drift.
+    const double span = grid_max_ - grid_min_;
+    double lo = grid_min_;
+    double hi = grid_max_;
+    if (x > grid_max_) hi = std::max(x, grid_max_ + span);
+    if (x < grid_min_) lo = std::min(x, grid_min_ - span);
+    Rebin(lo, hi);
+  }
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+  bins_[BinOf(x)] += 1;
+  total_ += 1;
+  if (!distinct_overflow_) {
+    distinct_.insert(x);
+    if (static_cast<int>(distinct_.size()) > kDistinctCap) {
+      distinct_.clear();
+      distinct_overflow_ = true;
+    }
+  }
+}
+
+void KeyHistogram::AddKey(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt64:
+      Add(static_cast<double>(v.i64()));
+      break;
+    case ValueType::kDouble:
+      Add(v.f64());
+      break;
+    case ValueType::kBool:
+      Add(v.bool_val() ? 1.0 : 0.0);
+      break;
+    case ValueType::kInterval:
+      // Granule boundaries partition the timeline, so density of both
+      // endpoints is the signal.
+      Add(static_cast<double>(v.interval().start));
+      Add(static_cast<double>(v.interval().end));
+      break;
+    case ValueType::kGeometry: {
+      const Rect mbr = v.geometry().Mbr();
+      Add(mbr.center().x);
+      break;
+    }
+    case ValueType::kString:
+      Add(static_cast<double>(v.str().size()));
+      break;
+    default:
+      break;  // NULL carries no key mass
+  }
+}
+
+void KeyHistogram::Merge(const KeyHistogram& other) {
+  if (!other.any_) return;
+  if (!any_) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  Rebin(std::min(grid_min_, other.grid_min_),
+        std::max(grid_max_, other.grid_max_));
+  const double o_width = (other.grid_max_ - other.grid_min_) / kBins;
+  for (int i = 0; i < kBins; ++i) {
+    if (other.bins_[i] == 0) continue;
+    const double center = other.grid_max_ > other.grid_min_
+                              ? other.grid_min_ + (i + 0.5) * o_width
+                              : other.grid_min_;
+    bins_[BinOf(center)] += other.bins_[i];
+  }
+  total_ += other.total_;
+  if (distinct_overflow_ || other.distinct_overflow_) {
+    distinct_.clear();
+    distinct_overflow_ = true;
+  } else {
+    distinct_.insert(other.distinct_.begin(), other.distinct_.end());
+    if (static_cast<int>(distinct_.size()) > kDistinctCap) {
+      distinct_.clear();
+      distinct_overflow_ = true;
+    }
+  }
+}
+
+void KeyHistogram::Reset() { *this = KeyHistogram(); }
+
+int KeyHistogram::distinct() const {
+  if (distinct_overflow_) return kDistinctCap + 1;
+  return static_cast<int>(distinct_.size());
+}
+
+double KeyHistogram::MaxBinFraction() const {
+  if (total_ == 0) return 0.0;
+  int64_t top = 0;
+  for (int64_t c : bins_) top = std::max(top, c);
+  return static_cast<double>(top) / static_cast<double>(total_);
+}
+
+bool KeyHistogram::Degenerate(std::string* reason) const {
+  if (!any_ || total_ == 0) {
+    if (reason != nullptr) *reason = "empty-input";
+    return true;
+  }
+  if (!distinct_overflow_ && distinct_.size() == 1) {
+    if (reason != nullptr) *reason = "single-key";
+    return true;
+  }
+  int nonzero = 0;
+  for (int64_t c : bins_) nonzero += c > 0 ? 1 : 0;
+  if (nonzero <= 1) {
+    if (reason != nullptr) *reason = "one-bin";
+    return true;
+  }
+  return false;
+}
+
+std::vector<double> KeyHistogram::EquiDepthCuts(int k) const {
+  std::vector<double> cuts;
+  if (k < 2 || Degenerate()) return cuts;
+  const double width = (grid_max_ - grid_min_) / kBins;
+  const double total = static_cast<double>(total_);
+  int64_t cum = 0;
+  int next = 1;  // next target index j: target mass = total * j / k
+  for (int i = 0; i < kBins && next < k; ++i) {
+    const int64_t c = bins_[i];
+    if (c == 0) continue;
+    const double lo = grid_min_ + i * width;
+    while (next < k) {
+      const double target = total * next / k;
+      if (target > static_cast<double>(cum + c)) break;
+      // Interpolate uniformly inside the bin.
+      const double frac = (target - static_cast<double>(cum)) /
+                          static_cast<double>(c);
+      const double cut = lo + frac * width;
+      if (cut > min_ && cut < max_ &&
+          (cuts.empty() || cut > cuts.back())) {
+        cuts.push_back(cut);
+      }
+      ++next;
+    }
+    cum += c;
+  }
+  return cuts;
+}
+
+int64_t KeyHistogram::SerializedBytes() const {
+  // bins + {min,max,total} + distinct set + flags, as if flat-encoded.
+  return static_cast<int64_t>(kBins) * 8 + 3 * 8 +
+         static_cast<int64_t>(distinct_.size()) * 8 + 8;
+}
+
+}  // namespace fudj

@@ -1,0 +1,124 @@
+#ifndef FUDJ_FUDJ_KEY_HISTOGRAM_H_
+#define FUDJ_FUDJ_KEY_HISTOGRAM_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace fudj {
+
+/// Streaming equi-width histogram over a scalar projection of join
+/// keys, built during SUMMARIZE (one per partition, merged at the
+/// coordinator) and consumed by histogram-driven DIVIDE re-planning.
+///
+/// Properties the adaptive planner depends on:
+///  - Deterministic: the result depends only on the sequence of added
+///    values and merges. The bin grid grows geometrically (at least
+///    doubling) when a value lands outside it, so monotone streams
+///    rebin O(log range) times instead of once per add, and an exact
+///    doubling merges old bins pairwise without drift; min()/max()
+///    always report the observed extremes, which may sit strictly
+///    inside the grid. Identical runs see identical hints and
+///    identical re-planned DIVIDEs.
+///  - Degenerate-detectable: empty input, a single distinct key, and
+///    all-mass-in-one-bin are all reported by Degenerate(), letting
+///    DIVIDE fall back to the static plan instead of emitting
+///    zero-width or empty buckets (same bug class as the PR 5
+///    zero-median ComputeSkew fix).
+///  - Equi-depth cuts: EquiDepthCuts(k) returns up to k-1 strictly
+///    increasing interior boundaries that split the observed mass into
+///    roughly equal parts, interpolating uniformly inside bins.
+class KeyHistogram {
+ public:
+  /// Fixed bin count: small enough to gather cheaply (SerializedBytes
+  /// is charged to the simulated network), large enough to expose hot
+  /// ranges to equi-depth splitting.
+  static constexpr int kBins = 64;
+  /// Exact distinct values are tracked up to this cap; beyond it only
+  /// "many" is known. Single-distinct-key detection needs exactness.
+  static constexpr int kDistinctCap = 16;
+
+  void Add(double x);
+  /// Projects a join key Value onto the histogram's scalar domain and
+  /// adds it: numerics add their value, intervals add both endpoints
+  /// (timeline density is what granule boundaries partition), geometry
+  /// adds its MBR center x, strings add their length. Null adds
+  /// nothing.
+  void AddKey(const Value& v);
+  void Merge(const KeyHistogram& other);
+  void Reset();
+
+  int64_t total() const { return total_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Number of distinct values seen, saturated at kDistinctCap + 1
+  /// ("many").
+  int distinct() const;
+  /// Fraction of the total mass in the fullest bin (0 when empty).
+  double MaxBinFraction() const;
+
+  /// True when equi-depth splitting cannot produce a usable plan:
+  /// empty input, one distinct key, or all mass inside one bin. When
+  /// true, `reason` (if non-null) names which ("empty-input",
+  /// "single-key", "one-bin").
+  bool Degenerate(std::string* reason = nullptr) const;
+
+  /// Up to k-1 strictly increasing interior cut points in (min, max)
+  /// splitting the mass into ~equal parts. Empty when Degenerate() or
+  /// k < 2. Duplicate/degenerate cuts are dropped, so fewer than k-1
+  /// cuts may come back.
+  std::vector<double> EquiDepthCuts(int k) const;
+
+  /// Gather payload estimate for network charging: bin counts + range
+  /// + distinct set, as if serialized flat.
+  int64_t SerializedBytes() const;
+
+  const std::vector<int64_t>& bins() const { return bins_; }
+
+ private:
+  int BinOf(double x) const;
+  void Rebin(double new_min, double new_max);
+
+  std::vector<int64_t> bins_ = std::vector<int64_t>(kBins, 0);
+  int64_t total_ = 0;
+  /// Observed extremes (what min()/max() report).
+  double min_ = 0.0;
+  double max_ = 0.0;
+  /// Bin-grid bounds: grow geometrically, always cover [min_, max_].
+  double grid_min_ = 0.0;
+  double grid_max_ = 0.0;
+  bool any_ = false;
+  /// Exact distinct values while small; cleared (and overflowed_ set)
+  /// past kDistinctCap.
+  std::set<double> distinct_;
+  bool distinct_overflow_ = false;
+};
+
+/// Hints handed to FlexibleJoin::DivideWithHints by the adaptive
+/// planner: merged per-side SUMMARIZE histograms plus the history
+/// knobs. All pointers are borrowed and may be null (a null histogram
+/// means "no signal for this side" — joins must treat it as
+/// degenerate).
+struct DivideHints {
+  const KeyHistogram* left = nullptr;
+  const KeyHistogram* right = nullptr;
+  int64_t left_rows = 0;
+  int64_t right_rows = 0;
+  /// Multiplier on the join's bucket/grid count, >= 1. Derived from
+  /// prior-run stats (bucket splits / spills observed for this shape
+  /// => finer buckets next time).
+  double bucket_boost = 1.0;
+  int workers = 0;
+  /// Optional out-param: a join that re-plans describes what it did
+  /// ("interval granules 1000->96 equi-depth", "grid 1200->64"), and
+  /// the runtime surfaces it in EXPLAIN ANALYZE. Left untouched when
+  /// the join fell back to the static plan.
+  std::string* note = nullptr;
+};
+
+}  // namespace fudj
+
+#endif  // FUDJ_FUDJ_KEY_HISTOGRAM_H_

@@ -23,15 +23,19 @@ namespace fudj {
 
 Result<std::unique_ptr<Summary>> FudjRuntime::Summarize(
     const PartitionedRelation& rel, int key_col, JoinSide side,
-    ExecStats* stats, const std::string& label) const {
+    ExecStats* stats, const std::string& label,
+    KeyHistogram* histogram) const {
   const int p_in = rel.num_partitions();
   std::vector<std::unique_ptr<Summary>> partials(p_in);
+  std::vector<KeyHistogram> hists(histogram != nullptr ? p_in : 0);
   FUDJ_RETURN_NOT_OK(cluster_->RunStage(
       "summarize-" + label,
       [&](int p) -> Status {
         if (p >= p_in) return Status::OK();
         // Fresh summary per attempt: a retried partition restarts clean.
         partials[p] = sandbox_.CreateSummary(side);
+        KeyHistogram* hist = histogram != nullptr ? &hists[p] : nullptr;
+        if (hist != nullptr) hist->Reset();
         if (exec_mode_ == ExecMode::kChunk) {
           // Stream the partition chunk-at-a-time; only the key column is
           // boxed (Summary::Add is a UDJ callback and takes a Value).
@@ -42,14 +46,19 @@ Result<std::unique_ptr<Summary>> FudjRuntime::Summarize(
             if (!more) break;
             const ColumnVector& key = chunk.column(key_col);
             for (int r = 0; r < chunk.size(); ++r) {
-              partials[p]->Add(key.GetValue(r));
+              const Value v = key.GetValue(r);
+              if (hist != nullptr) hist->AddKey(v);
+              partials[p]->Add(v);
             }
           }
           return Status::OK();
         }
         FUDJ_ASSIGN_OR_RETURN(const std::vector<Tuple> rows,
                               rel.Materialize(p));
-        for (const Tuple& t : rows) partials[p]->Add(t[key_col]);
+        for (const Tuple& t : rows) {
+          if (hist != nullptr) hist->AddKey(t[key_col]);
+          partials[p]->Add(t[key_col]);
+        }
         return Status::OK();
       },
       stats, /*rows_out=*/p_in));
@@ -72,6 +81,15 @@ Result<std::unique_ptr<Summary>> FudjRuntime::Summarize(
       FUDJ_RETURN_NOT_OK(wire->Deserialize(&r));
       global->Merge(*wire);
     }
+    if (histogram != nullptr) {
+      // Partition histograms ride the same gather: non-coordinator
+      // partitions ship theirs alongside the summary bytes.
+      histogram->Reset();
+      for (int p = 0; p < p_in; ++p) {
+        if (p != 0) bytes += hists[p].SerializedBytes();
+        histogram->Merge(hists[p]);
+      }
+    }
     cluster_->ChargeNetwork("summarize-" + label, bytes,
                             p_in > 1 ? p_in - 1 : 0, stats);
     if (stats != nullptr) {
@@ -87,7 +105,8 @@ Result<std::unique_ptr<Summary>> FudjRuntime::Summarize(
 }
 
 Result<std::shared_ptr<const PPlan>> FudjRuntime::DivideAndBroadcast(
-    const Summary& left, const Summary& right, ExecStats* stats) const {
+    const Summary& left, const Summary& right, ExecStats* stats,
+    const DivideHints* hints) const {
   // DIVIDE runs on the coordinator (a single "partition"), so RunStage's
   // retry loop does not cover it; apply the same retry policy here so a
   // transiently-failing Divide/DeserializePPlan recovers.
@@ -112,8 +131,11 @@ Result<std::shared_ptr<const PPlan>> FudjRuntime::DivideAndBroadcast(
       // Broadcast the serialized plan to all workers; return the
       // deserialized copy so the wire path is exercised end to end.
       st = [&]() -> Status {
-        FUDJ_ASSIGN_OR_RETURN(std::unique_ptr<PPlan> plan,
-                              sandbox_.Divide(left, right));
+        FUDJ_ASSIGN_OR_RETURN(
+            std::unique_ptr<PPlan> plan,
+            hints != nullptr
+                ? sandbox_.DivideWithHints(left, right, *hints)
+                : sandbox_.Divide(left, right));
         ByteWriter w;
         plan->Serialize(&w);
         plan_bytes = static_cast<int64_t>(w.size());
@@ -1627,6 +1649,15 @@ Result<PartitionedRelation> FudjRuntime::Execute(
   // bit-identical by contract.
   std::optional<ScopedSimdLevel> simd_pin;
   if (options.force_scalar_simd) simd_pin.emplace(SimdLevel::kScalar);
+  if (options.force_broadcast_nlj) {
+    // Planner-selected broadcast NLJ: the exact Verify-only executor the
+    // degrade ladder also uses, but chosen on purpose by the cost model —
+    // no warning and no degrade counter.
+    if (stats != nullptr) {
+      stats->AddNote("plan: broadcast-nlj selected by the adaptive planner");
+    }
+    return ExecuteDegraded(left, left_key_col, right, right_key_col, stats);
+  }
   Result<PartitionedRelation> result =
       ExecuteFudjPath(left, left_key_col, right, right_key_col, options,
                       stats);
@@ -1707,10 +1738,17 @@ Result<PartitionedRelation> FudjRuntime::ExecuteFudjPath(
                       tracer->NowUs() - t0);
     }
   };
+  // Histogram-driven DIVIDE: only pay for (and network-charge) the key
+  // histograms when the join can actually consume them.
+  const bool adaptive =
+      options.adaptive_divide && join_->SupportsAdaptiveDivide();
+  KeyHistogram l_hist;
+  KeyHistogram r_hist;
   double t0 = phase_begin();
   FUDJ_ASSIGN_OR_RETURN(
       std::unique_ptr<Summary> s_left,
-      Summarize(left, left_key_col, JoinSide::kLeft, stats, "L"));
+      Summarize(left, left_key_col, JoinSide::kLeft, stats, "L",
+                adaptive ? &l_hist : nullptr));
   std::unique_ptr<Summary> s_right;
   const bool self_join = &left == &right &&
                          left_key_col == right_key_col &&
@@ -1718,13 +1756,30 @@ Result<PartitionedRelation> FudjRuntime::ExecuteFudjPath(
   if (!self_join) {
     FUDJ_ASSIGN_OR_RETURN(
         s_right, Summarize(right, right_key_col, JoinSide::kRight, stats,
-                           "R"));
+                           "R", adaptive ? &r_hist : nullptr));
+  } else if (adaptive) {
+    r_hist = l_hist;  // summarize-once joins share the histogram too
   }
   const Summary& right_summary = self_join ? *s_left : *s_right;
   phase_end("SUMMARIZE", t0);
   t0 = phase_begin();
-  FUDJ_ASSIGN_OR_RETURN(std::shared_ptr<const PPlan> plan,
-                        DivideAndBroadcast(*s_left, right_summary, stats));
+  std::string divide_note;
+  DivideHints hints;
+  hints.left = &l_hist;
+  hints.right = &r_hist;
+  hints.left_rows = left.NumRows();
+  hints.right_rows = right.NumRows();
+  hints.bucket_boost =
+      options.divide_bucket_boost < 1.0 ? 1.0 : options.divide_bucket_boost;
+  hints.workers = cluster_->num_workers();
+  hints.note = &divide_note;
+  FUDJ_ASSIGN_OR_RETURN(
+      std::shared_ptr<const PPlan> plan,
+      DivideAndBroadcast(*s_left, right_summary, stats,
+                         adaptive ? &hints : nullptr));
+  if (stats != nullptr && !divide_note.empty()) {
+    stats->AddNote("adaptive-divide: " + divide_note);
+  }
   phase_end("DIVIDE", t0);
   // Carry per-record assignment lists when the hash bucket join will run
   // the default duplicate avoidance, so dedup never re-runs `assign`.

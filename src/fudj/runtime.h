@@ -67,6 +67,25 @@ struct FudjExecOptions {
   /// pin) in effect. All levels produce bit-identical output; this only
   /// trades throughput.
   bool force_scalar_simd = false;
+  /// Histogram-driven DIVIDE re-planning: SUMMARIZE additionally builds
+  /// per-side key histograms (gather bytes charged to the network), and
+  /// DIVIDE runs the join's `DivideWithHints` so bucket boundaries /
+  /// bucket counts come from the live data instead of fixed defaults.
+  /// Joins without `SupportsAdaptiveDivide` (and degenerate histograms)
+  /// keep the static plan. Output stays identical as a set of rows;
+  /// only the bucketing, and thus row order, may change.
+  bool adaptive_divide = false;
+  /// Multiplier (>= 1) on the adaptive DIVIDE's bucket/grid count,
+  /// derived by the adaptive planner from prior-run stats (observed
+  /// COMBINE bucket splits / spills for this query shape => finer
+  /// buckets next time). Ignored unless adaptive_divide is set.
+  double divide_bucket_boost = 1.0;
+  /// Planner-selected broadcast-NLJ strategy: skip the FUDJ pipeline
+  /// and run the exact Verify-only broadcast NLJ (same executor as the
+  /// degrade fallback, but chosen on purpose — no warning, no degrade
+  /// counter). The cost model picks this for tiny inputs where
+  /// SUMMARIZE/PARTITION overhead dominates.
+  bool force_broadcast_nlj = false;
 };
 
 /// The framework's internal actors (§VI-B): given a user `FlexibleJoin`,
@@ -94,16 +113,25 @@ class FudjRuntime {
 
   /// SUMMARIZE: per-partition local_aggregate over `rel[key_col]`, then a
   /// gather + global_aggregate into one global summary. Summary bytes are
-  /// charged as (P-1) coordinator messages.
+  /// charged as (P-1) coordinator messages. When `histogram` is non-null
+  /// a per-partition KeyHistogram over the key column is built alongside
+  /// and merged into it (its gather bytes are charged with the summary
+  /// bytes) — the adaptive DIVIDE's input.
   Result<std::unique_ptr<Summary>> Summarize(const PartitionedRelation& rel,
                                              int key_col, JoinSide side,
                                              ExecStats* stats,
-                                             const std::string& label) const;
+                                             const std::string& label,
+                                             KeyHistogram* histogram =
+                                                 nullptr) const;
 
   /// DIVIDE on the coordinator + broadcast of the serialized PPlan to all
-  /// workers (returned deserialized, exercising the wire path).
+  /// workers (returned deserialized, exercising the wire path). With
+  /// non-null `hints` the join's DivideWithHints runs instead of Divide
+  /// (histogram-driven re-planning; the join falls back to the static
+  /// plan on degenerate input).
   Result<std::shared_ptr<const PPlan>> DivideAndBroadcast(
-      const Summary& left, const Summary& right, ExecStats* stats) const;
+      const Summary& left, const Summary& right, ExecStats* stats,
+      const DivideHints* hints = nullptr) const;
 
   /// PARTITION: unnests each record into (bucket_id, record...) rows via
   /// `assign`. Output schema: int64 "bucket_id" column prepended. With

@@ -52,6 +52,31 @@ Result<std::unique_ptr<PPlan>> SandboxedFlexibleJoin::Divide(
   }
 }
 
+Result<std::unique_ptr<PPlan>> SandboxedFlexibleJoin::DivideWithHints(
+    const Summary& left, const Summary& right,
+    const DivideHints& hints) const {
+  try {
+    // Same injection site as Divide: the udj_throw fault must exercise
+    // the adaptive path identically.
+    const FaultInjector* inj = injector();
+    if (inj != nullptr) inj->MaybeThrowInCallback("divide");
+    Result<std::unique_ptr<PPlan>> r =
+        base_->DivideWithHints(left, right, hints);
+    if (!r.ok()) failures_.fetch_add(1, std::memory_order_relaxed);
+    return r;
+  } catch (const StatusError& e) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return e.status();
+  } catch (const std::exception& e) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal(std::string("divide callback threw: ") +
+                            e.what());
+  } catch (...) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal("divide callback threw a non-standard exception");
+  }
+}
+
 Result<std::unique_ptr<PPlan>> SandboxedFlexibleJoin::DeserializePPlan(
     ByteReader* in) const {
   try {

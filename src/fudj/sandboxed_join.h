@@ -38,6 +38,9 @@ class SandboxedFlexibleJoin : public FlexibleJoin {
   std::unique_ptr<Summary> CreateSummary(JoinSide side) const override;
   Result<std::unique_ptr<PPlan>> Divide(const Summary& left,
                                         const Summary& right) const override;
+  Result<std::unique_ptr<PPlan>> DivideWithHints(
+      const Summary& left, const Summary& right,
+      const DivideHints& hints) const override;
   Result<std::unique_ptr<PPlan>> DeserializePPlan(
       ByteReader* in) const override;
   void Assign(const Value& key, const PPlan& plan, JoinSide side,
@@ -57,6 +60,9 @@ class SandboxedFlexibleJoin : public FlexibleJoin {
   bool UsesDefaultDedup() const override { return base_->UsesDefaultDedup(); }
   bool SymmetricSummary() const override { return base_->SymmetricSummary(); }
   bool HasCombineBucket() const override { return base_->HasCombineBucket(); }
+  bool SupportsAdaptiveDivide() const override {
+    return base_->SupportsAdaptiveDivide();
+  }
 
   /// How many callback invocations failed (threw or, for Result-returning
   /// callbacks, returned non-OK) over the sandbox's lifetime.

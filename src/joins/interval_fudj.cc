@@ -1,7 +1,10 @@
 #include "joins/interval_fudj.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 namespace fudj {
 
@@ -46,7 +49,20 @@ IntervalPPlan::IntervalPPlan(int64_t min_start, int64_t max_end,
   if (granule_len_ <= 0.0) granule_len_ = 1.0;
 }
 
+IntervalPPlan::IntervalPPlan(int64_t min_start, int64_t max_end,
+                             std::vector<int64_t> cuts)
+    : IntervalPPlan(min_start, max_end,
+                    static_cast<int32_t>(cuts.size()) + 1) {
+  cuts_ = std::move(cuts);
+}
+
 int32_t IntervalPPlan::GranuleOf(int64_t t) const {
+  if (!cuts_.empty()) {
+    // Granule = number of cut points <= t; the histogram-derived cuts
+    // are sparse (<= 64 bins' worth), so binary search.
+    const auto it = std::upper_bound(cuts_.begin(), cuts_.end(), t);
+    return static_cast<int32_t>(it - cuts_.begin());
+  }
   const double offset = static_cast<double>(t - min_start_);
   auto g = static_cast<int32_t>(offset / granule_len_);
   return std::clamp(g, 0, num_buckets_ - 1);
@@ -56,20 +72,36 @@ void IntervalPPlan::Serialize(ByteWriter* out) const {
   out->PutI64(min_start_);
   out->PutI64(max_end_);
   out->PutI32(num_buckets_);
+  out->PutI32(static_cast<int32_t>(cuts_.size()));
+  for (int64_t c : cuts_) out->PutI64(c);
 }
 
 Status IntervalPPlan::Deserialize(ByteReader* in) {
   FUDJ_ASSIGN_OR_RETURN(const int64_t s, in->GetI64());
   FUDJ_ASSIGN_OR_RETURN(const int64_t e, in->GetI64());
   FUDJ_ASSIGN_OR_RETURN(const int32_t n, in->GetI32());
-  *this = IntervalPPlan(s, e, n);
+  FUDJ_ASSIGN_OR_RETURN(const int32_t ncuts, in->GetI32());
+  if (ncuts < 0 || ncuts > 65535) {
+    return Status::ParseError("IntervalPPlan: bad cut count");
+  }
+  if (ncuts == 0) {
+    *this = IntervalPPlan(s, e, n);
+    return Status::OK();
+  }
+  std::vector<int64_t> cuts(ncuts);
+  for (int32_t i = 0; i < ncuts; ++i) {
+    FUDJ_ASSIGN_OR_RETURN(cuts[i], in->GetI64());
+  }
+  *this = IntervalPPlan(s, e, std::move(cuts));
   return Status::OK();
 }
 
 std::string IntervalPPlan::ToString() const {
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), "IntervalPPlan(%d granules over [%lld, %lld])",
-                num_buckets_, static_cast<long long>(min_start_),
+  char buf[112];
+  std::snprintf(buf, sizeof(buf),
+                "IntervalPPlan(%d%s granules over [%lld, %lld])",
+                num_buckets_, cuts_.empty() ? "" : " equi-depth",
+                static_cast<long long>(min_start_),
                 static_cast<long long>(max_end_));
   return buf;
 }
@@ -95,6 +127,61 @@ Result<std::unique_ptr<PPlan>> IntervalFudj::Divide(
   const int64_t max_end = std::max(l.max_end(), r.max_end());
   return std::unique_ptr<PPlan>(
       std::make_unique<IntervalPPlan>(min_start, max_end, num_buckets_));
+}
+
+Result<std::unique_ptr<PPlan>> IntervalFudj::DivideWithHints(
+    const Summary& left, const Summary& right,
+    const DivideHints& hints) const {
+  const auto& l = static_cast<const IntervalSummary&>(left);
+  const auto& r = static_cast<const IntervalSummary&>(right);
+  if ((l.empty() && r.empty()) || hints.left == nullptr ||
+      hints.right == nullptr) {
+    return Divide(left, right);
+  }
+  KeyHistogram merged = *hints.left;
+  merged.Merge(*hints.right);
+  if (merged.Degenerate()) {
+    // Degenerate SUMMARIZE output (empty input / single key / one hot
+    // bin): equi-depth cuts would be zero-width — keep the static plan.
+    return Divide(left, right);
+  }
+  const int64_t min_start = std::min(l.min_start(), r.min_start());
+  const int64_t max_end = std::max(l.max_end(), r.max_end());
+  // Granule count from the live cardinality instead of the fixed
+  // parameter: ~sqrt(rows) granules keeps the theta bucket-pair matrix
+  // (every left bucket x every right bucket per partition) linear in
+  // the input, while bucket_boost from prior-run stats refines hot
+  // workloads that still split at COMBINE time.
+  const int64_t rows = std::max<int64_t>(
+      1, hints.left_rows + hints.right_rows);
+  const double boost = hints.bucket_boost < 1.0 ? 1.0 : hints.bucket_boost;
+  const auto base = static_cast<int64_t>(
+      std::ceil(std::sqrt(static_cast<double>(rows))));
+  const auto target = static_cast<int32_t>(std::clamp<int64_t>(
+      static_cast<int64_t>(static_cast<double>(base) * boost), 2,
+      static_cast<int64_t>(num_buckets_)));
+  const std::vector<double> raw = merged.EquiDepthCuts(target);
+  std::vector<int64_t> cuts;
+  cuts.reserve(raw.size());
+  for (double c : raw) {
+    const auto v = static_cast<int64_t>(std::llround(c));
+    if (v <= min_start || v > max_end) continue;
+    if (!cuts.empty() && v <= cuts.back()) continue;
+    cuts.push_back(v);
+  }
+  if (cuts.empty()) return Divide(left, right);
+  if (hints.note != nullptr) {
+    *hints.note = "interval granules " + std::to_string(num_buckets_) +
+                  "->" + std::to_string(cuts.size() + 1) +
+                  " equi-depth";
+    if (boost > 1.0) {
+      char b[32];
+      std::snprintf(b, sizeof(b), " (boost %.1fx)", boost);
+      *hints.note += b;
+    }
+  }
+  return std::unique_ptr<PPlan>(std::make_unique<IntervalPPlan>(
+      min_start, max_end, std::move(cuts)));
 }
 
 Result<std::unique_ptr<PPlan>> IntervalFudj::DeserializePPlan(

@@ -28,15 +28,24 @@ class IntervalSummary : public Summary {
 };
 
 /// Partitioning plan of the interval join: the unified timeline divided
-/// into equal granules.
+/// into equal granules, or — when the adaptive DIVIDE re-planner ran —
+/// into explicit equi-depth granules (strictly increasing interior cut
+/// points derived from the SUMMARIZE key histogram, so hot time ranges
+/// get more, narrower granules).
 class IntervalPPlan : public PPlan {
  public:
   IntervalPPlan() = default;
   IntervalPPlan(int64_t min_start, int64_t max_end, int32_t num_buckets);
+  /// Equi-depth form: granule g covers [cuts[g-1], cuts[g]) with the
+  /// first/last granule open toward the timeline edges. `cuts` must be
+  /// strictly increasing and inside (min_start, max_end).
+  IntervalPPlan(int64_t min_start, int64_t max_end,
+                std::vector<int64_t> cuts);
 
   int64_t min_start() const { return min_start_; }
   int64_t max_end() const { return max_end_; }
   int32_t num_buckets() const { return num_buckets_; }
+  bool equi_depth() const { return !cuts_.empty(); }
 
   /// Granule index of timestamp `t`, clamped into [0, num_buckets).
   int32_t GranuleOf(int64_t t) const;
@@ -50,6 +59,7 @@ class IntervalPPlan : public PPlan {
   int64_t max_end_ = 0;
   int32_t num_buckets_ = 1;
   double granule_len_ = 1.0;
+  std::vector<int64_t> cuts_;  ///< empty => equal-width granules
 };
 
 /// Overlapping-Interval FUDJ: the OIPJoin-style algorithm of §V-C.
@@ -72,6 +82,16 @@ class IntervalFudj : public FlexibleJoin {
   std::unique_ptr<Summary> CreateSummary(JoinSide side) const override;
   Result<std::unique_ptr<PPlan>> Divide(const Summary& left,
                                         const Summary& right) const override;
+  /// Histogram-driven re-plan: equi-depth granule boundaries from the
+  /// merged endpoint histogram, with the granule count derived from the
+  /// input cardinality (~sqrt(rows), scaled by hints.bucket_boost)
+  /// instead of the fixed parameter default. Falls back to the static
+  /// equal-width plan on degenerate histograms (empty input, single
+  /// distinct key, all mass in one bin).
+  Result<std::unique_ptr<PPlan>> DivideWithHints(
+      const Summary& left, const Summary& right,
+      const DivideHints& hints) const override;
+  bool SupportsAdaptiveDivide() const override { return true; }
   Result<std::unique_ptr<PPlan>> DeserializePPlan(
       ByteReader* in) const override;
   void Assign(const Value& key, const PPlan& plan, JoinSide side,

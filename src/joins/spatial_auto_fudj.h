@@ -41,6 +41,16 @@ class SpatialFudjAuto : public SpatialFudj {
   std::unique_ptr<Summary> CreateSummary(JoinSide side) const override;
   Result<std::unique_ptr<PPlan>> Divide(const Summary& left,
                                         const Summary& right) const override;
+  /// Already self-sizing from SUMMARIZE counts — the static Divide IS
+  /// the adaptive plan, so the hint-driven re-planner inherited from
+  /// SpatialFudj (whose parameter layout also differs) is disabled.
+  Result<std::unique_ptr<PPlan>> DivideWithHints(
+      const Summary& left, const Summary& right,
+      const DivideHints& hints) const override {
+    (void)hints;
+    return Divide(left, right);
+  }
+  bool SupportsAdaptiveDivide() const override { return false; }
 
   double target_per_tile() const { return target_per_tile_; }
 

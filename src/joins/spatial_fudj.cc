@@ -1,5 +1,7 @@
 #include "joins/spatial_fudj.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <utility>
 
@@ -85,6 +87,45 @@ Result<std::unique_ptr<PPlan>> SpatialFudj::Divide(
   // (the paper's `MBR <- S1 n S2`).
   const Rect joint = l.Intersection(r);
   return std::unique_ptr<PPlan>(std::make_unique<SpatialPPlan>(joint, n_));
+}
+
+Result<std::unique_ptr<PPlan>> SpatialFudj::DivideWithHints(
+    const Summary& left, const Summary& right,
+    const DivideHints& hints) const {
+  if (hints.left == nullptr || hints.right == nullptr) {
+    return Divide(left, right);
+  }
+  KeyHistogram merged = *hints.left;
+  merged.Merge(*hints.right);
+  if (merged.Degenerate()) {
+    // Empty input, one distinct center, or one hot bin: a re-sized grid
+    // has nothing to balance — keep the static plan.
+    return Divide(left, right);
+  }
+  const Rect& l = static_cast<const MbrSummary&>(left).mbr();
+  const Rect& r = static_cast<const MbrSummary&>(right).mbr();
+  const Rect joint = l.Intersection(r);
+  if (joint.empty()) return Divide(left, right);
+  // PBSM wants a few records per tile; n ~ sqrt(rows) gives rows tiles
+  // total. The boost from prior-run stats refines the grid when history
+  // shows COMBINE-time splitting or spilling.
+  const int64_t rows = std::max<int64_t>(
+      1, hints.left_rows + hints.right_rows);
+  const double boost = hints.bucket_boost < 1.0 ? 1.0 : hints.bucket_boost;
+  auto n = static_cast<int>(std::ceil(
+      std::sqrt(static_cast<double>(rows)) * boost));
+  n = std::clamp(n, 2, n_);
+  if (n == n_) return Divide(left, right);
+  if (hints.note != nullptr) {
+    *hints.note = "spatial grid " + std::to_string(n_) + "->" +
+                  std::to_string(n);
+    if (boost > 1.0) {
+      char b[32];
+      std::snprintf(b, sizeof(b), " (boost %.1fx)", boost);
+      *hints.note += b;
+    }
+  }
+  return std::unique_ptr<PPlan>(std::make_unique<SpatialPPlan>(joint, n));
 }
 
 Result<std::unique_ptr<PPlan>> SpatialFudj::DeserializePPlan(

@@ -67,6 +67,16 @@ class SpatialFudj : public FlexibleJoin {
   std::unique_ptr<Summary> CreateSummary(JoinSide side) const override;
   Result<std::unique_ptr<PPlan>> Divide(const Summary& left,
                                         const Summary& right) const override;
+  /// Histogram-driven re-plan: sizes the grid to the live cardinality
+  /// (~sqrt(rows) tiles per dimension, scaled by hints.bucket_boost,
+  /// never above the parameter default n) instead of always gridding
+  /// n x n — small inputs stop paying for mostly-empty tiles and
+  /// multi-assign duplication. Falls back to the static plan on
+  /// degenerate histograms.
+  Result<std::unique_ptr<PPlan>> DivideWithHints(
+      const Summary& left, const Summary& right,
+      const DivideHints& hints) const override;
+  bool SupportsAdaptiveDivide() const override { return true; }
   Result<std::unique_ptr<PPlan>> DeserializePPlan(
       ByteReader* in) const override;
   void Assign(const Value& key, const PPlan& plan, JoinSide side,

@@ -183,6 +183,8 @@ std::string QueryStatsRecord::ToJson() const {
   out += ",";
   AppendField(&out, "state", state);
   out += ",";
+  AppendField(&out, "outcome", outcome.empty() ? "unknown" : outcome);
+  out += ",";
   AppendField(&out, "sim_ms", sim_ms);
   out += ",";
   AppendField(&out, "wall_ms", wall_ms);
@@ -246,6 +248,11 @@ Status QueryStatsRecord::FromJson(const std::string& line,
         out->shape.strategy = v;
       } else if (key == "state") {
         out->state = v;
+      } else if (key == "outcome") {
+        // Mixed-schema tolerance: an empty or unexpected value is kept
+        // verbatim — UsableForPlanning only trusts "succeeded", so a
+        // typo'd outcome is excluded, never treated as corruption.
+        out->outcome = v.empty() ? "unknown" : v;
       }
       // "key" is derived (shape.Key()); unknown string keys skipped.
       continue;
@@ -347,6 +354,16 @@ std::vector<QueryStatsRecord> QueryStatsStore::ForShape(
   std::lock_guard<std::mutex> lock(mu_);
   for (const QueryStatsRecord& r : records_) {
     if (r.shape.Key() == key) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<QueryStatsRecord> QueryStatsStore::ForShapeUsable(
+    const std::string& key) const {
+  std::vector<QueryStatsRecord> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const QueryStatsRecord& r : records_) {
+    if (r.shape.Key() == key && r.UsableForPlanning()) out.push_back(r);
   }
   return out;
 }

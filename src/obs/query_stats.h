@@ -32,6 +32,13 @@ struct QueryShape {
 struct QueryStatsRecord {
   QueryShape shape;
   std::string state;  ///< succeeded|failed|cancelled|rejected
+  /// How the run ended, from the cost model's point of view:
+  /// "succeeded" (clean, trustworthy), "degraded" (broadcast-NLJ
+  /// fallback fired — the timing measures the fallback, not the plan),
+  /// "cancelled", "timeout" (deadline expired), "rejected", "failed",
+  /// or "unknown" (legacy pre-outcome record). Only "succeeded" runs
+  /// feed the adaptive planner; see UsableForPlanning().
+  std::string outcome = "unknown";
   double sim_ms = 0.0;
   double wall_ms = 0.0;
   double queue_ms = 0.0;
@@ -45,12 +52,22 @@ struct QueryStatsRecord {
   /// stage names accumulate.
   std::vector<std::pair<std::string, double>> stages;
 
+  /// True iff a future planner may learn from this record: the run
+  /// finished cleanly ("succeeded") and did not degrade. Cancelled,
+  /// deadline-expired, rejected, degraded, and unknown-outcome legacy
+  /// records all measure something other than the plan's real cost.
+  bool UsableForPlanning() const {
+    return outcome == "succeeded" && !degraded;
+  }
+
   /// One-line JSON object (no trailing newline). Flat except the nested
   /// "stages" object of name -> ms.
   std::string ToJson() const;
   /// Parses one ToJson() line. Tolerates unknown scalar keys (forward
-  /// compatibility); rejects lines that are not a flat JSON object in
-  /// this shape.
+  /// compatibility) and files that mix schema versions: a line without
+  /// an "outcome" field parses with outcome "unknown" rather than being
+  /// rejected as corrupt. Rejects lines that are not a flat JSON object
+  /// in this shape.
   static Status FromJson(const std::string& line, QueryStatsRecord* out);
 };
 
@@ -79,6 +96,12 @@ class QueryStatsStore {
   std::vector<std::string> Keys() const;
   /// Records whose shape key equals `key`, in append order.
   std::vector<QueryStatsRecord> ForShape(const std::string& key) const;
+  /// ForShape restricted to records the adaptive planner may trust
+  /// (UsableForPlanning): poisoned runs — cancelled, deadline-expired,
+  /// rejected, degraded, or unknown-outcome legacy lines — are
+  /// filtered out so one bad measurement cannot steer future plans.
+  std::vector<QueryStatsRecord> ForShapeUsable(
+      const std::string& key) const;
 
  private:
   const std::string path_;

@@ -352,6 +352,7 @@ void TelemetryHub::OnQueryFinished(const QueryProfileEntry& entry,
     rec.shape.num_tables = entry.num_tables;
     rec.shape.aggregated = entry.aggregated;
     rec.state = entry.state;
+    rec.outcome = entry.outcome.empty() ? "unknown" : entry.outcome;
     rec.sim_ms = entry.sim_ms;
     rec.wall_ms = entry.wall_ms;
     rec.queue_ms = entry.queue_ms;

@@ -86,6 +86,10 @@ struct QueryProfileEntry {
   int64_t query_id = 0;
   std::string session;
   std::string state;      ///< QueryStateToString
+  /// Cost-model verdict on the run (QueryStatsRecord::outcome values:
+  /// succeeded|degraded|cancelled|timeout|rejected|failed). Empty is
+  /// persisted as "unknown".
+  std::string outcome;
   std::string join_name;  ///< first FUDJ join; "none" when not a join
   std::string strategy;   ///< JoinStrategyToString of the first step
   int num_tables = 0;

@@ -1,0 +1,196 @@
+#include "optimizer/adaptive/adaptive_planner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace fudj {
+
+namespace {
+
+// Order-of-magnitude cost constants for the static formulas. They are
+// not tuned per machine: the planner calibrates the formulas against the
+// measured history before comparing strategies, so only the *ratios*
+// between strategies matter, and those are structural (pair counts and
+// bytes moved), not constant-dependent.
+constexpr double kPairNs = 20.0;       // one Verify / hash-probe pair
+constexpr double kRowNs = 400.0;       // one row through a full phase
+constexpr double kBytesPerRow = 48.0;  // serialized record estimate
+constexpr double kNetNsPerByte = 10.0;  // ~100 MB/s effective
+constexpr double kHashEffBuckets = 4096.0;  // default-match selectivity
+constexpr double kThetaEffBuckets = 256.0;  // bucket-pair matrix density
+// Fixed coordination charge per pipeline phase (plan exchange, barrier,
+// task setup). Without it the formulas scale to zero with the input and
+// the 4-phase pipelines spuriously beat broadcast-NLJ on tiny tables,
+// where in reality the phase round-trips dominate.
+constexpr double kStageNs = 50000.0;
+
+double MedianSimMs(const std::vector<QueryStatsRecord>& records) {
+  if (records.empty()) return 0.0;
+  std::vector<double> ms;
+  ms.reserve(records.size());
+  for (const QueryStatsRecord& r : records) ms.push_back(r.sim_ms);
+  std::sort(ms.begin(), ms.end());
+  const size_t n = ms.size();
+  return n % 2 == 1 ? ms[n / 2] : (ms[n / 2 - 1] + ms[n / 2]) / 2.0;
+}
+
+std::string ShapeKeyFor(const AdaptiveInputs& in, JoinStrategy s) {
+  QueryShape shape;
+  shape.join_name = in.join_name;
+  shape.strategy = JoinStrategyToString(s);
+  shape.num_tables = in.num_tables;
+  shape.aggregated = in.aggregated;
+  return shape.Key();
+}
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fms", ms);
+  return buf;
+}
+
+}  // namespace
+
+double EstimateStrategyMs(JoinStrategy strategy, int64_t left_rows,
+                          int64_t right_rows, int workers) {
+  const double l = static_cast<double>(left_rows < 0 ? 0 : left_rows);
+  const double r = static_cast<double>(right_rows < 0 ? 0 : right_rows);
+  const double w = workers < 1 ? 1.0 : static_cast<double>(workers);
+  const double pairs = l * r;
+  double compute_ns = 0.0;
+  double net_ns = 0.0;
+  switch (strategy) {
+    case JoinStrategy::kFudjNlj:
+      // Verify every pair; the right side is broadcast to every other
+      // worker. One phase instead of four — that absence of
+      // coordination is what makes it win on tiny inputs.
+      compute_ns = pairs * kPairNs / w + kStageNs;
+      net_ns = r * kBytesPerRow * (w - 1.0) * kNetNsPerByte;
+      break;
+    case JoinStrategy::kFudjHash:
+      // Full pipeline passes over both sides plus bucket-local pairs;
+      // both sides shuffle once.
+      compute_ns = (l + r) * kRowNs / w +
+                   pairs / kHashEffBuckets * kPairNs / w + 4.0 * kStageNs;
+      net_ns = (l + r) * kBytesPerRow * kNetNsPerByte / w;
+      break;
+    case JoinStrategy::kFudjTheta:
+      // Pipeline passes plus a denser bucket-pair matrix; the right
+      // side's buckets are broadcast to every worker.
+      compute_ns = (l + r) * kRowNs / w +
+                   pairs / kThetaEffBuckets * kPairNs / w + 4.0 * kStageNs;
+      net_ns = (l * kBytesPerRow + r * kBytesPerRow * w) *
+               kNetNsPerByte / w;
+      break;
+    default:
+      return 0.0;
+  }
+  return (compute_ns + net_ns) / 1e6;
+}
+
+AdaptiveDecision DecideJoinStrategy(const AdaptiveInputs& inputs,
+                                    JoinStrategy default_strategy,
+                                    const AdaptivePlanningContext& ctx) {
+  AdaptiveDecision out;
+  out.strategy = default_strategy;
+  out.info.fallback = JoinStrategyToString(default_strategy);
+  out.info.chosen = out.info.fallback;
+  if (!ctx.enabled || ctx.store == nullptr ||
+      (default_strategy != JoinStrategy::kFudjHash &&
+       default_strategy != JoinStrategy::kFudjTheta)) {
+    return out;
+  }
+  out.info.active = true;
+
+  const std::vector<QueryStatsRecord> priors =
+      ctx.store->ForShapeUsable(ShapeKeyFor(inputs, default_strategy));
+  out.info.priors = static_cast<int>(priors.size());
+
+  // Feedback to DIVIDE: a prior run of this shape that had to split or
+  // spill COMBINE buckets means the bucketing was too coarse — ask for
+  // finer buckets regardless of whether the strategy switches.
+  for (const QueryStatsRecord& r : priors) {
+    if (r.bucket_splits > 0 || r.spilled_buckets > 0) {
+      out.info.bucket_boost = 2.0;
+      break;
+    }
+  }
+
+  const double formula_default = EstimateStrategyMs(
+      default_strategy, inputs.left_rows, inputs.right_rows, ctx.workers);
+  out.info.default_est_ms = formula_default;
+  out.info.est_ms = formula_default;
+
+  if (out.info.priors < ctx.min_priors) {
+    out.info.line = "adaptive: cold store (" +
+                    std::to_string(out.info.priors) + " usable prior" +
+                    (out.info.priors == 1 ? "" : "s") + "); kept " +
+                    out.info.fallback;
+    if (out.info.bucket_boost > 1.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "; divide-boost %.1fx",
+                    out.info.bucket_boost);
+      out.info.line += buf;
+    }
+    return out;
+  }
+
+  out.info.from_history = true;
+  const double measured_default = MedianSimMs(priors);
+  out.info.default_est_ms = measured_default;
+  out.info.est_ms = measured_default;
+  // Calibration factor mapping formula-units onto this shape's measured
+  // reality; 1.0 when either side is degenerate.
+  const double calibration =
+      (formula_default > 0.0 && measured_default > 0.0)
+          ? measured_default / formula_default
+          : 1.0;
+
+  std::vector<JoinStrategy> candidates;
+  if (default_strategy == JoinStrategy::kFudjHash) {
+    candidates = {JoinStrategy::kFudjTheta, JoinStrategy::kFudjNlj};
+  } else {
+    candidates = {JoinStrategy::kFudjNlj};
+  }
+
+  JoinStrategy best = default_strategy;
+  double best_ms = measured_default;
+  for (JoinStrategy cand : candidates) {
+    const std::vector<QueryStatsRecord> own =
+        ctx.store->ForShapeUsable(ShapeKeyFor(inputs, cand));
+    const double est =
+        !own.empty() ? MedianSimMs(own)
+                     : EstimateStrategyMs(cand, inputs.left_rows,
+                                          inputs.right_rows, ctx.workers) *
+                           calibration;
+    if (est < best_ms) {
+      best = cand;
+      best_ms = est;
+    }
+  }
+
+  if (best != default_strategy &&
+      best_ms < ctx.switch_margin * measured_default) {
+    out.strategy = best;
+    out.info.chosen = JoinStrategyToString(best);
+    out.info.est_ms = best_ms;
+    out.info.line = "adaptive: switched " + out.info.fallback + " -> " +
+                    out.info.chosen + " (est " + FormatMs(best_ms) +
+                    " vs " + FormatMs(measured_default) + ", " +
+                    std::to_string(out.info.priors) + " priors)";
+  } else {
+    out.info.line = "adaptive: kept " + out.info.fallback + " (measured " +
+                    FormatMs(measured_default) + ", " +
+                    std::to_string(out.info.priors) + " priors)";
+  }
+  if (out.info.bucket_boost > 1.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "; divide-boost %.1fx",
+                  out.info.bucket_boost);
+    out.info.line += buf;
+  }
+  return out;
+}
+
+}  // namespace fudj

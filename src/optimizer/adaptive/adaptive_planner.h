@@ -1,0 +1,86 @@
+#ifndef FUDJ_OPTIMIZER_ADAPTIVE_ADAPTIVE_PLANNER_H_
+#define FUDJ_OPTIMIZER_ADAPTIVE_ADAPTIVE_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/query_stats.h"
+#include "optimizer/physical_plan.h"
+
+namespace fudj {
+
+/// Inputs the adaptive planner needs to consult the stats store and the
+/// static cost model: where the query-stats history lives and how eager
+/// the planner is to leave the static default.
+///
+/// PlanQuery takes this as an optional pointer; nullptr (or
+/// enabled=false, or store=nullptr) means "plan statically" and is
+/// byte-for-byte the pre-adaptive behavior.
+struct AdaptivePlanningContext {
+  /// Prior-run records; not owned, may be null (=> static planning).
+  const QueryStatsStore* store = nullptr;
+  bool enabled = true;
+  /// A non-default strategy must be estimated below
+  /// switch_margin * (measured cost of the default) to be picked —
+  /// hysteresis so marginal estimates don't flap the plan.
+  double switch_margin = 0.9;
+  /// Usable prior records of the default shape required before the
+  /// planner trusts the history enough to switch strategies. Below
+  /// this the store counts as cold and the static default is kept.
+  int min_priors = 2;
+  /// Simulated cluster width, for the static cost formulas.
+  int workers = 8;
+};
+
+/// Per-query facts the cost model combines with the store's history.
+struct AdaptiveInputs {
+  std::string join_name;
+  int num_tables = 2;
+  bool aggregated = false;
+  /// Input cardinalities after predicate pushdown (the relations the
+  /// join will actually see).
+  int64_t left_rows = 0;
+  int64_t right_rows = 0;
+};
+
+/// Outcome of one adaptive planning decision.
+struct AdaptiveDecision {
+  JoinStrategy strategy = JoinStrategy::kNone;
+  AdaptivePlanInfo info;
+};
+
+/// Coarse static cost estimate (simulated ms) of running `strategy` over
+/// the given cardinalities on a `workers`-wide simulated cluster. Only
+/// kFudjHash / kFudjTheta / kFudjNlj are modeled; the constants are
+/// deliberately order-of-magnitude (the measured history is what makes
+/// the model sharp — see DecideJoinStrategy). Exposed for tests.
+double EstimateStrategyMs(JoinStrategy strategy, int64_t left_rows,
+                          int64_t right_rows, int workers);
+
+/// The stats-fed strategy decision (the feedback loop's read side).
+///
+/// Candidates: a default-match join (kFudjHash) may stay hash or switch
+/// to theta bucket matching or the Verify-only broadcast NLJ; a
+/// custom-match join (kFudjTheta) may stay theta or switch to the NLJ.
+///
+/// Costing: the default strategy's cost is the median simulated time of
+/// the store's *usable* records for this query shape (succeeded, not
+/// degraded — see QueryStatsRecord::UsableForPlanning). An alternative
+/// is costed from its own usable history when it has any, else from the
+/// static formula calibrated by (measured default / formula default).
+/// With fewer than `min_priors` usable records the store is cold and
+/// the static default is kept.
+///
+/// Independent of the strategy choice, when any usable prior of the
+/// default shape recorded COMBINE bucket splits or spilled buckets, the
+/// decision carries a DIVIDE bucket boost (> 1) telling the runtime to
+/// plan finer buckets next time.
+///
+/// Deterministic: same inputs + same store contents => same decision.
+AdaptiveDecision DecideJoinStrategy(const AdaptiveInputs& inputs,
+                                    JoinStrategy default_strategy,
+                                    const AdaptivePlanningContext& ctx);
+
+}  // namespace fudj
+
+#endif  // FUDJ_OPTIMIZER_ADAPTIVE_ADAPTIVE_PLANNER_H_

@@ -79,11 +79,14 @@ struct Statement {
     kSelect,
     kCreateJoin,
     kDropJoin,
-    /// SHOW METRICS / SHOW PROFILES [LIMIT n]: system introspection,
-    /// served from the query service's telemetry plane (the standalone
-    /// optimizer path has no service and rejects them).
+    /// SHOW METRICS / SHOW PROFILES [LIMIT n] / SHOW STATS: system
+    /// introspection, served from the query service's telemetry plane
+    /// (the standalone optimizer path has no service and rejects them).
+    /// SHOW STATS lists the persisted query-stats store by shape key —
+    /// what the adaptive planner sees.
     kShowMetrics,
     kShowProfiles,
+    kShowStats,
   };
   Kind kind = Kind::kSelect;
   QuerySpec select;

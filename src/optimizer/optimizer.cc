@@ -1,6 +1,7 @@
 #include "optimizer/optimizer.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -224,12 +225,15 @@ const char* JoinStrategyToString(JoinStrategy s) {
       return "builtin-operator";
     case JoinStrategy::kOnTopNlj:
       return "on-top-nlj";
+    case JoinStrategy::kFudjNlj:
+      return "broadcast-nlj";
   }
   return "?";
 }
 
 Result<PhysicalQueryPlan> PlanQuery(const QuerySpec& query,
-                                    const Catalog& catalog) {
+                                    const Catalog& catalog,
+                                    const AdaptivePlanningContext* adaptive) {
   if (query.tables.empty() || query.tables.size() > 4) {
     return Status::InvalidArgument("queries support one to four tables");
   }
@@ -237,6 +241,12 @@ Result<PhysicalQueryPlan> PlanQuery(const QuerySpec& query,
     return Status::InvalidArgument("empty select list");
   }
   PhysicalQueryPlan plan;
+  // Aggregation is detected up front (not at step 4) because the
+  // adaptive planner's query-shape key includes it.
+  bool any_agg = !query.group_by.empty();
+  for (const SelectItem& item : query.select) {
+    if (ContainsAggregate(item.expr)) any_agg = true;
+  }
 
   // 1. Bind tables.
   for (const TableRef& ref : query.tables) {
@@ -411,6 +421,32 @@ Result<PhysicalQueryPlan> PlanQuery(const QuerySpec& query,
           strategy = choice.join->UsesDefaultMatch()
                          ? JoinStrategy::kFudjHash
                          : JoinStrategy::kFudjTheta;
+          // Stats-fed adaptive planning (first join step only): consult
+          // the store's history for this query shape, possibly switch
+          // the bucket-matching strategy, and turn on histogram-driven
+          // DIVIDE with the feedback-derived bucket boost.
+          if (steps == 0 && adaptive != nullptr && adaptive->enabled &&
+              adaptive->store != nullptr) {
+            AdaptiveInputs ain;
+            ain.join_name = detection.join_name;
+            ain.num_tables = static_cast<int>(n_tables);
+            ain.aggregated = any_agg;
+            ain.left_rows = plan.tables[0].relation->NumRows();
+            ain.right_rows = plan.tables[pick].relation->NumRows();
+            const AdaptiveDecision d =
+                DecideJoinStrategy(ain, strategy, *adaptive);
+            plan.adaptive = d.info;
+            choice.options.adaptive_divide = true;
+            choice.options.divide_bucket_boost = d.info.bucket_boost;
+            if (d.strategy != strategy) {
+              if (d.strategy == JoinStrategy::kFudjTheta) {
+                choice.options.force_theta_bucket_join = true;
+              } else if (d.strategy == JoinStrategy::kFudjNlj) {
+                choice.options.force_broadcast_nlj = true;
+              }
+              strategy = d.strategy;
+            }
+          }
           explain_step = "FUDJ[" + detection.join_name + "] " +
                          JoinStrategyToString(strategy);
           fudj_choice = std::move(choice);
@@ -462,11 +498,7 @@ Result<PhysicalQueryPlan> PlanQuery(const QuerySpec& query,
     plan.join_schema = current;
   }
 
-  // 4. Aggregation.
-  bool any_agg = !query.group_by.empty();
-  for (const SelectItem& item : query.select) {
-    if (ContainsAggregate(item.expr)) any_agg = true;
-  }
+  // 4. Aggregation (any_agg detected up front).
   plan.has_aggregation = any_agg;
   if (any_agg) {
     for (const Expr::Ptr& g : query.group_by) {
@@ -587,8 +619,10 @@ Result<PhysicalQueryPlan> PlanQuery(const QuerySpec& query,
 }
 
 Result<QueryOutput> ExecuteQuery(Cluster* cluster, const Catalog& catalog,
-                                 const QuerySpec& query) {
-  FUDJ_ASSIGN_OR_RETURN(PhysicalQueryPlan plan, PlanQuery(query, catalog));
+                                 const QuerySpec& query,
+                                 const AdaptivePlanningContext* adaptive) {
+  FUDJ_ASSIGN_OR_RETURN(PhysicalQueryPlan plan,
+                        PlanQuery(query, catalog, adaptive));
   return ExecutePlan(cluster, plan);
 }
 
@@ -600,6 +634,9 @@ QueryOutput MakeExplainOutput(const PhysicalQueryPlan& plan) {
   QueryOutput out;
   out.schema.AddField("plan", ValueType::kString);
   out.rows.push_back({Value::String("strategy: " + plan.explain)});
+  if (plan.adaptive.active) {
+    out.rows.push_back({Value::String(plan.adaptive.line)});
+  }
   for (const BoundTable& t : plan.tables) {
     std::string line = "table: " + t.dataset;
     if (t.alias != t.dataset) line += " as " + t.alias;
@@ -639,6 +676,24 @@ Result<QueryOutput> ExplainAnalyzeQuery(Cluster* cluster,
   QueryOutput out;
   out.stats = ran->stats;
   out.profile = profile.ToString();
+  // Chosen-vs-default plan lines (the adaptive feedback loop's visible
+  // face): the decision, the observed run vs the default plan's
+  // estimate, and the runtime's re-planning notes. Appended to the
+  // rendered report, never to the stage rows (those must reconcile
+  // with simulated_ms).
+  if (ran->adaptive.active) {
+    out.profile += ran->adaptive.line + "\n";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "adaptive: observed %.2f ms simulated (default-plan "
+                  "estimate %.2f ms)\n",
+                  ran->stats.simulated_ms(), ran->adaptive.default_est_ms);
+    out.profile += buf;
+  }
+  for (const std::string& n : ran->stats.notes()) {
+    out.profile += "note: " + n + "\n";
+  }
+  out.adaptive = ran->adaptive;
   out.plan_explain = ran->plan_explain;
   out.join_name = ran->join_name;
   out.strategy = ran->strategy;
@@ -666,7 +721,8 @@ Result<QueryOutput> ExplainAnalyzeQuery(Cluster* cluster,
 }  // namespace
 
 Result<QueryOutput> ExecuteStatement(Cluster* cluster, Catalog* catalog,
-                                     const Statement& stmt) {
+                                     const Statement& stmt,
+                                     const AdaptivePlanningContext* adaptive) {
   if (stmt.parameter_count > 0) {
     return Status::InvalidArgument(
         "statement has " + std::to_string(stmt.parameter_count) +
@@ -689,14 +745,15 @@ Result<QueryOutput> ExecuteStatement(Cluster* cluster, Catalog* catalog,
     case Statement::Kind::kSelect: {
       if (stmt.explain) {
         FUDJ_ASSIGN_OR_RETURN(PhysicalQueryPlan plan,
-                              PlanQuery(stmt.select, *catalog));
+                              PlanQuery(stmt.select, *catalog, adaptive));
         if (!stmt.analyze) return MakeExplainOutput(plan);
         return ExplainAnalyzeQuery(cluster, plan);
       }
-      return ExecuteQuery(cluster, *catalog, stmt.select);
+      return ExecuteQuery(cluster, *catalog, stmt.select, adaptive);
     }
     case Statement::Kind::kShowMetrics:
     case Statement::Kind::kShowProfiles:
+    case Statement::Kind::kShowStats:
       // Introspection reads the service's telemetry plane; a standalone
       // cluster has none.
       return Status::InvalidArgument(
@@ -706,9 +763,10 @@ Result<QueryOutput> ExecuteStatement(Cluster* cluster, Catalog* catalog,
 }
 
 Result<QueryOutput> ExecuteSql(Cluster* cluster, Catalog* catalog,
-                               std::string_view sql) {
+                               std::string_view sql,
+                               const AdaptivePlanningContext* adaptive) {
   FUDJ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  return ExecuteStatement(cluster, catalog, stmt);
+  return ExecuteStatement(cluster, catalog, stmt, adaptive);
 }
 
 }  // namespace fudj

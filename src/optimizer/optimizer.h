@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "catalog/catalog.h"
+#include "optimizer/adaptive/adaptive_planner.h"
 #include "optimizer/logical_plan.h"
 #include "optimizer/physical_plan.h"
 
@@ -21,25 +22,38 @@ namespace fudj {
 ///  4. falls back to the on-top NLJ plan otherwise;
 ///  5. plans GROUP BY / aggregation, projection, ORDER BY and LIMIT on
 ///     top of the join output.
-Result<PhysicalQueryPlan> PlanQuery(const QuerySpec& query,
-                                    const Catalog& catalog);
+///
+/// With a non-null `adaptive` context the first FUDJ join step is
+/// additionally run through the stats-fed cost model (see
+/// optimizer/adaptive/adaptive_planner.h): the strategy may switch to
+/// theta bucket matching or the broadcast NLJ when the store's history
+/// says the default loses, and DIVIDE runs histogram-driven with a
+/// bucket boost derived from prior COMBINE splits/spills. nullptr plans
+/// statically (the pre-adaptive behavior, byte for byte).
+Result<PhysicalQueryPlan> PlanQuery(
+    const QuerySpec& query, const Catalog& catalog,
+    const AdaptivePlanningContext* adaptive = nullptr);
 
 /// Plans and executes a SELECT query.
-Result<QueryOutput> ExecuteQuery(Cluster* cluster, const Catalog& catalog,
-                                 const QuerySpec& query);
+Result<QueryOutput> ExecuteQuery(
+    Cluster* cluster, const Catalog& catalog, const QuerySpec& query,
+    const AdaptivePlanningContext* adaptive = nullptr);
 
 /// Executes an already-parsed statement. CREATE JOIN / DROP JOIN mutate
 /// the catalog and return an empty QueryOutput; SELECT returns rows.
 /// Rejects statements with unbound `?` parameters — instantiate with
-/// Statement::WithParameters first.
-Result<QueryOutput> ExecuteStatement(Cluster* cluster, Catalog* catalog,
-                                     const Statement& stmt);
+/// Statement::WithParameters first. `adaptive` (nullable) is forwarded
+/// to PlanQuery for SELECTs.
+Result<QueryOutput> ExecuteStatement(
+    Cluster* cluster, Catalog* catalog, const Statement& stmt,
+    const AdaptivePlanningContext* adaptive = nullptr);
 
 /// Parses and executes any supported statement (ParseStatement +
 /// ExecuteStatement). Re-entrant: may be called from many threads
 /// concurrently as long as each call uses its own Cluster.
-Result<QueryOutput> ExecuteSql(Cluster* cluster, Catalog* catalog,
-                               std::string_view sql);
+Result<QueryOutput> ExecuteSql(
+    Cluster* cluster, Catalog* catalog, std::string_view sql,
+    const AdaptivePlanningContext* adaptive = nullptr);
 
 }  // namespace fudj
 

@@ -151,6 +151,7 @@ Result<QueryOutput> ExecutePlan(Cluster* cluster,
       plan.fudj.has_value() ? plan.fudj->join_name : std::string("none");
   output.num_tables = static_cast<int>(plan.tables.size());
   output.aggregated = plan.has_aggregation;
+  output.adaptive = plan.adaptive;
 
   // Scan + pushed-down filters.
   std::vector<PartitionedRelation> inputs;
@@ -170,7 +171,8 @@ Result<QueryOutput> ExecutePlan(Cluster* cluster,
       joined = std::move(inputs[0]);
       break;
     case JoinStrategy::kFudjHash:
-    case JoinStrategy::kFudjTheta: {
+    case JoinStrategy::kFudjTheta:
+    case JoinStrategy::kFudjNlj: {
       const FudjJoinChoice& choice = *plan.fudj;
       FudjRuntime runtime(cluster, choice.join.get());
       FUDJ_ASSIGN_OR_RETURN(
@@ -219,7 +221,8 @@ Result<QueryOutput> ExecutePlan(Cluster* cluster,
     PartitionedRelation next;
     switch (step.strategy) {
       case JoinStrategy::kFudjHash:
-      case JoinStrategy::kFudjTheta: {
+      case JoinStrategy::kFudjTheta:
+      case JoinStrategy::kFudjNlj: {
         const FudjJoinChoice& choice = *step.fudj;
         FudjRuntime runtime(cluster, choice.join.get());
         FUDJ_ASSIGN_OR_RETURN(

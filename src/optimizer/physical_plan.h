@@ -34,6 +34,8 @@ enum class JoinStrategy {
   kFudjTheta, // FUDJ with custom match  -> broadcast theta bucket join
   kBuiltin,   // a built-in operator rule fired (library `builtinops`)
   kOnTopNlj,  // no FUDJ detected -> UDF nested-loop join
+  kFudjNlj,   // adaptive planner chose the exact Verify-only broadcast
+              // NLJ over the FUDJ pipeline (tiny inputs)
 };
 
 const char* JoinStrategyToString(JoinStrategy s);
@@ -76,6 +78,36 @@ struct ExtraJoinStep {
   Schema schema_after;
 };
 
+/// What the adaptive planner decided for one query, recorded on the
+/// plan so EXPLAIN / EXPLAIN ANALYZE can print the chosen strategy next
+/// to the static default and the serving layer can report observed wins.
+/// Plain data — filled by DecideJoinStrategy (optimizer/adaptive) when an
+/// AdaptivePlanningContext is supplied, untouched (active=false)
+/// otherwise.
+struct AdaptivePlanInfo {
+  /// An adaptive planning context was supplied and consulted.
+  bool active = false;
+  /// The decision used prior-run records (a warm store); false means the
+  /// store was cold for this shape and static costing alone ran.
+  bool from_history = false;
+  /// JoinStrategyToString of the chosen / static-default strategy.
+  std::string chosen;
+  std::string fallback;
+  /// Cost-model estimates (simulated ms) for the chosen strategy and the
+  /// static default; equal when the default was kept.
+  double est_ms = 0.0;
+  double default_est_ms = 0.0;
+  /// Usable prior records (succeeded, not degraded) consulted.
+  int priors = 0;
+  /// DIVIDE bucket-count multiplier derived from prior COMBINE
+  /// splits/spills for this shape (1.0 = no boost).
+  double bucket_boost = 1.0;
+  /// One-line human-readable summary, e.g.
+  /// "adaptive: switched hash-bucket-join -> broadcast-nlj
+  ///  (est 1.2ms vs 3.4ms, 4 priors)".
+  std::string line;
+};
+
 /// Fully bound physical plan of a SELECT query, produced by PlanQuery
 /// (optimizer.h) and executed by ExecutePlan.
 struct PhysicalQueryPlan {
@@ -108,6 +140,10 @@ struct PhysicalQueryPlan {
   /// One-line description of the chosen strategy, e.g.
   /// "FUDJ[text_similarity_join] hash-bucket-join". Tests assert on it.
   std::string explain;
+
+  /// Adaptive-planner decision record (active=false when planning ran
+  /// without a stats-store context).
+  AdaptivePlanInfo adaptive;
 };
 
 /// Result of executing a query: output rows plus execution statistics.
@@ -127,6 +163,10 @@ struct QueryOutput {
   std::string strategy;      ///< JoinStrategyToString of the first step
   int num_tables = 0;
   bool aggregated = false;
+
+  /// Adaptive-planner decision for this query (AdaptivePlanInfo::line is
+  /// what EXPLAIN ANALYZE prints; active=false when planned statically).
+  AdaptivePlanInfo adaptive;
 
   /// Renders rows as an aligned table (examples/demos).
   std::string ToTable(size_t max_rows = 20) const;

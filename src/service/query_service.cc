@@ -140,6 +140,12 @@ QueryService::QueryService(const ServiceOptions& options)
                 : std::max(1u, std::thread::hardware_concurrency())),
       governor_(options.memory_budget_bytes, 1),
       hub_(options.telemetry) {
+  if (hub_.stats_store() != nullptr) {
+    // Warm start for the adaptive planner: re-read what earlier service
+    // processes appended (best effort — a corrupt store surfaces on the
+    // first SHOW STATS, not here).
+    (void)hub_.stats_store()->Reload();
+  }
   metrics_.GetGauge("service_queue_depth")->Set(0);
   metrics_.GetGauge("service_running")->Set(0);
   const int slots = std::max(1, options_.max_concurrent);
@@ -224,7 +230,8 @@ TicketPtr QueryService::Enqueue(const std::shared_ptr<Session>& session,
   t->charged_estimate_ = -1.0;
 
   if (stmt.kind == Statement::Kind::kShowMetrics ||
-      stmt.kind == Statement::Kind::kShowProfiles) {
+      stmt.kind == Statement::Kind::kShowProfiles ||
+      stmt.kind == Statement::Kind::kShowStats) {
     // System introspection: served synchronously from the telemetry
     // plane, bypassing admission and scheduling (a SHOW must work while
     // the service is overloaded — that is when it is needed).
@@ -364,8 +371,16 @@ void QueryService::ExecutorLoop(int slot) {
              Tracer::StringArg("session", t->session_name_)});
         cluster.set_tracer(qtracer.get());
       }
+      // Adaptive planning context: the persisted store's history feeds
+      // the strategy/cost model of this query's plan.
+      AdaptivePlanningContext adaptive;
+      adaptive.store = hub_.stats_store();
+      adaptive.enabled =
+          options_.adaptive_planning && adaptive.store != nullptr;
+      adaptive.workers = options_.num_workers;
       Result<QueryOutput> ran =
-          ExecuteStatement(&cluster, t->session_->catalog(), t->stmt_);
+          ExecuteStatement(&cluster, t->session_->catalog(), t->stmt_,
+                           adaptive.enabled ? &adaptive : nullptr);
       if (ran.ok()) {
         end_state = QueryState::kSucceeded;
         out = std::move(*ran);
@@ -409,6 +424,33 @@ void QueryService::FinishTicket(const TicketPtr& t, QueryState state,
     entry.query_id = t->id_;
     entry.session = t->session_name_;
     entry.state = QueryStateToString(state);
+    // Cost-model outcome: which runs the adaptive planner may learn
+    // from. A succeeded run that degraded to the broadcast-NLJ fallback
+    // measured the fallback, not the plan — mark it so the store's
+    // usable view excludes it.
+    switch (state) {
+      case QueryState::kSucceeded: {
+        entry.outcome = "succeeded";
+        for (const std::string& w : output.stats.warnings()) {
+          if (w.find("degrad") != std::string::npos) {
+            entry.outcome = "degraded";
+            break;
+          }
+        }
+        break;
+      }
+      case QueryState::kCancelled:
+        entry.outcome = "cancelled";
+        break;
+      case QueryState::kRejected:
+        entry.outcome = "rejected";
+        break;
+      default:
+        entry.outcome = status.code() == StatusCode::kTimeout
+                            ? "timeout"
+                            : "failed";
+        break;
+    }
     entry.join_name =
         output.join_name.empty() ? "none" : output.join_name;
     entry.strategy = output.strategy.empty() ? "none" : output.strategy;
@@ -485,6 +527,36 @@ QueryOutput QueryService::BuildShowOutput(const Statement& stmt) {
            Value::Double(std::strtod(line.c_str() + sp + 1, nullptr))});
     }
     out.plan_explain = "SHOW METRICS";
+  } else if (stmt.kind == Statement::Kind::kShowStats) {
+    // The adaptive planner's view of the persisted query-stats store:
+    // per shape key, how much history exists and how much of it is
+    // usable for planning (succeeded and not degraded).
+    out.schema.AddField("shape", ValueType::kString);
+    out.schema.AddField("records", ValueType::kInt64);
+    out.schema.AddField("usable", ValueType::kInt64);
+    out.schema.AddField("median_sim_ms", ValueType::kDouble);
+    QueryStatsStore* store = hub_.stats_store();
+    if (store != nullptr) {
+      for (const std::string& key : store->Keys()) {
+        const auto all = store->ForShape(key);
+        const auto usable = store->ForShapeUsable(key);
+        std::vector<double> ms;
+        ms.reserve(usable.size());
+        for (const QueryStatsRecord& r : usable) ms.push_back(r.sim_ms);
+        std::sort(ms.begin(), ms.end());
+        const double median =
+            ms.empty() ? 0.0
+                       : (ms.size() % 2 == 1
+                              ? ms[ms.size() / 2]
+                              : (ms[ms.size() / 2 - 1] + ms[ms.size() / 2]) /
+                                    2.0);
+        out.rows.push_back({Value::String(key),
+                            Value::Int64(static_cast<int64_t>(all.size())),
+                            Value::Int64(static_cast<int64_t>(usable.size())),
+                            Value::Double(median)});
+      }
+    }
+    out.plan_explain = "SHOW STATS";
   } else {
     out.schema.AddField("query_id", ValueType::kInt64);
     out.schema.AddField("session", ValueType::kString);
@@ -498,6 +570,8 @@ QueryOutput QueryService::BuildShowOutput(const Statement& stmt) {
     out.schema.AddField("retries", ValueType::kInt64);
     out.schema.AddField("spilled_buckets", ValueType::kInt64);
     out.schema.AddField("bucket_splits", ValueType::kInt64);
+    // New columns go at the END: clients and tests index positionally.
+    out.schema.AddField("outcome", ValueType::kString);
     for (const QueryProfileEntry& p :
          hub_.RecentProfiles(stmt.show_limit)) {
       out.rows.push_back(
@@ -507,7 +581,8 @@ QueryOutput QueryService::BuildShowOutput(const Statement& stmt) {
            Value::Double(p.wall_ms), Value::Double(p.queue_ms),
            Value::Int64(p.rows), Value::Int64(p.retries),
            Value::Int64(p.spilled_buckets),
-           Value::Int64(p.bucket_splits)});
+           Value::Int64(p.bucket_splits),
+           Value::String(p.outcome.empty() ? "unknown" : p.outcome)});
     }
     out.plan_explain = "SHOW PROFILES";
   }

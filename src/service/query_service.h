@@ -51,6 +51,13 @@ struct ServiceOptions {
   /// and the persisted query-stats store. Disabled, the hub's entry
   /// points reduce to one branch each.
   TelemetryOptions telemetry;
+  /// Stats-fed adaptive planning: every SELECT consults the persisted
+  /// query-stats store (telemetry.stats_path) through the adaptive
+  /// planner — strategy switching plus histogram-driven DIVIDE
+  /// re-planning. Off (the default), queries plan statically; without a
+  /// stats store the flag has no effect. Query results are identical
+  /// either way (only row order within the unordered result may differ).
+  bool adaptive_planning = false;
 };
 
 /// Lifecycle of a submitted query.
@@ -272,7 +279,8 @@ class QueryService {
   TicketPtr PopNextLocked();
   void FinishTicket(const TicketPtr& t, QueryState state, Status status,
                     QueryOutput output);
-  /// Materializes SHOW METRICS / SHOW PROFILES as a relational result.
+  /// Materializes SHOW METRICS / SHOW PROFILES / SHOW STATS as a
+  /// relational result.
   QueryOutput BuildShowOutput(const Statement& stmt);
 
   const ServiceOptions options_;

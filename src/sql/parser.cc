@@ -59,8 +59,12 @@ class Parser {
             return Status::ParseError("LIMIT must be non-negative");
           }
         }
+      } else if (Peek().IsKeyword("stats")) {
+        Advance();
+        stmt.kind = Statement::Kind::kShowStats;
       } else {
-        return Status::ParseError("expected METRICS or PROFILES after SHOW");
+        return Status::ParseError(
+            "expected METRICS, PROFILES or STATS after SHOW");
       }
     } else {
       return Status::ParseError(

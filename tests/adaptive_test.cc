@@ -1,0 +1,929 @@
+// Tests of the adaptive-optimization loop: the SUMMARIZE key histogram
+// and its degenerate-input guards, histogram-driven DIVIDE re-planning,
+// the stats-fed strategy/cost model (including poisoned-run filtering
+// and mixed-schema JSONL tolerance), byte-identity of query results
+// across adaptive on/off and cold/warm stores, and the service-level
+// feedback path (outcome recording, SHOW STATS, warm-store planning).
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "datagen/datagen.h"
+#include "engine/cluster.h"
+#include "fudj/key_histogram.h"
+#include "gtest/gtest.h"
+#include "joins/interval_fudj.h"
+#include "obs/query_stats.h"
+#include "optimizer/adaptive/adaptive_planner.h"
+#include "optimizer/optimizer.h"
+#include "service/query_service.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace fudj {
+namespace {
+
+bool SameRows(const QueryOutput& a, const QueryOutput& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    if (a.rows[i].size() != b.rows[i].size()) return false;
+    for (size_t c = 0; c < a.rows[i].size(); ++c) {
+      if (!a.rows[i][c].Equals(b.rows[i][c])) return false;
+    }
+  }
+  return true;
+}
+
+void WriteLines(const std::string& path,
+                const std::vector<std::string>& lines) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  for (const std::string& line : lines) {
+    std::fputs(line.c_str(), f);
+    std::fputc('\n', f);
+  }
+  std::fclose(f);
+}
+
+// --------------------------------------------------------- KeyHistogram
+
+TEST(KeyHistogramTest, EquiDepthCutsBalanceUniformMass) {
+  KeyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.Add(static_cast<double>(i));
+  EXPECT_EQ(h.total(), 1000);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 999.0);
+  EXPECT_FALSE(h.Degenerate());
+  EXPECT_LT(h.MaxBinFraction(), 0.1);
+
+  const std::vector<double> cuts = h.EquiDepthCuts(4);
+  ASSERT_EQ(cuts.size(), 3u);
+  for (size_t i = 1; i < cuts.size(); ++i) EXPECT_GT(cuts[i], cuts[i - 1]);
+  // Uniform mass => cuts near the quartiles.
+  EXPECT_NEAR(cuts[0], 250.0, 50.0);
+  EXPECT_NEAR(cuts[1], 500.0, 50.0);
+  EXPECT_NEAR(cuts[2], 750.0, 50.0);
+  for (double c : cuts) {
+    EXPECT_GT(c, h.min());
+    EXPECT_LT(c, h.max());
+  }
+}
+
+TEST(KeyHistogramTest, DeterministicAcrossIdenticalBuilds) {
+  auto build = [] {
+    KeyHistogram h;
+    for (int i = 0; i < 500; ++i) h.Add(std::fmod(i * 37.0, 211.0));
+    return h;
+  };
+  const KeyHistogram a = build();
+  const KeyHistogram b = build();
+  EXPECT_EQ(a.bins(), b.bins());
+  EXPECT_EQ(a.EquiDepthCuts(8), b.EquiDepthCuts(8));
+}
+
+TEST(KeyHistogramTest, MergeAccumulatesRangeAndMass) {
+  KeyHistogram a;
+  for (int i = 0; i < 100; ++i) a.Add(static_cast<double>(i));
+  KeyHistogram b;
+  for (int i = 900; i < 1000; ++i) b.Add(static_cast<double>(i));
+  a.Merge(b);
+  EXPECT_EQ(a.total(), 200);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 999.0);
+  EXPECT_FALSE(a.Degenerate());
+  // Merging into an empty histogram copies the other side verbatim.
+  KeyHistogram empty;
+  empty.Merge(b);
+  EXPECT_EQ(empty.total(), b.total());
+  EXPECT_EQ(empty.bins(), b.bins());
+}
+
+TEST(KeyHistogramTest, DegenerateDetectionNamesTheReason) {
+  std::string reason;
+  KeyHistogram empty;
+  EXPECT_TRUE(empty.Degenerate(&reason));
+  EXPECT_EQ(reason, "empty-input");
+  EXPECT_TRUE(empty.EquiDepthCuts(8).empty());
+
+  KeyHistogram single;
+  for (int i = 0; i < 50; ++i) single.Add(42.0);
+  EXPECT_TRUE(single.Degenerate(&reason));
+  EXPECT_EQ(reason, "single-key");
+  EXPECT_TRUE(single.EquiDepthCuts(8).empty());
+  EXPECT_DOUBLE_EQ(single.MaxBinFraction(), 1.0);
+
+  // Interval keys project both endpoints; identical intervals still
+  // collapse per endpoint and the combined histogram has two point
+  // masses — not single-key, but nearly all mass in a hot bin.
+  KeyHistogram iv;
+  for (int i = 0; i < 50; ++i) iv.AddKey(Value::Intv(Interval(10, 10)));
+  EXPECT_TRUE(iv.Degenerate(&reason));
+  EXPECT_EQ(reason, "single-key");
+
+  // NULL keys carry no mass: an all-null relation reads as empty input.
+  KeyHistogram nulls;
+  for (int i = 0; i < 5; ++i) nulls.AddKey(Value::Null());
+  EXPECT_TRUE(nulls.Degenerate(&reason));
+  EXPECT_EQ(reason, "empty-input");
+}
+
+// ----------------------------- degenerate DIVIDE guards (interval join)
+
+IntervalSummary MakeSummary(const std::vector<Interval>& ivs) {
+  IntervalSummary s;
+  for (const Interval& iv : ivs) s.Add(Value::Intv(iv));
+  return s;
+}
+
+KeyHistogram MakeHist(const std::vector<Interval>& ivs) {
+  KeyHistogram h;
+  for (const Interval& iv : ivs) h.AddKey(Value::Intv(iv));
+  return h;
+}
+
+std::string StaticPlanString(const IntervalFudj& join,
+                             const IntervalSummary& l,
+                             const IntervalSummary& r) {
+  auto plan = join.Divide(l, r);
+  EXPECT_OK(plan.status());
+  return plan.value()->ToString();
+}
+
+TEST(AdaptiveDivideTest, EmptyHistogramFallsBackToStaticPlan) {
+  // Case 1 of the degenerate-SUMMARIZE guard: an empty relation gives an
+  // empty histogram (no key mass), so re-planning must keep the static
+  // equal-width plan instead of emitting zero-width buckets.
+  IntervalFudj join(JoinParameters({Value::Int64(100)}));
+  const std::vector<Interval> data = {{0, 10}, {50, 60}, {90, 100}};
+  const IntervalSummary l = MakeSummary(data);
+  const IntervalSummary r = MakeSummary(data);
+  const KeyHistogram empty;
+  KeyHistogram full = MakeHist(data);
+
+  DivideHints hints;
+  hints.left = &empty;
+  hints.right = &empty;
+  hints.left_rows = 0;
+  hints.right_rows = 0;
+  std::string note;
+  hints.note = &note;
+  ASSERT_OK_AND_ASSIGN(const auto plan, join.DivideWithHints(l, r, hints));
+  EXPECT_EQ(plan->ToString(), StaticPlanString(join, l, r));
+  EXPECT_TRUE(note.empty()) << "fallback must not claim it re-planned";
+
+  // A missing histogram (side never summarized) is the same fallback.
+  DivideHints null_hints;
+  null_hints.left = nullptr;
+  null_hints.right = &full;
+  ASSERT_OK_AND_ASSIGN(const auto plan2,
+                       join.DivideWithHints(l, r, null_hints));
+  EXPECT_EQ(plan2->ToString(), StaticPlanString(join, l, r));
+}
+
+TEST(AdaptiveDivideTest, SingleDistinctKeyFallsBackToStaticPlan) {
+  // Case 2: every row carries the same key — equi-depth cuts would all
+  // collapse onto the one value.
+  IntervalFudj join(JoinParameters({Value::Int64(100)}));
+  std::vector<Interval> data(40, Interval(42, 42));
+  const IntervalSummary l = MakeSummary(data);
+  const IntervalSummary r = MakeSummary(data);
+  const KeyHistogram hist = MakeHist(data);
+  ASSERT_TRUE(hist.Degenerate());
+
+  DivideHints hints;
+  hints.left = &hist;
+  hints.right = &hist;
+  hints.left_rows = 40;
+  hints.right_rows = 40;
+  std::string note;
+  hints.note = &note;
+  ASSERT_OK_AND_ASSIGN(const auto plan, join.DivideWithHints(l, r, hints));
+  EXPECT_EQ(plan->ToString(), StaticPlanString(join, l, r));
+  EXPECT_TRUE(note.empty());
+}
+
+TEST(AdaptiveDivideTest, OneHotBinFallsBackToStaticPlan) {
+  // Case 3: essentially all mass inside one histogram bin. The
+  // interpolated cuts land so close together that they collapse to the
+  // range minimum after rounding to integer timestamps, and the join
+  // must detect the empty cut list and keep the static plan.
+  IntervalFudj join(JoinParameters({Value::Int64(100)}));
+  std::vector<Interval> data(200, Interval(10, 10));
+  data.emplace_back(11, 11);
+  const IntervalSummary l = MakeSummary(data);
+  const IntervalSummary r = MakeSummary(data);
+  const KeyHistogram hist = MakeHist(data);
+
+  DivideHints hints;
+  hints.left = &hist;
+  hints.right = &hist;
+  hints.left_rows = static_cast<int64_t>(data.size());
+  hints.right_rows = static_cast<int64_t>(data.size());
+  std::string note;
+  hints.note = &note;
+  ASSERT_OK_AND_ASSIGN(const auto plan, join.DivideWithHints(l, r, hints));
+  EXPECT_EQ(plan->ToString(), StaticPlanString(join, l, r));
+  EXPECT_TRUE(note.empty());
+}
+
+TEST(AdaptiveDivideTest, SpreadMassProducesEquiDepthPlan) {
+  // Positive control: well-spread mass re-plans to ~sqrt(rows) equi-depth
+  // granules and says so through the hint note.
+  IntervalFudj join(JoinParameters({Value::Int64(1000)}));
+  std::vector<Interval> data;
+  for (int64_t i = 0; i < 100; ++i) data.emplace_back(i * 1000, i * 1000 + 500);
+  const IntervalSummary l = MakeSummary(data);
+  const IntervalSummary r = MakeSummary(data);
+  const KeyHistogram hist = MakeHist(data);
+  ASSERT_FALSE(hist.Degenerate());
+
+  DivideHints hints;
+  hints.left = &hist;
+  hints.right = &hist;
+  hints.left_rows = 100;
+  hints.right_rows = 100;
+  std::string note;
+  hints.note = &note;
+  ASSERT_OK_AND_ASSIGN(const auto plan, join.DivideWithHints(l, r, hints));
+  EXPECT_NE(plan->ToString().find("equi-depth"), std::string::npos)
+      << plan->ToString();
+  EXPECT_NE(note.find("equi-depth"), std::string::npos) << note;
+  // Deterministic: identical inputs re-plan identically.
+  std::string note2;
+  DivideHints hints2 = hints;
+  hints2.note = &note2;
+  ASSERT_OK_AND_ASSIGN(const auto plan2,
+                       join.DivideWithHints(l, r, hints2));
+  EXPECT_EQ(plan->ToString(), plan2->ToString());
+  EXPECT_EQ(note, note2);
+}
+
+// ------------------------------------------------------ static cost model
+
+TEST(CostModelTest, BroadcastNljWinsTinyInputs) {
+  const double nlj = EstimateStrategyMs(JoinStrategy::kFudjNlj, 20, 20, 8);
+  const double hash = EstimateStrategyMs(JoinStrategy::kFudjHash, 20, 20, 8);
+  const double theta =
+      EstimateStrategyMs(JoinStrategy::kFudjTheta, 20, 20, 8);
+  EXPECT_LT(nlj, hash);
+  EXPECT_LT(nlj, theta);
+}
+
+TEST(CostModelTest, HashBeatsThetaBeatsNljOnLargeInputs) {
+  const int64_t n = 200000;
+  const double nlj = EstimateStrategyMs(JoinStrategy::kFudjNlj, n, n, 8);
+  const double hash = EstimateStrategyMs(JoinStrategy::kFudjHash, n, n, 8);
+  const double theta = EstimateStrategyMs(JoinStrategy::kFudjTheta, n, n, 8);
+  EXPECT_LT(hash, theta);
+  EXPECT_LT(theta, nlj);
+  // Unmodeled strategies cost nothing (they are never candidates).
+  EXPECT_DOUBLE_EQ(
+      EstimateStrategyMs(JoinStrategy::kBuiltin, n, n, 8), 0.0);
+}
+
+// ------------------------------------------- DecideJoinStrategy (stores)
+
+class AdaptivePlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = "adaptive_test_planner_stats.jsonl";
+    std::remove(path_.c_str());
+    store_ = std::make_unique<QueryStatsStore>(path_);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  QueryStatsRecord Rec(const std::string& strategy, double sim_ms,
+                       const std::string& outcome = "succeeded",
+                       int64_t bucket_splits = 0, bool degraded = false) {
+    QueryStatsRecord r;
+    r.shape.join_name = "iv_overlap";
+    r.shape.strategy = strategy;
+    r.shape.num_tables = 2;
+    r.shape.aggregated = false;
+    r.state = "succeeded";
+    r.outcome = outcome;
+    r.sim_ms = sim_ms;
+    r.bucket_splits = bucket_splits;
+    r.degraded = degraded;
+    return r;
+  }
+
+  AdaptiveInputs Inputs(int64_t rows = 20000) {
+    AdaptiveInputs in;
+    in.join_name = "iv_overlap";
+    in.num_tables = 2;
+    in.aggregated = false;
+    in.left_rows = rows;
+    in.right_rows = rows;
+    return in;
+  }
+
+  AdaptivePlanningContext Ctx() {
+    AdaptivePlanningContext ctx;
+    ctx.store = store_.get();
+    ctx.workers = 8;
+    return ctx;
+  }
+
+  std::string path_;
+  std::unique_ptr<QueryStatsStore> store_;
+};
+
+TEST_F(AdaptivePlannerTest, ColdStoreKeepsTheStaticDefault) {
+  const AdaptiveDecision d =
+      DecideJoinStrategy(Inputs(), JoinStrategy::kFudjTheta, Ctx());
+  EXPECT_EQ(d.strategy, JoinStrategy::kFudjTheta);
+  EXPECT_TRUE(d.info.active);
+  EXPECT_FALSE(d.info.from_history);
+  EXPECT_EQ(d.info.priors, 0);
+  EXPECT_NE(d.info.line.find("cold store"), std::string::npos)
+      << d.info.line;
+  EXPECT_EQ(d.info.chosen, d.info.fallback);
+}
+
+TEST_F(AdaptivePlannerTest, WarmHistorySwitchesToMeasuredFasterStrategy) {
+  ASSERT_OK(store_->Append(Rec("theta-bucket-join", 100.0)));
+  ASSERT_OK(store_->Append(Rec("theta-bucket-join", 120.0)));
+  ASSERT_OK(store_->Append(Rec("broadcast-nlj", 0.5)));
+  ASSERT_OK(store_->Append(Rec("broadcast-nlj", 0.7)));
+  const AdaptiveDecision d =
+      DecideJoinStrategy(Inputs(), JoinStrategy::kFudjTheta, Ctx());
+  EXPECT_EQ(d.strategy, JoinStrategy::kFudjNlj);
+  EXPECT_TRUE(d.info.from_history);
+  EXPECT_EQ(d.info.priors, 2);
+  EXPECT_EQ(d.info.chosen, "broadcast-nlj");
+  EXPECT_EQ(d.info.fallback, "theta-bucket-join");
+  EXPECT_NE(d.info.line.find("switched"), std::string::npos) << d.info.line;
+  EXPECT_LT(d.info.est_ms, d.info.default_est_ms);
+}
+
+TEST_F(AdaptivePlannerTest, PoisonedRecordsNeverSteerTheSwitch) {
+  // Regression for the feedback-path bug class: a cancelled / timed-out
+  // / degraded run records a misleadingly small sim_ms (it measured the
+  // abort, not the plan). The planner must not learn from it.
+  ASSERT_OK(store_->Append(Rec("theta-bucket-join", 100.0)));
+  ASSERT_OK(store_->Append(Rec("theta-bucket-join", 100.0)));
+  ASSERT_OK(store_->Append(Rec("broadcast-nlj", 0.01, "cancelled")));
+  ASSERT_OK(store_->Append(Rec("broadcast-nlj", 0.01, "timeout")));
+  ASSERT_OK(store_->Append(Rec("broadcast-nlj", 0.01, "rejected")));
+  ASSERT_OK(store_->Append(Rec("broadcast-nlj", 0.01, "unknown")));
+  ASSERT_OK(store_->Append(
+      Rec("broadcast-nlj", 0.01, "succeeded", 0, /*degraded=*/true)));
+  // All the fast NLJ records are poisoned, so the alternative is costed
+  // from the calibrated static formula — which says NLJ over 20k x 20k
+  // rows is far slower than the measured theta default.
+  const AdaptiveDecision d =
+      DecideJoinStrategy(Inputs(), JoinStrategy::kFudjTheta, Ctx());
+  EXPECT_EQ(d.strategy, JoinStrategy::kFudjTheta);
+  EXPECT_TRUE(d.info.from_history);
+  EXPECT_NE(d.info.line.find("kept"), std::string::npos) << d.info.line;
+
+  // Sanity: the store itself filters them.
+  const std::string nlj_key =
+      "join=iv_overlap|strategy=broadcast-nlj|tables=2|agg=0";
+  EXPECT_EQ(store_->ForShape(nlj_key).size(), 5u);
+  EXPECT_TRUE(store_->ForShapeUsable(nlj_key).empty());
+}
+
+TEST_F(AdaptivePlannerTest, PoisonedDefaultRecordsKeepTheStoreCold) {
+  // Two poisoned default-shape runs must not count toward min_priors.
+  ASSERT_OK(store_->Append(Rec("theta-bucket-join", 5.0, "failed")));
+  ASSERT_OK(store_->Append(Rec("theta-bucket-join", 5.0, "cancelled")));
+  const AdaptiveDecision d =
+      DecideJoinStrategy(Inputs(), JoinStrategy::kFudjTheta, Ctx());
+  EXPECT_FALSE(d.info.from_history);
+  EXPECT_EQ(d.info.priors, 0);
+  EXPECT_NE(d.info.line.find("cold store"), std::string::npos);
+}
+
+TEST_F(AdaptivePlannerTest, SplitHistoryRequestsFinerBuckets) {
+  // One usable prior with COMBINE splits is enough to boost DIVIDE even
+  // while the store is still too cold to switch strategies.
+  ASSERT_OK(store_->Append(
+      Rec("theta-bucket-join", 10.0, "succeeded", /*bucket_splits=*/6)));
+  const AdaptiveDecision cold =
+      DecideJoinStrategy(Inputs(), JoinStrategy::kFudjTheta, Ctx());
+  EXPECT_EQ(cold.strategy, JoinStrategy::kFudjTheta);
+  EXPECT_DOUBLE_EQ(cold.info.bucket_boost, 2.0);
+  EXPECT_NE(cold.info.line.find("divide-boost 2.0x"), std::string::npos)
+      << cold.info.line;
+
+  // A split-free history carries no boost.
+  ASSERT_OK(store_->Append(Rec("theta-bucket-join", 10.0)));
+  AdaptiveInputs other = Inputs();
+  other.join_name = "other_join";
+  QueryStatsRecord clean = Rec("theta-bucket-join", 10.0);
+  clean.shape.join_name = "other_join";
+  ASSERT_OK(store_->Append(clean));
+  const AdaptiveDecision no_boost =
+      DecideJoinStrategy(other, JoinStrategy::kFudjTheta, Ctx());
+  EXPECT_DOUBLE_EQ(no_boost.info.bucket_boost, 1.0);
+}
+
+TEST_F(AdaptivePlannerTest, DisabledContextAndNonFudjDefaultsAreInert) {
+  AdaptivePlanningContext off = Ctx();
+  off.enabled = false;
+  EXPECT_FALSE(
+      DecideJoinStrategy(Inputs(), JoinStrategy::kFudjTheta, off)
+          .info.active);
+  AdaptivePlanningContext no_store = Ctx();
+  no_store.store = nullptr;
+  EXPECT_FALSE(
+      DecideJoinStrategy(Inputs(), JoinStrategy::kFudjTheta, no_store)
+          .info.active);
+  // Only FUDJ hash/theta defaults have candidates to weigh.
+  EXPECT_FALSE(DecideJoinStrategy(Inputs(), JoinStrategy::kBuiltin, Ctx())
+                   .info.active);
+  EXPECT_FALSE(DecideJoinStrategy(Inputs(), JoinStrategy::kOnTopNlj, Ctx())
+                   .info.active);
+}
+
+// ------------------------------------------- mixed-schema JSONL tolerance
+
+TEST(QueryStatsStoreTest, ReloadToleratesLegacyLinesWithoutOutcome) {
+  const std::string path = "adaptive_test_mixed_schema.jsonl";
+  QueryStatsRecord modern;
+  modern.shape.join_name = "iv_overlap";
+  modern.shape.strategy = "theta-bucket-join";
+  modern.shape.num_tables = 2;
+  modern.state = "succeeded";
+  modern.outcome = "succeeded";
+  modern.sim_ms = 3.0;
+  // A pre-outcome line (schema version of the PR 8 store) and a line
+  // from a hypothetical future writer with an extra field.
+  const std::string legacy =
+      "{\"key\":\"join=iv_overlap|strategy=theta-bucket-join|tables=2|"
+      "agg=0\",\"join\":\"iv_overlap\",\"strategy\":\"theta-bucket-join\","
+      "\"tables\":2,\"agg\":0,\"state\":\"succeeded\",\"sim_ms\":4.5,"
+      "\"wall_ms\":6.0,\"queue_ms\":0.5,\"rows\":12,\"retries\":0,"
+      "\"spilled_buckets\":0,\"spill_bytes\":0,\"bucket_splits\":0,"
+      "\"degraded\":0,\"stages\":{\"COMBINE\":1.5}}";
+  const std::string future =
+      "{\"join\":\"iv_overlap\",\"strategy\":\"theta-bucket-join\","
+      "\"tables\":2,\"agg\":0,\"state\":\"succeeded\","
+      "\"outcome\":\"succeeded\",\"sim_ms\":2.0,\"novel_metric\":7,"
+      "\"novel_tag\":\"x\",\"stages\":{}}";
+  WriteLines(path, {modern.ToJson(), legacy, future});
+
+  QueryStatsStore store(path);
+  ASSERT_OK(store.Reload());
+  ASSERT_EQ(store.records().size(), 3u);
+  const std::string key =
+      "join=iv_overlap|strategy=theta-bucket-join|tables=2|agg=0";
+  const std::vector<QueryStatsRecord> all = store.ForShape(key);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].outcome, "succeeded");
+  EXPECT_EQ(all[1].outcome, "unknown") << "legacy line must parse as "
+                                          "unknown, not fail the reload";
+  EXPECT_DOUBLE_EQ(all[1].sim_ms, 4.5);
+  ASSERT_EQ(all[1].stages.size(), 1u);
+  EXPECT_EQ(all[1].stages[0].first, "COMBINE");
+  EXPECT_EQ(all[2].outcome, "succeeded");
+  // The unknown-outcome legacy record is visible but never costed.
+  EXPECT_EQ(store.ForShapeUsable(key).size(), 2u);
+  for (const QueryStatsRecord& r : store.ForShapeUsable(key)) {
+    EXPECT_EQ(r.outcome, "succeeded");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(QueryStatsStoreTest, ReloadStaysLoudOnTrulyCorruptLines) {
+  const std::string path = "adaptive_test_corrupt.jsonl";
+  QueryStatsRecord ok;
+  ok.shape.join_name = "j";
+  ok.shape.strategy = "s";
+  ok.outcome = "succeeded";
+  WriteLines(path, {ok.ToJson(), "this is not a json object"});
+  QueryStatsStore store(path);
+  EXPECT_FALSE(store.Reload().ok())
+      << "a corrupt store must fail loudly, not silently shrink";
+  std::remove(path.c_str());
+}
+
+// ------------------------------------- end-to-end adaptive byte identity
+
+/// Skewed interval table: 550 short rides piled into one ~5k-ms-wide hot
+/// window (one static granule) plus 50 outliers spreading the timeline
+/// to ~2M ms, so the static 200-granule plan funnels ~550x550 candidate
+/// pairs into one COMBINE bucket — over the skew-split cutoff — while
+/// equi-depth re-planning slices the hot window into many granules.
+std::vector<Tuple> SkewedRides(int64_t phase) {
+  std::vector<Tuple> rows;
+  for (int64_t i = 0; i < 550; ++i) {
+    const int64_t start = 1000000 + i * 9 + phase;
+    rows.push_back({Value::Int64(i), Value::Int64(0),
+                    Value::Intv(Interval(start, start + 200))});
+  }
+  for (int64_t i = 0; i < 50; ++i) {
+    const int64_t start = i * 40000;
+    rows.push_back({Value::Int64(550 + i), Value::Int64(1),
+                    Value::Intv(Interval(start, start + 100))});
+  }
+  return rows;
+}
+
+class AdaptiveExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterBundledJoinLibraries();
+    cluster_ = std::make_unique<Cluster>(4);
+    ASSERT_OK(catalog_.RegisterDataset(
+        "parks", PartitionedRelation::FromTuples(ParksSchema(),
+                                                 GenerateParks(60, 1), 4)));
+    ASSERT_OK(catalog_.RegisterDataset(
+        "wildfires",
+        PartitionedRelation::FromTuples(WildfiresSchema(),
+                                        GenerateWildfires(150, 2), 4)));
+    ASSERT_OK(catalog_.RegisterDataset(
+        "amazonreview",
+        PartitionedRelation::FromTuples(ReviewsSchema(),
+                                        GenerateReviews(60, 3), 4)));
+    ASSERT_OK(catalog_.RegisterDataset(
+        "nyctaxi", PartitionedRelation::FromTuples(
+                       TaxiSchema(), GenerateTaxiRides(80, 4), 4)));
+    ASSERT_OK(catalog_.RegisterDataset(
+        "weather",
+        PartitionedRelation::FromTuples(WeatherSchema(),
+                                        GenerateWeather(120, 5), 4)));
+    ASSERT_OK(catalog_.RegisterDataset(
+        "hotleft", PartitionedRelation::FromTuples(TaxiSchema(),
+                                                   SkewedRides(0), 4)));
+    ASSERT_OK(catalog_.RegisterDataset(
+        "hotright", PartitionedRelation::FromTuples(TaxiSchema(),
+                                                    SkewedRides(3), 4)));
+    ASSERT_OK(Ddl(
+        "CREATE JOIN spatial_intersect(a: geometry, b: geometry) RETURNS "
+        "boolean AS \"spatial.SpatialJoin\" AT flexiblejoins "
+        "PARAMS (30, 0)"));
+    ASSERT_OK(Ddl(
+        "CREATE JOIN similarity_jaccard(a: string, b: string) RETURNS "
+        "boolean AS \"setsimilarity.SetSimilarityJoin\" AT flexiblejoins"));
+    ASSERT_OK(Ddl(
+        "CREATE JOIN overlapping_interval(a: interval, b: interval) "
+        "RETURNS boolean AS \"interval.IntervalJoin\" AT flexiblejoins "
+        "PARAMS (200)"));
+    path_ = "adaptive_test_exec_stats.jsonl";
+    std::remove(path_.c_str());
+    store_ = std::make_unique<QueryStatsStore>(path_);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  Status Ddl(const std::string& sql) {
+    auto out = ExecuteSql(cluster_.get(), &catalog_, sql);
+    return out.ok() ? Status::OK() : out.status();
+  }
+
+  Result<QueryOutput> Run(const std::string& sql,
+                          const AdaptivePlanningContext* ctx = nullptr) {
+    return ExecuteSql(cluster_.get(), &catalog_, sql, ctx);
+  }
+
+  AdaptivePlanningContext Ctx() {
+    AdaptivePlanningContext ctx;
+    ctx.store = store_.get();
+    ctx.workers = 4;
+    return ctx;
+  }
+
+  /// Appends `n` usable records mirroring an observed run of `out`.
+  void SeedFromRun(const QueryOutput& out, int n) {
+    for (int i = 0; i < n; ++i) {
+      QueryStatsRecord r;
+      r.shape.join_name = out.join_name;
+      r.shape.strategy = out.strategy;
+      r.shape.num_tables = out.num_tables;
+      r.shape.aggregated = out.aggregated;
+      r.state = "succeeded";
+      r.outcome = "succeeded";
+      r.sim_ms = out.stats.simulated_ms();
+      r.bucket_splits = out.stats.bucket_splits();
+      ASSERT_OK(store_->Append(r));
+    }
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  Catalog catalog_;
+  std::string path_;
+  std::unique_ptr<QueryStatsStore> store_;
+};
+
+TEST_F(AdaptiveExecTest, ByteIdentityAcrossAdaptiveMatrix) {
+  // Bundled joins x {static, adaptive+cold, adaptive+warm}: ORDER BY
+  // makes byte-identity well-defined even when re-bucketing reorders
+  // the unordered join output.
+  const std::vector<std::string> queries = {
+      "SELECT p.id, w.id FROM parks p, wildfires w WHERE "
+      "spatial_intersect(p.boundary, w.location) ORDER BY p.id, w.id",
+      "SELECT r1.id, r2.id FROM amazonreview r1, amazonreview r2 WHERE "
+      "similarity_jaccard(r1.review, r2.review) ORDER BY r1.id, r2.id",
+      "SELECT t.id, w.id FROM nyctaxi t, weather w WHERE "
+      "overlapping_interval(t.ride_interval, w.reading_interval) "
+      "ORDER BY t.id, w.id",
+  };
+  AdaptivePlanningContext ctx = Ctx();
+  for (const std::string& q : queries) {
+    ASSERT_OK_AND_ASSIGN(const QueryOutput base, Run(q));
+    EXPECT_FALSE(base.adaptive.active);
+    EXPECT_GT(base.rows.size(), 0u) << q;
+
+    ASSERT_OK_AND_ASSIGN(const QueryOutput cold, Run(q, &ctx));
+    EXPECT_TRUE(cold.adaptive.active) << q;
+    EXPECT_FALSE(cold.adaptive.from_history) << q;
+    EXPECT_TRUE(SameRows(base, cold)) << "cold adaptive changed " << q;
+
+    SeedFromRun(cold, 2);
+    ASSERT_OK_AND_ASSIGN(const QueryOutput warm, Run(q, &ctx));
+    EXPECT_TRUE(warm.adaptive.active) << q;
+    EXPECT_TRUE(warm.adaptive.from_history) << q;
+    EXPECT_EQ(warm.adaptive.priors, 2) << q;
+    EXPECT_TRUE(SameRows(base, warm)) << "warm adaptive changed " << q;
+  }
+}
+
+TEST_F(AdaptiveExecTest, WarmHistorySwitchIsByteIdentical) {
+  const std::string q =
+      "SELECT t.id, w.id FROM nyctaxi t, weather w WHERE "
+      "overlapping_interval(t.ride_interval, w.reading_interval) "
+      "ORDER BY t.id, w.id";
+  ASSERT_OK_AND_ASSIGN(const QueryOutput base, Run(q));
+  ASSERT_EQ(base.strategy, "theta-bucket-join");
+
+  // History: the theta default has been painfully slow for this shape,
+  // and the broadcast NLJ has been measured fast.
+  auto seed = [&](const std::string& strategy, double sim_ms) {
+    QueryStatsRecord r;
+    r.shape.join_name = base.join_name;
+    r.shape.strategy = strategy;
+    r.shape.num_tables = base.num_tables;
+    r.shape.aggregated = base.aggregated;
+    r.state = "succeeded";
+    r.outcome = "succeeded";
+    r.sim_ms = sim_ms;
+    ASSERT_OK(store_->Append(r));
+  };
+  seed("theta-bucket-join", 1e6);
+  seed("theta-bucket-join", 1e6);
+  seed("broadcast-nlj", 0.001);
+  seed("broadcast-nlj", 0.001);
+
+  AdaptivePlanningContext ctx = Ctx();
+  ASSERT_OK_AND_ASSIGN(const QueryOutput warm, Run(q, &ctx));
+  EXPECT_TRUE(warm.adaptive.from_history);
+  EXPECT_EQ(warm.adaptive.chosen, "broadcast-nlj");
+  EXPECT_EQ(warm.strategy, "broadcast-nlj")
+      << "the switched plan must actually execute";
+  EXPECT_NE(warm.adaptive.line.find("switched"), std::string::npos)
+      << warm.adaptive.line;
+  EXPECT_TRUE(SameRows(base, warm))
+      << "strategy switch must not change the ordered result";
+}
+
+TEST_F(AdaptiveExecTest, WarmRerunCutsBucketSplits) {
+  // The DIVIDE half of the feedback loop: the static run of the skewed
+  // workload splits its hot COMBINE bucket; feeding that observation
+  // back re-plans the bucketing (equi-depth + boost) and the rerun
+  // splits strictly less, with the ordered output unchanged.
+  const std::string q =
+      "SELECT l.id, r.id FROM hotleft l, hotright r WHERE "
+      "overlapping_interval(l.ride_interval, r.ride_interval) "
+      "ORDER BY l.id, r.id";
+  ASSERT_OK_AND_ASSIGN(const QueryOutput base, Run(q));
+  ASSERT_GT(base.stats.bucket_splits(), 0)
+      << "the skewed workload must stress the static plan";
+
+  SeedFromRun(base, 1);  // one observed run, splits recorded
+  AdaptivePlanningContext ctx = Ctx();
+  ASSERT_OK_AND_ASSIGN(const QueryOutput warm, Run(q, &ctx));
+  EXPECT_DOUBLE_EQ(warm.adaptive.bucket_boost, 2.0);
+  EXPECT_LT(warm.stats.bucket_splits(), base.stats.bucket_splits())
+      << "histogram-driven DIVIDE must cut COMBINE splits";
+  EXPECT_TRUE(SameRows(base, warm));
+}
+
+TEST_F(AdaptiveExecTest, ExplainShowsTheAdaptiveDecision) {
+  AdaptivePlanningContext ctx = Ctx();
+  ASSERT_OK_AND_ASSIGN(
+      const QueryOutput out,
+      Run("EXPLAIN SELECT t.id, w.id FROM nyctaxi t, weather w WHERE "
+          "overlapping_interval(t.ride_interval, w.reading_interval)",
+          &ctx));
+  std::string all;
+  for (const Tuple& row : out.rows) all += row[0].str() + "\n";
+  EXPECT_NE(all.find("adaptive:"), std::string::npos) << all;
+  EXPECT_DOUBLE_EQ(out.stats.simulated_ms(), 0.0);
+}
+
+TEST_F(AdaptiveExecTest, ExplainAnalyzeShowsChosenVersusDefault) {
+  const std::string q =
+      "SELECT t.id, w.id FROM nyctaxi t, weather w WHERE "
+      "overlapping_interval(t.ride_interval, w.reading_interval) "
+      "ORDER BY t.id, w.id";
+  ASSERT_OK_AND_ASSIGN(const QueryOutput probe, Run(q));
+  SeedFromRun(probe, 2);
+  AdaptivePlanningContext ctx = Ctx();
+  ASSERT_OK_AND_ASSIGN(const QueryOutput out,
+                       Run("EXPLAIN ANALYZE " + q, &ctx));
+  EXPECT_TRUE(out.adaptive.active);
+  EXPECT_TRUE(out.adaptive.from_history);
+  EXPECT_NE(out.profile.find("adaptive:"), std::string::npos)
+      << out.profile;
+  EXPECT_NE(out.profile.find("observed"), std::string::npos)
+      << out.profile;
+  // The adaptive lines ride in the profile text; the structured stage
+  // rows still reconcile with simulated time.
+  ASSERT_EQ(out.schema.num_fields(), 8);
+  double total_ms = 0.0;
+  for (const Tuple& row : out.rows) {
+    total_ms += row[1].AsDouble().ValueOr(0.0) +
+                row[2].AsDouble().ValueOr(0.0) +
+                row[3].AsDouble().ValueOr(0.0);
+  }
+  EXPECT_NEAR(total_ms, out.stats.simulated_ms(), 1e-6);
+}
+
+// ------------------------------------------------- service feedback path
+
+void RegisterServiceDatasets(Catalog* catalog, int partitions) {
+  ASSERT_OK(catalog->RegisterDataset(
+      "amazonreview",
+      PartitionedRelation::FromTuples(
+          ReviewsSchema(), GenerateReviews(60, 73), partitions)));
+  ASSERT_OK(catalog->RegisterDataset(
+      "nyctaxi", PartitionedRelation::FromTuples(
+                     TaxiSchema(), GenerateTaxiRides(80, 74), partitions)));
+  ASSERT_OK(catalog->RegisterDataset(
+      "weather",
+      PartitionedRelation::FromTuples(WeatherSchema(),
+                                      GenerateWeather(120, 75), partitions)));
+}
+
+constexpr const char* kServiceIntervalQuery =
+    "SELECT t.id, w.id FROM nyctaxi t, weather w WHERE "
+    "iv_overlap(t.ride_interval, w.reading_interval) ORDER BY t.id, w.id";
+
+class AdaptiveServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterBundledJoinLibraries(); }
+
+  void StartService(const ServiceOptions& opts) {
+    service_ = std::make_unique<QueryService>(opts);
+    RegisterServiceDatasets(service_->catalog(), opts.num_workers);
+    ASSERT_OK(service_->RunDdl(
+        "CREATE JOIN iv_overlap(a: interval, b: interval) RETURNS boolean "
+        "AS \"interval.IntervalJoin\" AT flexiblejoins PARAMS (100)"));
+  }
+
+  ServiceOptions BaseOptions() {
+    ServiceOptions opts;
+    opts.num_workers = 4;
+    opts.pool_threads = 2;
+    opts.max_concurrent = 3;
+    opts.max_queue_depth = 64;
+    return opts;
+  }
+
+  std::unique_ptr<QueryService> service_;
+};
+
+TEST_F(AdaptiveServiceTest, OutcomeRecordingAndShowStats) {
+  const std::string path = "adaptive_test_service_stats.jsonl";
+  std::remove(path.c_str());
+  ServiceOptions opts = BaseOptions();
+  opts.telemetry.stats_path = path;
+  opts.adaptive_planning = true;
+  StartService(opts);
+  auto session = service_->OpenSession("loop");
+
+  ASSERT_OK(session->Execute(kServiceIntervalQuery).status());
+  ASSERT_OK(session->Execute(kServiceIntervalQuery).status());
+  // A planner failure and a pre-dispatch deadline expiry both reach a
+  // terminal state and must be recorded with a non-succeeded outcome.
+  EXPECT_FALSE(session->Execute("SELECT m.id FROM missing m").ok());
+  SubmitOptions deadline;
+  deadline.deadline_ms = 0.0001;
+  ASSERT_OK_AND_ASSIGN(
+      TicketPtr timed,
+      session->Submit("SELECT r.id FROM amazonreview r ORDER BY r.id",
+                      deadline));
+  timed->Wait();
+  EXPECT_EQ(timed->status().code(), StatusCode::kTimeout);
+  service_->Drain();
+
+  QueryStatsStore* store = service_->telemetry()->stats_store();
+  ASSERT_NE(store, nullptr);
+  std::set<std::string> outcomes;
+  for (const QueryStatsRecord& r : store->records()) {
+    outcomes.insert(r.outcome);
+  }
+  EXPECT_EQ(outcomes.count("succeeded"), 1u);
+  EXPECT_EQ(outcomes.count("failed"), 1u);
+  EXPECT_EQ(outcomes.count("timeout"), 1u);
+  EXPECT_EQ(outcomes.count(""), 0u) << "every record carries an outcome";
+  const size_t records_before_show = store->records().size();
+
+  // SHOW PROFILES exposes the outcome (appended last: positional
+  // clients), SHOW STATS summarizes what the planner sees.
+  ASSERT_OK_AND_ASSIGN(const QueryOutput profiles,
+                       session->Execute("SHOW PROFILES"));
+  ASSERT_GT(profiles.schema.num_fields(), 0);
+  const int last = profiles.schema.num_fields() - 1;
+  EXPECT_EQ(profiles.schema.field(last).name, "outcome");
+  std::set<std::string> shown;
+  for (const Tuple& row : profiles.rows) shown.insert(row[last].str());
+  EXPECT_EQ(shown.count("succeeded"), 1u);
+  EXPECT_EQ(shown.count("timeout"), 1u);
+
+  ASSERT_OK_AND_ASSIGN(const QueryOutput stats,
+                       session->Execute("SHOW STATS"));
+  ASSERT_EQ(stats.schema.num_fields(), 4);
+  EXPECT_EQ(stats.schema.field(0).name, "shape");
+  EXPECT_EQ(stats.schema.field(1).name, "records");
+  EXPECT_EQ(stats.schema.field(2).name, "usable");
+  EXPECT_EQ(stats.schema.field(3).name, "median_sim_ms");
+  bool found = false;
+  for (const Tuple& row : stats.rows) {
+    if (row[0].str().find("iv_overlap") == std::string::npos) continue;
+    found = true;
+    EXPECT_EQ(row[1].i64(), 2);  // both interval runs, same shape
+    EXPECT_EQ(row[2].i64(), 2);  // both usable
+    EXPECT_GT(row[3].f64(), 0.0);
+  }
+  EXPECT_TRUE(found) << "SHOW STATS must list the interval shape";
+
+  // SHOW statements are system introspection: they must not feed the
+  // store they report on.
+  EXPECT_EQ(store->records().size(), records_before_show);
+  service_->Drain();
+  service_.reset();
+  std::remove(path.c_str());
+}
+
+TEST_F(AdaptiveServiceTest, WarmStoreReplansAndStaysByteIdentical) {
+  // Static reference service.
+  StartService(BaseOptions());
+  auto ref_session = service_->OpenSession("static");
+  ASSERT_OK_AND_ASSIGN(const QueryOutput expected,
+                       ref_session->Execute(kServiceIntervalQuery));
+  EXPECT_FALSE(expected.adaptive.active);
+  service_->Drain();
+  service_.reset();
+
+  // Seed a warm store on disk: the theta default measured slow, the
+  // broadcast NLJ measured fast. The service constructor reloads it.
+  const std::string path = "adaptive_test_service_warm.jsonl";
+  std::remove(path.c_str());
+  {
+    QueryStatsStore seeder(path);
+    auto seed = [&](const std::string& strategy, double sim_ms) {
+      QueryStatsRecord r;
+      r.shape.join_name = "iv_overlap";
+      r.shape.strategy = strategy;
+      r.shape.num_tables = 2;
+      r.state = "succeeded";
+      r.outcome = "succeeded";
+      r.sim_ms = sim_ms;
+      ASSERT_OK(seeder.Append(r));
+    };
+    seed("theta-bucket-join", 1e6);
+    seed("theta-bucket-join", 1e6);
+    seed("broadcast-nlj", 0.001);
+    seed("broadcast-nlj", 0.001);
+  }
+  ServiceOptions opts = BaseOptions();
+  opts.telemetry.stats_path = path;
+  opts.adaptive_planning = true;
+  StartService(opts);
+  auto session = service_->OpenSession("adaptive");
+  ASSERT_OK_AND_ASSIGN(const QueryOutput warm,
+                       session->Execute(kServiceIntervalQuery));
+  EXPECT_TRUE(warm.adaptive.active);
+  EXPECT_TRUE(warm.adaptive.from_history);
+  EXPECT_EQ(warm.adaptive.chosen, "broadcast-nlj");
+  EXPECT_EQ(warm.strategy, "broadcast-nlj");
+  EXPECT_TRUE(SameRows(expected, warm))
+      << "service-level adaptive planning must not change results";
+  service_->Drain();
+
+  // The loop closes: the adaptive run itself lands in the store under
+  // its executed (switched) shape, usable for the next restart.
+  QueryStatsStore* store = service_->telemetry()->stats_store();
+  ASSERT_NE(store, nullptr);
+  bool recorded = false;
+  for (const QueryStatsRecord& r : store->records()) {
+    if (r.shape.strategy == "broadcast-nlj" && r.outcome == "succeeded" &&
+        r.shape.join_name == "iv_overlap") {
+      recorded = true;
+    }
+  }
+  EXPECT_TRUE(recorded);
+  service_.reset();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fudj

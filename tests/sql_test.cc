@@ -248,7 +248,7 @@ TEST(ParserTest, ShowMetricsAndProfilesParse) {
 TEST(ParserTest, ShowRejectsUnknownTopicAndBadLimit) {
   const auto unknown = ParseStatement("SHOW TABLES");
   ASSERT_FALSE(unknown.ok());
-  EXPECT_NE(unknown.status().message().find("METRICS or PROFILES"),
+  EXPECT_NE(unknown.status().message().find("METRICS, PROFILES or STATS"),
             std::string::npos);
   const auto bad_limit = ParseStatement("SHOW PROFILES LIMIT abc");
   ASSERT_FALSE(bad_limit.ok());
